@@ -1,0 +1,65 @@
+//! One module per table/figure of the paper's evaluation (Sec. VII).
+//!
+//! Every entry point takes a [`Ctx`] and prints the figure's data as text
+//! (tables + ASCII charts), optionally dumping the raw series as CSV. See
+//! DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results.
+
+pub mod deadlock;
+pub mod perf;
+pub mod scaling;
+pub mod tables;
+pub mod traces;
+
+use std::path::PathBuf;
+
+use tyr_stats::csv::CsvTable;
+use tyr_workloads::Scale;
+
+use crate::RunConfig;
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Input scale for the workloads.
+    pub scale: Scale,
+    /// Input generation seed.
+    pub seed: u64,
+    /// Engine parameters.
+    pub cfg: RunConfig,
+    /// If set, raw figure data is written as CSV under this directory.
+    pub csv_dir: Option<PathBuf>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx { scale: Scale::Small, seed: 1, cfg: RunConfig::default(), csv_dir: None }
+    }
+}
+
+impl Ctx {
+    /// Writes a CSV table if `--csv` was given.
+    pub fn emit_csv(&self, name: &str, table: &CsvTable) {
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(format!("{name}.csv"));
+            match table.write_to(&path) {
+                Ok(()) => println!("  [csv] wrote {}", path.display()),
+                Err(e) => eprintln!("  [csv] failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    /// Scale label for titles.
+    pub fn scale_label(&self) -> &'static str {
+        match self.scale {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Downsamples a trace into `(cycle, live)` points for charting/CSV.
+pub(crate) fn trace_points(trace: &tyr_stats::Trace) -> Vec<(f64, f64)> {
+    trace.points().into_iter().map(|(c, v)| (c as f64, v as f64)).collect()
+}

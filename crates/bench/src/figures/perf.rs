@@ -1,0 +1,181 @@
+//! Whole-suite comparison figures: Fig. 12 (execution time), Fig. 13 (IPC
+//! CDFs), Fig. 14 (peak/mean live state).
+
+use std::collections::HashMap;
+
+use tyr_stats::ascii::{bar_chart, line_chart, Series};
+use tyr_stats::csv::CsvTable;
+use tyr_stats::{IpcHistogram, Summary};
+use tyr_workloads::{suite, APP_NAMES};
+
+use crate::figures::Ctx;
+use crate::{run_system, System};
+
+/// The shared full-suite sweep used by Figs. 12–14: every app on every
+/// system.
+pub struct SuiteResults {
+    /// `(app, system) -> result`.
+    pub runs: HashMap<(String, System), tyr_sim::RunResult>,
+}
+
+/// Runs the whole suite on every system (the expensive part, shared by
+/// Figs. 12–14).
+pub fn run_suite(ctx: &Ctx) -> SuiteResults {
+    let mut runs = HashMap::new();
+    for w in suite(ctx.scale, ctx.seed) {
+        for sys in System::ALL {
+            eprintln!("  running {} on {} ...", w.name, sys.label());
+            let r = run_system(&w, sys, &ctx.cfg);
+            runs.insert((w.name.clone(), sys), r);
+        }
+    }
+    SuiteResults { runs }
+}
+
+/// Fig. 12: execution time for every app on every system, plus the gmean
+/// speedups of TYR over each baseline (paper: 68× vs vN, 22.7× vs
+/// sequential dataflow, 21.7× vs ordered, 0.77× vs unordered).
+pub fn fig12(ctx: &Ctx, results: &SuiteResults) {
+    println!("== Fig. 12: execution time (cycles) ({} scale) ==", ctx.scale_label());
+    let mut csv = CsvTable::new(["app", "system", "cycles", "dyn_instrs"]);
+    println!(
+        "  {:<8} {:>14} {:>14} {:>14} {:>14} {:>14}",
+        "app",
+        System::SeqVn.label(),
+        System::SeqDf.label(),
+        System::Ordered.label(),
+        System::Unordered.label(),
+        System::Tyr.label()
+    );
+    for app in APP_NAMES {
+        let mut row = format!("  {app:<8}");
+        for sys in System::ALL {
+            let r = &results.runs[&(app.to_string(), sys)];
+            row.push_str(&format!(" {:>14}", r.cycles()));
+            csv.push_row([
+                app.to_string(),
+                sys.label().to_string(),
+                r.cycles().to_string(),
+                r.dyn_instrs().to_string(),
+            ]);
+        }
+        println!("{row}");
+    }
+    // Gmean speedups of TYR vs each baseline.
+    println!("\n  gmean speedup of TYR vs each system (paper values in parens):");
+    let paper = [("seq-vN", 68.0), ("seq-dataflow", 22.7), ("ordered", 21.7), ("unordered", 0.77)];
+    for (sys, paper_x) in
+        [System::SeqVn, System::SeqDf, System::Ordered, System::Unordered].iter().zip(paper)
+    {
+        let mut s = Summary::new();
+        for app in APP_NAMES {
+            let base = results.runs[&(app.to_string(), *sys)].cycles();
+            let tyr = results.runs[&(app.to_string(), System::Tyr)].cycles();
+            s.push(base as f64 / tyr as f64);
+        }
+        println!("    vs {:<14} {:>8.2}x   (paper: {}x)", paper_x.0, s.gmean().unwrap(), paper_x.1);
+    }
+    // Bar chart of per-app cycles for a visual check.
+    let rows: Vec<(String, f64)> = APP_NAMES
+        .iter()
+        .flat_map(|app| {
+            System::ALL.iter().map(move |sys| {
+                (
+                    format!("{app}/{}", sys.label()),
+                    results.runs[&(app.to_string(), *sys)].cycles() as f64,
+                )
+            })
+        })
+        .collect();
+    println!("\n{}", bar_chart("execution time (log scale)", &rows, 60, true));
+    ctx.emit_csv("fig12_exec_time", &csv);
+}
+
+/// Fig. 13: CDF of per-cycle IPC for each system, aggregated across all
+/// apps. Unordered is nearly the ideal `_]`; TYR tracks it closely; the
+/// sequential/ordered systems rarely exceed ten.
+pub fn fig13(ctx: &Ctx, results: &SuiteResults) {
+    println!("== Fig. 13: IPC CDFs across all apps ({} scale) ==", ctx.scale_label());
+    let mut series = Vec::new();
+    let mut csv = CsvTable::new(["system", "ipc", "cum_prob"]);
+    for sys in System::ALL {
+        let mut merged = IpcHistogram::new();
+        for app in APP_NAMES {
+            merged.merge(&results.runs[&(app.to_string(), sys)].ipc);
+        }
+        let cdf = merged.cdf();
+        println!(
+            "  {:<14} mean IPC={:<8.2} p50={:<6} p90={:<6} max={}",
+            sys.label(),
+            merged.mean(),
+            cdf.quantile(0.5).unwrap_or(0.0),
+            cdf.quantile(0.9).unwrap_or(0.0),
+            merged.max_value()
+        );
+        for &(v, p) in cdf.points() {
+            csv.push_row([sys.label().to_string(), v.to_string(), format!("{p:.6}")]);
+        }
+        series.push(Series::new(sys.label(), cdf.points().to_vec()));
+    }
+    println!("{}", line_chart("cumulative probability vs IPC", &series, 100, 20, false));
+    ctx.emit_csv("fig13_ipc_cdf", &csv);
+}
+
+/// Fig. 14: peak (and mean) live tokens per app per system, log scale.
+/// TYR sits orders of magnitude below unordered while staying fast.
+pub fn fig14(ctx: &Ctx, results: &SuiteResults) {
+    println!("== Fig. 14: live state (peak / mean tokens) ({} scale) ==", ctx.scale_label());
+    let mut csv = CsvTable::new(["app", "system", "peak_live", "mean_live"]);
+    println!(
+        "  {:<8} {:>20} {:>20} {:>20} {:>20} {:>20}",
+        "app",
+        System::SeqVn.label(),
+        System::SeqDf.label(),
+        System::Ordered.label(),
+        System::Unordered.label(),
+        System::Tyr.label()
+    );
+    for app in APP_NAMES {
+        let mut row = format!("  {app:<8}");
+        for sys in System::ALL {
+            let r = &results.runs[&(app.to_string(), sys)];
+            row.push_str(&format!(" {:>12}/{:<7.0}", r.peak_live(), r.mean_live()));
+            csv.push_row([
+                app.to_string(),
+                sys.label().to_string(),
+                r.peak_live().to_string(),
+                format!("{:.2}", r.mean_live()),
+            ]);
+        }
+        println!("{row}");
+    }
+    // State-reduction gmeans (paper: 572.8× less than unordered; 98.4×,
+    // 136×, 23× more than vN / seq-dataflow / ordered).
+    let ratio = |a: System, b: System| {
+        let mut s = Summary::new();
+        for app in APP_NAMES {
+            let x = results.runs[&(app.to_string(), a)].peak_live().max(1) as f64;
+            let y = results.runs[&(app.to_string(), b)].peak_live().max(1) as f64;
+            s.push(x / y);
+        }
+        s.gmean().unwrap()
+    };
+    println!("\n  gmean peak-state ratios (paper values in parens):");
+    println!("    unordered / TYR: {:>10.1}x  (paper: 572.8x)", ratio(System::Unordered, System::Tyr));
+    println!("    TYR / seq-vN:    {:>10.1}x  (paper: 98.4x)", ratio(System::Tyr, System::SeqVn));
+    println!("    TYR / seq-df:    {:>10.1}x  (paper: 136x)", ratio(System::Tyr, System::SeqDf));
+    println!("    TYR / ordered:   {:>10.1}x  (paper: 23x)", ratio(System::Tyr, System::Ordered));
+    let rows: Vec<(String, f64)> = APP_NAMES
+        .iter()
+        .flat_map(|app| {
+            System::ALL.iter().map(move |sys| {
+                (
+                    format!("{app}/{}", sys.label()),
+                    results.runs[&(app.to_string(), *sys)].peak_live() as f64,
+                )
+            })
+        })
+        .collect();
+    println!("\n{}", bar_chart("peak live tokens (log scale)", &rows, 60, true));
+    ctx.emit_csv("fig14_live_state", &csv);
+}

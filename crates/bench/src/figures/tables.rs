@@ -1,0 +1,42 @@
+//! Table I (the TYR ISA, as implemented) and Table II (applications and
+//! input sizes).
+
+use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+use tyr_stats::csv::CsvTable;
+use tyr_workloads::suite;
+
+use crate::figures::Ctx;
+
+/// Table I: the instruction set, printed from the implementation so it
+/// cannot drift from the code.
+pub fn table1(_ctx: &Ctx) {
+    println!("== Table I: TYR's instruction set (as implemented in tyr-dfg) ==");
+    println!("  {:<22} Instruction(s)", "Category");
+    println!("  {:<22} add sub mul div rem and or xor shl shr lt le gt ge eq ne min max not neg mov select", "Arithmetic");
+    println!("  {:<22} load, store, store-add (atomic fetch-add)", "Memory");
+    println!("  {:<22} steer, join, merge", "Control flow");
+    println!(
+        "  {:<22} allocate (external/tail/call), free, changeTag, changeTagDyn, extractTag",
+        "Token synchronization"
+    );
+    println!("  {:<22} source, sink, const; cmerge (ordered baseline only)", "Linkage");
+}
+
+/// Table II: the applications with their parameters at the selected scale,
+/// plus static graph statistics from the TYR lowering.
+pub fn table2(ctx: &Ctx) {
+    println!("== Table II: applications and input sizes ({} scale) ==", ctx.scale_label());
+    let mut csv = CsvTable::new(["app", "parameters", "tyr_nodes", "concurrent_blocks"]);
+    println!("  {:<8} {:<48} {:>10} {:>8}", "app", "parameters", "TYR nodes", "blocks");
+    for w in suite(ctx.scale, ctx.seed) {
+        let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).expect("lowering");
+        println!("  {:<8} {:<48} {:>10} {:>8}", w.name, w.params, dfg.len(), dfg.blocks.len());
+        csv.push_row([
+            w.name.clone(),
+            w.params.clone(),
+            dfg.len().to_string(),
+            dfg.blocks.len().to_string(),
+        ]);
+    }
+    ctx.emit_csv("table2_apps", &csv);
+}

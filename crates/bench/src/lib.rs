@@ -1,0 +1,244 @@
+//! Shared experiment plumbing for the `repro` harness and the Criterion
+//! benches: a uniform way to run any workload on any of the five
+//! architectures of the paper's evaluation (Sec. VI).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+use tyr_dfg::Dfg;
+use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
+use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
+use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
+use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_sim::RunResult;
+use tyr_workloads::Workload;
+
+/// The compared architectures (Sec. VI, *Systems*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// Sequential von Neumann.
+    SeqVn,
+    /// Sequential dataflow (WaveScalar/TRIPS-style).
+    SeqDf,
+    /// Ordered dataflow (FIFO-synchronized, RipTide-style).
+    Ordered,
+    /// Naïve unordered dataflow, unlimited global tags.
+    Unordered,
+    /// TYR: local tag spaces.
+    Tyr,
+}
+
+impl System {
+    /// All five systems, in the paper's presentation order.
+    pub const ALL: [System; 5] =
+        [System::SeqVn, System::SeqDf, System::Ordered, System::Unordered, System::Tyr];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::SeqVn => "seq-vN",
+            System::SeqDf => "seq-dataflow",
+            System::Ordered => "ordered",
+            System::Unordered => "unordered",
+            System::Tyr => "TYR",
+        }
+    }
+}
+
+/// Common run parameters (defaults match Sec. VI: 128-wide issue, 64 tags
+/// per local tag space, FIFO depth 4).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Issue width for every system.
+    pub issue_width: usize,
+    /// TYR tags per concurrent block.
+    pub tags: usize,
+    /// TYR per-block tag overrides `(block name, tags)`.
+    pub tag_overrides: Vec<(String, usize)>,
+    /// Ordered-dataflow FIFO depth.
+    pub queue_depth: usize,
+    /// Memory latency in cycles for the dataflow engines.
+    pub mem_latency: u64,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            issue_width: 128,
+            tags: 64,
+            tag_overrides: Vec::new(),
+            queue_depth: 4,
+            mem_latency: 1,
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+/// Lowers (as needed) and runs `w` on `system`, checking the output memory
+/// against the workload's oracle on completion.
+///
+/// # Panics
+///
+/// Panics on lowering errors, simulation faults, or oracle mismatches —
+/// an experiment must not silently produce wrong data.
+pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
+    let r = match system {
+        System::SeqVn => {
+            let c = SeqVnConfig { args: w.args.clone(), max_cycles: cfg.max_cycles * 64 };
+            SeqVnEngine::new(&w.program, w.memory.clone(), c).run()
+        }
+        System::SeqDf => {
+            let c = SeqDataflowConfig {
+                issue_width: cfg.issue_width,
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles * 16,
+            };
+            SeqDataflowEngine::new(&w.program, w.memory.clone(), c).run()
+        }
+        System::Ordered => {
+            let dfg = lower_ordered(&w.program).expect("ordered lowering");
+            let c = OrderedConfig {
+                issue_width: cfg.issue_width,
+                queue_depth: cfg.queue_depth,
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles * 16,
+                mem_latency: cfg.mem_latency,
+            };
+            OrderedEngine::new(&dfg, w.memory.clone(), c).run()
+        }
+        System::Unordered => {
+            let dfg =
+                lower_tagged(&w.program, TaggingDiscipline::UnorderedUnbounded).expect("lowering");
+            let c = TaggedConfig {
+                issue_width: cfg.issue_width,
+                tag_policy: TagPolicy::GlobalUnbounded,
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles,
+                mem_latency: cfg.mem_latency,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::new(&dfg, w.memory.clone(), c).run()
+        }
+        System::Tyr => {
+            let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).expect("lowering");
+            let c = TaggedConfig {
+                issue_width: cfg.issue_width,
+                tag_policy: TagPolicy::local_with(cfg.tags, cfg.tag_overrides.clone()),
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles,
+                mem_latency: cfg.mem_latency,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::new(&dfg, w.memory.clone(), c).run()
+        }
+    };
+    let r = r.unwrap_or_else(|e| panic!("{} on {}: {e}", system.label(), w.name));
+    if r.is_complete() {
+        w.check(r.memory()).unwrap_or_else(|e| panic!("{} on {}: {e}", system.label(), w.name));
+    }
+    r
+}
+
+/// Pre-lowered graphs for a workload, when the same graph is reused across
+/// many engine configurations (tag/width sweeps).
+pub struct LoweredWorkload<'w> {
+    /// The source workload.
+    pub workload: &'w Workload,
+    /// TYR elaboration (also used for bounded-global policies).
+    pub tyr: Dfg,
+    /// Naïve unordered elaboration.
+    pub unordered: Dfg,
+}
+
+impl<'w> LoweredWorkload<'w> {
+    /// Lowers both tagged elaborations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on lowering errors.
+    pub fn new(workload: &'w Workload) -> Self {
+        LoweredWorkload {
+            workload,
+            tyr: lower_tagged(&workload.program, TaggingDiscipline::Tyr).expect("tyr lowering"),
+            unordered: lower_tagged(&workload.program, TaggingDiscipline::UnorderedUnbounded)
+                .expect("unordered lowering"),
+        }
+    }
+
+    /// Runs the TYR graph under an arbitrary tag policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation faults or oracle mismatches.
+    pub fn run_tyr(&self, policy: TagPolicy, issue_width: usize) -> RunResult {
+        let c = TaggedConfig {
+            issue_width,
+            tag_policy: policy,
+            args: self.workload.args.clone(),
+            max_cycles: 2_000_000_000,
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&self.tyr, self.workload.memory.clone(), c)
+            .run()
+            .unwrap_or_else(|e| panic!("tyr on {}: {e}", self.workload.name));
+        if r.is_complete() {
+            self.workload.check(r.memory()).unwrap_or_else(|e| panic!("{e}"));
+        }
+        r
+    }
+
+    /// Runs the unordered graph under a tag policy (unbounded or bounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation faults or oracle mismatches.
+    pub fn run_unordered(&self, policy: TagPolicy, issue_width: usize) -> RunResult {
+        let graph = match &policy {
+            // Bounded pools need the barrier/free elaboration to recycle tags.
+            TagPolicy::GlobalBounded { .. } => &self.tyr,
+            _ => &self.unordered,
+        };
+        let c = TaggedConfig {
+            issue_width,
+            tag_policy: policy,
+            args: self.workload.args.clone(),
+            max_cycles: 2_000_000_000,
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(graph, self.workload.memory.clone(), c)
+            .run()
+            .unwrap_or_else(|e| panic!("unordered on {}: {e}", self.workload.name));
+        if r.is_complete() {
+            self.workload.check(r.memory()).unwrap_or_else(|e| panic!("{e}"));
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_workloads::{by_name, Scale};
+
+    #[test]
+    fn run_system_smoke_all_systems() {
+        let w = by_name("dmv", Scale::Tiny, 5).unwrap();
+        let cfg = RunConfig::default();
+        let mut cycles = Vec::new();
+        for sys in System::ALL {
+            let r = run_system(&w, sys, &cfg);
+            assert!(r.is_complete(), "{}", sys.label());
+            cycles.push((sys.label(), r.cycles()));
+        }
+        // Parallelism ordering: vN is the slowest; TYR and unordered are the
+        // fastest.
+        let get = |l: &str| cycles.iter().find(|(n, _)| *n == l).unwrap().1;
+        assert!(get("seq-vN") > get("TYR"));
+        assert!(get("seq-vN") > get("unordered"));
+        assert!(get("ordered") > get("unordered"));
+    }
+}

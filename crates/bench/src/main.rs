@@ -1,0 +1,126 @@
+//! `repro` — regenerates every table and figure of the TYR paper's
+//! evaluation (Sec. VII).
+//!
+//! ```text
+//! repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N]
+//!       [--queue N] [--mem-latency N] [--csv DIR] <command>...
+//!
+//! commands:
+//!   table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!   fig18 ablation-kbound all
+//! ```
+//!
+//! Default scale is `small` (seconds per figure); `--scale paper` restores
+//! the Table II input sizes (50M–1B dynamic instructions per app — budget
+//! hours, and tens of GB of RAM for the unordered baseline's token store).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
+use tyr_workloads::Scale;
+
+const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--csv DIR] <command>...
+commands: table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = Ctx::default();
+    let mut cmds: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut opt_value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => {
+                ctx.scale = match opt_value("--scale").as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale '{other}'\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--seed" => ctx.seed = opt_value("--seed").parse().expect("numeric seed"),
+            "--width" => {
+                ctx.cfg.issue_width = opt_value("--width").parse().expect("numeric width")
+            }
+            "--tags" => ctx.cfg.tags = opt_value("--tags").parse().expect("numeric tags"),
+            "--queue" => {
+                ctx.cfg.queue_depth = opt_value("--queue").parse().expect("numeric queue depth")
+            }
+            "--mem-latency" => {
+                ctx.cfg.mem_latency =
+                    opt_value("--mem-latency").parse().expect("numeric latency")
+            }
+            "--csv" => ctx.csv_dir = Some(PathBuf::from(opt_value("--csv"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            cmd => cmds.push(cmd.to_string()),
+        }
+    }
+    if cmds.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if cmds.iter().any(|c| c == "all") {
+        cmds = [
+            "table1", "table2", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "ablation-kbound", "ablation-explosion", "ablation-ooo", "ablation-isatax", "ablation-latency", "ablation-storesize",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    // Figs. 12–14 share one expensive suite sweep.
+    let needs_suite = cmds.iter().any(|c| matches!(c.as_str(), "fig12" | "fig13" | "fig14"));
+    let suite_results = if needs_suite {
+        eprintln!("running the full suite on all five systems (shared by fig12/13/14)...");
+        Some(perf::run_suite(&ctx))
+    } else {
+        None
+    };
+
+    for cmd in &cmds {
+        match cmd.as_str() {
+            "table1" => tables::table1(&ctx),
+            "table2" => tables::table2(&ctx),
+            "fig2" => traces::fig02(&ctx),
+            "fig9" => traces::fig09(&ctx),
+            "fig11" => deadlock::fig11(&ctx),
+            "fig12" => perf::fig12(&ctx, suite_results.as_ref().unwrap()),
+            "fig13" => perf::fig13(&ctx, suite_results.as_ref().unwrap()),
+            "fig14" => perf::fig14(&ctx, suite_results.as_ref().unwrap()),
+            "fig15" => scaling::fig15(&ctx),
+            "fig16" => traces::fig16(&ctx),
+            "fig17" => scaling::fig17(&ctx),
+            "fig18" => traces::fig18(&ctx),
+            "ablation-kbound" => deadlock::ablation_kbound(&ctx),
+            "ablation-explosion" => scaling::ablation_explosion(&ctx),
+            "ablation-ooo" => scaling::ablation_ooo(&ctx),
+            "ablation-isatax" => deadlock::ablation_isatax(&ctx),
+            "ablation-latency" => scaling::ablation_latency(&ctx),
+            "ablation-storesize" => deadlock::ablation_storesize(&ctx),
+            other => {
+                eprintln!("unknown command '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

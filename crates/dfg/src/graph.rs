@@ -1,0 +1,669 @@
+//! Elaborated dataflow graphs.
+//!
+//! A [`Dfg`] is the executable artifact produced by the lowering passes: a
+//! set of instruction nodes wired output-port → input-port, partitioned into
+//! *concurrent blocks* (Sec. III). Nodes implement the dataflow firing rule;
+//! the engines in `tyr-sim` give the graph its operational semantics.
+//!
+//! The node set is Table I of the paper (arithmetic, `load`/`store`,
+//! `steer`/`join`, and the token-synchronization instructions `allocate`,
+//! `free`, `changeTag`, `extractTag`) plus the linkage/plumbing nodes any
+//! concrete compiler needs (`Source`, `Sink`, `Merge`, and the
+//! ordered-dataflow `CMerge`).
+
+use std::fmt;
+
+use tyr_ir::{AluOp, Value};
+
+/// Identifies a node within a [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a concurrent block (and its local tag space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cb{}", self.0)
+    }
+}
+
+/// The root block (the entry function's single context).
+pub const ROOT_BLOCK: BlockId = BlockId(0);
+
+/// An input-port reference: `(node, input index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// Target node.
+    pub node: NodeId,
+    /// Input port index on the target.
+    pub port: u16,
+}
+
+impl PortRef {
+    /// Encodes this port as an integer for dynamic routing
+    /// ([`NodeKind::ChangeTagDyn`]); the paper's changeTag routes tokens to a
+    /// dynamic `(instruction, operand)` location for arbitrary-caller
+    /// returns.
+    pub fn encode(self) -> Value {
+        ((self.node.0 as Value) << 16) | self.port as Value
+    }
+
+    /// Decodes an encoded port.
+    pub fn decode(v: Value) -> PortRef {
+        PortRef { node: NodeId((v >> 16) as u32), port: (v & 0xFFFF) as u16 }
+    }
+}
+
+/// Reservation discipline for [`NodeKind::Allocate`] (Sec. IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// An allocate on the *external* edge into a tail-recursive block (a
+    /// loop entry). Reserves one spare tag for the backedge: it never
+    /// consumes either of the last two tags without the context being ready,
+    /// and never consumes the last one at all.
+    External,
+    /// The allocate on a loop's backedge (tail-recursive self edge). May
+    /// take the last tag, but only once the context is ready.
+    Tail,
+    /// An allocate into a non-recursive block (a function call). No spare
+    /// tag is needed; may take the last tag once ready.
+    Call,
+}
+
+impl AllocKind {
+    /// Number of tags that must remain un-popped for other edges.
+    pub fn reserve(self) -> usize {
+        match self {
+            AllocKind::External => 1,
+            AllocKind::Tail | AllocKind::Call => 0,
+        }
+    }
+}
+
+/// Instruction opcodes of the elaborated graph.
+///
+/// Port conventions (inputs `inN` / outputs `outN`) are documented per
+/// variant; `ctl` denotes a zero-data token `<t, ∅>` used for the free
+/// barrier (present only in lowering modes that build barriers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Arithmetic. `in0`,`in1` → `out0`.
+    Alu(AluOp),
+    /// Memory read. `in0` = address → `out0` = value.
+    Load,
+    /// Memory write. `in0` = address, `in1` = value → `out0` = ctl.
+    Store,
+    /// Atomic fetch-add. `in0` = address, `in1` = addend → `out0` = ctl.
+    StoreAdd,
+    /// If-converted select: `in0` = condition, `in1` = on-true,
+    /// `in2` = on-false → `out0`. Strict (waits for all three inputs), as in
+    /// classic if-conversion where both sides are computed.
+    Select,
+    /// Conditional route. `in0` = decider, `in1` = data →
+    /// `out0` = data when decider ≠ 0, `out1` = data when decider = 0,
+    /// `out2` = ctl (unconditional).
+    Steer,
+    /// Nondeterministic merge: exactly one of its inputs arrives per
+    /// context. `in0..inN` → `out0` = the arriving token.
+    Merge,
+    /// Barrier: waits for all inputs, then `out0` = copy of `in0`.
+    Join,
+    /// Tag allocation (Sec. IV-A). `in0` = request `<t,∅>`,
+    /// `in1` = ready `<t,∅>` → `out0` = `<t, t'>` (the new tag as data),
+    /// `out1` = ctl `<t,∅>` emitted when `ready` is consumed.
+    ///
+    /// Firing rule: pops immediately on `request` when
+    /// `free > reserve + 1`; pops on `request`+`ready` when
+    /// `free > reserve`; otherwise waits.
+    Allocate {
+        /// The tag space allocated from.
+        space: BlockId,
+        /// Reservation discipline.
+        kind: AllocKind,
+    },
+    /// Unbounded tag generation (naïve unordered dataflow's `T` node).
+    /// `in0` = request `<t,∅>` → `out0` = `<t, t'>` with a globally fresh
+    /// `t'`.
+    NewTag,
+    /// Returns a tag to its space's free list. `in0` = `<t,∅>`; no outputs.
+    Free {
+        /// The tag space freed into.
+        space: BlockId,
+    },
+    /// Tag translation: `(in0 = <t,t'>, in1 = <t,data>)` →
+    /// `out0` = `<t',data>` (static target), `out1` = ctl `<t,∅>`.
+    ChangeTag,
+    /// Dynamically-routed tag translation for function returns:
+    /// `(in0 = <t,t'>, in1 = <t,target>, in2 = <t,data>)` →
+    /// `out0` = `<t',data>` delivered to the [`PortRef::decode`]d target,
+    /// `out1` = ctl `<t,∅>`.
+    ChangeTagDyn,
+    /// `in0` = `<t,∅>` → `out0` = `<t,t>` (the tag as data).
+    ExtractTag,
+    /// Program entry: fires once at cycle 0, emitting the program arguments
+    /// (one per output port) with the root tag.
+    Source,
+    /// Program exit: the program completes when all inputs have arrived.
+    Sink,
+    /// Materializes a constant: `in0` = trigger `<t,∅>` → `out0` = `<t,c>`.
+    /// Used where a constant must become a *token* (e.g. a constant merged
+    /// out of a conditional); constants feeding ordinary instructions are
+    /// immediates instead.
+    Const(Value),
+    /// Ordered-dataflow controlled merge. `in0` = control, `in1` = initial
+    /// side, `in2` = backedge side → `out0`. Pops `in1` when control = 0,
+    /// `in2` otherwise. `initial_ctl` tokens are pre-loaded into the control
+    /// FIFO at reset (the classic "take-initial-first" trick).
+    CMerge {
+        /// Tokens pre-loaded into the control FIFO.
+        initial_ctl: Vec<Value>,
+    },
+}
+
+impl NodeKind {
+    /// Short mnemonic for printing/DOT.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            NodeKind::Alu(op) => op.mnemonic().to_string(),
+            NodeKind::Select => "select".into(),
+            NodeKind::Load => "load".into(),
+            NodeKind::Store => "store".into(),
+            NodeKind::StoreAdd => "store+".into(),
+            NodeKind::Steer => "steer".into(),
+            NodeKind::Merge => "merge".into(),
+            NodeKind::Join => "join".into(),
+            NodeKind::Allocate { kind, .. } => match kind {
+                AllocKind::External => "alloc.ext".into(),
+                AllocKind::Tail => "alloc.tail".into(),
+                AllocKind::Call => "alloc.call".into(),
+            },
+            NodeKind::NewTag => "newtag".into(),
+            NodeKind::Free { .. } => "free".into(),
+            NodeKind::ChangeTag => "changetag".into(),
+            NodeKind::ChangeTagDyn => "changetag.dyn".into(),
+            NodeKind::ExtractTag => "extracttag".into(),
+            NodeKind::Const(c) => format!("const {c}"),
+            NodeKind::Source => "source".into(),
+            NodeKind::Sink => "sink".into(),
+            NodeKind::CMerge { .. } => "cmerge".into(),
+        }
+    }
+}
+
+/// How an input port is fed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InKind {
+    /// Receives tokens from producer outputs.
+    Wire,
+    /// An immediate baked into the instruction; never carries tokens.
+    Imm(Value),
+}
+
+/// One instruction node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The opcode.
+    pub kind: NodeKind,
+    /// The concurrent block (tag space) this node's tokens live in.
+    pub block: BlockId,
+    /// Input ports.
+    pub ins: Vec<InKind>,
+    /// Output ports: targets per port. An empty target list means tokens on
+    /// that port are discarded at zero cost (the edge does not exist).
+    pub outs: Vec<Vec<PortRef>>,
+    /// Diagnostic label.
+    pub label: String,
+}
+
+/// Metadata for one concurrent block.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// Human-readable name: function name or loop label.
+    pub name: String,
+    /// The lexically-enclosing block, if any.
+    pub parent: Option<BlockId>,
+    /// Whether the block has a tail-recursive self edge (it's a loop).
+    pub is_loop: bool,
+}
+
+/// An elaborated dataflow graph.
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// All concurrent blocks; index 0 is the root.
+    pub blocks: Vec<BlockInfo>,
+    /// The unique [`NodeKind::Source`].
+    pub source: NodeId,
+    /// The unique [`NodeKind::Sink`].
+    pub sink: NodeId,
+    /// Number of program return values (the first `n_returns` sink inputs).
+    pub n_returns: usize,
+}
+
+impl Dfg {
+    /// The node for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Maximum number of *wired* input ports across nodes (the `M` of
+    /// Theorem 2's `T · N · M` bound).
+    pub fn max_wired_inputs(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.ins.iter().filter(|i| matches!(i, InKind::Wire)).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Looks up a block id by name.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks.iter().position(|b| b.name == name).map(|i| BlockId(i as u32))
+    }
+
+    /// Structural sanity check, run by every lowering before returning:
+    ///
+    /// * every edge targets an existing, `Wire` input port;
+    /// * every non-source node has at least one wired input (a node with
+    ///   only immediates could never fire — or would fire forever in the
+    ///   ordered engine);
+    /// * `Allocate`/`Free` reference existing tag spaces, and every space
+    ///   with an `Allocate` also has a `Free` (tags must recycle) unless the
+    ///   graph is an unbounded elaboration (no `Free` nodes at all);
+    /// * node block ids are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        let any_free = self.nodes.iter().any(|n| matches!(n.kind, NodeKind::Free { .. }));
+        let mut alloc_spaces = Vec::new();
+        let mut free_spaces = Vec::new();
+        for (ni, n) in self.nodes.iter().enumerate() {
+            if n.block.0 as usize >= self.blocks.len() {
+                return Err(format!("n{ni} ('{}') has out-of-range block {}", n.label, n.block));
+            }
+            if !matches!(n.kind, NodeKind::Source)
+                && !n.ins.iter().any(|i| matches!(i, InKind::Wire))
+            {
+                return Err(format!("n{ni} ('{}') has no wired inputs", n.label));
+            }
+            match &n.kind {
+                NodeKind::Allocate { space, .. } | NodeKind::Free { space } => {
+                    if space.0 as usize >= self.blocks.len() {
+                        return Err(format!("n{ni} ('{}') references bad space {space}", n.label));
+                    }
+                    if matches!(n.kind, NodeKind::Free { .. }) {
+                        free_spaces.push(*space);
+                    } else {
+                        alloc_spaces.push(*space);
+                    }
+                }
+                _ => {}
+            }
+            for (pi, targets) in n.outs.iter().enumerate() {
+                for t in targets {
+                    let Some(dst) = self.nodes.get(t.node.0 as usize) else {
+                        return Err(format!("n{ni}.o{pi} targets missing node {}", t.node));
+                    };
+                    match dst.ins.get(t.port as usize) {
+                        Some(InKind::Wire) => {}
+                        Some(InKind::Imm(_)) => {
+                            return Err(format!(
+                                "n{ni}.o{pi} targets immediate input {}.i{}",
+                                t.node, t.port
+                            ))
+                        }
+                        None => {
+                            return Err(format!(
+                                "n{ni}.o{pi} targets missing port {}.i{}",
+                                t.node, t.port
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        if any_free {
+            for s in alloc_spaces {
+                if !free_spaces.contains(&s) {
+                    return Err(format!(
+                        "space {s} ('{}') is allocated from but never freed into",
+                        self.blocks[s.0 as usize].name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the graph in Graphviz DOT format, clustering nodes by
+    /// concurrent block.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{bi} {{");
+            let _ = writeln!(out, "    label=\"{} (cb{bi})\";", block.name);
+            for (ni, n) in self.nodes.iter().enumerate() {
+                if n.block.0 as usize == bi {
+                    let _ = writeln!(out, "    n{ni} [label=\"{}: {}\"];", n.label, n.kind.mnemonic());
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (ni, n) in self.nodes.iter().enumerate() {
+            for (pi, targets) in n.outs.iter().enumerate() {
+                for t in targets {
+                    let _ = writeln!(out, "  n{ni} -> n{} [label=\"o{pi}->i{}\"];", t.node.0, t.port);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Mutable graph construction helper used by the lowering passes.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    blocks: Vec<BlockInfo>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a concurrent block.
+    pub fn add_block(&mut self, name: &str, parent: Option<BlockId>, is_loop: bool) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockInfo { name: name.to_string(), parent, is_loop });
+        id
+    }
+
+    /// Adds a node with `n_outs` (initially unwired) output ports.
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        block: BlockId,
+        ins: Vec<InKind>,
+        n_outs: usize,
+        label: impl Into<String>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, block, ins, outs: vec![Vec::new(); n_outs], label: label.into() });
+        id
+    }
+
+    /// Wires output `from_port` of `from` to input `to.port` of `to.node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port does not exist, or the input is an immediate.
+    pub fn connect(&mut self, from: NodeId, from_port: u16, to: PortRef) {
+        {
+            let dst = &self.nodes[to.node.0 as usize];
+            assert!(
+                (to.port as usize) < dst.ins.len(),
+                "no input port {} on {} ({})",
+                to.port,
+                to.node,
+                dst.label
+            );
+            assert!(
+                matches!(dst.ins[to.port as usize], InKind::Wire),
+                "input {} of {} is an immediate",
+                to.port,
+                to.node
+            );
+        }
+        let src = &mut self.nodes[from.0 as usize];
+        assert!(
+            (from_port as usize) < src.outs.len(),
+            "no output port {from_port} on {from} ({})",
+            src.label
+        );
+        src.outs[from_port as usize].push(to);
+    }
+
+    /// Converts a (still unwired) input port into an immediate. Used when a
+    /// node must be created before its operand sources are known (e.g. a
+    /// loop's backedge changeTags, created before the body is lowered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn set_imm(&mut self, node: NodeId, port: u16, value: Value) {
+        let n = &mut self.nodes[node.0 as usize];
+        assert!((port as usize) < n.ins.len(), "no input port {port} on {node}");
+        n.ins[port as usize] = InKind::Imm(value);
+    }
+
+    /// Number of nodes so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Read access to a node under construction.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Finalizes the graph. `n_returns` is the number of program outputs
+    /// (the first `n_returns` sink inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source`/`sink` do not refer to Source/Sink nodes, or the
+    /// sink has fewer than `n_returns` inputs.
+    pub fn finish(self, source: NodeId, sink: NodeId, n_returns: usize) -> Dfg {
+        assert!(matches!(self.nodes[source.0 as usize].kind, NodeKind::Source));
+        assert!(matches!(self.nodes[sink.0 as usize].kind, NodeKind::Sink));
+        assert!(self.nodes[sink.0 as usize].ins.len() >= n_returns);
+        Dfg { nodes: self.nodes, blocks: self.blocks, source, sink, n_returns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_encoding_round_trips() {
+        for (n, p) in [(0u32, 0u16), (1, 2), (65_535, 7), (1_000_000, 3)] {
+            let r = PortRef { node: NodeId(n), port: p };
+            assert_eq!(PortRef::decode(r.encode()), r);
+        }
+    }
+
+    #[test]
+    fn alloc_reserve() {
+        assert_eq!(AllocKind::External.reserve(), 1);
+        assert_eq!(AllocKind::Tail.reserve(), 0);
+        assert_eq!(AllocKind::Call.reserve(), 0);
+    }
+
+    #[test]
+    fn builder_wires_ports() {
+        let mut g = GraphBuilder::new();
+        let root = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, root, vec![], 1, "src");
+        let add = g.add_node(
+            NodeKind::Alu(AluOp::Add),
+            root,
+            vec![InKind::Wire, InKind::Imm(5)],
+            1,
+            "add",
+        );
+        let sink = g.add_node(NodeKind::Sink, root, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: add, port: 0 });
+        g.connect(add, 0, PortRef { node: sink, port: 0 });
+        let dfg = g.finish(src, sink, 0);
+        assert_eq!(dfg.len(), 3);
+        assert_eq!(dfg.node(src).outs[0], vec![PortRef { node: add, port: 0 }]);
+        assert_eq!(dfg.max_wired_inputs(), 1);
+        assert_eq!(dfg.block_by_name("main"), Some(ROOT_BLOCK));
+        assert_eq!(dfg.block_by_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "is an immediate")]
+    fn connect_to_immediate_panics() {
+        let mut g = GraphBuilder::new();
+        let root = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, root, vec![], 1, "src");
+        let add =
+            g.add_node(NodeKind::Alu(AluOp::Add), root, vec![InKind::Wire, InKind::Imm(5)], 1, "add");
+        g.connect(src, 0, PortRef { node: add, port: 1 });
+    }
+
+    #[test]
+    fn dot_export_mentions_blocks_and_edges() {
+        let mut g = GraphBuilder::new();
+        let root = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, root, vec![], 1, "src");
+        let sink = g.add_node(NodeKind::Sink, root, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: sink, port: 0 });
+        let dot = g.finish(src, sink, 0).to_dot();
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("source"));
+    }
+}
+
+#[cfg(test)]
+mod check_tests {
+    use super::*;
+    use crate::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+
+    fn nested_program() -> tyr_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, acc, nn] = f.begin_loop("outer", [0.into(), 0.into(), n]);
+        let c = f.lt(i, nn);
+        f.begin_body(c);
+        let [j, ia, ii] = f.begin_loop("inner", [0.into(), acc, i]);
+        let cj = f.lt(j, ii);
+        f.begin_body(cj);
+        let ia2 = f.add(ia, 1);
+        let j2 = f.add(j, 1);
+        let [out] = f.end_loop([j2, ia2, ii], [ia]);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, out, nn], [acc]);
+        pb.finish(f, [total])
+    }
+
+    #[test]
+    fn lowered_graphs_pass_check() {
+        let p = nested_program();
+        for d in [
+            TaggingDiscipline::Tyr,
+            TaggingDiscipline::UnorderedBounded,
+            TaggingDiscipline::UnorderedUnbounded,
+        ] {
+            lower_tagged(&p, d).unwrap().check().unwrap();
+        }
+        lower_ordered(&p).unwrap().check().unwrap();
+    }
+
+    #[test]
+    fn check_rejects_nodes_without_wired_inputs() {
+        let mut g = GraphBuilder::new();
+        let b = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, b, vec![], 1, "src");
+        let orphan = g.add_node(
+            NodeKind::Alu(tyr_ir::AluOp::Add),
+            b,
+            vec![InKind::Imm(1), InKind::Imm(2)],
+            1,
+            "orphan",
+        );
+        let sink = g.add_node(NodeKind::Sink, b, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: sink, port: 0 });
+        let _ = orphan;
+        let dfg = g.finish(src, sink, 1);
+        let err = dfg.check().unwrap_err();
+        assert!(err.contains("no wired inputs"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_edge_into_immediate() {
+        let mut g = GraphBuilder::new();
+        let b = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, b, vec![], 1, "src");
+        let add = g.add_node(
+            NodeKind::Alu(tyr_ir::AluOp::Add),
+            b,
+            vec![InKind::Wire, InKind::Wire],
+            1,
+            "add",
+        );
+        let sink = g.add_node(NodeKind::Sink, b, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: add, port: 0 });
+        g.connect(src, 0, PortRef { node: add, port: 1 });
+        g.connect(add, 0, PortRef { node: sink, port: 0 });
+        // set_imm after wiring leaves a dangling edge into an immediate.
+        g.set_imm(add, 1, 5);
+        let dfg = g.finish(src, sink, 1);
+        let err = dfg.check().unwrap_err();
+        assert!(err.contains("immediate input"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_unfreed_space() {
+        let mut g = GraphBuilder::new();
+        let root = g.add_block("main", None, false);
+        let child = g.add_block("loop", Some(root), true);
+        let src = g.add_node(NodeKind::Source, root, vec![], 1, "src");
+        let al = g.add_node(
+            NodeKind::Allocate { space: child, kind: AllocKind::Call },
+            root,
+            vec![InKind::Wire, InKind::Wire],
+            2,
+            "al",
+        );
+        // A free for a DIFFERENT space makes the graph "barrier mode".
+        let fr = g.add_node(NodeKind::Free { space: root }, root, vec![InKind::Wire], 0, "fr");
+        let sink = g.add_node(NodeKind::Sink, root, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: al, port: 0 });
+        g.connect(src, 0, PortRef { node: al, port: 1 });
+        g.connect(al, 0, PortRef { node: sink, port: 0 });
+        g.connect(al, 1, PortRef { node: fr, port: 0 });
+        let dfg = g.finish(src, sink, 1);
+        let err = dfg.check().unwrap_err();
+        assert!(err.contains("never freed"), "{err}");
+    }
+}

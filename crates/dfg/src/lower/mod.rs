@@ -1,0 +1,101 @@
+//! Lowering from the structured IR to executable dataflow graphs — the
+//! paper's compiler back-end (Sec. IV-C): UDIR's abstract `enter`/`exit`
+//! block boundaries become concrete token-synchronization linkage.
+//!
+//! Three lowerings are provided:
+//!
+//! * [`lower_tagged`] with [`TaggingDiscipline::Tyr`] — TYR's
+//!   concurrent-block linkage (Fig. 10): per-block `allocate`, argument
+//!   `changeTag`s, ready-`join`s, the completion `join` + `free` barrier,
+//!   and unconditional control outputs on `store`/`steer`/`changeTag`/
+//!   `allocate` so the barrier covers every instruction (Sec. IV-A).
+//! * [`lower_tagged`] with [`TaggingDiscipline::UnorderedBounded`] —
+//!   structurally the same graph; the engine's tag policy then draws all
+//!   allocations FCFS from one bounded global pool, reproducing the
+//!   deadlock of Fig. 11.
+//! * [`lower_tagged`] with [`TaggingDiscipline::UnorderedUnbounded`] — the
+//!   naïve unordered dataflow elaboration (Fig. 7a): plain tag-generation
+//!   (`T`) nodes, no ready joins, no barriers, no frees.
+//! * [`lower_ordered`] — untagged ordered dataflow with controlled merges
+//!   and bounded FIFO edges (RipTide-style; Sec. II-C).
+
+mod ordered;
+mod tagged;
+pub(crate) mod util;
+
+use std::fmt;
+
+pub use ordered::lower_ordered;
+pub use tagged::lower_tagged;
+
+use tyr_ir::validate::ValidateError;
+
+/// Which token-synchronization elaboration to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaggingDiscipline {
+    /// Local tag spaces with forward-progress guarantees (the paper's
+    /// contribution).
+    Tyr,
+    /// Global tag space, bounded pool, no forward-progress gating; deadlocks
+    /// under tag pressure (Fig. 11). Graph is identical to `Tyr` — the
+    /// engine's tag policy selects the pool behavior.
+    UnorderedBounded,
+    /// Global tag space with unlimited tags (TTDA/Monsoon-style baseline).
+    UnorderedUnbounded,
+}
+
+impl TaggingDiscipline {
+    /// Whether this elaboration builds free barriers (joins, frees, and
+    /// control outputs).
+    pub fn has_barriers(self) -> bool {
+        !matches!(self, TaggingDiscipline::UnorderedUnbounded)
+    }
+}
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The input program failed validation.
+    Validate(ValidateError),
+    /// A loop's condition folded to a constant (either an infinite loop or a
+    /// dead loop); not supported by the lowering.
+    ConstLoopCond {
+        /// The loop's label.
+        label: String,
+    },
+    /// The entry function returns no values, so program completion would be
+    /// unobservable. Return something (e.g. a checksum).
+    EntryReturnsNothing,
+    /// Constant folding hit an arithmetic fault (e.g. a literal division by
+    /// zero).
+    ConstFold(tyr_ir::AluError),
+    /// The ordered lowering requires a call-free program and inlining was
+    /// disabled.
+    OrderedNeedsInline,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::Validate(e) => write!(f, "validation failed: {e}"),
+            LowerError::ConstLoopCond { label } => {
+                write!(f, "loop '{label}' has a constant condition")
+            }
+            LowerError::EntryReturnsNothing => {
+                write!(f, "entry function must return at least one value")
+            }
+            LowerError::ConstFold(e) => write!(f, "constant folding fault: {e}"),
+            LowerError::OrderedNeedsInline => {
+                write!(f, "ordered lowering requires a call-free (inlined) program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<ValidateError> for LowerError {
+    fn from(e: ValidateError) -> Self {
+        LowerError::Validate(e)
+    }
+}

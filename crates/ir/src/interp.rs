@@ -1,0 +1,630 @@
+//! Sequential reference interpreter.
+//!
+//! This is both:
+//!
+//! * the **correctness oracle** — every dataflow engine's output memory is
+//!   compared against it in tests, and
+//! * the **sequential von Neumann baseline** of the paper's evaluation
+//!   (Sec. II-C / Fig. 5a): one instruction retires per cycle, and live state
+//!   is the number of bound values across the activation stack (the machine's
+//!   architectural registers + stack).
+//!
+//! Hook the per-instruction stream via [`Tracer`] (used by
+//! `tyr-sim`'s vN engine to record cycles, IPC, and live state).
+
+use std::fmt;
+
+use crate::memory::{MemError, MemoryImage};
+use crate::program::{Program, Region, Stmt};
+use crate::types::{AluError, FuncId, Operand, Value, Var};
+
+/// Observes the dynamic instruction stream of the interpreter.
+pub trait Tracer {
+    /// Called once per retired dynamic instruction, with the number of live
+    /// (bound) values across all activation frames after the instruction.
+    fn on_instr(&mut self, live_values: u64);
+
+    /// Richer hook carrying exact def-use identities, for dependence-aware
+    /// models (e.g. the out-of-order window engine): `def` is this
+    /// instruction's definition id (every dynamic instruction gets a fresh
+    /// one) and `srcs` are the definition ids of its operands (`0` for
+    /// constants and program arguments). The default forwards to
+    /// [`Tracer::on_instr`].
+    fn on_instr_deps(&mut self, live_values: u64, def: u64, srcs: &[u64]) {
+        let _ = (def, srcs);
+        self.on_instr(live_values);
+    }
+}
+
+/// A tracer that ignores everything (for oracle runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopTracer;
+
+impl Tracer for NopTracer {
+    fn on_instr(&mut self, _live_values: u64) {}
+}
+
+/// Result of a successful interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpOutput {
+    /// The entry function's return values.
+    pub returns: Vec<Value>,
+    /// Total dynamic instructions retired.
+    pub dyn_instrs: u64,
+}
+
+/// Interpreter error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Arithmetic fault.
+    Alu(AluError),
+    /// Memory fault.
+    Mem(MemError),
+    /// Read of a variable that was never bound (a validation gap).
+    Unbound(Var),
+    /// Argument count does not match the entry function's parameters.
+    ArityMismatch {
+        /// Expected parameter count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// The configured instruction budget was exhausted (runaway loop guard).
+    OutOfFuel,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Alu(e) => write!(f, "alu fault: {e}"),
+            InterpError::Mem(e) => write!(f, "memory fault: {e}"),
+            InterpError::Unbound(v) => write!(f, "use of unbound variable {v}"),
+            InterpError::ArityMismatch { expected, got } => {
+                write!(f, "entry expects {expected} arguments, got {got}")
+            }
+            InterpError::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<AluError> for InterpError {
+    fn from(e: AluError) -> Self {
+        InterpError::Alu(e)
+    }
+}
+
+impl From<MemError> for InterpError {
+    fn from(e: MemError) -> Self {
+        InterpError::Mem(e)
+    }
+}
+
+/// Runs `program` on `mem` with the given arguments and a default fuel of
+/// `u64::MAX`, without tracing.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run(
+    program: &Program,
+    mem: &mut MemoryImage,
+    args: &[Value],
+) -> Result<InterpOutput, InterpError> {
+    run_traced(program, mem, args, u64::MAX, &mut NopTracer)
+}
+
+/// Runs `program` with an instruction budget and a [`Tracer`].
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run_traced<T: Tracer>(
+    program: &Program,
+    mem: &mut MemoryImage,
+    args: &[Value],
+    fuel: u64,
+    tracer: &mut T,
+) -> Result<InterpOutput, InterpError> {
+    let entry = program.entry_func();
+    if args.len() != entry.params.len() {
+        return Err(InterpError::ArityMismatch { expected: entry.params.len(), got: args.len() });
+    }
+    let mut interp = Interp { program, mem, tracer, fuel, retired: 0, live: 0, next_def: 0 };
+    let arg_defs: Vec<(Value, u64)> = args.iter().map(|&a| (a, 0)).collect();
+    let returns = interp.call(program.entry, &arg_defs)?.into_iter().map(|(v, _)| v).collect();
+    Ok(InterpOutput { returns, dyn_instrs: interp.retired })
+}
+
+/// One activation frame: variable bindings (and their definition ids) for a
+/// function instance.
+struct Frame {
+    env: Vec<Option<Value>>,
+    defs: Vec<u64>,
+}
+
+impl Frame {
+    fn get(&self, v: Var) -> Result<Value, InterpError> {
+        self.env.get(v.0 as usize).copied().flatten().ok_or(InterpError::Unbound(v))
+    }
+}
+
+struct Interp<'a, T: Tracer> {
+    program: &'a Program,
+    mem: &'a mut MemoryImage,
+    tracer: &'a mut T,
+    fuel: u64,
+    retired: u64,
+    /// Bound values across all frames (the vN live-state metric).
+    live: u64,
+    /// Monotonic definition-id counter (0 = constants/arguments).
+    next_def: u64,
+}
+
+impl<'a, T: Tracer> Interp<'a, T> {
+    fn fresh_def(&mut self) -> u64 {
+        self.next_def += 1;
+        self.next_def
+    }
+
+    fn retire(&mut self, def: u64, srcs: &[u64]) -> Result<(), InterpError> {
+        if self.retired >= self.fuel {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.retired += 1;
+        self.tracer.on_instr_deps(self.live, def, srcs);
+        Ok(())
+    }
+
+    fn bind(&mut self, frame: &mut Frame, v: Var, value: Value, def: u64) {
+        let slot = &mut frame.env[v.0 as usize];
+        if slot.is_none() {
+            self.live += 1;
+        }
+        *slot = Some(value);
+        frame.defs[v.0 as usize] = def;
+    }
+
+    fn unbind(&mut self, frame: &mut Frame, v: Var) {
+        let slot = &mut frame.env[v.0 as usize];
+        if slot.is_some() {
+            self.live -= 1;
+        }
+        *slot = None;
+        frame.defs[v.0 as usize] = 0;
+    }
+
+    fn operand(&self, frame: &Frame, o: Operand) -> Result<Value, InterpError> {
+        match o {
+            Operand::Var(v) => frame.get(v),
+            Operand::Const(c) => Ok(c),
+        }
+    }
+
+    /// Definition id of an operand (0 for constants).
+    fn dep(&self, frame: &Frame, o: Operand) -> u64 {
+        match o {
+            Operand::Var(v) => frame.defs[v.0 as usize],
+            Operand::Const(_) => 0,
+        }
+    }
+
+    fn call(&mut self, func: FuncId, args: &[(Value, u64)]) -> Result<Vec<(Value, u64)>, InterpError> {
+        let f = self.program.func(func);
+        debug_assert_eq!(f.params.len(), args.len(), "call arity to '{}'", f.name);
+        let mut frame =
+            Frame { env: vec![None; f.n_vars as usize], defs: vec![0; f.n_vars as usize] };
+        for (&p, &(a, d)) in f.params.iter().zip(args) {
+            self.bind(&mut frame, p, a, d);
+        }
+        self.exec_region(&f.body, &mut frame)?;
+        let rets: Vec<(Value, u64)> = f
+            .returns
+            .iter()
+            .map(|&r| Ok((self.operand(&frame, r)?, self.dep(&frame, r))))
+            .collect::<Result<_, InterpError>>()?;
+        // Frame teardown: all its bindings die.
+        self.live -= frame.env.iter().filter(|s| s.is_some()).count() as u64;
+        Ok(rets)
+    }
+
+    fn exec_region(&mut self, region: &Region, frame: &mut Frame) -> Result<(), InterpError> {
+        for stmt in &region.stmts {
+            self.exec_stmt(stmt, frame)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<(), InterpError> {
+        match stmt {
+            Stmt::Op { dst, op, lhs, rhs } => {
+                let a = self.operand(frame, *lhs)?;
+                let b = self.operand(frame, *rhs)?;
+                let (da, db) = (self.dep(frame, *lhs), self.dep(frame, *rhs));
+                let v = op.eval(a, b)?;
+                let def = self.fresh_def();
+                self.bind(frame, *dst, v, def);
+                self.retire(def, &[da, db])?;
+            }
+            Stmt::Load { dst, addr } => {
+                let a = self.operand(frame, *addr)?;
+                let da = self.dep(frame, *addr);
+                let v = self.mem.load(a)?;
+                let def = self.fresh_def();
+                self.bind(frame, *dst, v, def);
+                self.retire(def, &[da])?;
+            }
+            Stmt::Store { addr, value } => {
+                let a = self.operand(frame, *addr)?;
+                let v = self.operand(frame, *value)?;
+                let (da, dv) = (self.dep(frame, *addr), self.dep(frame, *value));
+                self.mem.store(a, v)?;
+                let def = self.fresh_def();
+                self.retire(def, &[da, dv])?;
+            }
+            Stmt::StoreAdd { addr, value } => {
+                let a = self.operand(frame, *addr)?;
+                let v = self.operand(frame, *value)?;
+                let (da, dv) = (self.dep(frame, *addr), self.dep(frame, *value));
+                self.mem.fetch_add(a, v)?;
+                let def = self.fresh_def();
+                self.retire(def, &[da, dv])?;
+            }
+            Stmt::Select { dst, cond, on_true, on_false } => {
+                let c = self.operand(frame, *cond)?;
+                let v = if c != 0 {
+                    self.operand(frame, *on_true)?
+                } else {
+                    self.operand(frame, *on_false)?
+                };
+                let srcs = [
+                    self.dep(frame, *cond),
+                    self.dep(frame, *on_true),
+                    self.dep(frame, *on_false),
+                ];
+                let def = self.fresh_def();
+                self.bind(frame, *dst, v, def);
+                self.retire(def, &srcs)?;
+            }
+            Stmt::If(i) => {
+                let c = self.operand(frame, *cond_of(i))?;
+                let dc = self.dep(frame, *cond_of(i));
+                let branch_def = self.fresh_def();
+                self.retire(branch_def, &[dc])?; // the branch
+                let (taken, merge_side) =
+                    if c != 0 { (&i.then_region, 0) } else { (&i.else_region, 1) };
+                self.exec_region(taken, frame)?;
+                let merged: Vec<(Var, Value, u64)> = i
+                    .merges
+                    .iter()
+                    .map(|&(d, t, e)| {
+                        let src = if merge_side == 0 { t } else { e };
+                        self.operand(frame, src).map(|v| (d, v, self.dep(frame, src)))
+                    })
+                    .collect::<Result<_, _>>()?;
+                // Kill branch-local bindings before binding merges.
+                for v in region_defs(taken) {
+                    self.unbind(frame, v);
+                }
+                for (d, v, dd) in merged {
+                    self.bind(frame, d, v, dd);
+                }
+            }
+            Stmt::Loop(l) => {
+                // Bind carried vars to their initial values.
+                let inits: Vec<(Var, Value, u64)> = l
+                    .carried
+                    .iter()
+                    .map(|&(v, init)| {
+                        self.operand(frame, init).map(|x| (v, x, self.dep(frame, init)))
+                    })
+                    .collect::<Result<_, _>>()?;
+                for (v, x, d) in inits {
+                    self.bind(frame, v, x, d);
+                }
+                loop {
+                    self.exec_region(&l.pre, frame)?;
+                    let c = self.operand(frame, l.cond)?;
+                    let dc = self.dep(frame, l.cond);
+                    let branch_def = self.fresh_def();
+                    self.retire(branch_def, &[dc])?; // the loop branch
+                    if c == 0 {
+                        break;
+                    }
+                    self.exec_region(&l.body, frame)?;
+                    let nexts: Vec<(Value, u64)> = l
+                        .next
+                        .iter()
+                        .map(|&n| self.operand(frame, n).map(|v| (v, self.dep(frame, n))))
+                        .collect::<Result<_, _>>()?;
+                    for (&(v, _), (x, d)) in l.carried.iter().zip(nexts) {
+                        self.bind(frame, v, x, d);
+                    }
+                }
+                // Evaluate exits over carried/pre vars, then kill the loop's scope.
+                let exits: Vec<(Var, Value, u64)> = l
+                    .exits
+                    .iter()
+                    .map(|&(d, src)| {
+                        self.operand(frame, src).map(|v| (d, v, self.dep(frame, src)))
+                    })
+                    .collect::<Result<_, _>>()?;
+                for (v, _) in &l.carried {
+                    self.unbind(frame, *v);
+                }
+                for v in region_defs(&l.pre).chain(region_defs(&l.body)) {
+                    self.unbind(frame, v);
+                }
+                for (d, v, dd) in exits {
+                    self.bind(frame, d, v, dd);
+                }
+            }
+            Stmt::Call { func, args, rets } => {
+                let argv: Vec<(Value, u64)> = args
+                    .iter()
+                    .map(|&a| self.operand(frame, a).map(|v| (v, self.dep(frame, a))))
+                    .collect::<Result<_, _>>()?;
+                let arg_deps: Vec<u64> = argv.iter().map(|&(_, d)| d).collect();
+                let call_def = self.fresh_def();
+                self.retire(call_def, &arg_deps)?; // the call
+                let retv = self.call(*func, &argv)?;
+                let ret_deps: Vec<u64> = retv.iter().map(|&(_, d)| d).collect();
+                let ret_def = self.fresh_def();
+                self.retire(ret_def, &ret_deps)?; // the return
+                debug_assert_eq!(retv.len(), rets.len(), "return arity");
+                for (&d, (v, dd)) in rets.iter().zip(retv) {
+                    self.bind(frame, d, v, dd);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cond_of(i: &crate::program::IfStmt) -> &Operand {
+    &i.cond
+}
+
+/// All variables defined anywhere inside a region (recursively).
+fn region_defs(region: &Region) -> impl Iterator<Item = Var> + '_ {
+    let mut out = Vec::new();
+    collect_defs(region, &mut out);
+    out.into_iter()
+}
+
+fn collect_defs(region: &Region, out: &mut Vec<Var>) {
+    for stmt in &region.stmts {
+        out.extend(stmt.defs());
+        match stmt {
+            Stmt::Loop(l) => {
+                out.extend(l.carried.iter().map(|&(v, _)| v));
+                collect_defs(&l.pre, out);
+                collect_defs(&l.body, out);
+            }
+            Stmt::If(i) => {
+                collect_defs(&i.then_region, out);
+                collect_defs(&i.else_region, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::types::NO_OPERANDS;
+
+    /// A tracer that records the peak live-value count.
+    #[derive(Default)]
+    struct PeakTracer {
+        peak: u64,
+        instrs: u64,
+    }
+
+    impl Tracer for PeakTracer {
+        fn on_instr(&mut self, live: u64) {
+            self.peak = self.peak.max(live);
+            self.instrs += 1;
+        }
+    }
+
+    fn sum_to_n_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, acc, n] = f.begin_loop("sum", [0.into(), 0.into(), n]);
+        let c = f.lt(i, n);
+        f.begin_body(c);
+        let acc2 = f.add(acc, i);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc2, n], [acc]);
+        pb.finish(f, [total])
+    }
+
+    #[test]
+    fn sum_loop() {
+        let p = sum_to_n_program();
+        let mut mem = MemoryImage::new();
+        let out = run(&p, &mut mem, &[100]).unwrap();
+        assert_eq!(out.returns, vec![4950]);
+        // Per iteration: lt + branch + add + add = 4, plus the final test (lt
+        // + branch) = 2.
+        assert_eq!(out.dyn_instrs, 100 * 4 + 2);
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let p = sum_to_n_program();
+        let mut mem = MemoryImage::new();
+        assert_eq!(
+            run(&p, &mut mem, &[]),
+            Err(InterpError::ArityMismatch { expected: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn fuel_limit() {
+        let p = sum_to_n_program();
+        let mut mem = MemoryImage::new();
+        let err = run_traced(&p, &mut mem, &[1_000_000], 10, &mut NopTracer).unwrap_err();
+        assert_eq!(err, InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn memory_ops() {
+        let mut mem = MemoryImage::new();
+        let a = mem.alloc_init("a", &[5, 7]);
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let x = f.load(a.base_const());
+        let y = f.load(a.base_const() + 1);
+        let s = f.add(x, y);
+        f.store(a.base_const(), s);
+        f.store_add(a.base_const() + 1, 100);
+        let p = pb.finish(f, NO_OPERANDS);
+        run(&p, &mut mem, &[]).unwrap();
+        assert_eq!(mem.slice(a), &[12, 107]);
+    }
+
+    #[test]
+    fn live_state_is_bounded_by_scope() {
+        // A loop that binds body vars every iteration must not leak live
+        // count across iterations; after the loop the scope dies.
+        let p = sum_to_n_program();
+        let mut mem = MemoryImage::new();
+        let mut t = PeakTracer::default();
+        run_traced(&p, &mut mem, &[1000], u64::MAX, &mut t).unwrap();
+        // main frame holds: n, i, acc, lt-result, add results, total.
+        assert!(t.peak < 12, "vN live state should be register-like, got {}", t.peak);
+        assert!(t.instrs > 0);
+    }
+
+    #[test]
+    fn div_by_zero_faults() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let x = f.param(0);
+        let d = f.div(1, x);
+        let p = pb.finish(f, [d]);
+        let mut mem = MemoryImage::new();
+        assert_eq!(run(&p, &mut mem, &[0]), Err(InterpError::Alu(AluError::DivByZero)));
+        assert_eq!(run(&p, &mut mem, &[2]).unwrap().returns, vec![0]);
+    }
+
+    #[test]
+    fn nested_loops_match_closed_form() {
+        // sum_{i<8} sum_{j<i} (i*j)
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("outer", [0, 0]);
+        let c = f.lt(i, 8);
+        f.begin_body(c);
+        let [j, inner_acc, ii] = f.begin_loop("inner", [0.into(), acc, i]);
+        let cj = f.lt(j, ii);
+        f.begin_body(cj);
+        let prod = f.mul(ii, j);
+        let ia2 = f.add(inner_acc, prod);
+        let j2 = f.add(j, 1);
+        let [acc_out] = f.end_loop([j2, ia2, ii], [inner_acc]);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc_out], [acc]);
+        let p = pb.finish(f, [total]);
+        let mut mem = MemoryImage::new();
+        let expected: i64 = (0..8).flat_map(|i| (0..i).map(move |j| i * j)).sum();
+        assert_eq!(run(&p, &mut mem, &[]).unwrap().returns, vec![expected]);
+    }
+
+    #[test]
+    fn if_kills_branch_locals() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let x = f.param(0);
+        let c = f.gt(x, 0);
+        f.begin_if(c);
+        let a = f.add(x, 1);
+        let b = f.add(a, 1);
+        f.begin_else();
+        let e = f.sub(x, 1);
+        let [m] = f.end_if([(b, e)]);
+        let p = pb.finish(f, [m]);
+        let mut mem = MemoryImage::new();
+        let mut t = PeakTracer::default();
+        let out = run_traced(&p, &mut mem, &[5], u64::MAX, &mut t).unwrap();
+        assert_eq!(out.returns, vec![7]);
+        let out = run(&p, &mut mem, &[-5]).unwrap();
+        assert_eq!(out.returns, vec![-6]);
+    }
+}
+
+#[cfg(test)]
+mod dep_tests {
+    //! The def-use stream exposed through [`Tracer::on_instr_deps`] must
+    //! reflect true dependences (consumed by the OoO engine).
+
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    #[derive(Default)]
+    struct DepRecorder {
+        events: Vec<(u64, Vec<u64>)>,
+    }
+
+    impl Tracer for DepRecorder {
+        fn on_instr(&mut self, _live: u64) {
+            unreachable!("interp must call on_instr_deps");
+        }
+        fn on_instr_deps(&mut self, _live: u64, def: u64, srcs: &[u64]) {
+            self.events.push((def, srcs.to_vec()));
+        }
+    }
+
+    #[test]
+    fn defs_are_fresh_and_srcs_point_backwards() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let x = f.param(0);
+        let a = f.add(x, 1); // srcs: [param(0)=0, const=0]
+        let b = f.mul(a, a); // srcs: [def(a), def(a)]
+        let _c = f.sub(b, x); // srcs: [def(b), 0]
+        let p = pb.finish(f, [b]);
+        let mut mem = MemoryImage::new();
+        let mut t = DepRecorder::default();
+        run_traced(&p, &mut mem, &[3], u64::MAX, &mut t).unwrap();
+        assert_eq!(t.events.len(), 3);
+        let (def_a, srcs_a) = &t.events[0];
+        assert_eq!(srcs_a, &vec![0, 0]);
+        let (def_b, srcs_b) = &t.events[1];
+        assert_eq!(srcs_b, &vec![*def_a, *def_a]);
+        let (def_c, srcs_c) = &t.events[2];
+        assert_eq!(srcs_c, &vec![*def_b, 0]);
+        // Defs strictly increase.
+        assert!(def_a < def_b && def_b < def_c);
+    }
+
+    #[test]
+    fn loop_carried_deps_cross_iterations() {
+        // acc chains through iterations: each add's src includes the
+        // previous iteration's add.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("l", [0, 0]);
+        let c = f.lt(i, 3);
+        f.begin_body(c);
+        let acc2 = f.add(acc, 10);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2], [acc]);
+        let p = pb.finish(f, [out]);
+        let mut mem = MemoryImage::new();
+        let mut t = DepRecorder::default();
+        run_traced(&p, &mut mem, &[], u64::MAX, &mut t).unwrap();
+        // Per iteration: lt, branch, add(acc), add(i); final: lt, branch.
+        assert_eq!(t.events.len(), 3 * 4 + 2);
+        // The acc-adds are events 2, 6, 10; each sources the previous one.
+        let acc_defs: Vec<u64> = [2usize, 6, 10].iter().map(|&k| t.events[k].0).collect();
+        assert_eq!(t.events[6].1[0], acc_defs[0]);
+        assert_eq!(t.events[10].1[0], acc_defs[1]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Structured dataflow IR for the TYR reproduction — the role UDIR plays in
+//! the paper (Sec. IV-C).
+//!
+//! Programs are built with the [`build`] DSL, statically checked with
+//! [`validate`], and consumed by:
+//!
+//! * [`interp`] — the sequential reference interpreter (correctness oracle
+//!   and the sequential von Neumann baseline of the evaluation);
+//! * `tyr-dfg`'s lowering passes, which elaborate the structured form into
+//!   per-architecture dataflow graphs (TYR's concurrent-block linkage, naïve
+//!   unordered tagging, ordered FIFO dataflow).
+//!
+//! The IR's structural rules mirror the paper's assumptions:
+//!
+//! * **Concurrent blocks are DAGs.** Loop bodies and function bodies are
+//!   straight-line/forward-branching code with statically-single-assigned
+//!   variables.
+//! * **Blocks communicate only through transfer points.** A loop body may
+//!   reference *only* its carried variables (loop-invariant inputs are
+//!   carried through, just as Fig. 10 passes block arguments), and function
+//!   bodies only their parameters.
+//! * **Control flow is reducible** by construction; the call graph must be
+//!   acyclic (general recursion is transformed to loops + an explicit stack,
+//!   as in Theorem 1).
+//!
+//! # Example
+//!
+//! ```
+//! use tyr_ir::build::ProgramBuilder;
+//! use tyr_ir::{interp, validate::validate, MemoryImage};
+//!
+//! let mut mem = MemoryImage::new();
+//! let xs = mem.alloc_init("xs", &[3, 1, 4, 1, 5]);
+//!
+//! // Sum an array.
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.func("main", 0);
+//! let [i, acc] = f.begin_loop("sum", [0, 0]);
+//! let cont = f.lt(i, xs.len as i64);
+//! f.begin_body(cont);
+//! let addr = f.add(i, xs.base_const());
+//! let x = f.load(addr);
+//! let acc2 = f.add(acc, x);
+//! let i2 = f.add(i, 1);
+//! let [total] = f.end_loop([i2, acc2], [acc]);
+//! let program = pb.finish(f, [total]);
+//!
+//! validate(&program)?;
+//! let out = interp::run(&program, &mut mem, &[])?;
+//! assert_eq!(out.returns, vec![14]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod inline;
+pub mod interp;
+pub mod memory;
+pub mod pretty;
+pub mod program;
+pub mod types;
+pub mod validate;
+
+pub use memory::{ArrayRef, MemError, MemoryImage};
+pub use program::{Function, IfStmt, LoopStmt, Program, Region, Stmt};
+pub use types::{AluError, AluOp, FuncId, LoopId, Operand, Value, Var, NO_OPERANDS};

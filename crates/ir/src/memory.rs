@@ -1,0 +1,196 @@
+//! The simulated flat word memory.
+//!
+//! All engines share this model (Sec. VI: idealized single-cycle memory).
+//! Arrays are allocated as named segments of a flat `i64` word space;
+//! kernels bake the returned base addresses into their instruction stream as
+//! immediates, exactly as a compiler would with static data.
+
+use std::fmt;
+
+use crate::types::Value;
+
+/// A named array segment within a [`MemoryImage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayRef {
+    /// First word address of the segment.
+    pub base: usize,
+    /// Length in words.
+    pub len: usize,
+}
+
+impl ArrayRef {
+    /// The base address as an instruction immediate.
+    pub fn base_const(&self) -> Value {
+        self.base as Value
+    }
+}
+
+/// Error for out-of-bounds or malformed memory accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Address outside the allocated word space (or negative).
+    OutOfBounds {
+        /// The offending word address.
+        addr: Value,
+        /// Allocated size in words.
+        size: usize,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, size } => {
+                write!(f, "memory access at {addr} out of bounds (size {size} words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A flat, bounds-checked word memory with named array segments.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryImage {
+    words: Vec<Value>,
+    arrays: Vec<(String, ArrayRef)>,
+}
+
+impl MemoryImage {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a zero-initialized array of `len` words.
+    pub fn alloc(&mut self, name: &str, len: usize) -> ArrayRef {
+        let base = self.words.len();
+        self.words.resize(base + len, 0);
+        let r = ArrayRef { base, len };
+        self.arrays.push((name.to_string(), r));
+        r
+    }
+
+    /// Allocates an array initialized with `data`.
+    pub fn alloc_init(&mut self, name: &str, data: &[Value]) -> ArrayRef {
+        let r = self.alloc(name, data.len());
+        self.words[r.base..r.base + r.len].copy_from_slice(data);
+        r
+    }
+
+    /// Looks up an array by name (first match).
+    pub fn array(&self, name: &str) -> Option<ArrayRef> {
+        self.arrays.iter().find(|(n, _)| n == name).map(|&(_, r)| r)
+    }
+
+    /// Returns the contents of an array segment.
+    pub fn slice(&self, r: ArrayRef) -> &[Value] {
+        &self.words[r.base..r.base + r.len]
+    }
+
+    /// Returns the mutable contents of an array segment.
+    pub fn slice_mut(&mut self, r: ArrayRef) -> &mut [Value] {
+        &mut self.words[r.base..r.base + r.len]
+    }
+
+    /// Total allocated words.
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    fn index(&self, addr: Value) -> Result<usize, MemError> {
+        if addr < 0 || addr as usize >= self.words.len() {
+            Err(MemError::OutOfBounds { addr, size: self.words.len() })
+        } else {
+            Ok(addr as usize)
+        }
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` is outside memory.
+    pub fn load(&self, addr: Value) -> Result<Value, MemError> {
+        Ok(self.words[self.index(addr)?])
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` is outside memory.
+    pub fn store(&mut self, addr: Value, value: Value) -> Result<(), MemError> {
+        let i = self.index(addr)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// Atomically adds `value` to the word at `addr` (single-cycle
+    /// fetch-add; see DESIGN.md §2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] if `addr` is outside memory.
+    pub fn fetch_add(&mut self, addr: Value, value: Value) -> Result<(), MemError> {
+        let i = self.index(addr)?;
+        self.words[i] = self.words[i].wrapping_add(value);
+        Ok(())
+    }
+
+    /// All named arrays in allocation order.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, ArrayRef)> {
+        self.arrays.iter().map(|(n, r)| (n.as_str(), *r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", 4);
+        let b = m.alloc_init("b", &[10, 20]);
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 4);
+        assert_eq!(m.size(), 6);
+        assert_eq!(m.load(4), Ok(10));
+        m.store(1, 7).unwrap();
+        assert_eq!(m.slice(a), &[0, 7, 0, 0]);
+        assert_eq!(m.array("b"), Some(b));
+        assert_eq!(m.array("missing"), None);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut m = MemoryImage::new();
+        m.alloc("a", 2);
+        assert!(m.load(2).is_err());
+        assert!(m.load(-1).is_err());
+        assert!(m.store(100, 0).is_err());
+        assert!(m.fetch_add(-5, 1).is_err());
+        assert_eq!(
+            m.load(2),
+            Err(MemError::OutOfBounds { addr: 2, size: 2 })
+        );
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let mut m = MemoryImage::new();
+        m.alloc("a", 1);
+        m.fetch_add(0, 5).unwrap();
+        m.fetch_add(0, -2).unwrap();
+        assert_eq!(m.load(0), Ok(3));
+    }
+
+    #[test]
+    fn slice_mut_round_trip() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", 3);
+        m.slice_mut(a).copy_from_slice(&[1, 2, 3]);
+        assert_eq!(m.slice(a), &[1, 2, 3]);
+    }
+}

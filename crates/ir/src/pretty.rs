@@ -1,0 +1,147 @@
+//! Human-readable printing of structured programs, for debugging lowering
+//! passes and for golden tests.
+
+use std::fmt::Write as _;
+
+use crate::program::{Program, Region, Stmt};
+
+/// Renders the whole program as indented pseudo-code.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in program.funcs.iter().enumerate() {
+        let entry = if program.entry.0 as usize == i { " (entry)" } else { "" };
+        let params: Vec<String> = f.params.iter().map(|p| p.to_string()).collect();
+        let _ = writeln!(out, "func {}({}){}:", f.name, params.join(", "), entry);
+        print_region(&f.body, 1, &mut out);
+        let rets: Vec<String> = f.returns.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(out, "  return {}", rets.join(", "));
+    }
+    out
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn print_region(region: &Region, depth: usize, out: &mut String) {
+    for stmt in &region.stmts {
+        print_stmt(stmt, depth, out);
+    }
+}
+
+fn print_stmt(stmt: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match stmt {
+        Stmt::Op { dst, op, lhs, rhs } => {
+            if op.is_unary() {
+                let _ = writeln!(out, "{dst} = {op} {lhs}");
+            } else {
+                let _ = writeln!(out, "{dst} = {op} {lhs}, {rhs}");
+            }
+        }
+        Stmt::Load { dst, addr } => {
+            let _ = writeln!(out, "{dst} = load [{addr}]");
+        }
+        Stmt::Store { addr, value } => {
+            let _ = writeln!(out, "store [{addr}] = {value}");
+        }
+        Stmt::StoreAdd { addr, value } => {
+            let _ = writeln!(out, "store_add [{addr}] += {value}");
+        }
+        Stmt::Select { dst, cond, on_true, on_false } => {
+            let _ = writeln!(out, "{dst} = select {cond} ? {on_true} : {on_false}");
+        }
+        Stmt::If(i) => {
+            let _ = writeln!(out, "if {}:", i.cond);
+            print_region(&i.then_region, depth + 1, out);
+            indent(depth, out);
+            let _ = writeln!(out, "else:");
+            print_region(&i.else_region, depth + 1, out);
+            for (d, t, e) in &i.merges {
+                indent(depth, out);
+                let _ = writeln!(out, "{d} = merge {t} | {e}");
+            }
+        }
+        Stmt::Loop(l) => {
+            let carried: Vec<String> =
+                l.carried.iter().map(|(v, init)| format!("{v}={init}")).collect();
+            let _ = writeln!(out, "loop '{}' [{}] ({}):", l.label, l.id, carried.join(", "));
+            if !l.pre.stmts.is_empty() {
+                indent(depth + 1, out);
+                let _ = writeln!(out, "pre:");
+                print_region(&l.pre, depth + 2, out);
+            }
+            indent(depth + 1, out);
+            let _ = writeln!(out, "while {}:", l.cond);
+            print_region(&l.body, depth + 2, out);
+            let nexts: Vec<String> = l.next.iter().map(|n| n.to_string()).collect();
+            indent(depth + 1, out);
+            let _ = writeln!(out, "next: {}", nexts.join(", "));
+            for (d, src) in &l.exits {
+                indent(depth + 1, out);
+                let _ = writeln!(out, "exit: {d} = {src}");
+            }
+        }
+        Stmt::Call { func, args, rets } => {
+            let argl: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let retl: Vec<String> = rets.iter().map(|r| r.to_string()).collect();
+            let _ = writeln!(out, "{} = call {}({})", retl.join(", "), func, argl.join(", "));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+
+    #[test]
+    fn prints_loop_structure() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, nn] = f.begin_loop("count", [0.into(), n]);
+        let c = f.lt(i, nn);
+        f.begin_body(c);
+        let i2 = f.add(i, 1);
+        let [last] = f.end_loop([i2, nn], [i]);
+        let p = pb.finish(f, [last]);
+        let s = print_program(&p);
+        assert!(s.contains("func main(v0) (entry):"), "{s}");
+        assert!(s.contains("loop 'count' [loop0]"), "{s}");
+        assert!(s.contains("while "), "{s}");
+        assert!(s.contains("return "), "{s}");
+    }
+
+    #[test]
+    fn prints_all_statement_kinds() {
+        let mut pb = ProgramBuilder::new();
+        let mut g = pb.func("helper", 1);
+        let a = g.param(0);
+        let r = g.not_(a);
+        let gid = g.id();
+        pb.define(g, [r]);
+
+        let mut f = pb.func("main", 0);
+        let x = f.load(0);
+        let s = f.select(x, 1, 2);
+        f.store(0, s);
+        f.store_add(1, s);
+        let c = f.gt(x, 0);
+        f.begin_if(c);
+        let t = f.add(x, 1);
+        f.begin_else();
+        let e = f.sub(x, 1);
+        let [m] = f.end_if([(t, e)]);
+        let rv = f.call(gid, &[m], 1);
+        let p = pb.finish(f, [rv[0]]);
+        let out = print_program(&p);
+        for needle in
+            ["load", "select", "store [", "store_add", "if ", "else:", "merge", "call f0", "not"]
+        {
+            assert!(out.contains(needle), "missing '{needle}' in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The structured program representation (our analogue of UDIR).
+//!
+//! Programs are trees of *regions*: straight-line statements plus structured
+//! `if` and `loop` constructs and direct calls. This is exactly the form the
+//! paper's compiler consumes: loops and function bodies are the *concurrent
+//! blocks* of Sec. III, and the structured form guarantees reducible control
+//! flow (irreducible `goto`s are unrepresentable, matching the paper's
+//! footnote 3).
+
+use crate::types::{AluOp, FuncId, LoopId, Operand, Var};
+
+/// A whole program: a set of functions and an entry point.
+///
+/// Built with [`crate::build::ProgramBuilder`]; validated with
+/// [`crate::validate::validate`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// All functions; indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// The entry function (its params are the program arguments).
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Returns the function for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// The entry function.
+    pub fn entry_func(&self) -> &Function {
+        self.func(self.entry)
+    }
+
+    /// Total number of loops in the program (each is a concurrent block).
+    pub fn loop_count(&self) -> usize {
+        fn count(r: &Region) -> usize {
+            r.stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Loop(l) => 1 + count(&l.pre) + count(&l.body),
+                    Stmt::If(i) => count(&i.then_region) + count(&i.else_region),
+                    _ => 0,
+                })
+                .sum()
+        }
+        self.funcs.iter().map(|f| count(&f.body)).sum()
+    }
+}
+
+/// One function: a concurrent block with parameters and return values.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Diagnostic name; also used to address the block's tag space.
+    pub name: String,
+    /// Parameter variables, bound on entry.
+    pub params: Vec<Var>,
+    /// The body region.
+    pub body: Region,
+    /// Values returned to the caller, evaluated after `body`.
+    pub returns: Vec<Operand>,
+    /// Number of variables used by this function (vars are function-scoped).
+    pub n_vars: u32,
+}
+
+/// A sequence of statements.
+#[derive(Debug, Clone, Default)]
+pub struct Region {
+    /// Statements in program order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `dst = op(lhs, rhs)`. Unary ops ignore `rhs`.
+    Op {
+        /// Destination variable.
+        dst: Var,
+        /// The opcode.
+        op: AluOp,
+        /// First operand.
+        lhs: Operand,
+        /// Second operand (ignored by unary ops).
+        rhs: Operand,
+    },
+    /// `dst = memory[addr]`.
+    Load {
+        /// Destination variable.
+        dst: Var,
+        /// Word address.
+        addr: Operand,
+    },
+    /// `memory[addr] = value`.
+    Store {
+        /// Word address.
+        addr: Operand,
+        /// Value to store.
+        value: Operand,
+    },
+    /// `memory[addr] += value`, atomically in one cycle.
+    ///
+    /// This models UDIR's conversion of potentially-conflicting
+    /// read-modify-write accumulations into ordered memory operations
+    /// (see DESIGN.md §2); it preserves the parallelism shape without
+    /// reimplementing alias analysis.
+    StoreAdd {
+        /// Word address.
+        addr: Operand,
+        /// Value to add.
+        value: Operand,
+    },
+    /// `dst = cond != 0 ? on_true : on_false` (if-conversion).
+    Select {
+        /// Destination variable.
+        dst: Var,
+        /// Condition.
+        cond: Operand,
+        /// Value when `cond != 0`.
+        on_true: Operand,
+        /// Value when `cond == 0`.
+        on_false: Operand,
+    },
+    /// A structured conditional; lowered to steers + merges in dataflow.
+    If(IfStmt),
+    /// A structured loop; a concurrent block in TYR.
+    Loop(LoopStmt),
+    /// A direct call. The callee is a concurrent block in TYR.
+    Call {
+        /// The callee.
+        func: FuncId,
+        /// Argument operands.
+        args: Vec<Operand>,
+        /// Destination variables for the return values.
+        rets: Vec<Var>,
+    },
+}
+
+/// A structured conditional.
+///
+/// Regions may contain arithmetic, memory operations, selects, and nested
+/// `if`s — but no loops or calls (those are concurrent blocks, and
+/// conditionally-entered blocks are out of scope for this reproduction; see
+/// DESIGN.md). Values flowing out of the conditional are listed in `merges`.
+#[derive(Debug, Clone)]
+pub struct IfStmt {
+    /// Branch condition (non-zero takes the `then` side).
+    pub cond: Operand,
+    /// Statements executed when `cond != 0`.
+    pub then_region: Region,
+    /// Statements executed when `cond == 0`.
+    pub else_region: Region,
+    /// `(dst, then_value, else_value)`: after the conditional, `dst` holds
+    /// the value from whichever side executed.
+    pub merges: Vec<(Var, Operand, Operand)>,
+}
+
+/// A structured while-loop — one *concurrent block*.
+///
+/// Per-iteration semantics (matching the steer-based dataflow loop of
+/// Fig. 3b):
+///
+/// 1. Carried variables hold either the `init` operands (first iteration) or
+///    the previous iteration's `next` values.
+/// 2. The `pre` region runs (pure ops only — it also runs on the final,
+///    test-only iteration).
+/// 3. If `cond != 0`: `body` runs, `next` values are computed, and a new
+///    iteration begins.
+/// 4. Otherwise the loop exits and each `exits` operand (over carried/`pre`
+///    variables) is bound in the parent scope.
+#[derive(Debug, Clone)]
+pub struct LoopStmt {
+    /// Unique id, assigned by the builder.
+    pub id: LoopId,
+    /// Diagnostic label; also used to address the block's tag space.
+    pub label: String,
+    /// `(body-scoped var, init operand evaluated in the parent scope)`.
+    pub carried: Vec<(Var, Operand)>,
+    /// Pure per-iteration prologue (Op/Select only), e.g. the trip test.
+    pub pre: Region,
+    /// Continue while `cond != 0`; evaluated over carried + `pre` variables.
+    pub cond: Operand,
+    /// Loop body, executed only when `cond != 0`.
+    pub body: Region,
+    /// Next value for each carried variable (over carried/`pre`/body vars).
+    pub next: Vec<Operand>,
+    /// `(parent-scoped dst, operand over carried/`pre` vars)`.
+    pub exits: Vec<(Var, Operand)>,
+}
+
+impl Stmt {
+    /// Variables defined by this statement in the *enclosing* scope.
+    pub fn defs(&self) -> Vec<Var> {
+        match self {
+            Stmt::Op { dst, .. } | Stmt::Load { dst, .. } | Stmt::Select { dst, .. } => vec![*dst],
+            Stmt::Store { .. } | Stmt::StoreAdd { .. } => vec![],
+            Stmt::If(i) => i.merges.iter().map(|(d, _, _)| *d).collect(),
+            Stmt::Loop(l) => l.exits.iter().map(|(d, _)| *d).collect(),
+            Stmt::Call { rets, .. } => rets.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::types::NO_OPERANDS;
+
+    #[test]
+    fn loop_count_counts_nested() {
+        // main { loop A { loop B { } } loop C { } }
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("A", [0]);
+        let c = f.lt(i, 2);
+        f.begin_body(c);
+        let [j] = f.begin_loop("B", [0]);
+        let cb = f.lt(j, 2);
+        f.begin_body(cb);
+        let j2 = f.add(j, 1);
+        f.end_loop([j2], NO_OPERANDS);
+        let i2 = f.add(i, 1);
+        f.end_loop([i2], NO_OPERANDS);
+        let [k] = f.begin_loop("C", [0]);
+        let cc = f.lt(k, 2);
+        f.begin_body(cc);
+        let k2 = f.add(k, 1);
+        f.end_loop([k2], NO_OPERANDS);
+        let p = pb.finish(f, NO_OPERANDS);
+        assert_eq!(p.loop_count(), 3);
+    }
+
+    #[test]
+    fn stmt_defs() {
+        let s = Stmt::Op { dst: Var(1), op: AluOp::Add, lhs: Operand::Const(1), rhs: Operand::Const(2) };
+        assert_eq!(s.defs(), vec![Var(1)]);
+        let s = Stmt::Store { addr: Operand::Const(0), value: Operand::Const(0) };
+        assert!(s.defs().is_empty());
+        let s = Stmt::Call { func: FuncId(0), args: vec![], rets: vec![Var(2), Var(3)] };
+        assert_eq!(s.defs(), vec![Var(2), Var(3)]);
+    }
+}

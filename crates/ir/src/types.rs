@@ -1,0 +1,306 @@
+//! Core value and operand types shared by the whole workspace.
+
+use std::fmt;
+
+/// The machine word. All data in the simulated machines is `i64`; the paper's
+/// evaluation studies token *synchronization*, which is agnostic to the data
+/// type, so integer kernels are used throughout.
+pub type Value = i64;
+
+/// A virtual register, scoped to one [`Function`](crate::Function). Every
+/// `Var` is statically assigned exactly once (loop-carried variables are
+/// rebound dynamically on each iteration, but have a single static binder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An instruction operand: a variable reference or an immediate constant.
+///
+/// Immediates follow the convention of real dataflow ISAs (e.g. RipTide):
+/// they are encoded in the instruction rather than carried as tokens, so they
+/// create no token traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A reference to a variable defined earlier in scope.
+    Var(Var),
+    /// An immediate constant.
+    Const(Value),
+}
+
+impl Operand {
+    /// Returns the variable if this operand is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<Var> for Operand {
+    fn from(v: Var) -> Self {
+        Operand::Var(v)
+    }
+}
+
+impl From<Value> for Operand {
+    fn from(c: Value) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An empty operand array, for `end_loop`/`finish` calls with no
+/// exits/returns (plain `[]` cannot infer its element type).
+pub const NO_OPERANDS: [Operand; 0] = [];
+
+/// Identifies a [`Function`](crate::Function) within a
+/// [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Identifies a loop (a concurrent block) within a program. Stable across
+/// lowering, so per-block tag-space sizes (Sec. VII-E) can be addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// Arithmetic/logic opcodes — the paper's "standard set of arithmetic
+/// instructions" (Table I).
+///
+/// Comparison results are `0`/`1`. Arithmetic wraps (two's complement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division. Dividing by zero is a simulation error.
+    Div,
+    /// Signed remainder. Dividing by zero is a simulation error.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift; the shift amount is masked to 0..=63.
+    Shl,
+    /// Arithmetic right shift; the shift amount is masked to 0..=63.
+    Shr,
+    /// Signed less-than (0/1).
+    Lt,
+    /// Signed less-or-equal (0/1).
+    Le,
+    /// Signed greater-than (0/1).
+    Gt,
+    /// Signed greater-or-equal (0/1).
+    Ge,
+    /// Equality (0/1).
+    Eq,
+    /// Inequality (0/1).
+    Ne,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Bitwise not of the first operand (second ignored).
+    Not,
+    /// Arithmetic negation of the first operand (second ignored).
+    Neg,
+    /// Copy of the first operand (second ignored).
+    Mov,
+}
+
+/// Error produced when evaluating an [`AluOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluError {
+    /// Division or remainder by zero.
+    DivByZero,
+}
+
+impl fmt::Display for AluError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AluError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for AluError {}
+
+impl AluOp {
+    /// Whether the op reads only its first operand.
+    pub fn is_unary(self) -> bool {
+        matches!(self, AluOp::Not | AluOp::Neg | AluOp::Mov)
+    }
+
+    /// Evaluates the op on two word values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AluError::DivByZero`] for `Div`/`Rem` with a zero divisor.
+    pub fn eval(self, a: Value, b: Value) -> Result<Value, AluError> {
+        Ok(match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    return Err(AluError::DivByZero);
+                }
+                a.wrapping_div(b)
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    return Err(AluError::DivByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Lt => (a < b) as Value,
+            AluOp::Le => (a <= b) as Value,
+            AluOp::Gt => (a > b) as Value,
+            AluOp::Ge => (a >= b) as Value,
+            AluOp::Eq => (a == b) as Value,
+            AluOp::Ne => (a != b) as Value,
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+            AluOp::Not => !a,
+            AluOp::Neg => a.wrapping_neg(),
+            AluOp::Mov => a,
+        })
+    }
+
+    /// Short mnemonic used by the pretty printer and DOT export.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Lt => "lt",
+            AluOp::Le => "le",
+            AluOp::Gt => "gt",
+            AluOp::Ge => "ge",
+            AluOp::Eq => "eq",
+            AluOp::Ne => "ne",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::Not => "not",
+            AluOp::Neg => "neg",
+            AluOp::Mov => "mov",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_arithmetic() {
+        assert_eq!(AluOp::Add.eval(2, 3), Ok(5));
+        assert_eq!(AluOp::Sub.eval(2, 3), Ok(-1));
+        assert_eq!(AluOp::Mul.eval(-4, 3), Ok(-12));
+        assert_eq!(AluOp::Div.eval(7, 2), Ok(3));
+        assert_eq!(AluOp::Rem.eval(7, 2), Ok(1));
+        assert_eq!(AluOp::Div.eval(7, 0), Err(AluError::DivByZero));
+        assert_eq!(AluOp::Rem.eval(7, 0), Err(AluError::DivByZero));
+    }
+
+    #[test]
+    fn eval_wraps() {
+        assert_eq!(AluOp::Add.eval(Value::MAX, 1), Ok(Value::MIN));
+        assert_eq!(AluOp::Neg.eval(Value::MIN, 0), Ok(Value::MIN));
+    }
+
+    #[test]
+    fn eval_comparisons_are_boolean() {
+        assert_eq!(AluOp::Lt.eval(1, 2), Ok(1));
+        assert_eq!(AluOp::Lt.eval(2, 2), Ok(0));
+        assert_eq!(AluOp::Le.eval(2, 2), Ok(1));
+        assert_eq!(AluOp::Gt.eval(3, 2), Ok(1));
+        assert_eq!(AluOp::Ge.eval(1, 2), Ok(0));
+        assert_eq!(AluOp::Eq.eval(5, 5), Ok(1));
+        assert_eq!(AluOp::Ne.eval(5, 5), Ok(0));
+    }
+
+    #[test]
+    fn eval_shifts_mask_amount() {
+        assert_eq!(AluOp::Shl.eval(1, 64), Ok(1)); // 64 & 63 == 0
+        assert_eq!(AluOp::Shl.eval(1, 3), Ok(8));
+        assert_eq!(AluOp::Shr.eval(-8, 1), Ok(-4)); // arithmetic shift
+    }
+
+    #[test]
+    fn eval_unary() {
+        assert!(AluOp::Not.is_unary());
+        assert!(!AluOp::Add.is_unary());
+        assert_eq!(AluOp::Not.eval(0, 99), Ok(-1));
+        assert_eq!(AluOp::Mov.eval(42, 99), Ok(42));
+        assert_eq!(AluOp::Min.eval(-3, 7), Ok(-3));
+        assert_eq!(AluOp::Max.eval(-3, 7), Ok(7));
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let v = Var(3);
+        let o: Operand = v.into();
+        assert_eq!(o.as_var(), Some(v));
+        let c: Operand = 42i64.into();
+        assert_eq!(c.as_var(), None);
+        assert_eq!(format!("{o}"), "v3");
+        assert_eq!(format!("{c}"), "42");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(format!("{}", FuncId(2)), "f2");
+        assert_eq!(format!("{}", LoopId(7)), "loop7");
+        assert_eq!(format!("{}", AluOp::Add), "add");
+    }
+}

@@ -1,0 +1,165 @@
+//! Abstract syntax tree for `tyr-lang`.
+
+/// A parsed program: one or more functions.
+#[derive(Debug, Clone)]
+pub struct Ast {
+    /// Functions in source order.
+    pub funcs: Vec<FnDecl>,
+}
+
+/// A function declaration.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name (`main` is the entry point).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the declaration.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Variable name (must already be declared).
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `store(addr, value);`
+    Store {
+        /// Word address.
+        addr: Expr,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `fetch_add(addr, value);` — atomic accumulate.
+    FetchAdd {
+        /// Word address.
+        addr: Expr,
+        /// Addend.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) { ... }`
+    While {
+        /// Continue condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) { ... } else { ... }` (else optional).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return e1, e2, ...;` — only as the last statement of a function.
+    Return {
+        /// Returned values.
+        values: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// A bare call used for its side effects: `f(a, b);`
+    CallStmt {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Binary operators (all map to a `tyr_ir::AluOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (bitwise on 0/1 operands; both sides are evaluated)
+    AndAnd,
+    /// `||` (bitwise on 0/1 operands; both sides are evaluated)
+    OrOr,
+}
+
+/// An expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable or named constant reference.
+    Var(String, u32),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation `-e`.
+    Neg(Box<Expr>),
+    /// Logical not `!e` (produces 0/1).
+    Not(Box<Expr>),
+    /// `load(addr)`.
+    Load(Box<Expr>, u32),
+    /// Function call `f(args...)` used as a single value.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+}

@@ -1,0 +1,749 @@
+//! Compiles the `tyr-lang` AST to the structured `tyr-ir` [`Program`].
+//!
+//! The interesting work is converting *mutable variables* into the IR's
+//! dataflow form:
+//!
+//! * **Loops.** Every outer variable a `while` reads or writes becomes a
+//!   loop-carried value — mutated variables chain through the backedge,
+//!   loop-invariant reads are carried unchanged (the transfer-point
+//!   argument-passing discipline of the paper's Fig. 10). After the loop,
+//!   each name rebinds to the loop's exit value.
+//! * **Conditionals.** Variables assigned in either branch merge back via
+//!   the `if`'s merge list (φ-nodes, effectively); unassigned names keep
+//!   their pre-branch value.
+//!
+//! This is the same job UDIR does for C, in miniature. Restrictions mirror
+//! the IR's: `while` condition expressions must be pure (no `load`/calls),
+//! and `if` branches may not contain loops or calls.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tyr_ir::build::{FuncBuilder, ProgramBuilder};
+use tyr_ir::validate::validate;
+use tyr_ir::{AluOp, FuncId, Operand, Program};
+
+use crate::ast::{Ast, BinOp, Expr, Stmt};
+use crate::parser::{parse, ParseError};
+
+/// A compilation error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line (0 when not attributable).
+    pub line: u32,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError { message: e.message, line: e.line }
+    }
+}
+
+/// Parses and compiles a source string.
+///
+/// `consts` are named integer constants visible in every function — the
+/// embedder passes array base addresses and sizes here, playing the role of
+/// the linker: `("A", a.base_const())`, `("N", 64)`, …
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for syntax errors, unknown names, arity
+/// mismatches, unsupported placements (loops/calls inside `if`), or any
+/// IR validation failure.
+///
+/// # Example
+///
+/// ```
+/// use tyr_lang::compile;
+/// use tyr_ir::{interp, MemoryImage};
+///
+/// let program = compile(
+///     "fn main(n) {
+///          let i = 0;
+///          let acc = 0;
+///          while (i < n) {
+///              acc = acc + i;
+///              i = i + 1;
+///          }
+///          return acc;
+///      }",
+///     &[],
+/// )?;
+/// let mut mem = MemoryImage::new();
+/// assert_eq!(interp::run(&program, &mut mem, &[10])?.returns, vec![45]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(src: &str, consts: &[(&str, i64)]) -> Result<Program, CompileError> {
+    let ast = parse(src)?;
+    compile_ast(&ast, consts)
+}
+
+/// Compiles an already-parsed [`Ast`]. See [`compile`].
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_ast(ast: &Ast, consts: &[(&str, i64)]) -> Result<Program, CompileError> {
+    let consts: HashMap<String, i64> =
+        consts.iter().map(|&(n, v)| (n.to_string(), v)).collect();
+
+    // Declare every function first (arbitrary call order within the DAG).
+    let mut pb = ProgramBuilder::new();
+    let mut sigs: HashMap<String, (FuncId, usize, usize)> = HashMap::new();
+    for f in &ast.funcs {
+        if sigs.contains_key(&f.name) {
+            return Err(CompileError {
+                message: format!("function '{}' defined twice", f.name),
+                line: f.line,
+            });
+        }
+        let n_rets = match f.body.last() {
+            Some(Stmt::Return { values, .. }) => values.len(),
+            _ => 0,
+        };
+        let id = pb.declare(&f.name, f.params.len());
+        sigs.insert(f.name.clone(), (id, f.params.len(), n_rets));
+    }
+
+    for f in &ast.funcs {
+        let fb = pb.func_for(sigs[&f.name].0);
+        let mut cc = FnCompiler {
+            fb,
+            env: HashMap::new(),
+            consts: &consts,
+            sigs: &sigs,
+            fn_name: &f.name,
+            loop_counter: 0,
+        };
+        for (k, p) in f.params.iter().enumerate() {
+            let op = cc.fb.param(k);
+            cc.env.insert(p.clone(), op);
+        }
+        let mut returns: Vec<Operand> = Vec::new();
+        for (idx, stmt) in f.body.iter().enumerate() {
+            if let Stmt::Return { values, line } = stmt {
+                if idx + 1 != f.body.len() {
+                    return Err(CompileError {
+                        message: "'return' must be the last statement of a function".into(),
+                        line: *line,
+                    });
+                }
+                returns = values
+                    .iter()
+                    .map(|e| cc.expr(e))
+                    .collect::<Result<_, _>>()?;
+            } else {
+                cc.stmt(stmt, false)?;
+            }
+        }
+        pb.define_vec(cc.fb, returns);
+    }
+
+    let program = pb.build();
+    validate(&program).map_err(|e| CompileError {
+        message: format!("generated IR failed validation: {e}"),
+        line: 0,
+    })?;
+    Ok(program)
+}
+
+struct FnCompiler<'a> {
+    fb: FuncBuilder,
+    env: HashMap<String, Operand>,
+    consts: &'a HashMap<String, i64>,
+    sigs: &'a HashMap<String, (FuncId, usize, usize)>,
+    fn_name: &'a str,
+    loop_counter: u32,
+}
+
+/// Collects names referenced (read or written) by statements/expressions.
+fn collect_names(stmts: &[Stmt], out: &mut Vec<String>) {
+    fn expr_names(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Int(_) => {}
+            Expr::Var(n, _) => out.push(n.clone()),
+            Expr::Bin(_, a, b) => {
+                expr_names(a, out);
+                expr_names(b, out);
+            }
+            Expr::Neg(a) | Expr::Not(a) | Expr::Load(a, _) => expr_names(a, out),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    expr_names(a, out);
+                }
+            }
+        }
+    }
+    for s in stmts {
+        match s {
+            Stmt::Let { value, .. } => expr_names(value, out),
+            Stmt::Assign { name, value, .. } => {
+                out.push(name.clone());
+                expr_names(value, out);
+            }
+            Stmt::Store { addr, value, .. } | Stmt::FetchAdd { addr, value, .. } => {
+                expr_names(addr, out);
+                expr_names(value, out);
+            }
+            Stmt::While { cond, body, .. } => {
+                expr_names(cond, out);
+                collect_names(body, out);
+            }
+            Stmt::If { cond, then_body, else_body, .. } => {
+                expr_names(cond, out);
+                collect_names(then_body, out);
+                collect_names(else_body, out);
+            }
+            Stmt::Return { values, .. } => {
+                for v in values {
+                    expr_names(v, out);
+                }
+            }
+            Stmt::CallStmt { args, .. } => {
+                for a in args {
+                    expr_names(a, out);
+                }
+            }
+        }
+    }
+}
+
+/// Names assigned (mutated) by statements, recursively.
+fn assigned_names(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { name, .. } => out.push(name.clone()),
+            Stmt::While { body, .. } => assigned_names(body, out),
+            Stmt::If { then_body, else_body, .. } => {
+                assigned_names(then_body, out);
+                assigned_names(else_body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn contains_loop_or_call(stmts: &[Stmt]) -> Option<u32> {
+    for s in stmts {
+        match s {
+            Stmt::While { line, .. } | Stmt::CallStmt { line, .. } => return Some(*line),
+            Stmt::If { then_body, else_body, .. } => {
+                if let Some(l) = contains_loop_or_call(then_body) {
+                    return Some(l);
+                }
+                if let Some(l) = contains_loop_or_call(else_body) {
+                    return Some(l);
+                }
+            }
+            Stmt::Let { value, line, .. } | Stmt::Assign { value, line, .. } => {
+                if expr_contains_call(value) {
+                    return Some(*line);
+                }
+            }
+            Stmt::Store { addr, value, line } | Stmt::FetchAdd { addr, value, line } => {
+                if expr_contains_call(addr) || expr_contains_call(value) {
+                    return Some(*line);
+                }
+            }
+            Stmt::Return { .. } => {}
+        }
+    }
+    None
+}
+
+fn expr_contains_call(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Var(..) => false,
+        Expr::Bin(_, a, b) => expr_contains_call(a) || expr_contains_call(b),
+        Expr::Neg(a) | Expr::Not(a) | Expr::Load(a, _) => expr_contains_call(a),
+        Expr::Call { .. } => true,
+    }
+}
+
+impl<'a> FnCompiler<'a> {
+    fn err<T>(&self, message: impl Into<String>, line: u32) -> Result<T, CompileError> {
+        Err(CompileError { message: message.into(), line })
+    }
+
+    fn lookup(&self, name: &str, line: u32) -> Result<Operand, CompileError> {
+        if let Some(&op) = self.env.get(name) {
+            return Ok(op);
+        }
+        if let Some(&c) = self.consts.get(name) {
+            return Ok(Operand::Const(c));
+        }
+        self.err(format!("unknown name '{name}'"), line)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => Operand::Const(*v),
+            Expr::Var(n, line) => self.lookup(n, *line)?,
+            Expr::Bin(op, a, b) => {
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                let alu = match op {
+                    BinOp::Add => AluOp::Add,
+                    BinOp::Sub => AluOp::Sub,
+                    BinOp::Mul => AluOp::Mul,
+                    BinOp::Div => AluOp::Div,
+                    BinOp::Rem => AluOp::Rem,
+                    BinOp::And => AluOp::And,
+                    BinOp::Or => AluOp::Or,
+                    BinOp::Xor => AluOp::Xor,
+                    BinOp::Shl => AluOp::Shl,
+                    BinOp::Shr => AluOp::Shr,
+                    BinOp::Lt => AluOp::Lt,
+                    BinOp::Le => AluOp::Le,
+                    BinOp::Gt => AluOp::Gt,
+                    BinOp::Ge => AluOp::Ge,
+                    BinOp::Eq => AluOp::Eq,
+                    BinOp::Ne => AluOp::Ne,
+                    // Logical ops are normalized (x != 0) then combined
+                    // bitwise; both sides are evaluated (no short circuit —
+                    // if-conversion, as dataflow wants).
+                    BinOp::AndAnd | BinOp::OrOr => {
+                        let an = self.fb.ne(a, 0);
+                        let bn = self.fb.ne(b, 0);
+                        return Ok(if *op == BinOp::AndAnd {
+                            self.fb.and_(an, bn)
+                        } else {
+                            self.fb.or_(an, bn)
+                        });
+                    }
+                };
+                self.fb.op(alu, a, b)
+            }
+            Expr::Neg(a) => {
+                let a = self.expr(a)?;
+                self.fb.neg(a)
+            }
+            Expr::Not(a) => {
+                let a = self.expr(a)?;
+                self.fb.eq(a, 0)
+            }
+            Expr::Load(addr, _) => {
+                let a = self.expr(addr)?;
+                self.fb.load(a)
+            }
+            Expr::Call { name, args, line } => {
+                let &(id, n_params, n_rets) = self
+                    .sigs
+                    .get(name)
+                    .ok_or_else(|| CompileError {
+                        message: format!("unknown function '{name}'"),
+                        line: *line,
+                    })?;
+                if args.len() != n_params {
+                    return self.err(
+                        format!("'{name}' takes {n_params} arguments, got {}", args.len()),
+                        *line,
+                    );
+                }
+                if n_rets != 1 {
+                    return self.err(
+                        format!("'{name}' returns {n_rets} values; only single-value calls may appear in expressions"),
+                        *line,
+                    );
+                }
+                let argv: Vec<Operand> =
+                    args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+                self.fb.call(id, &argv, 1)[0]
+            }
+        })
+    }
+
+    /// Compiles a block with `let`-scoping: names introduced by `let`
+    /// revert to their previous binding (if any) at block exit, so a
+    /// body-local shadow never leaks into a loop's carried chain or an
+    /// `if`'s merges.
+    fn compile_block(&mut self, stmts: &[Stmt], in_if: bool) -> Result<(), CompileError> {
+        let mut saved: Vec<(String, Option<Operand>)> = Vec::new();
+        for s in stmts {
+            if let Stmt::Let { name, .. } = s {
+                saved.push((name.clone(), self.env.get(name).copied()));
+            }
+            self.stmt(s, in_if)?;
+        }
+        for (n, old) in saved.into_iter().rev() {
+            match old {
+                Some(v) => self.env.insert(n, v),
+                None => self.env.remove(&n),
+            };
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, in_if: bool) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { name, value, .. } => {
+                let v = self.expr(value)?;
+                self.env.insert(name.clone(), v);
+            }
+            Stmt::Assign { name, value, line } => {
+                if !self.env.contains_key(name) {
+                    return self.err(
+                        format!("assignment to undeclared variable '{name}' (use 'let')"),
+                        *line,
+                    );
+                }
+                let v = self.expr(value)?;
+                self.env.insert(name.clone(), v);
+            }
+            Stmt::Store { addr, value, .. } => {
+                let a = self.expr(addr)?;
+                let v = self.expr(value)?;
+                self.fb.store(a, v);
+            }
+            Stmt::FetchAdd { addr, value, .. } => {
+                let a = self.expr(addr)?;
+                let v = self.expr(value)?;
+                self.fb.store_add(a, v);
+            }
+            Stmt::While { cond, body, line } => {
+                if in_if {
+                    return self.err("loops inside 'if' branches are not supported", *line);
+                }
+                self.compile_while(cond, body, *line)?;
+            }
+            Stmt::If { cond, then_body, else_body, line } => {
+                if let Some(l) = contains_loop_or_call(then_body)
+                    .or_else(|| contains_loop_or_call(else_body))
+                {
+                    return self.err(
+                        "loops and calls inside 'if' branches are not supported",
+                        l,
+                    );
+                }
+                self.compile_if(cond, then_body, else_body, *line)?;
+            }
+            Stmt::Return { line, .. } => {
+                return self.err("'return' must be the last statement of a function", *line);
+            }
+            Stmt::CallStmt { name, args, line } => {
+                if in_if {
+                    return self.err("calls inside 'if' branches are not supported", *line);
+                }
+                let &(id, n_params, n_rets) =
+                    self.sigs.get(name).ok_or_else(|| CompileError {
+                        message: format!("unknown function '{name}'"),
+                        line: *line,
+                    })?;
+                if args.len() != n_params {
+                    return self.err(
+                        format!("'{name}' takes {n_params} arguments, got {}", args.len()),
+                        *line,
+                    );
+                }
+                let argv: Vec<Operand> =
+                    args.iter().map(|a| self.expr(a)).collect::<Result<_, _>>()?;
+                self.fb.call(id, &argv, n_rets);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loop compilation: every outer name the loop touches becomes a carried
+    /// value; the loop exports each carried value's at-test state back to
+    /// the enclosing scope.
+    fn compile_while(&mut self, cond: &Expr, body: &[Stmt], line: u32) -> Result<(), CompileError> {
+        let mut touched = Vec::new();
+        collect_names(std::slice::from_ref(&Stmt::While {
+            cond: cond.clone(),
+            body: body.to_vec(),
+            line,
+        }), &mut touched);
+        let mut names: Vec<String> =
+            touched.into_iter().filter(|n| self.env.contains_key(n)).collect();
+        names.sort();
+        names.dedup();
+
+        let inits: Vec<Operand> = names.iter().map(|n| self.env[n]).collect();
+        self.loop_counter += 1;
+        let label = format!("{}_L{}_{}", self.fn_name, line, self.loop_counter);
+        let carried = self.fb.begin_loop_vec(&label, inits);
+        for (n, &c) in names.iter().zip(&carried) {
+            self.env.insert(n.clone(), c);
+        }
+        let c = self.expr(cond)?;
+        self.fb.begin_body(c);
+        // Mutations of carried names persist into `next`; `let`s are
+        // body-local (compile_block restores them).
+        self.compile_block(body, false)?;
+        let next: Vec<Operand> = names.iter().map(|n| self.env[n]).collect();
+        let exits = self.fb.end_loop_vec(next, carried.clone());
+        for (n, &e) in names.iter().zip(&exits) {
+            self.env.insert(n.clone(), e);
+        }
+        Ok(())
+    }
+
+    /// Conditional compilation: names assigned in either branch merge.
+    fn compile_if(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        _line: u32,
+    ) -> Result<(), CompileError> {
+        let c = self.expr(cond)?;
+        let mut assigned = Vec::new();
+        assigned_names(then_body, &mut assigned);
+        assigned_names(else_body, &mut assigned);
+        let mut names: Vec<String> =
+            assigned.into_iter().filter(|n| self.env.contains_key(n)).collect();
+        names.sort();
+        names.dedup();
+
+        let snapshot = self.env.clone();
+        self.fb.begin_if(c);
+        self.compile_block(then_body, true)?;
+        let then_vals: Vec<Operand> = names.iter().map(|n| self.env[n]).collect();
+        self.env = snapshot.clone();
+        self.fb.begin_else();
+        self.compile_block(else_body, true)?;
+        let else_vals: Vec<Operand> = names.iter().map(|n| self.env[n]).collect();
+        self.env = snapshot;
+        let merges: Vec<(Operand, Operand)> =
+            then_vals.into_iter().zip(else_vals).collect();
+        let merged = self.fb.end_if_vec(merges);
+        for (n, &m) in names.iter().zip(&merged) {
+            self.env.insert(n.clone(), m);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::{interp, MemoryImage};
+
+    fn run(src: &str, consts: &[(&str, i64)], args: &[i64]) -> Vec<i64> {
+        let p = compile(src, consts).unwrap_or_else(|e| panic!("{e}"));
+        let mut mem = MemoryImage::new();
+        interp::run(&p, &mut mem, args).unwrap().returns
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("fn main() { return 1 + 2 * 3 - 4 / 2; }", &[], &[]), vec![5]);
+        assert_eq!(run("fn main() { return (1 + 2) * 3; }", &[], &[]), vec![9]);
+        assert_eq!(run("fn main() { return 7 % 3 + (1 << 4) + (-8 >> 1); }", &[], &[]), vec![13]);
+        assert_eq!(run("fn main() { return 1 < 2 && 3 != 4; }", &[], &[]), vec![1]);
+        assert_eq!(run("fn main() { return !5 || 0; }", &[], &[]), vec![0]);
+        assert_eq!(run("fn main(x) { return -x; }", &[], &[9]), vec![-9]);
+    }
+
+    #[test]
+    fn while_loop_infers_carried_vars() {
+        let src = "
+            fn main(n) {
+                let i = 0;
+                let acc = 0;
+                while (i < n) {
+                    acc = acc + i * i;
+                    i = i + 1;
+                }
+                return acc;
+            }";
+        let expect: i64 = (0..10).map(|i| i * i).sum();
+        assert_eq!(run(src, &[], &[10]), vec![expect]);
+        assert_eq!(run(src, &[], &[0]), vec![0]); // zero-trip
+    }
+
+    #[test]
+    fn nested_while_with_invariants() {
+        let src = "
+            fn main(n) {
+                let total = 0;
+                let i = 0;
+                while (i < n) {
+                    let j = 0;
+                    while (j < i) {
+                        total = total + i * j;
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+                return total;
+            }";
+        let expect: i64 = (0..8).flat_map(|i| (0..i).map(move |j| i * j)).sum();
+        assert_eq!(run(src, &[], &[8]), vec![expect]);
+    }
+
+    #[test]
+    fn if_else_merges_assignments() {
+        let src = "
+            fn main(x) {
+                let y = 0;
+                if (x > 0) { y = x * 2; } else { y = -x; }
+                return y;
+            }";
+        assert_eq!(run(src, &[], &[7]), vec![14]);
+        assert_eq!(run(src, &[], &[-3]), vec![3]);
+    }
+
+    #[test]
+    fn if_without_else_keeps_old_value() {
+        let src = "
+            fn main(x) {
+                let y = 100;
+                if (x > 0) { y = x; }
+                return y;
+            }";
+        assert_eq!(run(src, &[], &[5]), vec![5]);
+        assert_eq!(run(src, &[], &[-5]), vec![100]);
+    }
+
+    #[test]
+    fn let_shadowing_in_loop_body_is_block_scoped() {
+        let src = "
+            fn main() {
+                let x = 10;
+                let i = 0;
+                while (i < 3) {
+                    let x = 999; // body-local shadow; must not leak
+                    x = x + 1;   // mutates the shadow
+                    i = i + 1;
+                }
+                return x;
+            }";
+        assert_eq!(run(src, &[], &[]), vec![10]);
+    }
+
+    #[test]
+    fn memory_builtins_and_consts() {
+        let mut mem = MemoryImage::new();
+        let arr = mem.alloc_init("arr", &[5, 7, 11]);
+        let out = mem.alloc("out", 1);
+        let src = "
+            fn main() {
+                let s = load(ARR) + load(ARR + 1) + load(ARR + 2);
+                store(OUT, s);
+                fetch_add(OUT, 100);
+                return s;
+            }";
+        let p = compile(
+            src,
+            &[("ARR", arr.base_const()), ("OUT", out.base_const())],
+        )
+        .unwrap();
+        let r = interp::run(&p, &mut mem, &[]).unwrap();
+        assert_eq!(r.returns, vec![23]);
+        assert_eq!(mem.slice(out), &[123]);
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let src = "
+            fn square(x) { return x * x; }
+            fn main(a) {
+                let s = square(a) + square(a + 1);
+                return s;
+            }";
+        assert_eq!(run(src, &[], &[3]), vec![9 + 16]);
+    }
+
+    #[test]
+    fn multi_return_via_call_stmt() {
+        // A void function used for side effects.
+        let mut mem = MemoryImage::new();
+        let cell = mem.alloc("cell", 1);
+        let src = "
+            fn bump(v) { fetch_add(CELL, v); }
+            fn main() {
+                bump(4);
+                bump(5);
+                return 0;
+            }";
+        let p = compile(src, &[("CELL", cell.base_const())]).unwrap();
+        interp::run(&p, &mut mem, &[]).unwrap();
+        assert_eq!(mem.slice(cell), &[9]);
+    }
+
+    #[test]
+    fn dmv_in_tyrlang_matches_the_dsl_kernel_shape() {
+        // The paper's running example, written as source text.
+        let m = 9usize;
+        let n = 7usize;
+        let mut mem = MemoryImage::new();
+        let a: Vec<i64> = (0..m * n).map(|k| (k as i64 % 13) - 6).collect();
+        let x: Vec<i64> = (0..n).map(|k| (k as i64 % 5) - 2).collect();
+        let a_ref = mem.alloc_init("A", &a);
+        let x_ref = mem.alloc_init("x", &x);
+        let y_ref = mem.alloc("y", m);
+        let src = "
+            fn main() {
+                let i = 0;
+                while (i < M) {
+                    let w = 0;
+                    let j = 0;
+                    while (j < N) {
+                        w = w + load(A + i * N + j) * load(X + j);
+                        j = j + 1;
+                    }
+                    store(Y + i, w);
+                    i = i + 1;
+                }
+                return 0;
+            }";
+        let p = compile(
+            src,
+            &[
+                ("M", m as i64),
+                ("N", n as i64),
+                ("A", a_ref.base_const()),
+                ("X", x_ref.base_const()),
+                ("Y", y_ref.base_const()),
+            ],
+        )
+        .unwrap();
+        interp::run(&p, &mut mem, &[]).unwrap();
+        let expect: Vec<i64> =
+            (0..m).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect();
+        assert_eq!(mem.slice(y_ref), &expect[..]);
+    }
+
+    #[test]
+    fn good_error_messages() {
+        let e = compile("fn main() { y = 3; return 0; }", &[]).unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+        let e = compile("fn main() { return zz; }", &[]).unwrap_err();
+        assert!(e.message.contains("unknown name 'zz'"), "{e}");
+        let e = compile("fn main() { return f(1); }", &[]).unwrap_err();
+        assert!(e.message.contains("unknown function"), "{e}");
+        let e = compile("fn f(a, b) { return a; } fn main() { return f(1); }", &[]).unwrap_err();
+        assert!(e.message.contains("takes 2 arguments"), "{e}");
+        let e = compile(
+            "fn main(x) { if (x) { while (x > 0) { x = x - 1; } } return x; }",
+            &[],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("loops"), "{e}");
+        let e = compile("fn main() { return 1; return 2; }", &[]).unwrap_err();
+        assert!(e.message.contains("last statement"), "{e}");
+        let e = compile("fn f() { return 1; } fn f() { return 2; }", &[]).unwrap_err();
+        assert!(e.message.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn impure_while_condition_is_rejected_via_validation() {
+        let e = compile(
+            "fn main() { let i = 0; while (load(i) > 0) { i = i + 1; } return i; }",
+            &[],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("pure"), "{e}");
+    }
+}

@@ -1,0 +1,333 @@
+//! Tokenizer for the `tyr-lang` surface syntax.
+
+use std::fmt;
+
+/// A token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword-free name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Fn => write!(f, "'fn'"),
+            Tok::Let => write!(f, "'let'"),
+            Tok::While => write!(f, "'while'"),
+            Tok::If => write!(f, "'if'"),
+            Tok::Else => write!(f, "'else'"),
+            Tok::Return => write!(f, "'return'"),
+            Tok::LParen => write!(f, "'('"),
+            Tok::RParen => write!(f, "')'"),
+            Tok::LBrace => write!(f, "'{{'"),
+            Tok::RBrace => write!(f, "'}}'"),
+            Tok::Comma => write!(f, "','"),
+            Tok::Semi => write!(f, "';'"),
+            Tok::Assign => write!(f, "'='"),
+            Tok::Plus => write!(f, "'+'"),
+            Tok::Minus => write!(f, "'-'"),
+            Tok::Star => write!(f, "'*'"),
+            Tok::Slash => write!(f, "'/'"),
+            Tok::Percent => write!(f, "'%'"),
+            Tok::Amp => write!(f, "'&'"),
+            Tok::Pipe => write!(f, "'|'"),
+            Tok::Caret => write!(f, "'^'"),
+            Tok::Shl => write!(f, "'<<'"),
+            Tok::Shr => write!(f, "'>>'"),
+            Tok::Lt => write!(f, "'<'"),
+            Tok::Le => write!(f, "'<='"),
+            Tok::Gt => write!(f, "'>'"),
+            Tok::Ge => write!(f, "'>='"),
+            Tok::EqEq => write!(f, "'=='"),
+            Tok::Ne => write!(f, "'!='"),
+            Tok::AndAnd => write!(f, "'&&'"),
+            Tok::OrOr => write!(f, "'||'"),
+            Tok::Bang => write!(f, "'!'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string. Supports `//` line comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters or malformed literals.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let (mut line, mut col) = (1u32, 1u32);
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token { kind: $kind, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal '{text}' out of range"),
+                    line,
+                    col,
+                })?;
+                out.push(Token { kind: Tok::Int(value), line, col });
+                col += (i - start) as u32;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "fn" => Tok::Fn,
+                    "let" => Tok::Let,
+                    "while" => Tok::While,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "return" => Tok::Return,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line, col });
+                col += (i - start) as u32;
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '%' => push!(Tok::Percent, 1),
+            '^' => push!(Tok::Caret, 1),
+            '&' if bytes.get(i + 1) == Some(&b'&') => push!(Tok::AndAnd, 2),
+            '&' => push!(Tok::Amp, 1),
+            '|' if bytes.get(i + 1) == Some(&b'|') => push!(Tok::OrOr, 2),
+            '|' => push!(Tok::Pipe, 1),
+            '<' if bytes.get(i + 1) == Some(&b'<') => push!(Tok::Shl, 2),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'>') => push!(Tok::Shr, 2),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '=' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::EqEq, 2),
+            '=' => push!(Tok::Assign, 1),
+            '!' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Ne, 2),
+            '!' => push!(Tok::Bang, 1),
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                    col,
+                })
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo while whilex"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::While,
+                Tok::Ident("whilex".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_operators() {
+        assert_eq!(
+            kinds("1 <= 23 << 4 < 5 == 6"),
+            vec![
+                Tok::Int(1),
+                Tok::Le,
+                Tok::Int(23),
+                Tok::Shl,
+                Tok::Int(4),
+                Tok::Lt,
+                Tok::Int(5),
+                Tok::EqEq,
+                Tok::Int(6),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("x // comment\ny").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[1].kind, Tok::Ident("y".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_huge_literals() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn logical_vs_bitwise() {
+        assert_eq!(kinds("a && b & c"), vec![
+            Tok::Ident("a".into()),
+            Tok::AndAnd,
+            Tok::Ident("b".into()),
+            Tok::Amp,
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+}

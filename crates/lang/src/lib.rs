@@ -1,0 +1,41 @@
+//! `tyr-lang` — a small imperative language that compiles to the TYR
+//! structured IR.
+//!
+//! The paper compiles *unmodified C* through LLVM and UDIR (Sec. IV-C).
+//! This crate is that front-end in miniature: a C-like surface syntax whose
+//! mutable variables, `while` loops, and `if`/`else` are converted into the
+//! IR's concurrent-block form — loop-carried values are *inferred* from
+//! mutation, loop-invariant reads are carried through transfer points, and
+//! branch-assigned names become merges.
+//!
+//! ```text
+//! fn main(n) {
+//!     let i = 0;
+//!     let acc = 0;
+//!     while (i < n) {
+//!         if (i % 2 == 0) { acc = acc + i; }
+//!         i = i + 1;
+//!     }
+//!     return acc;
+//! }
+//! ```
+//!
+//! Memory is accessed through the builtins `load(addr)`, `store(addr, v)`
+//! and `fetch_add(addr, v)`; array base addresses and other link-time
+//! constants are injected by the embedder via [`compile`]'s `consts`
+//! argument.
+//!
+//! Restrictions (inherited from the IR, see `tyr-ir` docs): `while`
+//! conditions must be pure, `if` branches may not contain loops or calls,
+//! functions may not recurse, and `return` is only allowed as a function's
+//! final statement.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{compile, compile_ast, CompileError};
+pub use parser::{parse, ParseError};

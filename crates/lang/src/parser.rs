@@ -1,0 +1,462 @@
+//! Recursive-descent parser for `tyr-lang`.
+//!
+//! Grammar (C-like precedence, lowest first):
+//!
+//! ```text
+//! program   := fndecl*
+//! fndecl    := 'fn' IDENT '(' params? ')' block
+//! block     := '{' stmt* '}'
+//! stmt      := 'let' IDENT '=' expr ';'
+//!            | IDENT '=' expr ';'
+//!            | 'store' '(' expr ',' expr ')' ';'
+//!            | 'fetch_add' '(' expr ',' expr ')' ';'
+//!            | 'while' '(' expr ')' block
+//!            | 'if' '(' expr ')' block ('else' block)?
+//!            | 'return' expr (',' expr)* ';'
+//!            | IDENT '(' args? ')' ';'
+//! expr      := or
+//! or        := and ('||' and)*
+//! and       := bitor ('&&' bitor)*
+//! bitor     := bitxor ('|' bitxor)*
+//! bitxor    := bitand ('^' bitand)*
+//! bitand    := equality ('&' equality)*
+//! equality  := relational (('==' | '!=') relational)*
+//! relational:= shift (('<' | '<=' | '>' | '>=') shift)*
+//! shift     := additive (('<<' | '>>') additive)*
+//! additive  := term (('+' | '-') term)*
+//! term      := unary (('*' | '/' | '%') unary)*
+//! unary     := ('-' | '!') unary | primary
+//! primary   := INT | IDENT | IDENT '(' args? ')' | 'load' '(' expr ')'
+//!            | '(' expr ')'
+//! ```
+
+use std::fmt;
+
+use crate::ast::{Ast, BinOp, Expr, FnDecl, Stmt};
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// A parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax problem.
+pub fn parse(src: &str) -> Result<Ast, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut funcs = Vec::new();
+    while p.peek() != &Tok::Eof {
+        funcs.push(p.fndecl()?);
+    }
+    if funcs.is_empty() {
+        return Err(ParseError { message: "program has no functions".into(), line: 1, col: 1 });
+    }
+    Ok(Ast { funcs })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.tokens[self.pos];
+        (t.line, t.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let (line, col) = self.here();
+        Err(ParseError { message: message.into(), line, col })
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        if self.peek() == &want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn fndecl(&mut self) -> Result<FnDecl, ParseError> {
+        let (line, _) = self.here();
+        self.expect(Tok::Fn)?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                params.push(self.ident()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(FnDecl { name, params, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return self.err("unexpected end of input inside a block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let (line, _) = self.here();
+        match self.peek().clone() {
+            Tok::Let => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Let { name, value, line })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == &Tok::Else {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, line })
+            }
+            Tok::Return => {
+                self.bump();
+                let mut values = vec![self.expr()?];
+                while self.peek() == &Tok::Comma {
+                    self.bump();
+                    values.push(self.expr()?);
+                }
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return { values, line })
+            }
+            Tok::Ident(name) => {
+                // Disambiguate: assignment, builtin, or bare call.
+                if self.peek2() == &Tok::Assign {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Assign { name, value, line })
+                } else if self.peek2() == &Tok::LParen {
+                    self.bump();
+                    self.bump();
+                    match name.as_str() {
+                        "store" | "fetch_add" => {
+                            let addr = self.expr()?;
+                            self.expect(Tok::Comma)?;
+                            let value = self.expr()?;
+                            self.expect(Tok::RParen)?;
+                            self.expect(Tok::Semi)?;
+                            if name == "store" {
+                                Ok(Stmt::Store { addr, value, line })
+                            } else {
+                                Ok(Stmt::FetchAdd { addr, value, line })
+                            }
+                        }
+                        _ => {
+                            let args = self.call_args()?;
+                            self.expect(Tok::Semi)?;
+                            Ok(Stmt::CallStmt { name, args, line })
+                        }
+                    }
+                } else {
+                    self.err(format!(
+                        "expected '=' or '(' after identifier '{name}' in statement position"
+                    ))
+                }
+            }
+            other => self.err(format!("expected a statement, found {other}")),
+        }
+    }
+
+    /// Parses `expr, expr, ...)` after the opening parenthesis was consumed.
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr()?);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    /// Precedence-climbing over the table below (lowest level first).
+    fn binary(&mut self, level: usize) -> Result<Expr, ParseError> {
+        const LEVELS: &[&[(Tok, BinOp)]] = &[
+            &[(Tok::OrOr, BinOp::OrOr)],
+            &[(Tok::AndAnd, BinOp::AndAnd)],
+            &[(Tok::Pipe, BinOp::Or)],
+            &[(Tok::Caret, BinOp::Xor)],
+            &[(Tok::Amp, BinOp::And)],
+            &[(Tok::EqEq, BinOp::Eq), (Tok::Ne, BinOp::Ne)],
+            &[
+                (Tok::Lt, BinOp::Lt),
+                (Tok::Le, BinOp::Le),
+                (Tok::Gt, BinOp::Gt),
+                (Tok::Ge, BinOp::Ge),
+            ],
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+            &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+            &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div), (Tok::Percent, BinOp::Rem)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        'outer: loop {
+            for (tok, op) in LEVELS[level] {
+                if self.peek() == tok {
+                    self.bump();
+                    let rhs = self.binary(level + 1)?;
+                    lhs = Expr::Bin(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.unary()?)))
+            }
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let (line, _) = self.here();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    if name == "load" {
+                        let addr = self.expr()?;
+                        self.expect(Tok::RParen)?;
+                        Ok(Expr::Load(Box::new(addr), line))
+                    } else {
+                        let args = self.call_args()?;
+                        Ok(Expr::Call { name, args, line })
+                    }
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            other => self.err(format!("expected an expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let ast = parse("fn main() { return 0; }").unwrap();
+        assert_eq!(ast.funcs.len(), 1);
+        assert_eq!(ast.funcs[0].name, "main");
+        assert!(ast.funcs[0].params.is_empty());
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let ast = parse("fn main() { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return { values, .. } = &ast.funcs[0].body[0] else { panic!() };
+        let Expr::Bin(BinOp::Add, _, rhs) = &values[0] else { panic!("{:?}", values[0]) };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn precedence_cmp_over_logical() {
+        let ast = parse("fn main(a, b) { return a < 3 && b > 4; }").unwrap();
+        let Stmt::Return { values, .. } = &ast.funcs[0].body[0] else { panic!() };
+        assert!(matches!(values[0], Expr::Bin(BinOp::AndAnd, _, _)));
+    }
+
+    #[test]
+    fn parses_control_flow_and_memory() {
+        let src = "
+            fn main(n) {
+                let i = 0;
+                let acc = 0;
+                while (i < n) {
+                    if (i % 2 == 0) { acc = acc + load(i); } else { store(i, acc); }
+                    fetch_add(64, 1);
+                    i = i + 1;
+                }
+                return acc;
+            }";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.funcs[0].params, vec!["n"]);
+        assert_eq!(ast.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_calls_and_multi_return() {
+        let src = "
+            fn minmax(a, b) { return a, b; }
+            fn main() {
+                helper(1, 2);
+                return f(g(3), 4) + 1;
+            }";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.funcs.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("fn main() {\n  let = 3;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("identifier"));
+        let err = parse("fn main() { return 1 }").unwrap_err();
+        assert!(err.message.contains("';'"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_empty_program_and_stray_tokens() {
+        assert!(parse("").is_err());
+        assert!(parse("fn main() { return 0; } garbage").is_err());
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let ast = parse("fn main(x) { return - - x + !x; }").unwrap();
+        let Stmt::Return { values, .. } = &ast.funcs[0].body[0] else { panic!() };
+        assert!(matches!(values[0], Expr::Bin(BinOp::Add, _, _)));
+    }
+}
+
+#[cfg(test)]
+mod robustness {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, failure_persistence: None, ..ProptestConfig::default() })]
+
+        /// The parser never panics: any input produces Ok or a positioned
+        /// error.
+        #[test]
+        fn parser_total_on_arbitrary_input(src in "[ -~\\n]{0,200}") {
+            let _ = super::parse(&src);
+        }
+
+        /// Valid-looking programs with random identifiers/integers parse or
+        /// fail gracefully.
+        #[test]
+        fn parser_total_on_program_shaped_input(
+            // Prefixed so the generated name can never be a keyword.
+            name in "v[a-z]{0,7}",
+            n in 0i64..1000,
+            op in prop::sample::select(vec!["+", "*", "<", "&&", "<<"]),
+        ) {
+            let src = format!("fn main({name}) {{ return {name} {op} {n}; }}");
+            let ast = super::parse(&src).unwrap();
+            prop_assert_eq!(ast.funcs.len(), 1);
+        }
+    }
+}

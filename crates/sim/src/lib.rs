@@ -1,0 +1,29 @@
+//! Cycle-level idealized simulators for the TYR reproduction (Sec. VI).
+//!
+//! Five architectures, one measurement harness:
+//!
+//! * [`tagged::TaggedEngine`] — tagged dataflow. With
+//!   [`tagged::TagPolicy::Local`] it is **TYR**; with the global policies it
+//!   is the naïve unordered dataflow baseline (bounded or unbounded tags).
+//! * [`ordered::OrderedEngine`] — ordered dataflow (per-edge bounded FIFOs,
+//!   back pressure; RipTide-style).
+//! * [`seqvn::SeqVnEngine`] — sequential von Neumann (1 IPC).
+//! * [`seqdf::SeqDataflowEngine`] — sequential dataflow (WaveScalar-style
+//!   global block order, dataflow parallelism inside each block instance).
+//! * [`ooo::OooEngine`] — out-of-order vN with a bounded instruction window
+//!   (Fig. 5b; an extension beyond the paper's five evaluated systems).
+//!
+//! All engines execute up to an issue width of instructions per cycle, take
+//! one cycle per instruction, and sample live state and IPC every cycle;
+//! results are returned as a [`RunResult`].
+
+#![warn(missing_docs)]
+
+pub mod ooo;
+pub mod ordered;
+pub mod result;
+pub mod seqdf;
+pub mod seqvn;
+pub mod tagged;
+
+pub use result::{Outcome, RunResult, SimError};

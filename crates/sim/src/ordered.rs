@@ -1,0 +1,551 @@
+//! Ordered-dataflow engine (RipTide-style; Sec. II-C).
+//!
+//! Instructions communicate through bounded per-edge FIFO queues. A node
+//! fires when every wired input FIFO has a token *and* every output FIFO has
+//! space (back pressure); each static instruction fires at most once per
+//! cycle, which is precisely the serialization that costs ordered dataflow
+//! its cross-iteration parallelism. "The queue size also limits the number
+//! of dynamic instances of each instruction, applying back pressure to
+//! upstream instructions."
+//!
+//! Readiness is evaluated against start-of-cycle state (synchronous
+//! hardware); a queue may transiently hold one token above its capacity
+//! within a cycle, and the producer stalls the next cycle.
+
+use std::collections::VecDeque;
+
+use tyr_dfg::{Dfg, InKind, NodeKind};
+use tyr_ir::{MemoryImage, Value};
+use tyr_stats::{IpcHistogram, Trace};
+
+use crate::result::{Outcome, RunResult, SimError};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct OrderedConfig {
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// FIFO capacity per edge (the paper's baseline uses 4, which
+    /// "empirically minimizes peak state with minimal loss in performance").
+    pub queue_depth: usize,
+    /// Program arguments.
+    pub args: Vec<Value>,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+    /// Memory access latency in cycles (default 1). Results are pipelined:
+    /// they arrive in issue order `mem_latency` cycles later, so per-edge
+    /// FIFO order is preserved.
+    pub mem_latency: u64,
+}
+
+impl Default for OrderedConfig {
+    fn default() -> Self {
+        OrderedConfig {
+            issue_width: 128,
+            queue_depth: 4,
+            args: Vec::new(),
+            max_cycles: 500_000_000,
+            mem_latency: 1,
+        }
+    }
+}
+
+/// The ordered-dataflow engine.
+pub struct OrderedEngine<'a> {
+    dfg: &'a Dfg,
+    mem: MemoryImage,
+    cfg: OrderedConfig,
+    /// One FIFO per wired input port: `fifos[node][port]`.
+    fifos: Vec<Vec<VecDeque<Value>>>,
+    source_fired: bool,
+    /// Memory results in flight, per load node (results of one node stay
+    /// ordered; different nodes deliver independently):
+    /// `delayed[node] = (release_cycle, value)`.
+    delayed: Vec<VecDeque<(u64, Value)>>,
+    delayed_count: usize,
+    live: u64,
+    fired_total: u64,
+    cycle: u64,
+    trace: Trace,
+    ipc: IpcHistogram,
+    returns: Option<Vec<Value>>,
+}
+
+impl<'a> OrderedEngine<'a> {
+    /// Builds an engine over an ordered-lowered graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-source node has no wired input (it would fire every
+    /// cycle forever).
+    pub fn new(dfg: &'a Dfg, mem: MemoryImage, cfg: OrderedConfig) -> Self {
+        for n in &dfg.nodes {
+            assert!(
+                matches!(n.kind, NodeKind::Source)
+                    || n.ins.iter().any(|i| matches!(i, InKind::Wire)),
+                "node '{}' has no wired inputs",
+                n.label
+            );
+        }
+        let mut live = 0;
+        let fifos: Vec<Vec<VecDeque<Value>>> = dfg
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut qs: Vec<VecDeque<Value>> =
+                    n.ins.iter().map(|_| VecDeque::new()).collect();
+                if let NodeKind::CMerge { initial_ctl } = &n.kind {
+                    for &t in initial_ctl {
+                        qs[0].push_back(t);
+                        live += 1;
+                    }
+                }
+                qs
+            })
+            .collect();
+        OrderedEngine {
+            dfg,
+            mem,
+            cfg,
+            fifos,
+            source_fired: false,
+            delayed: vec![VecDeque::new(); dfg.len()],
+            delayed_count: 0,
+            live,
+            fired_total: 0,
+            cycle: 0,
+            trace: Trace::new(),
+            ipc: IpcHistogram::new(),
+            returns: None,
+        }
+    }
+
+    fn outputs_have_space(&self, idx: usize) -> bool {
+        self.dfg.nodes[idx].outs.iter().all(|targets| {
+            targets
+                .iter()
+                .all(|t| self.fifos[t.node.0 as usize][t.port as usize].len() < self.cfg.queue_depth)
+        })
+    }
+
+    fn wired_inputs_ready(&self, idx: usize) -> bool {
+        self.dfg.nodes[idx].ins.iter().enumerate().all(|(p, kind)| match kind {
+            InKind::Imm(_) => true,
+            InKind::Wire => !self.fifos[idx][p].is_empty(),
+        })
+    }
+
+    fn is_ready(&self, idx: usize) -> bool {
+        let n = &self.dfg.nodes[idx];
+        match &n.kind {
+            NodeKind::Source => !self.source_fired && self.outputs_have_space(idx),
+            NodeKind::Sink => self.returns.is_none() && self.wired_inputs_ready(idx),
+            NodeKind::CMerge { .. } => {
+                let Some(&ctl) = self.fifos[idx][0].front() else { return false };
+                let side = if ctl == 0 { 1 } else { 2 };
+                let side_ok = match n.ins[side] {
+                    InKind::Imm(_) => true,
+                    InKind::Wire => !self.fifos[idx][side].is_empty(),
+                };
+                side_ok && self.outputs_have_space(idx)
+            }
+            _ => self.wired_inputs_ready(idx) && self.outputs_have_space(idx),
+        }
+    }
+
+    fn pop(&mut self, idx: usize, port: usize) -> Value {
+        match self.dfg.nodes[idx].ins[port] {
+            InKind::Imm(v) => v,
+            InKind::Wire => {
+                self.live -= 1;
+                self.fifos[idx][port].pop_front().expect("readiness checked")
+            }
+        }
+    }
+
+    fn push_outputs(&mut self, idx: usize, port: usize, val: Value) {
+        let targets = self.dfg.nodes[idx].outs[port].clone();
+        for t in targets {
+            self.fifos[t.node.0 as usize][t.port as usize].push_back(val);
+            self.live += 1;
+        }
+    }
+
+    fn fire(&mut self, idx: usize) -> Result<(), SimError> {
+        let kind = self.dfg.nodes[idx].kind.clone();
+        match kind {
+            NodeKind::Alu(op) => {
+                let a = self.pop(idx, 0);
+                let b = if self.dfg.nodes[idx].ins.len() > 1 { self.pop(idx, 1) } else { 0 };
+                let v = op.eval(a, b)?;
+                self.push_outputs(idx, 0, v);
+            }
+            NodeKind::Select => {
+                let c = self.pop(idx, 0);
+                let t = self.pop(idx, 1);
+                let f = self.pop(idx, 2);
+                self.push_outputs(idx, 0, if c != 0 { t } else { f });
+            }
+            NodeKind::Load => {
+                let addr = self.pop(idx, 0);
+                if self.dfg.nodes[idx].ins.len() > 1 {
+                    self.pop(idx, 1); // trigger
+                }
+                let v = self.mem.load(addr)?;
+                if self.cfg.mem_latency <= 1 {
+                    self.push_outputs(idx, 0, v);
+                } else {
+                    self.live += 1; // in flight in the memory system
+                    self.delayed[idx].push_back((self.cycle + self.cfg.mem_latency, v));
+                    self.delayed_count += 1;
+                }
+            }
+            NodeKind::Store | NodeKind::StoreAdd => {
+                let addr = self.pop(idx, 0);
+                let v = self.pop(idx, 1);
+                if self.dfg.nodes[idx].ins.len() > 2 {
+                    self.pop(idx, 2); // trigger
+                }
+                if matches!(kind, NodeKind::Store) {
+                    self.mem.store(addr, v)?;
+                } else {
+                    self.mem.fetch_add(addr, v)?;
+                }
+            }
+            NodeKind::Steer => {
+                let d = self.pop(idx, 0);
+                let v = self.pop(idx, 1);
+                self.push_outputs(idx, if d != 0 { 0 } else { 1 }, v);
+            }
+            NodeKind::CMerge { .. } => {
+                let ctl = self.pop(idx, 0);
+                let side = if ctl == 0 { 1 } else { 2 };
+                let v = self.pop(idx, side);
+                self.push_outputs(idx, 0, v);
+            }
+            NodeKind::Const(c) => {
+                self.pop(idx, 0);
+                self.push_outputs(idx, 0, c);
+            }
+            NodeKind::Source => {
+                let n_outs = self.dfg.nodes[idx].outs.len();
+                for k in 0..n_outs - 1 {
+                    let v = self.cfg.args.get(k).copied().unwrap_or(0);
+                    self.push_outputs(idx, k, v);
+                }
+                self.push_outputs(idx, n_outs - 1, 0);
+                self.source_fired = true;
+            }
+            NodeKind::Sink => {
+                let n_ins = self.dfg.nodes[idx].ins.len();
+                let vals: Vec<Value> = (0..n_ins).map(|p| self.pop(idx, p)).collect();
+                self.returns = Some(vals[..self.dfg.n_returns].to_vec());
+            }
+            other => unreachable!("{} in an ordered graph", other.mnemonic()),
+        }
+        Ok(())
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on simulated-program faults or the cycle
+    /// limit. A stall with no fireable instruction before completion is
+    /// reported as [`Outcome::Deadlock`].
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        loop {
+            // Snapshot readiness against start-of-cycle state.
+            let mut ready: Vec<usize> = Vec::new();
+            for idx in 0..self.dfg.len() {
+                if ready.len() >= self.cfg.issue_width {
+                    break;
+                }
+                if self.is_ready(idx) {
+                    ready.push(idx);
+                }
+            }
+            let fired = ready.len() as u64;
+            for idx in ready {
+                self.fire(idx)?;
+            }
+            // Release matured memory results — per load node, in issue
+            // order, and only into FIFOs with space: the memory system
+            // honors back-pressure, otherwise a late delivery could consume
+            // the flow-control bubble a loop cycle needs and wedge the
+            // machine.
+            let mut released = 0usize;
+            if self.delayed_count > 0 {
+                for idx in 0..self.dfg.len() {
+                    while let Some(&(r, _)) = self.delayed[idx].front() {
+                        if r > self.cycle + 1 {
+                            break;
+                        }
+                        let has_space = self.dfg.nodes[idx].outs[0].iter().all(|t| {
+                            self.fifos[t.node.0 as usize][t.port as usize].len()
+                                < self.cfg.queue_depth
+                        });
+                        if !has_space {
+                            break;
+                        }
+                        let (_, v) = self.delayed[idx].pop_front().expect("checked");
+                        self.delayed_count -= 1;
+                        released += 1;
+                        self.live -= 1; // re-counted by push_outputs
+                        self.push_outputs(idx, 0, v);
+                    }
+                }
+            }
+            self.cycle += 1;
+            self.fired_total += fired;
+            self.trace.record(self.live);
+            self.ipc.record(fired);
+
+            // Quiescent only if nothing fired AND the memory system neither
+            // holds nor delivered anything this cycle (a release re-enables
+            // consumers).
+            if fired == 0 && released == 0 && self.delayed_count == 0 {
+                // Set TYR_ORDERED_DEBUG=1 to dump the tokens left in the
+                // machine at quiescence (normal runs leave only the loops'
+                // final control tokens).
+                if std::env::var_os("TYR_ORDERED_DEBUG").is_some() {
+                    for (i, qs) in self.fifos.iter().enumerate() {
+                        for (p, q) in qs.iter().enumerate() {
+                            if !q.is_empty() {
+                                eprintln!(
+                                    "[ordered] leftover: {} .i{p} holds {:?}",
+                                    self.dfg.nodes[i].label, q
+                                );
+                            }
+                        }
+                    }
+                }
+                // Quiescent. The sink's return tokens may arrive long before
+                // the last stores drain, so completion is only declared once
+                // nothing can fire anymore.
+                return if let Some(returns) = self.returns.take() {
+                    Ok(RunResult::new(
+                        Outcome::Completed { cycles: self.cycle, dyn_instrs: self.fired_total },
+                        self.trace,
+                        self.ipc,
+                        self.mem,
+                        returns,
+                    ))
+                } else {
+                    Ok(RunResult::new(
+                        Outcome::Deadlock {
+                            cycle: self.cycle,
+                            live_tokens: self.live,
+                            pending_allocates: Vec::new(),
+                        },
+                        self.trace,
+                        self.ipc,
+                        self.mem,
+                        Vec::new(),
+                    ))
+                };
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_dfg::lower::lower_ordered;
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::{interp, Program};
+
+    fn sum_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, acc, nn] = f.begin_loop("sum", [0.into(), 0.into(), n]);
+        let c = f.lt(i, nn);
+        f.begin_body(c);
+        let acc2 = f.add(acc, i);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc2, nn], [acc]);
+        pb.finish(f, [total])
+    }
+
+    fn run(p: &Program, arg: i64) -> RunResult {
+        let dfg = lower_ordered(p).unwrap();
+        let cfg = OrderedConfig { args: vec![arg], ..OrderedConfig::default() };
+        OrderedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap()
+    }
+
+    #[test]
+    fn computes_sum() {
+        let r = run(&sum_program(), 100);
+        assert!(r.is_complete(), "{:?}", r.outcome);
+        assert_eq!(r.returns, vec![4950]);
+    }
+
+    #[test]
+    fn zero_trip_loop() {
+        let r = run(&sum_program(), 0);
+        assert!(r.is_complete(), "{:?}", r.outcome);
+        assert_eq!(r.returns, vec![0]);
+    }
+
+    #[test]
+    fn nested_loops_match_oracle() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("outer", [0, 0]);
+        let c = f.lt(i, 9);
+        f.begin_body(c);
+        let [j, ia, ii] = f.begin_loop("inner", [0.into(), acc, i]);
+        let cj = f.lt(j, ii);
+        f.begin_body(cj);
+        let prod = f.mul(ii, j);
+        let ia2 = f.add(ia, prod);
+        let j2 = f.add(j, 1);
+        let [acc_out] = f.end_loop([j2, ia2, ii], [ia]);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc_out], [acc]);
+        let p = pb.finish(f, [total]);
+
+        let mut mem = MemoryImage::new();
+        let oracle = interp::run(&p, &mut mem, &[]).unwrap();
+        let dfg = lower_ordered(&p).unwrap();
+        for q in [2, 4, 16] {
+            let cfg = OrderedConfig { queue_depth: q, ..OrderedConfig::default() };
+            let r = OrderedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+            assert!(r.is_complete(), "q={q}: {:?}", r.outcome);
+            assert_eq!(r.returns, oracle.returns, "q={q}");
+        }
+    }
+
+    #[test]
+    fn queue_depth_bounds_state() {
+        let p = sum_program();
+        let dfg = lower_ordered(&p).unwrap();
+        let shallow = OrderedEngine::new(
+            &dfg,
+            MemoryImage::new(),
+            OrderedConfig { queue_depth: 2, args: vec![200], ..OrderedConfig::default() },
+        )
+        .run()
+        .unwrap();
+        let deep = OrderedEngine::new(
+            &dfg,
+            MemoryImage::new(),
+            OrderedConfig { queue_depth: 64, args: vec![200], ..OrderedConfig::default() },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(shallow.returns, deep.returns);
+        assert!(shallow.peak_live() <= deep.peak_live());
+    }
+
+    #[test]
+    fn one_fire_per_node_per_cycle_limits_ipc() {
+        // Ordered IPC can never exceed the static node count.
+        let p = sum_program();
+        let dfg = lower_ordered(&p).unwrap();
+        let r = run(&p, 50);
+        assert!(r.ipc.max_value() <= dfg.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod stall_tests {
+    use super::*;
+    use tyr_dfg::{GraphBuilder, InKind, NodeKind, PortRef};
+
+    #[test]
+    fn starved_graph_reports_deadlock() {
+        // A CMerge with an empty control FIFO can never fire: the engine
+        // must report a stall (Outcome::Deadlock), not hang.
+        let mut g = GraphBuilder::new();
+        let b = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, b, vec![], 2, "src");
+        let cm = g.add_node(
+            NodeKind::CMerge { initial_ctl: vec![] },
+            b,
+            vec![InKind::Wire, InKind::Wire, InKind::Wire],
+            1,
+            "cm",
+        );
+        let sink = g.add_node(NodeKind::Sink, b, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: cm, port: 1 });
+        g.connect(src, 1, PortRef { node: cm, port: 2 });
+        g.connect(cm, 0, PortRef { node: sink, port: 0 });
+        let dfg = g.finish(src, sink, 1);
+        let r = OrderedEngine::new(&dfg, MemoryImage::new(), OrderedConfig::default())
+            .run()
+            .unwrap();
+        match r.outcome {
+            Outcome::Deadlock { live_tokens, .. } => assert_eq!(live_tokens, 2),
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        // An endless producer/consumer ring would run forever; the limit
+        // must stop it. Build `while(i < huge)` via the real lowering.
+        use tyr_dfg::lower::lower_ordered;
+        use tyr_ir::build::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("long", [0]);
+        let c = f.lt(i, 1_000_000_000);
+        f.begin_body(c);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2], [i]);
+        let p = pb.finish(f, [out]);
+        let dfg = lower_ordered(&p).unwrap();
+        let cfg = OrderedConfig { max_cycles: 1000, ..OrderedConfig::default() };
+        let err = OrderedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { limit: 1000 }));
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use tyr_dfg::lower::lower_ordered;
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::interp;
+
+    #[test]
+    fn latency_changes_timing_not_results() {
+        // A load-bearing loop (literally): results must be identical across
+        // memory latencies, including latencies far above the FIFO depth.
+        let mut mem = MemoryImage::new();
+        let xs = mem.alloc_init("xs", &(0..40).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        let out = mem.alloc("out", 40);
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("l", [0]);
+        let c = f.lt(i, 40);
+        f.begin_body(c);
+        let addr = f.add(i, xs.base_const());
+        let v = f.load(addr);
+        let scaled = f.mul(v, 3);
+        let oaddr = f.add(i, out.base_const());
+        f.store(oaddr, scaled);
+        let i2 = f.add(i, 1);
+        f.end_loop([i2], tyr_ir::NO_OPERANDS);
+        let p = pb.finish(f, [tyr_ir::Operand::Const(0)]);
+
+        let mut oracle_mem = mem.clone();
+        interp::run(&p, &mut oracle_mem, &[]).unwrap();
+        let dfg = lower_ordered(&p).unwrap();
+        let mut prev_cycles = 0;
+        for lat in [1u64, 2, 7, 32] {
+            let cfg = OrderedConfig { mem_latency: lat, ..OrderedConfig::default() };
+            let r = OrderedEngine::new(&dfg, mem.clone(), cfg).run().unwrap();
+            assert!(r.is_complete(), "lat={lat}: {:?}", r.outcome);
+            assert_eq!(r.memory().slice(out), oracle_mem.slice(out), "lat={lat}");
+            assert!(r.cycles() >= prev_cycles, "latency should not speed things up");
+            prev_cycles = r.cycles();
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared run results and simulation errors for all engines.
+
+use std::fmt;
+
+use tyr_ir::{AluError, MemError, MemoryImage, Value};
+use tyr_stats::{IpcHistogram, Trace};
+
+/// How a simulation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The program ran to completion.
+    Completed {
+        /// Total cycles.
+        cycles: u64,
+        /// Total dynamic instructions fired.
+        dyn_instrs: u64,
+    },
+    /// The machine deadlocked: no instruction could fire, but work remained
+    /// (the failure mode of bounded global tag spaces — Fig. 11).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+        /// Live tokens stranded in the machine.
+        live_tokens: u64,
+        /// Human-readable descriptions of the stalled tag allocations.
+        pending_allocates: Vec<String>,
+    },
+}
+
+/// The complete record of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Per-cycle live-token (or live-value) trace.
+    pub live: Trace,
+    /// Exact histogram of per-cycle IPC.
+    pub ipc: IpcHistogram,
+    /// Final memory contents.
+    memory: MemoryImage,
+    /// Program return values (empty on deadlock).
+    pub returns: Vec<Value>,
+    /// Peak tokens resident per concurrent block's token store
+    /// (`(block name, peak)`), for engines that track it (the tagged
+    /// engine). Quantifies the hardware token-store size each block needs —
+    /// the implementability argument of Sec. III.
+    pub store_peaks: Vec<(String, u64)>,
+}
+
+impl RunResult {
+    /// Assembles a result.
+    pub fn new(
+        outcome: Outcome,
+        live: Trace,
+        ipc: IpcHistogram,
+        memory: MemoryImage,
+        returns: Vec<Value>,
+    ) -> Self {
+        RunResult { outcome, live, ipc, memory, returns, store_peaks: Vec::new() }
+    }
+
+    /// Attaches per-block token-store peaks (builder-style).
+    pub fn with_store_peaks(mut self, peaks: Vec<(String, u64)>) -> Self {
+        self.store_peaks = peaks;
+        self
+    }
+
+    /// The largest single block-store occupancy seen (0 if untracked).
+    pub fn max_store_peak(&self) -> u64 {
+        self.store_peaks.iter().map(|&(_, p)| p).max().unwrap_or(0)
+    }
+
+    /// Whether the run completed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.outcome, Outcome::Completed { .. })
+    }
+
+    /// Execution time in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run deadlocked.
+    pub fn cycles(&self) -> u64 {
+        match self.outcome {
+            Outcome::Completed { cycles, .. } => cycles,
+            Outcome::Deadlock { cycle, .. } => panic!("deadlocked at cycle {cycle}; no completion time"),
+        }
+    }
+
+    /// Total dynamic instructions (0 for a deadlocked run).
+    pub fn dyn_instrs(&self) -> u64 {
+        match self.outcome {
+            Outcome::Completed { dyn_instrs, .. } => dyn_instrs,
+            Outcome::Deadlock { .. } => 0,
+        }
+    }
+
+    /// Peak live state over the run.
+    pub fn peak_live(&self) -> u64 {
+        self.live.peak()
+    }
+
+    /// Mean live state over the run.
+    pub fn mean_live(&self) -> f64 {
+        self.live.mean()
+    }
+
+    /// Final memory contents.
+    pub fn memory(&self) -> &MemoryImage {
+        &self.memory
+    }
+}
+
+/// A simulation fault (distinct from [`Outcome::Deadlock`], which is a
+/// legitimate result the evaluation observes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Arithmetic fault in the simulated program.
+    Alu(AluError),
+    /// Memory fault in the simulated program.
+    Mem(MemError),
+    /// The configured cycle limit was reached.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The program completed but tokens remained in the machine — a lowering
+    /// or engine bug, surfaced loudly.
+    TokenLeak {
+        /// Leaked token count.
+        live_tokens: u64,
+    },
+    /// A token arrived with a tag outside its block's tag space — an engine
+    /// or policy bug.
+    TagOverflow {
+        /// Offending tag value.
+        tag: u64,
+        /// Size of the space it was delivered into.
+        space: usize,
+    },
+    /// A node has more wired inputs than the engine's token store supports.
+    TooManyInputs {
+        /// The node's wired input count.
+        count: usize,
+    },
+    /// The interpreter faulted (vN engine).
+    Interp(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Alu(e) => write!(f, "alu fault: {e}"),
+            SimError::Mem(e) => write!(f, "memory fault: {e}"),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+            SimError::TokenLeak { live_tokens } => {
+                write!(f, "program completed with {live_tokens} tokens leaked")
+            }
+            SimError::TagOverflow { tag, space } => {
+                write!(f, "tag {tag} outside its space of {space}")
+            }
+            SimError::TooManyInputs { count } => {
+                write!(f, "node has {count} wired inputs (maximum 63)")
+            }
+            SimError::Interp(e) => write!(f, "interpreter fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<AluError> for SimError {
+    fn from(e: AluError) -> Self {
+        SimError::Alu(e)
+    }
+}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let r = RunResult::new(
+            Outcome::Completed { cycles: 10, dyn_instrs: 25 },
+            Trace::new(),
+            IpcHistogram::new(),
+            MemoryImage::new(),
+            vec![7],
+        );
+        assert!(r.is_complete());
+        assert_eq!(r.cycles(), 10);
+        assert_eq!(r.dyn_instrs(), 25);
+        assert_eq!(r.returns, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn cycles_panics_on_deadlock() {
+        let r = RunResult::new(
+            Outcome::Deadlock { cycle: 5, live_tokens: 3, pending_allocates: vec![] },
+            Trace::new(),
+            IpcHistogram::new(),
+            MemoryImage::new(),
+            vec![],
+        );
+        assert!(!r.is_complete());
+        let _ = r.cycles();
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::CycleLimit { limit: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = SimError::TokenLeak { live_tokens: 4 };
+        assert!(e.to_string().contains("4 tokens"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Sequential von Neumann engine (Sec. II-C, Fig. 5a).
+//!
+//! One instruction retires per cycle — the depth-first traversal of the
+//! dynamic execution graph. Live state is the number of bound values across
+//! the activation stack (registers + spilled locals), which stays tiny:
+//! that is exactly the paper's point about vN machines minimizing state at
+//! the cost of parallelism.
+//!
+//! Implemented as instrumentation over the `tyr-ir` reference interpreter,
+//! which doubles as the correctness oracle for the dataflow engines.
+
+use tyr_ir::interp::{self, Tracer};
+use tyr_ir::{MemoryImage, Program, Value};
+use tyr_stats::{IpcHistogram, Trace};
+
+use crate::result::{Outcome, RunResult, SimError};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SeqVnConfig {
+    /// Program arguments.
+    pub args: Vec<Value>,
+    /// Safety limit on retired instructions (= cycles).
+    pub max_cycles: u64,
+}
+
+impl Default for SeqVnConfig {
+    fn default() -> Self {
+        SeqVnConfig { args: Vec::new(), max_cycles: 50_000_000_000 }
+    }
+}
+
+/// The sequential von Neumann engine.
+pub struct SeqVnEngine<'a> {
+    program: &'a Program,
+    mem: MemoryImage,
+    cfg: SeqVnConfig,
+}
+
+struct VnTracer {
+    trace: Trace,
+    ipc: IpcHistogram,
+}
+
+impl Tracer for VnTracer {
+    fn on_instr(&mut self, live: u64) {
+        self.trace.record(live);
+        self.ipc.record(1);
+    }
+}
+
+impl<'a> SeqVnEngine<'a> {
+    /// Builds an engine over a structured program.
+    pub fn new(program: &'a Program, mem: MemoryImage, cfg: SeqVnConfig) -> Self {
+        SeqVnEngine { program, mem, cfg }
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Interp`] on interpreter faults and
+    /// [`SimError::CycleLimit`] if the instruction budget runs out.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        let mut tracer = VnTracer { trace: Trace::new(), ipc: IpcHistogram::new() };
+        let out =
+            interp::run_traced(self.program, &mut self.mem, &self.cfg.args, self.cfg.max_cycles, &mut tracer)
+                .map_err(|e| match e {
+                    interp::InterpError::OutOfFuel => SimError::CycleLimit { limit: self.cfg.max_cycles },
+                    other => SimError::Interp(other.to_string()),
+                })?;
+        Ok(RunResult::new(
+            Outcome::Completed { cycles: out.dyn_instrs, dyn_instrs: out.dyn_instrs },
+            tracer.trace,
+            tracer.ipc,
+            self.mem,
+            out.returns,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::build::ProgramBuilder;
+
+    #[test]
+    fn one_ipc_and_tiny_state() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, acc, nn] = f.begin_loop("sum", [0.into(), 0.into(), n]);
+        let c = f.lt(i, nn);
+        f.begin_body(c);
+        let acc2 = f.add(acc, i);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc2, nn], [acc]);
+        let p = pb.finish(f, [total]);
+
+        let cfg = SeqVnConfig { args: vec![500], ..SeqVnConfig::default() };
+        let r = SeqVnEngine::new(&p, MemoryImage::new(), cfg).run().unwrap();
+        assert!(r.is_complete());
+        assert_eq!(r.returns, vec![(0..500).sum::<i64>()]);
+        assert_eq!(r.cycles(), r.dyn_instrs());
+        assert_eq!(r.ipc.max_value(), 1);
+        assert!(r.peak_live() < 16, "vN live state should be register-like");
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("long", [0]);
+        let c = f.lt(i, 1_000_000);
+        f.begin_body(c);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2], [i]);
+        let p = pb.finish(f, [out]);
+        let cfg = SeqVnConfig { max_cycles: 100, ..SeqVnConfig::default() };
+        let err = SeqVnEngine::new(&p, MemoryImage::new(), cfg).run().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { limit: 100 }));
+    }
+}

@@ -1,0 +1,1341 @@
+//! The tagged-dataflow engine: executes graphs from
+//! `tyr_dfg::lower::lower_tagged` under a configurable *tag policy*.
+//!
+//! One engine serves three architectures of the paper's evaluation:
+//!
+//! * [`TagPolicy::Local`] — **TYR**: every concurrent block has its own
+//!   free list; `allocate` obeys the forward-progress rule of Sec. IV-A
+//!   (never taking the last usable tag unless the context is ready, and
+//!   reserving a spare tag for tail-recursive backedges). Per-block sizes
+//!   can differ (Sec. VII-E).
+//! * [`TagPolicy::GlobalBounded`] — naïve unordered dataflow with a finite
+//!   global tag pool, allocated first-come-first-served. This is the
+//!   configuration that deadlocks in Fig. 11.
+//! * [`TagPolicy::GlobalUnbounded`] — naïve unordered dataflow with
+//!   unlimited tags (the TTDA/Monsoon-style baseline). With a TYR graph this
+//!   policy makes every `allocate` succeed immediately, reproducing the
+//!   "unlimited tags behaves identically to naïve unordered" observation of
+//!   Fig. 9d.
+//!
+//! Execution is idealized per Sec. VI: every instruction takes one cycle,
+//! up to `issue_width` instructions fire per cycle (including multiple
+//! dynamic instances of the same static instruction), and live tokens and
+//! IPC are sampled every cycle.
+
+use std::collections::{HashMap, VecDeque};
+
+use tyr_dfg::{AllocKind, Dfg, InKind, NodeId, NodeKind, PortRef};
+use tyr_ir::{MemoryImage, Value};
+use tyr_stats::{IpcHistogram, Trace};
+
+use crate::result::{Outcome, RunResult, SimError};
+
+/// Maximum wired inputs per node (token-presence bits share a `u64` with
+/// three engine flags).
+const MAX_WIRED: usize = 48;
+
+const IN_QUEUE: u64 = 1 << 63;
+const IN_PENDING: u64 = 1 << 62;
+const AL_POPPED: u64 = 1 << 61;
+
+/// Tag-allocation policy (the axis distinguishing TYR from prior unordered
+/// dataflow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagPolicy {
+    /// TYR: local tag spaces with forward-progress gating.
+    Local {
+        /// Tags per concurrent block.
+        default_tags: usize,
+        /// Per-block overrides by block name (function name or loop label).
+        overrides: Vec<(String, usize)>,
+    },
+    /// One global pool of `tags` tags, allocated FCFS with no gating.
+    GlobalBounded {
+        /// Pool size.
+        tags: usize,
+    },
+    /// Unlimited tags.
+    GlobalUnbounded,
+}
+
+impl TagPolicy {
+    /// TYR with `tags` tags in every local tag space.
+    pub fn local(tags: usize) -> Self {
+        TagPolicy::Local { default_tags: tags, overrides: Vec::new() }
+    }
+
+    /// TYR with per-block overrides: `(block name, tags)`.
+    pub fn local_with(tags: usize, overrides: Vec<(String, usize)>) -> Self {
+        TagPolicy::Local { default_tags: tags, overrides }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct TaggedConfig {
+    /// Instructions issued per cycle (Sec. VI uses 128).
+    pub issue_width: usize,
+    /// Tag policy.
+    pub tag_policy: TagPolicy,
+    /// Program arguments delivered by the source node.
+    pub args: Vec<Value>,
+    /// Safety limit on simulated cycles.
+    pub max_cycles: u64,
+    /// Memory access latency in cycles (default 1, the paper's idealized
+    /// model). Loads and stores deliver their results `mem_latency` cycles
+    /// after issue; raising it shows why tagged dataflow tolerates
+    /// long/unpredictable latencies where ordered dataflow stalls (Sec.
+    /// II-C).
+    pub mem_latency: u64,
+    /// Model dedicated tag-management hardware: token-synchronization
+    /// instructions (`allocate`, `free`, `changeTag`, `extractTag`, `join`,
+    /// `merge`, `const`) fire without consuming issue slots. Sec. VIII
+    /// sketches exactly such microarchitectures (Monsoon-style block-boundary
+    /// matching); this knob quantifies the ISA tax of TYR's token
+    /// synchronization. Default off: every instruction costs a slot, as in
+    /// the paper's evaluation.
+    pub free_token_sync: bool,
+}
+
+impl Default for TaggedConfig {
+    fn default() -> Self {
+        TaggedConfig {
+            issue_width: 128,
+            tag_policy: TagPolicy::local(64),
+            args: Vec::new(),
+            max_cycles: 500_000_000,
+            mem_latency: 1,
+            free_token_sync: false,
+        }
+    }
+}
+
+/// Token storage for one node: presence bitmask + per-port values, keyed by
+/// tag. TYR's bounded local tag spaces permit small dense arrays — exactly
+/// the implementation benefit Sec. III claims; unbounded tags force an
+/// associative (hash) store.
+enum Store {
+    Dense { n_ports: usize, present: Vec<u64>, vals: Vec<Value> },
+    Sparse { n_ports: usize, map: HashMap<u64, SparseSlot> },
+}
+
+struct SparseSlot {
+    present: u64,
+    vals: Vec<Value>,
+}
+
+impl Store {
+    fn present(&self, tag: u64) -> u64 {
+        match self {
+            Store::Dense { present, .. } => present[tag as usize],
+            Store::Sparse { map, .. } => map.get(&tag).map_or(0, |s| s.present),
+        }
+    }
+
+    fn set(&mut self, tag: u64, port: u16, val: Value) -> Result<u64, SimError> {
+        match self {
+            Store::Dense { n_ports, present, vals } => {
+                let t = tag as usize;
+                if t >= present.len() {
+                    return Err(SimError::TagOverflow { tag, space: present.len() });
+                }
+                present[t] |= 1 << port;
+                vals[t * *n_ports + port as usize] = val;
+                Ok(present[t])
+            }
+            Store::Sparse { n_ports, map } => {
+                let slot = map
+                    .entry(tag)
+                    .or_insert_with(|| SparseSlot { present: 0, vals: vec![0; *n_ports] });
+                slot.present |= 1 << port;
+                slot.vals[port as usize] = val;
+                Ok(slot.present)
+            }
+        }
+    }
+
+    fn or_flags(&mut self, tag: u64, flags: u64) {
+        match self {
+            Store::Dense { present, .. } => present[tag as usize] |= flags,
+            Store::Sparse { map, n_ports } => {
+                map.entry(tag)
+                    .or_insert_with(|| SparseSlot { present: 0, vals: vec![0; *n_ports] })
+                    .present |= flags;
+            }
+        }
+    }
+
+    fn clear(&mut self, tag: u64, bits: u64) {
+        match self {
+            Store::Dense { present, .. } => present[tag as usize] &= !bits,
+            Store::Sparse { map, .. } => {
+                if let Some(slot) = map.get_mut(&tag) {
+                    slot.present &= !bits;
+                    if slot.present == 0 {
+                        map.remove(&tag);
+                    }
+                }
+            }
+        }
+    }
+
+    fn val(&self, tag: u64, port: u16) -> Value {
+        match self {
+            Store::Dense { n_ports, vals, .. } => vals[tag as usize * *n_ports + port as usize],
+            Store::Sparse { map, .. } => map[&tag].vals[port as usize],
+        }
+    }
+}
+
+enum Backend {
+    Local { free: Vec<Vec<u64>>, pending: Vec<VecDeque<(u32, u64)>> },
+    Global { free: Vec<u64>, pending: VecDeque<(u32, u64)> },
+    Unbounded { next: u64 },
+}
+
+/// The tagged-dataflow engine. Construct with [`TaggedEngine::new`], run
+/// with [`TaggedEngine::run`].
+pub struct TaggedEngine<'a> {
+    dfg: &'a Dfg,
+    mem: MemoryImage,
+    cfg: TaggedConfig,
+    required: Vec<u64>,
+    store: Vec<Store>,
+    backend: Backend,
+    ready: VecDeque<(u32, u64)>,
+    emissions: Vec<(PortRef, u64, Value)>,
+    /// Memory results in flight: `(release_cycle, target, tag, value)`,
+    /// FIFO because the latency is constant.
+    delayed: VecDeque<(u64, PortRef, u64, Value)>,
+    live: u64,
+    /// Live tokens per concurrent block (token-store occupancy).
+    block_live: Vec<u64>,
+    /// Peak occupancy per block.
+    block_peak: Vec<u64>,
+    fired_total: u64,
+    cycle: u64,
+    trace: Trace,
+    ipc: IpcHistogram,
+    returns: Option<Vec<Value>>,
+}
+
+impl<'a> TaggedEngine<'a> {
+    /// Builds an engine over a lowered graph and an initial memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node has more than 48 wired inputs (no lowering output
+    /// comes close).
+    pub fn new(dfg: &'a Dfg, mem: MemoryImage, cfg: TaggedConfig) -> Self {
+        let mut required = Vec::with_capacity(dfg.len());
+        for n in &dfg.nodes {
+            let mut mask = 0u64;
+            let mut count = 0u32;
+            for (i, k) in n.ins.iter().enumerate() {
+                if matches!(k, InKind::Wire) {
+                    mask |= 1 << i;
+                    count += 1;
+                }
+            }
+            assert!(
+                (count as usize) <= MAX_WIRED,
+                "node {} has {count} wired inputs (max {MAX_WIRED})",
+                n.label
+            );
+            required.push(mask);
+            let _ = count;
+        }
+
+        let space_size = |name: &str, default_tags: usize, overrides: &[(String, usize)]| {
+            overrides
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, t)| t)
+                .unwrap_or(default_tags)
+                .max(1)
+        };
+
+        let (backend, store): (Backend, Vec<Store>) = match &cfg.tag_policy {
+            TagPolicy::Local { default_tags, overrides } => {
+                let root = dfg.node(dfg.source).block;
+                let sizes: Vec<usize> = dfg
+                    .blocks
+                    .iter()
+                    .map(|b| space_size(&b.name, *default_tags, overrides))
+                    .collect();
+                let free: Vec<Vec<u64>> = sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        // The root context owns tag 0 of the root space.
+                        let lo = if i == root.0 as usize { 1 } else { 0 };
+                        (lo as u64..t as u64).rev().collect()
+                    })
+                    .collect();
+                let pending = vec![VecDeque::new(); sizes.len()];
+                let store = dfg
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        let t = sizes[n.block.0 as usize];
+                        Store::Dense {
+                            n_ports: n.ins.len(),
+                            present: vec![0; t],
+                            vals: vec![0; t * n.ins.len()],
+                        }
+                    })
+                    .collect();
+                (Backend::Local { free, pending }, store)
+            }
+            TagPolicy::GlobalBounded { tags } => {
+                let t = (*tags).max(1);
+                // Tags 1..=t are the pool; the root context owns tag 0.
+                let free: Vec<u64> = (1..=t as u64).rev().collect();
+                let store = dfg
+                    .nodes
+                    .iter()
+                    .map(|n| Store::Dense {
+                        n_ports: n.ins.len(),
+                        present: vec![0; t + 1],
+                        vals: vec![0; (t + 1) * n.ins.len()],
+                    })
+                    .collect();
+                (Backend::Global { free, pending: VecDeque::new() }, store)
+            }
+            TagPolicy::GlobalUnbounded => {
+                let store = dfg
+                    .nodes
+                    .iter()
+                    .map(|n| Store::Sparse { n_ports: n.ins.len(), map: HashMap::new() })
+                    .collect();
+                (Backend::Unbounded { next: 1 }, store)
+            }
+        };
+
+        TaggedEngine {
+            dfg,
+            mem,
+            cfg,
+            required,
+            store,
+            backend,
+            ready: VecDeque::new(),
+            emissions: Vec::new(),
+            delayed: VecDeque::new(),
+            live: 0,
+            block_live: vec![0; dfg.blocks.len()],
+            block_peak: vec![0; dfg.blocks.len()],
+            fired_total: 0,
+            cycle: 0,
+            trace: Trace::new(),
+            ipc: IpcHistogram::new(),
+            returns: None,
+        }
+    }
+
+    /// Runs the program to completion, deadlock, or fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on simulated-program faults (memory, divide),
+    /// the cycle limit, or internal invariant violations. Deadlock is *not*
+    /// an error: it is reported via [`Outcome::Deadlock`].
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        // Seed: the source fires in the first cycle with the root tag.
+        self.ready.push_back((self.dfg.source.0, 0));
+
+        loop {
+            let mut fired = 0u64;
+            let mut sync_fired = 0u64;
+            // With dedicated tag-management hardware, sync instructions are
+            // still one-cycle but do not compete for issue slots.
+            let sync_budget =
+                if self.cfg.free_token_sync { self.ready.len() } else { 0 };
+            let mut considered = 0usize;
+            let mut deferred: Vec<(u32, u64)> = Vec::new();
+            while (fired as usize) < self.cfg.issue_width
+                || (self.cfg.free_token_sync && considered < sync_budget)
+            {
+                let Some((n, t)) = self.ready.pop_front() else { break };
+                considered += 1;
+                let is_sync = matches!(
+                    self.dfg.nodes[n as usize].kind,
+                    NodeKind::Allocate { .. }
+                        | NodeKind::NewTag
+                        | NodeKind::Free { .. }
+                        | NodeKind::ChangeTag
+                        | NodeKind::ChangeTagDyn
+                        | NodeKind::ExtractTag
+                        | NodeKind::Join
+                        | NodeKind::Merge
+                        | NodeKind::Const(_)
+                );
+                if self.cfg.free_token_sync && !is_sync && (fired as usize) >= self.cfg.issue_width
+                {
+                    // Out of compute slots this cycle; defer without
+                    // perturbing the FIFO issue order.
+                    deferred.push((n, t));
+                    continue;
+                }
+                self.store[n as usize].clear(t, IN_QUEUE);
+                if !self.recheck_allocate(n, t) {
+                    continue; // moved back to the pending list
+                }
+                self.fire(NodeId(n), t)?;
+                if self.cfg.free_token_sync && is_sync {
+                    sync_fired += 1;
+                } else {
+                    fired += 1;
+                }
+            }
+
+            // Release memory results whose latency has elapsed.
+            while self.delayed.front().is_some_and(|&(r, ..)| r <= self.cycle + 1) {
+                let (_, target, tag, val) = self.delayed.pop_front().expect("checked");
+                // Re-counted (live and block) by emit_to.
+                self.live -= 1;
+                self.block_live[self.dfg.nodes[target.node.0 as usize].block.0 as usize] -= 1;
+                self.emit_to(target, tag, val);
+            }
+            // Deliver this cycle's emissions (visible next cycle). The list
+            // can grow while draining: an `allocate` that already popped
+            // consumes its `ready` input on delivery and emits its control
+            // token immediately.
+            let mut i = 0;
+            while i < self.emissions.len() {
+                let (target, tag, val) = self.emissions[i];
+                i += 1;
+                self.deliver(target, tag, val)?;
+            }
+            self.emissions.clear();
+
+            for &(n, t) in deferred.iter().rev() {
+                self.ready.push_front((n, t));
+            }
+            self.cycle += 1;
+            // Sync firings are real dynamic instructions even when they do
+            // not consume issue slots; IPC counts compute slots only.
+            self.fired_total += fired + sync_fired;
+            self.trace.record(self.live);
+            self.ipc.record(fired);
+
+            if self.live == 0 && self.ready.is_empty() && self.delayed.is_empty() {
+                if let Some(returns) = self.returns.take() {
+                    let peaks = self.store_peaks();
+                    return Ok(RunResult::new(
+                        Outcome::Completed { cycles: self.cycle, dyn_instrs: self.fired_total },
+                        self.trace,
+                        self.ipc,
+                        self.mem,
+                        returns,
+                    )
+                    .with_store_peaks(peaks));
+                }
+            }
+            if fired + sync_fired == 0 && self.ready.is_empty() && self.delayed.is_empty() {
+                if self.returns.is_some() {
+                    return Err(SimError::TokenLeak { live_tokens: self.live });
+                }
+                let peaks = self.store_peaks();
+                return Ok(RunResult::new(
+                    Outcome::Deadlock {
+                        cycle: self.cycle,
+                        live_tokens: self.live,
+                        pending_allocates: self.pending_report(),
+                    },
+                    self.trace,
+                    self.ipc,
+                    self.mem,
+                    Vec::new(),
+                )
+                .with_store_peaks(peaks));
+            }
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+        }
+    }
+
+    fn store_peaks(&self) -> Vec<(String, u64)> {
+        self.dfg
+            .blocks
+            .iter()
+            .zip(&self.block_peak)
+            .map(|(b, &p)| (b.name.clone(), p))
+            .collect()
+    }
+
+    fn pending_report(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let describe = |&(n, t): &(u32, u64)| {
+            let node = &self.dfg.nodes[n as usize];
+            format!("{} (tag {t}, block '{}')", node.label, self.dfg.blocks[node.block.0 as usize].name)
+        };
+        match &self.backend {
+            Backend::Local { pending, .. } => {
+                for q in pending {
+                    out.extend(q.iter().map(describe));
+                }
+            }
+            Backend::Global { pending, .. } => out.extend(pending.iter().map(describe)),
+            Backend::Unbounded { .. } => {}
+        }
+        out
+    }
+
+    /// For allocate activations popped from the ready queue: re-verify
+    /// eligibility (free lists may have changed). Returns `false` (and parks
+    /// the activation) if it can no longer pop.
+    fn recheck_allocate(&mut self, n: u32, t: u64) -> bool {
+        let NodeKind::Allocate { space, kind } = &self.dfg.nodes[n as usize].kind else {
+            return true;
+        };
+        let ready_present = self.store[n as usize].present(t) & 0b10 != 0;
+        if self.alloc_eligible(*space, *kind, ready_present) {
+            true
+        } else {
+            self.store[n as usize].or_flags(t, IN_PENDING);
+            match &mut self.backend {
+                Backend::Local { pending, .. } => pending[space.0 as usize].push_back((n, t)),
+                Backend::Global { pending, .. } => pending.push_back((n, t)),
+                Backend::Unbounded { .. } => unreachable!("unbounded is always eligible"),
+            }
+            false
+        }
+    }
+
+    fn alloc_eligible(&self, space: tyr_dfg::BlockId, kind: AllocKind, ready: bool) -> bool {
+        match &self.backend {
+            Backend::Local { free, .. } => {
+                let f = free[space.0 as usize].len();
+                let r = kind.reserve();
+                // Sec. IV-A: pop immediately while more than one usable tag
+                // remains; pop the last usable tag only for a ready context.
+                if ready {
+                    f > r
+                } else {
+                    f > r + 1
+                }
+            }
+            // FCFS, no gating: this is what deadlocks (Fig. 11).
+            Backend::Global { free, .. } => !free.is_empty(),
+            Backend::Unbounded { .. } => true,
+        }
+    }
+
+    fn pop_tag(&mut self, space: tyr_dfg::BlockId) -> u64 {
+        match &mut self.backend {
+            Backend::Local { free, .. } => free[space.0 as usize].pop().expect("eligibility checked"),
+            Backend::Global { free, .. } => free.pop().expect("eligibility checked"),
+            Backend::Unbounded { next } => {
+                let t = *next;
+                *next += 1;
+                t
+            }
+        }
+    }
+
+    fn push_tag(&mut self, space: tyr_dfg::BlockId, tag: u64) {
+        // Returning a tag may unblock parked allocates; re-examine them in
+        // arrival order.
+        let mut unparked: Vec<(u32, u64)> = Vec::new();
+        match &mut self.backend {
+            Backend::Local { free, pending } => {
+                free[space.0 as usize].push(tag);
+                unparked.extend(pending[space.0 as usize].drain(..));
+            }
+            Backend::Global { free, pending } => {
+                free.push(tag);
+                unparked.extend(pending.drain(..));
+            }
+            Backend::Unbounded { .. } => {}
+        }
+        for (n, t) in unparked {
+            // Entries promoted by a later `ready` arrival are stale.
+            if self.store[n as usize].present(t) & IN_PENDING == 0 {
+                continue;
+            }
+            self.store[n as usize].clear(t, IN_PENDING);
+            if let NodeKind::NewTag = &self.dfg.nodes[n as usize].kind {
+                // A parked pseudo-allocate (bounded policy over an
+                // unbounded-elaboration graph).
+                let space = self.dfg.nodes[n as usize].block;
+                if self.alloc_eligible(space, AllocKind::Call, true) {
+                    self.store[n as usize].or_flags(t, IN_QUEUE);
+                    self.ready.push_back((n, t));
+                } else {
+                    self.store[n as usize].or_flags(t, IN_PENDING);
+                    match &mut self.backend {
+                        Backend::Local { pending, .. } => {
+                            pending[space.0 as usize].push_back((n, t))
+                        }
+                        Backend::Global { pending, .. } => pending.push_back((n, t)),
+                        Backend::Unbounded { .. } => unreachable!(),
+                    }
+                }
+                continue;
+            }
+            let NodeKind::Allocate { space, kind } = &self.dfg.nodes[n as usize].kind else {
+                unreachable!("only allocates park")
+            };
+            let ready = self.store[n as usize].present(t) & 0b10 != 0;
+            if self.alloc_eligible(*space, *kind, ready) {
+                self.store[n as usize].or_flags(t, IN_QUEUE);
+                self.ready.push_back((n, t));
+            } else {
+                self.store[n as usize].or_flags(t, IN_PENDING);
+                match &mut self.backend {
+                    Backend::Local { pending, .. } => pending[space.0 as usize].push_back((n, t)),
+                    Backend::Global { pending, .. } => pending.push_back((n, t)),
+                    Backend::Unbounded { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn emit(&mut self, node: NodeId, port: u16, tag: u64, val: Value) {
+        let targets = self.dfg.nodes[node.0 as usize].outs[port as usize].clone();
+        for t in targets {
+            self.emit_to(t, tag, val);
+        }
+    }
+
+    fn emit_to(&mut self, target: PortRef, tag: u64, val: Value) {
+        self.emissions.push((target, tag, val));
+        self.live += 1;
+        let b = self.dfg.nodes[target.node.0 as usize].block.0 as usize;
+        self.block_live[b] += 1;
+        if self.block_live[b] > self.block_peak[b] {
+            self.block_peak[b] = self.block_live[b];
+        }
+    }
+
+    /// Emits a memory result on `port` after `mem_latency` cycles.
+    fn emit_mem(&mut self, node: NodeId, port: u16, tag: u64, val: Value) {
+        if self.cfg.mem_latency <= 1 {
+            self.emit(node, port, tag, val);
+            return;
+        }
+        let release = self.cycle + self.cfg.mem_latency;
+        let targets = self.dfg.nodes[node.0 as usize].outs[port as usize].clone();
+        for t in targets {
+            self.delayed.push_back((release, t, tag, val));
+            self.live += 1;
+            let b = self.dfg.nodes[t.node.0 as usize].block.0 as usize;
+            self.block_live[b] += 1;
+            if self.block_live[b] > self.block_peak[b] {
+                self.block_peak[b] = self.block_live[b];
+            }
+        }
+    }
+
+    fn input(&self, node: NodeId, tag: u64, port: u16) -> Value {
+        match self.dfg.nodes[node.0 as usize].ins[port as usize] {
+            InKind::Imm(v) => v,
+            InKind::Wire => self.store[node.0 as usize].val(tag, port),
+        }
+    }
+
+    /// Consumes the wired inputs indicated by `mask`.
+    fn consume(&mut self, node: NodeId, tag: u64, mask: u64) {
+        let present = self.store[node.0 as usize].present(tag);
+        let eaten = present & mask;
+        self.store[node.0 as usize].clear(tag, eaten);
+        let n = eaten.count_ones() as u64;
+        self.live -= n;
+        self.block_live[self.dfg.nodes[node.0 as usize].block.0 as usize] -= n;
+    }
+
+    fn fire(&mut self, node: NodeId, tag: u64) -> Result<(), SimError> {
+        let n = &self.dfg.nodes[node.0 as usize];
+        let idx = node.0 as usize;
+        match &n.kind {
+            NodeKind::Alu(op) => {
+                let a = self.input(node, tag, 0);
+                let b = if n.ins.len() > 1 { self.input(node, tag, 1) } else { 0 };
+                let v = op.eval(a, b)?;
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, tag, v);
+            }
+            NodeKind::Select => {
+                let c = self.input(node, tag, 0);
+                let v = if c != 0 { self.input(node, tag, 1) } else { self.input(node, tag, 2) };
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, tag, v);
+            }
+            NodeKind::Load => {
+                let addr = self.input(node, tag, 0);
+                let v = self.mem.load(addr)?;
+                self.consume(node, tag, self.required[idx]);
+                self.emit_mem(node, 0, tag, v);
+            }
+            NodeKind::Store | NodeKind::StoreAdd => {
+                let addr = self.input(node, tag, 0);
+                let v = self.input(node, tag, 1);
+                if matches!(n.kind, NodeKind::Store) {
+                    self.mem.store(addr, v)?;
+                } else {
+                    self.mem.fetch_add(addr, v)?;
+                }
+                self.consume(node, tag, self.required[idx]);
+                if !n.outs.is_empty() {
+                    self.emit_mem(node, 0, tag, 0);
+                }
+            }
+            NodeKind::Steer => {
+                let d = self.input(node, tag, 0);
+                let v = self.input(node, tag, 1);
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, if d != 0 { 0 } else { 1 }, tag, v);
+                if n.outs.len() > 2 {
+                    self.emit(node, 2, tag, 0);
+                }
+            }
+            NodeKind::Merge => {
+                let present = self.store[idx].present(tag) & self.required[idx];
+                debug_assert_eq!(present.count_ones(), 1, "merge with multiple arrivals");
+                let port = present.trailing_zeros() as u16;
+                let v = self.input(node, tag, port);
+                self.consume(node, tag, present);
+                self.emit(node, 0, tag, v);
+            }
+            NodeKind::Join => {
+                let v = self.input(node, tag, 0);
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, tag, v);
+            }
+            NodeKind::Allocate { space, .. } => {
+                let space = *space;
+                let t_new = self.pop_tag(space);
+                let ready_present = self.store[idx].present(tag) & 0b10 != 0;
+                // Consume the request (port 0) and, if present, the ready
+                // (port 1, emitting the barrier control token).
+                self.consume(node, tag, 0b01);
+                if ready_present {
+                    self.consume(node, tag, 0b10);
+                    if n.outs.len() > 1 {
+                        self.emit(node, 1, tag, 0);
+                    }
+                } else {
+                    self.store[idx].or_flags(tag, AL_POPPED);
+                }
+                self.emit(node, 0, tag, t_new as Value);
+            }
+            NodeKind::NewTag => {
+                let t_new = match &mut self.backend {
+                    Backend::Unbounded { next } => {
+                        let t = *next;
+                        *next += 1;
+                        t
+                    }
+                    // A bounded policy running an unbounded-elaboration
+                    // graph still hands out pool tags FCFS (without frees it
+                    // exhausts quickly — that is the point of Fig. 11's
+                    // companion discussion).
+                    _ => {
+                        let space = n.block;
+                        if !self.alloc_eligible(space, AllocKind::Call, true) {
+                            // Park as a pseudo-allocate request.
+                            self.store[idx].or_flags(tag, IN_PENDING);
+                            match &mut self.backend {
+                                Backend::Local { pending, .. } => {
+                                    pending[space.0 as usize].push_back((node.0, tag))
+                                }
+                                Backend::Global { pending, .. } => pending.push_back((node.0, tag)),
+                                Backend::Unbounded { .. } => unreachable!(),
+                            }
+                            return Ok(());
+                        }
+                        self.pop_tag(space)
+                    }
+                };
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, tag, t_new as Value);
+            }
+            NodeKind::Free { space } => {
+                let space = *space;
+                self.consume(node, tag, self.required[idx]);
+                self.push_tag(space, tag);
+            }
+            NodeKind::ChangeTag => {
+                let t_new = self.input(node, tag, 0) as u64;
+                let v = self.input(node, tag, 1);
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, t_new, v);
+                if n.outs.len() > 1 {
+                    self.emit(node, 1, tag, 0);
+                }
+            }
+            NodeKind::ChangeTagDyn => {
+                let t_new = self.input(node, tag, 0) as u64;
+                let target = PortRef::decode(self.input(node, tag, 1));
+                let v = self.input(node, tag, 2);
+                self.consume(node, tag, self.required[idx]);
+                self.emit_to(target, t_new, v);
+                if n.outs.len() > 1 {
+                    self.emit(node, 1, tag, 0);
+                }
+            }
+            NodeKind::ExtractTag => {
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, tag, tag as Value);
+            }
+            NodeKind::Const(c) => {
+                let c = *c;
+                self.consume(node, tag, self.required[idx]);
+                self.emit(node, 0, tag, c);
+            }
+            NodeKind::Source => {
+                let n_args = n.outs.len() - 1;
+                for k in 0..n_args {
+                    let v = self.cfg.args.get(k).copied().unwrap_or(0);
+                    self.emit(node, k as u16, tag, v);
+                }
+                self.emit(node, (n.outs.len() - 1) as u16, tag, 0);
+            }
+            NodeKind::Sink => {
+                let vals: Vec<Value> =
+                    (0..self.dfg.n_returns).map(|j| self.input(node, tag, j as u16)).collect();
+                self.consume(node, tag, self.required[idx]);
+                self.returns = Some(vals);
+            }
+            NodeKind::CMerge { .. } => {
+                unreachable!("CMerge only appears in ordered lowerings")
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver(&mut self, target: PortRef, tag: u64, val: Value) -> Result<(), SimError> {
+        let idx = target.node.0 as usize;
+        let bit = 1u64 << target.port;
+        let before = self.store[idx].present(tag);
+        if before & bit != 0 {
+            // The cardinal tagged-dataflow invariant (Theorem 2's premise):
+            // never two tokens on one input with the same tag.
+            return Err(SimError::TagOverflow { tag, space: usize::MAX });
+        }
+        let present = self.store[idx].set(tag, target.port, val)?;
+
+        match &self.dfg.nodes[idx].kind {
+            NodeKind::Allocate { space, kind } => {
+                if target.port == 1 && present & AL_POPPED != 0 {
+                    // Ready arrived after the pop: consumed without effect
+                    // except the barrier control token (Sec. IV-A).
+                    self.store[idx].clear(tag, bit | AL_POPPED);
+                    self.live -= 1;
+                    self.block_live[self.dfg.nodes[idx].block.0 as usize] -= 1;
+                    if self.dfg.nodes[idx].outs.len() > 1 {
+                        self.emit(target.node, 1, tag, 0);
+                    }
+                    return Ok(());
+                }
+                if present & IN_PENDING != 0 {
+                    // Parked on tag pressure; a newly-arrived `ready` may
+                    // lower the pop threshold (Sec. IV-A's "pop the last tag
+                    // only for a ready context").
+                    if target.port == 1 && self.alloc_eligible(*space, *kind, true) {
+                        self.store[idx].clear(tag, IN_PENDING);
+                        self.store[idx].or_flags(tag, IN_QUEUE);
+                        self.ready.push_back((target.node.0, tag));
+                    }
+                    return Ok(());
+                }
+                if present & (IN_QUEUE | AL_POPPED) != 0 {
+                    return Ok(());
+                }
+                // Request present? Try to schedule.
+                if present & 0b01 != 0 {
+                    let ready = present & 0b10 != 0;
+                    if self.alloc_eligible(*space, *kind, ready) {
+                        self.store[idx].or_flags(tag, IN_QUEUE);
+                        self.ready.push_back((target.node.0, tag));
+                    } else {
+                        let space = *space;
+                        self.store[idx].or_flags(tag, IN_PENDING);
+                        match &mut self.backend {
+                            Backend::Local { pending, .. } => {
+                                pending[space.0 as usize].push_back((target.node.0, tag))
+                            }
+                            Backend::Global { pending, .. } => {
+                                pending.push_back((target.node.0, tag))
+                            }
+                            Backend::Unbounded { .. } => unreachable!(),
+                        }
+                    }
+                }
+            }
+            NodeKind::Merge => {
+                if present & IN_QUEUE == 0 {
+                    self.store[idx].or_flags(tag, IN_QUEUE);
+                    self.ready.push_back((target.node.0, tag));
+                }
+            }
+            _ => {
+                let req = self.required[idx];
+                if present & req == req && present & IN_QUEUE == 0 {
+                    self.store[idx].or_flags(tag, IN_QUEUE);
+                    self.ready.push_back((target.node.0, tag));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::{interp, Program};
+
+    fn sum_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 1);
+        let n = f.param(0);
+        let [i, acc, nn] = f.begin_loop("sum", [0.into(), 0.into(), n]);
+        let c = f.lt(i, nn);
+        f.begin_body(c);
+        let acc2 = f.add(acc, i);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc2, nn], [acc]);
+        pb.finish(f, [total])
+    }
+
+    fn run_with(p: &Program, d: TaggingDiscipline, policy: TagPolicy, arg: i64) -> RunResult {
+        let dfg = lower_tagged(p, d).unwrap();
+        let cfg = TaggedConfig { tag_policy: policy, args: vec![arg], ..TaggedConfig::default() };
+        TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap()
+    }
+
+    #[test]
+    fn tyr_computes_sum() {
+        let p = sum_program();
+        for tags in [2, 3, 8, 64] {
+            let r = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(tags), 100);
+            assert!(r.is_complete(), "tags={tags}: {:?}", r.outcome);
+            assert_eq!(r.returns, vec![4950], "tags={tags}");
+        }
+    }
+
+    #[test]
+    fn unordered_unbounded_computes_sum() {
+        let p = sum_program();
+        let r = run_with(
+            &p,
+            TaggingDiscipline::UnorderedUnbounded,
+            TagPolicy::GlobalUnbounded,
+            100,
+        );
+        assert!(r.is_complete());
+        assert_eq!(r.returns, vec![4950]);
+    }
+
+    #[test]
+    fn zero_trip_loop_in_dataflow() {
+        let p = sum_program();
+        let r = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(2), 0);
+        assert!(r.is_complete());
+        assert_eq!(r.returns, vec![0]);
+    }
+
+    #[test]
+    fn matches_reference_interpreter() {
+        let p = sum_program();
+        let mut mem = MemoryImage::new();
+        let oracle = interp::run(&p, &mut mem, &[57]).unwrap();
+        let r = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(4), 57);
+        assert_eq!(r.returns, oracle.returns);
+    }
+
+    #[test]
+    fn more_tags_do_not_change_results_but_change_state() {
+        let p = sum_program();
+        let small = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(2), 300);
+        let large = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(64), 300);
+        assert_eq!(small.returns, large.returns);
+        // More tags → at least as much peak live state and no more cycles.
+        assert!(large.peak_live() >= small.peak_live());
+        assert!(large.cycles() <= small.cycles());
+    }
+
+    #[test]
+    fn live_state_is_bounded_by_theorem2() {
+        let p = sum_program();
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let tags = 4usize;
+        let r = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(tags), 200);
+        let bound = (tags * dfg.len() * dfg.max_wired_inputs()) as u64;
+        assert!(r.peak_live() <= bound, "{} > {}", r.peak_live(), bound);
+    }
+
+    #[test]
+    fn nested_loops_under_tiny_tag_spaces() {
+        // sum_{i<12} sum_{j<i} i*j with 2 tags per block must complete
+        // (Theorem 1) and match the oracle.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("outer", [0, 0]);
+        let c = f.lt(i, 12);
+        f.begin_body(c);
+        let [j, ia, ii] = f.begin_loop("inner", [0.into(), acc, i]);
+        let cj = f.lt(j, ii);
+        f.begin_body(cj);
+        let prod = f.mul(ii, j);
+        let ia2 = f.add(ia, prod);
+        let j2 = f.add(j, 1);
+        let [acc_out] = f.end_loop([j2, ia2, ii], [ia]);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc_out], [acc]);
+        let p = pb.finish(f, [total]);
+
+        let mut mem = MemoryImage::new();
+        let oracle = interp::run(&p, &mut mem, &[]).unwrap();
+        for tags in [2, 3, 16] {
+            let r = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(tags), 0);
+            assert!(r.is_complete(), "tags={tags}: {:?}", r.outcome);
+            assert_eq!(r.returns, oracle.returns, "tags={tags}");
+        }
+    }
+
+    #[test]
+    fn bounded_global_pool_deadlocks_nested_loops() {
+        // The Fig. 11 phenomenon: a small FCFS global pool hands all tags to
+        // outer iterations; inner loops starve; the machine deadlocks.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("outer", [0, 0]);
+        let c = f.lt(i, 64);
+        f.begin_body(c);
+        let [j, ia] = f.begin_loop("inner", [0.into(), acc]);
+        let cj = f.lt(j, 8);
+        f.begin_body(cj);
+        let ia2 = f.add(ia, 1);
+        let j2 = f.add(j, 1);
+        let [acc_out] = f.end_loop([j2, ia2], [ia]);
+        let i2 = f.add(i, 1);
+        let [total] = f.end_loop([i2, acc_out], [acc]);
+        let p = pb.finish(f, [total]);
+
+        let dfg = lower_tagged(&p, TaggingDiscipline::UnorderedBounded).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::GlobalBounded { tags: 4 },
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        match &r.outcome {
+            Outcome::Deadlock { pending_allocates, live_tokens, .. } => {
+                assert!(!pending_allocates.is_empty());
+                assert!(*live_tokens > 0);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        // TYR completes the same program with 2 tags per block.
+        let r = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(2), 0);
+        assert!(r.is_complete(), "{:?}", r.outcome);
+        assert_eq!(r.returns, vec![64 * 8]);
+    }
+
+    #[test]
+    fn per_block_tag_overrides_apply() {
+        let p = sum_program();
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local_with(64, vec![("sum".into(), 2)]),
+            args: vec![200],
+            ..TaggedConfig::default()
+        };
+        let throttled = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        let wide = run_with(&p, TaggingDiscipline::Tyr, TagPolicy::local(64), 200);
+        assert_eq!(throttled.returns, wide.returns);
+        assert!(throttled.peak_live() <= wide.peak_live());
+    }
+}
+
+#[cfg(test)]
+mod gating_tests {
+    //! Focused tests of the Sec. IV-A allocate firing rule.
+
+    use super::*;
+    use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::Program;
+
+    /// A loop whose iterations are long-latency (a serial chain), making
+    /// tag pressure observable.
+    fn chain_loop(iters: i64, chain: usize) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("chain", [0, 0]);
+        let c = f.lt(i, iters);
+        f.begin_body(c);
+        let mut v = f.add(acc, 1);
+        for _ in 0..chain {
+            v = f.add(v, 0);
+        }
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, v], [acc]);
+        pb.finish(f, [out])
+    }
+
+    #[test]
+    fn external_allocate_never_takes_the_last_tag() {
+        // With exactly 2 tags: the entry (external) allocate may only pop
+        // when both tags are free *and* the context is ready, so the run
+        // must serialize but always complete (Lemma 2 in action).
+        let p = chain_loop(25, 6);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let cfg = TaggedConfig { tag_policy: TagPolicy::local(2), ..TaggedConfig::default() };
+        let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        assert!(r.is_complete(), "{:?}", r.outcome);
+        assert_eq!(r.returns, vec![25]);
+    }
+
+    #[test]
+    fn single_tag_space_is_clamped_to_one_and_still_works_for_leaf_calls() {
+        // TagPolicy::local(0) is clamped to 1 tag. A 1-tag *loop* space
+        // cannot satisfy the external allocate's reserve, so use a function
+        // call (Call kind, reserve 0): it must still complete, fully
+        // serialized.
+        let mut pb = ProgramBuilder::new();
+        let mut g = pb.func("leaf", 1);
+        let x = g.param(0);
+        let y = g.mul(x, x);
+        let gid = g.id();
+        pb.define(g, [y]);
+        let mut f = pb.func("main", 1);
+        let a = f.param(0);
+        let r1 = f.call(gid, &[a], 1);
+        let r2 = f.call(gid, &[r1[0]], 1);
+        let p = pb.finish(f, [r2[0]]);
+
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(0),
+            args: vec![3],
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        assert!(r.is_complete(), "{:?}", r.outcome);
+        assert_eq!(r.returns, vec![81]);
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let p = chain_loop(100_000, 2);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(2),
+            max_cycles: 500,
+            ..TaggedConfig::default()
+        };
+        let err = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit { limit: 500 }));
+    }
+
+    #[test]
+    fn dense_store_is_used_for_local_policies() {
+        // Structural: a TYR run with bounded tags must never allocate a tag
+        // value >= the space size (would be TagOverflow). Completing proves
+        // the dense token store sufficed — the Sec. III hardware claim.
+        let p = chain_loop(50, 1);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        for tags in [2usize, 3, 7] {
+            let cfg =
+                TaggedConfig { tag_policy: TagPolicy::local(tags), ..TaggedConfig::default() };
+            let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+            assert!(r.is_complete());
+        }
+    }
+
+    #[test]
+    fn deadlock_report_names_blocks() {
+        let p = chain_loop(50, 1);
+        let dfg = lower_tagged(&p, TaggingDiscipline::UnorderedBounded).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::GlobalBounded { tags: 1 },
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        match r.outcome {
+            Outcome::Deadlock { pending_allocates, .. } => {
+                assert!(pending_allocates.iter().any(|p| p.contains("chain")), "{pending_allocates:?}");
+            }
+            other => panic!("expected deadlock with 1 global tag, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod isa_tax_tests {
+    use super::*;
+    use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+
+    #[test]
+    fn free_token_sync_is_correct_and_not_slower() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("l", [0, 0]);
+        let c = f.lt(i, 300);
+        f.begin_body(c);
+        let acc2 = f.add(acc, i);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2], [acc]);
+        let p = pb.finish(f, [out]);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+
+        let run = |free_sync: bool| {
+            let cfg = TaggedConfig {
+                issue_width: 8,
+                tag_policy: TagPolicy::local(16),
+                free_token_sync: free_sync,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap()
+        };
+        let taxed = run(false);
+        let free = run(true);
+        assert_eq!(taxed.returns, free.returns);
+        assert_eq!(taxed.returns, vec![(0..300).sum::<i64>()]);
+        // Same dynamic instruction count; fewer (or equal) cycles without
+        // the tax on a narrow machine.
+        assert_eq!(taxed.dyn_instrs(), free.dyn_instrs());
+        assert!(free.cycles() <= taxed.cycles(), "{} > {}", free.cycles(), taxed.cycles());
+        // IPC under the free-sync model never exceeds the compute width.
+        assert!(free.ipc.max_value() <= 8);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+    use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+
+    #[test]
+    fn results_are_latency_invariant() {
+        // dmv-like loop with loads: memory latency changes timing, never
+        // values.
+        let mut mem = MemoryImage::new();
+        let xs = mem.alloc_init("xs", &(0..32).map(|i| i * 3 - 7).collect::<Vec<_>>());
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("l", [0, 0]);
+        let c = f.lt(i, 32);
+        f.begin_body(c);
+        let addr = f.add(i, xs.base_const());
+        let v = f.load(addr);
+        let acc2 = f.add(acc, v);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2], [acc]);
+        let p = pb.finish(f, [out]);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+
+        let mut cycles = Vec::new();
+        let mut returns = Vec::new();
+        for lat in [1u64, 4, 16, 64] {
+            let cfg = TaggedConfig {
+                tag_policy: TagPolicy::local(16),
+                mem_latency: lat,
+                ..TaggedConfig::default()
+            };
+            let r = TaggedEngine::new(&dfg, mem.clone(), cfg).run().unwrap();
+            assert!(r.is_complete(), "lat={lat}: {:?}", r.outcome);
+            cycles.push(r.cycles());
+            returns.push(r.returns.clone());
+        }
+        assert!(returns.windows(2).all(|w| w[0] == w[1]));
+        // Longer latency never speeds things up.
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "{cycles:?}");
+    }
+
+    #[test]
+    fn tags_hide_latency() {
+        // With enough tags, many iterations' loads overlap: doubling memory
+        // latency must cost far less than 2x. With 2 tags it is nearly
+        // serial.
+        let mut mem = MemoryImage::new();
+        let xs = mem.alloc_init("xs", &vec![1; 256]);
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("l", [0, 0]);
+        let c = f.lt(i, 256);
+        f.begin_body(c);
+        let addr = f.add(i, xs.base_const());
+        let v = f.load(addr);
+        let acc2 = f.add(acc, v);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2], [acc]);
+        let p = pb.finish(f, [out]);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+
+        let run = |tags: usize, lat: u64| {
+            let cfg = TaggedConfig {
+                tag_policy: TagPolicy::local(tags),
+                mem_latency: lat,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::new(&dfg, mem.clone(), cfg).run().unwrap().cycles()
+        };
+        let wide_1 = run(64, 1);
+        let wide_32 = run(64, 32);
+        let narrow_1 = run(2, 1);
+        let narrow_32 = run(2, 32);
+        let wide_slowdown = wide_32 as f64 / wide_1 as f64;
+        let narrow_slowdown = narrow_32 as f64 / narrow_1 as f64;
+        assert!(
+            wide_slowdown < narrow_slowdown,
+            "tags should hide latency: {wide_slowdown:.2} vs {narrow_slowdown:.2}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod store_size_tests {
+    //! Per-block token-store occupancy: the hardware-implementability
+    //! argument of Sec. III ("small, private token stores").
+
+    use super::*;
+    use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+
+    #[test]
+    fn block_store_peaks_are_tracked_and_bounded() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("work", [0, 0]);
+        let c = f.lt(i, 500);
+        f.begin_body(c);
+        let acc2 = f.add(acc, i);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2], [acc]);
+        let p = pb.finish(f, [out]);
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+
+        let tags = 8usize;
+        let cfg = TaggedConfig { tag_policy: TagPolicy::local(tags), ..TaggedConfig::default() };
+        let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        assert!(r.is_complete());
+        // One entry per block, block peaks sum >= overall peak never holds
+        // exactly (peaks at different times), but every block peak is
+        // bounded by T * (nodes in block) * max inputs.
+        assert_eq!(r.store_peaks.len(), dfg.blocks.len());
+        for (name, peak) in &r.store_peaks {
+            let members = dfg
+                .nodes
+                .iter()
+                .filter(|n| dfg.blocks[n.block.0 as usize].name == *name)
+                .count() as u64;
+            let bound = tags as u64 * members * dfg.max_wired_inputs() as u64;
+            assert!(peak <= &bound, "block '{name}': {peak} > {bound}");
+            assert!(*peak > 0 || members == 0 || name == "main");
+        }
+        assert!(r.max_store_peak() > 0);
+        // Fewer tags => smaller per-block stores.
+        let cfg = TaggedConfig { tag_policy: TagPolicy::local(2), ..TaggedConfig::default() };
+        let r2 = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        assert!(r2.max_store_peak() <= r.max_store_peak());
+    }
+}

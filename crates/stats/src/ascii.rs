@@ -1,0 +1,199 @@
+//! Terminal rendering of figures.
+//!
+//! The `repro` harness prints every figure of the paper as text: multi-series
+//! line charts (state-over-time traces like Figs. 2, 9, 16, 18; CDFs like
+//! Fig. 13) and labelled bar charts (Figs. 12, 14). A log-scale option covers
+//! the paper's log-y plots.
+
+/// One named series of `(x, y)` points for a line chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in increasing-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.into(), points }
+    }
+}
+
+/// Marker glyphs assigned to series in order.
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'];
+
+/// Renders a multi-series line chart into a `String`.
+///
+/// * `log_y` — plot `log10(y+1)` on the vertical axis (the paper's
+///   state-over-time figures are log scale).
+/// * `width`/`height` — plot area size in characters, excluding axes.
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let xmin = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymap = |y: f64| if log_y { (y.max(0.0) + 1.0).log10() } else { y };
+    let ymin_raw = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let ymax_raw = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let (ymin, ymax) = (ymap(ymin_raw.min(0.0)), ymap(ymax_raw));
+    let yspan = (ymax - ymin).max(1e-9);
+    let xspan = (xmax - xmin).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((ymap(y) - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+
+    let y_label_top = if log_y { format!("{:.3e}", ymax_raw) } else { format!("{:.1}", ymax_raw) };
+    let y_label_bot = if log_y { "0".to_string() } else { format!("{:.1}", ymin_raw.min(0.0)) };
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>10} |", y_label_top)
+        } else if i == height - 1 {
+            format!("{:>10} |", y_label_bot)
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!("{:>12}{:<.1}{:>pad$.1}\n", "", xmin, xmax, pad = width.saturating_sub(6)));
+    out.push_str("  legend: ");
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{}={}  ", MARKS[si % MARKS.len()], s.name));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a labelled horizontal bar chart. Values must be non-negative.
+///
+/// When `log_scale` is set, bar lengths are proportional to `log10(v+1)` —
+/// used for the paper's log-scale state comparisons (Fig. 14).
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize, log_scale: bool) -> String {
+    let width = width.max(10);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let map = |v: f64| if log_scale { (v.max(0.0) + 1.0).log10() } else { v };
+    let vmax = rows.iter().map(|r| map(r.1)).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(8).min(32);
+    for (label, v) in rows {
+        let n = ((map(*v) / vmax) * width as f64).round() as usize;
+        out.push_str(&format!("  {:<label_w$} |{:<width$}| {}\n", truncate(label, 32), "#".repeat(n.min(width)), fmt_count(*v), label_w = label_w, width = width));
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+/// Formats a count compactly: `1234` → `1.23K`, `15_000_000` → `15.0M`.
+pub fn fmt_count(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else if (v.fract()).abs() < 1e-9 {
+        format!("{}", v as i64)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_all_series_marks() {
+        let s = vec![
+            Series::new("a", vec![(0.0, 0.0), (1.0, 10.0), (2.0, 5.0)]),
+            Series::new("b", vec![(0.0, 3.0), (2.0, 8.0)]),
+        ];
+        let chart = line_chart("test", &s, 40, 10, false);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("a"));
+        assert!(chart.contains("legend"));
+    }
+
+    #[test]
+    fn line_chart_empty() {
+        let chart = line_chart("t", &[], 40, 10, false);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn line_chart_log_scale_handles_zero() {
+        let s = vec![Series::new("z", vec![(0.0, 0.0), (1.0, 1e7)])];
+        let chart = line_chart("t", &s, 30, 8, true);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn bar_chart_lengths_are_monotone() {
+        let rows = vec![
+            ("small".to_string(), 10.0),
+            ("big".to_string(), 1000.0),
+        ];
+        let chart = bar_chart("t", &rows, 50, false);
+        let lines: Vec<&str> = chart.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        assert!(count(lines[1]) < count(lines[2]));
+    }
+
+    #[test]
+    fn bar_chart_log_compresses() {
+        let rows = vec![
+            ("a".to_string(), 10.0),
+            ("b".to_string(), 1_000_000.0),
+        ];
+        let lin = bar_chart("t", &rows, 60, false);
+        let log = bar_chart("t", &rows, 60, true);
+        let count = |s: &str, i: usize| s.lines().nth(i).unwrap().matches('#').count();
+        // Linear: small bar nearly invisible. Log: clearly visible.
+        assert!(count(&lin, 1) <= 1);
+        assert!(count(&log, 1) > 5);
+    }
+
+    #[test]
+    fn fmt_count_ranges() {
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_count(1234.0), "1.23K");
+        assert_eq!(fmt_count(15_000_000.0), "15.00M");
+        assert_eq!(fmt_count(2.5e9), "2.50G");
+        assert_eq!(fmt_count(0.5), "0.50");
+    }
+}

@@ -1,0 +1,198 @@
+//! IPC histograms and cumulative distribution functions (Fig. 13).
+//!
+//! The paper plots, for each system, the CDF of the per-cycle IPC across all
+//! applications: "the graph shows how frequently each system achieves a given
+//! IPC, so an ideal system would be an `_]` shape". IPC per cycle is a small
+//! integer bounded by the issue width, so an exact histogram is tiny and the
+//! CDF is exact — no sampling involved.
+
+/// Exact histogram of an integer-valued per-cycle quantity (typically IPC,
+/// bounded by the machine's issue width).
+#[derive(Debug, Clone, Default)]
+pub struct IpcHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IpcHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        IpcHistogram { counts: Vec::new(), total: 0 }
+    }
+
+    /// Records one cycle that executed `ipc` instructions.
+    pub fn record(&mut self, ipc: u64) {
+        let idx = ipc as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one (used to aggregate across
+    /// applications, as Fig. 13 does).
+    pub fn merge(&mut self, other: &IpcHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of recorded cycles.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Maximum recorded value (0 for an empty histogram).
+    pub fn max_value(&self) -> u64 {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0) as u64
+    }
+
+    /// Mean of the recorded values — i.e. the run's average IPC.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self.counts.iter().enumerate().map(|(v, &c)| v as u128 * c as u128).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Raw bucket counts, indexed by value.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Builds the exact CDF of this histogram.
+    pub fn cdf(&self) -> Cdf {
+        let mut points = Vec::with_capacity(self.counts.len());
+        let mut acc = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if c > 0 || v + 1 == self.counts.len() {
+                points.push((v as f64, acc as f64 / self.total.max(1) as f64));
+            }
+        }
+        Cdf { points }
+    }
+}
+
+/// A cumulative distribution function: sorted `(value, P[X <= value])` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Builds a CDF from raw (unsorted) samples.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in CDF input"));
+        let n = samples.len().max(1) as f64;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for (i, v) in samples.iter().enumerate() {
+            let p = (i + 1) as f64 / n;
+            match points.last_mut() {
+                Some(last) if last.0 == *v => last.1 = p,
+                _ => points.push((*v, p)),
+            }
+        }
+        Cdf { points }
+    }
+
+    /// The `(value, cumulative probability)` steps of the CDF.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates `P[X <= value]`.
+    pub fn at(&self, value: f64) -> f64 {
+        let mut p = 0.0;
+        for &(v, q) in &self.points {
+            if v <= value {
+                p = q;
+            } else {
+                break;
+            }
+        }
+        p
+    }
+
+    /// Smallest value `v` with `P[X <= v] >= q` (quantile function).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.points.iter().find(|&&(_, p)| p >= q).map(|&(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let mut h = IpcHistogram::new();
+        for v in [0u64, 1, 1, 2, 2, 2, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max_value(), 128);
+        assert!((h.mean() - (0.0 + 1.0 + 1.0 + 2.0 + 2.0 + 2.0 + 128.0) / 7.0).abs() < 1e-12);
+        assert_eq!(h.counts()[2], 3);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = IpcHistogram::new();
+        a.record(1);
+        a.record(4);
+        let mut b = IpcHistogram::new();
+        b.record(4);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.counts()[4], 2);
+        assert_eq!(a.max_value(), 9);
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_and_ends_at_one() {
+        let mut h = IpcHistogram::new();
+        for v in 0..100u64 {
+            h.record(v % 10);
+        }
+        let cdf = h.cdf();
+        let pts = cdf.points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 > w[0].0);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_from_samples_and_quantiles() {
+        let cdf = Cdf::from_samples(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert!((cdf.at(2.0) - 0.5).abs() < 1e-12);
+        assert!((cdf.at(10.0) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.quantile(0.5), Some(2.0));
+        assert_eq!(cdf.quantile(1.0), Some(4.0));
+    }
+
+    #[test]
+    fn cdf_duplicate_values_collapse() {
+        let cdf = Cdf::from_samples(vec![1.0, 1.0, 1.0]);
+        assert_eq!(cdf.points().len(), 1);
+        assert!((cdf.at(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_cdf() {
+        let h = IpcHistogram::new();
+        assert_eq!(h.cdf().points().len(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

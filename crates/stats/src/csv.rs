@@ -1,0 +1,125 @@
+//! Minimal CSV writing for figure data.
+//!
+//! Every `repro` subcommand can dump its raw series to CSV (via `--csv DIR`)
+//! so the figures can be re-plotted with external tooling. We only ever write
+//! simple numeric/label tables, so a dependency-free writer suffices.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        CsvTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "CSV row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes the table, quoting fields that contain commas, quotes, or
+    /// newlines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, field) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if field.contains(',') || field.contains('"') || field.contains('\n') {
+                    let escaped = field.replace('"', "\"\"");
+                    let _ = write!(out, "\"{escaped}\"");
+                } else {
+                    out.push_str(field);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the write.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_round_trip() {
+        let mut t = CsvTable::new(["x", "y"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["3", "4"]);
+        assert_eq!(t.render(), "x,y\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn quoting() {
+        let mut t = CsvTable::new(["a"]);
+        t.push_row(["has,comma"]);
+        t.push_row(["has\"quote"]);
+        let s = t.render();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let mut t = CsvTable::new(["v"]);
+        t.push_row(["42"]);
+        let dir = std::env::temp_dir().join("tyr_stats_csv_test");
+        let path = dir.join("sub").join("t.csv");
+        t.write_to(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back, "v\n42\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

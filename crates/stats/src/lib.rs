@@ -1,0 +1,43 @@
+//! Measurement utilities for the TYR reproduction.
+//!
+//! The paper (Sec. VI, *Metrics*) compares architectures on **parallelism**
+//! (execution time in cycles, and the distribution of instructions-per-cycle)
+//! and **locality** (the number of live tokens, sampled every cycle). This
+//! crate provides the shared plumbing for those measurements:
+//!
+//! * [`Trace`] — a per-cycle time series of live state, with automatic
+//!   down-sampling so multi-million-cycle runs stay small while peak and mean
+//!   remain exact.
+//! * [`IpcHistogram`] — an exact histogram of per-cycle IPC, from which the
+//!   CDFs of Fig. 13 are derived.
+//! * [`Cdf`] — cumulative distribution functions.
+//! * [`gmean`] / [`speedup`] helpers used to reproduce the headline numbers
+//!   of Fig. 12.
+//! * [`ascii`] — terminal line/bar charts so every figure can be *seen* from
+//!   the `repro` binary without plotting infrastructure.
+//! * [`csv`] — tiny CSV writers for post-processing figure data externally.
+//!
+//! # Example
+//!
+//! ```
+//! use tyr_stats::Trace;
+//!
+//! let mut trace = Trace::new();
+//! for cycle in 0..10_000u64 {
+//!     trace.record(cycle % 97); // live tokens this cycle
+//! }
+//! assert_eq!(trace.peak(), 96);
+//! assert_eq!(trace.cycles(), 10_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod cdf;
+pub mod csv;
+pub mod summary;
+pub mod trace;
+
+pub use cdf::{Cdf, IpcHistogram};
+pub use summary::{gmean, mean, speedup, Summary};
+pub use trace::Trace;

@@ -1,0 +1,139 @@
+//! Scalar summaries: geometric means and speedups (Fig. 12's headline
+//! numbers: "By gmean, TYR is 68× faster vs. vN, 22.7× vs. sequential
+//! dataflow, 21.7× vs. ordered, and 0.77× vs. unordered").
+
+/// Geometric mean of strictly positive values.
+///
+/// Returns `None` if the slice is empty or any value is not strictly
+/// positive (the gmean is undefined there).
+pub fn gmean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Speedup of `ours` over `baseline`, both in cycles: `baseline / ours`.
+///
+/// # Panics
+///
+/// Panics if `ours` is zero.
+pub fn speedup(baseline: u64, ours: u64) -> f64 {
+    assert!(ours > 0, "speedup denominator must be non-zero");
+    baseline as f64 / ours as f64
+}
+
+/// Accumulates per-application ratios and reports their geometric mean —
+/// the aggregation used throughout Sec. VII.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    ratios: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { ratios: Vec::new() }
+    }
+
+    /// Adds one application's ratio (e.g. speedup or state reduction).
+    pub fn push(&mut self, ratio: f64) {
+        self.ratios.push(ratio);
+    }
+
+    /// Geometric mean of all pushed ratios.
+    pub fn gmean(&self) -> Option<f64> {
+        gmean(&self.ratios)
+    }
+
+    /// Number of ratios pushed.
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// Whether no ratios have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// The raw ratios.
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean(&[]), None);
+        assert_eq!(gmean(&[1.0, 0.0]), None);
+        assert_eq!(gmean(&[1.0, -2.0]), None);
+        let g = gmean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_is_scale_invariant() {
+        let a = gmean(&[1.0, 10.0, 100.0]).unwrap();
+        let b = gmean(&[2.0, 20.0, 200.0]).unwrap();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert!((speedup(680, 10) - 68.0).abs() < 1e-12);
+        assert!((speedup(77, 100) - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn speedup_zero_denominator_panics() {
+        let _ = speedup(1, 0);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        s.push(2.0);
+        s.push(8.0);
+        assert_eq!(s.len(), 2);
+        assert!((s.gmean().unwrap() - 4.0).abs() < 1e-12);
+        assert_eq!(s.ratios(), &[2.0, 8.0]);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn gmean_single_value_is_identity() {
+        assert!((gmean(&[7.5]).unwrap() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_rejects_non_finite() {
+        assert_eq!(gmean(&[1.0, f64::INFINITY]), None);
+        assert_eq!(gmean(&[1.0, f64::NAN]), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-cycle time series with bounded memory.
+//!
+//! Simulations in this repository can run for tens of millions of cycles
+//! (Sec. VI sizes inputs for 50M–1B dynamic instructions). Storing one sample
+//! per cycle would dominate memory, so [`Trace`] keeps at most
+//! [`Trace::MAX_POINTS`] *bucketed* samples: whenever the buffer fills, the
+//! stride doubles and adjacent buckets are merged. Within a bucket we keep the
+//! **maximum** so that the rendered curve never under-reports peaks — the
+//! quantity the paper cares about (peak live state). Peak and mean over the
+//! whole run are tracked exactly, independent of bucketing.
+
+/// A down-sampled per-cycle time series of a non-negative quantity
+/// (live tokens, IPC, …) with exact peak and mean.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Bucketed samples; each covers `stride` consecutive cycles and stores
+    /// the maximum value observed in that window.
+    buckets: Vec<u64>,
+    /// Number of cycles covered by one bucket.
+    stride: u64,
+    /// Cycles accumulated into the (not yet pushed) current bucket.
+    pending_cycles: u64,
+    /// Max value within the current partial bucket.
+    pending_max: u64,
+    /// Total cycles recorded.
+    cycles: u64,
+    /// Exact running peak.
+    peak: u64,
+    /// Exact running sum (for the mean).
+    sum: u128,
+}
+
+impl Trace {
+    /// Maximum number of retained buckets before the stride doubles.
+    pub const MAX_POINTS: usize = 8192;
+
+    /// Creates an empty trace with stride 1.
+    pub fn new() -> Self {
+        Trace { buckets: Vec::new(), stride: 1, pending_cycles: 0, pending_max: 0, cycles: 0, peak: 0, sum: 0 }
+    }
+
+    /// Records the value observed during one cycle.
+    pub fn record(&mut self, value: u64) {
+        self.cycles += 1;
+        self.sum += value as u128;
+        if value > self.peak {
+            self.peak = value;
+        }
+        self.pending_max = self.pending_max.max(value);
+        self.pending_cycles += 1;
+        if self.pending_cycles == self.stride {
+            self.push_bucket();
+        }
+    }
+
+    fn push_bucket(&mut self) {
+        self.buckets.push(self.pending_max);
+        self.pending_cycles = 0;
+        self.pending_max = 0;
+        if self.buckets.len() >= Self::MAX_POINTS {
+            // Double the stride: merge adjacent buckets by max.
+            let merged: Vec<u64> =
+                self.buckets.chunks(2).map(|c| c.iter().copied().max().unwrap_or(0)).collect();
+            self.buckets = merged;
+            self.stride *= 2;
+        }
+    }
+
+    /// Total number of cycles recorded.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Exact maximum value over all recorded cycles.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Exact arithmetic mean over all recorded cycles (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Number of cycles each returned point covers.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The bucketed series: `(start_cycle, max_value_in_bucket)` pairs,
+    /// including the current partial bucket.
+    pub fn points(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> =
+            self.buckets.iter().enumerate().map(|(i, &v)| (i as u64 * self.stride, v)).collect();
+        if self.pending_cycles > 0 {
+            out.push((self.buckets.len() as u64 * self.stride, self.pending_max));
+        }
+        out
+    }
+
+    /// Returns `true` if no cycles have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.peak(), 0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.points().len(), 0);
+    }
+
+    #[test]
+    fn exact_peak_and_mean_small() {
+        let mut t = Trace::new();
+        for v in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            t.record(v);
+        }
+        assert_eq!(t.peak(), 9);
+        assert_eq!(t.cycles(), 8);
+        assert!((t.mean() - 31.0 / 8.0).abs() < 1e-12);
+        assert_eq!(t.points().len(), 8);
+        assert_eq!(t.stride(), 1);
+    }
+
+    #[test]
+    fn downsampling_preserves_peak() {
+        let mut t = Trace::new();
+        let n = (Trace::MAX_POINTS as u64) * 5 + 17;
+        for i in 0..n {
+            t.record(if i == 12_345 { 1_000_000 } else { i % 100 });
+        }
+        assert_eq!(t.peak(), 1_000_000);
+        assert_eq!(t.cycles(), n);
+        assert!(t.points().len() <= Trace::MAX_POINTS + 1);
+        assert!(t.stride() > 1);
+        // The spike must survive bucketing (buckets keep the max).
+        let max_point = t.points().iter().map(|&(_, v)| v).max().unwrap();
+        assert_eq!(max_point, 1_000_000);
+    }
+
+    #[test]
+    fn points_cover_all_cycles() {
+        let mut t = Trace::new();
+        for i in 0..100_000u64 {
+            t.record(i);
+        }
+        let pts = t.points();
+        // Monotone non-decreasing start cycles, spaced by stride.
+        for w in pts.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, t.stride());
+        }
+        let covered = pts.last().unwrap().0 + t.stride();
+        assert!(covered >= t.cycles());
+    }
+
+    #[test]
+    fn mean_of_constant_series() {
+        let mut t = Trace::new();
+        for _ in 0..50_000 {
+            t.record(42);
+        }
+        assert_eq!(t.peak(), 42);
+        assert!((t.mean() - 42.0).abs() < 1e-12);
+    }
+}

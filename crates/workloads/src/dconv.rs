@@ -1,0 +1,90 @@
+//! Dense 2-D convolution (Table II: 512×512 image, 11×11 filter). Three
+//! nested loops — output row, output column, and a flattened filter loop
+//! whose body recovers `(fy, fx)` with a divide/remainder, giving the
+//! innermost block slightly richer arithmetic than the matrix kernels.
+
+use tyr_ir::build::ProgramBuilder;
+use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
+
+use crate::workload::Workload;
+use crate::{gen, oracle};
+
+/// Builds a valid-padding convolution of a seeded `h×w` image with a
+/// seeded `kh×kw` filter.
+///
+/// # Panics
+///
+/// Panics if the filter is larger than the image.
+pub fn build(h: usize, w: usize, kh: usize, kw: usize, seed: u64) -> Workload {
+    assert!(kh <= h && kw <= w, "filter larger than image");
+    let img = gen::dense_matrix(seed, h, w);
+    let flt = gen::dense_matrix(seed.wrapping_add(1), kh, kw);
+    let (oh, ow) = (h - kh + 1, w - kw + 1);
+
+    let mut mem = MemoryImage::new();
+    let img_ref = mem.alloc_init("img", &img);
+    let flt_ref = mem.alloc_init("flt", &flt);
+    let out_ref = mem.alloc("out", oh * ow);
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let [oy] = f.begin_loop("dconv_oy", [0]);
+    let cy = f.lt(oy, oh as i64);
+    f.begin_body(cy);
+    let [ox, oyy] = f.begin_loop("dconv_ox", [Operand::Const(0), oy]);
+    let cx = f.lt(ox, ow as i64);
+    f.begin_body(cx);
+    let kk = (kh * kw) as i64;
+    let [fi, acc, oy3, ox3] =
+        f.begin_loop("dconv_f", [Operand::Const(0), Operand::Const(0), oyy, ox]);
+    let cf = f.lt(fi, kk);
+    f.begin_body(cf);
+    let fy = f.div(fi, kw as i64);
+    let fx = f.rem(fi, kw as i64);
+    let iy = f.add(oy3, fy);
+    let ix = f.add(ox3, fx);
+    let irow = f.mul(iy, w as i64);
+    let ioff = f.add(irow, ix);
+    let iaddr = f.add(ioff, img_ref.base_const());
+    let iv = f.load(iaddr);
+    let faddr = f.add(fi, flt_ref.base_const());
+    let fv = f.load(faddr);
+    let prod = f.mul(iv, fv);
+    let acc2 = f.add(acc, prod);
+    let fi2 = f.add(fi, 1);
+    let [acc_out] = f.end_loop([fi2, acc2, oy3, ox3], [acc]);
+    let orow = f.mul(oyy, ow as i64);
+    let ooff = f.add(orow, ox);
+    let oaddr = f.add(ooff, out_ref.base_const());
+    f.store(oaddr, acc_out);
+    let ox2 = f.add(ox, 1);
+    f.end_loop([ox2, oyy], NO_OPERANDS);
+    let oy2 = f.add(oy, 1);
+    f.end_loop([oy2], NO_OPERANDS);
+    let program = pb.finish(f, [Operand::Const(0)]);
+
+    let mut wl = Workload::new(
+        "dconv",
+        format!("image: {h}x{w}, filter: {kh}x{kw}"),
+        program,
+        mem,
+        vec![],
+    );
+    wl.expect("out", out_ref, oracle::dconv(&img, &flt, h, w, kh, kw));
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::{interp, validate::validate};
+
+    #[test]
+    fn validates_and_matches_oracle_under_vn() {
+        let w = build(8, 9, 3, 2, 5);
+        validate(&w.program).unwrap();
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+}

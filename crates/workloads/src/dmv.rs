@@ -1,0 +1,62 @@
+//! Dense matrix-vector multiplication — the paper's running example
+//! (Fig. 3). Two nested loops; the inner loop accumulates one output row.
+
+use tyr_ir::build::ProgramBuilder;
+use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
+
+use crate::workload::Workload;
+use crate::{gen, oracle};
+
+/// Builds `y = A·x` with `A` of size `m×n` and seeded random inputs.
+pub fn build(m: usize, n: usize, seed: u64) -> Workload {
+    let a = gen::dense_matrix(seed, m, n);
+    let x = gen::dense_vector(seed.wrapping_add(1), n);
+
+    let mut mem = MemoryImage::new();
+    let a_ref = mem.alloc_init("A", &a);
+    let x_ref = mem.alloc_init("x", &x);
+    let y_ref = mem.alloc("y", m);
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let [i] = f.begin_loop("dmv_outer", [0]);
+    let c = f.lt(i, m as i64);
+    f.begin_body(c);
+    let rowbase = f.mul(i, n as i64);
+    let [j, w, rb] = f.begin_loop("dmv_inner", [Operand::Const(0), Operand::Const(0), rowbase]);
+    let cj = f.lt(j, n as i64);
+    f.begin_body(cj);
+    let arow = f.add(rb, j);
+    let aaddr = f.add(arow, a_ref.base_const());
+    let av = f.load(aaddr);
+    let xaddr = f.add(j, x_ref.base_const());
+    let xv = f.load(xaddr);
+    let prod = f.mul(av, xv);
+    let w2 = f.add(w, prod);
+    let j2 = f.add(j, 1);
+    let [w_out] = f.end_loop([j2, w2, rb], [w]);
+    let yaddr = f.add(i, y_ref.base_const());
+    f.store(yaddr, w_out);
+    let i2 = f.add(i, 1);
+    f.end_loop([i2], NO_OPERANDS);
+    let program = pb.finish(f, [Operand::Const(0)]);
+
+    let mut w = Workload::new("dmv", format!("size: {m}x{n}"), program, mem, vec![]);
+    w.expect("y", y_ref, oracle::dmv(&a, &x, m, n));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::{interp, validate::validate};
+
+    #[test]
+    fn validates_and_matches_oracle_under_vn() {
+        let w = build(9, 7, 42);
+        validate(&w.program).unwrap();
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+}

@@ -1,0 +1,286 @@
+//! Seeded input generators.
+//!
+//! The paper's dense apps run on random inputs; its sparse apps use
+//! SuiteSparse matrices (DNVS/trdheim for smv, a DIMACS10/M6 subset for
+//! spmspv) and a navigable small-world graph for tc. Those external datasets
+//! are substituted with seeded synthetic inputs that preserve the properties
+//! the engines are sensitive to — nonzero *structure* (trip-count
+//! irregularity and data-dependent control flow), not numeric content; see
+//! DESIGN.md §2:
+//!
+//! * [`banded_csr`] — banded symmetric structure, like the trdheim FEM
+//!   matrix;
+//! * [`random_csr`] / [`sparse_vector`] — uniform random sparsity for the
+//!   M6 substitute;
+//! * [`watts_strogatz_forward`] — a small-world graph (high clustering,
+//!   short paths) for triangle counting.
+//!
+//! All generators are deterministic in their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tyr_ir::Value;
+
+/// A sparse matrix in compressed-sparse-row form (also used column-wise as
+/// CSC by spmspv — the format is symmetric in interpretation).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Number of rows (or columns for CSC usage).
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// `rows + 1` offsets into `idx`/`vals`.
+    pub ptr: Vec<Value>,
+    /// Column (row) indices, sorted within each row.
+    pub idx: Vec<Value>,
+    /// Nonzero values.
+    pub vals: Vec<Value>,
+}
+
+impl Csr {
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+}
+
+/// Small nonzero values keep products and long accumulations far from
+/// overflow while still exercising real arithmetic.
+fn small_val(rng: &mut StdRng) -> Value {
+    let v = rng.gen_range(1..=9);
+    if rng.gen_bool(0.5) {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Dense `rows × cols` matrix with small random entries.
+pub fn dense_matrix(seed: u64, rows: usize, cols: usize) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| small_val(&mut rng)).collect()
+}
+
+/// Dense vector of length `n` with small random entries.
+pub fn dense_vector(seed: u64, n: usize) -> Vec<Value> {
+    dense_matrix(seed, n, 1)
+}
+
+/// Uniform random CSR: ~`nnz` nonzeros spread evenly over the rows, sorted
+/// unique column indices per row.
+pub fn random_csr(seed: u64, rows: usize, cols: usize, nnz: usize) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row = (nnz as f64 / rows as f64).max(0.0);
+    let mut ptr = Vec::with_capacity(rows + 1);
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    ptr.push(0);
+    for _ in 0..rows {
+        // Poisson-ish row lengths around the mean, clamped to the width.
+        let lo = per_row * 0.5;
+        let hi = per_row * 1.5 + 1.0;
+        let k = (rng.gen_range(lo..hi) as usize).min(cols);
+        let mut row: Vec<Value> = Vec::with_capacity(k);
+        while row.len() < k {
+            let c = rng.gen_range(0..cols) as Value;
+            if let Err(pos) = row.binary_search(&c) {
+                row.insert(pos, c);
+            }
+        }
+        for c in row {
+            idx.push(c);
+            vals.push(small_val(&mut rng));
+        }
+        ptr.push(idx.len() as Value);
+    }
+    Csr { rows, cols, ptr, idx, vals }
+}
+
+/// Banded symmetric-structure CSR (the trdheim substitute): row `i` has
+/// nonzeros at a `density` fraction of the columns in `[i-band, i+band]`,
+/// always including the diagonal.
+pub fn banded_csr(seed: u64, n: usize, band: usize, density: f64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ptr = Vec::with_capacity(n + 1);
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    ptr.push(0);
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        for c in lo..=hi {
+            if c == i || rng.gen_bool(density) {
+                idx.push(c as Value);
+                vals.push(small_val(&mut rng));
+            }
+        }
+        ptr.push(idx.len() as Value);
+    }
+    Csr { rows: n, cols: n, ptr, idx, vals }
+}
+
+/// A sparse vector: `nnz` sorted unique indices in `0..n` with small values.
+pub fn sparse_vector(seed: u64, n: usize, nnz: usize) -> (Vec<Value>, Vec<Value>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nnz = nnz.min(n);
+    let mut idxs: Vec<Value> = Vec::with_capacity(nnz);
+    while idxs.len() < nnz {
+        let i = rng.gen_range(0..n) as Value;
+        if let Err(pos) = idxs.binary_search(&i) {
+            idxs.insert(pos, i);
+        }
+    }
+    let vals = (0..nnz).map(|_| small_val(&mut rng)).collect();
+    (idxs, vals)
+}
+
+/// Watts–Strogatz small-world graph, returned as a *forward* adjacency CSR:
+/// row `u` lists only neighbors `v > u`, sorted — the form the triangle
+/// counting kernel intersects. `k` is the (even) ring degree; `p` the
+/// rewiring probability.
+pub fn watts_strogatz_forward(seed: u64, n: usize, k: usize, p: f64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.max(2) & !1; // even, >= 2
+    // Adjacency sets via sorted vecs per node.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let add = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+        if a == b {
+            return;
+        }
+        if let Err(pos) = adj[a].binary_search(&b) {
+            adj[a].insert(pos, b);
+        }
+        if let Err(pos) = adj[b].binary_search(&a) {
+            adj[b].insert(pos, a);
+        }
+    };
+    // Ring lattice.
+    for u in 0..n {
+        for d in 1..=k / 2 {
+            add(&mut adj, u, (u + d) % n);
+        }
+    }
+    // Rewire each lattice edge with probability p.
+    for u in 0..n {
+        for d in 1..=k / 2 {
+            if rng.gen_bool(p) {
+                let v = (u + d) % n;
+                // Remove (u, v), add (u, w) for random w.
+                if let Ok(pos) = adj[u].binary_search(&v) {
+                    adj[u].remove(pos);
+                    if let Ok(pos2) = adj[v].binary_search(&u) {
+                        adj[v].remove(pos2);
+                    }
+                    let mut w = rng.gen_range(0..n);
+                    let mut guard = 0;
+                    while (w == u || adj[u].binary_search(&w).is_ok()) && guard < 32 {
+                        w = rng.gen_range(0..n);
+                        guard += 1;
+                    }
+                    if w != u && adj[u].binary_search(&w).is_err() {
+                        add(&mut adj, u, w);
+                    } else {
+                        add(&mut adj, u, v); // give up, restore
+                    }
+                }
+            }
+        }
+    }
+    // Forward CSR.
+    let mut ptr = Vec::with_capacity(n + 1);
+    let mut idx = Vec::new();
+    ptr.push(0);
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            if v > u {
+                idx.push(v as Value);
+            }
+        }
+        ptr.push(idx.len() as Value);
+    }
+    let vals = vec![1; idx.len()];
+    Csr { rows: n, cols: n, ptr, idx, vals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_deterministic_and_small() {
+        let a = dense_matrix(7, 8, 8);
+        let b = dense_matrix(7, 8, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert!(a.iter().all(|&v| v != 0 && v.abs() <= 9));
+        let c = dense_matrix(8, 8, 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    fn check_csr(m: &Csr) {
+        assert_eq!(m.ptr.len(), m.rows + 1);
+        assert_eq!(m.ptr[0], 0);
+        assert_eq!(*m.ptr.last().unwrap() as usize, m.idx.len());
+        assert_eq!(m.idx.len(), m.vals.len());
+        for r in 0..m.rows {
+            let (lo, hi) = (m.ptr[r] as usize, m.ptr[r + 1] as usize);
+            assert!(lo <= hi);
+            let row = &m.idx[lo..hi];
+            for w in row.windows(2) {
+                assert!(w[0] < w[1], "row {r} not strictly sorted");
+            }
+            for &c in row {
+                assert!((c as usize) < m.cols);
+            }
+        }
+    }
+
+    #[test]
+    fn random_csr_is_well_formed() {
+        let m = random_csr(1, 100, 80, 600);
+        check_csr(&m);
+        assert!(m.nnz() > 300 && m.nnz() < 1000, "nnz {} far from target", m.nnz());
+    }
+
+    #[test]
+    fn banded_csr_is_well_formed_and_banded() {
+        let m = banded_csr(2, 200, 10, 0.5);
+        check_csr(&m);
+        for r in 0..m.rows {
+            let (lo, hi) = (m.ptr[r] as usize, m.ptr[r + 1] as usize);
+            // Diagonal always present.
+            assert!(m.idx[lo..hi].contains(&(r as Value)));
+            for &c in &m.idx[lo..hi] {
+                assert!((c - r as i64).unsigned_abs() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_vector_sorted_unique() {
+        let (idx, vals) = sparse_vector(3, 1000, 50);
+        assert_eq!(idx.len(), 50);
+        assert_eq!(vals.len(), 50);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_forward_properties() {
+        let g = watts_strogatz_forward(4, 300, 8, 0.1);
+        check_csr(&g);
+        // Forward edges only.
+        for u in 0..g.rows {
+            for &v in &g.idx[g.ptr[u] as usize..g.ptr[u + 1] as usize] {
+                assert!((v as usize) > u);
+            }
+        }
+        // Edge count ≈ n*k/2.
+        let e = g.nnz();
+        assert!(e > 300 * 3 && e < 300 * 5, "edges {e}");
+        // Small-world graphs have triangles.
+        let tri = super::super::oracle::count_triangles(&g);
+        assert!(tri > 0, "ring lattice with k=8 must contain triangles");
+    }
+}

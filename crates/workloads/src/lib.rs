@@ -1,0 +1,45 @@
+//! The seven evaluation kernels of the TYR paper (Table II), their input
+//! generators, and plain-Rust oracles.
+//!
+//! | App | Pattern |
+//! |-----|---------|
+//! | [`dmv`] | dense matrix-vector (the running example, Fig. 3) |
+//! | [`dmm`] | dense matrix-matrix, 3 nested loops |
+//! | [`dconv`] | dense 2-D convolution |
+//! | [`smv`] | CSR sparse matrix × dense vector (data-dependent trips) |
+//! | [`spmspv`] | CSC sparse matrix × sparse vector (scatter-add) |
+//! | [`spmspm`] | CSR × CSR sparse matrix multiply (Figs. 2, 16) |
+//! | [`tc`] | triangle counting by sorted intersection (most irregular) |
+//!
+//! Each `build` function returns a [`Workload`]: the structured program, an
+//! initialized [`tyr_ir::MemoryImage`], and the oracle-computed expected
+//! outputs, so any engine's result can be verified with
+//! [`Workload::check`].
+//!
+//! ```
+//! use tyr_workloads::suite::{by_name, Scale};
+//! use tyr_ir::interp;
+//!
+//! let w = by_name("dmv", Scale::Tiny, 42).unwrap();
+//! let mut mem = w.memory.clone();
+//! interp::run(&w.program, &mut mem, &w.args)?;
+//! w.check(&mem)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dconv;
+pub mod dmm;
+pub mod dmv;
+pub mod gen;
+pub mod oracle;
+pub mod smv;
+pub mod spmspm;
+pub mod spmspv;
+pub mod suite;
+pub mod tc;
+pub mod workload;
+
+pub use suite::{by_name, suite, Scale, APP_NAMES};
+pub use workload::{CheckError, Workload};

@@ -1,0 +1,210 @@
+//! Plain-Rust reference implementations of the seven kernels.
+//!
+//! These compute the expected output arrays that every engine's simulated
+//! memory is checked against — the reproduction's end-to-end correctness
+//! oracle.
+
+use crate::gen::Csr;
+use tyr_ir::Value;
+
+/// Dense matrix-vector: `y = A·x`, `A` is `m×n` row-major.
+pub fn dmv(a: &[Value], x: &[Value], m: usize, n: usize) -> Vec<Value> {
+    (0..m).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+}
+
+/// Dense matrix-matrix: `C = A·B`, all `n×n` row-major.
+pub fn dmm(a: &[Value], b: &[Value], n: usize) -> Vec<Value> {
+    let mut c = vec![0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let av = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += av * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Dense 2-D convolution (valid padding): `img` is `h×w`, `flt` is `kh×kw`;
+/// output is `(h-kh+1)×(w-kw+1)`.
+pub fn dconv(
+    img: &[Value],
+    flt: &[Value],
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+) -> Vec<Value> {
+    let oh = h - kh + 1;
+    let ow = w - kw + 1;
+    let mut out = vec![0; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0;
+            for fy in 0..kh {
+                for fx in 0..kw {
+                    acc += img[(oy + fy) * w + (ox + fx)] * flt[fy * kw + fx];
+                }
+            }
+            out[oy * ow + ox] = acc;
+        }
+    }
+    out
+}
+
+/// Sparse matrix (CSR) × dense vector.
+pub fn smv(m: &Csr, x: &[Value]) -> Vec<Value> {
+    (0..m.rows)
+        .map(|i| {
+            (m.ptr[i] as usize..m.ptr[i + 1] as usize)
+                .map(|k| m.vals[k] * x[m.idx[k] as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// Sparse matrix (CSC) × sparse vector, producing a dense accumulator of
+/// length `m.cols` (the matrix's row dimension when read as CSC).
+pub fn spmspv(m: &Csr, vidx: &[Value], vval: &[Value]) -> Vec<Value> {
+    let mut y = vec![0; m.cols];
+    for (t, &j) in vidx.iter().enumerate() {
+        let vv = vval[t];
+        for k in m.ptr[j as usize] as usize..m.ptr[j as usize + 1] as usize {
+            y[m.idx[k] as usize] += m.vals[k] * vv;
+        }
+    }
+    y
+}
+
+/// Sparse × sparse matrix multiply (both CSR, same square dimension),
+/// producing a dense `n×n` output.
+pub fn spmspm(a: &Csr, b: &Csr) -> Vec<Value> {
+    let n = a.rows;
+    let mut c = vec![0; n * n];
+    for i in 0..n {
+        for k in a.ptr[i] as usize..a.ptr[i + 1] as usize {
+            let j = a.idx[k] as usize;
+            let av = a.vals[k];
+            for l in b.ptr[j] as usize..b.ptr[j + 1] as usize {
+                c[i * n + b.idx[l] as usize] += av * b.vals[l];
+            }
+        }
+    }
+    c
+}
+
+/// Triangle count over a *forward* adjacency CSR (row `u` lists sorted
+/// neighbors `v > u`), by sorted-list intersection — the same algorithm the
+/// kernel implements.
+pub fn count_triangles(g: &Csr) -> Value {
+    let mut count = 0;
+    for u in 0..g.rows {
+        for e in g.ptr[u] as usize..g.ptr[u + 1] as usize {
+            let v = g.idx[e] as usize;
+            let (mut pa, ea) = (g.ptr[u] as usize, g.ptr[u + 1] as usize);
+            let (mut pb, eb) = (g.ptr[v] as usize, g.ptr[v + 1] as usize);
+            while pa < ea && pb < eb {
+                let a = g.idx[pa];
+                let b = g.idx[pb];
+                if a == b {
+                    count += 1;
+                }
+                if a <= b {
+                    pa += 1;
+                }
+                if a >= b {
+                    pb += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmv_small() {
+        // [1 2; 3 4] * [5, 6] = [17, 39]
+        assert_eq!(dmv(&[1, 2, 3, 4], &[5, 6], 2, 2), vec![17, 39]);
+    }
+
+    #[test]
+    fn dmm_identity() {
+        let a = vec![1, 0, 0, 1];
+        let b = vec![7, 8, 9, 10];
+        assert_eq!(dmm(&a, &b, 2), b);
+    }
+
+    #[test]
+    fn dconv_unit_filter() {
+        let img: Vec<Value> = (0..16).collect(); // 4x4
+        let flt = vec![1]; // 1x1 identity
+        assert_eq!(dconv(&img, &flt, 4, 4, 1, 1), img);
+        // 2x2 box filter on 3x3 of ones = 4s.
+        let ones = vec![1; 9];
+        assert_eq!(dconv(&ones, &[1, 1, 1, 1], 3, 3, 2, 2), vec![4; 4]);
+    }
+
+    #[test]
+    fn smv_matches_dense() {
+        // CSR of [1 0; 2 3]
+        let m = Csr { rows: 2, cols: 2, ptr: vec![0, 1, 3], idx: vec![0, 0, 1], vals: vec![1, 2, 3] };
+        assert_eq!(smv(&m, &[10, 100]), vec![10, 320]);
+    }
+
+    #[test]
+    fn spmspv_small() {
+        // CSC of a matrix with column 1 = [5, 0], column 0 = [0, 7]
+        let m = Csr { rows: 2, cols: 2, ptr: vec![0, 1, 2], idx: vec![1, 0], vals: vec![7, 5] };
+        // v = e1 * 2 (index 1, value 2): y = col1 * 2 = [10, 0]
+        assert_eq!(spmspv(&m, &[1], &[2]), vec![10, 0]);
+    }
+
+    #[test]
+    fn spmspm_matches_dense_mm() {
+        use crate::gen::random_csr;
+        let n = 16;
+        let a = random_csr(10, n, n, 40);
+        let b = random_csr(11, n, n, 40);
+        let dense = |m: &Csr| {
+            let mut d = vec![0; n * n];
+            for i in 0..n {
+                for k in m.ptr[i] as usize..m.ptr[i + 1] as usize {
+                    d[i * n + m.idx[k] as usize] = m.vals[k];
+                }
+            }
+            d
+        };
+        assert_eq!(spmspm(&a, &b), dmm(&dense(&a), &dense(&b), n));
+    }
+
+    #[test]
+    fn triangles_of_k4() {
+        // Complete graph on 4 nodes: forward adjacency.
+        let g = Csr {
+            rows: 4,
+            cols: 4,
+            ptr: vec![0, 3, 5, 6, 6],
+            idx: vec![1, 2, 3, 2, 3, 3],
+            vals: vec![1; 6],
+        };
+        assert_eq!(count_triangles(&g), 4);
+    }
+
+    #[test]
+    fn triangles_of_triangle_free_graph() {
+        // A 4-cycle has no triangles.
+        let g = Csr {
+            rows: 4,
+            cols: 4,
+            ptr: vec![0, 2, 3, 4, 4],
+            idx: vec![1, 3, 2, 3],
+            vals: vec![1; 4],
+        };
+        assert_eq!(count_triangles(&g), 0);
+    }
+}

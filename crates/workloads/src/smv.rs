@@ -1,0 +1,111 @@
+//! Sparse matrix-vector multiplication over CSR (Table II). The inner
+//! loop's trip count is data-dependent (`rowptr[i+1] - rowptr[i]`), the
+//! pattern that motivates tagged dataflow for irregular workloads.
+//!
+//! The paper runs smv on SuiteSparse DNVS/trdheim (22098², 1.94M nonzeros,
+//! a banded FEM structure); we substitute a seeded banded matrix of matching
+//! shape (DESIGN.md §2).
+
+use tyr_ir::build::ProgramBuilder;
+use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
+
+use crate::gen::{self, Csr};
+use crate::workload::Workload;
+use crate::oracle;
+
+/// Builds `y = M·x` for an explicit CSR matrix.
+pub fn build_from(m: &Csr, seed: u64) -> Workload {
+    let x = gen::dense_vector(seed.wrapping_add(7), m.cols);
+
+    let mut mem = MemoryImage::new();
+    let ptr_ref = mem.alloc_init("rowptr", &m.ptr);
+    let idx_ref = mem.alloc_init("colidx", &m.idx);
+    let val_ref = mem.alloc_init("vals", &m.vals);
+    let x_ref = mem.alloc_init("x", &x);
+    let y_ref = mem.alloc("y", m.rows);
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let [i] = f.begin_loop("smv_rows", [0]);
+    let c = f.lt(i, m.rows as i64);
+    f.begin_body(c);
+    let paddr = f.add(i, ptr_ref.base_const());
+    let lo = f.load(paddr);
+    let paddr1 = f.add(paddr, 1);
+    let hi = f.load(paddr1);
+    let [k, acc, hic] = f.begin_loop("smv_nnz", [lo, Operand::Const(0), hi]);
+    let ck = f.lt(k, hic);
+    f.begin_body(ck);
+    let vaddr = f.add(k, val_ref.base_const());
+    let v = f.load(vaddr);
+    let caddr = f.add(k, idx_ref.base_const());
+    let col = f.load(caddr);
+    let xaddr = f.add(col, x_ref.base_const());
+    let xv = f.load(xaddr);
+    let prod = f.mul(v, xv);
+    let acc2 = f.add(acc, prod);
+    let k2 = f.add(k, 1);
+    let [acc_out] = f.end_loop([k2, acc2, hic], [acc]);
+    let yaddr = f.add(i, y_ref.base_const());
+    f.store(yaddr, acc_out);
+    let i2 = f.add(i, 1);
+    f.end_loop([i2], NO_OPERANDS);
+    let program = pb.finish(f, [Operand::Const(0)]);
+
+    let mut w = Workload::new(
+        "smv",
+        format!("size: {}x{}, non-zeros: {}", m.rows, m.cols, m.nnz()),
+        program,
+        mem,
+        vec![],
+    );
+    w.expect("y", y_ref, oracle::smv(m, &x));
+    w
+}
+
+/// Builds smv on a seeded banded matrix (the trdheim substitute): size
+/// `n×n`, bandwidth `band`, in-band density `density`.
+pub fn build(n: usize, band: usize, density: f64, seed: u64) -> Workload {
+    let m = gen::banded_csr(seed, n, band, density);
+    build_from(&m, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::{interp, validate::validate};
+
+    #[test]
+    fn validates_and_matches_oracle_under_vn() {
+        let w = build(24, 4, 0.6, 3);
+        validate(&w.program).unwrap();
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        // A matrix with completely empty rows exercises zero-trip inner loops.
+        let m = Csr { rows: 3, cols: 3, ptr: vec![0, 0, 2, 2], idx: vec![0, 2], vals: vec![4, 5] };
+        let w = build_from(&m, 1);
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use tyr_ir::interp;
+
+    #[test]
+    fn single_row_single_nonzero() {
+        let m = Csr { rows: 1, cols: 1, ptr: vec![0, 1], idx: vec![0], vals: vec![3] };
+        let w = build_from(&m, 0);
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+}

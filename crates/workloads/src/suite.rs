@@ -1,0 +1,119 @@
+//! The full benchmark suite at standard scales.
+
+use crate::workload::Workload;
+use crate::{dconv, dmm, dmv, smv, spmspm, spmspv, tc};
+
+/// Input scale presets.
+///
+/// `Paper` reproduces Table II exactly (50M–1B dynamic instructions per
+/// app — expect long simulations, especially for the unordered baseline
+/// whose live state reaches tens of millions of tokens). `Small` keeps every
+/// app under a few million dynamic instructions while preserving the same
+/// loop structure; `Tiny` is for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long simulations; the default for the `repro` harness.
+    Small,
+    /// Sub-second instances for integration tests.
+    Tiny,
+    /// Table II sizes.
+    Paper,
+}
+
+/// The names of the seven applications, in Table II order.
+pub const APP_NAMES: [&str; 7] = ["dmv", "dmm", "dconv", "smv", "spmspv", "spmspm", "tc"];
+
+/// Builds one application by name at the given scale.
+///
+/// Returns `None` for an unknown name.
+pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Workload> {
+    Some(match (name, scale) {
+        ("dmv", Scale::Tiny) => dmv::build(12, 12, seed),
+        ("dmv", Scale::Small) => dmv::build(256, 256, seed),
+        ("dmv", Scale::Paper) => dmv::build(4096, 4096, seed),
+
+        ("dmm", Scale::Tiny) => dmm::build(8, seed),
+        ("dmm", Scale::Small) => dmm::build(40, seed),
+        ("dmm", Scale::Paper) => dmm::build(256, seed),
+
+        ("dconv", Scale::Tiny) => dconv::build(10, 10, 3, 3, seed),
+        ("dconv", Scale::Small) => dconv::build(64, 64, 7, 7, seed),
+        ("dconv", Scale::Paper) => dconv::build(512, 512, 11, 11, seed),
+
+        ("smv", Scale::Tiny) => smv::build(32, 4, 0.5, seed),
+        ("smv", Scale::Small) => smv::build(1024, 16, 0.5, seed),
+        // trdheim substitute: 22098², ~88 nnz/row banded.
+        ("smv", Scale::Paper) => smv::build(22_098, 44, 1.0, seed),
+
+        ("spmspv", Scale::Tiny) => spmspv::build(48, 160, 8, seed),
+        ("spmspv", Scale::Small) => spmspv::build(2048, 8192, 128, seed),
+        // M6-subset substitute: 32276², 74482 matrix nnz, 1638 vector nnz.
+        ("spmspv", Scale::Paper) => spmspv::build(32_276, 74_482, 1_638, seed),
+
+        ("spmspm", Scale::Tiny) => spmspm::build(16, 0.1, seed),
+        ("spmspm", Scale::Small) => spmspm::build(96, 0.05, seed),
+        ("spmspm", Scale::Paper) => spmspm::build(256, 0.05, seed),
+
+        ("tc", Scale::Tiny) => tc::build(48, 6, 0.1, seed),
+        ("tc", Scale::Small) => tc::build(384, 10, 0.1, seed),
+        // Navigable-small-world substitute: 16384 nodes, ~206K edges
+        // (k = 26 ring degree ≈ 213K undirected edges).
+        ("tc", Scale::Paper) => tc::build(16_384, 26, 0.1, seed),
+
+        _ => return None,
+    })
+}
+
+/// Builds all seven Table II applications at the given scale.
+pub fn suite(scale: Scale, seed: u64) -> Vec<Workload> {
+    APP_NAMES
+        .iter()
+        .map(|n| by_name(n, scale, seed).expect("known name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::validate::validate;
+
+    #[test]
+    fn all_tiny_apps_build_and_validate() {
+        let apps = suite(Scale::Tiny, 1);
+        assert_eq!(apps.len(), 7);
+        for w in &apps {
+            validate(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(w.expectation_count() >= 1, "{} has no oracle outputs", w.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("nope", Scale::Tiny, 0).is_none());
+    }
+
+    #[test]
+    fn small_scale_apps_build() {
+        for name in APP_NAMES {
+            let w = by_name(name, Scale::Small, 2).unwrap();
+            validate(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+}
+
+#[cfg(test)]
+mod paper_scale_tests {
+    use super::*;
+
+    /// Paper-scale inputs build and their oracles compute (no simulation).
+    /// ~1 GB of transient memory and a few seconds; ignored by default.
+    #[test]
+    #[ignore = "builds paper-scale inputs (~1 GB, seconds); run explicitly"]
+    fn paper_scale_workloads_build() {
+        for name in APP_NAMES {
+            let w = by_name(name, Scale::Paper, 1).unwrap();
+            tyr_ir::validate::validate(&w.program).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(w.expectation_count() >= 1, "{name}");
+        }
+    }
+}

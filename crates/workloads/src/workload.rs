@@ -1,0 +1,146 @@
+//! The [`Workload`] bundle: a built program, its memory image, and the
+//! expected outputs from the reference oracle.
+
+use std::fmt;
+
+use tyr_ir::{ArrayRef, MemoryImage, Program, Value};
+
+/// One benchmark instance, ready to lower and simulate on any engine.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name (Table II's abbreviation: `dmv`, `spmspm`, …).
+    pub name: String,
+    /// Human-readable parameter description.
+    pub params: String,
+    /// The structured program.
+    pub program: Program,
+    /// Initial memory (inputs + zeroed outputs).
+    pub memory: MemoryImage,
+    /// Program arguments.
+    pub args: Vec<Value>,
+    expected: Vec<(String, ArrayRef, Vec<Value>)>,
+}
+
+/// A mismatch between simulated memory and the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// The workload name.
+    pub workload: String,
+    /// The output array that differs.
+    pub array: String,
+    /// First differing element index.
+    pub index: usize,
+    /// Expected word.
+    pub expected: Value,
+    /// Simulated word.
+    pub got: Value,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: output '{}' differs at [{}]: expected {}, got {}",
+            self.workload, self.array, self.index, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl Workload {
+    /// Creates a workload with no expectations yet.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl Into<String>,
+        program: Program,
+        memory: MemoryImage,
+        args: Vec<Value>,
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            params: params.into(),
+            program,
+            memory,
+            args,
+            expected: Vec::new(),
+        }
+    }
+
+    /// Registers an expected output array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the array.
+    pub fn expect(&mut self, name: impl Into<String>, array: ArrayRef, values: Vec<Value>) {
+        assert_eq!(array.len, values.len(), "expected-output length mismatch");
+        self.expected.push((name.into(), array, values));
+    }
+
+    /// Checks a simulated memory against every registered expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch found.
+    pub fn check(&self, mem: &MemoryImage) -> Result<(), CheckError> {
+        for (name, array, values) in &self.expected {
+            let got = mem.slice(*array);
+            for (i, (&e, &g)) in values.iter().zip(got).enumerate() {
+                if e != g {
+                    return Err(CheckError {
+                        workload: self.name.clone(),
+                        array: name.clone(),
+                        index: i,
+                        expected: e,
+                        got: g,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of registered expected-output arrays.
+    pub fn expectation_count(&self) -> usize {
+        self.expected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::build::ProgramBuilder;
+
+    fn trivial() -> (Workload, ArrayRef) {
+        let mut mem = MemoryImage::new();
+        let out = mem.alloc("out", 2);
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let r = f.add(1, 2);
+        let p = pb.finish(f, [r]);
+        let mut w = Workload::new("t", "tiny", p, mem, vec![]);
+        w.expect("out", out, vec![10, 20]);
+        (w, out)
+    }
+
+    #[test]
+    fn check_passes_on_matching_memory() {
+        let (w, out) = trivial();
+        let mut mem = w.memory.clone();
+        mem.slice_mut(out).copy_from_slice(&[10, 20]);
+        assert!(w.check(&mem).is_ok());
+        assert_eq!(w.expectation_count(), 1);
+    }
+
+    #[test]
+    fn check_reports_first_mismatch() {
+        let (w, out) = trivial();
+        let mut mem = w.memory.clone();
+        mem.slice_mut(out).copy_from_slice(&[10, 21]);
+        let err = w.check(&mem).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.expected, 20);
+        assert_eq!(err.got, 21);
+        assert!(err.to_string().contains("differs"));
+    }
+}

@@ -1,0 +1,67 @@
+//! # TYR — unordered dataflow with local tag spaces
+//!
+//! A from-scratch Rust reproduction of *"The TYR Dataflow Architecture:
+//! Improving Locality by Taming Parallelism"* (MICRO 2024).
+//!
+//! TYR is a general-purpose unordered (tagged) dataflow architecture that
+//! bounds live state without artificially constraining parallelism. Instead
+//! of one *global* tag space, TYR gives every *concurrent block* (loop body
+//! or function body) its own tiny *local tag space*; new token-management
+//! instructions (`allocate`, `free`, `changeTag`, `extractTag`, `join`)
+//! guarantee forward progress with as few as **two tags per block**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`ir`] — the structured dataflow IR and builder DSL (the paper's UDIR
+//!   analogue), plus the sequential reference interpreter.
+//! * [`dfg`] — elaborated dataflow graphs and per-architecture lowering
+//!   (TYR concurrent-block linkage, naïve unordered tagging, ordered FIFO
+//!   dataflow).
+//! * [`sim`] — cycle-level idealized engines for all five architectures of
+//!   the paper's evaluation, with live-token and IPC instrumentation.
+//! * [`workloads`] — the seven Table II kernels, input generators, and
+//!   plain-Rust oracles.
+//! * [`stats`] — traces, CDFs, geometric means, chart rendering.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tyr::prelude::*;
+//!
+//! // Build dense matrix-vector multiplication (the paper's running example),
+//! // lower it for TYR, and simulate with 64 tags per concurrent block.
+//! let size = 16;
+//! let wl = tyr::workloads::dmv::build(size, size, 1);
+//! let dfg = tyr::dfg::lower::lower_tagged(&wl.program, TaggingDiscipline::Tyr).unwrap();
+//! let config = TaggedConfig {
+//!     issue_width: 128,
+//!     tag_policy: TagPolicy::local(64),
+//!     ..TaggedConfig::default()
+//! };
+//! let result = TaggedEngine::new(&dfg, wl.memory.clone(), config).run().unwrap();
+//! assert!(result.is_complete());
+//! wl.check(result.memory()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub use tyr_dfg as dfg;
+pub use tyr_ir as ir;
+pub use tyr_lang as lang;
+pub use tyr_sim as sim;
+pub use tyr_stats as stats;
+pub use tyr_workloads as workloads;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+    pub use tyr_dfg::Dfg;
+    pub use tyr_ir::build::ProgramBuilder;
+    pub use tyr_ir::{MemoryImage, Program};
+    pub use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
+    pub use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
+    pub use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
+    pub use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+    pub use tyr_sim::{Outcome, RunResult};
+    pub use tyr_stats::{gmean, Cdf, IpcHistogram, Trace};
+}

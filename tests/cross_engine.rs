@@ -1,0 +1,83 @@
+//! Cross-engine correctness: every Table II kernel, on every architecture,
+//! must produce oracle-identical output memory.
+
+use tyr::prelude::*;
+use tyr::workloads::{suite, Scale, Workload};
+
+fn check_tagged(w: &Workload, discipline: TaggingDiscipline, policy: TagPolicy) {
+    let dfg = lower_tagged(&w.program, discipline).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let cfg = TaggedConfig { tag_policy: policy.clone(), args: w.args.clone(), ..TaggedConfig::default() };
+    let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("{} ({policy:?}): {e}", w.name));
+    assert!(r.is_complete(), "{} ({policy:?}): {:?}", w.name, r.outcome);
+    w.check(r.memory()).unwrap_or_else(|e| panic!("{e}"));
+}
+
+#[test]
+fn tyr_matches_oracle_on_all_apps() {
+    for w in suite(Scale::Tiny, 99) {
+        for tags in [2, 4, 64] {
+            check_tagged(&w, TaggingDiscipline::Tyr, TagPolicy::local(tags));
+        }
+    }
+}
+
+#[test]
+fn unordered_unbounded_matches_oracle_on_all_apps() {
+    for w in suite(Scale::Tiny, 99) {
+        check_tagged(&w, TaggingDiscipline::UnorderedUnbounded, TagPolicy::GlobalUnbounded);
+    }
+}
+
+#[test]
+fn tyr_graph_with_unlimited_tags_matches_oracle() {
+    // Fig. 9d: TYR with unlimited tags behaves like naïve unordered; it must
+    // still be correct.
+    for w in suite(Scale::Tiny, 99) {
+        check_tagged(&w, TaggingDiscipline::Tyr, TagPolicy::GlobalUnbounded);
+    }
+}
+
+#[test]
+fn ordered_matches_oracle_on_all_apps() {
+    for w in suite(Scale::Tiny, 99) {
+        let dfg = lower_ordered(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for depth in [2, 4] {
+            let cfg = OrderedConfig {
+                queue_depth: depth,
+                args: w.args.clone(),
+                ..OrderedConfig::default()
+            };
+            let r = OrderedEngine::new(&dfg, w.memory.clone(), cfg)
+                .run()
+                .unwrap_or_else(|e| panic!("{} (q={depth}): {e}", w.name));
+            assert!(r.is_complete(), "{} (q={depth}): {:?}", w.name, r.outcome);
+            w.check(r.memory()).unwrap_or_else(|e| panic!("q={depth}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn seqvn_matches_oracle_on_all_apps() {
+    for w in suite(Scale::Tiny, 99) {
+        let cfg = SeqVnConfig { args: w.args.clone(), ..SeqVnConfig::default() };
+        let r = SeqVnEngine::new(&w.program, w.memory.clone(), cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.is_complete());
+        w.check(r.memory()).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn seqdf_matches_oracle_on_all_apps() {
+    for w in suite(Scale::Tiny, 99) {
+        let cfg = SeqDataflowConfig { args: w.args.clone(), ..SeqDataflowConfig::default() };
+        let r = SeqDataflowEngine::new(&w.program, w.memory.clone(), cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.is_complete());
+        w.check(r.memory()).unwrap_or_else(|e| panic!("{e}"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Cross-crate behavioral tests: determinism, monotonicity in the machine
+//! knobs, instruction-count accounting, and error paths.
+
+use tyr::prelude::*;
+use tyr::sim::ooo::{OooConfig, OooEngine};
+use tyr::workloads::{by_name, suite, Scale};
+
+#[test]
+fn simulations_are_deterministic() {
+    // Identical configuration => bit-identical measurements, twice.
+    let w = by_name("spmspm", Scale::Tiny, 3).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    let run = || {
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(8),
+            args: w.args.clone(),
+            ..TaggedConfig::default()
+        };
+        TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.dyn_instrs(), b.dyn_instrs());
+    assert_eq!(a.peak_live(), b.peak_live());
+    assert_eq!(a.returns, b.returns);
+}
+
+#[test]
+fn tyr_issue_width_is_monotone() {
+    let w = by_name("dmv", Scale::Tiny, 4).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    let mut prev = u64::MAX;
+    for width in [1usize, 4, 16, 64, 256] {
+        let cfg = TaggedConfig {
+            issue_width: width,
+            tag_policy: TagPolicy::local(16),
+            args: w.args.clone(),
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap();
+        assert!(r.is_complete(), "width {width}");
+        assert!(r.cycles() <= prev, "width {width} slower than narrower machine");
+        // IPC can never exceed the machine width.
+        assert!(r.ipc.max_value() <= width as u64);
+        prev = r.cycles();
+    }
+}
+
+#[test]
+fn tyr_tag_count_is_monotone_in_time_and_state() {
+    let w = by_name("smv", Scale::Tiny, 4).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    let mut prev_cycles = u64::MAX;
+    let mut prev_peak = 0u64;
+    for tags in [2usize, 4, 16, 64] {
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(tags),
+            args: w.args.clone(),
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap();
+        assert!(r.cycles() <= prev_cycles, "tags {tags}");
+        assert!(r.peak_live() >= prev_peak, "tags {tags}");
+        prev_cycles = r.cycles();
+        prev_peak = r.peak_live();
+    }
+}
+
+#[test]
+fn ordered_queue_depth_never_slows_down() {
+    let w = by_name("dmm", Scale::Tiny, 4).unwrap();
+    let dfg = lower_ordered(&w.program).unwrap();
+    let mut prev = u64::MAX;
+    for depth in [1usize, 2, 4, 16] {
+        let cfg = OrderedConfig {
+            queue_depth: depth,
+            args: w.args.clone(),
+            ..OrderedConfig::default()
+        };
+        let r = OrderedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap();
+        assert!(r.is_complete(), "depth {depth}: {:?}", r.outcome);
+        w.check(r.memory()).unwrap();
+        assert!(r.cycles() <= prev, "depth {depth}");
+        prev = r.cycles();
+    }
+}
+
+#[test]
+fn seqdf_retires_same_instructions_as_vn() {
+    // Sequential dataflow reorders *within* block instances but retires the
+    // same dynamic instruction stream.
+    for w in suite(Scale::Tiny, 11) {
+        let vn = SeqVnEngine::new(
+            &w.program,
+            w.memory.clone(),
+            SeqVnConfig { args: w.args.clone(), ..SeqVnConfig::default() },
+        )
+        .run()
+        .unwrap();
+        let df = SeqDataflowEngine::new(
+            &w.program,
+            w.memory.clone(),
+            SeqDataflowConfig { args: w.args.clone(), ..SeqDataflowConfig::default() },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(vn.dyn_instrs(), df.dyn_instrs(), "{}", w.name);
+        assert!(df.cycles() <= vn.cycles(), "{}", w.name);
+    }
+}
+
+#[test]
+fn ooo_matches_oracle_and_sits_between_vn_and_dataflow() {
+    for w in suite(Scale::Tiny, 11) {
+        let cfg = OooConfig { window: 64, issue_width: 8, args: w.args.clone(), ..OooConfig::default() };
+        let r = OooEngine::new(&w.program, w.memory.clone(), cfg).run().unwrap();
+        w.check(r.memory()).unwrap_or_else(|e| panic!("{e}"));
+        let vn = SeqVnEngine::new(
+            &w.program,
+            w.memory.clone(),
+            SeqVnConfig { args: w.args.clone(), ..SeqVnConfig::default() },
+        )
+        .run()
+        .unwrap();
+        assert!(r.cycles() <= vn.cycles(), "{}: OoO slower than vN", w.name);
+        assert_eq!(r.dyn_instrs(), vn.dyn_instrs(), "{}", w.name);
+    }
+}
+
+#[test]
+fn mismatched_policy_and_graph_is_a_loud_error() {
+    // An unbounded-elaboration graph generates fresh (large) tags; running
+    // it under a dense Local policy must fail with TagOverflow, not corrupt
+    // state.
+    let w = by_name("dmv", Scale::Tiny, 4).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::UnorderedUnbounded).unwrap();
+    let cfg = TaggedConfig {
+        tag_policy: TagPolicy::local(4),
+        args: w.args.clone(),
+        ..TaggedConfig::default()
+    };
+    let err = TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap_err();
+    assert!(matches!(err, tyr::sim::SimError::TagOverflow { .. }), "{err}");
+}
+
+#[test]
+fn ipc_histogram_covers_every_cycle() {
+    // The IPC histogram must have exactly one sample per cycle (Fig. 13's
+    // CDFs depend on it).
+    let w = by_name("tc", Scale::Tiny, 4).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    let cfg = TaggedConfig {
+        tag_policy: TagPolicy::local(16),
+        args: w.args.clone(),
+        ..TaggedConfig::default()
+    };
+    let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap();
+    assert_eq!(r.ipc.total(), r.cycles());
+    assert_eq!(r.live.cycles(), r.cycles());
+    // Total fired instructions = sum of the histogram.
+    let fired: u64 =
+        r.ipc.counts().iter().enumerate().map(|(v, &c)| v as u64 * c).sum();
+    assert_eq!(fired, r.dyn_instrs());
+}
+
+#[test]
+fn bounded_global_pool_large_enough_completes() {
+    // With a generous pool the FCFS global policy completes and matches the
+    // oracle — the deadlock is about *pressure*, not about bounded pools per
+    // se.
+    let w = by_name("dmv", Scale::Tiny, 4).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::UnorderedBounded).unwrap();
+    let cfg = TaggedConfig {
+        tag_policy: TagPolicy::GlobalBounded { tags: 4096 },
+        args: w.args.clone(),
+        ..TaggedConfig::default()
+    };
+    let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap();
+    assert!(r.is_complete(), "{:?}", r.outcome);
+    w.check(r.memory()).unwrap();
+}
+
+#[test]
+fn per_region_tuning_never_changes_results() {
+    let w = by_name("dmm", Scale::Tiny, 4).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    for overrides in [
+        vec![("dmm_i".to_string(), 2usize)],
+        vec![("dmm_j".to_string(), 2)],
+        vec![("dmm_k".to_string(), 2)],
+        vec![("dmm_i".to_string(), 2), ("dmm_k".to_string(), 128)],
+    ] {
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local_with(32, overrides.clone()),
+            args: w.args.clone(),
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg).run().unwrap();
+        assert!(r.is_complete(), "{overrides:?}");
+        w.check(r.memory()).unwrap_or_else(|e| panic!("{overrides:?}: {e}"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Property tests for the paper's theorems.
+//!
+//! A seeded generator produces random *valid* structured programs —
+//! arbitrary loop nests (including zero-trip loops), forward branches,
+//! memory traffic into a scratch array, and acyclic calls — and every
+//! engine must agree with the reference interpreter. In particular:
+//!
+//! * **Theorem 1 (deadlock freedom):** TYR completes every generated
+//!   program with any tag count ≥ 2 per block.
+//! * **Theorem 2 (bounded state):** TYR's peak live tokens never exceed
+//!   `T · N · M`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tyr::ir::build::{FuncBuilder, ProgramBuilder};
+use tyr::ir::validate::validate;
+use tyr::ir::{interp, Operand, Program};
+use tyr::prelude::*;
+
+const SCRATCH_WORDS: i64 = 64; // power of two: addresses are masked into range
+
+/// Random straight-line/branching/looping region. `avail` is the in-scope
+/// value list; returns values defined at this level.
+fn gen_region(
+    f: &mut FuncBuilder,
+    rng: &mut StdRng,
+    avail: &mut Vec<Operand>,
+    depth: u32,
+    scratch_base: i64,
+    budget: &mut u32,
+) {
+    let n_stmts = rng.gen_range(1..=4);
+    for _ in 0..n_stmts {
+        if *budget == 0 {
+            return;
+        }
+        *budget -= 1;
+        match rng.gen_range(0..10) {
+            // Pure ops (safe subset: no div/rem, shifts masked by eval).
+            0..=3 => {
+                let a = avail[rng.gen_range(0..avail.len())];
+                let b = avail[rng.gen_range(0..avail.len())];
+                let v = match rng.gen_range(0..6) {
+                    0 => f.add(a, b),
+                    1 => f.sub(a, b),
+                    2 => f.xor_(a, b),
+                    3 => f.min(a, b),
+                    4 => f.lt(a, b),
+                    _ => f.mul(a, b),
+                };
+                avail.push(v);
+            }
+            // Memory. Dataflow executes memory operations in data-dependence
+            // order only, so the generator must be race-free by construction
+            // (exactly like the real kernels): loads read a read-only half of
+            // the scratch array; writes are commutative atomic adds into the
+            // other half. Plain `store` is exercised by the kernel suite,
+            // where disjointness is guaranteed.
+            4 | 5 => {
+                let a = avail[rng.gen_range(0..avail.len())];
+                let masked = f.and_(a, SCRATCH_WORDS / 2 - 1);
+                if rng.gen_bool(0.5) {
+                    let addr = f.add(masked, scratch_base);
+                    let v = f.load(addr);
+                    avail.push(v);
+                } else {
+                    let addr = f.add(masked, scratch_base + SCRATCH_WORDS / 2);
+                    let v = avail[rng.gen_range(0..avail.len())];
+                    f.store_add(addr, v);
+                }
+            }
+            // Select.
+            6 => {
+                let c = avail[rng.gen_range(0..avail.len())];
+                let a = avail[rng.gen_range(0..avail.len())];
+                let b = avail[rng.gen_range(0..avail.len())];
+                let v = f.select(c, a, b);
+                avail.push(v);
+            }
+            // If/else with a merge.
+            7 => {
+                let c = avail[rng.gen_range(0..avail.len())];
+                f.begin_if(c);
+                let t = {
+                    let a = avail[rng.gen_range(0..avail.len())];
+                    f.add(a, 1)
+                };
+                f.begin_else();
+                let e = {
+                    let a = avail[rng.gen_range(0..avail.len())];
+                    f.sub(a, 1)
+                };
+                let [m] = f.end_if([(t, e)]);
+                avail.push(m);
+            }
+            // Loop (bounded depth and trip count; may be zero-trip).
+            _ if depth < 3 => {
+                let trip = rng.gen_range(0..5i64);
+                let extra = avail[rng.gen_range(0..avail.len())];
+                let label = format!("l{}_{}", depth, rng.gen::<u32>());
+                let [i, acc, x] = f.begin_loop(&label, [0.into(), 0.into(), extra]);
+                let c = f.lt(i, trip);
+                f.begin_body(c);
+                let mut inner: Vec<Operand> = vec![i, acc, x];
+                gen_region(f, rng, &mut inner, depth + 1, scratch_base, budget);
+                let bump = inner[inner.len() - 1];
+                let folded = f.xor_(acc, bump);
+                let acc2 = f.and_(folded, 0xFFFF); // keep values small-ish
+                let i2 = f.add(i, 1);
+                let [out] = f.end_loop([i2, acc2, x], [acc]);
+                avail.push(out);
+            }
+            _ => {
+                let a = avail[rng.gen_range(0..avail.len())];
+                let v = f.neg(a);
+                avail.push(v);
+            }
+        }
+    }
+}
+
+/// Generates a whole random program (possibly with a helper function) and
+/// its scratch memory.
+fn gen_program(seed: u64) -> (Program, MemoryImage) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mem = MemoryImage::new();
+    // First half: read-only inputs; second half: zeroed accumulation cells.
+    let scratch: Vec<i64> =
+        (0..SCRATCH_WORDS).map(|i| if i < SCRATCH_WORDS / 2 { (i * 7 - 31) % 23 } else { 0 }).collect();
+    let scratch_ref = mem.alloc_init("scratch", &scratch);
+
+    let mut pb = ProgramBuilder::new();
+
+    // Optionally a helper function, called from main (tests call linkage).
+    let helper = if rng.gen_bool(0.5) {
+        let mut h = pb.func("helper", 2);
+        let mut avail = vec![h.param(0), h.param(1)];
+        let mut budget = 8u32;
+        gen_region(&mut h, &mut rng, &mut avail, 1, scratch_ref.base_const(), &mut budget);
+        let ret = avail[avail.len() - 1];
+        let id = h.id();
+        pb.define(h, [ret]);
+        Some(id)
+    } else {
+        None
+    };
+
+    let mut f = pb.func("main", 1);
+    let mut avail = vec![f.param(0), Operand::Const(3)];
+    let mut budget = 24u32;
+    gen_region(&mut f, &mut rng, &mut avail, 0, scratch_ref.base_const(), &mut budget);
+    if let Some(h) = helper {
+        let a = avail[rng.gen_range(0..avail.len())];
+        let b = avail[rng.gen_range(0..avail.len())];
+        let r = f.call(h, &[a, b], 1);
+        avail.push(r[0]);
+        // Call it twice: the callee's tag space is shared across call sites.
+        let r2 = f.call(h, &[r[0], a], 1);
+        avail.push(r2[0]);
+    }
+    let ret = avail[avail.len() - 1];
+    let program = pb.finish(f, [ret]);
+    (program, mem)
+}
+
+fn run_all_engines_and_compare(seed: u64) {
+    let (program, mem) = gen_program(seed);
+    validate(&program).unwrap_or_else(|e| panic!("seed {seed}: generated invalid program: {e}"));
+
+    let args = vec![seed as i64 % 17];
+    let mut oracle_mem = mem.clone();
+    let oracle = match interp::run(&program, &mut oracle_mem, &args) {
+        Ok(o) => o,
+        // Generated arithmetic cannot fault (no div), so any error is a bug.
+        Err(e) => panic!("seed {seed}: oracle fault: {e}"),
+    };
+
+    // TYR with tiny tag spaces: Theorems 1 and 2.
+    let dfg = lower_tagged(&program, TaggingDiscipline::Tyr)
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    for tags in [2usize, 3, 8] {
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(tags),
+            args: args.clone(),
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, mem.clone(), cfg)
+            .run()
+            .unwrap_or_else(|e| panic!("seed {seed} tags {tags}: {e}"));
+        assert!(
+            r.is_complete(),
+            "seed {seed}: TYR deadlocked with {tags} tags (Theorem 1 violated): {:?}",
+            r.outcome
+        );
+        assert_eq!(r.returns, oracle.returns, "seed {seed} tags {tags}: wrong result");
+        let bound = (tags * dfg.len() * dfg.max_wired_inputs()) as u64;
+        assert!(
+            r.peak_live() <= bound,
+            "seed {seed} tags {tags}: peak {} > T*N*M = {bound} (Theorem 2 violated)",
+            r.peak_live()
+        );
+        for (name, aref) in oracle_mem.arrays() {
+            assert_eq!(
+                r.memory().slice(aref),
+                oracle_mem.slice(aref),
+                "seed {seed} tags {tags}: memory '{name}' differs"
+            );
+        }
+    }
+
+    // Naïve unordered must agree too.
+    let un = lower_tagged(&program, TaggingDiscipline::UnorderedUnbounded).unwrap();
+    let cfg = TaggedConfig {
+        tag_policy: TagPolicy::GlobalUnbounded,
+        args: args.clone(),
+        ..TaggedConfig::default()
+    };
+    let r = TaggedEngine::new(&un, mem.clone(), cfg).run().unwrap();
+    assert!(r.is_complete(), "seed {seed}: unordered did not complete");
+    assert_eq!(r.returns, oracle.returns, "seed {seed}: unordered wrong result");
+
+    // Ordered dataflow (inlines calls internally).
+    let ord = lower_ordered(&program).unwrap();
+    let cfg = OrderedConfig { args: args.clone(), ..OrderedConfig::default() };
+    let r = OrderedEngine::new(&ord, mem.clone(), cfg).run().unwrap();
+    assert!(r.is_complete(), "seed {seed}: ordered stalled: {:?}", r.outcome);
+    assert_eq!(r.returns, oracle.returns, "seed {seed}: ordered wrong result");
+
+    // Sequential dataflow.
+    let cfg = SeqDataflowConfig { args, ..SeqDataflowConfig::default() };
+    let r = SeqDataflowEngine::new(&program, mem, cfg).run().unwrap();
+    assert_eq!(r.returns, oracle.returns, "seed {seed}: seq-df wrong result");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, failure_persistence: None, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_programs_agree_across_all_engines(seed in any::<u64>()) {
+        run_all_engines_and_compare(seed);
+    }
+}
+
+#[test]
+fn fixed_regression_seeds() {
+    // A few pinned seeds so CI always exercises identical programs.
+    for seed in [0u64, 1, 2, 42, 1234567, u64::MAX] {
+        run_all_engines_and_compare(seed);
+    }
+}
