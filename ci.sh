@@ -1,0 +1,13 @@
+#!/bin/sh
+# Offline-safe CI gate: formatting, lints, build, tests, and the static
+# verifier. Everything runs with --offline — the workspace has no external
+# dependencies by design (DESIGN.md §6).
+set -eux
+
+cargo fmt --all --check
+cargo clippy --offline --all-targets -- -D warnings
+cargo build --offline --release
+cargo test --offline -q
+# The full static-analysis + translation-validation battery over the suite
+# (tiny scale keeps the gate fast); exits nonzero on any diagnostic error.
+target/release/repro --scale tiny verify

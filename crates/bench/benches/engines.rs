@@ -3,11 +3,9 @@
 //! interpreter loops — the tagged engine's token store and ready queue, the
 //! ordered engine's FIFO scan, and the two sequential engines.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use tyr_bench::micro::Harness;
 use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
 use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
 use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
@@ -15,78 +13,47 @@ use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
 use tyr_workloads::{by_name, Scale};
 
-fn bench_engine_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_throughput");
+fn main() {
+    let mut h = Harness::from_args("engines");
+
     for app in ["dmv", "spmspm", "tc"] {
         let w = by_name(app, Scale::Tiny, 7).unwrap();
         let tyr = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
         let unord = lower_tagged(&w.program, TaggingDiscipline::UnorderedUnbounded).unwrap();
         let ord = lower_ordered(&w.program).unwrap();
 
-        group.bench_with_input(BenchmarkId::new("tagged_tyr", app), &w, |b, w| {
-            b.iter(|| {
-                let cfg =
-                    TaggedConfig { tag_policy: TagPolicy::local(64), ..TaggedConfig::default() };
-                black_box(TaggedEngine::new(&tyr, w.memory.clone(), cfg).run().unwrap())
-            })
+        h.bench(&format!("engine_throughput/tagged_tyr/{app}"), || {
+            let cfg = TaggedConfig { tag_policy: TagPolicy::local(64), ..TaggedConfig::default() };
+            black_box(TaggedEngine::new(&tyr, w.memory.clone(), cfg).run().unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("tagged_unordered", app), &w, |b, w| {
-            b.iter(|| {
-                let cfg = TaggedConfig {
-                    tag_policy: TagPolicy::GlobalUnbounded,
-                    ..TaggedConfig::default()
-                };
-                black_box(TaggedEngine::new(&unord, w.memory.clone(), cfg).run().unwrap())
-            })
+        h.bench(&format!("engine_throughput/tagged_unordered/{app}"), || {
+            let cfg =
+                TaggedConfig { tag_policy: TagPolicy::GlobalUnbounded, ..TaggedConfig::default() };
+            black_box(TaggedEngine::new(&unord, w.memory.clone(), cfg).run().unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("ordered", app), &w, |b, w| {
-            b.iter(|| {
-                let cfg = OrderedConfig::default();
-                black_box(OrderedEngine::new(&ord, w.memory.clone(), cfg).run().unwrap())
-            })
+        h.bench(&format!("engine_throughput/ordered/{app}"), || {
+            let cfg = OrderedConfig::default();
+            black_box(OrderedEngine::new(&ord, w.memory.clone(), cfg).run().unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("seqvn", app), &w, |b, w| {
-            b.iter(|| {
-                let cfg = SeqVnConfig::default();
-                black_box(SeqVnEngine::new(&w.program, w.memory.clone(), cfg).run().unwrap())
-            })
+        h.bench(&format!("engine_throughput/seqvn/{app}"), || {
+            let cfg = SeqVnConfig::default();
+            black_box(SeqVnEngine::new(&w.program, w.memory.clone(), cfg).run().unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("seqdf", app), &w, |b, w| {
-            b.iter(|| {
-                let cfg = SeqDataflowConfig::default();
-                black_box(
-                    SeqDataflowEngine::new(&w.program, w.memory.clone(), cfg).run().unwrap(),
-                )
-            })
+        h.bench(&format!("engine_throughput/seqdf/{app}"), || {
+            let cfg = SeqDataflowConfig::default();
+            black_box(SeqDataflowEngine::new(&w.program, w.memory.clone(), cfg).run().unwrap())
         });
     }
-    group.finish();
-}
 
-fn bench_lowering(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lowering");
     for app in ["dmv", "spmspm", "tc"] {
         let w = by_name(app, Scale::Tiny, 7).unwrap();
-        group.bench_with_input(BenchmarkId::new("tyr", app), &w.program, |b, p| {
-            b.iter(|| black_box(lower_tagged(p, TaggingDiscipline::Tyr).unwrap()))
+        h.bench(&format!("lowering/tyr/{app}"), || {
+            black_box(lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("ordered", app), &w.program, |b, p| {
-            b.iter(|| black_box(lower_ordered(p).unwrap()))
+        h.bench(&format!("lowering/ordered/{app}"), || {
+            black_box(lower_ordered(&w.program).unwrap())
         });
     }
-    group.finish();
-}
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
+    h.finish();
 }
-
-criterion_group! {
-    name = engines;
-    config = config();
-    targets = bench_engine_throughput, bench_lowering
-}
-criterion_main!(engines);

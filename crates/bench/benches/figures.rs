@@ -1,4 +1,4 @@
-//! Criterion benches, one per table/figure of the paper's evaluation.
+//! Micro-benches, one per table/figure of the paper's evaluation.
 //!
 //! Each bench measures the figure's *simulation core* (the engine runs that
 //! dominate its cost) at `Tiny` scale, so `cargo bench` finishes in minutes
@@ -6,12 +6,10 @@
 //! rendered figures at full fidelity. Bench names mirror the figure numbers
 //! so a regression in any experiment's cost is visible at a glance.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use tyr_bench::figures::{perf, Ctx};
+use tyr_bench::micro::Harness;
 use tyr_bench::{run_system, LoweredWorkload, RunConfig, System};
 use tyr_sim::tagged::TagPolicy;
 use tyr_workloads::{by_name, dmv, Scale};
@@ -20,137 +18,89 @@ fn tiny_ctx() -> Ctx {
     Ctx { scale: Scale::Tiny, ..Ctx::default() }
 }
 
-/// Tables I/II: lowering every app and reading static graph statistics.
-fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table2_lower_all_apps", |b| {
-        b.iter(|| {
-            for w in tyr_workloads::suite(Scale::Tiny, 1) {
-                let dfg = tyr_dfg::lower::lower_tagged(
-                    &w.program,
-                    tyr_dfg::lower::TaggingDiscipline::Tyr,
-                )
-                .unwrap();
-                black_box((dfg.len(), dfg.blocks.len()));
-            }
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::from_args("figures");
 
-/// Fig. 2: spmspm trace collection on all five systems.
-fn bench_fig02(c: &mut Criterion) {
+    // Tables I/II: lowering every app and reading static graph statistics.
+    h.bench("table2_lower_all_apps", || {
+        for w in tyr_workloads::suite(Scale::Tiny, 1) {
+            let dfg =
+                tyr_dfg::lower::lower_tagged(&w.program, tyr_dfg::lower::TaggingDiscipline::Tyr)
+                    .unwrap();
+            black_box((dfg.len(), dfg.blocks.len()));
+        }
+    });
+
+    // Fig. 2: spmspm trace collection on all five systems.
     let ctx = tiny_ctx();
     let w = by_name("spmspm", Scale::Tiny, ctx.seed).unwrap();
-    c.bench_function("fig02_spmspm_all_systems", |b| {
-        b.iter(|| {
-            for sys in System::ALL {
-                black_box(run_system(&w, sys, &ctx.cfg));
-            }
-        })
+    h.bench("fig02_spmspm_all_systems", || {
+        for sys in System::ALL {
+            black_box(run_system(&w, sys, &ctx.cfg));
+        }
     });
-}
 
-/// Fig. 9 / Fig. 16: tag-space sweeps on the tagged engine.
-fn bench_tag_sweeps(c: &mut Criterion) {
+    // Fig. 9 / Fig. 16: tag-space sweeps on the tagged engine.
     let w = by_name("spmspm", Scale::Tiny, 1).unwrap();
     let lw = LoweredWorkload::new(&w);
-    c.bench_function("fig09_16_tag_sweep", |b| {
-        b.iter(|| {
-            for tags in [2usize, 8, 64] {
-                black_box(lw.run_tyr(TagPolicy::local(tags), 128));
-            }
-        })
+    h.bench("fig09_16_tag_sweep", || {
+        for tags in [2usize, 8, 64] {
+            black_box(lw.run_tyr(TagPolicy::local(tags), 128));
+        }
     });
-}
 
-/// Fig. 11: the bounded-global deadlock run (deadlocks are cheap — that is
-/// rather the point).
-fn bench_fig11(c: &mut Criterion) {
+    // Fig. 11: the bounded-global deadlock run (deadlocks are cheap — that
+    // is rather the point). The deadlock is asserted unconditionally: a pool
+    // of 2 global tags can never finish dmv, and a completing run here means
+    // the bench is no longer measuring what Fig. 11 shows.
     let w = dmv::build(8, 8, 1);
     let lw = LoweredWorkload::new(&w);
-    c.bench_function("fig11_bounded_deadlock", |b| {
-        b.iter(|| {
-            let r = lw.run_unordered(TagPolicy::GlobalBounded { tags: 2 }, 128);
-            debug_assert!(!r.is_complete());
-            black_box(r)
-        })
+    h.bench("fig11_bounded_deadlock", || {
+        let r = lw.run_unordered(TagPolicy::GlobalBounded { tags: 2 }, 128);
+        assert!(!r.is_complete(), "Fig. 11 bench must deadlock; got {:?}", r.outcome);
+        black_box(r)
     });
-}
 
-/// Figs. 12–14: the shared full-suite sweep.
-fn bench_suite_sweep(c: &mut Criterion) {
+    // Figs. 12–14: the shared full-suite sweep.
     let ctx = tiny_ctx();
-    c.bench_function("fig12_13_14_suite_sweep", |b| b.iter(|| perf::run_suite(black_box(&ctx))));
-}
+    h.bench("fig12_13_14_suite_sweep", || perf::run_suite(black_box(&ctx)));
 
-/// Fig. 15: issue-width sweep on the tagged engines.
-fn bench_fig15(c: &mut Criterion) {
+    // Fig. 15: issue-width sweep on the tagged engines.
     let w = dmv::build(12, 12, 1);
     let lw = LoweredWorkload::new(&w);
-    c.bench_function("fig15_width_sweep", |b| {
-        b.iter(|| {
-            for width in [16usize, 128, 512] {
-                black_box(lw.run_tyr(TagPolicy::local(64), width));
-                black_box(lw.run_unordered(TagPolicy::GlobalUnbounded, width));
-            }
-        })
+    h.bench("fig15_width_sweep", || {
+        for width in [16usize, 128, 512] {
+            black_box(lw.run_tyr(TagPolicy::local(64), width));
+            black_box(lw.run_unordered(TagPolicy::GlobalUnbounded, width));
+        }
     });
-}
 
-/// Fig. 17: one row of the width × tags grid.
-fn bench_fig17(c: &mut Criterion) {
+    // Fig. 17: one row of the width × tags grid.
     let w = by_name("spmspv", Scale::Tiny, 1).unwrap();
     let lw = LoweredWorkload::new(&w);
-    c.bench_function("fig17_grid_row", |b| {
-        b.iter(|| {
-            for tags in [2usize, 8, 32, 128] {
-                black_box(lw.run_tyr(TagPolicy::local(tags), 128));
-            }
-        })
+    h.bench("fig17_grid_row", || {
+        for tags in [2usize, 8, 32, 128] {
+            black_box(lw.run_tyr(TagPolicy::local(tags), 128));
+        }
     });
-}
 
-/// Fig. 18: per-region tag tuning pair.
-fn bench_fig18(c: &mut Criterion) {
+    // Fig. 18: per-region tag tuning pair.
     let w = by_name("dmm", Scale::Tiny, 1).unwrap();
     let lw = LoweredWorkload::new(&w);
-    c.bench_function("fig18_region_tuning_pair", |b| {
-        b.iter(|| {
-            black_box(lw.run_tyr(TagPolicy::local(64), 128));
-            black_box(
-                lw.run_tyr(TagPolicy::local_with(64, vec![("dmm_i".into(), 8)]), 128),
-            );
-        })
+    h.bench("fig18_region_tuning_pair", || {
+        black_box(lw.run_tyr(TagPolicy::local(64), 128));
+        black_box(lw.run_tyr(TagPolicy::local_with(64, vec![("dmm_i".into(), 8)]), 128));
     });
-}
 
-/// The headline comparison in one bench: TYR vs unordered vs vN on spmspm.
-fn bench_headline(c: &mut Criterion) {
+    // The headline comparison: TYR vs unordered vs vN on spmspm.
     let w = by_name("spmspm", Scale::Tiny, 1).unwrap();
     let lw = LoweredWorkload::new(&w);
     let cfg = RunConfig::default();
-    c.bench_function("headline_tyr_spmspm", |b| {
-        b.iter(|| black_box(lw.run_tyr(TagPolicy::local(64), 128)))
+    h.bench("headline_tyr_spmspm", || black_box(lw.run_tyr(TagPolicy::local(64), 128)));
+    h.bench("headline_unordered_spmspm", || {
+        black_box(lw.run_unordered(TagPolicy::GlobalUnbounded, 128))
     });
-    c.bench_function("headline_unordered_spmspm", |b| {
-        b.iter(|| black_box(lw.run_unordered(TagPolicy::GlobalUnbounded, 128)))
-    });
-    c.bench_function("headline_seqvn_spmspm", |b| {
-        b.iter(|| black_box(run_system(&w, System::SeqVn, &cfg)))
-    });
-}
+    h.bench("headline_seqvn_spmspm", || black_box(run_system(&w, System::SeqVn, &cfg)));
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
+    h.finish();
 }
-
-criterion_group! {
-    name = figures;
-    config = config();
-    targets = bench_tables, bench_fig02, bench_tag_sweeps, bench_fig11,
-              bench_suite_sweep, bench_fig15, bench_fig17, bench_fig18,
-              bench_headline
-}
-criterion_main!(figures);

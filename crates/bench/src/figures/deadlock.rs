@@ -21,10 +21,7 @@ pub fn fig11(ctx: &Ctx) {
         _ => &[4, 8, 12, 16, 24, 32],
     };
     let mut csv = CsvTable::new(["matrix_size", "global_tags_needed", "tyr_tags_needed"]);
-    println!(
-        "  {:>12} {:>22} {:>18}",
-        "dmv size", "global tags to finish", "TYR tags/block"
-    );
+    println!("  {:>12} {:>22} {:>18}", "dmv size", "global tags to finish", "TYR tags/block");
     for &n in sizes {
         let w = dmv::build(n, n, ctx.seed);
         let lw = LoweredWorkload::new(&w);
@@ -54,8 +51,7 @@ pub fn fig11(ctx: &Ctx) {
         // TYR always completes with 2 tags per block (Theorem 1).
         let tyr = lw.run_tyr(TagPolicy::local(2), ctx.cfg.issue_width);
         assert!(tyr.is_complete(), "TYR with 2 tags must complete (Theorem 1)");
-        let needed_str =
-            needed.map(|t| format!("<= {t}")).unwrap_or_else(|| "> 65536".to_string());
+        let needed_str = needed.map(|t| format!("<= {t}")).unwrap_or_else(|| "> 65536".to_string());
         println!("  {:>9}x{:<3} {:>22} {:>18}", n, n, needed_str, 2);
         csv.push_row([
             n.to_string(),
@@ -116,9 +112,7 @@ pub fn ablation_isatax(ctx: &Ctx) {
             free.cycles(),
             tax
         );
-        for (config, r) in
-            [("unordered", &un), ("tyr_taxed", &taxed), ("tyr_free_sync", &free)]
-        {
+        for (config, r) in [("unordered", &un), ("tyr_taxed", &taxed), ("tyr_free_sync", &free)] {
             csv.push_row([
                 app.to_string(),
                 config.to_string(),
@@ -141,10 +135,7 @@ pub fn ablation_isatax(ctx: &Ctx) {
 pub fn ablation_storesize(ctx: &Ctx) {
     println!("== Ablation: token-store sizing (per-block peaks) ==");
     let mut csv = CsvTable::new(["app", "config", "max_block_store", "total_peak"]);
-    println!(
-        "  {:>8} {:>24} {:>24}",
-        "app", "TYR max block store", "unordered store peak"
-    );
+    println!("  {:>8} {:>24} {:>24}", "app", "TYR max block store", "unordered store peak");
     for app in ["dmv", "dmm", "smv", "spmspm", "tc"] {
         let w = by_name(app, ctx.scale, ctx.seed).expect("app");
         let lw = LoweredWorkload::new(&w);
@@ -152,12 +143,7 @@ pub fn ablation_storesize(ctx: &Ctx) {
         let un = lw.run_unordered(TagPolicy::GlobalUnbounded, ctx.cfg.issue_width);
         // Unordered has a single global (associative) store; its required
         // capacity is the overall live-token peak.
-        println!(
-            "  {:>8} {:>24} {:>24}",
-            app,
-            tyr.max_store_peak(),
-            un.peak_live()
-        );
+        println!("  {:>8} {:>24} {:>24}", app, tyr.max_store_peak(), un.peak_live());
         csv.push_row([
             app.to_string(),
             "tyr".into(),
@@ -201,7 +187,13 @@ pub fn ablation_kbound(ctx: &Ctx) {
         let [out] = f.end_loop([i2, acc2], [acc]);
         pb.finish(f, [out])
     };
-    let single_w = tyr_workloads::Workload::new("affine1", "single loop", single, tyr_ir::MemoryImage::new(), vec![]);
+    let single_w = tyr_workloads::Workload::new(
+        "affine1",
+        "single loop",
+        single,
+        tyr_ir::MemoryImage::new(),
+        vec![],
+    );
     let apps = ["dmv", "smv", "spmspm", "tc"];
     let mut rows: Vec<tyr_workloads::Workload> = vec![single_w];
     rows.extend(apps.iter().map(|app| by_name(app, Scale::Tiny, ctx.seed).expect("app")));

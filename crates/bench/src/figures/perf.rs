@@ -161,7 +161,10 @@ pub fn fig14(ctx: &Ctx, results: &SuiteResults) {
         s.gmean().unwrap()
     };
     println!("\n  gmean peak-state ratios (paper values in parens):");
-    println!("    unordered / TYR: {:>10.1}x  (paper: 572.8x)", ratio(System::Unordered, System::Tyr));
+    println!(
+        "    unordered / TYR: {:>10.1}x  (paper: 572.8x)",
+        ratio(System::Unordered, System::Tyr)
+    );
     println!("    TYR / seq-vN:    {:>10.1}x  (paper: 98.4x)", ratio(System::Tyr, System::SeqVn));
     println!("    TYR / seq-df:    {:>10.1}x  (paper: 136x)", ratio(System::Tyr, System::SeqDf));
     println!("    TYR / ordered:   {:>10.1}x  (paper: 23x)", ratio(System::Tyr, System::Ordered));

@@ -53,7 +53,10 @@ pub fn fig15(ctx: &Ctx) {
         state_series.push(Series::new(sys.label(), spts));
     }
     println!("{}", line_chart("execution time (log) vs issue width", &time_series, 90, 18, true));
-    println!("{}", line_chart("peak live tokens (log) vs issue width", &state_series, 90, 18, true));
+    println!(
+        "{}",
+        line_chart("peak live tokens (log) vs issue width", &state_series, 90, 18, true)
+    );
     ctx.emit_csv("fig15_width_scaling", &csv);
 }
 
@@ -125,21 +128,11 @@ pub fn ablation_ooo(ctx: &Ctx) {
         vn.peak_live()
     );
     for window in [4usize, 16, 64, 256, 1024] {
-        let cfg = OooConfig {
-            window,
-            issue_width: 8,
-            args: w.args.clone(),
-            ..OooConfig::default()
-        };
+        let cfg =
+            OooConfig { window, issue_width: 8, args: w.args.clone(), ..OooConfig::default() };
         let r = OooEngine::new(&w.program, w.memory.clone(), cfg).run().expect("ooo run");
         w.check(r.memory()).expect("ooo result");
-        println!(
-            "  {:>8} {:>12} {:>10.2} {:>12}",
-            window,
-            r.cycles(),
-            r.ipc.mean(),
-            r.peak_live()
-        );
+        println!("  {:>8} {:>12} {:>10.2} {:>12}", window, r.cycles(), r.ipc.mean(), r.peak_live());
         csv.push_row([
             window.to_string(),
             r.cycles().to_string(),
@@ -174,12 +167,8 @@ pub fn ablation_latency(ctx: &Ctx) {
     let w = tyr_workloads::by_name("smv", scale, ctx.seed).expect("smv");
     let tyr_dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).expect("lowering");
     let ord_dfg = lower_ordered(&w.program).expect("lowering");
-    let mut csv =
-        CsvTable::new(["mem_latency", "tyr4_cycles", "tyr64_cycles", "ordered_cycles"]);
-    println!(
-        "  {:>12} {:>14} {:>14} {:>14}",
-        "mem latency", "TYR (t=4)", "TYR (t=64)", "ordered"
-    );
+    let mut csv = CsvTable::new(["mem_latency", "tyr4_cycles", "tyr64_cycles", "ordered_cycles"]);
+    println!("  {:>12} {:>14} {:>14} {:>14}", "mem latency", "TYR (t=4)", "TYR (t=64)", "ordered");
     let run_tyr = |tags: usize, lat: u64| {
         let tcfg = TaggedConfig {
             issue_width: ctx.cfg.issue_width,
@@ -204,13 +193,7 @@ pub fn ablation_latency(ctx: &Ctx) {
         };
         let or = OrderedEngine::new(&ord_dfg, w.memory.clone(), ocfg).run().expect("ordered");
         w.check(or.memory()).expect("oracle");
-        println!(
-            "  {:>12} {:>14} {:>14} {:>14}",
-            lat,
-            t4.cycles(),
-            t64.cycles(),
-            or.cycles()
-        );
+        println!("  {:>12} {:>14} {:>14} {:>14}", lat, t4.cycles(), t64.cycles(), or.cycles());
         csv.push_row([
             lat.to_string(),
             t4.cycles().to_string(),

@@ -48,12 +48,7 @@ pub fn fig09(ctx: &Ctx) {
 
     let mut run_case = |label: String, policy: TagPolicy| {
         let r = lw.run_tyr(policy, ctx.cfg.issue_width);
-        println!(
-            "  tags={:<10} cycles={:<12} peak_live={:<12}",
-            label,
-            r.cycles(),
-            r.peak_live()
-        );
+        println!("  tags={:<10} cycles={:<12} peak_live={:<12}", label, r.cycles(), r.peak_live());
         for (c, v) in trace_points(&r.live) {
             csv.push_row([label.clone(), c.to_string(), v.to_string()]);
         }

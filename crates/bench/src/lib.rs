@@ -1,10 +1,12 @@
-//! Shared experiment plumbing for the `repro` harness and the Criterion
-//! benches: a uniform way to run any workload on any of the five
-//! architectures of the paper's evaluation (Sec. VI).
+//! Shared experiment plumbing for the `repro` harness and the micro-benches:
+//! a uniform way to run any workload on any of the five architectures of the
+//! paper's evaluation (Sec. VI).
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod micro;
+pub mod verify;
 
 use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
 use tyr_dfg::Dfg;

@@ -6,8 +6,8 @@
 //!       [--queue N] [--mem-latency N] [--csv DIR] <command>...
 //!
 //! commands:
-//!   table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!   fig18 ablation-kbound all
+//!   verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16
+//!   fig17 fig18 ablation-kbound all
 //! ```
 //!
 //! Default scale is `small` (seconds per figure); `--scale paper` restores
@@ -18,10 +18,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
+use tyr_bench::verify;
 use tyr_workloads::Scale;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--csv DIR] <command>...
-commands: table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all";
+commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,16 +50,13 @@ fn main() -> ExitCode {
                 };
             }
             "--seed" => ctx.seed = opt_value("--seed").parse().expect("numeric seed"),
-            "--width" => {
-                ctx.cfg.issue_width = opt_value("--width").parse().expect("numeric width")
-            }
+            "--width" => ctx.cfg.issue_width = opt_value("--width").parse().expect("numeric width"),
             "--tags" => ctx.cfg.tags = opt_value("--tags").parse().expect("numeric tags"),
             "--queue" => {
                 ctx.cfg.queue_depth = opt_value("--queue").parse().expect("numeric queue depth")
             }
             "--mem-latency" => {
-                ctx.cfg.mem_latency =
-                    opt_value("--mem-latency").parse().expect("numeric latency")
+                ctx.cfg.mem_latency = opt_value("--mem-latency").parse().expect("numeric latency")
             }
             "--csv" => ctx.csv_dir = Some(PathBuf::from(opt_value("--csv"))),
             "--help" | "-h" => {
@@ -78,8 +76,25 @@ fn main() -> ExitCode {
     }
     if cmds.iter().any(|c| c == "all") {
         cmds = [
-            "table1", "table2", "fig2", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
-            "fig16", "fig17", "fig18", "ablation-kbound", "ablation-explosion", "ablation-ooo", "ablation-isatax", "ablation-latency", "ablation-storesize",
+            "verify",
+            "table1",
+            "table2",
+            "fig2",
+            "fig9",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "ablation-kbound",
+            "ablation-explosion",
+            "ablation-ooo",
+            "ablation-isatax",
+            "ablation-latency",
+            "ablation-storesize",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -97,6 +112,11 @@ fn main() -> ExitCode {
 
     for cmd in &cmds {
         match cmd.as_str() {
+            "verify" => {
+                if !verify::run(&ctx) {
+                    return ExitCode::FAILURE;
+                }
+            }
             "table1" => tables::table1(&ctx),
             "table2" => tables::table2(&ctx),
             "fig2" => traces::fig02(&ctx),

@@ -1,0 +1,134 @@
+//! The `repro verify` subcommand: the full static-analysis and
+//! translation-validation battery over the paper's kernel suite (Table II).
+//!
+//! For every app, every tagged elaboration is checked by the `tyr-verify`
+//! static passes — structure, free-barrier coverage, lifecycle lints, tag
+//! demand against the policy the harness would actually run with, and
+//! memory races against the actual memory image — then every lowering is
+//! replayed against the reference interpreter (translation validation).
+//!
+//! Finally the Fig. 11 deadlock is *cross-validated*: the static
+//! tag-demand pass must predict from graph shape alone that dmv under a
+//! bounded global pool can deadlock, the dynamic detector must confirm it
+//! on a real run, and the same pair must agree that TYR's local spaces
+//! with the Theorem-1 minimum of 2 tags are safe and complete.
+
+use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+use tyr_sim::tagged::TagPolicy;
+use tyr_verify::{
+    analyze_tag_demand, check_tag_policy, predict_global, validate_translations, verify_with, Code,
+    GlobalPrediction, Report,
+};
+use tyr_workloads::{dmv, suite};
+
+use crate::figures::Ctx;
+use crate::LoweredWorkload;
+
+/// Prints `report` — one `ok` line when empty, the full rendering when it
+/// has findings — and folds its counts into the running totals.
+fn account(report: &Report, errors: &mut usize, warnings: &mut usize) {
+    *errors += report.errors();
+    *warnings += report.warnings();
+    if report.diags.is_empty() {
+        println!("  verify {:<40} ok", report.title);
+    } else {
+        println!("{}", report.render());
+    }
+}
+
+/// Runs the whole battery; returns `false` if any pass reported an error
+/// (the subcommand then exits nonzero).
+pub fn run(ctx: &Ctx) -> bool {
+    println!("== repro verify: static analysis + translation validation ==");
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+
+    // The policies each elaboration is meant to run under in the harness.
+    let tyr_policy = TagPolicy::local_with(ctx.cfg.tags, ctx.cfg.tag_overrides.clone());
+    let lowerings: &[(TaggingDiscipline, &str, Option<&TagPolicy>)] = &[
+        (TaggingDiscipline::Tyr, "tyr", Some(&tyr_policy)),
+        // Bounded-global runs reuse the barriered graph; its demand under a
+        // global pool is checked separately in the Fig. 11 cross-validation
+        // below, so no policy here.
+        (TaggingDiscipline::UnorderedBounded, "unordered-bounded", None),
+        (
+            TaggingDiscipline::UnorderedUnbounded,
+            "unordered-unbounded",
+            Some(&TagPolicy::GlobalUnbounded),
+        ),
+    ];
+
+    for w in &suite(ctx.scale, ctx.seed) {
+        for &(discipline, label, policy) in lowerings {
+            let title = format!("{}/{label}", w.name);
+            let report = match lower_tagged(&w.program, discipline) {
+                Ok(dfg) => verify_with(&title, &dfg, policy, Some((&w.memory, &w.args))),
+                Err(e) => {
+                    let mut r = Report::new(&title);
+                    r.push(tyr_verify::Diagnostic::global(
+                        Code::TvFault,
+                        format!("lowering failed: {e}"),
+                    ));
+                    r
+                }
+            };
+            account(&report, &mut errors, &mut warnings);
+        }
+        let tv = validate_translations(&w.name, &w.program, &w.memory, &w.args);
+        account(&tv, &mut errors, &mut warnings);
+    }
+
+    errors += fig11_cross_validation(ctx);
+
+    println!("verify: {errors} error(s), {warnings} warning(s) across the suite");
+    errors == 0
+}
+
+/// The Fig. 11 deadlock, predicted statically and confirmed dynamically.
+///
+/// Returns the number of cross-validation failures (0 on agreement).
+fn fig11_cross_validation(ctx: &Ctx) -> usize {
+    println!("-- Fig. 11 cross-validation: static prediction vs. dynamic detector --");
+    let mut failures = 0usize;
+    let mut check = |what: &str, ok: bool| {
+        println!("  {} {what}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // A small dmv instance: nested loops, so inner-loop allocates happen
+    // inside an outer allocated context — the shape behind Fig. 11.
+    let w = dmv::build(8, 8, ctx.seed);
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).expect("tyr lowering");
+    let demand = analyze_tag_demand(&dfg);
+
+    // Static side: a global pool of 8 is predicted to deadlock because
+    // allocates nest; the policy checker reports it as T003.
+    let pool = 8usize;
+    let prediction = predict_global(&demand, pool);
+    check(
+        "static: nested allocates make a bounded global pool unsafe",
+        prediction == GlobalPrediction::DeadlockNested,
+    );
+    let diags = check_tag_policy(&dfg, &TagPolicy::GlobalBounded { tags: pool });
+    check(
+        "static: check_tag_policy(GlobalBounded{8}) reports T003",
+        diags.iter().any(|d| d.code == Code::NestedGlobalAlloc),
+    );
+
+    // Dynamic side: the same graph under the same pool really deadlocks.
+    let lw = LoweredWorkload::new(&w);
+    let r = lw.run_unordered(TagPolicy::GlobalBounded { tags: pool }, ctx.cfg.issue_width);
+    check("dynamic: GlobalBounded{8} deadlocks on dmv", !r.is_complete());
+
+    // And the safe configuration agrees in both worlds: TYR local spaces
+    // at the Theorem-1 minimum are statically clean and dynamically
+    // complete.
+    let local = TagPolicy::local(2);
+    check("static: check_tag_policy(Local(2)) is clean", check_tag_policy(&dfg, &local).is_empty());
+    let r = lw.run_tyr(local, ctx.cfg.issue_width);
+    check("dynamic: Local(2) completes (Theorem 1)", r.is_complete());
+
+    failures
+}

@@ -364,13 +364,15 @@ impl Dfg {
     /// concurrent block.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        let mut out =
+            String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
         for (bi, block) in self.blocks.iter().enumerate() {
             let _ = writeln!(out, "  subgraph cluster_{bi} {{");
             let _ = writeln!(out, "    label=\"{} (cb{bi})\";", block.name);
             for (ni, n) in self.nodes.iter().enumerate() {
                 if n.block.0 as usize == bi {
-                    let _ = writeln!(out, "    n{ni} [label=\"{}: {}\"];", n.label, n.kind.mnemonic());
+                    let _ =
+                        writeln!(out, "    n{ni} [label=\"{}: {}\"];", n.label, n.kind.mnemonic());
                 }
             }
             let _ = writeln!(out, "  }}");
@@ -378,7 +380,8 @@ impl Dfg {
         for (ni, n) in self.nodes.iter().enumerate() {
             for (pi, targets) in n.outs.iter().enumerate() {
                 for t in targets {
-                    let _ = writeln!(out, "  n{ni} -> n{} [label=\"o{pi}->i{}\"];", t.node.0, t.port);
+                    let _ =
+                        writeln!(out, "  n{ni} -> n{} [label=\"o{pi}->i{}\"];", t.node.0, t.port);
                 }
             }
         }
@@ -417,7 +420,13 @@ impl GraphBuilder {
         label: impl Into<String>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind, block, ins, outs: vec![Vec::new(); n_outs], label: label.into() });
+        self.nodes.push(Node {
+            kind,
+            block,
+            ins,
+            outs: vec![Vec::new(); n_outs],
+            label: label.into(),
+        });
         id
     }
 
@@ -543,8 +552,13 @@ mod tests {
         let mut g = GraphBuilder::new();
         let root = g.add_block("main", None, false);
         let src = g.add_node(NodeKind::Source, root, vec![], 1, "src");
-        let add =
-            g.add_node(NodeKind::Alu(AluOp::Add), root, vec![InKind::Wire, InKind::Imm(5)], 1, "add");
+        let add = g.add_node(
+            NodeKind::Alu(AluOp::Add),
+            root,
+            vec![InKind::Wire, InKind::Imm(5)],
+            1,
+            "add",
+        );
         g.connect(src, 0, PortRef { node: add, port: 1 });
     }
 

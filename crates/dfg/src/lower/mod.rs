@@ -72,6 +72,17 @@ pub enum LowerError {
     /// The ordered lowering requires a call-free program and inlining was
     /// disabled.
     OrderedNeedsInline,
+    /// The lowering produced a structurally invalid graph ([`Dfg::check`]
+    /// failed) — a compiler bug, reported as an error rather than a
+    /// debug-only assertion so release builds cannot hand a malformed graph
+    /// to an engine. `tyr-verify`'s structure pass reports the same
+    /// violations with per-node diagnostics.
+    ///
+    /// [`Dfg::check`]: crate::Dfg::check
+    Malformed {
+        /// The first violation found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LowerError {
@@ -87,6 +98,9 @@ impl fmt::Display for LowerError {
             LowerError::ConstFold(e) => write!(f, "constant folding fault: {e}"),
             LowerError::OrderedNeedsInline => {
                 write!(f, "ordered lowering requires a call-free (inlined) program")
+            }
+            LowerError::Malformed { detail } => {
+                write!(f, "lowering produced a malformed graph: {detail}")
             }
         }
     }

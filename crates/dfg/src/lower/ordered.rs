@@ -63,18 +63,13 @@ pub fn lower_ordered(program: &Program) -> Result<Dfg, LowerError> {
             lw.materialize(s, &trigger)
         })
         .collect();
-    let sink = lw.g.add_node(
-        NodeKind::Sink,
-        lw.block,
-        vec![InKind::Wire; ret_srcs.len()],
-        0,
-        "sink",
-    );
+    let sink =
+        lw.g.add_node(NodeKind::Sink, lw.block, vec![InKind::Wire; ret_srcs.len()], 0, "sink");
     for (j, s) in ret_srcs.iter().enumerate() {
         lw.attach(s, PortRef { node: sink, port: j as u16 });
     }
     let dfg = lw.g.finish(source, sink, ret_srcs.len());
-    debug_assert_eq!(dfg.check(), Ok(()));
+    dfg.check().map_err(|detail| LowerError::Malformed { detail })?;
     Ok(dfg)
 }
 
@@ -230,12 +225,7 @@ impl Ordered {
                             }
                             Some(src) => {
                                 let s = *steers.entry(v).or_insert_with(|| {
-                                    lw.emit(
-                                        NodeKind::Steer,
-                                        &[c, *src],
-                                        2,
-                                        format!("steer.{v}"),
-                                    )
+                                    lw.emit(NodeKind::Steer, &[c, *src], 2, format!("steer.{v}"))
                                 });
                                 out.insert(v, Src::Port(s, side));
                             }
@@ -393,10 +383,9 @@ mod tests {
         let [total] = f.end_loop([i2, acc2, nn], [acc]);
         let p = pb.finish(f, [total]);
         let dfg = lower_ordered(&p).unwrap();
-        let cmerges =
-            dfg.nodes.iter().filter(|n| matches!(n.kind, NK::CMerge { .. })).count();
+        let cmerges = dfg.nodes.iter().filter(|n| matches!(n.kind, NK::CMerge { .. })).count();
         assert_eq!(cmerges, 3); // one per carried var
-        // No tag machinery at all.
+                                // No tag machinery at all.
         assert!(dfg.nodes.iter().all(|n| !matches!(
             n.kind,
             NK::Allocate { .. } | NK::NewTag | NK::Free { .. } | NK::ChangeTag | NK::ChangeTagDyn

@@ -22,9 +22,7 @@ use std::collections::HashMap;
 use tyr_ir::validate::validate;
 use tyr_ir::{AluOp, FuncId, LoopStmt, Operand, Program, Region, Stmt, Value, Var};
 
-use crate::graph::{
-    AllocKind, BlockId, Dfg, GraphBuilder, InKind, NodeId, NodeKind, PortRef,
-};
+use crate::graph::{AllocKind, BlockId, Dfg, GraphBuilder, InKind, NodeId, NodeKind, PortRef};
 use crate::lower::util::{free_vars, operand_vars};
 use crate::lower::{LowerError, TaggingDiscipline};
 
@@ -57,7 +55,7 @@ pub fn lower_tagged(program: &Program, discipline: TaggingDiscipline) -> Result<
     let source = lw.source.expect("entry lowered");
     let sink = lw.sink.expect("entry lowered");
     let dfg = lw.g.finish(source, sink, program.entry_func().returns.len());
-    debug_assert_eq!(dfg.check(), Ok(()));
+    dfg.check().map_err(|detail| LowerError::Malformed { detail })?;
     Ok(dfg)
 }
 
@@ -205,7 +203,9 @@ impl<'p> Lowering<'p> {
     fn resolve(&self, env: &Env, o: Operand) -> Src {
         match o {
             Operand::Const(c) => Src::Imm(c),
-            Operand::Var(v) => env.get(&v).unwrap_or_else(|| panic!("unbound {v} (validated program?)")).clone(),
+            Operand::Var(v) => {
+                env.get(&v).unwrap_or_else(|| panic!("unbound {v} (validated program?)")).clone()
+            }
         }
     }
 
@@ -214,7 +214,13 @@ impl<'p> Lowering<'p> {
     fn materialize(&mut self, s: Src, ctx: &Ctx, label: &str) -> Src {
         match s {
             Src::Imm(v) => {
-                let c = self.emit(NodeKind::Const(v), ctx.block, std::slice::from_ref(&ctx.trigger), 1, label);
+                let c = self.emit(
+                    NodeKind::Const(v),
+                    ctx.block,
+                    std::slice::from_ref(&ctx.trigger),
+                    1,
+                    label,
+                );
                 ports(c, 0)
             }
             other => other,
@@ -390,11 +396,8 @@ impl<'p> Lowering<'p> {
             }
             Stmt::Load { dst, addr } => {
                 let a = self.resolve(env, *addr);
-                let inputs: Vec<Src> = if matches!(a, Src::Imm(_)) {
-                    vec![a, ctx.trigger.clone()]
-                } else {
-                    vec![a]
-                };
+                let inputs: Vec<Src> =
+                    if matches!(a, Src::Imm(_)) { vec![a, ctx.trigger.clone()] } else { vec![a] };
                 let n = self.emit(NodeKind::Load, ctx.block, &inputs, 1, format!("{dst}=load"));
                 env.insert(*dst, ports(n, 0));
             }
@@ -463,8 +466,13 @@ impl<'p> Lowering<'p> {
             return Ok(());
         }
 
-        let anchor =
-            self.emit(NodeKind::Steer, ctx.block, &[c.clone(), c.clone()], self.steer_outs(), "if.anchor");
+        let anchor = self.emit(
+            NodeKind::Steer,
+            ctx.block,
+            &[c.clone(), c.clone()],
+            self.steer_outs(),
+            "if.anchor",
+        );
         if self.barriers {
             ctl.push((anchor, 2));
         }
@@ -493,10 +501,8 @@ impl<'p> Lowering<'p> {
                          side: u16,
                          env: &Env|
          -> Env {
-            let mut uses: Vec<Var> = free_vars(region)
-                .union(&operand_vars(merge_ops.iter()))
-                .copied()
-                .collect();
+            let mut uses: Vec<Var> =
+                free_vars(region).union(&operand_vars(merge_ops.iter())).copied().collect();
             uses.sort();
             let mut benv = Env::new();
             for v in uses {
@@ -540,13 +546,8 @@ impl<'p> Lowering<'p> {
         if self.barriers {
             let tj = self.join_over(&then_ctl, ctx.block, "if.then.done");
             let ej = self.join_over(&else_ctl, ctx.block, "if.else.done");
-            let done = self.emit(
-                NodeKind::Merge,
-                ctx.block,
-                &[ports(tj, 0), ports(ej, 0)],
-                1,
-                "if.done",
-            );
+            let done =
+                self.emit(NodeKind::Merge, ctx.block, &[ports(tj, 0), ports(ej, 0)], 1, "if.done");
             ctl.push((done, 0));
         }
         Ok(())
@@ -567,8 +568,7 @@ impl<'p> Lowering<'p> {
 
         // --- Entry transfer point (nodes in the parent block) ---
         let inits: Vec<Src> = l.carried.iter().map(|&(_, init)| self.resolve(env, init)).collect();
-        let wired: Vec<Src> =
-            inits.iter().filter(|s| !matches!(s, Src::Imm(_))).cloned().collect();
+        let wired: Vec<Src> = inits.iter().filter(|s| !matches!(s, Src::Imm(_))).cloned().collect();
         let request = wired.first().cloned().unwrap_or_else(|| ctx.trigger.clone());
 
         let al = if self.barriers {
@@ -705,34 +705,29 @@ impl<'p> Lowering<'p> {
             child_ctl.push((steer_ptag, 2));
         }
 
-        let mut get_steer = |lw: &mut Self,
-                             v: Var,
-                             cenv: &Env,
-                             child_ctl: &mut Vec<(NodeId, u16)>|
-         -> NodeId {
-            if let Some(&s) = steer_map.get(&v) {
-                return s;
-            }
-            let src = cenv.get(&v).expect("validated scope").clone();
-            let s = lw.emit(
-                NodeKind::Steer,
-                child,
-                &[cond.clone(), src],
-                steer_outs,
-                format!("{}::steer.{v}", l.label),
-            );
-            if lw.barriers {
-                child_ctl.push((s, 2));
-            }
-            steer_map.insert(v, s);
-            s
-        };
+        let mut get_steer =
+            |lw: &mut Self, v: Var, cenv: &Env, child_ctl: &mut Vec<(NodeId, u16)>| -> NodeId {
+                if let Some(&s) = steer_map.get(&v) {
+                    return s;
+                }
+                let src = cenv.get(&v).expect("validated scope").clone();
+                let s = lw.emit(
+                    NodeKind::Steer,
+                    child,
+                    &[cond.clone(), src],
+                    steer_outs,
+                    format!("{}::steer.{v}", l.label),
+                );
+                if lw.barriers {
+                    child_ctl.push((s, 2));
+                }
+                steer_map.insert(v, s);
+                s
+            };
 
         // --- Body (conditional on the test) ---
-        let mut body_uses: Vec<Var> = free_vars(&l.body)
-            .union(&operand_vars(l.next.iter()))
-            .copied()
-            .collect();
+        let mut body_uses: Vec<Var> =
+            free_vars(&l.body).union(&operand_vars(l.next.iter())).copied().collect();
         body_uses.sort();
         let mut benv: Env = HashMap::new();
         for v in body_uses {
@@ -770,13 +765,8 @@ impl<'p> Lowering<'p> {
         if self.barriers {
             let mut ready = wired_next.clone();
             ready.push(ptag_true.clone());
-            let rj = self.emit(
-                NodeKind::Join,
-                child,
-                &ready,
-                1,
-                format!("{}::backedge.ready", l.label),
-            );
+            let rj =
+                self.emit(NodeKind::Join, child, &ready, 1, format!("{}::backedge.ready", l.label));
             self.g.connect(rj, 0, PortRef { node: al_tail, port: 1 });
             true_ctl.push((al_tail, 1));
             for &n in back_ct.iter().chain([&back_ct_ptag]) {
@@ -788,12 +778,12 @@ impl<'p> Lowering<'p> {
         let ptag_false = ports(steer_ptag, 1);
         let mut false_ctl: Vec<(NodeId, u16)> = Vec::new();
         let lower_exit = |lw: &mut Self,
-                              src: Src,
-                              dst: Option<Var>,
-                              env: &mut Env,
-                              ctl: &mut Vec<(NodeId, u16)>,
-                              false_ctl: &mut Vec<(NodeId, u16)>,
-                              j: usize| {
+                          src: Src,
+                          dst: Option<Var>,
+                          env: &mut Env,
+                          ctl: &mut Vec<(NodeId, u16)>,
+                          false_ctl: &mut Vec<(NodeId, u16)>,
+                          j: usize| {
             let ct = lw.emit(
                 NodeKind::ChangeTag,
                 child,
@@ -891,8 +881,13 @@ impl<'p> Lowering<'p> {
             self.emit(NodeKind::NewTag, ctx.block, &[request], 1, format!("call.{name}.newtag"))
         };
         let newtag = ports(al, 0);
-        let xt =
-            self.emit(NodeKind::ExtractTag, ctx.block, std::slice::from_ref(&newtag), 1, format!("call.{name}.xt"));
+        let xt = self.emit(
+            NodeKind::ExtractTag,
+            ctx.block,
+            std::slice::from_ref(&newtag),
+            1,
+            format!("call.{name}.xt"),
+        );
 
         // Arguments.
         for (k, a) in argv.iter().enumerate() {

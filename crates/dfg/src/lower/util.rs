@@ -107,8 +107,10 @@ mod tests {
         assert_eq!(fv.len(), 1);
         assert!(fv.contains(&l.carried[0].0));
         // The whole function body's free vars: none (param is defined).
-        assert!(free_vars(&p.entry_func().body).is_empty()
-            || free_vars(&p.entry_func().body).contains(&tyr_ir::Var(0)));
+        assert!(
+            free_vars(&p.entry_func().body).is_empty()
+                || free_vars(&p.entry_func().body).contains(&tyr_ir::Var(0))
+        );
     }
 
     #[test]

@@ -152,7 +152,11 @@ impl ProgramBuilder {
             .defined
             .into_iter()
             .enumerate()
-            .map(|(i, f)| f.unwrap_or_else(|| panic!("function '{}' declared but never defined", self.names[i])))
+            .map(|(i, f)| {
+                f.unwrap_or_else(|| {
+                    panic!("function '{}' declared but never defined", self.names[i])
+                })
+            })
             .collect();
         Program { funcs, entry }
     }
@@ -187,13 +191,26 @@ struct Frame {
 enum FrameKind {
     Top,
     /// Between `begin_loop` and `begin_body`: building the pure prologue.
-    LoopPre { label: String, carried: Vec<(Var, Operand)> },
+    LoopPre {
+        label: String,
+        carried: Vec<(Var, Operand)>,
+    },
     /// Between `begin_body` and `end_loop`.
-    LoopBody { label: String, carried: Vec<(Var, Operand)>, pre: Region, cond: Operand },
+    LoopBody {
+        label: String,
+        carried: Vec<(Var, Operand)>,
+        pre: Region,
+        cond: Operand,
+    },
     /// Between `begin_if` and `begin_else`.
-    IfThen { cond: Operand },
+    IfThen {
+        cond: Operand,
+    },
     /// Between `begin_else` and `end_if`.
-    IfElse { cond: Operand, then_region: Region },
+    IfElse {
+        cond: Operand,
+        then_region: Region,
+    },
 }
 
 /// Builds one function body. Obtain from [`ProgramBuilder::func`].
@@ -333,7 +350,12 @@ impl FuncBuilder {
         on_false: impl Into<Operand>,
     ) -> Operand {
         let dst = self.fresh();
-        self.push(Stmt::Select { dst, cond: cond.into(), on_true: on_true.into(), on_false: on_false.into() });
+        self.push(Stmt::Select {
+            dst,
+            cond: cond.into(),
+            on_true: on_true.into(),
+            on_false: on_false.into(),
+        });
         Operand::Var(dst)
     }
 
@@ -417,7 +439,11 @@ impl FuncBuilder {
         let frame = self.frames.pop().expect("builder has no open frame");
         match frame.kind {
             FrameKind::LoopBody { label, carried, pre, cond } => {
-                assert_eq!(next.len(), carried.len(), "loop '{label}': next arity != carried arity");
+                assert_eq!(
+                    next.len(),
+                    carried.len(),
+                    "loop '{label}': next arity != carried arity"
+                );
                 let exit_pairs: Vec<(Var, Operand)> =
                     exits.into_iter().map(|e| (self.fresh(), e)).collect();
                 let out: Vec<Operand> = exit_pairs.iter().map(|(v, _)| Operand::Var(*v)).collect();
@@ -439,7 +465,8 @@ impl FuncBuilder {
 
     /// Opens the `then` side of a conditional.
     pub fn begin_if(&mut self, cond: impl Into<Operand>) {
-        self.frames.push(Frame { kind: FrameKind::IfThen { cond: cond.into() }, stmts: Vec::new() });
+        self.frames
+            .push(Frame { kind: FrameKind::IfThen { cond: cond.into() }, stmts: Vec::new() });
     }
 
     /// Switches from the `then` side to the `else` side.
@@ -482,7 +509,8 @@ impl FuncBuilder {
             FrameKind::IfElse { cond, then_region } => {
                 let merge_triples: Vec<(Var, Operand, Operand)> =
                     merges.into_iter().map(|(t, e)| (self.fresh(), t, e)).collect();
-                let out: Vec<Operand> = merge_triples.iter().map(|(v, _, _)| Operand::Var(*v)).collect();
+                let out: Vec<Operand> =
+                    merge_triples.iter().map(|(v, _, _)| Operand::Var(*v)).collect();
                 self.push(Stmt::If(IfStmt {
                     cond,
                     then_region,
@@ -652,10 +680,7 @@ mod vec_api_tests {
             let mut f = pb.func("main", 1);
             let n = f.param(0);
             if dynamic {
-                let carried = f.begin_loop_vec(
-                    "l",
-                    vec![Operand::Const(0), Operand::Const(0), n],
-                );
+                let carried = f.begin_loop_vec("l", vec![Operand::Const(0), Operand::Const(0), n]);
                 let (i, acc, nn) = (carried[0], carried[1], carried[2]);
                 let c = f.lt(i, nn);
                 f.begin_body(c);

@@ -90,7 +90,9 @@ impl<'a> Inliner<'a> {
 
     fn map_operand(&self, map: &HashMap<Var, Operand>, o: Operand) -> Operand {
         match o {
-            Operand::Var(v) => *map.get(&v).unwrap_or_else(|| panic!("unmapped {v} during inlining")),
+            Operand::Var(v) => {
+                *map.get(&v).unwrap_or_else(|| panic!("unmapped {v} during inlining"))
+            }
             c => c,
         }
     }
@@ -117,12 +119,7 @@ impl<'a> Inliner<'a> {
         Region { stmts: out }
     }
 
-    fn inline_stmt(
-        &mut self,
-        stmt: &Stmt,
-        map: &mut HashMap<Var, Operand>,
-        out: &mut Vec<Stmt>,
-    ) {
+    fn inline_stmt(&mut self, stmt: &Stmt, map: &mut HashMap<Var, Operand>, out: &mut Vec<Stmt>) {
         match stmt {
             Stmt::Op { dst, op, lhs, rhs } => {
                 let lhs = self.map_operand(map, *lhs);
@@ -204,8 +201,7 @@ impl<'a> Inliner<'a> {
             }
             Stmt::Call { func, args, rets } => {
                 let callee = self.program.func(*func);
-                let argv: Vec<Operand> =
-                    args.iter().map(|&a| self.map_operand(map, a)).collect();
+                let argv: Vec<Operand> = args.iter().map(|&a| self.map_operand(map, a)).collect();
                 assert_eq!(argv.len(), callee.params.len(), "call arity to '{}'", callee.name);
                 // Build the callee's substitution: params -> caller operands.
                 let mut callee_map: HashMap<Var, Operand> = HashMap::new();

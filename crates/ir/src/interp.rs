@@ -210,7 +210,11 @@ impl<'a, T: Tracer> Interp<'a, T> {
         }
     }
 
-    fn call(&mut self, func: FuncId, args: &[(Value, u64)]) -> Result<Vec<(Value, u64)>, InterpError> {
+    fn call(
+        &mut self,
+        func: FuncId,
+        args: &[(Value, u64)],
+    ) -> Result<Vec<(Value, u64)>, InterpError> {
         let f = self.program.func(func);
         debug_assert_eq!(f.params.len(), args.len(), "call arity to '{}'", f.name);
         let mut frame =
@@ -278,11 +282,8 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 } else {
                     self.operand(frame, *on_false)?
                 };
-                let srcs = [
-                    self.dep(frame, *cond),
-                    self.dep(frame, *on_true),
-                    self.dep(frame, *on_false),
-                ];
+                let srcs =
+                    [self.dep(frame, *cond), self.dep(frame, *on_true), self.dep(frame, *on_false)];
                 let def = self.fresh_def();
                 self.bind(frame, *dst, v, def);
                 self.retire(def, &srcs)?;
@@ -346,9 +347,7 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 let exits: Vec<(Var, Value, u64)> = l
                     .exits
                     .iter()
-                    .map(|&(d, src)| {
-                        self.operand(frame, src).map(|v| (d, v, self.dep(frame, src)))
-                    })
+                    .map(|&(d, src)| self.operand(frame, src).map(|v| (d, v, self.dep(frame, src))))
                     .collect::<Result<_, _>>()?;
                 for (v, _) in &l.carried {
                     self.unbind(frame, *v);
@@ -459,10 +458,7 @@ mod tests {
     fn arity_mismatch() {
         let p = sum_to_n_program();
         let mut mem = MemoryImage::new();
-        assert_eq!(
-            run(&p, &mut mem, &[]),
-            Err(InterpError::ArityMismatch { expected: 1, got: 0 })
-        );
+        assert_eq!(run(&p, &mut mem, &[]), Err(InterpError::ArityMismatch { expected: 1, got: 0 }));
     }
 
     #[test]

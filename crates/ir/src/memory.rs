@@ -50,16 +50,29 @@ impl fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// A flat, bounds-checked word memory with named array segments.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemoryImage {
     words: Vec<Value>,
     arrays: Vec<(String, ArrayRef)>,
 }
 
+impl Default for MemoryImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl MemoryImage {
-    /// Creates an empty memory.
+    /// Creates a memory containing only the guard word.
+    ///
+    /// Word 0 is reserved and never handed out by [`alloc`](Self::alloc):
+    /// no segment base can equal 0, so the ubiquitous constant 0 (loop
+    /// inits, ctl triggers) is never mistaken for an array base. The static
+    /// race detector in `tyr-verify` relies on this to classify address
+    /// expressions by exact base match, and a stray null-ish access lands in
+    /// a word no kernel owns instead of silently corrupting the first array.
     pub fn new() -> Self {
-        Self::default()
+        MemoryImage { words: vec![0], arrays: Vec::new() }
     }
 
     /// Allocates a zero-initialized array of `len` words.
@@ -153,37 +166,45 @@ mod tests {
         let mut m = MemoryImage::new();
         let a = m.alloc("a", 4);
         let b = m.alloc_init("b", &[10, 20]);
-        assert_eq!(a.base, 0);
-        assert_eq!(b.base, 4);
-        assert_eq!(m.size(), 6);
-        assert_eq!(m.load(4), Ok(10));
-        m.store(1, 7).unwrap();
+        assert_eq!(a.base, 1, "word 0 is the guard word");
+        assert_eq!(b.base, 5);
+        assert_eq!(m.size(), 7);
+        assert_eq!(m.load(5), Ok(10));
+        m.store(2, 7).unwrap();
         assert_eq!(m.slice(a), &[0, 7, 0, 0]);
         assert_eq!(m.array("b"), Some(b));
         assert_eq!(m.array("missing"), None);
     }
 
     #[test]
+    fn no_segment_at_address_zero() {
+        let mut m = MemoryImage::new();
+        let a = m.alloc("a", 2);
+        assert!(a.base_const() != 0);
+        // The guard word is addressable (bounds-checked like any word) but
+        // belongs to no segment.
+        assert!(m.arrays().all(|(_, r)| r.base > 0));
+        assert_eq!(m.load(0), Ok(0));
+    }
+
+    #[test]
     fn bounds_checking() {
         let mut m = MemoryImage::new();
         m.alloc("a", 2);
-        assert!(m.load(2).is_err());
+        assert!(m.load(3).is_err());
         assert!(m.load(-1).is_err());
         assert!(m.store(100, 0).is_err());
         assert!(m.fetch_add(-5, 1).is_err());
-        assert_eq!(
-            m.load(2),
-            Err(MemError::OutOfBounds { addr: 2, size: 2 })
-        );
+        assert_eq!(m.load(3), Err(MemError::OutOfBounds { addr: 3, size: 3 }));
     }
 
     #[test]
     fn fetch_add_accumulates() {
         let mut m = MemoryImage::new();
-        m.alloc("a", 1);
-        m.fetch_add(0, 5).unwrap();
-        m.fetch_add(0, -2).unwrap();
-        assert_eq!(m.load(0), Ok(3));
+        let a = m.alloc("a", 1);
+        m.fetch_add(a.base_const(), 5).unwrap();
+        m.fetch_add(a.base_const(), -2).unwrap();
+        assert_eq!(m.load(a.base_const()), Ok(3));
     }
 
     #[test]

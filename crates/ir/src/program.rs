@@ -237,7 +237,12 @@ mod tests {
 
     #[test]
     fn stmt_defs() {
-        let s = Stmt::Op { dst: Var(1), op: AluOp::Add, lhs: Operand::Const(1), rhs: Operand::Const(2) };
+        let s = Stmt::Op {
+            dst: Var(1),
+            op: AluOp::Add,
+            lhs: Operand::Const(1),
+            rhs: Operand::Const(2),
+        };
         assert_eq!(s.defs(), vec![Var(1)]);
         let s = Stmt::Store { addr: Operand::Const(0), value: Operand::Const(0) };
         assert!(s.defs().is_empty());

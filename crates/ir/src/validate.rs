@@ -121,7 +121,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "'{caller}' calls '{callee}' with {got} args, expected {expected}")
             }
             ValidateError::ReturnArity { caller, callee, expected, got } => {
-                write!(f, "'{caller}' expects {got} returns from '{callee}', which returns {expected}")
+                write!(
+                    f,
+                    "'{caller}' expects {got} returns from '{callee}', which returns {expected}"
+                )
             }
             ValidateError::UnknownFunc { caller, func } => {
                 write!(f, "'{caller}' calls unknown function {func}")
@@ -198,11 +201,7 @@ fn check_call_graph(program: &Program) -> Result<(), ValidateError> {
             }
         }
     }
-    fn dfs(
-        program: &Program,
-        f: FuncId,
-        marks: &mut Vec<Mark>,
-    ) -> Result<(), ValidateError> {
+    fn dfs(program: &Program, f: FuncId, marks: &mut Vec<Mark>) -> Result<(), ValidateError> {
         match marks[f.0 as usize] {
             Mark::Black => return Ok(()),
             Mark::Gray => {
@@ -304,17 +303,13 @@ impl<'a> Validator<'a> {
                 Stmt::If(i) => self.check_if(i, &mut scope)?,
                 Stmt::Loop(l) => {
                     if in_if {
-                        return Err(ValidateError::IfContainsBlock {
-                            func: self.func_name.into(),
-                        });
+                        return Err(ValidateError::IfContainsBlock { func: self.func_name.into() });
                     }
                     self.check_loop(l, &mut scope)?;
                 }
                 Stmt::Call { func, args, rets } => {
                     if in_if {
-                        return Err(ValidateError::IfContainsBlock {
-                            func: self.func_name.into(),
-                        });
+                        return Err(ValidateError::IfContainsBlock { func: self.func_name.into() });
                     }
                     let idx = func.0 as usize;
                     if idx >= self.program.funcs.len() {

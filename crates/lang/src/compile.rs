@@ -94,8 +94,7 @@ pub fn compile(src: &str, consts: &[(&str, i64)]) -> Result<Program, CompileErro
 ///
 /// See [`compile`].
 pub fn compile_ast(ast: &Ast, consts: &[(&str, i64)]) -> Result<Program, CompileError> {
-    let consts: HashMap<String, i64> =
-        consts.iter().map(|&(n, v)| (n.to_string(), v)).collect();
+    let consts: HashMap<String, i64> = consts.iter().map(|&(n, v)| (n.to_string(), v)).collect();
 
     // Declare every function first (arbitrary call order within the DAG).
     let mut pb = ProgramBuilder::new();
@@ -138,10 +137,7 @@ pub fn compile_ast(ast: &Ast, consts: &[(&str, i64)]) -> Result<Program, Compile
                         line: *line,
                     });
                 }
-                returns = values
-                    .iter()
-                    .map(|e| cc.expr(e))
-                    .collect::<Result<_, _>>()?;
+                returns = values.iter().map(|e| cc.expr(e)).collect::<Result<_, _>>()?;
             } else {
                 cc.stmt(stmt, false)?;
             }
@@ -337,13 +333,10 @@ impl<'a> FnCompiler<'a> {
                 self.fb.load(a)
             }
             Expr::Call { name, args, line } => {
-                let &(id, n_params, n_rets) = self
-                    .sigs
-                    .get(name)
-                    .ok_or_else(|| CompileError {
-                        message: format!("unknown function '{name}'"),
-                        line: *line,
-                    })?;
+                let &(id, n_params, n_rets) = self.sigs.get(name).ok_or_else(|| CompileError {
+                    message: format!("unknown function '{name}'"),
+                    line: *line,
+                })?;
                 if args.len() != n_params {
                     return self.err(
                         format!("'{name}' takes {n_params} arguments, got {}", args.len()),
@@ -417,13 +410,10 @@ impl<'a> FnCompiler<'a> {
                 self.compile_while(cond, body, *line)?;
             }
             Stmt::If { cond, then_body, else_body, line } => {
-                if let Some(l) = contains_loop_or_call(then_body)
-                    .or_else(|| contains_loop_or_call(else_body))
+                if let Some(l) =
+                    contains_loop_or_call(then_body).or_else(|| contains_loop_or_call(else_body))
                 {
-                    return self.err(
-                        "loops and calls inside 'if' branches are not supported",
-                        l,
-                    );
+                    return self.err("loops and calls inside 'if' branches are not supported", l);
                 }
                 self.compile_if(cond, then_body, else_body, *line)?;
             }
@@ -434,11 +424,10 @@ impl<'a> FnCompiler<'a> {
                 if in_if {
                     return self.err("calls inside 'if' branches are not supported", *line);
                 }
-                let &(id, n_params, n_rets) =
-                    self.sigs.get(name).ok_or_else(|| CompileError {
-                        message: format!("unknown function '{name}'"),
-                        line: *line,
-                    })?;
+                let &(id, n_params, n_rets) = self.sigs.get(name).ok_or_else(|| CompileError {
+                    message: format!("unknown function '{name}'"),
+                    line: *line,
+                })?;
                 if args.len() != n_params {
                     return self.err(
                         format!("'{name}' takes {n_params} arguments, got {}", args.len()),
@@ -458,11 +447,10 @@ impl<'a> FnCompiler<'a> {
     /// the enclosing scope.
     fn compile_while(&mut self, cond: &Expr, body: &[Stmt], line: u32) -> Result<(), CompileError> {
         let mut touched = Vec::new();
-        collect_names(std::slice::from_ref(&Stmt::While {
-            cond: cond.clone(),
-            body: body.to_vec(),
-            line,
-        }), &mut touched);
+        collect_names(
+            std::slice::from_ref(&Stmt::While { cond: cond.clone(), body: body.to_vec(), line }),
+            &mut touched,
+        );
         let mut names: Vec<String> =
             touched.into_iter().filter(|n| self.env.contains_key(n)).collect();
         names.sort();
@@ -514,8 +502,7 @@ impl<'a> FnCompiler<'a> {
         self.compile_block(else_body, true)?;
         let else_vals: Vec<Operand> = names.iter().map(|n| self.env[n]).collect();
         self.env = snapshot;
-        let merges: Vec<(Operand, Operand)> =
-            then_vals.into_iter().zip(else_vals).collect();
+        let merges: Vec<(Operand, Operand)> = then_vals.into_iter().zip(else_vals).collect();
         let merged = self.fb.end_if_vec(merges);
         for (n, &m) in names.iter().zip(&merged) {
             self.env.insert(n.clone(), m);
@@ -634,11 +621,7 @@ mod tests {
                 fetch_add(OUT, 100);
                 return s;
             }";
-        let p = compile(
-            src,
-            &[("ARR", arr.base_const()), ("OUT", out.base_const())],
-        )
-        .unwrap();
+        let p = compile(src, &[("ARR", arr.base_const()), ("OUT", out.base_const())]).unwrap();
         let r = interp::run(&p, &mut mem, &[]).unwrap();
         assert_eq!(r.returns, vec![23]);
         assert_eq!(mem.slice(out), &[123]);
@@ -710,8 +693,7 @@ mod tests {
         )
         .unwrap();
         interp::run(&p, &mut mem, &[]).unwrap();
-        let expect: Vec<i64> =
-            (0..m).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect();
+        let expect: Vec<i64> = (0..m).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect();
         assert_eq!(mem.slice(y_ref), &expect[..]);
     }
 
@@ -725,11 +707,8 @@ mod tests {
         assert!(e.message.contains("unknown function"), "{e}");
         let e = compile("fn f(a, b) { return a; } fn main() { return f(1); }", &[]).unwrap_err();
         assert!(e.message.contains("takes 2 arguments"), "{e}");
-        let e = compile(
-            "fn main(x) { if (x) { while (x > 0) { x = x - 1; } } return x; }",
-            &[],
-        )
-        .unwrap_err();
+        let e = compile("fn main(x) { if (x) { while (x > 0) { x = x - 1; } } return x; }", &[])
+            .unwrap_err();
         assert!(e.message.contains("loops"), "{e}");
         let e = compile("fn main() { return 1; return 2; }", &[]).unwrap_err();
         assert!(e.message.contains("last statement"), "{e}");
@@ -739,11 +718,9 @@ mod tests {
 
     #[test]
     fn impure_while_condition_is_rejected_via_validation() {
-        let e = compile(
-            "fn main() { let i = 0; while (load(i) > 0) { i = i + 1; } return i; }",
-            &[],
-        )
-        .unwrap_err();
+        let e =
+            compile("fn main() { let i = 0; while (load(i) > 0) { i = i + 1; } return i; }", &[])
+                .unwrap_err();
         assert!(e.message.contains("pure"), "{e}");
     }
 }

@@ -201,9 +201,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -321,13 +319,16 @@ mod tests {
 
     #[test]
     fn logical_vs_bitwise() {
-        assert_eq!(kinds("a && b & c"), vec![
-            Tok::Ident("a".into()),
-            Tok::AndAnd,
-            Tok::Ident("b".into()),
-            Tok::Amp,
-            Tok::Ident("c".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("a && b & c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::AndAnd,
+                Tok::Ident("b".into()),
+                Tok::Amp,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
     }
 }

@@ -433,30 +433,66 @@ mod tests {
 
 #[cfg(test)]
 mod robustness {
-    use proptest::prelude::*;
+    //! Seeded fuzz tests (formerly proptest; rewritten on a local SplitMix64
+    //! so the crate builds with no registry access).
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 256, failure_persistence: None, ..ProptestConfig::default() })]
+    /// Minimal SplitMix64, local to the tests: `tyr-lang` depends only on
+    /// `tyr-ir`, so it cannot borrow the generator from `tyr-workloads`.
+    struct Rng(u64);
 
-        /// The parser never panics: any input produces Ok or a positioned
-        /// error.
-        #[test]
-        fn parser_total_on_arbitrary_input(src in "[ -~\\n]{0,200}") {
-            let _ = super::parse(&src);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
         }
 
-        /// Valid-looking programs with random identifiers/integers parse or
-        /// fail gracefully.
-        #[test]
-        fn parser_total_on_program_shaped_input(
+        fn index(&mut self, n: usize) -> usize {
+            ((self.next() as u128 * n as u128) >> 64) as usize
+        }
+    }
+
+    /// The parser never panics: any input produces Ok or a positioned error.
+    #[test]
+    fn parser_total_on_arbitrary_input() {
+        let mut rng = Rng(0xC0FFEE);
+        for _ in 0..256 {
+            let len = rng.index(201);
+            let src: String = (0..len)
+                .map(|_| {
+                    // Printable ASCII (0x20..=0x7E) plus newline.
+                    let c = rng.index(96);
+                    if c == 95 {
+                        '\n'
+                    } else {
+                        (0x20 + c as u8) as char
+                    }
+                })
+                .collect();
+            let _ = super::parse(&src);
+        }
+    }
+
+    /// Valid-looking programs with random identifiers/integers parse or fail
+    /// gracefully.
+    #[test]
+    fn parser_total_on_program_shaped_input() {
+        let ops = ["+", "*", "<", "&&", "<<"];
+        let mut rng = Rng(0xBEEF);
+        for _ in 0..256 {
             // Prefixed so the generated name can never be a keyword.
-            name in "v[a-z]{0,7}",
-            n in 0i64..1000,
-            op in prop::sample::select(vec!["+", "*", "<", "&&", "<<"]),
-        ) {
+            let name_len = rng.index(8);
+            let mut name = String::from("v");
+            for _ in 0..name_len {
+                name.push((b'a' + rng.index(26) as u8) as char);
+            }
+            let n = rng.index(1000) as i64;
+            let op = ops[rng.index(ops.len())];
             let src = format!("fn main({name}) {{ return {name} {op} {n}; }}");
             let ast = super::parse(&src).unwrap();
-            prop_assert_eq!(ast.funcs.len(), 1);
+            assert_eq!(ast.funcs.len(), 1);
         }
     }
 }

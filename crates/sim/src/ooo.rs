@@ -116,8 +116,7 @@ impl WindowScheduler {
     fn account_to(&mut self, upto: u64) {
         while self.accounted < upto {
             let c = self.accounted;
-            let issued_this =
-                if c >= self.slot_base { *self.slot_at(c) } else { 0 };
+            let issued_this = if c >= self.slot_base { *self.slot_at(c) } else { 0 };
             while self.retired_pending.front().is_some_and(|&r| r <= c) {
                 self.retired_pending.pop_front();
                 self.retired_counted += 1;

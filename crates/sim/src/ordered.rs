@@ -92,8 +92,7 @@ impl<'a> OrderedEngine<'a> {
             .nodes
             .iter()
             .map(|n| {
-                let mut qs: Vec<VecDeque<Value>> =
-                    n.ins.iter().map(|_| VecDeque::new()).collect();
+                let mut qs: Vec<VecDeque<Value>> = n.ins.iter().map(|_| VecDeque::new()).collect();
                 if let NodeKind::CMerge { initial_ctl } = &n.kind {
                     for &t in initial_ctl {
                         qs[0].push_back(t);
@@ -122,9 +121,9 @@ impl<'a> OrderedEngine<'a> {
 
     fn outputs_have_space(&self, idx: usize) -> bool {
         self.dfg.nodes[idx].outs.iter().all(|targets| {
-            targets
-                .iter()
-                .all(|t| self.fifos[t.node.0 as usize][t.port as usize].len() < self.cfg.queue_depth)
+            targets.iter().all(|t| {
+                self.fifos[t.node.0 as usize][t.port as usize].len() < self.cfg.queue_depth
+            })
         })
     }
 
@@ -477,9 +476,8 @@ mod stall_tests {
         g.connect(src, 1, PortRef { node: cm, port: 2 });
         g.connect(cm, 0, PortRef { node: sink, port: 0 });
         let dfg = g.finish(src, sink, 1);
-        let r = OrderedEngine::new(&dfg, MemoryImage::new(), OrderedConfig::default())
-            .run()
-            .unwrap();
+        let r =
+            OrderedEngine::new(&dfg, MemoryImage::new(), OrderedConfig::default()).run().unwrap();
         match r.outcome {
             Outcome::Deadlock { live_tokens, .. } => assert_eq!(live_tokens, 2),
             other => panic!("expected stall, got {other:?}"),

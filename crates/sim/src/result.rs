@@ -83,7 +83,9 @@ impl RunResult {
     pub fn cycles(&self) -> u64 {
         match self.outcome {
             Outcome::Completed { cycles, .. } => cycles,
-            Outcome::Deadlock { cycle, .. } => panic!("deadlocked at cycle {cycle}; no completion time"),
+            Outcome::Deadlock { cycle, .. } => {
+                panic!("deadlocked at cycle {cycle}; no completion time")
+            }
         }
     }
 
@@ -143,6 +145,18 @@ pub enum SimError {
         /// The node's wired input count.
         count: usize,
     },
+    /// A `free` recycled a tag while a node of its block still held tokens
+    /// under it — the free-barrier safety property (Sec. IV-A) was violated
+    /// and a later context would silently read this context's state. Only
+    /// raised when `TaggedConfig::check_token_leaks` is on.
+    UseAfterFree {
+        /// Label of the node still holding tokens.
+        node: String,
+        /// Name of the block whose tag was freed.
+        block: String,
+        /// The recycled tag.
+        tag: u64,
+    },
     /// The interpreter faulted (vN engine).
     Interp(String),
 }
@@ -161,6 +175,13 @@ impl fmt::Display for SimError {
             }
             SimError::TooManyInputs { count } => {
                 write!(f, "node has {count} wired inputs (maximum 63)")
+            }
+            SimError::UseAfterFree { node, block, tag } => {
+                write!(
+                    f,
+                    "use-after-free: block '{block}' freed tag {tag} while '{node}' still \
+                     held tokens under it"
+                )
             }
             SimError::Interp(e) => write!(f, "interpreter fault: {e}"),
         }

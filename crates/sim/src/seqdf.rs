@@ -97,13 +97,7 @@ impl<'a> SeqDataflowEngine<'a> {
         let returns = exec.call(self.program.entry, &self.cfg.args)?;
         exec.flush()?;
         let (cycles, dyn_instrs, trace, ipc) = (exec.cycle, exec.fired, exec.trace, exec.ipc);
-        Ok(RunResult::new(
-            Outcome::Completed { cycles, dyn_instrs },
-            trace,
-            ipc,
-            self.mem,
-            returns,
-        ))
+        Ok(RunResult::new(Outcome::Completed { cycles, dyn_instrs }, trace, ipc, self.mem, returns))
     }
 }
 
@@ -166,10 +160,8 @@ impl<'a> Exec<'a> {
 
     fn call(&mut self, func: tyr_ir::FuncId, args: &[Value]) -> Result<Vec<Value>, SimError> {
         let f = self.program.func(func);
-        let mut frame = Frame {
-            env: vec![None; f.n_vars as usize],
-            level: vec![0; f.n_vars as usize],
-        };
+        let mut frame =
+            Frame { env: vec![None; f.n_vars as usize], level: vec![0; f.n_vars as usize] };
         for (&p, &a) in f.params.iter().zip(args) {
             self.bind(&mut frame, p, a, 0);
         }

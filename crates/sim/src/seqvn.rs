@@ -63,12 +63,17 @@ impl<'a> SeqVnEngine<'a> {
     /// [`SimError::CycleLimit`] if the instruction budget runs out.
     pub fn run(mut self) -> Result<RunResult, SimError> {
         let mut tracer = VnTracer { trace: Trace::new(), ipc: IpcHistogram::new() };
-        let out =
-            interp::run_traced(self.program, &mut self.mem, &self.cfg.args, self.cfg.max_cycles, &mut tracer)
-                .map_err(|e| match e {
-                    interp::InterpError::OutOfFuel => SimError::CycleLimit { limit: self.cfg.max_cycles },
-                    other => SimError::Interp(other.to_string()),
-                })?;
+        let out = interp::run_traced(
+            self.program,
+            &mut self.mem,
+            &self.cfg.args,
+            self.cfg.max_cycles,
+            &mut tracer,
+        )
+        .map_err(|e| match e {
+            interp::InterpError::OutOfFuel => SimError::CycleLimit { limit: self.cfg.max_cycles },
+            other => SimError::Interp(other.to_string()),
+        })?;
         Ok(RunResult::new(
             Outcome::Completed { cycles: out.dyn_instrs, dyn_instrs: out.dyn_instrs },
             tracer.trace,

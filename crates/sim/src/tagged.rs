@@ -24,7 +24,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use tyr_dfg::{AllocKind, Dfg, InKind, NodeId, NodeKind, PortRef};
+use tyr_dfg::{AllocKind, BlockId, Dfg, InKind, NodeId, NodeKind, PortRef};
 use tyr_ir::{MemoryImage, Value};
 use tyr_stats::{IpcHistogram, Trace};
 
@@ -95,6 +95,14 @@ pub struct TaggedConfig {
     /// synchronization. Default off: every instruction costs a slot, as in
     /// the paper's evaluation.
     pub free_token_sync: bool,
+    /// Use-after-free sanitizer: every time a `free` recycles a tag, scan
+    /// that block's nodes for tokens still held under the freed tag and
+    /// fail with [`SimError::UseAfterFree`] if any are found. This is the
+    /// dynamic counterpart of `tyr-verify`'s static barrier-coverage pass:
+    /// a node outside its block's free barrier is exactly one whose tokens
+    /// can survive the free. Default off (the scan is O(block size) per
+    /// free).
+    pub check_token_leaks: bool,
 }
 
 impl Default for TaggedConfig {
@@ -106,6 +114,7 @@ impl Default for TaggedConfig {
             max_cycles: 500_000_000,
             mem_latency: 1,
             free_token_sync: false,
+            check_token_leaks: false,
         }
     }
 }
@@ -349,8 +358,7 @@ impl<'a> TaggedEngine<'a> {
             let mut sync_fired = 0u64;
             // With dedicated tag-management hardware, sync instructions are
             // still one-cycle but do not compete for issue slots.
-            let sync_budget =
-                if self.cfg.free_token_sync { self.ready.len() } else { 0 };
+            let sync_budget = if self.cfg.free_token_sync { self.ready.len() } else { 0 };
             let mut considered = 0usize;
             let mut deferred: Vec<(u32, u64)> = Vec::new();
             while (fired as usize) < self.cfg.issue_width
@@ -457,19 +465,17 @@ impl<'a> TaggedEngine<'a> {
     }
 
     fn store_peaks(&self) -> Vec<(String, u64)> {
-        self.dfg
-            .blocks
-            .iter()
-            .zip(&self.block_peak)
-            .map(|(b, &p)| (b.name.clone(), p))
-            .collect()
+        self.dfg.blocks.iter().zip(&self.block_peak).map(|(b, &p)| (b.name.clone(), p)).collect()
     }
 
     fn pending_report(&self) -> Vec<String> {
         let mut out = Vec::new();
         let describe = |&(n, t): &(u32, u64)| {
             let node = &self.dfg.nodes[n as usize];
-            format!("{} (tag {t}, block '{}')", node.label, self.dfg.blocks[node.block.0 as usize].name)
+            format!(
+                "{} (tag {t}, block '{}')",
+                node.label, self.dfg.blocks[node.block.0 as usize].name
+            )
         };
         match &self.backend {
             Backend::Local { pending, .. } => {
@@ -525,7 +531,9 @@ impl<'a> TaggedEngine<'a> {
 
     fn pop_tag(&mut self, space: tyr_dfg::BlockId) -> u64 {
         match &mut self.backend {
-            Backend::Local { free, .. } => free[space.0 as usize].pop().expect("eligibility checked"),
+            Backend::Local { free, .. } => {
+                free[space.0 as usize].pop().expect("eligibility checked")
+            }
             Backend::Global { free, .. } => free.pop().expect("eligibility checked"),
             Backend::Unbounded { next } => {
                 let t = *next;
@@ -646,6 +654,29 @@ impl<'a> TaggedEngine<'a> {
         self.block_live[self.dfg.nodes[node.0 as usize].block.0 as usize] -= n;
     }
 
+    /// Use-after-free sanitizer (`TaggedConfig::check_token_leaks`): after
+    /// `space` recycled `tag`, no node of that block may still hold tokens
+    /// under it — any residual presence means the free barrier failed to
+    /// cover the node and a future context of the same tag would observe
+    /// this context's state. The sink is exempt: it drains the root
+    /// context's return tokens concurrently with the root free.
+    fn scan_freed_tag(&self, space: BlockId, tag: u64) -> Result<(), SimError> {
+        const FLAGS: u64 = IN_QUEUE | IN_PENDING | AL_POPPED;
+        for (ni, n) in self.dfg.nodes.iter().enumerate() {
+            if n.block != space || matches!(n.kind, NodeKind::Sink) {
+                continue;
+            }
+            if self.store[ni].present(tag) & !FLAGS != 0 {
+                return Err(SimError::UseAfterFree {
+                    node: n.label.clone(),
+                    block: self.dfg.blocks[space.0 as usize].name.clone(),
+                    tag,
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn fire(&mut self, node: NodeId, tag: u64) -> Result<(), SimError> {
         let n = &self.dfg.nodes[node.0 as usize];
         let idx = node.0 as usize;
@@ -756,6 +787,9 @@ impl<'a> TaggedEngine<'a> {
                 let space = *space;
                 self.consume(node, tag, self.required[idx]);
                 self.push_tag(space, tag);
+                if self.cfg.check_token_leaks {
+                    self.scan_freed_tag(space, tag)?;
+                }
             }
             NodeKind::ChangeTag => {
                 let t_new = self.input(node, tag, 0) as u64;
@@ -910,6 +944,75 @@ mod tests {
     }
 
     #[test]
+    fn sanitizer_passes_on_correct_lowering() {
+        // With the use-after-free sanitizer on, a correct lowering still
+        // completes: the free barrier really does cover every node.
+        let p = sum_program();
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        for tags in [2, 64] {
+            let cfg = TaggedConfig {
+                tag_policy: TagPolicy::local(tags),
+                args: vec![25],
+                check_token_leaks: true,
+                ..TaggedConfig::default()
+            };
+            let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+            assert!(r.is_complete(), "tags={tags}: {:?}", r.outcome);
+            assert_eq!(r.returns, vec![300], "tags={tags}");
+        }
+    }
+
+    #[test]
+    fn sanitizer_traps_token_surviving_free() {
+        // Graft a node into the loop body that receives a token but can
+        // never fire (its second input is never fed): the token outlives
+        // the context's free, and the sanitizer must trap it. This is the
+        // dynamic twin of tyr-verify's B001 static finding.
+        let p = sum_program();
+        let mut dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let body = dfg.block_by_name("sum").unwrap();
+        let producer = dfg
+            .nodes
+            .iter()
+            .position(|n| n.block == body && matches!(n.kind, NodeKind::Alu(_)))
+            .expect("loop body has an alu node");
+        let orphan = NodeId(dfg.nodes.len() as u32);
+        dfg.nodes.push(tyr_dfg::Node {
+            kind: NodeKind::Join,
+            block: body,
+            ins: vec![InKind::Wire, InKind::Wire],
+            outs: vec![Vec::new()],
+            label: "leaky".into(),
+        });
+        dfg.nodes[producer].outs[0].push(PortRef { node: orphan, port: 0 });
+
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(4),
+            args: vec![25],
+            check_token_leaks: true,
+            ..TaggedConfig::default()
+        };
+        let err = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap_err();
+        match err {
+            SimError::UseAfterFree { node, block, .. } => {
+                assert_eq!(node, "leaky");
+                assert_eq!(block, "sum");
+            }
+            other => panic!("expected UseAfterFree, got {other}"),
+        }
+        // Same corrupted graph with the sanitizer off: the leak is silent
+        // (the run completes or token-leaks at exit, but nothing traps the
+        // free itself) — which is exactly why the gate exists.
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(4),
+            args: vec![25],
+            ..TaggedConfig::default()
+        };
+        let quiet = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run();
+        assert!(!matches!(quiet, Err(SimError::UseAfterFree { .. })), "sanitizer must be opt-in");
+    }
+
+    #[test]
     fn tyr_computes_sum() {
         let p = sum_program();
         for tags in [2, 3, 8, 64] {
@@ -922,12 +1025,8 @@ mod tests {
     #[test]
     fn unordered_unbounded_computes_sum() {
         let p = sum_program();
-        let r = run_with(
-            &p,
-            TaggingDiscipline::UnorderedUnbounded,
-            TagPolicy::GlobalUnbounded,
-            100,
-        );
+        let r =
+            run_with(&p, TaggingDiscipline::UnorderedUnbounded, TagPolicy::GlobalUnbounded, 100);
         assert!(r.is_complete());
         assert_eq!(r.returns, vec![4950]);
     }
@@ -1160,7 +1259,10 @@ mod gating_tests {
         let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
         match r.outcome {
             Outcome::Deadlock { pending_allocates, .. } => {
-                assert!(pending_allocates.iter().any(|p| p.contains("chain")), "{pending_allocates:?}");
+                assert!(
+                    pending_allocates.iter().any(|p| p.contains("chain")),
+                    "{pending_allocates:?}"
+                );
             }
             other => panic!("expected deadlock with 1 global tag, got {other:?}"),
         }
@@ -1323,11 +1425,9 @@ mod store_size_tests {
         // bounded by T * (nodes in block) * max inputs.
         assert_eq!(r.store_peaks.len(), dfg.blocks.len());
         for (name, peak) in &r.store_peaks {
-            let members = dfg
-                .nodes
-                .iter()
-                .filter(|n| dfg.blocks[n.block.0 as usize].name == *name)
-                .count() as u64;
+            let members =
+                dfg.nodes.iter().filter(|n| dfg.blocks[n.block.0 as usize].name == *name).count()
+                    as u64;
             let bound = tags as u64 * members * dfg.max_wired_inputs() as u64;
             assert!(peak <= &bound, "block '{name}': {peak} > {bound}");
             assert!(*peak > 0 || members == 0 || name == "main");

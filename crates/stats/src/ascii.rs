@@ -29,7 +29,13 @@ const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'];
 /// * `log_y` — plot `log10(y+1)` on the vertical axis (the paper's
 ///   state-over-time figures are log scale).
 /// * `width`/`height` — plot area size in characters, excluding axes.
-pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+pub fn line_chart(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> String {
     let width = width.max(16);
     let height = height.max(4);
     let mut out = String::new();
@@ -76,7 +82,13 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize, l
         out.push('\n');
     }
     out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>12}{:<.1}{:>pad$.1}\n", "", xmin, xmax, pad = width.saturating_sub(6)));
+    out.push_str(&format!(
+        "{:>12}{:<.1}{:>pad$.1}\n",
+        "",
+        xmin,
+        xmax,
+        pad = width.saturating_sub(6)
+    ));
     out.push_str("  legend: ");
     for (si, s) in series.iter().enumerate() {
         out.push_str(&format!("{}={}  ", MARKS[si % MARKS.len()], s.name));
@@ -103,7 +115,14 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize, log_scale: b
     let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(8).min(32);
     for (label, v) in rows {
         let n = ((map(*v) / vmax) * width as f64).round() as usize;
-        out.push_str(&format!("  {:<label_w$} |{:<width$}| {}\n", truncate(label, 32), "#".repeat(n.min(width)), fmt_count(*v), label_w = label_w, width = width));
+        out.push_str(&format!(
+            "  {:<label_w$} |{:<width$}| {}\n",
+            truncate(label, 32),
+            "#".repeat(n.min(width)),
+            fmt_count(*v),
+            label_w = label_w,
+            width = width
+        ));
     }
     out
 }
@@ -164,10 +183,7 @@ mod tests {
 
     #[test]
     fn bar_chart_lengths_are_monotone() {
-        let rows = vec![
-            ("small".to_string(), 10.0),
-            ("big".to_string(), 1000.0),
-        ];
+        let rows = vec![("small".to_string(), 10.0), ("big".to_string(), 1000.0)];
         let chart = bar_chart("t", &rows, 50, false);
         let lines: Vec<&str> = chart.lines().collect();
         let count = |l: &str| l.matches('#').count();
@@ -176,10 +192,7 @@ mod tests {
 
     #[test]
     fn bar_chart_log_compresses() {
-        let rows = vec![
-            ("a".to_string(), 10.0),
-            ("b".to_string(), 1_000_000.0),
-        ];
+        let rows = vec![("a".to_string(), 10.0), ("b".to_string(), 1_000_000.0)];
         let lin = bar_chart("t", &rows, 60, false);
         let log = bar_chart("t", &rows, 60, true);
         let count = |s: &str, i: usize| s.lines().nth(i).unwrap().matches('#').count();

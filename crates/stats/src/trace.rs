@@ -36,7 +36,15 @@ impl Trace {
 
     /// Creates an empty trace with stride 1.
     pub fn new() -> Self {
-        Trace { buckets: Vec::new(), stride: 1, pending_cycles: 0, pending_max: 0, cycles: 0, peak: 0, sum: 0 }
+        Trace {
+            buckets: Vec::new(),
+            stride: 1,
+            pending_cycles: 0,
+            pending_max: 0,
+            cycles: 0,
+            peak: 0,
+            sum: 0,
+        }
     }
 
     /// Records the value observed during one cycle.

@@ -1,0 +1,80 @@
+//! Static analysis and translation validation for lowered dataflow graphs.
+//!
+//! The simulator can only show a graph misbehaving on the inputs it is run
+//! with; this crate checks the *obligations behind the paper's theorems*
+//! directly on the graph, before anything executes:
+//!
+//! * **structure** (`S…`) — [`Dfg::check`]'s well-formedness rules,
+//!   reported exhaustively with per-node locations;
+//! * **free-barrier coverage** (`B001`) — every node transitively feeds its
+//!   block's `join → free` barrier or the sink (Sec. IV-A's safety
+//!   argument);
+//! * **static tag demand** (`T…`) — per-space minimum tag counts from the
+//!   allocate/reserve rule (Theorem 1), and a decision procedure for
+//!   bounded global pools that predicts the Fig. 11 deadlock from graph
+//!   shape alone;
+//! * **memory races** (`M…`) — unordered same-block accesses to
+//!   overlapping segments, with `storeAdd` suggested as the fix;
+//! * **lifecycle lints** (`L…`) — dangling outputs, unreachable nodes,
+//!   allocates whose tags can never be recycled;
+//! * **translation validation** (`X…`, [`tv`]) — every lowering replayed
+//!   against the reference interpreter on concrete inputs.
+//!
+//! Everything funnels into a [`Report`] of located, stably-coded
+//! [`Diagnostic`]s. The `repro verify` subcommand runs the full battery
+//! over the paper's kernel suite.
+//!
+//! [`Dfg::check`]: tyr_dfg::Dfg::check
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod passes;
+pub mod tv;
+
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use passes::{
+    analyze_tag_demand, check_barrier_coverage, check_lints, check_races, check_structure,
+    check_tag_policy, predict_global, GlobalPrediction, TagDemand,
+};
+pub use tv::validate_translations;
+
+use tyr_dfg::Dfg;
+use tyr_ir::{MemoryImage, Value};
+use tyr_sim::tagged::TagPolicy;
+
+/// Runs the input-independent static passes (structure, barrier coverage,
+/// lifecycle lints) over one graph.
+///
+/// If the structure pass finds errors, the deeper passes are skipped —
+/// they would chase the same dangling edges and drown the report in
+/// cascading findings.
+pub fn verify(title: &str, dfg: &Dfg) -> Report {
+    verify_with(title, dfg, None, None)
+}
+
+/// [`verify`], plus the passes that need execution context: a concrete
+/// [`TagPolicy`] to check against the graph's static tag demand, and/or the
+/// memory image and arguments the graph will run with (enabling the race
+/// pass, which must know the segment layout).
+pub fn verify_with(
+    title: &str,
+    dfg: &Dfg,
+    policy: Option<&TagPolicy>,
+    memory: Option<(&MemoryImage, &[Value])>,
+) -> Report {
+    let mut report = Report::new(title);
+    report.extend(check_structure(dfg));
+    if !report.is_clean() {
+        return report;
+    }
+    report.extend(check_barrier_coverage(dfg));
+    report.extend(check_lints(dfg));
+    if let Some(p) = policy {
+        report.extend(check_tag_policy(dfg, p));
+    }
+    if let Some((mem, args)) = memory {
+        report.extend(check_races(dfg, mem, args));
+    }
+    report
+}

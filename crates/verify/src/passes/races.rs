@@ -1,0 +1,188 @@
+//! Static memory-race detection.
+//!
+//! Dataflow executes memory operations in *data-dependence order only*: two
+//! accesses in the same concurrent block with no path between them can
+//! commit in either order in the same context. The kernels avoid this by
+//! construction — disjoint index sets for plain stores, `storeAdd` for
+//! commutative accumulation — and this pass checks that discipline
+//! statically.
+//!
+//! **Segment analysis.** Address expressions are abstracted to the set of
+//! memory segments they may point into, as a bitmask over the image's
+//! arrays. Classification is by *exact base match*: a constant or argument
+//! is a pointer into segment `s` iff it equals `s.base` exactly — sound
+//! because `MemoryImage` reserves word 0 as a guard, so no base is ever 0
+//! and the ubiquitous constant 0 never aliases the first array. Pointers
+//! then propagate through `add`/`sub`/`mov` (base-plus-offset arithmetic),
+//! steering, selection, merging, and tag translation; all other operators
+//! (and loaded values) produce non-pointers. This under-approximates — an
+//! address materialized by arithmetic we do not model is simply not
+//! classified — so the pass can miss races but reports no impossible
+//! segment pairs.
+//!
+//! **Verdict.** Two same-block accesses whose segment masks intersect, at
+//! least one of which is a plain `store`, and with no ordering path either
+//! way, are flagged: [`Code::StoreStoreRace`] when no load is involved,
+//! [`Code::LoadStoreRace`] otherwise. `storeAdd`/`storeAdd` pairs are
+//! permitted (commutative by design — the paper's own fix). Findings are
+//! warnings: intersecting masks prove overlap of *segments*, not of the
+//! precise index sets within them.
+
+use tyr_dfg::{Dfg, InKind, NodeId, NodeKind};
+use tyr_ir::{AluOp, MemoryImage, Value};
+
+use crate::diag::{Code, Diagnostic};
+use crate::passes::{adjacency, reach};
+
+/// Up to this many segments are tracked (one bitmask bit each); later
+/// segments are left unclassified. Real kernels allocate well under this.
+const MAX_SEGMENTS: usize = 64;
+
+/// Runs the race pass against the memory image and program arguments the
+/// graph will execute with.
+pub fn check_races(dfg: &Dfg, mem: &MemoryImage, args: &[Value]) -> Vec<Diagnostic> {
+    let segments: Vec<(String, usize)> =
+        mem.arrays().take(MAX_SEGMENTS).map(|(n, r)| (n.to_string(), r.base)).collect();
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let classify = |v: Value| -> u64 {
+        segments
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, base))| v == base as Value)
+            .fold(0u64, |m, (i, _)| m | 1 << i)
+    };
+
+    // Fixpoint over per-node pointer masks (the abstract value of each
+    // node's data output). Masks only grow, so iteration terminates.
+    let n = dfg.nodes.len();
+    let mut mask = vec![0u64; n];
+    let in_mask = |mask: &[u64], nid: usize, port: u16| -> u64 {
+        match dfg.nodes[nid].ins.get(port as usize) {
+            Some(InKind::Imm(v)) => classify(*v),
+            Some(InKind::Wire) => {
+                let mut m = 0u64;
+                for (pi, p) in dfg.nodes.iter().enumerate() {
+                    for (qi, targets) in p.outs.iter().enumerate() {
+                        if targets.iter().any(|t| t.node.0 as usize == nid && t.port == port) {
+                            m |= match p.kind {
+                                // The source's ports carry the program
+                                // arguments; classify each directly.
+                                NodeKind::Source => args.get(qi).copied().map_or(0, classify),
+                                _ => mask[pi],
+                            };
+                        }
+                    }
+                }
+                m
+            }
+            None => 0,
+        }
+    };
+    loop {
+        let mut changed = false;
+        for ni in 0..n {
+            let new = match &dfg.nodes[ni].kind {
+                NodeKind::Const(v) => classify(*v),
+                NodeKind::Alu(AluOp::Mov) => in_mask(&mask, ni, 0),
+                NodeKind::Alu(AluOp::Add | AluOp::Sub) => {
+                    in_mask(&mask, ni, 0) | in_mask(&mask, ni, 1)
+                }
+                NodeKind::Select => in_mask(&mask, ni, 1) | in_mask(&mask, ni, 2),
+                NodeKind::Steer => in_mask(&mask, ni, 1),
+                NodeKind::Join => in_mask(&mask, ni, 0),
+                NodeKind::ChangeTag => in_mask(&mask, ni, 1),
+                NodeKind::ChangeTagDyn => in_mask(&mask, ni, 2),
+                NodeKind::Merge | NodeKind::CMerge { .. } => {
+                    (0..dfg.nodes[ni].ins.len()).fold(0u64, |m, p| m | in_mask(&mask, ni, p as u16))
+                }
+                // Loads, other ALU ops, tags, control: non-pointers.
+                _ => 0,
+            };
+            if new != mask[ni] {
+                mask[ni] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Memory accesses with a classified address (in0).
+    #[derive(Clone, Copy, PartialEq)]
+    enum Acc {
+        Load,
+        Store,
+        StoreAdd,
+    }
+    let accesses: Vec<(NodeId, Acc, u64)> = dfg
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(ni, node)| {
+            let kind = match node.kind {
+                NodeKind::Load => Acc::Load,
+                NodeKind::Store => Acc::Store,
+                NodeKind::StoreAdd => Acc::StoreAdd,
+                _ => return None,
+            };
+            let m = in_mask(&mask, ni, 0);
+            (m != 0).then_some((NodeId(ni as u32), kind, m))
+        })
+        .collect();
+
+    // Pairwise ordering among accesses (dyn edges included), then report
+    // unordered same-block overlaps involving a plain store.
+    let adj = adjacency(dfg);
+    let reaches: Vec<Vec<bool>> =
+        accesses.iter().map(|&(a, _, _)| reach(&adj.succs, [a])).collect();
+    let seg_names = |m: u64| -> String {
+        segments
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| m & (1 << i) != 0)
+            .map(|(_, (n, _))| format!("'{n}'"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    let mut out = Vec::new();
+    for i in 0..accesses.len() {
+        for j in i + 1..accesses.len() {
+            let (a, ka, ma) = accesses[i];
+            let (b, kb, mb) = accesses[j];
+            let overlap = ma & mb;
+            if overlap == 0
+                || dfg.nodes[a.0 as usize].block != dfg.nodes[b.0 as usize].block
+                || !(ka == Acc::Store || kb == Acc::Store)
+            {
+                continue;
+            }
+            if reaches[i][b.0 as usize] || reaches[j][a.0 as usize] {
+                continue; // ordered by a dependence path
+            }
+            let code = if ka != Acc::Load && kb != Acc::Load {
+                Code::StoreStoreRace
+            } else {
+                Code::LoadStoreRace
+            };
+            let what = if code == Code::StoreStoreRace { "stores" } else { "load and store" };
+            out.push(Diagnostic::at_node(
+                code,
+                dfg,
+                a,
+                format!(
+                    "unordered {what} to segment(s) {} in the same concurrent block \
+                     (with {} '{}'); if the index sets overlap, use storeAdd or add an \
+                     ordering dependence",
+                    seg_names(overlap),
+                    b,
+                    dfg.nodes[b.0 as usize].label,
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -63,13 +63,8 @@ pub fn build(h: usize, w: usize, kh: usize, kw: usize, seed: u64) -> Workload {
     f.end_loop([oy2], NO_OPERANDS);
     let program = pb.finish(f, [Operand::Const(0)]);
 
-    let mut wl = Workload::new(
-        "dconv",
-        format!("image: {h}x{w}, filter: {kh}x{kw}"),
-        program,
-        mem,
-        vec![],
-    );
+    let mut wl =
+        Workload::new("dconv", format!("image: {h}x{w}, filter: {kh}x{kw}"), program, mem, vec![]);
     wl.expect("out", out_ref, oracle::dconv(&img, &flt, h, w, kh, kw));
     wl
 }

@@ -17,9 +17,66 @@
 //!
 //! All generators are deterministic in their seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use tyr_ir::Value;
+
+/// SplitMix64 — the dependency-free seeded PRNG behind every generator.
+///
+/// The repository builds with no registry access, so `rand` is deliberately
+/// not a dependency; SplitMix64 (Steele, Lea & Flood, OOPSLA '14 — the
+/// `java.util.SplittableRandom` mixer) gives 64 bits of well-mixed output
+/// per step from three shift-xor-multiply rounds, which is more than enough
+/// statistical quality for input synthesis. Determinism per seed is part of
+/// the public contract: figures and tests key on it.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`. Every seed, including 0, is valid.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits of the next output).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses the widening-multiply range reduction (Lemire), which avoids the
+    /// modulo bias of `next_u64() % n` without a rejection loop.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "gen_index range must be nonempty");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in the half-open range `[lo, hi)`.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi, "gen_range requires lo < hi");
+        lo + self.gen_index((hi - lo) as usize) as i64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
 
 /// A sparse matrix in compressed-sparse-row form (also used column-wise as
 /// CSC by spmspv — the format is symmetric in interpretation).
@@ -46,8 +103,8 @@ impl Csr {
 
 /// Small nonzero values keep products and long accumulations far from
 /// overflow while still exercising real arithmetic.
-fn small_val(rng: &mut StdRng) -> Value {
-    let v = rng.gen_range(1..=9);
+fn small_val(rng: &mut SplitMix64) -> Value {
+    let v = rng.gen_range(1, 10);
     if rng.gen_bool(0.5) {
         v
     } else {
@@ -57,7 +114,7 @@ fn small_val(rng: &mut StdRng) -> Value {
 
 /// Dense `rows × cols` matrix with small random entries.
 pub fn dense_matrix(seed: u64, rows: usize, cols: usize) -> Vec<Value> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..rows * cols).map(|_| small_val(&mut rng)).collect()
 }
 
@@ -69,7 +126,7 @@ pub fn dense_vector(seed: u64, n: usize) -> Vec<Value> {
 /// Uniform random CSR: ~`nnz` nonzeros spread evenly over the rows, sorted
 /// unique column indices per row.
 pub fn random_csr(seed: u64, rows: usize, cols: usize, nnz: usize) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let per_row = (nnz as f64 / rows as f64).max(0.0);
     let mut ptr = Vec::with_capacity(rows + 1);
     let mut idx = Vec::new();
@@ -79,10 +136,10 @@ pub fn random_csr(seed: u64, rows: usize, cols: usize, nnz: usize) -> Csr {
         // Poisson-ish row lengths around the mean, clamped to the width.
         let lo = per_row * 0.5;
         let hi = per_row * 1.5 + 1.0;
-        let k = (rng.gen_range(lo..hi) as usize).min(cols);
+        let k = (rng.gen_f64(lo, hi) as usize).min(cols);
         let mut row: Vec<Value> = Vec::with_capacity(k);
         while row.len() < k {
-            let c = rng.gen_range(0..cols) as Value;
+            let c = rng.gen_index(cols) as Value;
             if let Err(pos) = row.binary_search(&c) {
                 row.insert(pos, c);
             }
@@ -100,7 +157,7 @@ pub fn random_csr(seed: u64, rows: usize, cols: usize, nnz: usize) -> Csr {
 /// nonzeros at a `density` fraction of the columns in `[i-band, i+band]`,
 /// always including the diagonal.
 pub fn banded_csr(seed: u64, n: usize, band: usize, density: f64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut ptr = Vec::with_capacity(n + 1);
     let mut idx = Vec::new();
     let mut vals = Vec::new();
@@ -121,11 +178,11 @@ pub fn banded_csr(seed: u64, n: usize, band: usize, density: f64) -> Csr {
 
 /// A sparse vector: `nnz` sorted unique indices in `0..n` with small values.
 pub fn sparse_vector(seed: u64, n: usize, nnz: usize) -> (Vec<Value>, Vec<Value>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let nnz = nnz.min(n);
     let mut idxs: Vec<Value> = Vec::with_capacity(nnz);
     while idxs.len() < nnz {
-        let i = rng.gen_range(0..n) as Value;
+        let i = rng.gen_index(n) as Value;
         if let Err(pos) = idxs.binary_search(&i) {
             idxs.insert(pos, i);
         }
@@ -139,9 +196,9 @@ pub fn sparse_vector(seed: u64, n: usize, nnz: usize) -> (Vec<Value>, Vec<Value>
 /// counting kernel intersects. `k` is the (even) ring degree; `p` the
 /// rewiring probability.
 pub fn watts_strogatz_forward(seed: u64, n: usize, k: usize, p: f64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let k = k.max(2) & !1; // even, >= 2
-    // Adjacency sets via sorted vecs per node.
+                           // Adjacency sets via sorted vecs per node.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let add = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
         if a == b {
@@ -171,10 +228,10 @@ pub fn watts_strogatz_forward(seed: u64, n: usize, k: usize, p: f64) -> Csr {
                     if let Ok(pos2) = adj[v].binary_search(&u) {
                         adj[v].remove(pos2);
                     }
-                    let mut w = rng.gen_range(0..n);
+                    let mut w = rng.gen_index(n);
                     let mut guard = 0;
                     while (w == u || adj[u].binary_search(&w).is_ok()) && guard < 32 {
-                        w = rng.gen_range(0..n);
+                        w = rng.gen_index(n);
                         guard += 1;
                     }
                     if w != u && adj[u].binary_search(&w).is_err() {
@@ -205,6 +262,40 @@ pub fn watts_strogatz_forward(seed: u64, n: usize, k: usize, p: f64) -> Csr {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // First outputs for seed 0 from the published SplitMix64 reference
+        // implementation (Vigna's splitmix64.c).
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+        assert_ne!(a.next_u64(), SplitMix64::new(43).next_u64(), "seeds decorrelate");
+    }
+
+    #[test]
+    fn splitmix_ranges_are_in_bounds() {
+        let mut rng = SplitMix64::new(9);
+        let mut seen_hi = false;
+        let mut seen_lo = false;
+        for _ in 0..4096 {
+            let i = rng.gen_index(7);
+            assert!(i < 7);
+            seen_lo |= i == 0;
+            seen_hi |= i == 6;
+            let r = rng.gen_range(-3, 4);
+            assert!((-3..4).contains(&r));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(seen_lo && seen_hi, "gen_index should cover both endpoints");
+        // gen_bool tracks its probability roughly.
+        let heads = (0..4096).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((700..1350).contains(&heads), "gen_bool(0.25) gave {heads}/4096");
+    }
 
     #[test]
     fn dense_is_deterministic_and_small() {

@@ -28,14 +28,7 @@ pub fn dmm(a: &[Value], b: &[Value], n: usize) -> Vec<Value> {
 
 /// Dense 2-D convolution (valid padding): `img` is `h×w`, `flt` is `kh×kw`;
 /// output is `(h-kh+1)×(w-kw+1)`.
-pub fn dconv(
-    img: &[Value],
-    flt: &[Value],
-    h: usize,
-    w: usize,
-    kh: usize,
-    kw: usize,
-) -> Vec<Value> {
+pub fn dconv(img: &[Value], flt: &[Value], h: usize, w: usize, kh: usize, kw: usize) -> Vec<Value> {
     let oh = h - kh + 1;
     let ow = w - kw + 1;
     let mut out = vec![0; oh * ow];
@@ -152,7 +145,8 @@ mod tests {
     #[test]
     fn smv_matches_dense() {
         // CSR of [1 0; 2 3]
-        let m = Csr { rows: 2, cols: 2, ptr: vec![0, 1, 3], idx: vec![0, 0, 1], vals: vec![1, 2, 3] };
+        let m =
+            Csr { rows: 2, cols: 2, ptr: vec![0, 1, 3], idx: vec![0, 0, 1], vals: vec![1, 2, 3] };
         assert_eq!(smv(&m, &[10, 100]), vec![10, 320]);
     }
 

@@ -10,8 +10,8 @@ use tyr_ir::build::ProgramBuilder;
 use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
 
 use crate::gen::{self, Csr};
-use crate::workload::Workload;
 use crate::oracle;
+use crate::workload::Workload;
 
 /// Builds `y = M·x` for an explicit CSR matrix.
 pub fn build_from(m: &Csr, seed: u64) -> Workload {

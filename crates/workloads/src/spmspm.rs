@@ -7,8 +7,8 @@ use tyr_ir::build::ProgramBuilder;
 use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
 
 use crate::gen::{self, Csr};
-use crate::workload::Workload;
 use crate::oracle;
+use crate::workload::Workload;
 
 /// Builds `C = A·B` for explicit CSR operands of equal square dimension.
 ///
@@ -113,7 +113,13 @@ mod edge_tests {
     #[test]
     fn empty_rows_and_empty_matrix() {
         // A has an empty row; B has an empty row reachable through A.
-        let a = Csr { rows: 3, cols: 3, ptr: vec![0, 0, 2, 3], idx: vec![0, 2, 1], vals: vec![2, 3, 4] };
+        let a = Csr {
+            rows: 3,
+            cols: 3,
+            ptr: vec![0, 0, 2, 3],
+            idx: vec![0, 2, 1],
+            vals: vec![2, 3, 4],
+        };
         let b = Csr { rows: 3, cols: 3, ptr: vec![0, 1, 1, 2], idx: vec![1, 0], vals: vec![5, 7] };
         let w = build_from(&a, &b, 0);
         let mut mem = w.memory.clone();

@@ -11,8 +11,8 @@ use tyr_ir::build::ProgramBuilder;
 use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
 
 use crate::gen::{self, Csr};
-use crate::workload::Workload;
 use crate::oracle;
+use crate::workload::Workload;
 
 /// Builds spmspv from an explicit CSC matrix and a seeded sparse vector of
 /// `vnnz` nonzeros.

@@ -66,10 +66,7 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<Workload> {
 
 /// Builds all seven Table II applications at the given scale.
 pub fn suite(scale: Scale, seed: u64) -> Vec<Workload> {
-    APP_NAMES
-        .iter()
-        .map(|n| by_name(n, scale, seed).expect("known name"))
-        .collect()
+    APP_NAMES.iter().map(|n| by_name(n, scale, seed).expect("known name")).collect()
 }
 
 #[cfg(test)]

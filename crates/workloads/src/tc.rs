@@ -11,8 +11,8 @@ use tyr_ir::build::ProgramBuilder;
 use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
 
 use crate::gen::{self, Csr};
-use crate::workload::Workload;
 use crate::oracle;
+use crate::workload::Workload;
 
 /// Builds triangle counting over an explicit forward-adjacency CSR.
 pub fn build_from(g: &Csr, _seed: u64) -> Workload {
@@ -62,13 +62,8 @@ pub fn build_from(g: &Csr, _seed: u64) -> Workload {
     f.end_loop([u2], NO_OPERANDS);
     let program = pb.finish(f, [Operand::Const(0)]);
 
-    let mut w = Workload::new(
-        "tc",
-        format!("nodes: {}, edges: {}", g.rows, g.nnz()),
-        program,
-        mem,
-        vec![],
-    );
+    let mut w =
+        Workload::new("tc", format!("nodes: {}, edges: {}", g.rows, g.nnz()), program, mem, vec![]);
     w.expect("count", cnt_ref, vec![oracle::count_triangles(g)]);
     w
 }
@@ -129,7 +124,8 @@ mod edge_tests {
 
     #[test]
     fn single_triangle() {
-        let g = Csr { rows: 3, cols: 3, ptr: vec![0, 2, 3, 3], idx: vec![1, 2, 2], vals: vec![1; 3] };
+        let g =
+            Csr { rows: 3, cols: 3, ptr: vec![0, 2, 3, 3], idx: vec![1, 2, 2], vals: vec![1; 3] };
         let w = build_from(&g, 0);
         let mut mem = w.memory.clone();
         interp::run(&w.program, &mut mem, &w.args).unwrap();

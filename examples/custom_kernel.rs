@@ -9,8 +9,8 @@
 //! cargo run --release --example custom_kernel
 //! ```
 
-use tyr::prelude::*;
 use tyr::ir::NO_OPERANDS;
+use tyr::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const N: i64 = 500;
@@ -18,10 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Inputs: pseudo-random values (a simple LCG evaluated host-side).
     let mut mem = MemoryImage::new();
-    let data: Vec<i64> = (0..N).scan(12345u64, |s, _| {
-        *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        Some(((*s >> 33) % (BUCKETS as u64 * 3)) as i64)
-    }).collect();
+    let data: Vec<i64> = (0..N)
+        .scan(12345u64, |s, _| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Some(((*s >> 33) % (BUCKETS as u64 * 3)) as i64)
+        })
+        .collect();
     let data_ref = mem.alloc_init("data", &data);
     let hist_ref = mem.alloc("hist", BUCKETS as usize);
 
@@ -69,16 +71,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let dfg = lower_ordered(&p)?;
         let r = OrderedEngine::new(&dfg, mem.clone(), OrderedConfig::default()).run()?;
         assert_eq!(r.memory().slice(hist_ref), &expected[..]);
-        println!("{:<12} {:>10} {:>12} {:>10.1}", "ordered", r.cycles(), r.peak_live(), r.ipc.mean());
+        println!(
+            "{:<12} {:>10} {:>12} {:>10.1}",
+            "ordered",
+            r.cycles(),
+            r.peak_live(),
+            r.ipc.mean()
+        );
     }
     // Sequential engines.
     {
         let r = SeqVnEngine::new(&p, mem.clone(), SeqVnConfig::default()).run()?;
         assert_eq!(r.memory().slice(hist_ref), &expected[..]);
-        println!("{:<12} {:>10} {:>12} {:>10.1}", "seq-vN", r.cycles(), r.peak_live(), r.ipc.mean());
+        println!(
+            "{:<12} {:>10} {:>12} {:>10.1}",
+            "seq-vN",
+            r.cycles(),
+            r.peak_live(),
+            r.ipc.mean()
+        );
         let r = SeqDataflowEngine::new(&p, mem.clone(), SeqDataflowConfig::default()).run()?;
         assert_eq!(r.memory().slice(hist_ref), &expected[..]);
-        println!("{:<12} {:>10} {:>12} {:>10.1}", "seq-df", r.cycles(), r.peak_live(), r.ipc.mean());
+        println!(
+            "{:<12} {:>10} {:>12} {:>10.1}",
+            "seq-df",
+            r.cycles(),
+            r.peak_live(),
+            r.ipc.mean()
+        );
     }
 
     let max = expected.iter().max().unwrap();

@@ -25,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tyr.len(),
         tyr.blocks.len()
     );
-    eprintln!(
-        "unordered (Fig. 7a style): {:>3} nodes (no barriers, global tags)",
-        unordered.len()
-    );
+    eprintln!("unordered (Fig. 7a style): {:>3} nodes (no barriers, global tags)", unordered.len());
     for (i, b) in tyr.blocks.iter().enumerate() {
         let members = tyr.nodes.iter().filter(|n| n.block.0 as usize == i).count();
         eprintln!(

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run()?;
     workload.check(vn_run.memory())?;
 
-    println!("\n{:<12} {:>10} {:>12} {:>12} {:>10}", "system", "cycles", "peak tokens", "mean tokens", "mean IPC");
+    println!(
+        "\n{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "system", "cycles", "peak tokens", "mean tokens", "mean IPC"
+    );
     for (name, r) in [("seq-vN", &vn_run), ("unordered", &un_run), ("TYR", &tyr_run)] {
         println!(
             "{:<12} {:>10} {:>12} {:>12.1} {:>10.1}",

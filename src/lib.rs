@@ -22,6 +22,9 @@
 //! * [`workloads`] — the seven Table II kernels, input generators, and
 //!   plain-Rust oracles.
 //! * [`stats`] — traces, CDFs, geometric means, chart rendering.
+//! * [`verify`] — static analysis (free-barrier coverage, tag demand,
+//!   memory races, lifecycle lints) and translation validation over
+//!   lowered graphs, with stable diagnostic codes (`repro verify`).
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use tyr_ir as ir;
 pub use tyr_lang as lang;
 pub use tyr_sim as sim;
 pub use tyr_stats as stats;
+pub use tyr_verify as verify;
 pub use tyr_workloads as workloads;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -64,4 +68,5 @@ pub mod prelude {
     pub use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
     pub use tyr_sim::{Outcome, RunResult};
     pub use tyr_stats::{gmean, Cdf, IpcHistogram, Trace};
+    pub use tyr_verify::{validate_translations, verify, verify_with, Code, Report, Severity};
 }

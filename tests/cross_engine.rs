@@ -6,7 +6,11 @@ use tyr::workloads::{suite, Scale, Workload};
 
 fn check_tagged(w: &Workload, discipline: TaggingDiscipline, policy: TagPolicy) {
     let dfg = lower_tagged(&w.program, discipline).unwrap_or_else(|e| panic!("{}: {e}", w.name));
-    let cfg = TaggedConfig { tag_policy: policy.clone(), args: w.args.clone(), ..TaggedConfig::default() };
+    let cfg = TaggedConfig {
+        tag_policy: policy.clone(),
+        args: w.args.clone(),
+        ..TaggedConfig::default()
+    };
     let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg)
         .run()
         .unwrap_or_else(|e| panic!("{} ({policy:?}): {e}", w.name));

@@ -10,14 +10,11 @@
 //! * **Theorem 2 (bounded state):** TYR's peak live tokens never exceed
 //!   `T · N · M`.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use tyr::ir::build::{FuncBuilder, ProgramBuilder};
 use tyr::ir::validate::validate;
 use tyr::ir::{interp, Operand, Program};
 use tyr::prelude::*;
+use tyr::workloads::gen::SplitMix64;
 
 const SCRATCH_WORDS: i64 = 64; // power of two: addresses are masked into range
 
@@ -25,24 +22,24 @@ const SCRATCH_WORDS: i64 = 64; // power of two: addresses are masked into range
 /// value list; returns values defined at this level.
 fn gen_region(
     f: &mut FuncBuilder,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     avail: &mut Vec<Operand>,
     depth: u32,
     scratch_base: i64,
     budget: &mut u32,
 ) {
-    let n_stmts = rng.gen_range(1..=4);
+    let n_stmts = rng.gen_range(1, 5);
     for _ in 0..n_stmts {
         if *budget == 0 {
             return;
         }
         *budget -= 1;
-        match rng.gen_range(0..10) {
+        match rng.gen_range(0, 10) {
             // Pure ops (safe subset: no div/rem, shifts masked by eval).
             0..=3 => {
-                let a = avail[rng.gen_range(0..avail.len())];
-                let b = avail[rng.gen_range(0..avail.len())];
-                let v = match rng.gen_range(0..6) {
+                let a = avail[rng.gen_index(avail.len())];
+                let b = avail[rng.gen_index(avail.len())];
+                let v = match rng.gen_range(0, 6) {
                     0 => f.add(a, b),
                     1 => f.sub(a, b),
                     2 => f.xor_(a, b),
@@ -59,7 +56,7 @@ fn gen_region(
             // other half. Plain `store` is exercised by the kernel suite,
             // where disjointness is guaranteed.
             4 | 5 => {
-                let a = avail[rng.gen_range(0..avail.len())];
+                let a = avail[rng.gen_index(avail.len())];
                 let masked = f.and_(a, SCRATCH_WORDS / 2 - 1);
                 if rng.gen_bool(0.5) {
                     let addr = f.add(masked, scratch_base);
@@ -67,29 +64,29 @@ fn gen_region(
                     avail.push(v);
                 } else {
                     let addr = f.add(masked, scratch_base + SCRATCH_WORDS / 2);
-                    let v = avail[rng.gen_range(0..avail.len())];
+                    let v = avail[rng.gen_index(avail.len())];
                     f.store_add(addr, v);
                 }
             }
             // Select.
             6 => {
-                let c = avail[rng.gen_range(0..avail.len())];
-                let a = avail[rng.gen_range(0..avail.len())];
-                let b = avail[rng.gen_range(0..avail.len())];
+                let c = avail[rng.gen_index(avail.len())];
+                let a = avail[rng.gen_index(avail.len())];
+                let b = avail[rng.gen_index(avail.len())];
                 let v = f.select(c, a, b);
                 avail.push(v);
             }
             // If/else with a merge.
             7 => {
-                let c = avail[rng.gen_range(0..avail.len())];
+                let c = avail[rng.gen_index(avail.len())];
                 f.begin_if(c);
                 let t = {
-                    let a = avail[rng.gen_range(0..avail.len())];
+                    let a = avail[rng.gen_index(avail.len())];
                     f.add(a, 1)
                 };
                 f.begin_else();
                 let e = {
-                    let a = avail[rng.gen_range(0..avail.len())];
+                    let a = avail[rng.gen_index(avail.len())];
                     f.sub(a, 1)
                 };
                 let [m] = f.end_if([(t, e)]);
@@ -97,9 +94,9 @@ fn gen_region(
             }
             // Loop (bounded depth and trip count; may be zero-trip).
             _ if depth < 3 => {
-                let trip = rng.gen_range(0..5i64);
-                let extra = avail[rng.gen_range(0..avail.len())];
-                let label = format!("l{}_{}", depth, rng.gen::<u32>());
+                let trip = rng.gen_range(0, 5);
+                let extra = avail[rng.gen_index(avail.len())];
+                let label = format!("l{}_{}", depth, rng.next_u64() as u32);
                 let [i, acc, x] = f.begin_loop(&label, [0.into(), 0.into(), extra]);
                 let c = f.lt(i, trip);
                 f.begin_body(c);
@@ -113,7 +110,7 @@ fn gen_region(
                 avail.push(out);
             }
             _ => {
-                let a = avail[rng.gen_range(0..avail.len())];
+                let a = avail[rng.gen_index(avail.len())];
                 let v = f.neg(a);
                 avail.push(v);
             }
@@ -124,11 +121,12 @@ fn gen_region(
 /// Generates a whole random program (possibly with a helper function) and
 /// its scratch memory.
 fn gen_program(seed: u64) -> (Program, MemoryImage) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut mem = MemoryImage::new();
     // First half: read-only inputs; second half: zeroed accumulation cells.
-    let scratch: Vec<i64> =
-        (0..SCRATCH_WORDS).map(|i| if i < SCRATCH_WORDS / 2 { (i * 7 - 31) % 23 } else { 0 }).collect();
+    let scratch: Vec<i64> = (0..SCRATCH_WORDS)
+        .map(|i| if i < SCRATCH_WORDS / 2 { (i * 7 - 31) % 23 } else { 0 })
+        .collect();
     let scratch_ref = mem.alloc_init("scratch", &scratch);
 
     let mut pb = ProgramBuilder::new();
@@ -152,8 +150,8 @@ fn gen_program(seed: u64) -> (Program, MemoryImage) {
     let mut budget = 24u32;
     gen_region(&mut f, &mut rng, &mut avail, 0, scratch_ref.base_const(), &mut budget);
     if let Some(h) = helper {
-        let a = avail[rng.gen_range(0..avail.len())];
-        let b = avail[rng.gen_range(0..avail.len())];
+        let a = avail[rng.gen_index(avail.len())];
+        let b = avail[rng.gen_index(avail.len())];
         let r = f.call(h, &[a, b], 1);
         avail.push(r[0]);
         // Call it twice: the callee's tag space is shared across call sites.
@@ -234,12 +232,17 @@ fn run_all_engines_and_compare(seed: u64) {
     assert_eq!(r.returns, oracle.returns, "seed {seed}: seq-df wrong result");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, failure_persistence: None, ..ProptestConfig::default() })]
+/// Number of randomized cases: a quick budget by default, the full fuzzing
+/// budget under the default-off `slow-tests` feature.
+const CASES: u64 = if cfg!(feature = "slow-tests") { 96 } else { 24 };
 
-    #[test]
-    fn random_programs_agree_across_all_engines(seed in any::<u64>()) {
-        run_all_engines_and_compare(seed);
+#[test]
+fn random_programs_agree_across_all_engines() {
+    // Seeds are themselves drawn from a seeded stream so every CI run
+    // exercises identical programs while still covering the full u64 range.
+    let mut seeds = SplitMix64::new(0x7152_5f64_6667);
+    for _ in 0..CASES {
+        run_all_engines_and_compare(seeds.next_u64());
     }
 }
 
