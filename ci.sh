@@ -9,5 +9,7 @@ cargo clippy --offline --all-targets -- -D warnings
 cargo build --offline --release
 cargo test --offline -q
 # The full static-analysis + translation-validation battery over the suite
-# (tiny scale keeps the gate fast); exits nonzero on any diagnostic error.
+# (tiny scale keeps the gate fast), including the Fig. 11 and ordered-FIFO
+# static-vs-dynamic cross-validations; exits nonzero on any diagnostic
+# error or cross-validation disagreement.
 target/release/repro --scale tiny verify

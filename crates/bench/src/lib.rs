@@ -106,6 +106,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
             let c = OrderedConfig {
                 issue_width: cfg.issue_width,
                 queue_depth: cfg.queue_depth,
+                depth_overrides: Vec::new(),
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
                 mem_latency: cfg.mem_latency,

@@ -7,19 +7,33 @@
 //! memory races against the actual memory image — then every lowering is
 //! replayed against the reference interpreter (translation validation).
 //!
-//! Finally the Fig. 11 deadlock is *cross-validated*: the static
-//! tag-demand pass must predict from graph shape alone that dmv under a
-//! bounded global pool can deadlock, the dynamic detector must confirm it
-//! on a real run, and the same pair must agree that TYR's local spaces
-//! with the Theorem-1 minimum of 2 tags are safe and complete.
+//! The *ordered* lowering of every app is checked too: the channel-
+//! occupancy pass computes per-edge minimum FIFO depths and checks them
+//! against the capacity the harness would run with (`--queue`).
+//!
+//! Finally the static verdicts are *cross-validated* against the engines'
+//! dynamic detectors:
+//!
+//! * Fig. 11 — the static tag-demand pass must predict from graph shape
+//!   alone that dmv under a bounded global pool can deadlock, the dynamic
+//!   detector must confirm it on a real run, and the same pair must agree
+//!   that TYR's local spaces with the Theorem-1 minimum of 2 tags are safe
+//!   and complete.
+//! * Ordered FIFOs — for every kernel's ordered lowering, a configuration
+//!   the occupancy pass calls safe (no O001) must complete in the ordered
+//!   engine, and a configuration it calls doomed (a live edge under its
+//!   static minimum) must trip the engine's back-pressure deadlock
+//!   detector, with a stall witness naming the starved edge.
 
-use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+use tyr_dfg::NodeKind;
+use tyr_sim::ordered::{ChannelCapacity, OrderedConfig, OrderedEngine};
 use tyr_sim::tagged::TagPolicy;
 use tyr_verify::{
-    analyze_tag_demand, check_tag_policy, predict_global, validate_translations, verify_with, Code,
-    GlobalPrediction, Report,
+    analyze_tag_demand, check_channel_capacity, check_tag_policy, predict_global,
+    validate_translations, verify_ordered, verify_with, Code, GlobalPrediction, Report,
 };
-use tyr_workloads::{dmv, suite};
+use tyr_workloads::{dmv, suite, Scale};
 
 use crate::figures::Ctx;
 use crate::LoweredWorkload;
@@ -74,11 +88,30 @@ pub fn run(ctx: &Ctx) -> bool {
             };
             account(&report, &mut errors, &mut warnings);
         }
+        let title = format!("{}/ordered", w.name);
+        let report = match lower_ordered(&w.program) {
+            Ok(dfg) => verify_ordered(
+                &title,
+                &dfg,
+                &ChannelCapacity::uniform(ctx.cfg.queue_depth),
+                Some((&w.memory, &w.args)),
+            ),
+            Err(e) => {
+                let mut r = Report::new(&title);
+                r.push(tyr_verify::Diagnostic::global(
+                    Code::TvFault,
+                    format!("lowering failed: {e}"),
+                ));
+                r
+            }
+        };
+        account(&report, &mut errors, &mut warnings);
         let tv = validate_translations(&w.name, &w.program, &w.memory, &w.args);
         account(&tv, &mut errors, &mut warnings);
     }
 
     errors += fig11_cross_validation(ctx);
+    errors += ordered_cross_validation(ctx);
 
     println!("verify: {errors} error(s), {warnings} warning(s) across the suite");
     errors == 0
@@ -130,5 +163,118 @@ fn fig11_cross_validation(ctx: &Ctx) -> usize {
     let r = lw.run_tyr(local, ctx.cfg.issue_width);
     check("dynamic: Local(2) completes (Theorem 1)", r.is_complete());
 
+    failures
+}
+
+/// Every kernel's ordered lowering, static occupancy verdict vs. the
+/// engine's back-pressure deadlock detector.
+///
+/// Three configurations per kernel (always at `Scale::Tiny`, so the
+/// dynamic legs stay fast regardless of `--scale`):
+///
+/// 1. the harness depth (`--queue`, default 4) — predicted safe, must
+///    complete;
+/// 2. uniform depth 1, the static minimum of every live edge — still
+///    predicted safe, must complete (back-pressure throttles but cannot
+///    wedge a loop whose edges all hold one token);
+/// 3. a victim edge (a loop-carry `CMerge`'s control input) squeezed to
+///    capacity 0 — O001, and the engine must deadlock with a stall
+///    witness naming a back-pressured producer.
+///
+/// Returns the number of disagreements (0 when static and dynamic worlds
+/// agree everywhere).
+fn ordered_cross_validation(ctx: &Ctx) -> usize {
+    println!("-- ordered-FIFO cross-validation: static occupancy vs. back-pressure detector --");
+    let mut failures = 0usize;
+
+    for w in &suite(Scale::Tiny, ctx.seed) {
+        let dfg = match lower_ordered(&w.program) {
+            Ok(d) => d,
+            Err(e) => {
+                println!("  FAIL {}: ordered lowering failed: {e}", w.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let victim = dfg
+            .nodes
+            .iter()
+            .position(
+                |n| matches!(&n.kind, NodeKind::CMerge { initial_ctl } if !initial_ctl.is_empty()),
+            )
+            .map(|i| i as u32);
+
+        // (leg label, uniform depth, per-edge overrides)
+        let mut legs = vec![
+            (format!("uniform depth {}", ctx.cfg.queue_depth), ctx.cfg.queue_depth, Vec::new()),
+            ("uniform depth 1 (the static minimum)".to_string(), 1, Vec::new()),
+        ];
+        match victim {
+            Some(cm) => legs.push((
+                format!("victim: edge into n{cm}.i0 at capacity 0"),
+                ctx.cfg.queue_depth,
+                vec![((cm, 0u16), 0usize)],
+            )),
+            // Every Table II kernel loops, so a missing loop-carry CMerge
+            // means the lowering changed shape under this analysis' feet.
+            None => {
+                println!("  FAIL {}: no loop-carry CMerge to squeeze", w.name);
+                failures += 1;
+            }
+        }
+
+        for (label, depth, overrides) in legs {
+            let mut caps = ChannelCapacity::uniform(depth);
+            for &((n, p), c) in &overrides {
+                caps = caps.with_override(n, p, c);
+            }
+            let predicts_deadlock = check_channel_capacity(&dfg, &caps)
+                .iter()
+                .any(|d| d.code == Code::ChannelBelowMinimum);
+            let cfg = OrderedConfig {
+                issue_width: ctx.cfg.issue_width,
+                queue_depth: depth,
+                depth_overrides: overrides,
+                args: w.args.clone(),
+                max_cycles: 200_000_000,
+                mem_latency: ctx.cfg.mem_latency,
+            };
+            let (completed, witness) = match OrderedEngine::new(&dfg, w.memory.clone(), cfg).run() {
+                Ok(r) => {
+                    let witness = match &r.outcome {
+                        tyr_sim::Outcome::Deadlock { pending_allocates, .. } => {
+                            pending_allocates.clone()
+                        }
+                        _ => Vec::new(),
+                    };
+                    (r.is_complete(), witness)
+                }
+                Err(e) => {
+                    println!("  FAIL {}: {label}: engine fault: {e}", w.name);
+                    failures += 1;
+                    continue;
+                }
+            };
+            let agree = if completed {
+                !predicts_deadlock
+            } else {
+                predicts_deadlock && !witness.is_empty()
+            };
+            println!(
+                "  {} {}: {label}: static says {}, engine {}",
+                if agree { "ok  " } else { "FAIL" },
+                w.name,
+                if predicts_deadlock { "deadlock (O001)" } else { "safe" },
+                if completed {
+                    "completed".to_string()
+                } else {
+                    format!("deadlocked ({} stalled)", witness.len())
+                },
+            );
+            if !agree {
+                failures += 1;
+            }
+        }
+    }
     failures
 }

@@ -234,6 +234,22 @@ pub struct BlockInfo {
     pub is_loop: bool,
 }
 
+/// One static wire of a [`Dfg`]: producer output port → consumer input
+/// port. Produced by [`Dfg::edges`]; the unit of reasoning for per-edge
+/// analyses (the ordered engine's FIFO capacities are per consumer port,
+/// i.e. per edge bundle sharing a consumer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Producer node.
+    pub from: NodeId,
+    /// Producer output port.
+    pub from_port: u16,
+    /// Consumer node.
+    pub to: NodeId,
+    /// Consumer input port.
+    pub to_port: u16,
+}
+
 /// An elaborated dataflow graph.
 #[derive(Debug, Clone)]
 pub struct Dfg {
@@ -277,6 +293,22 @@ impl Dfg {
             .map(|n| n.ins.iter().filter(|i| matches!(i, InKind::Wire)).count())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Iterates every static wire, in producer order. Dynamically routed
+    /// `changeTag.dyn` deliveries are not static wires and are not
+    /// included (see the verifier's `dyn_targets` for those).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes.iter().enumerate().flat_map(|(ni, n)| {
+            n.outs.iter().enumerate().flat_map(move |(q, targets)| {
+                targets.iter().map(move |t| Edge {
+                    from: NodeId(ni as u32),
+                    from_port: q as u16,
+                    to: t.node,
+                    to_port: t.port,
+                })
+            })
+        })
     }
 
     /// Looks up a block id by name.
@@ -560,6 +592,29 @@ mod tests {
             "add",
         );
         g.connect(src, 0, PortRef { node: add, port: 1 });
+    }
+
+    #[test]
+    fn edges_enumerates_every_static_wire() {
+        let mut g = GraphBuilder::new();
+        let root = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, root, vec![], 2, "src");
+        let add =
+            g.add_node(NodeKind::Alu(AluOp::Add), root, vec![InKind::Wire, InKind::Wire], 1, "add");
+        let sink = g.add_node(NodeKind::Sink, root, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: add, port: 0 });
+        g.connect(src, 1, PortRef { node: add, port: 1 });
+        g.connect(add, 0, PortRef { node: sink, port: 0 });
+        let dfg = g.finish(src, sink, 1);
+        let edges: Vec<Edge> = dfg.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                Edge { from: src, from_port: 0, to: add, to_port: 0 },
+                Edge { from: src, from_port: 1, to: add, to_port: 1 },
+                Edge { from: add, from_port: 0, to: sink, to_port: 0 },
+            ]
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod graph;
 pub mod lower;
 
 pub use graph::{
-    AllocKind, BlockId, BlockInfo, Dfg, GraphBuilder, InKind, Node, NodeId, NodeKind, PortRef,
-    ROOT_BLOCK,
+    AllocKind, BlockId, BlockInfo, Dfg, Edge, GraphBuilder, InKind, Node, NodeId, NodeKind,
+    PortRef, ROOT_BLOCK,
 };
 pub use lower::{LowerError, TaggingDiscipline};

@@ -20,6 +20,43 @@ use tyr_stats::{IpcHistogram, Trace};
 
 use crate::result::{Outcome, RunResult, SimError};
 
+/// Per-edge FIFO capacities: a uniform default plus targeted overrides.
+///
+/// Capacities are keyed by the *consumer* input port `(node, port)` — the
+/// same indexing as the engine's FIFO array — because every edge has
+/// exactly one consumer port while an output port may fan out. This is the
+/// configuration surface the static occupancy pass (`tyr-verify`'s `O…`
+/// diagnostics) checks against, the way `check_tag_policy` checks a
+/// [`TagPolicy`](crate::tagged::TagPolicy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelCapacity {
+    /// Capacity of every edge without an override.
+    pub default: usize,
+    /// `((consumer node id, input port), capacity)` exceptions.
+    pub overrides: Vec<((u32, u16), usize)>,
+}
+
+impl ChannelCapacity {
+    /// Every edge at `default`.
+    pub fn uniform(default: usize) -> Self {
+        ChannelCapacity { default, overrides: Vec::new() }
+    }
+
+    /// Builder: overrides the capacity of the edge into `(node, port)`.
+    pub fn with_override(mut self, node: u32, port: u16, capacity: usize) -> Self {
+        self.overrides.push(((node, port), capacity));
+        self
+    }
+
+    /// The capacity of the edge into input `port` of `node`.
+    pub fn of(&self, node: u32, port: u16) -> usize {
+        self.overrides
+            .iter()
+            .find(|((n, p), _)| *n == node && *p == port)
+            .map_or(self.default, |&(_, c)| c)
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct OrderedConfig {
@@ -28,6 +65,9 @@ pub struct OrderedConfig {
     /// FIFO capacity per edge (the paper's baseline uses 4, which
     /// "empirically minimizes peak state with minimal loss in performance").
     pub queue_depth: usize,
+    /// Per-edge capacity exceptions, keyed by consumer `(node, port)`;
+    /// edges not listed use `queue_depth`. See [`ChannelCapacity`].
+    pub depth_overrides: Vec<((u32, u16), usize)>,
     /// Program arguments.
     pub args: Vec<Value>,
     /// Safety limit on simulated cycles.
@@ -38,11 +78,19 @@ pub struct OrderedConfig {
     pub mem_latency: u64,
 }
 
+impl OrderedConfig {
+    /// The per-edge capacity map this configuration induces.
+    pub fn capacity(&self) -> ChannelCapacity {
+        ChannelCapacity { default: self.queue_depth, overrides: self.depth_overrides.clone() }
+    }
+}
+
 impl Default for OrderedConfig {
     fn default() -> Self {
         OrderedConfig {
             issue_width: 128,
             queue_depth: 4,
+            depth_overrides: Vec::new(),
             args: Vec::new(),
             max_cycles: 500_000_000,
             mem_latency: 1,
@@ -55,6 +103,8 @@ pub struct OrderedEngine<'a> {
     dfg: &'a Dfg,
     mem: MemoryImage,
     cfg: OrderedConfig,
+    /// Resolved per-edge capacity: `caps[node][port]`.
+    caps: Vec<Vec<usize>>,
     /// One FIFO per wired input port: `fifos[node][port]`.
     fifos: Vec<Vec<VecDeque<Value>>>,
     source_fired: bool,
@@ -102,10 +152,18 @@ impl<'a> OrderedEngine<'a> {
                 qs
             })
             .collect();
+        let capacity = cfg.capacity();
+        let caps: Vec<Vec<usize>> = dfg
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(ni, n)| (0..n.ins.len()).map(|p| capacity.of(ni as u32, p as u16)).collect())
+            .collect();
         OrderedEngine {
             dfg,
             mem,
             cfg,
+            caps,
             fifos,
             source_fired: false,
             delayed: vec![VecDeque::new(); dfg.len()],
@@ -122,9 +180,84 @@ impl<'a> OrderedEngine<'a> {
     fn outputs_have_space(&self, idx: usize) -> bool {
         self.dfg.nodes[idx].outs.iter().all(|targets| {
             targets.iter().all(|t| {
-                self.fifos[t.node.0 as usize][t.port as usize].len() < self.cfg.queue_depth
+                self.fifos[t.node.0 as usize][t.port as usize].len()
+                    < self.caps[t.node.0 as usize][t.port as usize]
             })
         })
+    }
+
+    /// Describes why each stuck node is stuck, for the deadlock outcome:
+    /// either starved (some wired input FIFO empty) or back-pressured (a
+    /// full downstream FIFO, named with its capacity). Only nodes actually
+    /// holding tokens are listed — they are the wavefront of the wedge.
+    fn stall_witness(&self) -> Vec<String> {
+        const MAX_LINES: usize = 12;
+        let mut out = Vec::new();
+        for idx in 0..self.dfg.len() {
+            let n = &self.dfg.nodes[idx];
+            let held: usize = self.fifos[idx].iter().map(|q| q.len()).sum();
+            if held == 0 || matches!(n.kind, NodeKind::Source) {
+                continue;
+            }
+            let starved =
+                n.ins.iter().enumerate().find(|(p, kind)| {
+                    matches!(kind, InKind::Wire) && self.fifos[idx][*p].is_empty()
+                });
+            let reason = if let Some((p, _)) = starved {
+                format!("starved on i{p}")
+            } else if let Some(t) = n
+                .outs
+                .iter()
+                .flatten()
+                .find(|t| !self.outputs_have_space_at(t.node.0 as usize, t.port as usize))
+            {
+                let (tn, tp) = (t.node.0 as usize, t.port as usize);
+                format!(
+                    "back-pressured: {}.i{} full ({}/{})",
+                    self.dfg.nodes[tn].label,
+                    tp,
+                    self.fifos[tn][tp].len(),
+                    self.caps[tn][tp],
+                )
+            } else {
+                // e.g. a CMerge whose selected side is empty.
+                "not fireable".to_string()
+            };
+            if out.len() == MAX_LINES {
+                out.push("…".to_string());
+                break;
+            }
+            out.push(format!("{} holds {held} token(s), {reason}", n.label));
+        }
+        out
+    }
+
+    fn outputs_have_space_at(&self, node: usize, port: usize) -> bool {
+        self.fifos[node][port].len() < self.caps[node][port]
+    }
+
+    /// Whether `idx` could fire if its output FIFOs had room — i.e. it is
+    /// blocked *only* by back-pressure. At quiescence this is a wedge, not
+    /// a normal end state: nothing will ever fire again, so the full
+    /// downstream FIFO can never drain and the held tokens are lost. (A
+    /// merely *starved* node at quiescence is normal — the loops' final
+    /// control tokens always end up starved.)
+    fn back_pressured(&self, idx: usize) -> bool {
+        let n = &self.dfg.nodes[idx];
+        match &n.kind {
+            NodeKind::Source => !self.source_fired && !self.outputs_have_space(idx),
+            NodeKind::Sink => false,
+            NodeKind::CMerge { .. } => {
+                let Some(&ctl) = self.fifos[idx][0].front() else { return false };
+                let side = if ctl == 0 { 1 } else { 2 };
+                let side_ok = match n.ins[side] {
+                    InKind::Imm(_) => true,
+                    InKind::Wire => !self.fifos[idx][side].is_empty(),
+                };
+                side_ok && !self.outputs_have_space(idx)
+            }
+            _ => self.wired_inputs_ready(idx) && !self.outputs_have_space(idx),
+        }
     }
 
     fn wired_inputs_ready(&self, idx: usize) -> bool {
@@ -282,7 +415,7 @@ impl<'a> OrderedEngine<'a> {
                         }
                         let has_space = self.dfg.nodes[idx].outs[0].iter().all(|t| {
                             self.fifos[t.node.0 as usize][t.port as usize].len()
-                                < self.cfg.queue_depth
+                                < self.caps[t.node.0 as usize][t.port as usize]
                         });
                         if !has_space {
                             break;
@@ -321,8 +454,12 @@ impl<'a> OrderedEngine<'a> {
                 }
                 // Quiescent. The sink's return tokens may arrive long before
                 // the last stores drain, so completion is only declared once
-                // nothing can fire anymore.
-                return if let Some(returns) = self.returns.take() {
+                // nothing can fire anymore — and only if no node is wedged
+                // behind a full FIFO. A return value independent of a loop
+                // (e.g. a kernel whose real output is memory) must not mask
+                // a back-pressure deadlock that wedged the loop's stores.
+                let wedged = (0..self.dfg.len()).any(|i| self.back_pressured(i));
+                return if let Some(returns) = self.returns.take().filter(|_| !wedged) {
                     Ok(RunResult::new(
                         Outcome::Completed { cycles: self.cycle, dyn_instrs: self.fired_total },
                         self.trace,
@@ -331,11 +468,12 @@ impl<'a> OrderedEngine<'a> {
                         returns,
                     ))
                 } else {
+                    let witness = self.stall_witness();
                     Ok(RunResult::new(
                         Outcome::Deadlock {
                             cycle: self.cycle,
                             live_tokens: self.live,
-                            pending_allocates: Vec::new(),
+                            pending_allocates: witness,
                         },
                         self.trace,
                         self.ipc,
@@ -482,6 +620,63 @@ mod stall_tests {
             Outcome::Deadlock { live_tokens, .. } => assert_eq!(live_tokens, 2),
             other => panic!("expected stall, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn capacity_override_resolves_per_edge() {
+        let caps = ChannelCapacity::uniform(4).with_override(7, 0, 0).with_override(7, 1, 9);
+        assert_eq!(caps.of(3, 0), 4);
+        assert_eq!(caps.of(7, 0), 0);
+        assert_eq!(caps.of(7, 1), 9);
+        let cfg = OrderedConfig {
+            queue_depth: 4,
+            depth_overrides: vec![((7, 0), 0)],
+            ..OrderedConfig::default()
+        };
+        assert_eq!(cfg.capacity().of(7, 0), 0);
+        assert_eq!(cfg.capacity().of(7, 1), 4);
+    }
+
+    #[test]
+    fn zero_capacity_on_a_loop_control_edge_deadlocks_with_a_witness() {
+        // Wedge the loop: the comparison can never forward its decision into
+        // the carry CMerge's control FIFO, so after the primed first
+        // iteration nothing can fire. The outcome must be a deadlock whose
+        // witness names the back-pressured edge.
+        use tyr_dfg::lower::lower_ordered;
+        use tyr_ir::build::ProgramBuilder;
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("l", [0]);
+        let c = f.lt(i, 10);
+        f.begin_body(c);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2], [i]);
+        let p = pb.finish(f, [out]);
+        let dfg = lower_ordered(&p).unwrap();
+        let cm = dfg
+            .nodes
+            .iter()
+            .position(
+                |n| matches!(&n.kind, NodeKind::CMerge { initial_ctl } if !initial_ctl.is_empty()),
+            )
+            .expect("a primed loop-carry CMerge") as u32;
+
+        let cfg = OrderedConfig { depth_overrides: vec![((cm, 0), 0)], ..OrderedConfig::default() };
+        let r = OrderedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        match r.outcome {
+            Outcome::Deadlock { ref pending_allocates, .. } => {
+                assert!(
+                    pending_allocates.iter().any(|s| s.contains("back-pressured")),
+                    "witness must name the full edge: {pending_allocates:?}"
+                );
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        // The same graph with the override removed completes.
+        let r =
+            OrderedEngine::new(&dfg, MemoryImage::new(), OrderedConfig::default()).run().unwrap();
+        assert!(r.is_complete());
     }
 
     #[test]

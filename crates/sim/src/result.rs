@@ -22,7 +22,9 @@ pub enum Outcome {
         cycle: u64,
         /// Live tokens stranded in the machine.
         live_tokens: u64,
-        /// Human-readable descriptions of the stalled tag allocations.
+        /// Human-readable descriptions of what is wedged: pending tag
+        /// allocations (tagged engine) or starved/back-pressured nodes
+        /// (ordered engine).
         pending_allocates: Vec<String>,
     },
 }

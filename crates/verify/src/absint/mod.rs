@@ -1,0 +1,314 @@
+//! A generic monotone framework for abstract interpretation over lowered
+//! dataflow graphs.
+//!
+//! Every deep static pass in this crate needs the same machinery: an
+//! efficient *reverse* view of the graph's edges (the `Dfg` stores edges
+//! forward, producer → consumer, so "who feeds this input port?" is an
+//! O(nodes × edges) scan without one), and a fixpoint loop that propagates
+//! abstract values until nothing changes. This module provides both, once:
+//!
+//! * [`EdgeMaps`] — precomputed forward/backward adjacency plus a per-input-
+//!   port producer list, with the dynamically routed `changeTag.dyn` edges
+//!   synthesized in (see [`crate::passes`]);
+//! * [`Lattice`] — the join-semilattice contract an abstract domain must
+//!   satisfy;
+//! * [`Analysis`] — per-node transfer functions keyed on
+//!   [`NodeKind`](tyr_dfg::NodeKind), with hooks for immediates, per-output
+//!   refinement (the `Source` node carries one program argument per port),
+//!   and widening;
+//! * [`fixpoint`] — the worklist engine: monotone joins per node, widening
+//!   after a bounded number of updates so infinite-height domains (strided
+//!   intervals, path lengths) still terminate.
+//!
+//! Clients: the index-set analysis ([`indexset`]) behind the sharpened race
+//! pass, the ordered-channel occupancy analysis ([`occupancy`]) behind the
+//! `O…` diagnostics, and the race pass itself
+//! ([`check_races`](crate::passes::check_races)), whose segment-mask
+//! propagation is the pointer component of the index-set domain.
+
+pub mod indexset;
+pub mod occupancy;
+pub mod si;
+
+use std::collections::VecDeque;
+
+use tyr_dfg::{Dfg, InKind, NodeId, NodeKind};
+use tyr_ir::Value;
+
+use crate::passes::dyn_targets;
+
+/// A join-semilattice: the value domain of an [`Analysis`].
+///
+/// `bottom` is the least element (no information / unreachable);
+/// [`join_from`](Lattice::join_from) computes the least upper bound in
+/// place. The framework only ever moves values *up* the lattice, so
+/// `join_from` returning `false` (no change) is what drives termination.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element.
+    fn bottom() -> Self;
+
+    /// Joins `other` into `self`; returns whether `self` changed.
+    fn join_from(&mut self, other: &Self) -> bool;
+}
+
+/// Precomputed edge views over a [`Dfg`], shared by every pass.
+///
+/// Built once per pass invocation in O(edges); all lookups are O(1) per
+/// edge thereafter. This is what fixed the race pass's former
+/// O(nodes × edges)-per-query input scan.
+pub struct EdgeMaps {
+    /// `producers[n][p]` = every `(producer, out_port)` wired into input
+    /// port `p` of node `n` (static wires only; dynamic routing has no
+    /// fixed target port).
+    pub producers: Vec<Vec<Vec<(NodeId, u16)>>>,
+    /// `succs[n]` = nodes receiving tokens from node `n`, deduplicated,
+    /// including synthesized `changeTag.dyn` routing edges.
+    pub succs: Vec<Vec<NodeId>>,
+    /// `preds[n]` = nodes feeding node `n`, deduplicated, including
+    /// synthesized `changeTag.dyn` routing edges.
+    pub preds: Vec<Vec<NodeId>>,
+}
+
+impl EdgeMaps {
+    /// Builds the edge maps for `dfg`.
+    ///
+    /// Edges into nonexistent nodes or ports (structural errors reported by
+    /// [`check_structure`](crate::passes::check_structure)) are silently
+    /// dropped so downstream passes stay total on malformed graphs.
+    pub fn new(dfg: &Dfg) -> Self {
+        let n = dfg.nodes.len();
+        let mut producers: Vec<Vec<Vec<(NodeId, u16)>>> =
+            dfg.nodes.iter().map(|node| vec![Vec::new(); node.ins.len()]).collect();
+        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut add_adj = |from: NodeId, to: NodeId| {
+            if (from.0 as usize) < n && (to.0 as usize) < n {
+                let s = &mut succs[from.0 as usize];
+                if s.last() != Some(&to) && !s.contains(&to) {
+                    s.push(to);
+                }
+                let p = &mut preds[to.0 as usize];
+                if p.last() != Some(&from) && !p.contains(&from) {
+                    p.push(from);
+                }
+            }
+        };
+        for e in dfg.edges() {
+            add_adj(e.from, e.to);
+            if let Some(ports) = producers.get_mut(e.to.0 as usize) {
+                if let Some(list) = ports.get_mut(e.to_port as usize) {
+                    list.push((e.from, e.from_port));
+                }
+            }
+        }
+        for (ni, node) in dfg.nodes.iter().enumerate() {
+            if matches!(node.kind, NodeKind::ChangeTagDyn) {
+                for t in dyn_targets(dfg, NodeId(ni as u32)) {
+                    add_adj(NodeId(ni as u32), t.node);
+                }
+            }
+        }
+        EdgeMaps { producers, succs, preds }
+    }
+}
+
+/// An abstract interpretation over a [`Dfg`]: a value domain plus transfer
+/// functions.
+///
+/// The framework computes one abstract value per node (the value "on the
+/// node's data outputs"); multi-output nodes whose ports carry different
+/// values refine per port via [`output`](Analysis::output).
+pub trait Analysis {
+    /// The abstract value domain.
+    type Value: Lattice;
+
+    /// The abstract value for an immediate input.
+    fn immediate(&self, dfg: &Dfg, node: usize, port: u16, value: Value) -> Self::Value;
+
+    /// The transfer function of node `node`: computes its output value from
+    /// its input values. `input(p)` is the join over every producer wired
+    /// into input port `p` (or the lifted immediate).
+    fn transfer(
+        &self,
+        dfg: &Dfg,
+        node: usize,
+        input: &mut dyn FnMut(u16) -> Self::Value,
+    ) -> Self::Value;
+
+    /// Refines the per-node value for one output port. The default returns
+    /// the node value unchanged; the index-set analysis overrides this for
+    /// `Source`, whose ports carry distinct program arguments.
+    fn output(&self, _dfg: &Dfg, _node: usize, _port: u16, value: &Self::Value) -> Self::Value {
+        value.clone()
+    }
+
+    /// Accelerates convergence on infinite-height domains: called instead of
+    /// a plain join once a node's value has changed [`WIDEN_AFTER`] times.
+    /// Must return an upper bound of both arguments that eventually
+    /// stabilizes. The default (returning `new`) is only correct for
+    /// finite-height domains.
+    fn widen(&self, _old: &Self::Value, new: &Self::Value) -> Self::Value {
+        new.clone()
+    }
+}
+
+/// Number of per-node updates before [`Analysis::widen`] kicks in. Small
+/// enough to bound work on deep loop nests, large enough to let short
+/// constant chains resolve exactly first.
+pub const WIDEN_AFTER: u32 = 4;
+
+/// The abstract value arriving at input `port` of `node` under `values`
+/// (typically a [`fixpoint`] result): the lifted immediate, or the join of
+/// every wired producer's per-port [`output`](Analysis::output). This is
+/// what the engine feeds transfer functions, exposed so passes can query
+/// port values — e.g. the race pass reading access addresses — after the
+/// fixpoint.
+pub fn input_value<A: Analysis>(
+    dfg: &Dfg,
+    maps: &EdgeMaps,
+    analysis: &A,
+    values: &[A::Value],
+    node: usize,
+    port: u16,
+) -> A::Value {
+    match dfg.nodes[node].ins.get(port as usize) {
+        Some(InKind::Imm(v)) => analysis.immediate(dfg, node, port, *v),
+        Some(InKind::Wire) => {
+            let mut acc = A::Value::bottom();
+            for &(p, q) in &maps.producers[node][port as usize] {
+                let pi = p.0 as usize;
+                acc.join_from(&analysis.output(dfg, pi, q, &values[pi]));
+            }
+            acc
+        }
+        None => A::Value::bottom(),
+    }
+}
+
+/// Runs `analysis` to fixpoint over `dfg` and returns the per-node values.
+///
+/// Standard worklist iteration: every node starts at bottom and is
+/// re-evaluated whenever one of its producers changes; values only move up
+/// the lattice (the new value is *joined* into the old, never assigned), so
+/// with a correct [`widen`](Analysis::widen) the loop terminates on any
+/// graph, cyclic or not.
+pub fn fixpoint<A: Analysis>(dfg: &Dfg, maps: &EdgeMaps, analysis: &A) -> Vec<A::Value> {
+    let n = dfg.nodes.len();
+    let mut values: Vec<A::Value> = vec![A::Value::bottom(); n];
+    let mut updates: Vec<u32> = vec![0; n];
+    let mut queued = vec![true; n];
+    let mut work: VecDeque<usize> = (0..n).collect();
+    while let Some(ni) = work.pop_front() {
+        queued[ni] = false;
+        let computed = {
+            let values = &values;
+            let mut input =
+                |port: u16| -> A::Value { input_value(dfg, maps, analysis, values, ni, port) };
+            analysis.transfer(dfg, ni, &mut input)
+        };
+        let next = if updates[ni] >= WIDEN_AFTER {
+            analysis.widen(&values[ni], &computed)
+        } else {
+            computed
+        };
+        if values[ni].join_from(&next) {
+            updates[ni] += 1;
+            for &s in &maps.succs[ni] {
+                let si = s.0 as usize;
+                if !queued[si] {
+                    queued[si] = true;
+                    work.push_back(si);
+                }
+            }
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_dfg::{GraphBuilder, PortRef};
+    use tyr_ir::AluOp;
+
+    /// Reachability-from-source as a trivial boolean analysis.
+    struct Reachable;
+
+    impl Lattice for bool {
+        fn bottom() -> Self {
+            false
+        }
+        fn join_from(&mut self, other: &Self) -> bool {
+            let changed = !*self && *other;
+            *self = *self || *other;
+            changed
+        }
+    }
+
+    impl Analysis for Reachable {
+        type Value = bool;
+        fn immediate(&self, _: &Dfg, _: usize, _: u16, _: Value) -> bool {
+            false
+        }
+        fn transfer(&self, dfg: &Dfg, node: usize, input: &mut dyn FnMut(u16) -> bool) -> bool {
+            if matches!(dfg.nodes[node].kind, NodeKind::Source) {
+                return true;
+            }
+            (0..dfg.nodes[node].ins.len()).any(|p| input(p as u16))
+        }
+    }
+
+    fn diamond() -> Dfg {
+        // source → (a, b) → join → sink, plus one orphan.
+        let mut g = GraphBuilder::new();
+        let root = g.add_block("main", None, false);
+        let src = g.add_node(NodeKind::Source, root, vec![], 2, "src");
+        let a = g.add_node(NodeKind::Alu(AluOp::Mov), root, vec![InKind::Wire], 1, "a");
+        let b = g.add_node(NodeKind::Alu(AluOp::Mov), root, vec![InKind::Wire], 1, "b");
+        let j = g.add_node(NodeKind::Join, root, vec![InKind::Wire, InKind::Wire], 1, "j");
+        let orphan = g.add_node(NodeKind::Alu(AluOp::Mov), root, vec![InKind::Wire], 1, "orphan");
+        let sink = g.add_node(NodeKind::Sink, root, vec![InKind::Wire], 0, "sink");
+        g.connect(src, 0, PortRef { node: a, port: 0 });
+        g.connect(src, 1, PortRef { node: b, port: 0 });
+        g.connect(a, 0, PortRef { node: j, port: 0 });
+        g.connect(b, 0, PortRef { node: j, port: 1 });
+        g.connect(j, 0, PortRef { node: sink, port: 0 });
+        g.connect(orphan, 0, PortRef { node: orphan, port: 0 }); // self-loop
+        g.finish(src, sink, 1)
+    }
+
+    #[test]
+    fn edge_maps_invert_the_graph() {
+        let dfg = diamond();
+        let maps = EdgeMaps::new(&dfg);
+        // join's two input ports each have exactly one producer.
+        assert_eq!(maps.producers[3][0], vec![(NodeId(1), 0)]);
+        assert_eq!(maps.producers[3][1], vec![(NodeId(2), 0)]);
+        // source's successors are a and b.
+        assert_eq!(maps.succs[0], vec![NodeId(1), NodeId(2)]);
+        // join's preds are a and b.
+        assert_eq!(maps.preds[3], vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn edge_maps_drop_broken_edges() {
+        let mut dfg = diamond();
+        dfg.nodes[0].outs[0].push(PortRef { node: NodeId(999), port: 0 });
+        dfg.nodes[0].outs[0].push(PortRef { node: NodeId(3), port: 999 });
+        let maps = EdgeMaps::new(&dfg);
+        assert!(maps.producers[3].iter().flatten().all(|&(p, _)| p.0 < dfg.len() as u32));
+        // The missing-node edge vanishes entirely; the missing-port edge
+        // still counts for reachability (its target node exists) but feeds
+        // no producer list. Successor order follows out-port order, so the
+        // bad-port edge to n3 lands between the two real ones.
+        assert_eq!(maps.succs[0], vec![NodeId(1), NodeId(3), NodeId(2)]);
+    }
+
+    #[test]
+    fn fixpoint_propagates_through_cycles_and_misses_orphans() {
+        let dfg = diamond();
+        let maps = EdgeMaps::new(&dfg);
+        let reach = fixpoint(&dfg, &maps, &Reachable);
+        assert_eq!(reach, vec![true, true, true, true, false, true]);
+    }
+}

@@ -1,0 +1,393 @@
+//! Strided intervals: the numeric lattice of the index-set analysis.
+//!
+//! A [`Si`] describes the set `{lo, lo + step, lo + 2·step, …} ∩ [lo, hi]`
+//! — an arithmetic progression clipped to a range, the classic domain for
+//! array-index reasoning (Balakrishnan & Reps' *a + [lo, hi] step s*
+//! value-set form). It is exactly what loop counters look like after
+//! widening: `0 + [0, ∞) step 1` for `i += 1`, `0 + [0, ∞) step 2` for
+//! `i += 2`, and so on — precise enough to *prove* two access streams
+//! disjoint (disjoint ranges, or incompatible residues modulo the stride
+//! gcd) or to *prove* them overlapping (both singletons, same point).
+//!
+//! Unbounded ends use `i64::MIN`/`i64::MAX` as ∞ sentinels. Stride
+//! information is anchored at `lo`, so a set with `lo = −∞` is forced to
+//! step 1 (no anchor to take residues against); widening therefore prefers
+//! to blow up `hi`, which keeps loop-counter residues intact.
+
+use tyr_ir::Value;
+
+use crate::absint::Lattice;
+
+/// ∞ sentinel for [`Si::hi`].
+pub const INF: i64 = i64::MAX;
+/// −∞ sentinel for [`Si::lo`].
+pub const NEG_INF: i64 = i64::MIN;
+
+/// A strided interval: the set `{lo + k·step | k ≥ 0} ∩ [lo, hi]`.
+///
+/// Invariants: `lo ≤ hi`; `step = 0` iff the set is a singleton
+/// (`lo == hi`); when both bounds are finite and `step > 0`,
+/// `(hi − lo) % step == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Si {
+    /// Least element (or [`NEG_INF`]).
+    pub lo: i64,
+    /// Greatest element (or [`INF`]).
+    pub hi: i64,
+    /// Distance between consecutive elements; 0 for singletons.
+    pub step: i64,
+}
+
+// The arithmetic is deliberately associated-function style (`Si::add(a, b)`)
+// rather than operator overloads: transfer functions read better with the
+// abstract operations spelled out.
+#[allow(clippy::should_implement_trait)]
+impl Si {
+    /// The singleton `{v}`.
+    pub fn exact(v: Value) -> Si {
+        Si { lo: v, hi: v, step: 0 }
+    }
+
+    /// The dense range `[lo, hi]` (step 1), or the singleton when equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(lo: i64, hi: i64) -> Si {
+        assert!(lo <= hi, "empty range");
+        Si { lo, hi, step: if lo == hi { 0 } else { 1 } }
+    }
+
+    /// The progression `{lo + k·step | k ≥ 0}` with no upper bound.
+    pub fn progression(lo: i64, step: i64) -> Si {
+        assert!(step > 0, "a progression needs a positive step");
+        Si { lo, hi: INF, step }
+    }
+
+    /// Every value: `(−∞, ∞)`.
+    pub fn top() -> Si {
+        Si { lo: NEG_INF, hi: INF, step: 1 }
+    }
+
+    /// Whether this is the full set.
+    pub fn is_top(&self) -> bool {
+        self.lo == NEG_INF && self.hi == INF
+    }
+
+    /// Whether the set is a single point.
+    pub fn is_singleton(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The single point, if [`is_singleton`](Self::is_singleton).
+    pub fn as_singleton(&self) -> Option<i64> {
+        self.is_singleton().then_some(self.lo)
+    }
+
+    /// Renormalizes after bound arithmetic: saturated bounds become ∞, a
+    /// `lo = −∞` set loses its stride anchor, finite bounds are snapped to
+    /// the progression.
+    fn normalize(mut self) -> Si {
+        if self.lo == self.hi {
+            self.step = 0;
+            return self;
+        }
+        if self.lo == NEG_INF {
+            self.step = 1;
+            return self;
+        }
+        if self.step <= 0 {
+            self.step = 1;
+        }
+        if self.hi != INF {
+            // Snap hi down onto the progression anchored at lo.
+            let span = self.hi - self.lo;
+            self.hi = self.lo + span - span % self.step;
+            if self.lo == self.hi {
+                self.step = 0;
+            }
+        }
+        self
+    }
+
+    /// Least upper bound.
+    pub fn join(a: Si, b: Si) -> Si {
+        let lo = a.lo.min(b.lo);
+        let hi = a.hi.max(b.hi);
+        // The joined stride must divide both strides and the offset between
+        // the anchors.
+        let anchor_gap = if a.lo == NEG_INF || b.lo == NEG_INF {
+            1
+        } else {
+            (a.lo - b.lo).unsigned_abs().min(i64::MAX as u64) as i64
+        };
+        let step = gcd(gcd(a.step, b.step), anchor_gap);
+        Si { lo, hi, step }.normalize()
+    }
+
+    /// Standard widening: a bound that grew goes straight to ∞. The stride
+    /// (anchored at `lo`) survives upward growth, so widened loop counters
+    /// keep their residue class.
+    pub fn widen(old: Si, new: Si) -> Si {
+        let joined = Si::join(old, new);
+        Si {
+            lo: if joined.lo < old.lo { NEG_INF } else { joined.lo },
+            hi: if joined.hi > old.hi { INF } else { joined.hi },
+            step: joined.step,
+        }
+        .normalize()
+    }
+
+    /// Abstract addition.
+    pub fn add(a: Si, b: Si) -> Si {
+        let lo = sat_add(a.lo, b.lo, NEG_INF);
+        let hi = sat_add(a.hi, b.hi, INF);
+        Si { lo, hi, step: gcd(a.step, b.step) }.normalize()
+    }
+
+    /// Abstract negation.
+    pub fn neg(a: Si) -> Si {
+        let lo = if a.hi == INF { NEG_INF } else { -a.hi };
+        let hi = if a.lo == NEG_INF { INF } else { -a.lo };
+        Si { lo, hi, step: a.step }.normalize()
+    }
+
+    /// Abstract subtraction.
+    pub fn sub(a: Si, b: Si) -> Si {
+        Si::add(a, Si::neg(b))
+    }
+
+    /// Abstract multiplication. Exact for singletons; a singleton scales
+    /// the other side's progression (stride and bounds); two genuine
+    /// ranges lose stride information.
+    pub fn mul(a: Si, b: Si) -> Si {
+        match (a.as_singleton(), b.as_singleton()) {
+            (Some(x), Some(y)) => Si::exact(x.wrapping_mul(y)),
+            (Some(c), None) => Si::scale(b, c),
+            (None, Some(c)) => Si::scale(a, c),
+            (None, None) => {
+                if a.is_top() || b.is_top() {
+                    return Si::top();
+                }
+                let corners = [
+                    sat_mul(a.lo, b.lo),
+                    sat_mul(a.lo, b.hi),
+                    sat_mul(a.hi, b.lo),
+                    sat_mul(a.hi, b.hi),
+                ];
+                let lo = corners.iter().copied().min().unwrap();
+                let hi = corners.iter().copied().max().unwrap();
+                Si { lo, hi, step: 1 }.normalize()
+            }
+        }
+    }
+
+    fn scale(a: Si, c: i64) -> Si {
+        if c == 0 {
+            return Si::exact(0);
+        }
+        let (mut lo, mut hi) = (sat_mul(a.lo, c), sat_mul(a.hi, c));
+        if c < 0 {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        Si { lo, hi, step: sat_mul(a.step, c).abs() }.normalize()
+    }
+
+    /// Intersects with the dense range `[lo, hi]`, e.g. a segment's valid
+    /// offsets. Returns `None` if the intersection is empty.
+    pub fn clamp(&self, lo: i64, hi: i64) -> Option<Si> {
+        if self.hi < lo || self.lo > hi {
+            return None;
+        }
+        let mut new_lo = self.lo.max(lo);
+        let mut new_hi = self.hi.min(hi);
+        if self.step > 1 && self.lo != NEG_INF {
+            // Snap the clamped bounds onto the progression.
+            let up = (new_lo - self.lo).rem_euclid(self.step);
+            if up != 0 {
+                new_lo += self.step - up;
+            }
+            new_hi -= (new_hi - self.lo).rem_euclid(self.step);
+            if new_lo > new_hi {
+                return None;
+            }
+        }
+        Some(Si { lo: new_lo, hi: new_hi, step: self.step }.normalize())
+    }
+
+    /// Proves `a ∩ b = ∅`: disjoint ranges, or — when both progressions
+    /// are anchored — incompatible residues modulo the stride gcd.
+    pub fn disjoint(a: Si, b: Si) -> bool {
+        if a.hi < b.lo || b.hi < a.lo {
+            return true;
+        }
+        if a.lo == NEG_INF || b.lo == NEG_INF {
+            return false;
+        }
+        match (a.as_singleton(), b.as_singleton()) {
+            (Some(x), Some(y)) => x != y,
+            _ => {
+                let g = gcd(gcd(a.step, b.step), 0);
+                g > 1 && (a.lo - b.lo).rem_euclid(g) != 0
+            }
+        }
+    }
+
+    /// Proves `a = b = {v}`: both singletons at the same point; returns the
+    /// common point (the overlap witness).
+    pub fn must_equal(a: Si, b: Si) -> Option<i64> {
+        match (a.as_singleton(), b.as_singleton()) {
+            (Some(x), Some(y)) if x == y => Some(x),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Si {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(v) = self.as_singleton() {
+            return write!(f, "{{{v}}}");
+        }
+        match (self.lo, self.hi) {
+            (NEG_INF, INF) => write!(f, "(-inf, inf)"),
+            (NEG_INF, hi) => write!(f, "(-inf, {hi}]"),
+            (lo, INF) => write!(f, "{lo} + [0, inf) step {}", self.step),
+            (lo, hi) => write!(f, "{lo} + [0, {}] step {}", hi - lo, self.step),
+        }
+    }
+}
+
+/// The lattice wrapper: `None` is bottom (no value flows here).
+impl Lattice for Option<Si> {
+    fn bottom() -> Self {
+        None
+    }
+
+    fn join_from(&mut self, other: &Self) -> bool {
+        match (self.as_ref(), other) {
+            (_, None) => false,
+            (None, Some(o)) => {
+                *self = Some(*o);
+                true
+            }
+            (Some(s), Some(o)) => {
+                let joined = Si::join(*s, *o);
+                let changed = joined != *s;
+                *self = Some(joined);
+                changed
+            }
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.min(i64::MAX as u64) as i64
+}
+
+/// Saturating add that treats the sentinel bounds as ±∞.
+fn sat_add(a: i64, b: i64, inf: i64) -> i64 {
+    if (a == NEG_INF || b == NEG_INF) && inf == NEG_INF {
+        return NEG_INF;
+    }
+    if (a == INF || b == INF) && inf == INF {
+        return INF;
+    }
+    if a == NEG_INF || a == INF {
+        return a;
+    }
+    if b == NEG_INF || b == INF {
+        return b;
+    }
+    a.saturating_add(b)
+}
+
+fn sat_mul(a: i64, b: i64) -> i64 {
+    a.saturating_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_keeps_strides() {
+        // {0} ⊔ {2} = 0 + [0,2] step 2.
+        let j = Si::join(Si::exact(0), Si::exact(2));
+        assert_eq!(j, Si { lo: 0, hi: 2, step: 2 });
+        // Joining in {4} keeps step 2; {3} breaks it to 1.
+        let j = Si::join(j, Si::exact(4));
+        assert_eq!(j.step, 2);
+        assert_eq!(Si::join(j, Si::exact(3)).step, 1);
+    }
+
+    #[test]
+    fn widen_blows_the_growing_bound() {
+        // The loop-counter shape: {0}, then join with {0..=1} widens to an
+        // anchored unbounded progression with the stride intact.
+        let w = Si::widen(Si::exact(0), Si::join(Si::exact(0), Si::exact(2)));
+        assert_eq!(w, Si { lo: 0, hi: INF, step: 2 });
+        // lo shrinking widens to top-like (-inf forces step 1).
+        let w = Si::widen(Si::exact(0), Si::join(Si::exact(0), Si::exact(-1)));
+        assert_eq!(w.lo, NEG_INF);
+        assert_eq!(w.step, 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let i = Si::progression(0, 1); // widened counter
+        let scaled = Si::mul(i, Si::exact(3));
+        assert_eq!(scaled, Si { lo: 0, hi: INF, step: 3 });
+        let shifted = Si::add(scaled, Si::exact(1));
+        assert_eq!(shifted, Si { lo: 1, hi: INF, step: 3 });
+        assert_eq!(Si::sub(shifted, Si::exact(1)), scaled);
+        assert_eq!(Si::neg(Si::range(1, 5)), Si::range(-5, -1));
+        assert_eq!(Si::mul(Si::exact(6), Si::exact(7)), Si::exact(42));
+        // Range × range keeps bounds.
+        let r = Si::mul(Si::range(2, 3), Si::range(5, 7));
+        assert_eq!((r.lo, r.hi), (10, 21));
+    }
+
+    #[test]
+    fn clamp_snaps_to_the_progression() {
+        let evens = Si::progression(0, 2);
+        let c = evens.clamp(3, 10).unwrap();
+        assert_eq!(c, Si { lo: 4, hi: 10, step: 2 });
+        assert_eq!(evens.clamp(0, 0).unwrap(), Si::exact(0));
+        assert!(Si::progression(1, 2).clamp(2, 2).is_none(), "no odd number in [2,2]");
+    }
+
+    #[test]
+    fn disjointness_proofs() {
+        // Disjoint ranges.
+        assert!(Si::disjoint(Si::range(0, 4), Si::range(5, 9)));
+        // Same stride, different phase: 2k vs 2k+1.
+        assert!(Si::disjoint(Si::progression(0, 2), Si::progression(1, 2)));
+        // Same phase: overlap possible.
+        assert!(!Si::disjoint(Si::progression(0, 2), Si::progression(2, 2)));
+        // Distinct singletons.
+        assert!(Si::disjoint(Si::exact(3), Si::exact(4)));
+        // Unanchored sets prove nothing.
+        assert!(!Si::disjoint(Si::top(), Si::exact(0)));
+    }
+
+    #[test]
+    fn overlap_witness() {
+        assert_eq!(Si::must_equal(Si::exact(5), Si::exact(5)), Some(5));
+        assert_eq!(Si::must_equal(Si::exact(5), Si::exact(6)), None);
+        assert_eq!(Si::must_equal(Si::exact(5), Si::range(4, 6)), None);
+    }
+
+    #[test]
+    fn option_lattice() {
+        let mut v: Option<Si> = Lattice::bottom();
+        assert!(!v.join_from(&None));
+        assert!(v.join_from(&Some(Si::exact(1))));
+        assert!(v.join_from(&Some(Si::exact(3))));
+        assert!(!v.join_from(&Some(Si::exact(1))), "already included");
+        assert_eq!(v, Some(Si { lo: 1, hi: 3, step: 2 }));
+    }
+}

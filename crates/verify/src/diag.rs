@@ -18,7 +18,8 @@ use tyr_dfg::{BlockId, Dfg, NodeId};
 /// Stable diagnostic codes, grouped by pass.
 ///
 /// The letter names the pass family (`S`tructure, `B`arrier, `T`ags,
-/// `M`emory, `L`ifecycle, `X` translation validation); numbers are stable
+/// `M`emory, `O`rdered channels, `L`ifecycle, `X` translation validation);
+/// numbers are stable
 /// across releases so tests and tooling can match on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
@@ -66,6 +67,19 @@ pub enum Code {
     /// with no ordering dependency between them.
     LoadStoreRace,
 
+    // Ordered-channel occupancy pass.
+    /// An ordered-lowering FIFO is configured below the static minimum depth
+    /// of a live edge: its producer can never deposit, so the graph is
+    /// guaranteed to deadlock under back-pressure.
+    ChannelBelowMinimum,
+    /// Every live edge is at exactly its static minimum depth: the
+    /// configuration is safe but has zero slack for pipelining.
+    ChannelAtMinimum,
+    /// A data-dependent cycle (its trip count derives from loaded values)
+    /// runs with zero slack on some in-cycle edge: worst-case occupancy
+    /// cannot be bounded statically, so deeper FIFOs are recommended.
+    DataDependentCycle,
+
     // Token-lifecycle lints.
     /// A value-producing node whose results are never consumed.
     DanglingOutput,
@@ -86,6 +100,33 @@ pub enum Code {
 }
 
 impl Code {
+    /// Every diagnostic code, in pass order. The registry tests iterate
+    /// this to assert uniqueness, stability, and documentation coverage.
+    pub const ALL: [Code; 22] = [
+        Code::BadBlock,
+        Code::NoWiredInputs,
+        Code::BadSpace,
+        Code::MissingNode,
+        Code::MissingPort,
+        Code::EdgeIntoImm,
+        Code::UnfreedSpace,
+        Code::OutsideBarrier,
+        Code::InsufficientTags,
+        Code::GlobalPoolTooSmall,
+        Code::NestedGlobalAlloc,
+        Code::StoreStoreRace,
+        Code::LoadStoreRace,
+        Code::ChannelBelowMinimum,
+        Code::ChannelAtMinimum,
+        Code::DataDependentCycle,
+        Code::DanglingOutput,
+        Code::UnreachableNode,
+        Code::AllocNoFree,
+        Code::TvDivergence,
+        Code::TvFault,
+        Code::TvDeadlock,
+    ];
+
     /// The stable code string (e.g. `"B001"`).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -102,6 +143,9 @@ impl Code {
             Code::NestedGlobalAlloc => "T003",
             Code::StoreStoreRace => "M001",
             Code::LoadStoreRace => "M002",
+            Code::ChannelBelowMinimum => "O001",
+            Code::ChannelAtMinimum => "O002",
+            Code::DataDependentCycle => "O003",
             Code::DanglingOutput => "L001",
             Code::UnreachableNode => "L002",
             Code::AllocNoFree => "L003",
@@ -125,8 +169,13 @@ impl Code {
             // something strict (like the sink) waits on it — which barrier
             // coverage and TV catch as errors in their own right.
             Code::UnreachableNode => Severity::Warning,
+            // Zero-slack cycles with data-dependent trip counts *may*
+            // deadlock; only a capacity below the static minimum is certain.
+            Code::DataDependentCycle => Severity::Warning,
             // Unconsumed results are wasteful, not wrong.
             Code::DanglingOutput => Severity::Note,
+            // Zero slack everywhere is safe, just worth knowing.
+            Code::ChannelAtMinimum => Severity::Note,
             _ => Severity::Error,
         }
     }
@@ -312,28 +361,7 @@ mod tests {
 
     #[test]
     fn codes_are_unique_and_stable() {
-        let all = [
-            Code::BadBlock,
-            Code::NoWiredInputs,
-            Code::BadSpace,
-            Code::MissingNode,
-            Code::MissingPort,
-            Code::EdgeIntoImm,
-            Code::UnfreedSpace,
-            Code::OutsideBarrier,
-            Code::InsufficientTags,
-            Code::GlobalPoolTooSmall,
-            Code::NestedGlobalAlloc,
-            Code::StoreStoreRace,
-            Code::LoadStoreRace,
-            Code::DanglingOutput,
-            Code::UnreachableNode,
-            Code::AllocNoFree,
-            Code::TvDivergence,
-            Code::TvFault,
-            Code::TvDeadlock,
-        ];
-        let mut strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        let mut strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
         strs.sort_unstable();
         let before = strs.len();
         strs.dedup();

@@ -14,24 +14,35 @@
 //!   bounded global pools that predicts the Fig. 11 deadlock from graph
 //!   shape alone;
 //! * **memory races** (`M…`) — unordered same-block accesses to
-//!   overlapping segments, with `storeAdd` suggested as the fix;
+//!   overlapping segments, sharpened by the strided-interval index-set
+//!   analysis into proofs of safety (suppressed), proofs of collision
+//!   (errors with a witness index), or honest warnings;
+//! * **ordered-channel occupancy** (`O…`) — per-edge minimum FIFO depths
+//!   for ordered lowerings, checked against the configured capacity to
+//!   predict back-pressure deadlock before anything runs;
 //! * **lifecycle lints** (`L…`) — dangling outputs, unreachable nodes,
 //!   allocates whose tags can never be recycled;
 //! * **translation validation** (`X…`, [`tv`]) — every lowering replayed
 //!   against the reference interpreter on concrete inputs.
 //!
+//! The graph-shaped passes (races, occupancy, and the reachability parts
+//! of barriers and lints) are clients of the [`absint`] monotone framework.
 //! Everything funnels into a [`Report`] of located, stably-coded
 //! [`Diagnostic`]s. The `repro verify` subcommand runs the full battery
-//! over the paper's kernel suite.
+//! over the paper's kernel suite — including the static↔dynamic
+//! cross-validation that replays every static verdict against the matching
+//! engine detector.
 //!
 //! [`Dfg::check`]: tyr_dfg::Dfg::check
 
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod diag;
 pub mod passes;
 pub mod tv;
 
+pub use absint::occupancy::{analyze_channel_depths, check_channel_capacity, ChannelDepths};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use passes::{
     analyze_tag_demand, check_barrier_coverage, check_lints, check_races, check_structure,
@@ -41,6 +52,7 @@ pub use tv::validate_translations;
 
 use tyr_dfg::Dfg;
 use tyr_ir::{MemoryImage, Value};
+use tyr_sim::ordered::ChannelCapacity;
 use tyr_sim::tagged::TagPolicy;
 
 /// Runs the input-independent static passes (structure, barrier coverage,
@@ -73,6 +85,30 @@ pub fn verify_with(
     if let Some(p) = policy {
         report.extend(check_tag_policy(dfg, p));
     }
+    if let Some((mem, args)) = memory {
+        report.extend(check_races(dfg, mem, args));
+    }
+    report
+}
+
+/// [`verify`] for *ordered* lowerings: the input-independent passes, plus
+/// the channel-occupancy pass checked against the FIFO capacities the
+/// ordered engine will run with (the ordered analogue of handing
+/// [`verify_with`] a [`TagPolicy`]).
+pub fn verify_ordered(
+    title: &str,
+    dfg: &Dfg,
+    caps: &ChannelCapacity,
+    memory: Option<(&MemoryImage, &[Value])>,
+) -> Report {
+    let mut report = Report::new(title);
+    report.extend(check_structure(dfg));
+    if !report.is_clean() {
+        return report;
+    }
+    report.extend(check_barrier_coverage(dfg));
+    report.extend(check_lints(dfg));
+    report.extend(check_channel_capacity(dfg, caps));
     if let Some((mem, args)) = memory {
         report.extend(check_races(dfg, mem, args));
     }

@@ -20,8 +20,9 @@
 
 use tyr_dfg::{Dfg, NodeId, NodeKind};
 
+use crate::absint::EdgeMaps;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::{adjacency, reach};
+use crate::passes::reach;
 
 /// Runs the free-barrier coverage pass.
 pub fn check_barrier_coverage(dfg: &Dfg) -> Vec<Diagnostic> {
@@ -37,8 +38,8 @@ pub fn check_barrier_coverage(dfg: &Dfg) -> Vec<Diagnostic> {
     }
 
     // Work on the reversed graph: "reaches X" = backward-reachable from X.
-    let adj = adjacency(dfg);
-    let reaches_sink = reach(&adj.preds, [dfg.sink]);
+    let maps = EdgeMaps::new(dfg);
+    let reaches_sink = reach(&maps.preds, [dfg.sink]);
     // Per block: the set of nodes reaching any of *that block's* frees.
     let mut reaches_block_free: Vec<Option<Vec<bool>>> = vec![None; dfg.blocks.len()];
     for (b, entry) in reaches_block_free.iter_mut().enumerate() {
@@ -48,12 +49,12 @@ pub fn check_barrier_coverage(dfg: &Dfg) -> Vec<Diagnostic> {
             .filter(|f| dfg.nodes[f.0 as usize].block.0 as usize == b)
             .collect();
         if !starts.is_empty() {
-            *entry = Some(reach(&adj.preds, starts));
+            *entry = Some(reach(&maps.preds, starts));
         }
     }
     // Fallback for nodes whose block hosts no free of its own (e.g. the
     // barrierless straight-line parts of root in ordered graphs): any free.
-    let reaches_any_free = reach(&adj.preds, frees.iter().copied());
+    let reaches_any_free = reach(&maps.preds, frees.iter().copied());
 
     let mut out = Vec::new();
     for (ni, n) in dfg.nodes.iter().enumerate() {

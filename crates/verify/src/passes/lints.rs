@@ -16,13 +16,14 @@
 
 use tyr_dfg::{Dfg, NodeId, NodeKind};
 
+use crate::absint::EdgeMaps;
 use crate::diag::{Code, Diagnostic};
-use crate::passes::{adjacency, reach};
+use crate::passes::reach;
 
 /// Runs the lifecycle lints.
 pub fn check_lints(dfg: &Dfg) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let adj = adjacency(dfg);
+    let maps = EdgeMaps::new(dfg);
 
     // L001: dangling data outputs.
     for (ni, n) in dfg.nodes.iter().enumerate() {
@@ -49,7 +50,7 @@ pub fn check_lints(dfg: &Dfg) -> Vec<Diagnostic> {
     }
 
     // L002: unreachable from the source.
-    let live = reach(&adj.succs, [dfg.source]);
+    let live = reach(&maps.succs, [dfg.source]);
     for (ni, n) in dfg.nodes.iter().enumerate() {
         if !live[ni] && !matches!(n.kind, NodeKind::Source) {
             out.push(Diagnostic::at_node(
@@ -66,7 +67,7 @@ pub fn check_lints(dfg: &Dfg) -> Vec<Diagnostic> {
     if any_free {
         for (ni, n) in dfg.nodes.iter().enumerate() {
             let NodeKind::Allocate { space, .. } = n.kind else { continue };
-            let cone = reach(&adj.succs, [NodeId(ni as u32)]);
+            let cone = reach(&maps.succs, [NodeId(ni as u32)]);
             let freed = dfg.nodes.iter().enumerate().any(|(mi, m)| {
                 cone[mi] && matches!(m.kind, NodeKind::Free { space: s } if s == space)
             });

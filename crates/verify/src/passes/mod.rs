@@ -2,10 +2,11 @@
 //!
 //! Each pass is a pure function `&Dfg → Vec<Diagnostic>`; the conveniences
 //! in the crate root compose them into a [`Report`](crate::Report). Passes
-//! share the [`adjacency`] view, which augments the graph's static edges
-//! with the *dynamically routed* edges of `changeTag.dyn` nodes (function
-//! returns): without them, call-return landing pads look unreachable and
-//! callee bodies look disconnected from the caller's barrier.
+//! share the [`EdgeMaps`](crate::absint::EdgeMaps) view, which augments the
+//! graph's static edges with the *dynamically routed* edges of
+//! `changeTag.dyn` nodes (function returns): without them, call-return
+//! landing pads look unreachable and callee bodies look disconnected from
+//! the caller's barrier.
 
 mod barrier;
 mod lints;
@@ -20,45 +21,6 @@ pub use structure::check_structure;
 pub use tags::{analyze_tag_demand, check_tag_policy, predict_global, GlobalPrediction, TagDemand};
 
 use tyr_dfg::{Dfg, InKind, NodeId, NodeKind, PortRef};
-
-/// Forward and backward adjacency over node ids, including synthesized
-/// `changeTag.dyn` routing edges (see [`dyn_targets`]).
-///
-/// Edges into nonexistent nodes (a structural error reported by
-/// [`check_structure`]) are silently dropped so downstream passes stay
-/// total on malformed graphs.
-pub(crate) struct Adjacency {
-    /// `succs[n]` = nodes receiving tokens from node `n`.
-    pub succs: Vec<Vec<NodeId>>,
-    /// `preds[n]` = nodes feeding node `n`.
-    pub preds: Vec<Vec<NodeId>>,
-}
-
-pub(crate) fn adjacency(dfg: &Dfg) -> Adjacency {
-    let n = dfg.nodes.len();
-    let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut add = |from: NodeId, to: NodeId| {
-        if (from.0 as usize) < n && (to.0 as usize) < n {
-            succs[from.0 as usize].push(to);
-            preds[to.0 as usize].push(from);
-        }
-    };
-    for (ni, node) in dfg.nodes.iter().enumerate() {
-        let from = NodeId(ni as u32);
-        for targets in &node.outs {
-            for t in targets {
-                add(from, t.node);
-            }
-        }
-        if matches!(node.kind, NodeKind::ChangeTagDyn) {
-            for t in dyn_targets(dfg, from) {
-                add(from, t.node);
-            }
-        }
-    }
-    Adjacency { succs, preds }
-}
 
 /// Resolves the possible routing targets of a `changeTag.dyn` node.
 ///

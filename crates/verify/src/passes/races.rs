@@ -1,4 +1,4 @@
-//! Static memory-race detection.
+//! Static memory-race detection, with index-precise verdicts.
 //!
 //! Dataflow executes memory operations in *data-dependence order only*: two
 //! accesses in the same concurrent block with no path between them can
@@ -7,108 +7,55 @@
 //! commutative accumulation — and this pass checks that discipline
 //! statically.
 //!
-//! **Segment analysis.** Address expressions are abstracted to the set of
-//! memory segments they may point into, as a bitmask over the image's
-//! arrays. Classification is by *exact base match*: a constant or argument
-//! is a pointer into segment `s` iff it equals `s.base` exactly — sound
-//! because `MemoryImage` reserves word 0 as a guard, so no base is ever 0
-//! and the ubiquitous constant 0 never aliases the first array. Pointers
-//! then propagate through `add`/`sub`/`mov` (base-plus-offset arithmetic),
-//! steering, selection, merging, and tag translation; all other operators
-//! (and loaded values) produce non-pointers. This under-approximates — an
-//! address materialized by arithmetic we do not model is simply not
-//! classified — so the pass can miss races but reports no impossible
-//! segment pairs.
+//! The pass is a client of the abstract-interpretation framework
+//! ([`crate::absint`]); its domain ([`AbsVal`]) carries two components per
+//! node output:
+//!
+//! * **Segment provenance** — which memory segments the value may point
+//!   into, by exact-base-match classification propagated through address
+//!   arithmetic (see [`crate::absint::indexset`] for the soundness
+//!   argument). This under-approximates — an address materialized by
+//!   arithmetic we do not model is simply not classified — so the pass can
+//!   miss races but reports no impossible segment pairs.
+//! * **A strided interval** over-approximating the value numerically, with
+//!   loop counters widened to anchored progressions (`base + [0,∞) step s`).
 //!
 //! **Verdict.** Two same-block accesses whose segment masks intersect, at
-//! least one of which is a plain `store`, and with no ordering path either
-//! way, are flagged: [`Code::StoreStoreRace`] when no load is involved,
-//! [`Code::LoadStoreRace`] otherwise. `storeAdd`/`storeAdd` pairs are
-//! permitted (commutative by design — the paper's own fix). Findings are
-//! warnings: intersecting masks prove overlap of *segments*, not of the
-//! precise index sets within them.
+//! least one of which is a plain `store`, with no ordering path either way:
+//!
+//! * their address intervals, clamped to each common segment, are provably
+//!   [`disjoint`](Si::disjoint) (disjoint ranges, or incompatible residues
+//!   modulo the stride gcd) → **no finding** — the PR-1 segment warning is
+//!   resolved to a proof of safety;
+//! * both addresses are the *same singleton* in a common segment → the
+//!   accesses always collide; the warning is upgraded to a hard **error**
+//!   carrying the witness index;
+//! * otherwise → the original **warning** stands ([`Code::StoreStoreRace`]
+//!   M001 / [`Code::LoadStoreRace`] M002), now rendering the computed index
+//!   sets so the reader sees *why* it is undecided.
+//!
+//! `storeAdd`/`storeAdd` pairs are permitted (commutative by design — the
+//! paper's own fix).
 
-use tyr_dfg::{Dfg, InKind, NodeId, NodeKind};
-use tyr_ir::{AluOp, MemoryImage, Value};
+use tyr_dfg::{Dfg, NodeId, NodeKind};
+use tyr_ir::{MemoryImage, Value};
 
-use crate::diag::{Code, Diagnostic};
-use crate::passes::{adjacency, reach};
-
-/// Up to this many segments are tracked (one bitmask bit each); later
-/// segments are left unclassified. Real kernels allocate well under this.
-const MAX_SEGMENTS: usize = 64;
+use crate::absint::indexset::{analyze, segments_of, AbsVal, IndexAnalysis, Segment};
+use crate::absint::si::Si;
+use crate::absint::{input_value, EdgeMaps};
+use crate::diag::{Code, Diagnostic, Severity};
+use crate::passes::reach;
 
 /// Runs the race pass against the memory image and program arguments the
 /// graph will execute with.
 pub fn check_races(dfg: &Dfg, mem: &MemoryImage, args: &[Value]) -> Vec<Diagnostic> {
-    let segments: Vec<(String, usize)> =
-        mem.arrays().take(MAX_SEGMENTS).map(|(n, r)| (n.to_string(), r.base)).collect();
+    let segments = segments_of(mem);
     if segments.is_empty() {
         return Vec::new();
     }
-    let classify = |v: Value| -> u64 {
-        segments
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, base))| v == base as Value)
-            .fold(0u64, |m, (i, _)| m | 1 << i)
-    };
-
-    // Fixpoint over per-node pointer masks (the abstract value of each
-    // node's data output). Masks only grow, so iteration terminates.
-    let n = dfg.nodes.len();
-    let mut mask = vec![0u64; n];
-    let in_mask = |mask: &[u64], nid: usize, port: u16| -> u64 {
-        match dfg.nodes[nid].ins.get(port as usize) {
-            Some(InKind::Imm(v)) => classify(*v),
-            Some(InKind::Wire) => {
-                let mut m = 0u64;
-                for (pi, p) in dfg.nodes.iter().enumerate() {
-                    for (qi, targets) in p.outs.iter().enumerate() {
-                        if targets.iter().any(|t| t.node.0 as usize == nid && t.port == port) {
-                            m |= match p.kind {
-                                // The source's ports carry the program
-                                // arguments; classify each directly.
-                                NodeKind::Source => args.get(qi).copied().map_or(0, classify),
-                                _ => mask[pi],
-                            };
-                        }
-                    }
-                }
-                m
-            }
-            None => 0,
-        }
-    };
-    loop {
-        let mut changed = false;
-        for ni in 0..n {
-            let new = match &dfg.nodes[ni].kind {
-                NodeKind::Const(v) => classify(*v),
-                NodeKind::Alu(AluOp::Mov) => in_mask(&mask, ni, 0),
-                NodeKind::Alu(AluOp::Add | AluOp::Sub) => {
-                    in_mask(&mask, ni, 0) | in_mask(&mask, ni, 1)
-                }
-                NodeKind::Select => in_mask(&mask, ni, 1) | in_mask(&mask, ni, 2),
-                NodeKind::Steer => in_mask(&mask, ni, 1),
-                NodeKind::Join => in_mask(&mask, ni, 0),
-                NodeKind::ChangeTag => in_mask(&mask, ni, 1),
-                NodeKind::ChangeTagDyn => in_mask(&mask, ni, 2),
-                NodeKind::Merge | NodeKind::CMerge { .. } => {
-                    (0..dfg.nodes[ni].ins.len()).fold(0u64, |m, p| m | in_mask(&mask, ni, p as u16))
-                }
-                // Loads, other ALU ops, tags, control: non-pointers.
-                _ => 0,
-            };
-            if new != mask[ni] {
-                mask[ni] = new;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let maps = EdgeMaps::new(dfg);
+    let analysis = IndexAnalysis::new(&segments, args);
+    let values = analyze(dfg, &maps, &segments, args);
 
     // Memory accesses with a classified address (in0).
     #[derive(Clone, Copy, PartialEq)]
@@ -117,7 +64,7 @@ pub fn check_races(dfg: &Dfg, mem: &MemoryImage, args: &[Value]) -> Vec<Diagnost
         Store,
         StoreAdd,
     }
-    let accesses: Vec<(NodeId, Acc, u64)> = dfg
+    let accesses: Vec<(NodeId, Acc, AbsVal)> = dfg
         .nodes
         .iter()
         .enumerate()
@@ -128,32 +75,22 @@ pub fn check_races(dfg: &Dfg, mem: &MemoryImage, args: &[Value]) -> Vec<Diagnost
                 NodeKind::StoreAdd => Acc::StoreAdd,
                 _ => return None,
             };
-            let m = in_mask(&mask, ni, 0);
-            (m != 0).then_some((NodeId(ni as u32), kind, m))
+            let addr = input_value(dfg, &maps, &analysis, &values, ni, 0);
+            (addr.mask != 0).then_some((NodeId(ni as u32), kind, addr))
         })
         .collect();
 
-    // Pairwise ordering among accesses (dyn edges included), then report
+    // Pairwise ordering among accesses (dyn edges included), then judge
     // unordered same-block overlaps involving a plain store.
-    let adj = adjacency(dfg);
     let reaches: Vec<Vec<bool>> =
-        accesses.iter().map(|&(a, _, _)| reach(&adj.succs, [a])).collect();
-    let seg_names = |m: u64| -> String {
-        segments
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| m & (1 << i) != 0)
-            .map(|(_, (n, _))| format!("'{n}'"))
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
+        accesses.iter().map(|&(a, _, _)| reach(&maps.succs, [a])).collect();
 
     let mut out = Vec::new();
     for i in 0..accesses.len() {
         for j in i + 1..accesses.len() {
-            let (a, ka, ma) = accesses[i];
-            let (b, kb, mb) = accesses[j];
-            let overlap = ma & mb;
+            let (a, ka, ref ma) = accesses[i];
+            let (b, kb, ref mb) = accesses[j];
+            let overlap = ma.mask & mb.mask;
             if overlap == 0
                 || dfg.nodes[a.0 as usize].block != dfg.nodes[b.0 as usize].block
                 || !(ka == Acc::Store || kb == Acc::Store)
@@ -168,21 +105,112 @@ pub fn check_races(dfg: &Dfg, mem: &MemoryImage, args: &[Value]) -> Vec<Diagnost
             } else {
                 Code::LoadStoreRace
             };
-            let what = if code == Code::StoreStoreRace { "stores" } else { "load and store" };
-            out.push(Diagnostic::at_node(
-                code,
-                dfg,
-                a,
-                format!(
-                    "unordered {what} to segment(s) {} in the same concurrent block \
-                     (with {} '{}'); if the index sets overlap, use storeAdd or add an \
-                     ordering dependence",
-                    seg_names(overlap),
-                    b,
-                    dfg.nodes[b.0 as usize].label,
-                ),
-            ));
+            match judge(&segments, overlap, ma, mb) {
+                Verdict::Disjoint => {} // proven race-free: suppressed
+                Verdict::Collides { segment, index } => {
+                    let what =
+                        if code == Code::StoreStoreRace { "stores" } else { "load and store" };
+                    let mut d = Diagnostic::at_node(
+                        code,
+                        dfg,
+                        a,
+                        format!(
+                            "unordered {what} to '{}' always collide at index {index} \
+                             (with {b} '{}'); use storeAdd or add an ordering dependence",
+                            segments[segment].name, dfg.nodes[b.0 as usize].label,
+                        ),
+                    );
+                    d.severity = Severity::Error;
+                    out.push(d);
+                }
+                Verdict::Unknown => {
+                    let what =
+                        if code == Code::StoreStoreRace { "stores" } else { "load and store" };
+                    out.push(Diagnostic::at_node(
+                        code,
+                        dfg,
+                        a,
+                        format!(
+                            "unordered {what} to segment(s) {} in the same concurrent block \
+                             (with {b} '{}'; index sets {} vs {}); if the index sets overlap, \
+                             use storeAdd or add an ordering dependence",
+                            seg_names(&segments, overlap),
+                            dfg.nodes[b.0 as usize].label,
+                            render_num(ma),
+                            render_num(mb),
+                        ),
+                    ));
+                }
+            }
         }
     }
     out
+}
+
+enum Verdict {
+    /// Provably race-free in every common segment.
+    Disjoint,
+    /// Provably always the same word of `segments[segment]`.
+    Collides {
+        segment: usize,
+        index: i64,
+    },
+    Unknown,
+}
+
+/// Judges one unordered access pair over their common segments. A pair is
+/// race-free only if it is proven disjoint within *every* common segment;
+/// it provably collides if, in some common segment, both addresses clamp to
+/// the same singleton.
+fn judge(segments: &[Segment], overlap: u64, a: &AbsVal, b: &AbsVal) -> Verdict {
+    let (Some(na), Some(nb)) = (a.num, b.num) else { return Verdict::Unknown };
+    let mut all_disjoint = true;
+    let mut collision = None;
+    for (si, seg) in segments.iter().enumerate() {
+        if overlap & (1 << si) == 0 {
+            continue;
+        }
+        let (lo, hi) = (seg.base, seg.base + seg.len - 1);
+        match (na.clamp(lo, hi), nb.clamp(lo, hi)) {
+            // One of the addresses can never fall inside this segment:
+            // vacuously disjoint here.
+            (None, _) | (_, None) => {}
+            (Some(ca), Some(cb)) => {
+                if let Some(addr) = Si::must_equal(ca, cb) {
+                    // Only a genuine collision if the clamp didn't narrow:
+                    // the unclamped values must already be that singleton.
+                    if na.as_singleton() == Some(addr) && nb.as_singleton() == Some(addr) {
+                        collision = Some((si, addr - seg.base));
+                        all_disjoint = false;
+                        continue;
+                    }
+                }
+                if !Si::disjoint(ca, cb) {
+                    all_disjoint = false;
+                }
+            }
+        }
+    }
+    match (all_disjoint, collision) {
+        (true, _) => Verdict::Disjoint,
+        (false, Some((segment, index))) => Verdict::Collides { segment, index },
+        (false, None) => Verdict::Unknown,
+    }
+}
+
+fn seg_names(segments: &[Segment], m: u64) -> String {
+    segments
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| m & (1 << i) != 0)
+        .map(|(_, s)| format!("'{}'", s.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_num(v: &AbsVal) -> String {
+    match v.num {
+        Some(si) => si.to_string(),
+        None => "?".to_string(),
+    }
 }

@@ -3,9 +3,7 @@
 //! diagnostic codes.
 
 use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
-use tyr_dfg::{
-    AllocKind, BlockId, Dfg, GraphBuilder, InKind, NodeId, NodeKind, PortRef, ROOT_BLOCK,
-};
+use tyr_dfg::{AllocKind, Dfg, GraphBuilder, InKind, NodeId, NodeKind, PortRef, ROOT_BLOCK};
 use tyr_ir::build::ProgramBuilder;
 use tyr_ir::{MemoryImage, Operand, Program};
 use tyr_sim::tagged::TagPolicy;
@@ -293,7 +291,12 @@ fn race_pass_flags_unordered_stores_only() {
 
     let racy = build(false, [NodeKind::Store, NodeKind::Store]);
     let diags = check_races(&racy, &mem, &[]);
-    assert!(diags.iter().any(|d| d.code == Code::StoreStoreRace), "{diags:?}");
+    // Both stores hit the segment base itself, so the index analysis proves
+    // they always collide: the finding is upgraded to an error with the
+    // witness index.
+    let d = diags.iter().find(|d| d.code == Code::StoreStoreRace).expect("M001");
+    assert_eq!(d.severity, tyr_verify::Severity::Error, "{diags:?}");
+    assert!(d.message.contains("always collide at index 0"), "{}", d.message);
 
     // Same stores with a dependence edge: ordered, no finding.
     let serial = build(true, [NodeKind::Store, NodeKind::Store]);
@@ -303,7 +306,8 @@ fn race_pass_flags_unordered_stores_only() {
     let atomic = build(false, [NodeKind::StoreAdd, NodeKind::StoreAdd]);
     assert!(check_races(&atomic, &mem, &[]).is_empty());
 
-    // Load vs. store, unordered: M002, as a warning (verification passes).
+    // Load vs. store at the same singleton address, unordered: M002,
+    // upgraded to an error by the collision proof.
     let mixed = {
         let mut g = GraphBuilder::new();
         g.add_block("root", None, false);
@@ -325,7 +329,107 @@ fn race_pass_flags_unordered_stores_only() {
     // The load's address is the segment base, delivered as argument 0.
     let report = verify_with("mixed", &mixed, None, Some((&mem, &[arr.base_const()])));
     assert!(report.has(Code::LoadStoreRace), "{}", report.render());
-    assert!(report.is_clean(), "races must be warnings:\n{}", report.render());
+    assert!(!report.is_clean(), "a proven collision must fail verification:\n{}", report.render());
+
+    // An address the analysis cannot pin down (a two-way merge of base and
+    // base+1) against the base itself: possibly-overlapping, still a
+    // warning — verification passes.
+    let undecided = {
+        let mut g = GraphBuilder::new();
+        g.add_block("root", None, false);
+        let source = g.add_node(NodeKind::Source, ROOT_BLOCK, vec![], 1, "source");
+        let addr = g.add_node(
+            NodeKind::Merge,
+            ROOT_BLOCK,
+            vec![InKind::Imm(arr.base_const()), InKind::Wire],
+            1,
+            "addr",
+        );
+        g.connect(source, 0, PortRef { node: addr, port: 1 });
+        let s0 = g.add_node(NodeKind::Store, ROOT_BLOCK, vec![InKind::Wire, InKind::Wire], 1, "s0");
+        g.connect(addr, 0, PortRef { node: s0, port: 0 });
+        g.connect(source, 0, PortRef { node: s0, port: 1 });
+        let s1 = g.add_node(
+            NodeKind::Store,
+            ROOT_BLOCK,
+            vec![InKind::Imm(arr.base_const()), InKind::Wire],
+            1,
+            "s1",
+        );
+        g.connect(source, 0, PortRef { node: s1, port: 1 });
+        let sink = g.add_node(NodeKind::Sink, ROOT_BLOCK, vec![InKind::Wire], 0, "sink");
+        g.connect(s1, 0, PortRef { node: sink, port: 0 });
+        g.finish(source, sink, 1)
+    };
+    // Argument 0 (the source's port-0 value, merged into the address) is
+    // base + 1: the merged address is {base, base+1}, not a singleton.
+    let report = verify_with("undecided", &undecided, None, Some((&mem, &[arr.base_const() + 1])));
+    assert!(report.has(Code::StoreStoreRace), "{}", report.render());
+    assert!(report.is_clean(), "undecided overlaps stay warnings:\n{}", report.render());
+}
+
+#[test]
+fn strided_even_odd_stores_are_proven_disjoint() {
+    // Two unordered plain stores into the same segment — exactly the shape
+    // PR 1's segment-mask analysis warned about (M001: intersecting masks
+    // prove overlap of segments, not of index sets). One store's address
+    // set is {base, base+2} (stride 2, even residue), the other's is
+    // {base+1, base+3} (stride 2, odd residue): the strided-interval
+    // analysis proves the residues incompatible mod 2 and suppresses the
+    // warning outright.
+    let mut mem = MemoryImage::new();
+    let arr = mem.alloc("out", 8);
+    let build = |offset: i64| -> Dfg {
+        let mut g = GraphBuilder::new();
+        g.add_block("root", None, false);
+        let source = g.add_node(NodeKind::Source, ROOT_BLOCK, vec![], 1, "source");
+        // Even set: merge of the segment base (immediate) and base+2 (the
+        // program argument) — the analysis joins them into {base, base+2}
+        // step 2, carrying the segment's provenance from the base match.
+        let even = g.add_node(
+            NodeKind::Merge,
+            ROOT_BLOCK,
+            vec![InKind::Imm(arr.base_const()), InKind::Wire],
+            1,
+            "even",
+        );
+        g.connect(source, 0, PortRef { node: even, port: 1 });
+        let st_e =
+            g.add_node(NodeKind::Store, ROOT_BLOCK, vec![InKind::Wire, InKind::Wire], 1, "st_e");
+        g.connect(even, 0, PortRef { node: st_e, port: 0 });
+        g.connect(source, 0, PortRef { node: st_e, port: 1 });
+        // Second set: the even set shifted by `offset`, through real address
+        // arithmetic so provenance follows.
+        let shifted = g.add_node(
+            NodeKind::Alu(tyr_ir::AluOp::Add),
+            ROOT_BLOCK,
+            vec![InKind::Wire, InKind::Imm(offset)],
+            1,
+            "shifted",
+        );
+        g.connect(even, 0, PortRef { node: shifted, port: 0 });
+        let st_s =
+            g.add_node(NodeKind::Store, ROOT_BLOCK, vec![InKind::Wire, InKind::Wire], 1, "st_s");
+        g.connect(shifted, 0, PortRef { node: st_s, port: 0 });
+        g.connect(source, 0, PortRef { node: st_s, port: 1 });
+        let sink = g.add_node(NodeKind::Sink, ROOT_BLOCK, vec![InKind::Wire], 0, "sink");
+        g.connect(st_s, 0, PortRef { node: sink, port: 0 });
+        g.finish(source, sink, 1)
+    };
+    let args = [arr.base_const() + 2];
+
+    // Offset 1: {base, base+2} vs {base+1, base+3} — incompatible residues
+    // mod 2, the PR-1 warning is resolved to a proof of safety.
+    let diags = check_races(&build(1), &mem, &args);
+    assert!(diags.is_empty(), "even/odd strides must be proven disjoint: {diags:?}");
+
+    // Offset 2: {base, base+2} vs {base+2, base+4} share the even residue
+    // and may both hit base+2 — the honest warning stays (and no collision
+    // upgrade: neither address is a singleton).
+    let diags = check_races(&build(2), &mem, &args);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, Code::StoreStoreRace);
+    assert_eq!(diags[0].severity, tyr_verify::Severity::Warning, "{diags:?}");
 }
 
 #[test]

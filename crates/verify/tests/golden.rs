@@ -1,0 +1,96 @@
+//! Golden snapshots of full diagnostic output, plus a scaling guard on the
+//! race pass.
+//!
+//! The snapshots pin the *complete rendered report* for `dmv` and `spmspv`
+//! under all three tagged elaborations, each checked against a
+//! deliberately scarce tag policy so the reports are non-trivial: message
+//! drift (wording, ordering, severities, locations) shows up as a test
+//! diff in review instead of silently reaching users. Regenerate with
+//! `TYR_BLESS=1 cargo test -p tyr-verify --test golden` after an
+//! intentional change, and read the diff.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+use tyr_sim::tagged::TagPolicy;
+use tyr_verify::{check_races, verify_with};
+use tyr_workloads::{by_name, suite, Scale};
+
+/// Seed for the workload generator; must stay fixed or every snapshot
+/// changes.
+const SEED: u64 = 5;
+
+fn golden(name: &str, actual: &str) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"));
+    if std::env::var_os("TYR_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); regenerate with TYR_BLESS=1", path.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "diagnostic output for '{name}' drifted from its golden snapshot; \
+         if intentional, regenerate with TYR_BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn snapshot_diagnostics_for_dmv_and_spmspv() {
+    // Scarce policies per elaboration: Local(1) starves every loop space
+    // (T001); a bounded global pool of 2 trips the nesting predictor
+    // (T003); the unbounded elaboration has nothing to starve and pins the
+    // clean-report rendering instead.
+    let elaborations: [(TaggingDiscipline, &str, TagPolicy); 3] = [
+        (TaggingDiscipline::Tyr, "tyr", TagPolicy::local(1)),
+        (
+            TaggingDiscipline::UnorderedBounded,
+            "unordered-bounded",
+            TagPolicy::GlobalBounded { tags: 2 },
+        ),
+        (TaggingDiscipline::UnorderedUnbounded, "unordered-unbounded", TagPolicy::GlobalUnbounded),
+    ];
+    for kernel in ["dmv", "spmspv"] {
+        let w = by_name(kernel, Scale::Tiny, SEED).unwrap();
+        for (discipline, label, policy) in &elaborations {
+            let dfg = lower_tagged(&w.program, *discipline).unwrap();
+            let title = format!("{kernel}/{label}");
+            let report = verify_with(&title, &dfg, Some(policy), Some((&w.memory, &w.args)));
+            golden(&format!("{kernel}_{label}"), &report.render());
+        }
+    }
+}
+
+/// The races pass sits on the framework's precomputed edge maps; finding
+/// an input's producers is O(1) per port instead of the old
+/// O(nodes × edges) rescan per query. Guard the complexity class with a
+/// debug-build wall-clock bound on the largest Table II kernel: many
+/// repetitions must stay comfortably inside a budget the quadratic scan
+/// would blow.
+#[test]
+fn race_pass_is_fast_on_the_largest_kernel() {
+    let kernels = suite(Scale::Tiny, SEED);
+    let (w, dfg) = kernels
+        .iter()
+        .map(|w| (w, lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap()))
+        .max_by_key(|(_, d)| d.nodes.len())
+        .unwrap();
+    let start = Instant::now();
+    let reps = 25;
+    for _ in 0..reps {
+        let diags = check_races(&dfg, &w.memory, &w.args);
+        assert!(diags.is_empty(), "{}: {diags:?}", w.name);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "{reps} race passes over {} ({} nodes) took {elapsed:?} — \
+         the per-query producer scan has regressed",
+        w.name,
+        dfg.nodes.len(),
+    );
+}

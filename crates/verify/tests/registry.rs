@@ -1,0 +1,89 @@
+//! The diagnostic-code registry contract: every `Code` variant must have a
+//! unique stable string, a severity, and a row in DESIGN.md §5's pass
+//! tables — so a new pass cannot land without documentation, and the docs
+//! cannot drift from the code.
+
+use std::collections::BTreeSet;
+
+use tyr_verify::{Code, Severity};
+
+/// Extracts section 5 of DESIGN.md (from its `## 5.` heading to the next
+/// top-level heading).
+fn design_section_5() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("DESIGN.md at the workspace root");
+    let start = text.find("\n## 5.").expect("DESIGN.md has a section 5");
+    let body = &text[start + 1..];
+    let end = body[3..].find("\n## ").map(|i| i + 3 + 1).unwrap_or(body.len());
+    body[..end].to_string()
+}
+
+/// Collects every code mentioned in the section's tables, expanding
+/// `` `S001`–`S007` `` ranges. Only table rows (lines starting with `|`)
+/// count: a code name dropped in prose is not registry coverage.
+fn documented_codes(section: &str) -> BTreeSet<String> {
+    let is_code = |s: &str| {
+        s.len() == 4
+            && s.starts_with(|c: char| c.is_ascii_uppercase())
+            && s[1..].chars().all(|c| c.is_ascii_digit())
+    };
+    let mut out = BTreeSet::new();
+    for line in section.lines().filter(|l| l.trim_start().starts_with('|')) {
+        // Backtick-split: odd indices are inside backticks, even are the
+        // text between them (where a range's `–` lives).
+        let parts: Vec<&str> = line.split('`').collect();
+        let mut i = 1;
+        while i < parts.len() {
+            if is_code(parts[i]) {
+                let lo_letter = &parts[i][..1];
+                if i + 2 < parts.len()
+                    && parts[i + 1] == "\u{2013}"
+                    && is_code(parts[i + 2])
+                    && parts[i + 2].starts_with(lo_letter)
+                {
+                    let lo: u32 = parts[i][1..].parse().unwrap();
+                    let hi: u32 = parts[i + 2][1..].parse().unwrap();
+                    assert!(lo < hi, "inverted range in DESIGN.md: {line}");
+                    for n in lo..=hi {
+                        out.insert(format!("{lo_letter}{n:03}"));
+                    }
+                    i += 4;
+                    continue;
+                }
+                out.insert(parts[i].to_string());
+            }
+            i += 2;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_code_is_unique_stable_and_documented() {
+    let documented = documented_codes(&design_section_5());
+    assert!(!documented.is_empty(), "no codes found in DESIGN.md §5 tables");
+
+    let mut seen = BTreeSet::new();
+    for code in Code::ALL {
+        let s = code.as_str();
+        // Stable shape: one pass letter, three digits.
+        assert_eq!(s.len(), 4, "{code:?}: code string {s:?} is not letter+3-digits");
+        assert!(s.starts_with(|c: char| c.is_ascii_uppercase()), "{s:?}");
+        assert!(s[1..].chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        // Unique.
+        assert!(seen.insert(s), "duplicate code string {s:?}");
+        // Display matches the stable string, and a severity is assigned.
+        assert_eq!(code.to_string(), s);
+        assert!(matches!(code.severity(), Severity::Note | Severity::Warning | Severity::Error));
+        // Documented in the §5 pass table.
+        assert!(documented.contains(s), "{s} ({code:?}) has no row in DESIGN.md §5's tables");
+    }
+
+    // And the docs claim nothing the registry doesn't provide.
+    for s in &documented {
+        assert!(
+            Code::ALL.iter().any(|c| c.as_str() == s),
+            "DESIGN.md §5 documents {s}, but no Code variant carries it"
+        );
+    }
+}
