@@ -1,15 +1,28 @@
 #!/bin/sh
 # Offline-safe CI gate: formatting, lints, build, tests, and the static
 # verifier. Everything runs with --offline — the workspace has no external
-# dependencies by design (DESIGN.md §6).
+# dependencies by design (DESIGN.md §7).
 set -eux
 
+# --workspace everywhere: the root facade does not depend on tyr-bench, so
+# without it `cargo build` would skip the `repro` binary the gate drives
+# (and `cargo test` would run only the facade's suites).
 cargo fmt --all --check
-cargo clippy --offline --all-targets -- -D warnings
-cargo build --offline --release
-cargo test --offline -q
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo build --offline --workspace --release
+cargo test --offline --workspace -q
 # The full static-analysis + translation-validation battery over the suite
 # (tiny scale keeps the gate fast), including the Fig. 11 and ordered-FIFO
 # static-vs-dynamic cross-validations; exits nonzero on any diagnostic
 # error or cross-validation disagreement.
 target/release/repro --scale tiny verify
+# Probe-layer gate: run `repro trace` on one kernel per engine family and
+# validate the emitted Chrome-trace JSON — the subcommand itself exits
+# nonzero unless the file parses and contains at least one event of every
+# taxonomy kind that engine is specified to emit (DESIGN.md §6).
+trace_dir=$(mktemp -d)
+for engine in tyr tagged-global-bounded ordered seqdf seqvn ooo; do
+  target/release/repro --scale tiny --out "$trace_dir/dmv_$engine.json" \
+    trace dmv "$engine"
+done
+rm -rf "$trace_dir"

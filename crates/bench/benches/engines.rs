@@ -11,6 +11,7 @@ use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
 use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
 use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_stats::probe::CountingProbe;
 use tyr_workloads::{by_name, Scale};
 
 fn main() {
@@ -42,6 +43,26 @@ fn main() {
         h.bench(&format!("engine_throughput/seqdf/{app}"), || {
             let cfg = SeqDataflowConfig::default();
             black_box(SeqDataflowEngine::new(&w.program, w.memory.clone(), cfg).run().unwrap())
+        });
+    }
+
+    // Probe overhead: the NoProbe default must compile all emission out of
+    // the hot loops, so the no-op row should match the plain engine rows
+    // above and beat the counting sink (which pays one call per event).
+    {
+        let w = by_name("dmv", Scale::Tiny, 7).unwrap();
+        let tyr = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+        h.bench("probe_overhead/noop/dmv", || {
+            let cfg = TaggedConfig { tag_policy: TagPolicy::local(64), ..TaggedConfig::default() };
+            black_box(TaggedEngine::new(&tyr, w.memory.clone(), cfg).run().unwrap())
+        });
+        h.bench("probe_overhead/counting/dmv", || {
+            let cfg = TaggedConfig { tag_policy: TagPolicy::local(64), ..TaggedConfig::default() };
+            let mut probe = CountingProbe::default();
+            let r =
+                TaggedEngine::with_probe(&tyr, w.memory.clone(), cfg, &mut probe).run().unwrap();
+            black_box(probe.events);
+            black_box(r)
         });
     }
 

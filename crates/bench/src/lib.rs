@@ -6,6 +6,7 @@
 
 pub mod figures;
 pub mod micro;
+pub mod trace;
 pub mod verify;
 
 use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};

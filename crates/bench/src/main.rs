@@ -18,16 +18,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
-use tyr_bench::verify;
+use tyr_bench::{trace, verify};
 use tyr_workloads::Scale;
 
-const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--csv DIR] <command>...
-commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all";
+const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--csv DIR] [--out FILE] <command>...
+commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all
+          trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = Ctx::default();
     let mut cmds: Vec<String> = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -59,6 +61,7 @@ fn main() -> ExitCode {
                 ctx.cfg.mem_latency = opt_value("--mem-latency").parse().expect("numeric latency")
             }
             "--csv" => ctx.csv_dir = Some(PathBuf::from(opt_value("--csv"))),
+            "--out" => trace_out = Some(PathBuf::from(opt_value("--out"))),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -110,8 +113,22 @@ fn main() -> ExitCode {
         None
     };
 
-    for cmd in &cmds {
+    let mut i = 0;
+    while i < cmds.len() {
+        let cmd = &cmds[i];
         match cmd.as_str() {
+            // `trace` consumes the two following positional arguments.
+            "trace" => {
+                let (Some(kernel), Some(engine)) = (cmds.get(i + 1), cmds.get(i + 2)) else {
+                    eprintln!("trace needs <kernel> and <engine>\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = trace::run(&ctx, kernel, engine, trace_out.as_deref()) {
+                    eprintln!("trace failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                i += 2;
+            }
             "verify" => {
                 if !verify::run(&ctx) {
                     return ExitCode::FAILURE;
@@ -141,6 +158,7 @@ fn main() -> ExitCode {
             }
         }
         println!();
+        i += 1;
     }
     ExitCode::SUCCESS
 }

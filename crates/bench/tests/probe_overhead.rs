@@ -1,0 +1,73 @@
+//! Guard for the probe layer's zero-cost claim: an engine instantiated with
+//! the default `NoProbe` must run a dmv kernel no slower than the same
+//! engine with a counting sink attached (which pays one call per emitted
+//! event), and the whole timing loop must stay comfortably inside a
+//! debug-build wall-clock budget.
+
+use std::time::{Duration, Instant};
+
+use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_stats::probe::CountingProbe;
+use tyr_workloads::{by_name, Scale};
+
+fn cfg() -> TaggedConfig {
+    TaggedConfig { tag_policy: TagPolicy::local(64), ..TaggedConfig::default() }
+}
+
+#[test]
+fn noop_probe_adds_no_measurable_overhead_on_dmv() {
+    let w = by_name("dmv", Scale::Tiny, 7).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+
+    // Warm up caches and the allocator before timing anything.
+    let warm = TaggedEngine::new(&dfg, w.memory.clone(), cfg()).run().unwrap();
+    assert!(warm.is_complete());
+
+    let reps = 30;
+    let mut noop: Vec<Duration> = Vec::with_capacity(reps);
+    let mut counting: Vec<Duration> = Vec::with_capacity(reps);
+    let mut events = 0u64;
+    // Interleave the two variants so drift (thermal, scheduler) hits both
+    // populations equally.
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg()).run().unwrap();
+        noop.push(t.elapsed());
+        assert!(r.is_complete());
+
+        let t = Instant::now();
+        let mut probe = CountingProbe::default();
+        let r = TaggedEngine::with_probe(&dfg, w.memory.clone(), cfg(), &mut probe).run().unwrap();
+        counting.push(t.elapsed());
+        assert!(r.is_complete());
+        events = probe.events;
+    }
+    assert!(events > 0, "counting sink saw no events");
+
+    let median = |v: &mut Vec<Duration>| {
+        v.sort();
+        v[v.len() / 2]
+    };
+    let noop_med = median(&mut noop);
+    let counting_med = median(&mut counting);
+
+    // The counting sink does strictly more work per event than a compiled-out
+    // no-op, so the no-op median must not exceed it beyond timer noise.
+    let budget = counting_med.mul_f64(1.25) + Duration::from_millis(2);
+    assert!(
+        noop_med <= budget,
+        "NoProbe dmv run (median {noop_med:?} over {reps} reps) is slower than the \
+         counting-probe run ({counting_med:?}) — probe emission is no longer \
+         compiling out of the hot loops",
+    );
+
+    // Absolute wall-clock bound in the golden.rs style: many instrumented
+    // repetitions must stay far inside a budget even in a debug build.
+    let total: Duration = noop.iter().chain(counting.iter()).sum();
+    assert!(
+        total.as_secs_f64() < 30.0,
+        "{reps}x2 instrumented dmv runs took {total:?} — the probe layer has \
+         regressed the tagged engine's throughput",
+    );
+}

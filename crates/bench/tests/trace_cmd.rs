@@ -1,0 +1,83 @@
+//! End-to-end acceptance tests for `repro trace`: every engine family's
+//! emitted Chrome-trace JSON must round-trip through validation with at
+//! least one event of each kind that engine is specified to emit, and the
+//! Fig. 11 bounded-global deadlock must be attributed to tag starvation on
+//! a wedged allocate.
+
+use tyr_bench::figures::Ctx;
+use tyr_bench::trace::{self, expected_kinds, BOUNDED_POOL, ENGINE_NAMES};
+use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_stats::probe::ChromeTrace;
+use tyr_stats::{NodeProfiler, StallReason};
+use tyr_workloads::{by_name, Scale};
+
+fn tiny_ctx() -> Ctx {
+    Ctx { scale: Scale::Tiny, ..Ctx::default() }
+}
+
+/// The same gate `ci.sh` runs, but over every engine name in one sweep: the
+/// subcommand succeeds, the file it writes parses, and the per-engine
+/// taxonomy coverage table is satisfied.
+#[test]
+fn every_engine_trace_round_trips() {
+    let ctx = tiny_ctx();
+    let dir = std::env::temp_dir().join(format!("tyr_trace_test_{}", std::process::id()));
+    for engine in ENGINE_NAMES {
+        let path = dir.join(format!("{engine}.json"));
+        trace::run(&ctx, "dmv", engine, Some(&path)).unwrap_or_else(|e| panic!("{engine}: {e}"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        let kinds = ChromeTrace::validate(&json).unwrap_or_else(|e| panic!("{engine}: {e}"));
+        assert!(!expected_kinds(engine).is_empty(), "{engine} has no coverage spec");
+        for k in expected_kinds(engine) {
+            assert!(
+                kinds.get(k.name()).copied().unwrap_or(0) > 0,
+                "{engine} trace is missing '{}' events",
+                k.name()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fig. 11 with the profiler attached: a small FCFS global pool wedges dmv,
+/// and the stall-attribution table pins the deadlock on an allocate that
+/// spent the tail of the run tag-starved.
+#[test]
+fn fig11_deadlock_is_attributed_to_tag_starvation() {
+    let w = by_name("dmv", Scale::Tiny, 7).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    let mut prof = NodeProfiler::new();
+    let c = TaggedConfig {
+        tag_policy: TagPolicy::GlobalBounded { tags: BOUNDED_POOL },
+        args: w.args.clone(),
+        ..TaggedConfig::default()
+    };
+    let r = TaggedEngine::with_probe(&dfg, w.memory.clone(), c, &mut prof).run().unwrap();
+    assert!(!r.is_complete(), "a pool of {BOUNDED_POOL} global tags must wedge dmv (Fig. 11)");
+    let report = prof.report(r.final_cycle());
+    let starved = report
+        .nodes
+        .iter()
+        .max_by_key(|n| n.stall_cycles[StallReason::TagStarved.index()])
+        .unwrap();
+    assert!(
+        starved.stall_cycles[StallReason::TagStarved.index()] > 0,
+        "deadlocked run must show tag-starved cycles"
+    );
+    assert!(
+        starved.label.contains("alloc"),
+        "the dominant starved node should be a wedged allocate, got '{}'",
+        starved.label
+    );
+    assert!(!starved.block.is_empty(), "starved node must carry its block name");
+}
+
+#[test]
+fn trace_rejects_unknown_names() {
+    let ctx = tiny_ctx();
+    let err = trace::run(&ctx, "nope", "tyr", None).unwrap_err();
+    assert!(err.contains("unknown kernel"), "{err}");
+    let err = trace::run(&ctx, "dmv", "nope", None).unwrap_err();
+    assert!(err.contains("unknown engine"), "{err}");
+}

@@ -16,6 +16,12 @@
 //! All engines execute up to an issue width of instructions per cycle, take
 //! one cycle per instruction, and sample live state and IPC every cycle;
 //! results are returned as a [`RunResult`].
+//!
+//! Every engine additionally has a `with_probe` constructor that attaches a
+//! [`Probe`] sink (re-exported from `tyr_stats::probe`); the default
+//! [`NoProbe`] compiles all emission out of the hot loops. See the
+//! `tyr_stats` crate for the built-in sinks (per-node profiler,
+//! Chrome-trace exporter).
 
 #![warn(missing_docs)]
 
@@ -27,3 +33,4 @@ pub mod seqvn;
 pub mod tagged;
 
 pub use result::{Outcome, RunResult, SimError};
+pub use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};

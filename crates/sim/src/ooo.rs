@@ -26,6 +26,7 @@ use std::collections::VecDeque;
 
 use tyr_ir::interp::{self, Tracer};
 use tyr_ir::{MemoryImage, Program, Value};
+use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
 use crate::result::{Outcome, RunResult, SimError};
@@ -50,10 +51,11 @@ impl Default for OooConfig {
 }
 
 /// The out-of-order vN engine.
-pub struct OooEngine<'a> {
+pub struct OooEngine<'a, P: Probe = NoProbe> {
     program: &'a Program,
     mem: MemoryImage,
     cfg: OooConfig,
+    probe: P,
 }
 
 /// Greedy window scheduler over the dynamic vN instruction stream.
@@ -180,18 +182,22 @@ impl WindowScheduler {
 /// dynamic instruction carries its definition id and its operands'
 /// definition ids, so operand readiness is each producer's true finish
 /// cycle.
-struct OooTracer {
+struct OooTracer<P: Probe> {
     sched: WindowScheduler,
     /// Finish cycle per definition id. A long-lived value (e.g. a loop
     /// invariant) can be referenced arbitrarily late, so the whole table is
     /// kept: 8 bytes per dynamic instruction.
     finish: Vec<u64>,
+    probe: P,
 }
 
-impl Tracer for OooTracer {
+impl<P: Probe> Tracer for OooTracer<P> {
     fn on_instr(&mut self, live_values: u64) {
         // Not reached: the interpreter always calls `on_instr_deps`.
         let f = self.sched.issue(0, live_values);
+        if P::ENABLED {
+            self.probe.event(f - 1, ProbeEvent::NodeFired { node: 0 });
+        }
         self.finish.push(f);
     }
 
@@ -202,6 +208,12 @@ impl Tracer for OooTracer {
             .max()
             .unwrap_or(0);
         let f = self.sched.issue(ready, live_values);
+        if P::ENABLED {
+            // Issue cycle = finish - 1. Issue times are not monotone across
+            // the stream (the defining OoO property); sinks tolerate
+            // out-of-order timestamps.
+            self.probe.event(f - 1, ProbeEvent::NodeFired { node: 0 });
+        }
         // `def` ids are issued consecutively starting at 1; binds into the
         // table may skip ids (branches define nothing consumed later) but
         // stay ordered.
@@ -213,9 +225,28 @@ impl Tracer for OooTracer {
 }
 
 impl<'a> OooEngine<'a> {
-    /// Builds an engine over a structured program.
+    /// Builds an engine over a structured program with no probe attached.
     pub fn new(program: &'a Program, mem: MemoryImage, cfg: OooConfig) -> Self {
-        OooEngine { program, mem, cfg }
+        OooEngine::with_probe(program, mem, cfg, NoProbe)
+    }
+}
+
+impl<'a, P: Probe> OooEngine<'a, P> {
+    /// Builds an engine that reports events to `probe` as it runs. Like the
+    /// vN engine, the OoO window has no spatial structure: each dynamic
+    /// instruction fires virtual node 0 (`instr`) in block 0 (`program`),
+    /// timestamped with its (out-of-order) issue cycle.
+    pub fn with_probe(
+        program: &'a Program,
+        mem: MemoryImage,
+        cfg: OooConfig,
+        mut probe: P,
+    ) -> Self {
+        if P::ENABLED {
+            probe.declare_block(0, "program");
+            probe.declare_node(0, "instr", 0);
+        }
+        OooEngine { program, mem, cfg, probe }
     }
 
     /// Runs the program.
@@ -228,6 +259,7 @@ impl<'a> OooEngine<'a> {
         let mut tracer = OooTracer {
             sched: WindowScheduler::new(self.cfg.window, self.cfg.issue_width),
             finish: vec![0],
+            probe: self.probe,
         };
         let out = interp::run_traced(
             self.program,

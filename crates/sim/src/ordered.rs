@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 
 use tyr_dfg::{Dfg, InKind, NodeKind};
 use tyr_ir::{MemoryImage, Value};
+use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
 use crate::result::{Outcome, RunResult, SimError};
@@ -99,7 +100,7 @@ impl Default for OrderedConfig {
 }
 
 /// The ordered-dataflow engine.
-pub struct OrderedEngine<'a> {
+pub struct OrderedEngine<'a, P: Probe = NoProbe> {
     dfg: &'a Dfg,
     mem: MemoryImage,
     cfg: OrderedConfig,
@@ -119,16 +120,41 @@ pub struct OrderedEngine<'a> {
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
+    probe: P,
+    /// Current stall reason per node, for edge-triggered probe emission.
+    /// Empty unless the probe is enabled.
+    stall_state: Vec<Option<StallReason>>,
 }
 
 impl<'a> OrderedEngine<'a> {
-    /// Builds an engine over an ordered-lowered graph.
+    /// Builds an engine over an ordered-lowered graph with no probe
+    /// attached.
     ///
     /// # Panics
     ///
     /// Panics if a non-source node has no wired input (it would fire every
     /// cycle forever).
     pub fn new(dfg: &'a Dfg, mem: MemoryImage, cfg: OrderedConfig) -> Self {
+        OrderedEngine::with_probe(dfg, mem, cfg, NoProbe)
+    }
+}
+
+impl<'a, P: Probe> OrderedEngine<'a, P> {
+    /// Builds an engine that reports events to `probe` as it runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-source node has no wired input (it would fire every
+    /// cycle forever).
+    pub fn with_probe(dfg: &'a Dfg, mem: MemoryImage, cfg: OrderedConfig, mut probe: P) -> Self {
+        if P::ENABLED {
+            for (i, b) in dfg.blocks.iter().enumerate() {
+                probe.declare_block(i as u32, &b.name);
+            }
+            for (i, n) in dfg.nodes.iter().enumerate() {
+                probe.declare_node(i as u32, &n.label, n.block.0);
+            }
+        }
         for n in &dfg.nodes {
             assert!(
                 matches!(n.kind, NodeKind::Source)
@@ -174,6 +200,8 @@ impl<'a> OrderedEngine<'a> {
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
+            probe,
+            stall_state: if P::ENABLED { vec![None; dfg.len()] } else { Vec::new() },
         }
     }
 
@@ -260,6 +288,41 @@ impl<'a> OrderedEngine<'a> {
         }
     }
 
+    /// Re-derives every node's stall reason against post-fire state and
+    /// emits `StallBegin`/`StallEnd` on transitions. A node holding tokens
+    /// but not fireable is either back-pressured (a full downstream FIFO)
+    /// or waiting on a partial input match (a starved FIFO); a node that
+    /// can fire next cycle is not stalled. Ordered graphs are untagged, so
+    /// stall intervals use tag 0.
+    fn scan_stalls(&mut self) {
+        for idx in 0..self.dfg.len() {
+            if matches!(self.dfg.nodes[idx].kind, NodeKind::Source | NodeKind::Sink) {
+                continue;
+            }
+            let held: usize = self.fifos[idx].iter().map(|q| q.len()).sum();
+            let now = if held == 0 || self.is_ready(idx) {
+                None
+            } else if self.back_pressured(idx) {
+                Some(StallReason::BackPressure)
+            } else {
+                Some(StallReason::PartialMatch)
+            };
+            if now == self.stall_state[idx] {
+                continue;
+            }
+            let node = idx as u32;
+            match now {
+                // A Begin on an already-open (node, tag) key switches the
+                // reason in the sinks; no explicit End needed first.
+                Some(reason) => {
+                    self.probe.event(self.cycle, ProbeEvent::StallBegin { node, tag: 0, reason });
+                }
+                None => self.probe.event(self.cycle, ProbeEvent::StallEnd { node, tag: 0 }),
+            }
+            self.stall_state[idx] = now;
+        }
+    }
+
     fn wired_inputs_ready(&self, idx: usize) -> bool {
         self.dfg.nodes[idx].ins.iter().enumerate().all(|(p, kind)| match kind {
             InKind::Imm(_) => true,
@@ -290,6 +353,12 @@ impl<'a> OrderedEngine<'a> {
             InKind::Imm(v) => v,
             InKind::Wire => {
                 self.live -= 1;
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::TokenConsumed { node: idx as u32, count: 1 },
+                    );
+                }
                 self.fifos[idx][port].pop_front().expect("readiness checked")
             }
         }
@@ -298,6 +367,9 @@ impl<'a> OrderedEngine<'a> {
     fn push_outputs(&mut self, idx: usize, port: usize, val: Value) {
         let targets = self.dfg.nodes[idx].outs[port].clone();
         for t in targets {
+            if P::ENABLED {
+                self.probe.event(self.cycle, ProbeEvent::TokenProduced { node: t.node.0 });
+            }
             self.fifos[t.node.0 as usize][t.port as usize].push_back(val);
             self.live += 1;
         }
@@ -400,6 +472,9 @@ impl<'a> OrderedEngine<'a> {
             let fired = ready.len() as u64;
             for idx in ready {
                 self.fire(idx)?;
+                if P::ENABLED {
+                    self.probe.event(self.cycle, ProbeEvent::NodeFired { node: idx as u32 });
+                }
             }
             // Release matured memory results — per load node, in issue
             // order, and only into FIFOs with space: the memory system
@@ -427,6 +502,9 @@ impl<'a> OrderedEngine<'a> {
                         self.push_outputs(idx, 0, v);
                     }
                 }
+            }
+            if P::ENABLED {
+                self.scan_stalls();
             }
             self.cycle += 1;
             self.fired_total += fired;

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use tyr_ir::{AluError, MemError, MemoryImage, Value};
-use tyr_stats::{IpcHistogram, Trace};
+use tyr_stats::{IpcHistogram, ProfileReport, Trace};
 
 /// How a simulation ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +29,31 @@ pub enum Outcome {
     },
 }
 
+impl fmt::Display for Outcome {
+    /// Renders the outcome the way the deadlock reports and
+    /// [`RunResult::cycles`]'s panic message present it: one summary line,
+    /// plus (for deadlocks) an indented `wedged:` line per stuck activation,
+    /// capped at eight.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Completed { cycles, dyn_instrs } => {
+                write!(f, "completed in {cycles} cycles ({dyn_instrs} dynamic instructions)")
+            }
+            Outcome::Deadlock { cycle, live_tokens, pending_allocates } => {
+                write!(f, "deadlocked at cycle {cycle} with {live_tokens} stranded token(s)")?;
+                const MAX_LINES: usize = 8;
+                for p in pending_allocates.iter().take(MAX_LINES) {
+                    write!(f, "\n  wedged: {p}")?;
+                }
+                if pending_allocates.len() > MAX_LINES {
+                    write!(f, "\n  … and {} more", pending_allocates.len() - MAX_LINES)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// The complete record of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -47,6 +72,9 @@ pub struct RunResult {
     /// engine). Quantifies the hardware token-store size each block needs —
     /// the implementability argument of Sec. III.
     pub store_peaks: Vec<(String, u64)>,
+    /// Per-node profile from the probe layer, when the run was executed
+    /// with a `NodeProfiler` attached (see `tyr_stats::profile`).
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunResult {
@@ -58,12 +86,18 @@ impl RunResult {
         memory: MemoryImage,
         returns: Vec<Value>,
     ) -> Self {
-        RunResult { outcome, live, ipc, memory, returns, store_peaks: Vec::new() }
+        RunResult { outcome, live, ipc, memory, returns, store_peaks: Vec::new(), profile: None }
     }
 
     /// Attaches per-block token-store peaks (builder-style).
     pub fn with_store_peaks(mut self, peaks: Vec<(String, u64)>) -> Self {
         self.store_peaks = peaks;
+        self
+    }
+
+    /// Attaches a per-node profile from the probe layer (builder-style).
+    pub fn with_profile(mut self, profile: ProfileReport) -> Self {
+        self.profile = Some(profile);
         self
     }
 
@@ -83,11 +117,18 @@ impl RunResult {
     ///
     /// Panics if the run deadlocked.
     pub fn cycles(&self) -> u64 {
+        match &self.outcome {
+            Outcome::Completed { cycles, .. } => *cycles,
+            dead => panic!("{dead}; no completion time"),
+        }
+    }
+
+    /// The cycle the run ended at, whether it completed or deadlocked —
+    /// the final timestamp for probe sinks.
+    pub fn final_cycle(&self) -> u64 {
         match self.outcome {
             Outcome::Completed { cycles, .. } => cycles,
-            Outcome::Deadlock { cycle, .. } => {
-                panic!("deadlocked at cycle {cycle}; no completion time")
-            }
+            Outcome::Deadlock { cycle, .. } => cycle,
         }
     }
 
@@ -235,6 +276,23 @@ mod tests {
         );
         assert!(!r.is_complete());
         let _ = r.cycles();
+    }
+
+    #[test]
+    fn outcome_display() {
+        let done = Outcome::Completed { cycles: 10, dyn_instrs: 25 };
+        assert_eq!(done.to_string(), "completed in 10 cycles (25 dynamic instructions)");
+        let dead = Outcome::Deadlock {
+            cycle: 5,
+            live_tokens: 3,
+            pending_allocates: (0..10).map(|i| format!("alloc {i}")).collect(),
+        };
+        let text = dead.to_string();
+        assert!(text.starts_with("deadlocked at cycle 5 with 3 stranded token(s)"));
+        assert!(text.contains("wedged: alloc 0"));
+        assert!(text.contains("wedged: alloc 7"));
+        assert!(!text.contains("alloc 8"), "wedged lines are capped");
+        assert!(text.contains("and 2 more"));
     }
 
     #[test]

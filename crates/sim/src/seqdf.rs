@@ -19,6 +19,7 @@
 //! the vN baseline.
 
 use tyr_ir::{MemoryImage, Program, Region, Stmt, Value, Var};
+use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
 use crate::result::{Outcome, RunResult, SimError};
@@ -41,10 +42,11 @@ impl Default for SeqDataflowConfig {
 }
 
 /// The sequential-dataflow engine.
-pub struct SeqDataflowEngine<'a> {
+pub struct SeqDataflowEngine<'a, P: Probe = NoProbe> {
     program: &'a Program,
     mem: MemoryImage,
     cfg: SeqDataflowConfig,
+    probe: P,
 }
 
 struct Frame {
@@ -54,9 +56,10 @@ struct Frame {
     level: Vec<u32>,
 }
 
-struct Exec<'a> {
+struct Exec<'a, P: Probe> {
     program: &'a Program,
     mem: &'a mut MemoryImage,
+    probe: &'a mut P,
     width: u64,
     max_cycles: u64,
     /// Instructions per dependence level in the current instance
@@ -70,9 +73,29 @@ struct Exec<'a> {
 }
 
 impl<'a> SeqDataflowEngine<'a> {
-    /// Builds an engine over a structured program.
+    /// Builds an engine over a structured program with no probe attached.
     pub fn new(program: &'a Program, mem: MemoryImage, cfg: SeqDataflowConfig) -> Self {
-        SeqDataflowEngine { program, mem, cfg }
+        SeqDataflowEngine::with_probe(program, mem, cfg, NoProbe)
+    }
+}
+
+impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
+    /// Builds an engine that reports events to `probe` as it runs. The
+    /// engine executes the structured IR directly (no per-node graph), so
+    /// all events are attributed to a single virtual node 0 (`instr`) in a
+    /// single virtual block 0 (`program`); values bound into activation
+    /// frames count as produced tokens, unbinds as consumed.
+    pub fn with_probe(
+        program: &'a Program,
+        mem: MemoryImage,
+        cfg: SeqDataflowConfig,
+        mut probe: P,
+    ) -> Self {
+        if P::ENABLED {
+            probe.declare_block(0, "program");
+            probe.declare_node(0, "instr", 0);
+        }
+        SeqDataflowEngine { program, mem, cfg, probe }
     }
 
     /// Runs the program.
@@ -85,6 +108,7 @@ impl<'a> SeqDataflowEngine<'a> {
         let mut exec = Exec {
             program: self.program,
             mem: &mut self.mem,
+            probe: &mut self.probe,
             width: self.cfg.issue_width.max(1) as u64,
             max_cycles: self.cfg.max_cycles,
             hist: Vec::new(),
@@ -101,7 +125,7 @@ impl<'a> SeqDataflowEngine<'a> {
     }
 }
 
-impl<'a> Exec<'a> {
+impl<'a, P: Probe> Exec<'a, P> {
     /// Schedules the accumulated instance DAG: levels in order, at most
     /// `width` instructions per cycle.
     fn flush(&mut self) -> Result<(), SimError> {
@@ -111,6 +135,11 @@ impl<'a> Exec<'a> {
                 let fire = remaining.min(self.width);
                 self.cycle += 1;
                 self.fired += fire;
+                if P::ENABLED {
+                    for _ in 0..fire {
+                        self.probe.event(self.cycle, ProbeEvent::NodeFired { node: 0 });
+                    }
+                }
                 self.trace.record(self.live);
                 self.ipc.record(fire);
                 remaining -= fire;
@@ -135,6 +164,9 @@ impl<'a> Exec<'a> {
         let slot = &mut frame.env[v.0 as usize];
         if slot.is_none() {
             self.live += 1;
+            if P::ENABLED {
+                self.probe.event(self.cycle, ProbeEvent::TokenProduced { node: 0 });
+            }
         }
         *slot = Some(value);
         frame.level[v.0 as usize] = level;
@@ -143,6 +175,9 @@ impl<'a> Exec<'a> {
     fn unbind(&mut self, frame: &mut Frame, v: Var) {
         if frame.env[v.0 as usize].take().is_some() {
             self.live -= 1;
+            if P::ENABLED {
+                self.probe.event(self.cycle, ProbeEvent::TokenConsumed { node: 0, count: 1 });
+            }
         }
         frame.level[v.0 as usize] = 0;
     }

@@ -11,6 +11,7 @@
 
 use tyr_ir::interp::{self, Tracer};
 use tyr_ir::{MemoryImage, Program, Value};
+use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
 use crate::result::{Outcome, RunResult, SimError};
@@ -31,28 +32,54 @@ impl Default for SeqVnConfig {
 }
 
 /// The sequential von Neumann engine.
-pub struct SeqVnEngine<'a> {
+pub struct SeqVnEngine<'a, P: Probe = NoProbe> {
     program: &'a Program,
     mem: MemoryImage,
     cfg: SeqVnConfig,
+    probe: P,
 }
 
-struct VnTracer {
+struct VnTracer<P: Probe> {
     trace: Trace,
     ipc: IpcHistogram,
+    probe: P,
+    cycle: u64,
 }
 
-impl Tracer for VnTracer {
+impl<P: Probe> Tracer for VnTracer<P> {
     fn on_instr(&mut self, live: u64) {
+        self.cycle += 1;
+        if P::ENABLED {
+            self.probe.event(self.cycle, ProbeEvent::NodeFired { node: 0 });
+        }
         self.trace.record(live);
         self.ipc.record(1);
     }
 }
 
 impl<'a> SeqVnEngine<'a> {
-    /// Builds an engine over a structured program.
+    /// Builds an engine over a structured program with no probe attached.
     pub fn new(program: &'a Program, mem: MemoryImage, cfg: SeqVnConfig) -> Self {
-        SeqVnEngine { program, mem, cfg }
+        SeqVnEngine::with_probe(program, mem, cfg, NoProbe)
+    }
+}
+
+impl<'a, P: Probe> SeqVnEngine<'a, P> {
+    /// Builds an engine that reports events to `probe` as it runs. The vN
+    /// machine has no spatial structure, so every retired instruction is a
+    /// fire of the single virtual node 0 (`instr`) in block 0 (`program`),
+    /// one per cycle.
+    pub fn with_probe(
+        program: &'a Program,
+        mem: MemoryImage,
+        cfg: SeqVnConfig,
+        mut probe: P,
+    ) -> Self {
+        if P::ENABLED {
+            probe.declare_block(0, "program");
+            probe.declare_node(0, "instr", 0);
+        }
+        SeqVnEngine { program, mem, cfg, probe }
     }
 
     /// Runs the program.
@@ -62,7 +89,8 @@ impl<'a> SeqVnEngine<'a> {
     /// Returns [`SimError::Interp`] on interpreter faults and
     /// [`SimError::CycleLimit`] if the instruction budget runs out.
     pub fn run(mut self) -> Result<RunResult, SimError> {
-        let mut tracer = VnTracer { trace: Trace::new(), ipc: IpcHistogram::new() };
+        let mut tracer =
+            VnTracer { trace: Trace::new(), ipc: IpcHistogram::new(), probe: self.probe, cycle: 0 };
         let out = interp::run_traced(
             self.program,
             &mut self.mem,

@@ -26,6 +26,7 @@ use std::collections::{HashMap, VecDeque};
 
 use tyr_dfg::{AllocKind, BlockId, Dfg, InKind, NodeId, NodeKind, PortRef};
 use tyr_ir::{MemoryImage, Value};
+use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
 use crate::result::{Outcome, RunResult, SimError};
@@ -202,9 +203,10 @@ enum Backend {
     Unbounded { next: u64 },
 }
 
-/// The tagged-dataflow engine. Construct with [`TaggedEngine::new`], run
-/// with [`TaggedEngine::run`].
-pub struct TaggedEngine<'a> {
+/// The tagged-dataflow engine. Construct with [`TaggedEngine::new`] (no
+/// observability, zero overhead) or [`TaggedEngine::with_probe`], run with
+/// [`TaggedEngine::run`].
+pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     dfg: &'a Dfg,
     mem: MemoryImage,
     cfg: TaggedConfig,
@@ -226,16 +228,38 @@ pub struct TaggedEngine<'a> {
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
+    probe: P,
 }
 
 impl<'a> TaggedEngine<'a> {
-    /// Builds an engine over a lowered graph and an initial memory image.
+    /// Builds an engine over a lowered graph and an initial memory image,
+    /// with the zero-cost [`NoProbe`] (every probe site compiles out).
     ///
     /// # Panics
     ///
     /// Panics if a node has more than 48 wired inputs (no lowering output
     /// comes close).
     pub fn new(dfg: &'a Dfg, mem: MemoryImage, cfg: TaggedConfig) -> Self {
+        TaggedEngine::with_probe(dfg, mem, cfg, NoProbe)
+    }
+}
+
+impl<'a, P: Probe> TaggedEngine<'a, P> {
+    /// Builds an engine that emits probe events into `probe` (pass `&mut
+    /// sink` to keep ownership of the sink across [`TaggedEngine::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node has more than 48 wired inputs.
+    pub fn with_probe(dfg: &'a Dfg, mem: MemoryImage, cfg: TaggedConfig, mut probe: P) -> Self {
+        if P::ENABLED {
+            for (i, b) in dfg.blocks.iter().enumerate() {
+                probe.declare_block(i as u32, &b.name);
+            }
+            for (i, n) in dfg.nodes.iter().enumerate() {
+                probe.declare_node(i as u32, &n.label, n.block.0);
+            }
+        }
         let mut required = Vec::with_capacity(dfg.len());
         for n in &dfg.nodes {
             let mut mask = 0u64;
@@ -339,6 +363,7 @@ impl<'a> TaggedEngine<'a> {
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
+            probe,
         }
     }
 
@@ -390,6 +415,9 @@ impl<'a> TaggedEngine<'a> {
                     continue; // moved back to the pending list
                 }
                 self.fire(NodeId(n), t)?;
+                if P::ENABLED {
+                    self.probe.event(self.cycle, ProbeEvent::NodeFired { node: n });
+                }
                 if self.cfg.free_token_sync && is_sync {
                     sync_fired += 1;
                 } else {
@@ -506,6 +534,12 @@ impl<'a> TaggedEngine<'a> {
                 Backend::Global { pending, .. } => pending.push_back((n, t)),
                 Backend::Unbounded { .. } => unreachable!("unbounded is always eligible"),
             }
+            if P::ENABLED {
+                self.probe.event(
+                    self.cycle,
+                    ProbeEvent::StallBegin { node: n, tag: t, reason: StallReason::TagStarved },
+                );
+            }
             false
         }
     }
@@ -571,6 +605,9 @@ impl<'a> TaggedEngine<'a> {
                 if self.alloc_eligible(space, AllocKind::Call, true) {
                     self.store[n as usize].or_flags(t, IN_QUEUE);
                     self.ready.push_back((n, t));
+                    if P::ENABLED {
+                        self.probe.event(self.cycle, ProbeEvent::StallEnd { node: n, tag: t });
+                    }
                 } else {
                     self.store[n as usize].or_flags(t, IN_PENDING);
                     match &mut self.backend {
@@ -590,6 +627,9 @@ impl<'a> TaggedEngine<'a> {
             if self.alloc_eligible(*space, *kind, ready) {
                 self.store[n as usize].or_flags(t, IN_QUEUE);
                 self.ready.push_back((n, t));
+                if P::ENABLED {
+                    self.probe.event(self.cycle, ProbeEvent::StallEnd { node: n, tag: t });
+                }
             } else {
                 self.store[n as usize].or_flags(t, IN_PENDING);
                 match &mut self.backend {
@@ -609,6 +649,9 @@ impl<'a> TaggedEngine<'a> {
     }
 
     fn emit_to(&mut self, target: PortRef, tag: u64, val: Value) {
+        if P::ENABLED {
+            self.probe.event(self.cycle, ProbeEvent::TokenProduced { node: target.node.0 });
+        }
         self.emissions.push((target, tag, val));
         self.live += 1;
         let b = self.dfg.nodes[target.node.0 as usize].block.0 as usize;
@@ -652,6 +695,10 @@ impl<'a> TaggedEngine<'a> {
         let n = eaten.count_ones() as u64;
         self.live -= n;
         self.block_live[self.dfg.nodes[node.0 as usize].block.0 as usize] -= n;
+        if P::ENABLED && n > 0 {
+            self.probe
+                .event(self.cycle, ProbeEvent::TokenConsumed { node: node.0, count: n as u32 });
+        }
     }
 
     /// Use-after-free sanitizer (`TaggedConfig::check_token_leaks`): after
@@ -738,6 +785,12 @@ impl<'a> TaggedEngine<'a> {
             NodeKind::Allocate { space, .. } => {
                 let space = *space;
                 let t_new = self.pop_tag(space);
+                if P::ENABLED {
+                    self.probe
+                        .event(self.cycle, ProbeEvent::TagAllocated { space: space.0, tag: t_new });
+                    self.probe
+                        .event(self.cycle, ProbeEvent::BlockEnter { block: space.0, tag: t_new });
+                }
                 let ready_present = self.store[idx].present(tag) & 0b10 != 0;
                 // Consume the request (port 0) and, if present, the ready
                 // (port 1, emitting the barrier control token).
@@ -775,11 +828,29 @@ impl<'a> TaggedEngine<'a> {
                                 Backend::Global { pending, .. } => pending.push_back((node.0, tag)),
                                 Backend::Unbounded { .. } => unreachable!(),
                             }
+                            if P::ENABLED {
+                                self.probe.event(
+                                    self.cycle,
+                                    ProbeEvent::StallBegin {
+                                        node: node.0,
+                                        tag,
+                                        reason: StallReason::TagStarved,
+                                    },
+                                );
+                            }
                             return Ok(());
                         }
                         self.pop_tag(space)
                     }
                 };
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::TagAllocated { space: n.block.0, tag: t_new },
+                    );
+                    self.probe
+                        .event(self.cycle, ProbeEvent::BlockEnter { block: n.block.0, tag: t_new });
+                }
                 self.consume(node, tag, self.required[idx]);
                 self.emit(node, 0, tag, t_new as Value);
             }
@@ -787,6 +858,10 @@ impl<'a> TaggedEngine<'a> {
                 let space = *space;
                 self.consume(node, tag, self.required[idx]);
                 self.push_tag(space, tag);
+                if P::ENABLED {
+                    self.probe.event(self.cycle, ProbeEvent::TagFreed { space: space.0, tag });
+                    self.probe.event(self.cycle, ProbeEvent::BlockExit { block: space.0, tag });
+                }
                 if self.cfg.check_token_leaks {
                     self.scan_freed_tag(space, tag)?;
                 }
@@ -795,6 +870,12 @@ impl<'a> TaggedEngine<'a> {
                 let t_new = self.input(node, tag, 0) as u64;
                 let v = self.input(node, tag, 1);
                 self.consume(node, tag, self.required[idx]);
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::TagChanged { node: node.0, from: tag, to: t_new },
+                    );
+                }
                 self.emit(node, 0, t_new, v);
                 if n.outs.len() > 1 {
                     self.emit(node, 1, tag, 0);
@@ -805,6 +886,12 @@ impl<'a> TaggedEngine<'a> {
                 let target = PortRef::decode(self.input(node, tag, 1));
                 let v = self.input(node, tag, 2);
                 self.consume(node, tag, self.required[idx]);
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::TagChanged { node: node.0, from: tag, to: t_new },
+                    );
+                }
                 self.emit_to(target, t_new, v);
                 if n.outs.len() > 1 {
                     self.emit(node, 1, tag, 0);
@@ -859,6 +946,12 @@ impl<'a> TaggedEngine<'a> {
                     self.store[idx].clear(tag, bit | AL_POPPED);
                     self.live -= 1;
                     self.block_live[self.dfg.nodes[idx].block.0 as usize] -= 1;
+                    if P::ENABLED {
+                        self.probe.event(
+                            self.cycle,
+                            ProbeEvent::TokenConsumed { node: target.node.0, count: 1 },
+                        );
+                    }
                     if self.dfg.nodes[idx].outs.len() > 1 {
                         self.emit(target.node, 1, tag, 0);
                     }
@@ -872,6 +965,12 @@ impl<'a> TaggedEngine<'a> {
                         self.store[idx].clear(tag, IN_PENDING);
                         self.store[idx].or_flags(tag, IN_QUEUE);
                         self.ready.push_back((target.node.0, tag));
+                        if P::ENABLED {
+                            self.probe.event(
+                                self.cycle,
+                                ProbeEvent::StallEnd { node: target.node.0, tag },
+                            );
+                        }
                     }
                     return Ok(());
                 }
@@ -884,6 +983,12 @@ impl<'a> TaggedEngine<'a> {
                     if self.alloc_eligible(*space, *kind, ready) {
                         self.store[idx].or_flags(tag, IN_QUEUE);
                         self.ready.push_back((target.node.0, tag));
+                        if P::ENABLED && before & 0b11 != 0 {
+                            self.probe.event(
+                                self.cycle,
+                                ProbeEvent::StallEnd { node: target.node.0, tag },
+                            );
+                        }
                     } else {
                         let space = *space;
                         self.store[idx].or_flags(tag, IN_PENDING);
@@ -896,7 +1001,30 @@ impl<'a> TaggedEngine<'a> {
                             }
                             Backend::Unbounded { .. } => unreachable!(),
                         }
+                        if P::ENABLED {
+                            // Switches any open partial-match interval to
+                            // tag starvation — the Fig. 11 attribution.
+                            self.probe.event(
+                                self.cycle,
+                                ProbeEvent::StallBegin {
+                                    node: target.node.0,
+                                    tag,
+                                    reason: StallReason::TagStarved,
+                                },
+                            );
+                        }
                     }
+                } else if P::ENABLED && before & 0b11 == 0 {
+                    // First token of the allocate's input set (the `ready`
+                    // arrived before the request): a partial-match wait.
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::StallBegin {
+                            node: target.node.0,
+                            tag,
+                            reason: StallReason::PartialMatch,
+                        },
+                    );
                 }
             }
             NodeKind::Merge => {
@@ -910,6 +1038,23 @@ impl<'a> TaggedEngine<'a> {
                 if present & req == req && present & IN_QUEUE == 0 {
                     self.store[idx].or_flags(tag, IN_QUEUE);
                     self.ready.push_back((target.node.0, tag));
+                    if P::ENABLED && before & req != 0 {
+                        // Earlier tokens of this set were waiting; the set
+                        // just completed.
+                        self.probe
+                            .event(self.cycle, ProbeEvent::StallEnd { node: target.node.0, tag });
+                    }
+                } else if P::ENABLED && before & req == 0 && present & IN_QUEUE == 0 {
+                    // First token of a multi-input set: the activation now
+                    // waits for its partners.
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::StallBegin {
+                            node: target.node.0,
+                            tag,
+                            reason: StallReason::PartialMatch,
+                        },
+                    );
                 }
             }
         }

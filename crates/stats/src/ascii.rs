@@ -127,7 +127,54 @@ pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize, log_scale: b
     out
 }
 
-fn truncate(s: &str, n: usize) -> &str {
+/// Intensity ramp for [`heatmap`], dimmest to brightest.
+const HEAT: &[u8] = b" .:-=+*#%@";
+
+/// Renders an ASCII heatmap: one labelled row per entry, the value series
+/// resampled onto `width` columns (max within each column), intensity scaled
+/// by `log10(v+1)` against the global maximum. Used for the per-block stall
+/// heatmap of `repro trace`.
+pub fn heatmap(title: &str, rows: &[(String, Vec<f64>)], width: usize) -> String {
+    let width = width.max(16);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if rows.iter().all(|(_, vs)| vs.is_empty()) {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let map = |v: f64| (v.max(0.0) + 1.0).log10();
+    let vmax = rows.iter().flat_map(|(_, vs)| vs.iter()).copied().fold(0.0f64, f64::max);
+    let mmax = map(vmax).max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(8).min(24);
+    for (label, vs) in rows {
+        out.push_str(&format!("  {:<label_w$} |", truncate(label, 24)));
+        for col in 0..width {
+            // Columns partition the series; take the max in each bucket so
+            // short spikes survive the resample.
+            let lo = col * vs.len() / width;
+            let hi = ((col + 1) * vs.len() / width).max(lo + 1).min(vs.len());
+            let v = if lo >= vs.len() {
+                0.0
+            } else {
+                vs[lo..hi].iter().copied().fold(0.0f64, f64::max)
+            };
+            let idx = ((map(v) / mmax) * (HEAT.len() - 1) as f64).round() as usize;
+            out.push(HEAT[idx.min(HEAT.len() - 1)] as char);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "  {:<label_w$} |{}| scale: ' '=0 .. '@'={}\n",
+        "time \u{2192}",
+        "-".repeat(width),
+        fmt_count(vmax)
+    ));
+    out
+}
+
+/// Clips `s` to at most `n` bytes (labels in this crate are ASCII).
+pub fn truncate(s: &str, n: usize) -> &str {
     if s.len() <= n {
         s
     } else {
@@ -199,6 +246,31 @@ mod tests {
         // Linear: small bar nearly invisible. Log: clearly visible.
         assert!(count(&lin, 1) <= 1);
         assert!(count(&log, 1) > 5);
+    }
+
+    #[test]
+    fn heatmap_intensity_tracks_values() {
+        let rows = vec![
+            ("hot".to_string(), vec![100.0; 64]),
+            ("cold".to_string(), vec![0.0; 64]),
+            ("spike".to_string(), {
+                let mut v = vec![0.0; 64];
+                v[40] = 100.0;
+                v
+            }),
+        ];
+        let map = heatmap("t", &rows, 32);
+        let lines: Vec<&str> = map.lines().collect();
+        assert!(lines[1].contains('@'), "max row renders at full intensity: {}", lines[1]);
+        assert!(!lines[2].contains('@'), "zero row stays blank: {}", lines[2]);
+        // The spike survives the 64 → 32 resample because buckets take max.
+        assert!(lines[3].contains('@'), "spike preserved: {}", lines[3]);
+        assert!(map.contains("scale:"));
+    }
+
+    #[test]
+    fn heatmap_empty() {
+        assert!(heatmap("t", &[], 32).contains("no data"));
     }
 
     #[test]

@@ -38,6 +38,80 @@ impl CsvTable {
         self.rows.len()
     }
 
+    /// The column names.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Parses CSV text produced by [`CsvTable::render`] back into a table,
+    /// honouring the same quoting rules (quoted fields may contain commas,
+    /// doubled quotes, and newlines).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unterminated quotes, stray quote characters, or
+    /// rows whose width differs from the header's.
+    pub fn parse(text: &str) -> Result<CsvTable, String> {
+        let mut records: Vec<Vec<String>> = Vec::new();
+        let mut row: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        let mut chars = text.chars().peekable();
+        let mut saw_any = false;
+        while let Some(c) = chars.next() {
+            saw_any = true;
+            if in_quotes {
+                match c {
+                    '"' if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        field.push('"');
+                    }
+                    '"' => in_quotes = false,
+                    c => field.push(c),
+                }
+            } else {
+                match c {
+                    '"' if field.is_empty() => in_quotes = true,
+                    '"' => return Err("stray quote inside unquoted field".into()),
+                    ',' => row.push(std::mem::take(&mut field)),
+                    '\r' => {}
+                    '\n' => {
+                        row.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut row));
+                    }
+                    c => field.push(c),
+                }
+            }
+        }
+        if in_quotes {
+            return Err("unterminated quoted field".into());
+        }
+        if !field.is_empty() || !row.is_empty() {
+            row.push(field);
+            records.push(row);
+        }
+        if !saw_any || records.is_empty() {
+            return Err("empty CSV input".into());
+        }
+        let header = records.remove(0);
+        for (i, r) in records.iter().enumerate() {
+            if r.len() != header.len() {
+                return Err(format!(
+                    "row {} has {} fields, header has {}",
+                    i + 1,
+                    r.len(),
+                    header.len()
+                ));
+            }
+        }
+        Ok(CsvTable { header, rows: records })
+    }
+
     /// Whether the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -109,6 +183,27 @@ mod tests {
     fn width_mismatch_panics() {
         let mut t = CsvTable::new(["a", "b"]);
         t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn parse_round_trips_quoting() {
+        let mut t = CsvTable::new(["label", "v"]);
+        t.push_row(["plain", "1"]);
+        t.push_row(["has,comma", "2"]);
+        t.push_row(["has\"quote", "3"]);
+        t.push_row(["multi\nline", "4"]);
+        let back = CsvTable::parse(&t.render()).unwrap();
+        assert_eq!(back.header(), t.header());
+        assert_eq!(back.rows(), t.rows());
+        assert_eq!(back.render(), t.render());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(CsvTable::parse("").is_err());
+        assert!(CsvTable::parse("a,b\n1\n").is_err(), "width mismatch");
+        assert!(CsvTable::parse("a\n\"open\n").is_err(), "unterminated quote");
+        assert!(CsvTable::parse("a\nx\"y\n").is_err(), "stray quote");
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! * [`ascii`] — terminal line/bar charts so every figure can be *seen* from
 //!   the `repro` binary without plotting infrastructure.
 //! * [`csv`] — tiny CSV writers for post-processing figure data externally.
+//! * [`probe`] — the engine-wide observability layer: the [`Probe`] trait
+//!   every engine emits typed events through (fires, tokens, tag traffic,
+//!   block enter/exit, attributed stalls), the zero-cost [`NoProbe`]
+//!   default, and the [`probe::ChromeTrace`] Perfetto/`chrome://tracing`
+//!   JSON exporter.
+//! * [`profile`] — the per-node aggregating profiler sink producing
+//!   [`profile::NodeProfile`] tables and per-block stall heatmaps.
+//! * [`json`] — the dependency-free JSON value/parser the trace exporter
+//!   and its validation are built on.
 //!
 //! # Example
 //!
@@ -35,9 +44,14 @@
 pub mod ascii;
 pub mod cdf;
 pub mod csv;
+pub mod json;
+pub mod probe;
+pub mod profile;
 pub mod summary;
 pub mod trace;
 
 pub use cdf::{Cdf, IpcHistogram};
+pub use probe::{NoProbe, Probe, ProbeEvent, StallReason};
+pub use profile::{NodeProfile, NodeProfiler, ProfileReport};
 pub use summary::{gmean, mean, speedup, Summary};
 pub use trace::Trace;

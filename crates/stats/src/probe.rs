@@ -1,0 +1,709 @@
+//! The engine-wide event probe layer.
+//!
+//! Every engine in `tyr-sim` is generic over a [`Probe`] and emits typed
+//! [`ProbeEvent`]s at the exact points where it already decides them: a node
+//! fires, a token is produced or consumed, a tag is allocated / freed /
+//! changed, a concurrent-block context is entered or exited, and — most
+//! importantly for the paper's argument — a node *stalls*, with the reason
+//! ([`StallReason`]) attributed at the stall site (partial-match wait,
+//! tag starvation, output back pressure).
+//!
+//! The default probe is [`NoProbe`], whose associated
+//! [`ENABLED`](Probe::ENABLED) constant is `false`: every emission site in
+//! the engines is guarded by `if P::ENABLED { ... }`, so with the no-op
+//! probe the entire layer is compiled out of the hot loops — no branches, no
+//! allocation, no calls (verified by a guarded micro-bench in `tyr-bench`).
+//!
+//! Two sinks ship with the crate: the per-node aggregating profiler in
+//! [`crate::profile`] and the [`ChromeTrace`] exporter here, which writes
+//! Chrome-trace / Perfetto JSON (blocks → processes, nodes → threads, stalls
+//! → async slices) so any run opens in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! Stall events are *intervals* keyed by `(node, tag)`: a
+//! [`ProbeEvent::StallBegin`] opens the interval (re-opening with a
+//! different reason switches it) and [`ProbeEvent::StallEnd`] closes it.
+//! Sinks close any still-open interval at the run's final cycle — this is
+//! precisely how a deadlocked run's wedged tokens show up with their full
+//! stall duration attributed (Fig. 11).
+
+use std::collections::HashMap;
+
+use crate::json::{self, Json};
+
+/// Why a node cannot make progress right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// Tokens sit in the matching store waiting for the rest of the node's
+    /// input set (classic dataflow partial-match wait).
+    PartialMatch,
+    /// An `allocate` / `newTag` request is parked because the tag space has
+    /// no (eligible) free tag — the Fig. 11 failure mode.
+    TagStarved,
+    /// The node's inputs are ready but an output FIFO is full (ordered
+    /// engine back pressure).
+    BackPressure,
+}
+
+impl StallReason {
+    /// All reasons, in display order.
+    pub const ALL: [StallReason; 3] =
+        [StallReason::PartialMatch, StallReason::TagStarved, StallReason::BackPressure];
+
+    /// Stable human-readable label (also used in trace JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::PartialMatch => "partial-match",
+            StallReason::TagStarved => "tag-starved",
+            StallReason::BackPressure => "back-pressure",
+        }
+    }
+
+    /// Dense index into per-reason arrays.
+    pub fn index(self) -> usize {
+        match self {
+            StallReason::PartialMatch => 0,
+            StallReason::TagStarved => 1,
+            StallReason::BackPressure => 2,
+        }
+    }
+}
+
+/// A typed engine event. All variants are `Copy`; emission is a plain call
+/// with two scalars and no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// `node` executed (counts exactly what the engine reports as a dynamic
+    /// instruction).
+    NodeFired {
+        /// Static node id.
+        node: u32,
+    },
+    /// A token was sent toward `node` (the *consumer*; occupancy of a node's
+    /// matching store is produced − consumed).
+    TokenProduced {
+        /// Consumer node id.
+        node: u32,
+    },
+    /// `node` consumed `count` waiting tokens when it fired.
+    TokenConsumed {
+        /// Node id.
+        node: u32,
+        /// Tokens removed from its matching store.
+        count: u32,
+    },
+    /// A tag was taken from tag space `space`.
+    TagAllocated {
+        /// Tag-space (block) id.
+        space: u32,
+        /// The concrete tag value.
+        tag: u64,
+    },
+    /// A tag was returned to tag space `space`.
+    TagFreed {
+        /// Tag-space (block) id.
+        space: u32,
+        /// The concrete tag value.
+        tag: u64,
+    },
+    /// A `changeTag` moved a value between contexts.
+    TagChanged {
+        /// The changeTag node id.
+        node: u32,
+        /// Tag the value arrived with.
+        from: u64,
+        /// Tag it leaves with.
+        to: u64,
+    },
+    /// A new dynamic instance of concurrent block `block` began (its
+    /// allocate fired).
+    BlockEnter {
+        /// Block id.
+        block: u32,
+        /// The instance's tag.
+        tag: u64,
+    },
+    /// A dynamic block instance completed (its free fired).
+    BlockExit {
+        /// Block id.
+        block: u32,
+        /// The instance's tag.
+        tag: u64,
+    },
+    /// `node` (activation `tag`) became unable to make progress. Re-opening
+    /// an open interval with a different reason switches it.
+    StallBegin {
+        /// Node id.
+        node: u32,
+        /// Activation tag (0 for untagged engines).
+        tag: u64,
+        /// Attributed reason.
+        reason: StallReason,
+    },
+    /// The stall interval for `(node, tag)` ended.
+    StallEnd {
+        /// Node id.
+        node: u32,
+        /// Activation tag.
+        tag: u64,
+    },
+}
+
+/// The event taxonomy, for coverage validation (the CI gate checks that a
+/// trace contains ≥ 1 event of every kind the traced engine can emit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// [`ProbeEvent::NodeFired`].
+    Fired,
+    /// [`ProbeEvent::TokenProduced`].
+    Produced,
+    /// [`ProbeEvent::TokenConsumed`].
+    Consumed,
+    /// [`ProbeEvent::TagAllocated`].
+    TagAllocated,
+    /// [`ProbeEvent::TagFreed`].
+    TagFreed,
+    /// [`ProbeEvent::TagChanged`].
+    TagChanged,
+    /// [`ProbeEvent::BlockEnter`].
+    BlockEnter,
+    /// [`ProbeEvent::BlockExit`].
+    BlockExit,
+    /// [`ProbeEvent::StallBegin`].
+    StallBegin,
+    /// [`ProbeEvent::StallEnd`].
+    StallEnd,
+}
+
+impl EventKind {
+    /// Every kind, in taxonomy order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::Fired,
+        EventKind::Produced,
+        EventKind::Consumed,
+        EventKind::TagAllocated,
+        EventKind::TagFreed,
+        EventKind::TagChanged,
+        EventKind::BlockEnter,
+        EventKind::BlockExit,
+        EventKind::StallBegin,
+        EventKind::StallEnd,
+    ];
+
+    /// Stable name used in trace JSON (`otherData.eventKinds`) and CI
+    /// validation.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Fired => "fired",
+            EventKind::Produced => "produced",
+            EventKind::Consumed => "consumed",
+            EventKind::TagAllocated => "tag-allocated",
+            EventKind::TagFreed => "tag-freed",
+            EventKind::TagChanged => "tag-changed",
+            EventKind::BlockEnter => "block-enter",
+            EventKind::BlockExit => "block-exit",
+            EventKind::StallBegin => "stall-begin",
+            EventKind::StallEnd => "stall-end",
+        }
+    }
+
+    /// Dense index into per-kind arrays.
+    pub fn index(self) -> usize {
+        EventKind::ALL.iter().position(|k| *k == self).unwrap()
+    }
+}
+
+impl ProbeEvent {
+    /// The taxonomy kind of this event.
+    pub fn kind(self) -> EventKind {
+        match self {
+            ProbeEvent::NodeFired { .. } => EventKind::Fired,
+            ProbeEvent::TokenProduced { .. } => EventKind::Produced,
+            ProbeEvent::TokenConsumed { .. } => EventKind::Consumed,
+            ProbeEvent::TagAllocated { .. } => EventKind::TagAllocated,
+            ProbeEvent::TagFreed { .. } => EventKind::TagFreed,
+            ProbeEvent::TagChanged { .. } => EventKind::TagChanged,
+            ProbeEvent::BlockEnter { .. } => EventKind::BlockEnter,
+            ProbeEvent::BlockExit { .. } => EventKind::BlockExit,
+            ProbeEvent::StallBegin { .. } => EventKind::StallBegin,
+            ProbeEvent::StallEnd { .. } => EventKind::StallEnd,
+        }
+    }
+}
+
+/// An event sink the engines emit into.
+///
+/// All methods default to no-ops so a sink only implements what it needs.
+/// The engines guard every emission site with `if P::ENABLED`, so a probe
+/// with `ENABLED = false` ([`NoProbe`]) costs nothing at runtime.
+pub trait Probe {
+    /// Whether the engine should emit at all. Emission sites (and any
+    /// probe-only bookkeeping) are compiled out when this is `false`.
+    const ENABLED: bool = true;
+
+    /// Announces a concurrent block (process in Chrome-trace terms) before
+    /// the run starts.
+    fn declare_block(&mut self, _block: u32, _name: &str) {}
+
+    /// Announces a node, its label, and its owning block before the run
+    /// starts.
+    fn declare_node(&mut self, _node: u32, _label: &str, _block: u32) {}
+
+    /// Delivers one event at `cycle`. Cycles are non-decreasing for all
+    /// engines except `ooo`, whose issue cycles may step backwards; sinks
+    /// must tolerate that.
+    fn event(&mut self, _cycle: u64, _ev: ProbeEvent) {}
+}
+
+/// The zero-cost default probe: `ENABLED = false`, so engines monomorphized
+/// over it contain no probe code at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    const ENABLED: bool = false;
+}
+
+/// Forwarding impl so callers can pass `&mut sink` to an engine (whose
+/// `run(self)` consumes it) and still own the sink afterwards.
+impl<P: Probe + ?Sized> Probe for &mut P {
+    const ENABLED: bool = P::ENABLED;
+
+    fn declare_block(&mut self, block: u32, name: &str) {
+        (**self).declare_block(block, name);
+    }
+
+    fn declare_node(&mut self, node: u32, label: &str, block: u32) {
+        (**self).declare_node(node, label, block);
+    }
+
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        (**self).event(cycle, ev);
+    }
+}
+
+/// Fan-out to two sinks (e.g. profiler + Chrome trace in one run).
+impl<A: Probe, B: Probe> Probe for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn declare_block(&mut self, block: u32, name: &str) {
+        self.0.declare_block(block, name);
+        self.1.declare_block(block, name);
+    }
+
+    fn declare_node(&mut self, node: u32, label: &str, block: u32) {
+        self.0.declare_node(node, label, block);
+        self.1.declare_node(node, label, block);
+    }
+
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        self.0.event(cycle, ev);
+        self.1.event(cycle, ev);
+    }
+}
+
+/// A probe that just counts events — useful for tests and as the "enabled
+/// but minimal" reference point in the overhead micro-bench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingProbe {
+    /// Total events received.
+    pub events: u64,
+}
+
+impl Probe for CountingProbe {
+    fn event(&mut self, _cycle: u64, _ev: ProbeEvent) {
+        self.events += 1;
+    }
+}
+
+/// Serialized Chrome-trace events beyond this count are dropped (with
+/// `otherData.truncated = true`) so a paper-scale run cannot write an
+/// unboundedly large file. Kind counts keep counting past the cap.
+const MAX_TRACE_EVENTS: usize = 1_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct FireRun {
+    start: u64,
+    last: u64,
+    count: u64,
+}
+
+/// Chrome-trace / Perfetto JSON exporter.
+///
+/// Mapping: concurrent blocks → processes (`pid`), nodes → threads (`tid`),
+/// consecutive-cycle fire runs → complete (`"X"`) slices, stall intervals →
+/// async (`"b"`/`"e"`) slices named by reason, tag and block events →
+/// instant (`"i"`) events, and per-block live-token counts → counter
+/// (`"C"`) events. Use [`ChromeTrace::render`] after the run to get the
+/// JSON document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    meta: Vec<String>,
+    events: Vec<String>,
+    node_block: HashMap<u32, u32>,
+    fires: HashMap<u32, FireRun>,
+    open_stalls: HashMap<(u32, u64), (u64, u64, StallReason)>,
+    next_async_id: u64,
+    block_live: HashMap<u32, i64>,
+    dirty_blocks: Vec<u32>,
+    counter_cycle: u64,
+    kind_counts: [u64; EventKind::ALL.len()],
+    dropped: u64,
+}
+
+impl ChromeTrace {
+    /// Creates an empty exporter.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Events seen per taxonomy kind (counted even past the size cap).
+    pub fn kind_count(&self, kind: EventKind) -> u64 {
+        self.kind_counts[kind.index()]
+    }
+
+    fn push(&mut self, ev: String) {
+        if self.events.len() < MAX_TRACE_EVENTS {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn flush_fire(&mut self, node: u32, run: FireRun) {
+        let pid = self.node_block.get(&node).copied().unwrap_or(0);
+        let dur = run.last - run.start + 1;
+        self.push(format!(
+            "{{\"ph\":\"X\",\"cat\":\"fired\",\"name\":\"fire\",\"pid\":{pid},\"tid\":{node},\
+             \"ts\":{},\"dur\":{dur},\"args\":{{\"fires\":{}}}}}",
+            run.start, run.count
+        ));
+    }
+
+    fn flush_counters(&mut self) {
+        let cycle = self.counter_cycle;
+        let mut blocks = std::mem::take(&mut self.dirty_blocks);
+        for block in blocks.drain(..) {
+            let live = self.block_live.get(&block).copied().unwrap_or(0);
+            self.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"live tokens\",\"pid\":{block},\"tid\":0,\
+                 \"ts\":{cycle},\"args\":{{\"tokens\":{live}}}}}"
+            ));
+        }
+        self.dirty_blocks = blocks;
+    }
+
+    fn touch_block(&mut self, block: u32, delta: i64) {
+        *self.block_live.entry(block).or_insert(0) += delta;
+        if !self.dirty_blocks.contains(&block) {
+            self.dirty_blocks.push(block);
+        }
+    }
+
+    fn instant(&mut self, cycle: u64, cat: &str, name: &str, pid: u32, args: &str) {
+        self.push(format!(
+            "{{\"ph\":\"i\",\"cat\":\"{cat}\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":0,\
+             \"ts\":{cycle},\"s\":\"p\",\"args\":{args}}}"
+        ));
+    }
+
+    fn open_stall(&mut self, cycle: u64, node: u32, tag: u64, reason: StallReason) {
+        self.close_stall(cycle, node, tag);
+        let id = self.next_async_id;
+        self.next_async_id += 1;
+        self.open_stalls.insert((node, tag), (id, cycle, reason));
+    }
+
+    fn close_stall(&mut self, cycle: u64, node: u32, tag: u64) {
+        if let Some((id, start, reason)) = self.open_stalls.remove(&(node, tag)) {
+            let pid = self.node_block.get(&node).copied().unwrap_or(0);
+            let end = cycle.max(start);
+            self.push(format!(
+                "{{\"ph\":\"b\",\"cat\":\"stall\",\"id\":{id},\"name\":\"{}\",\"pid\":{pid},\
+                 \"tid\":{node},\"ts\":{start},\"args\":{{\"tag\":{tag}}}}}",
+                reason.label()
+            ));
+            self.push(format!(
+                "{{\"ph\":\"e\",\"cat\":\"stall\",\"id\":{id},\"name\":\"{}\",\"pid\":{pid},\
+                 \"tid\":{node},\"ts\":{end}}}",
+                reason.label()
+            ));
+        }
+    }
+
+    /// Closes open fire runs, stall intervals, and counters at `final_cycle`
+    /// and returns the complete JSON document.
+    pub fn render(mut self, final_cycle: u64) -> String {
+        let fires: Vec<(u32, FireRun)> = {
+            let mut v: Vec<_> = self.fires.drain().collect();
+            v.sort_by_key(|(n, _)| *n);
+            v
+        };
+        for (node, run) in fires {
+            self.flush_fire(node, run);
+        }
+        let open: Vec<(u32, u64)> = {
+            let mut v: Vec<_> = self.open_stalls.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        for (node, tag) in open {
+            self.close_stall(final_cycle, node, tag);
+        }
+        self.counter_cycle = final_cycle;
+        self.flush_counters();
+
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in self.meta.iter().chain(self.events.iter()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(ev);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"tool\":\"tyr repro trace\",");
+        out.push_str(&format!(
+            "\"finalCycle\":{final_cycle},\"truncated\":{},\"dropped\":{},",
+            self.dropped > 0,
+            self.dropped
+        ));
+        out.push_str("\"eventKinds\":{");
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", kind.name(), self.kind_counts[kind.index()]));
+        }
+        out.push_str("}}}");
+        out
+    }
+
+    /// Structural validation of an emitted trace document: parses the JSON,
+    /// checks the `traceEvents` array is well-formed, and returns the
+    /// per-kind event counts recorded in `otherData.eventKinds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn validate(text: &str) -> Result<HashMap<String, u64>, String> {
+        let doc = Json::parse(text)?;
+        let events =
+            doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents array")?;
+        if events.is_empty() {
+            return Err("traceEvents is empty".into());
+        }
+        for (i, ev) in events.iter().enumerate() {
+            let ph = ev
+                .get("ph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i} has no ph"))?;
+            if !matches!(ph, "X" | "b" | "e" | "i" | "C" | "M") {
+                return Err(format!("event {i} has unknown phase {ph:?}"));
+            }
+            if ev.get("name").and_then(Json::as_str).is_none() {
+                return Err(format!("event {i} has no name"));
+            }
+            if ph != "M" && ev.get("ts").and_then(Json::as_f64).is_none() {
+                return Err(format!("event {i} ({ph}) has no ts"));
+            }
+        }
+        let kinds = doc
+            .get("otherData")
+            .and_then(|o| o.get("eventKinds"))
+            .and_then(Json::as_obj)
+            .ok_or("missing otherData.eventKinds")?;
+        let mut out = HashMap::new();
+        for (k, v) in kinds {
+            out.insert(k.clone(), v.as_f64().ok_or("non-numeric kind count")? as u64);
+        }
+        Ok(out)
+    }
+}
+
+impl Probe for ChromeTrace {
+    fn declare_block(&mut self, block: u32, name: &str) {
+        let mut label = String::new();
+        json::write_str(&mut label, name);
+        self.meta.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{block},\"tid\":0,\
+             \"args\":{{\"name\":{label}}}}}"
+        ));
+    }
+
+    fn declare_node(&mut self, node: u32, label: &str, block: u32) {
+        self.node_block.insert(node, block);
+        let mut name = String::new();
+        json::write_str(&mut name, label);
+        self.meta.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{block},\"tid\":{node},\
+             \"args\":{{\"name\":{name}}}}}"
+        ));
+    }
+
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        self.kind_counts[ev.kind().index()] += 1;
+        if cycle > self.counter_cycle {
+            self.flush_counters();
+            self.counter_cycle = cycle;
+        }
+        match ev {
+            ProbeEvent::NodeFired { node } => match self.fires.get_mut(&node) {
+                Some(run) if cycle == run.last || cycle == run.last + 1 => {
+                    run.last = cycle;
+                    run.count += 1;
+                }
+                Some(run) => {
+                    let done = *run;
+                    *run = FireRun { start: cycle, last: cycle, count: 1 };
+                    self.flush_fire(node, done);
+                }
+                None => {
+                    self.fires.insert(node, FireRun { start: cycle, last: cycle, count: 1 });
+                }
+            },
+            ProbeEvent::TokenProduced { node } => {
+                let block = self.node_block.get(&node).copied().unwrap_or(0);
+                self.touch_block(block, 1);
+            }
+            ProbeEvent::TokenConsumed { node, count } => {
+                let block = self.node_block.get(&node).copied().unwrap_or(0);
+                self.touch_block(block, -(count as i64));
+            }
+            ProbeEvent::TagAllocated { space, tag } => {
+                self.instant(cycle, "tag", "allocate", space, &format!("{{\"tag\":{tag}}}"));
+            }
+            ProbeEvent::TagFreed { space, tag } => {
+                self.instant(cycle, "tag", "free", space, &format!("{{\"tag\":{tag}}}"));
+            }
+            ProbeEvent::TagChanged { node, from, to } => {
+                let pid = self.node_block.get(&node).copied().unwrap_or(0);
+                self.instant(
+                    cycle,
+                    "tag",
+                    "changeTag",
+                    pid,
+                    &format!("{{\"node\":{node},\"from\":{from},\"to\":{to}}}"),
+                );
+            }
+            ProbeEvent::BlockEnter { block, tag } => {
+                self.instant(cycle, "block", "enter", block, &format!("{{\"tag\":{tag}}}"));
+            }
+            ProbeEvent::BlockExit { block, tag } => {
+                self.instant(cycle, "block", "exit", block, &format!("{{\"tag\":{tag}}}"));
+            }
+            ProbeEvent::StallBegin { node, tag, reason } => {
+                self.open_stall(cycle, node, tag, reason);
+            }
+            ProbeEvent::StallEnd { node, tag } => {
+                self.close_stall(cycle, node, tag);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        let mut t = ChromeTrace::new();
+        t.declare_block(0, "main");
+        t.declare_block(1, "loop \"inner\"");
+        t.declare_node(0, "load a", 0);
+        t.declare_node(1, "mul", 1);
+        t.event(0, ProbeEvent::NodeFired { node: 0 });
+        t.event(1, ProbeEvent::NodeFired { node: 0 });
+        t.event(1, ProbeEvent::TokenProduced { node: 1 });
+        t.event(2, ProbeEvent::StallBegin { node: 1, tag: 3, reason: StallReason::TagStarved });
+        t.event(2, ProbeEvent::TagAllocated { space: 1, tag: 3 });
+        t.event(3, ProbeEvent::BlockEnter { block: 1, tag: 3 });
+        t.event(5, ProbeEvent::StallEnd { node: 1, tag: 3 });
+        t.event(6, ProbeEvent::NodeFired { node: 1 });
+        t.event(6, ProbeEvent::TokenConsumed { node: 1, count: 1 });
+        t.event(7, ProbeEvent::TagFreed { space: 1, tag: 3 });
+        t.event(7, ProbeEvent::BlockExit { block: 1, tag: 3 });
+        t.event(8, ProbeEvent::TagChanged { node: 1, from: 3, to: 0 });
+        // Left open: must be closed by render() at the final cycle.
+        t.event(9, ProbeEvent::StallBegin { node: 0, tag: 0, reason: StallReason::PartialMatch });
+        t.render(12)
+    }
+
+    #[test]
+    fn trace_json_round_trips() {
+        let text = sample_trace();
+        let doc = Json::parse(&text).expect("trace JSON parses");
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn trace_validates_with_full_taxonomy() {
+        let text = sample_trace();
+        let kinds = ChromeTrace::validate(&text).unwrap();
+        for kind in EventKind::ALL {
+            assert!(
+                kinds.get(kind.name()).copied().unwrap_or(0) > 0,
+                "kind {} missing from sample trace",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn open_stalls_close_at_final_cycle() {
+        let text = sample_trace();
+        let doc = Json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let closes: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("e"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(closes.len(), 2, "one explicit StallEnd + one forced close");
+        assert!(closes.contains(&12.0), "open interval closed at the final cycle");
+    }
+
+    #[test]
+    fn consecutive_fires_merge_into_one_slice() {
+        let mut t = ChromeTrace::new();
+        t.declare_node(4, "n", 0);
+        for c in 10..20 {
+            t.event(c, ProbeEvent::NodeFired { node: 4 });
+        }
+        t.event(30, ProbeEvent::NodeFired { node: 4 });
+        let text = t.render(31);
+        let doc = Json::parse(&text).unwrap();
+        let slices: Vec<&Json> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].get("dur").unwrap().as_f64().unwrap(), 10.0);
+        assert_eq!(slices[0].get("args").unwrap().get("fires").unwrap().as_f64().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn counting_probe_counts() {
+        let mut c = CountingProbe::default();
+        c.event(0, ProbeEvent::NodeFired { node: 0 });
+        c.event(1, ProbeEvent::TokenProduced { node: 0 });
+        assert_eq!(c.events, 2);
+    }
+
+    #[test]
+    fn tuple_and_ref_probes_forward() {
+        let mut a = CountingProbe::default();
+        let mut b = ChromeTrace::new();
+        {
+            let mut pair = (&mut a, &mut b);
+            pair.declare_node(0, "n", 0);
+            pair.event(0, ProbeEvent::NodeFired { node: 0 });
+        }
+        assert_eq!(a.events, 1);
+        assert_eq!(b.kind_count(EventKind::Fired), 1);
+        const { assert!(<(&mut CountingProbe, &mut ChromeTrace) as Probe>::ENABLED) };
+        const { assert!(!NoProbe::ENABLED) };
+    }
+}

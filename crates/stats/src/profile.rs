@@ -1,0 +1,500 @@
+//! The per-node aggregating profiler sink and its report types.
+//!
+//! [`NodeProfiler`] implements [`Probe`](crate::probe::Probe) and folds the
+//! event stream into a [`ProfileReport`]: one [`NodeProfile`] per active
+//! node (fire count, tokens produced/consumed, peak matching-store
+//! occupancy, stall cycles broken down by [`StallReason`]) plus a per-block
+//! stalled-activation time series for the ASCII heatmap. The report is
+//! attached to `RunResult` by the engines' probed entry points and rendered
+//! by `repro trace` as ranked hot-node and stall-attribution tables.
+
+use std::collections::HashMap;
+
+use crate::ascii;
+use crate::csv::CsvTable;
+use crate::probe::{Probe, ProbeEvent, StallReason};
+use crate::trace::Trace;
+
+/// Aggregated per-node counters for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeProfile {
+    /// Static node id.
+    pub node: u32,
+    /// The node's label (opcode + source hint).
+    pub label: String,
+    /// Name of the concurrent block that owns the node.
+    pub block: String,
+    /// Times the node fired (sums to the engine's `dyn_instrs`).
+    pub fires: u64,
+    /// Tokens delivered *to* this node.
+    pub produced: u64,
+    /// Tokens this node consumed from its matching store.
+    pub consumed: u64,
+    /// Peak number of tokens waiting in the node's matching store.
+    pub peak_waiting: u64,
+    /// Stall cycles by reason, indexed by [`StallReason::index`]. Concurrent
+    /// stalled activations of one node accumulate independently, so this can
+    /// exceed the run's cycle count.
+    pub stall_cycles: [u64; 3],
+}
+
+impl NodeProfile {
+    /// Total stall cycles across all reasons.
+    pub fn total_stall(&self) -> u64 {
+        self.stall_cycles.iter().sum()
+    }
+}
+
+/// Per-block stall pressure over time (for the heatmap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockProfile {
+    /// Block id.
+    pub block: u32,
+    /// Block name.
+    pub name: String,
+    /// Down-sampled time series of stalled activations in the block.
+    pub stalled: Trace,
+}
+
+/// The profiler's end-of-run output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// One entry per node that saw any activity, in node order.
+    pub nodes: Vec<NodeProfile>,
+    /// One entry per declared block, in block order.
+    pub blocks: Vec<BlockProfile>,
+    /// The run's final cycle (completion or deadlock cycle).
+    pub total_cycles: u64,
+}
+
+/// The header used by [`ProfileReport::to_csv`] / [`ProfileReport::nodes_from_csv`].
+const CSV_HEADER: [&str; 9] = [
+    "node",
+    "label",
+    "block",
+    "fires",
+    "produced",
+    "consumed",
+    "peak_waiting",
+    "stall_partial_match",
+    "stall_tag_starved",
+];
+/// Tenth column, split out so the array literal stays readable.
+const CSV_LAST: &str = "stall_back_pressure";
+
+impl ProfileReport {
+    /// Total fires across all nodes (equals the engine's `dyn_instrs`).
+    pub fn total_fires(&self) -> u64 {
+        self.nodes.iter().map(|n| n.fires).sum()
+    }
+
+    /// Total stall cycles attributed to `reason` across all nodes.
+    pub fn stall_total(&self, reason: StallReason) -> u64 {
+        self.nodes.iter().map(|n| n.stall_cycles[reason.index()]).sum()
+    }
+
+    /// Nodes ranked by fire count, descending.
+    pub fn hot_nodes(&self) -> Vec<&NodeProfile> {
+        let mut v: Vec<&NodeProfile> = self.nodes.iter().filter(|n| n.fires > 0).collect();
+        v.sort_by(|a, b| b.fires.cmp(&a.fires).then(a.node.cmp(&b.node)));
+        v
+    }
+
+    /// Nodes ranked by total stall cycles, descending.
+    pub fn stalled_nodes(&self) -> Vec<&NodeProfile> {
+        let mut v: Vec<&NodeProfile> = self.nodes.iter().filter(|n| n.total_stall() > 0).collect();
+        v.sort_by(|a, b| b.total_stall().cmp(&a.total_stall()).then(a.node.cmp(&b.node)));
+        v
+    }
+
+    /// Renders the ranked hot-node table (top `top` rows).
+    pub fn hot_table(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str("hot nodes (by fire count)\n");
+        out.push_str(&format!(
+            "  {:>4}  {:<28} {:<18} {:>10} {:>10} {:>10} {:>8}\n",
+            "node", "label", "block", "fires", "produced", "consumed", "peak"
+        ));
+        for p in self.hot_nodes().into_iter().take(top) {
+            out.push_str(&format!(
+                "  {:>4}  {:<28} {:<18} {:>10} {:>10} {:>10} {:>8}\n",
+                p.node,
+                ascii::truncate(&p.label, 28),
+                ascii::truncate(&p.block, 18),
+                p.fires,
+                p.produced,
+                p.consumed,
+                p.peak_waiting
+            ));
+        }
+        out
+    }
+
+    /// Renders the stall-attribution table (top `top` rows), with one column
+    /// per [`StallReason`]. This is the table that *explains* a Fig. 11
+    /// deadlock: the wedged allocates dominate the `tag-starved` column.
+    pub fn stall_table(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "stall attribution (cycles; run length {} cycles)\n",
+            self.total_cycles
+        ));
+        out.push_str(&format!(
+            "  {:>4}  {:<28} {:<18} {:>13} {:>12} {:>13} {:>10}\n",
+            "node", "label", "block", "partial-match", "tag-starved", "back-pressure", "total"
+        ));
+        for p in self.stalled_nodes().into_iter().take(top) {
+            out.push_str(&format!(
+                "  {:>4}  {:<28} {:<18} {:>13} {:>12} {:>13} {:>10}\n",
+                p.node,
+                ascii::truncate(&p.label, 28),
+                ascii::truncate(&p.block, 18),
+                p.stall_cycles[0],
+                p.stall_cycles[1],
+                p.stall_cycles[2],
+                p.total_stall()
+            ));
+        }
+        if self.stalled_nodes().is_empty() {
+            out.push_str("  (no stalls recorded)\n");
+        }
+        out
+    }
+
+    /// Renders the per-block stall heatmap: one row per block, time on the
+    /// x-axis, intensity = stalled activations.
+    pub fn heatmap(&self, width: usize) -> String {
+        let rows: Vec<(String, Vec<f64>)> = self
+            .blocks
+            .iter()
+            .filter(|b| !b.stalled.is_empty())
+            .map(|b| (b.name.clone(), b.stalled.points().iter().map(|&(_, v)| v as f64).collect()))
+            .collect();
+        ascii::heatmap("stalled activations per block over time", &rows, width)
+    }
+
+    /// Renders the full profile: hot nodes, stall attribution, heatmap.
+    pub fn render(&self, top: usize, width: usize) -> String {
+        let mut out = self.hot_table(top);
+        out.push('\n');
+        out.push_str(&self.stall_table(top));
+        out.push('\n');
+        out.push_str(&self.heatmap(width));
+        out
+    }
+
+    /// Exports the per-node profiles as a CSV table (one row per node).
+    pub fn to_csv(&self) -> CsvTable {
+        let mut t = CsvTable::new(CSV_HEADER.iter().copied().chain(std::iter::once(CSV_LAST)));
+        for p in &self.nodes {
+            t.push_row([
+                p.node.to_string(),
+                p.label.clone(),
+                p.block.clone(),
+                p.fires.to_string(),
+                p.produced.to_string(),
+                p.consumed.to_string(),
+                p.peak_waiting.to_string(),
+                p.stall_cycles[0].to_string(),
+                p.stall_cycles[1].to_string(),
+                p.stall_cycles[2].to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Parses node profiles back from CSV text produced by
+    /// [`ProfileReport::to_csv`] (the external post-processing round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the header or any field does not match the
+    /// profile schema.
+    pub fn nodes_from_csv(text: &str) -> Result<Vec<NodeProfile>, String> {
+        let table = CsvTable::parse(text)?;
+        let expected: Vec<&str> = CSV_HEADER.iter().copied().chain([CSV_LAST]).collect();
+        if table.header() != expected {
+            return Err(format!("unexpected profile CSV header: {:?}", table.header()));
+        }
+        let int = |s: &str, what: &str| {
+            s.parse::<u64>().map_err(|_| format!("bad {what} value {s:?} in profile CSV"))
+        };
+        let mut out = Vec::new();
+        for row in table.rows() {
+            out.push(NodeProfile {
+                node: int(&row[0], "node")? as u32,
+                label: row[1].clone(),
+                block: row[2].clone(),
+                fires: int(&row[3], "fires")?,
+                produced: int(&row[4], "produced")?,
+                consumed: int(&row[5], "consumed")?,
+                peak_waiting: int(&row[6], "peak_waiting")?,
+                stall_cycles: [
+                    int(&row[7], "stall")?,
+                    int(&row[8], "stall")?,
+                    int(&row[9], "stall")?,
+                ],
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    fires: u64,
+    produced: u64,
+    consumed: u64,
+    waiting: i64,
+    peak_waiting: i64,
+    stall: [u64; 3],
+}
+
+/// The per-node aggregating profiler. Feed it to an engine's `with_probe`
+/// constructor (by `&mut`), then call [`NodeProfiler::report`] with the
+/// run's final cycle.
+#[derive(Debug, Default)]
+pub struct NodeProfiler {
+    block_names: Vec<String>,
+    labels: Vec<(String, u32)>,
+    counters: Vec<Counters>,
+    open: HashMap<(u32, u64), (u64, StallReason)>,
+    block_stalled: Vec<u64>,
+    block_trace: Vec<Trace>,
+    last_cycle: u64,
+}
+
+impl NodeProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        NodeProfiler::default()
+    }
+
+    fn ensure_node(&mut self, node: u32) {
+        let need = node as usize + 1;
+        if self.counters.len() < need {
+            self.counters.resize(need, Counters::default());
+        }
+    }
+
+    fn ensure_block(&mut self, block: u32) {
+        let need = block as usize + 1;
+        if self.block_names.len() < need {
+            self.block_names.resize_with(need, String::new);
+            self.block_stalled.resize(need, 0);
+            self.block_trace.resize_with(need, Trace::new);
+        }
+    }
+
+    /// Advances the per-block stall time series up to (excluding) `cycle`.
+    fn advance(&mut self, cycle: u64) {
+        while self.last_cycle < cycle {
+            for (i, t) in self.block_trace.iter_mut().enumerate() {
+                t.record(self.block_stalled[i]);
+            }
+            self.last_cycle += 1;
+        }
+    }
+
+    fn node_block(&self, node: u32) -> u32 {
+        self.labels.get(node as usize).map(|(_, b)| *b).unwrap_or(0)
+    }
+
+    fn close(&mut self, cycle: u64, node: u32, tag: u64) {
+        if let Some((since, reason)) = self.open.remove(&(node, tag)) {
+            self.ensure_node(node);
+            self.counters[node as usize].stall[reason.index()] += cycle.saturating_sub(since);
+            let block = self.node_block(node);
+            self.ensure_block(block);
+            self.block_stalled[block as usize] =
+                self.block_stalled[block as usize].saturating_sub(1);
+        }
+    }
+
+    /// Folds the stream into a [`ProfileReport`], closing still-open stall
+    /// intervals at `final_cycle` (this is what attributes a deadlock's
+    /// wedged tokens).
+    pub fn report(mut self, final_cycle: u64) -> ProfileReport {
+        let open: Vec<(u32, u64)> = self.open.keys().copied().collect();
+        for (node, tag) in open {
+            self.close(final_cycle, node, tag);
+        }
+        self.advance(final_cycle);
+        let nodes = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.fires > 0 || c.produced > 0 || c.consumed > 0 || c.stall.iter().any(|&s| s > 0)
+            })
+            .map(|(i, c)| {
+                let (label, block) =
+                    self.labels.get(i).cloned().unwrap_or_else(|| (format!("n{i}"), 0));
+                NodeProfile {
+                    node: i as u32,
+                    label,
+                    block: self
+                        .block_names
+                        .get(block as usize)
+                        .filter(|n| !n.is_empty())
+                        .cloned()
+                        .unwrap_or_else(|| format!("block{block}")),
+                    fires: c.fires,
+                    produced: c.produced,
+                    consumed: c.consumed,
+                    peak_waiting: c.peak_waiting.max(0) as u64,
+                    stall_cycles: c.stall,
+                }
+            })
+            .collect();
+        let blocks = self
+            .block_trace
+            .into_iter()
+            .enumerate()
+            .map(|(i, stalled)| BlockProfile {
+                block: i as u32,
+                name: if self.block_names[i].is_empty() {
+                    format!("block{i}")
+                } else {
+                    self.block_names[i].clone()
+                },
+                stalled,
+            })
+            .collect();
+        ProfileReport { nodes, blocks, total_cycles: final_cycle }
+    }
+}
+
+impl Probe for NodeProfiler {
+    fn declare_block(&mut self, block: u32, name: &str) {
+        self.ensure_block(block);
+        self.block_names[block as usize] = name.to_string();
+    }
+
+    fn declare_node(&mut self, node: u32, label: &str, block: u32) {
+        let need = node as usize + 1;
+        if self.labels.len() < need {
+            self.labels.resize_with(need, || (String::new(), 0));
+        }
+        self.labels[node as usize] = (label.to_string(), block);
+        self.ensure_node(node);
+        self.ensure_block(block);
+    }
+
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        // The ooo engine's issue cycles can step backwards; clamp so the
+        // block time series stays monotone (intervals still use real
+        // cycles via `min`/`saturating_sub`).
+        if cycle > self.last_cycle {
+            self.advance(cycle);
+        }
+        match ev {
+            ProbeEvent::NodeFired { node } => {
+                self.ensure_node(node);
+                self.counters[node as usize].fires += 1;
+            }
+            ProbeEvent::TokenProduced { node } => {
+                self.ensure_node(node);
+                let c = &mut self.counters[node as usize];
+                c.produced += 1;
+                c.waiting += 1;
+                c.peak_waiting = c.peak_waiting.max(c.waiting);
+            }
+            ProbeEvent::TokenConsumed { node, count } => {
+                self.ensure_node(node);
+                let c = &mut self.counters[node as usize];
+                c.consumed += count as u64;
+                c.waiting -= count as i64;
+            }
+            ProbeEvent::StallBegin { node, tag, reason } => {
+                self.close(cycle, node, tag);
+                self.ensure_node(node);
+                self.open.insert((node, tag), (cycle, reason));
+                let block = self.node_block(node);
+                self.ensure_block(block);
+                self.block_stalled[block as usize] += 1;
+            }
+            ProbeEvent::StallEnd { node, tag } => {
+                self.close(cycle, node, tag);
+            }
+            ProbeEvent::TagAllocated { .. }
+            | ProbeEvent::TagFreed { .. }
+            | ProbeEvent::TagChanged { .. }
+            | ProbeEvent::BlockEnter { .. }
+            | ProbeEvent::BlockExit { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ProfileReport {
+        let mut p = NodeProfiler::new();
+        p.declare_block(0, "main");
+        p.declare_block(1, "loop");
+        p.declare_node(0, "load", 0);
+        p.declare_node(1, "alloc", 1);
+        p.event(0, ProbeEvent::TokenProduced { node: 0 });
+        p.event(0, ProbeEvent::TokenProduced { node: 0 });
+        p.event(1, ProbeEvent::NodeFired { node: 0 });
+        p.event(1, ProbeEvent::TokenConsumed { node: 0, count: 2 });
+        p.event(2, ProbeEvent::StallBegin { node: 1, tag: 7, reason: StallReason::TagStarved });
+        p.event(6, ProbeEvent::StallEnd { node: 1, tag: 7 });
+        p.event(7, ProbeEvent::StallBegin { node: 0, tag: 0, reason: StallReason::PartialMatch });
+        p.report(10)
+    }
+
+    #[test]
+    fn aggregates_fires_tokens_and_stalls() {
+        let r = sample_report();
+        assert_eq!(r.total_cycles, 10);
+        assert_eq!(r.total_fires(), 1);
+        let load = &r.nodes[0];
+        assert_eq!((load.fires, load.produced, load.consumed, load.peak_waiting), (1, 2, 2, 2));
+        // Open partial-match interval closed at the final cycle: 10 - 7.
+        assert_eq!(load.stall_cycles[StallReason::PartialMatch.index()], 3);
+        let alloc = &r.nodes[1];
+        assert_eq!(alloc.stall_cycles[StallReason::TagStarved.index()], 4);
+        assert_eq!(r.stall_total(StallReason::TagStarved), 4);
+        assert_eq!(r.stalled_nodes()[0].node, 1);
+    }
+
+    #[test]
+    fn reason_switch_splits_the_interval() {
+        let mut p = NodeProfiler::new();
+        p.declare_node(0, "n", 0);
+        p.event(0, ProbeEvent::StallBegin { node: 0, tag: 1, reason: StallReason::PartialMatch });
+        p.event(3, ProbeEvent::StallBegin { node: 0, tag: 1, reason: StallReason::BackPressure });
+        p.event(8, ProbeEvent::StallEnd { node: 0, tag: 1 });
+        let r = p.report(8);
+        assert_eq!(r.nodes[0].stall_cycles, [3, 0, 5]);
+    }
+
+    #[test]
+    fn block_heatmap_series_tracks_stalls() {
+        let r = sample_report();
+        let looped = r.blocks.iter().find(|b| b.name == "loop").unwrap();
+        // Block 1's alloc stalled cycles 2..6 → the series peaks at 1.
+        assert_eq!(looped.stalled.peak(), 1);
+        assert_eq!(looped.stalled.cycles(), 10);
+        assert!(r.render(8, 60).contains("tag-starved"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let r = sample_report();
+        let text = r.to_csv().render();
+        let back = ProfileReport::nodes_from_csv(&text).unwrap();
+        assert_eq!(back, r.nodes);
+    }
+
+    #[test]
+    fn csv_rejects_bad_input() {
+        assert!(ProfileReport::nodes_from_csv("a,b\n1,2\n").is_err());
+        let r = sample_report();
+        let mangled = r.to_csv().render().replace("main", "\u{1},bad").replacen('1', "x", 1);
+        assert!(ProfileReport::nodes_from_csv(&mangled).is_err());
+    }
+}

@@ -11,7 +11,7 @@
 
 /// A down-sampled per-cycle time series of a non-negative quantity
 /// (live tokens, IPC, …) with exact peak and mean.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Bucketed samples; each covers `stride` consecutive cycles and stores
     /// the maximum value observed in that window.
@@ -170,6 +170,63 @@ mod tests {
         }
         let covered = pts.last().unwrap().0 + t.stride();
         assert!(covered >= t.cycles());
+    }
+
+    #[test]
+    fn exactly_max_points_records_triggers_one_merge() {
+        let mut t = Trace::new();
+        for i in 0..Trace::MAX_POINTS as u64 {
+            t.record(i);
+        }
+        // The MAX_POINTS-th push fills the buffer, so the stride doubles
+        // immediately and adjacent buckets merge by max.
+        assert_eq!(t.stride(), 2);
+        assert_eq!(t.points().len(), Trace::MAX_POINTS / 2);
+        // Merged bucket k covers cycles {2k, 2k+1}; values were the cycle
+        // index, so each bucket holds the odd (larger) one.
+        let pts = t.points();
+        assert_eq!(pts[0], (0, 1));
+        assert_eq!(pts[1], (2, 3));
+        assert_eq!(
+            *pts.last().unwrap(),
+            ((Trace::MAX_POINTS as u64 - 2), Trace::MAX_POINTS as u64 - 1)
+        );
+        assert_eq!(t.cycles(), Trace::MAX_POINTS as u64);
+    }
+
+    #[test]
+    fn one_past_max_points_lands_in_partial_bucket() {
+        let mut t = Trace::new();
+        for i in 0..=Trace::MAX_POINTS as u64 {
+            t.record(i);
+        }
+        // One extra record after the merge starts a new stride-2 partial
+        // bucket, which points() must still expose.
+        assert_eq!(t.stride(), 2);
+        assert_eq!(t.points().len(), Trace::MAX_POINTS / 2 + 1);
+        assert_eq!(
+            *t.points().last().unwrap(),
+            (Trace::MAX_POINTS as u64, Trace::MAX_POINTS as u64)
+        );
+        assert_eq!(t.cycles(), Trace::MAX_POINTS as u64 + 1);
+        assert_eq!(t.peak(), Trace::MAX_POINTS as u64);
+    }
+
+    #[test]
+    fn merge_keeps_peak_in_every_boundary_position() {
+        // A spike in either half of a merged pair must survive the merge:
+        // the heatmaps are built on points(), not just the scalar peak.
+        for spike_at in [0u64, 1, Trace::MAX_POINTS as u64 - 2, Trace::MAX_POINTS as u64 - 1] {
+            let mut t = Trace::new();
+            for i in 0..Trace::MAX_POINTS as u64 {
+                t.record(if i == spike_at { 999 } else { 1 });
+            }
+            assert_eq!(t.stride(), 2, "spike_at={spike_at}");
+            let pts = t.points();
+            let bucket = (spike_at / 2) as usize;
+            assert_eq!(pts[bucket].1, 999, "spike_at={spike_at} lost by the merge");
+            assert_eq!(pts.iter().filter(|&&(_, v)| v == 999).count(), 1);
+        }
     }
 
     #[test]
