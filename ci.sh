@@ -26,3 +26,13 @@ for engine in tyr tagged-global-bounded ordered seqdf seqvn ooo; do
     trace dmv "$engine"
 done
 rm -rf "$trace_dir"
+# Perf-baseline gate: generate a quick (tiny-scale) suite baseline on the
+# 2-thread sweep pool and validate the emitted JSON against the
+# tyr-bench-suite/v1 schema, then validate the committed baseline too —
+# both `bench` (which self-checks before writing) and `bench-check` exit
+# nonzero on a malformed or incomplete file (DESIGN.md §8.5).
+bench_dir=$(mktemp -d)
+target/release/repro bench --quick --jobs 2 --out "$bench_dir/BENCH_quick.json"
+target/release/repro bench-check "$bench_dir/BENCH_quick.json"
+rm -rf "$bench_dir"
+target/release/repro bench-check BENCH_suite.json

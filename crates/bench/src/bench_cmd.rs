@@ -1,0 +1,325 @@
+//! `repro bench` — the persisted performance baseline.
+//!
+//! Runs the full `(kernel, system)` suite grid, records wall-time together
+//! with the simulated `cycles` and `dyn_instrs` of every cell, and writes a
+//! schema-stable `BENCH_suite.json`. The committed copy is the repo's perf
+//! trajectory: future changes to the engines re-run `repro bench` and diff
+//! against it.
+//!
+//! Schema (`tyr-bench-suite/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "tyr-bench-suite/v1",
+//!   "scale": "tiny", "seed": 1,
+//!   "issue_width": 128, "tags": 64, "jobs": 2,
+//!   "total_wall_ms": 123.4,
+//!   "entries": [
+//!     {"kernel": "dmv", "system": "seq-vN",
+//!      "cycles": 1538, "dyn_instrs": 1537, "wall_ms": 0.8},
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! `entries` holds exactly one object per (kernel, system) pair —
+//! 7 kernels × 5 systems — in kernel-major, paper-presentation order.
+//! `cycles` and `dyn_instrs` are deterministic (they come from the
+//! simulators, whose results are oracle-checked); the `*_wall_ms` fields
+//! are the only machine-dependent values.
+//!
+//! [`validate`] is the schema gate `ci.sh` runs against both the emitted
+//! file and the committed baseline.
+
+use std::path::Path;
+use std::time::Instant;
+
+use tyr_stats::json::{self, Json};
+use tyr_workloads::{suite, APP_NAMES};
+
+use crate::figures::Ctx;
+use crate::{pool, run_system, System};
+
+/// The schema identifier written to and required of every baseline file.
+pub const SCHEMA: &str = "tyr-bench-suite/v1";
+
+/// Runs the suite benchmark and writes the baseline to `out`.
+///
+/// The emitted document is validated with [`validate`] before it is
+/// written, so a schema violation can never reach disk (or CI).
+///
+/// # Errors
+///
+/// Returns a message if self-validation fails or the file cannot be
+/// written. Simulation faults and oracle mismatches panic, as everywhere
+/// else in the harness — a perf baseline over wrong results is worthless.
+pub fn run(ctx: &Ctx, out: &Path) -> Result<(), String> {
+    eprintln!(
+        "benchmarking the {} suite on all five systems ({} jobs)...",
+        ctx.scale_label(),
+        ctx.jobs
+    );
+    let workloads = suite(ctx.scale, ctx.seed);
+    let grid: Vec<(&tyr_workloads::Workload, System)> =
+        workloads.iter().flat_map(|w| System::ALL.map(|sys| (w, sys))).collect();
+    let t0 = Instant::now();
+    let cells = pool::parallel_map(ctx.jobs, grid, |(w, sys)| {
+        let start = Instant::now();
+        let r = run_system(w, sys, &ctx.cfg);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        Json::Obj(vec![
+            ("kernel".into(), json::str(&w.name)),
+            ("system".into(), json::str(sys.label())),
+            ("cycles".into(), json::num(r.cycles())),
+            ("dyn_instrs".into(), json::num(r.dyn_instrs())),
+            ("wall_ms".into(), Json::Num(round3(wall_ms))),
+        ])
+    });
+    let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let doc = Json::Obj(vec![
+        ("schema".into(), json::str(SCHEMA)),
+        ("scale".into(), json::str(ctx.scale_label())),
+        ("seed".into(), json::num(ctx.seed)),
+        ("issue_width".into(), json::num(ctx.cfg.issue_width as u64)),
+        ("tags".into(), json::num(ctx.cfg.tags as u64)),
+        ("jobs".into(), json::num(ctx.jobs as u64)),
+        ("total_wall_ms".into(), Json::Num(round3(total_wall_ms))),
+        ("entries".into(), Json::Arr(cells)),
+    ]);
+    validate(&doc).map_err(|e| format!("self-validation of the emitted baseline failed: {e}"))?;
+    std::fs::write(out, doc.render() + "\n")
+        .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} entries, {:.1} ms total wall, schema {SCHEMA})",
+        out.display(),
+        APP_NAMES.len() * System::ALL.len(),
+        total_wall_ms
+    );
+    // A short human-readable digest so a bench run is useful on its own.
+    for app in APP_NAMES {
+        let find = |sys: System| {
+            doc.get("entries")
+                .and_then(Json::as_arr)
+                .and_then(|es| {
+                    es.iter().find(|e| {
+                        e.get("kernel").and_then(Json::as_str) == Some(app)
+                            && e.get("system").and_then(Json::as_str) == Some(sys.label())
+                    })
+                })
+                .and_then(|e| e.get("cycles"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "  {:<8} TYR {:>12} cycles   unordered {:>12}   ordered {:>12}",
+            app,
+            find(System::Tyr),
+            find(System::Unordered),
+            find(System::Ordered)
+        );
+    }
+    Ok(())
+}
+
+/// Validates a baseline file on disk (the `repro bench-check` command —
+/// the CI gate for both the freshly emitted file and the committed
+/// baseline).
+///
+/// # Errors
+///
+/// Returns a message naming the first schema violation.
+pub fn check_file(path: &Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate(&doc)?;
+    println!("{}: schema {SCHEMA} ok", path.display());
+    Ok(())
+}
+
+/// Checks a document against the `tyr-bench-suite/v1` schema: the schema
+/// tag, the header fields, exactly one entry per (kernel, system) pair,
+/// and per-entry field sanity (positive counts, `dyn_instrs` within the
+/// issue-width envelope, entry wall-times within the total).
+///
+/// # Errors
+///
+/// Returns a message naming the first violation.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("missing or wrong \"schema\" (want {SCHEMA:?})"));
+    }
+    let req_num = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric \"{key}\""))
+    };
+    let issue_width = req_num("issue_width")?;
+    req_num("seed")?;
+    req_num("tags")?;
+    req_num("jobs")?;
+    let total_wall = req_num("total_wall_ms")?;
+    if total_wall < 0.0 {
+        return Err("negative total_wall_ms".into());
+    }
+    if doc.get("scale").and_then(Json::as_str).is_none() {
+        return Err("missing \"scale\"".into());
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"entries\" array".to_string())?;
+
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let kernel = e
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing \"kernel\""))?;
+        let system = e
+            .get("system")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("entry {i}: missing \"system\""))?;
+        if !APP_NAMES.contains(&kernel) {
+            return Err(format!("entry {i}: unknown kernel {kernel:?}"));
+        }
+        if !System::ALL.iter().any(|s| s.label() == system) {
+            return Err(format!("entry {i}: unknown system {system:?}"));
+        }
+        let field = |key: &str| {
+            e.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry {i} ({kernel}/{system}): missing \"{key}\""))
+        };
+        let cycles = field("cycles")?;
+        let dyn_instrs = field("dyn_instrs")?;
+        let wall = field("wall_ms")?;
+        if cycles <= 0.0 || dyn_instrs <= 0.0 {
+            return Err(format!("entry {i} ({kernel}/{system}): non-positive cycles/dyn_instrs"));
+        }
+        if dyn_instrs > cycles * issue_width {
+            return Err(format!(
+                "entry {i} ({kernel}/{system}): dyn_instrs {dyn_instrs} exceeds \
+                 cycles x issue_width = {}",
+                cycles * issue_width
+            ));
+        }
+        if wall < 0.0 || wall > total_wall {
+            return Err(format!(
+                "entry {i} ({kernel}/{system}): wall_ms {wall} outside [0, total_wall_ms]"
+            ));
+        }
+        let key = (kernel.to_string(), system.to_string());
+        if seen.contains(&key) {
+            return Err(format!("duplicate entry for ({kernel}, {system})"));
+        }
+        seen.push(key);
+    }
+    for app in APP_NAMES {
+        for sys in System::ALL {
+            if !seen.iter().any(|(k, s)| k == app && s == sys.label()) {
+                return Err(format!("missing entry for ({app}, {})", sys.label()));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_doc() -> Json {
+        let entries = APP_NAMES
+            .iter()
+            .flat_map(|app| {
+                System::ALL.iter().map(move |sys| {
+                    Json::Obj(vec![
+                        ("kernel".into(), json::str(*app)),
+                        ("system".into(), json::str(sys.label())),
+                        ("cycles".into(), json::num(100)),
+                        ("dyn_instrs".into(), json::num(99)),
+                        ("wall_ms".into(), Json::Num(1.5)),
+                    ])
+                })
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), json::str(SCHEMA)),
+            ("scale".into(), json::str("tiny")),
+            ("seed".into(), json::num(1)),
+            ("issue_width".into(), json::num(128)),
+            ("tags".into(), json::num(64)),
+            ("jobs".into(), json::num(2)),
+            ("total_wall_ms".into(), Json::Num(50.0)),
+            ("entries".into(), Json::Arr(entries)),
+        ])
+    }
+
+    fn set(doc: &mut Json, key: &str, v: Json) {
+        let Json::Obj(pairs) = doc else { unreachable!() };
+        if let Some(p) = pairs.iter_mut().find(|(k, _)| k == key) {
+            p.1 = v;
+        }
+    }
+
+    #[test]
+    fn well_formed_doc_validates() {
+        validate(&minimal_doc()).unwrap();
+    }
+
+    #[test]
+    fn wrong_schema_tag_rejected() {
+        let mut d = minimal_doc();
+        set(&mut d, "schema", json::str("tyr-bench-suite/v0"));
+        assert!(validate(&d).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn missing_pair_rejected() {
+        let mut d = minimal_doc();
+        let Json::Obj(pairs) = &mut d else { unreachable!() };
+        let entries = pairs.iter_mut().find(|(k, _)| k == "entries").unwrap();
+        let Json::Arr(es) = &mut entries.1 else { unreachable!() };
+        es.pop();
+        assert!(validate(&d).unwrap_err().contains("missing entry"));
+    }
+
+    #[test]
+    fn duplicate_pair_rejected() {
+        let mut d = minimal_doc();
+        let Json::Obj(pairs) = &mut d else { unreachable!() };
+        let entries = pairs.iter_mut().find(|(k, _)| k == "entries").unwrap();
+        let Json::Arr(es) = &mut entries.1 else { unreachable!() };
+        let dup = es[0].clone();
+        es.push(dup);
+        assert!(validate(&d).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn issue_width_envelope_enforced() {
+        let mut d = minimal_doc();
+        set(&mut d, "issue_width", json::num(0));
+        // Now every entry's dyn_instrs (99) exceeds cycles * 0.
+        assert!(validate(&d).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn wall_time_outside_total_rejected() {
+        let mut d = minimal_doc();
+        set(&mut d, "total_wall_ms", Json::Num(0.1));
+        assert!(validate(&d).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn round_trip_through_text_still_validates() {
+        let d = minimal_doc();
+        let text = d.render();
+        validate(&Json::parse(&text).unwrap()).unwrap();
+    }
+}

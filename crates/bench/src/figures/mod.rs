@@ -29,11 +29,21 @@ pub struct Ctx {
     pub cfg: RunConfig,
     /// If set, raw figure data is written as CSV under this directory.
     pub csv_dir: Option<PathBuf>,
+    /// Worker threads for experiment sweeps (`--jobs` / `REPRO_JOBS`;
+    /// results are collected in submission order, so any value prints the
+    /// same tables as `jobs = 1`).
+    pub jobs: usize,
 }
 
 impl Default for Ctx {
     fn default() -> Self {
-        Ctx { scale: Scale::Small, seed: 1, cfg: RunConfig::default(), csv_dir: None }
+        Ctx {
+            scale: Scale::Small,
+            seed: 1,
+            cfg: RunConfig::default(),
+            csv_dir: None,
+            jobs: crate::pool::default_jobs(),
+        }
     }
 }
 

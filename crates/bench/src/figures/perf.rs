@@ -1,7 +1,13 @@
 //! Whole-suite comparison figures: Fig. 12 (execution time), Fig. 13 (IPC
 //! CDFs), Fig. 14 (peak/mean live state).
+//!
+//! The shared `(app, system)` sweep fans out over the [`crate::pool`]
+//! worker pool; each figure is rendered to a `String` by a pure
+//! `render_*` function so the determinism tests can assert that parallel
+//! and serial sweeps produce byte-identical tables.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 use tyr_stats::ascii::{bar_chart, line_chart, Series};
 use tyr_stats::csv::CsvTable;
@@ -9,7 +15,7 @@ use tyr_stats::{IpcHistogram, Summary};
 use tyr_workloads::{suite, APP_NAMES};
 
 use crate::figures::Ctx;
-use crate::{run_system, System};
+use crate::{pool, run_system, System};
 
 /// The shared full-suite sweep used by Figs. 12–14: every app on every
 /// system.
@@ -19,26 +25,38 @@ pub struct SuiteResults {
 }
 
 /// Runs the whole suite on every system (the expensive part, shared by
-/// Figs. 12–14).
+/// Figs. 12–14), fanning the `(app, system)` grid out over `ctx.jobs`
+/// workers. Every cell is independent — the workload and config are shared
+/// read-only — and results are keyed, so worker scheduling cannot affect
+/// the figures.
 pub fn run_suite(ctx: &Ctx) -> SuiteResults {
-    let mut runs = HashMap::new();
-    for w in suite(ctx.scale, ctx.seed) {
-        for sys in System::ALL {
-            eprintln!("  running {} on {} ...", w.name, sys.label());
-            let r = run_system(&w, sys, &ctx.cfg);
-            runs.insert((w.name.clone(), sys), r);
-        }
-    }
-    SuiteResults { runs }
+    let workloads = suite(ctx.scale, ctx.seed);
+    let grid: Vec<(&tyr_workloads::Workload, System)> =
+        workloads.iter().flat_map(|w| System::ALL.map(|sys| (w, sys))).collect();
+    let runs = pool::parallel_map(ctx.jobs, grid, |(w, sys)| {
+        eprintln!("  running {} on {} ...", w.name, sys.label());
+        ((w.name.clone(), sys), run_system(w, sys, &ctx.cfg))
+    });
+    SuiteResults { runs: runs.into_iter().collect() }
 }
 
 /// Fig. 12: execution time for every app on every system, plus the gmean
 /// speedups of TYR over each baseline (paper: 68× vs vN, 22.7× vs
 /// sequential dataflow, 21.7× vs ordered, 0.77× vs unordered).
 pub fn fig12(ctx: &Ctx, results: &SuiteResults) {
-    println!("== Fig. 12: execution time (cycles) ({} scale) ==", ctx.scale_label());
+    let (out, csv) = render_fig12(ctx, results);
+    print!("{out}");
+    ctx.emit_csv("fig12_exec_time", &csv);
+}
+
+/// Renders Fig. 12 without printing; used by `fig12` and the determinism
+/// tests.
+pub fn render_fig12(ctx: &Ctx, results: &SuiteResults) -> (String, CsvTable) {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Fig. 12: execution time (cycles) ({} scale) ==", ctx.scale_label());
     let mut csv = CsvTable::new(["app", "system", "cycles", "dyn_instrs"]);
-    println!(
+    let _ = writeln!(
+        out,
         "  {:<8} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "app",
         System::SeqVn.label(),
@@ -59,10 +77,10 @@ pub fn fig12(ctx: &Ctx, results: &SuiteResults) {
                 r.dyn_instrs().to_string(),
             ]);
         }
-        println!("{row}");
+        let _ = writeln!(out, "{row}");
     }
     // Gmean speedups of TYR vs each baseline.
-    println!("\n  gmean speedup of TYR vs each system (paper values in parens):");
+    let _ = writeln!(out, "\n  gmean speedup of TYR vs each system (paper values in parens):");
     let paper = [("seq-vN", 68.0), ("seq-dataflow", 22.7), ("ordered", 21.7), ("unordered", 0.77)];
     for (sys, paper_x) in
         [System::SeqVn, System::SeqDf, System::Ordered, System::Unordered].iter().zip(paper)
@@ -73,7 +91,13 @@ pub fn fig12(ctx: &Ctx, results: &SuiteResults) {
             let tyr = results.runs[&(app.to_string(), System::Tyr)].cycles();
             s.push(base as f64 / tyr as f64);
         }
-        println!("    vs {:<14} {:>8.2}x   (paper: {}x)", paper_x.0, s.gmean().unwrap(), paper_x.1);
+        let _ = writeln!(
+            out,
+            "    vs {:<14} {:>8.2}x   (paper: {}x)",
+            paper_x.0,
+            s.gmean().unwrap(),
+            paper_x.1
+        );
     }
     // Bar chart of per-app cycles for a visual check.
     let rows: Vec<(String, f64)> = APP_NAMES
@@ -87,15 +111,23 @@ pub fn fig12(ctx: &Ctx, results: &SuiteResults) {
             })
         })
         .collect();
-    println!("\n{}", bar_chart("execution time (log scale)", &rows, 60, true));
-    ctx.emit_csv("fig12_exec_time", &csv);
+    let _ = writeln!(out, "\n{}", bar_chart("execution time (log scale)", &rows, 60, true));
+    (out, csv)
 }
 
 /// Fig. 13: CDF of per-cycle IPC for each system, aggregated across all
 /// apps. Unordered is nearly the ideal `_]`; TYR tracks it closely; the
 /// sequential/ordered systems rarely exceed ten.
 pub fn fig13(ctx: &Ctx, results: &SuiteResults) {
-    println!("== Fig. 13: IPC CDFs across all apps ({} scale) ==", ctx.scale_label());
+    let (out, csv) = render_fig13(ctx, results);
+    print!("{out}");
+    ctx.emit_csv("fig13_ipc_cdf", &csv);
+}
+
+/// Renders Fig. 13 without printing.
+pub fn render_fig13(ctx: &Ctx, results: &SuiteResults) -> (String, CsvTable) {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Fig. 13: IPC CDFs across all apps ({} scale) ==", ctx.scale_label());
     let mut series = Vec::new();
     let mut csv = CsvTable::new(["system", "ipc", "cum_prob"]);
     for sys in System::ALL {
@@ -104,7 +136,8 @@ pub fn fig13(ctx: &Ctx, results: &SuiteResults) {
             merged.merge(&results.runs[&(app.to_string(), sys)].ipc);
         }
         let cdf = merged.cdf();
-        println!(
+        let _ = writeln!(
+            out,
             "  {:<14} mean IPC={:<8.2} p50={:<6} p90={:<6} max={}",
             sys.label(),
             merged.mean(),
@@ -117,16 +150,30 @@ pub fn fig13(ctx: &Ctx, results: &SuiteResults) {
         }
         series.push(Series::new(sys.label(), cdf.points().to_vec()));
     }
-    println!("{}", line_chart("cumulative probability vs IPC", &series, 100, 20, false));
-    ctx.emit_csv("fig13_ipc_cdf", &csv);
+    let _ =
+        writeln!(out, "{}", line_chart("cumulative probability vs IPC", &series, 100, 20, false));
+    (out, csv)
 }
 
 /// Fig. 14: peak (and mean) live tokens per app per system, log scale.
 /// TYR sits orders of magnitude below unordered while staying fast.
 pub fn fig14(ctx: &Ctx, results: &SuiteResults) {
-    println!("== Fig. 14: live state (peak / mean tokens) ({} scale) ==", ctx.scale_label());
+    let (out, csv) = render_fig14(ctx, results);
+    print!("{out}");
+    ctx.emit_csv("fig14_live_state", &csv);
+}
+
+/// Renders Fig. 14 without printing.
+pub fn render_fig14(ctx: &Ctx, results: &SuiteResults) -> (String, CsvTable) {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Fig. 14: live state (peak / mean tokens) ({} scale) ==",
+        ctx.scale_label()
+    );
     let mut csv = CsvTable::new(["app", "system", "peak_live", "mean_live"]);
-    println!(
+    let _ = writeln!(
+        out,
         "  {:<8} {:>20} {:>20} {:>20} {:>20} {:>20}",
         "app",
         System::SeqVn.label(),
@@ -147,7 +194,7 @@ pub fn fig14(ctx: &Ctx, results: &SuiteResults) {
                 format!("{:.2}", r.mean_live()),
             ]);
         }
-        println!("{row}");
+        let _ = writeln!(out, "{row}");
     }
     // State-reduction gmeans (paper: 572.8× less than unordered; 98.4×,
     // 136×, 23× more than vN / seq-dataflow / ordered).
@@ -160,14 +207,27 @@ pub fn fig14(ctx: &Ctx, results: &SuiteResults) {
         }
         s.gmean().unwrap()
     };
-    println!("\n  gmean peak-state ratios (paper values in parens):");
-    println!(
+    let _ = writeln!(out, "\n  gmean peak-state ratios (paper values in parens):");
+    let _ = writeln!(
+        out,
         "    unordered / TYR: {:>10.1}x  (paper: 572.8x)",
         ratio(System::Unordered, System::Tyr)
     );
-    println!("    TYR / seq-vN:    {:>10.1}x  (paper: 98.4x)", ratio(System::Tyr, System::SeqVn));
-    println!("    TYR / seq-df:    {:>10.1}x  (paper: 136x)", ratio(System::Tyr, System::SeqDf));
-    println!("    TYR / ordered:   {:>10.1}x  (paper: 23x)", ratio(System::Tyr, System::Ordered));
+    let _ = writeln!(
+        out,
+        "    TYR / seq-vN:    {:>10.1}x  (paper: 98.4x)",
+        ratio(System::Tyr, System::SeqVn)
+    );
+    let _ = writeln!(
+        out,
+        "    TYR / seq-df:    {:>10.1}x  (paper: 136x)",
+        ratio(System::Tyr, System::SeqDf)
+    );
+    let _ = writeln!(
+        out,
+        "    TYR / ordered:   {:>10.1}x  (paper: 23x)",
+        ratio(System::Tyr, System::Ordered)
+    );
     let rows: Vec<(String, f64)> = APP_NAMES
         .iter()
         .flat_map(|app| {
@@ -179,6 +239,6 @@ pub fn fig14(ctx: &Ctx, results: &SuiteResults) {
             })
         })
         .collect();
-    println!("\n{}", bar_chart("peak live tokens (log scale)", &rows, 60, true));
-    ctx.emit_csv("fig14_live_state", &csv);
+    let _ = writeln!(out, "\n{}", bar_chart("peak live tokens (log scale)", &rows, 60, true));
+    (out, csv)
 }

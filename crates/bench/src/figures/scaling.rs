@@ -7,7 +7,7 @@ use tyr_stats::csv::CsvTable;
 use tyr_workloads::{dmv, spmspv, Scale};
 
 use crate::figures::Ctx;
-use crate::{run_system, LoweredWorkload, RunConfig, System};
+use crate::{pool, run_system, LoweredWorkload, RunConfig, System};
 
 /// Fig. 15: execution time (top) and peak state (bottom) across issue
 /// widths 16–512 for dmv. TYR and unordered scale with width; sequential
@@ -23,6 +23,16 @@ pub fn fig15(ctx: &Ctx) {
     println!("== Fig. 15: issue-width scaling on dmv {n}x{n} ==");
     let w = dmv::build(n, n, ctx.seed);
     let widths = [16usize, 32, 64, 128, 256, 512];
+    // Fan the (system, width) grid out over the worker pool; results come
+    // back in submission order, so the rendering below is byte-identical
+    // to the serial nested loop it replaces.
+    let grid: Vec<(System, usize)> =
+        System::ALL.iter().flat_map(|&sys| widths.iter().map(move |&width| (sys, width))).collect();
+    let runs = pool::parallel_map(ctx.jobs, grid, |(sys, width)| {
+        let cfg = RunConfig { issue_width: width, ..ctx.cfg.clone() };
+        run_system(&w, sys, &cfg)
+    });
+    let mut runs = runs.into_iter();
     let mut time_series: Vec<Series> = Vec::new();
     let mut state_series: Vec<Series> = Vec::new();
     let mut csv = CsvTable::new(["system", "issue_width", "cycles", "peak_live"]);
@@ -30,8 +40,7 @@ pub fn fig15(ctx: &Ctx) {
         let mut tpts = Vec::new();
         let mut spts = Vec::new();
         for &width in &widths {
-            let cfg = RunConfig { issue_width: width, ..ctx.cfg.clone() };
-            let r = run_system(&w, sys, &cfg);
+            let r = runs.next().expect("one result per grid cell");
             tpts.push((width as f64, r.cycles() as f64));
             spts.push((width as f64, r.peak_live() as f64));
             csv.push_row([
@@ -222,6 +231,19 @@ pub fn fig17(ctx: &Ctx) {
     let widths = [16usize, 32, 64, 128, 256];
     let tag_counts = [2usize, 4, 8, 16, 32, 64, 128];
 
+    // Fan the (width, tags) grid out over the worker pool (submission
+    // order preserved, so the tables below match a serial sweep byte for
+    // byte).
+    let cells: Vec<(usize, usize)> = widths
+        .iter()
+        .flat_map(|&width| tag_counts.iter().map(move |&tags| (width, tags)))
+        .collect();
+    let runs = pool::parallel_map(ctx.jobs, cells.clone(), |(width, tags)| {
+        lw.run_tyr(TagPolicy::local(tags), width)
+    });
+    let grid: Vec<(usize, usize, tyr_sim::RunResult)> =
+        cells.into_iter().zip(runs).map(|((w2, t), r)| (w2, t, r)).collect();
+
     let mut csv = CsvTable::new(["issue_width", "tags", "mean_ipc", "cycles", "peak_live"]);
     println!("  (a) mean IPC:");
     print!("  {:>8}", "w\\t");
@@ -229,11 +251,11 @@ pub fn fig17(ctx: &Ctx) {
         print!(" {t:>8}");
     }
     println!();
-    let mut grid = Vec::new();
+    let mut it = grid.iter();
     for &width in &widths {
         print!("  {width:>8}");
         for &tags in &tag_counts {
-            let r = lw.run_tyr(TagPolicy::local(tags), width);
+            let (_, _, r) = it.next().expect("one result per cell");
             print!(" {:>8.1}", r.ipc.mean());
             csv.push_row([
                 width.to_string(),
@@ -242,7 +264,6 @@ pub fn fig17(ctx: &Ctx) {
                 r.cycles().to_string(),
                 r.peak_live().to_string(),
             ]);
-            grid.push((width, tags, r));
         }
         println!();
     }
@@ -266,9 +287,11 @@ pub fn fig17(ctx: &Ctx) {
     let mut ipc_pts = Vec::new();
     let mut state_pts = Vec::new();
     let mut csv_c = CsvTable::new(["issue_width", "tags", "mean_ipc", "peak_live"]);
-    for &width in &widths {
+    let prop_runs = pool::parallel_map(ctx.jobs, widths.to_vec(), |width| {
+        lw.run_tyr(TagPolicy::local((width / 2).max(2)), width)
+    });
+    for (&width, r) in widths.iter().zip(&prop_runs) {
         let tags = (width / 2).max(2);
-        let r = lw.run_tyr(TagPolicy::local(tags), width);
         println!(
             "    w={width:<4} t={tags:<4} mean IPC={:<8.1} peak_live={}",
             r.ipc.mean(),

@@ -8,7 +8,7 @@ use tyr_stats::csv::CsvTable;
 use tyr_workloads::by_name;
 
 use crate::figures::{trace_points, Ctx};
-use crate::{run_system, LoweredWorkload, System};
+use crate::{pool, run_system, LoweredWorkload, System};
 
 /// Fig. 2: live state over time for spmspm on every system (log-y). The
 /// unordered trace balloons by orders of magnitude and then drains; TYR
@@ -84,8 +84,13 @@ pub fn fig16(ctx: &Ctx) {
     let mut series = Vec::new();
     let mut csv = CsvTable::new(["tags", "cycles", "peak_live", "mean_live"]);
     let mut trace_csv = CsvTable::new(["tags", "cycle", "live_tokens"]);
-    for tags in [2usize, 8, 32, 64, 128, 512] {
-        let r = lw.run_tyr(TagPolicy::local(tags), ctx.cfg.issue_width);
+    // Each tag configuration is an independent run; sweep them on the
+    // worker pool (submission-ordered results keep the output identical).
+    let tag_counts = [2usize, 8, 32, 64, 128, 512];
+    let runs = pool::parallel_map(ctx.jobs, tag_counts.to_vec(), |tags| {
+        lw.run_tyr(TagPolicy::local(tags), ctx.cfg.issue_width)
+    });
+    for (tags, r) in tag_counts.into_iter().zip(runs) {
         println!(
             "  t={:<5} cycles={:<12} peak_live={:<12} mean_live={:.1}",
             tags,

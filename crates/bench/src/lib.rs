@@ -4,8 +4,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_cmd;
 pub mod figures;
 pub mod micro;
+pub mod pool;
 pub mod trace;
 pub mod verify;
 

@@ -18,18 +18,22 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
-use tyr_bench::{trace, verify};
+use tyr_bench::{bench_cmd, trace, verify};
 use tyr_workloads::Scale;
 
-const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--csv DIR] [--out FILE] <command>...
+const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--jobs N] [--csv DIR] [--out FILE] <command>...
 commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all
-          trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)";
+          trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)
+          bench [--quick]           (suite perf baseline -> BENCH_suite.json, or --out FILE; --quick forces tiny scale)
+          bench-check <file>        (validate a baseline file against the tyr-bench-suite/v1 schema)
+options:  --jobs N    worker threads for sweeps (default: REPRO_JOBS or available cores; output is identical for any N)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ctx = Ctx::default();
     let mut cmds: Vec<String> = Vec::new();
     let mut trace_out: Option<PathBuf> = None;
+    let mut quick = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -60,6 +64,14 @@ fn main() -> ExitCode {
             "--mem-latency" => {
                 ctx.cfg.mem_latency = opt_value("--mem-latency").parse().expect("numeric latency")
             }
+            "--jobs" => {
+                ctx.jobs = opt_value("--jobs").parse().expect("numeric job count");
+                if ctx.jobs == 0 {
+                    eprintln!("--jobs must be at least 1\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+            "--quick" => quick = true,
             "--csv" => ctx.csv_dir = Some(PathBuf::from(opt_value("--csv"))),
             "--out" => trace_out = Some(PathBuf::from(opt_value("--out"))),
             "--help" | "-h" => {
@@ -133,6 +145,29 @@ fn main() -> ExitCode {
                 if !verify::run(&ctx) {
                     return ExitCode::FAILURE;
                 }
+            }
+            "bench" => {
+                let mut bctx = ctx.clone();
+                if quick {
+                    bctx.scale = Scale::Tiny;
+                }
+                let out = trace_out.clone().unwrap_or_else(|| PathBuf::from("BENCH_suite.json"));
+                if let Err(e) = bench_cmd::run(&bctx, &out) {
+                    eprintln!("bench failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // `bench-check` consumes the following positional argument.
+            "bench-check" => {
+                let Some(file) = cmds.get(i + 1) else {
+                    eprintln!("bench-check needs a <file>\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = bench_cmd::check_file(std::path::Path::new(file)) {
+                    eprintln!("bench-check failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                i += 1;
             }
             "table1" => tables::table1(&ctx),
             "table2" => tables::table2(&ctx),

@@ -1,0 +1,136 @@
+//! A hand-rolled scoped worker pool for experiment sweeps.
+//!
+//! The paper's evaluation is a grid of independent `(kernel, system,
+//! config)` simulations — coarse-grained dataflow at the job level, with no
+//! shared mutable state between cells. This module fans such grids out over
+//! `std::thread::scope` workers (the workspace builds offline, so no rayon)
+//! while keeping the harness's output contract: **results come back in
+//! submission order**, so a parallel sweep renders byte-identical tables to
+//! a serial one.
+//!
+//! Design: jobs and result slots live in two index-aligned vectors of
+//! `Mutex<Option<_>>`; workers claim indices from one shared atomic
+//! counter, run the (`Sync`) job function, and deposit each result in the
+//! slot of its job's index. There is no channel, no work stealing, and no
+//! ordering dependence on which worker finishes first. A panicking job
+//! propagates out of [`parallel_map`] when the scope joins, like the serial
+//! loop it replaces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count used when the caller does not pass `--jobs`: the
+/// `REPRO_JOBS` environment variable if set and positive, otherwise the
+/// machine's available parallelism, otherwise 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("REPRO_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+        eprintln!("ignoring invalid REPRO_JOBS='{v}' (want a positive integer)");
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads and returns the
+/// results **in submission order** (index `i` of the output is `f` applied
+/// to index `i` of the input, regardless of completion order).
+///
+/// `jobs <= 1` (or a single item) runs serially on the caller's thread with
+/// no pool at all, making `--jobs 1` an exact serial-execution baseline.
+///
+/// # Panics
+///
+/// If a job panics, the panic propagates to the caller (after the other
+/// workers finish their current items).
+pub fn parallel_map<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let tasks: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let item = tasks[i].lock().expect("task mutex").take().expect("claimed once");
+                    let out = f(item);
+                    *slots[i].lock().expect("slot mutex") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a job's panic propagates with its original
+        // payload (scope's implicit join would replace it with a generic
+        // "a scoped thread panicked").
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot mutex").expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Jobs deliberately finish out of order (later items are cheaper);
+        // the output must still align index-for-index with the input.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(8, items.clone(), |i| {
+            std::thread::sleep(std::time::Duration::from_micros(200 * (64 - i)));
+            i * i
+        });
+        assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let serial = parallel_map(1, items.clone(), |i| i.wrapping_mul(0x9e37).rotate_left(7));
+        let parallel = parallel_map(4, items, |i| i.wrapping_mul(0x9e37).rotate_left(7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(parallel_map(16, vec![1, 2, 3], |i| i + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = parallel_map(4, Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 failed")]
+    fn worker_panic_propagates() {
+        parallel_map(2, (0..8).collect::<Vec<_>>(), |i| {
+            if i == 3 {
+                panic!("job 3 failed");
+            }
+            i
+        });
+    }
+}

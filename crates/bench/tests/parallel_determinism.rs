@@ -1,0 +1,51 @@
+//! The pool's determinism contract, end to end: a parallel suite sweep
+//! must render byte-identical fig12/13/14 tables to a serial one, because
+//! `--jobs` is a wall-time knob and must never be a results knob.
+
+use tyr_bench::figures::{perf, Ctx};
+use tyr_bench::System;
+use tyr_workloads::{Scale, APP_NAMES};
+
+fn ctx(jobs: usize) -> Ctx {
+    Ctx { scale: Scale::Tiny, jobs, ..Ctx::default() }
+}
+
+#[test]
+fn parallel_suite_sweep_renders_identical_figures() {
+    let serial_ctx = ctx(1);
+    let parallel_ctx = ctx(4);
+    let serial = perf::run_suite(&serial_ctx);
+    let parallel = perf::run_suite(&parallel_ctx);
+
+    let (fig12_s, csv12_s) = perf::render_fig12(&serial_ctx, &serial);
+    let (fig12_p, csv12_p) = perf::render_fig12(&parallel_ctx, &parallel);
+    assert_eq!(fig12_s, fig12_p, "fig12 tables must be byte-identical");
+    assert_eq!(csv12_s.render(), csv12_p.render(), "fig12 CSV must be byte-identical");
+
+    let (fig13_s, csv13_s) = perf::render_fig13(&serial_ctx, &serial);
+    let (fig13_p, csv13_p) = perf::render_fig13(&parallel_ctx, &parallel);
+    assert_eq!(fig13_s, fig13_p, "fig13 tables must be byte-identical");
+    assert_eq!(csv13_s.render(), csv13_p.render());
+
+    let (fig14_s, csv14_s) = perf::render_fig14(&serial_ctx, &serial);
+    let (fig14_p, csv14_p) = perf::render_fig14(&parallel_ctx, &parallel);
+    assert_eq!(fig14_s, fig14_p, "fig14 tables must be byte-identical");
+    assert_eq!(csv14_s.render(), csv14_p.render());
+}
+
+#[test]
+fn parallel_suite_results_match_serial_cell_for_cell() {
+    // Below the rendered tables: every simulated statistic of every
+    // (kernel, system) cell must agree exactly.
+    let serial = perf::run_suite(&ctx(1));
+    let parallel = perf::run_suite(&ctx(3));
+    assert_eq!(serial.runs.len(), APP_NAMES.len() * System::ALL.len());
+    assert_eq!(serial.runs.len(), parallel.runs.len());
+    for (key, s) in &serial.runs {
+        let p = &parallel.runs[key];
+        assert_eq!(s.cycles(), p.cycles(), "{key:?}");
+        assert_eq!(s.dyn_instrs(), p.dyn_instrs(), "{key:?}");
+        assert_eq!(s.peak_live(), p.peak_live(), "{key:?}");
+        assert_eq!(s.returns, p.returns, "{key:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! A dependency-free FxHash64-style hasher for the engines' hot-path maps.
+//!
+//! SipHash — `std`'s default, chosen for HashDoS resistance — costs the
+//! tagged engine dearly on the `Store::Sparse` path: the unbounded-tag
+//! policies hash *every token delivery* (`set`/`present`/`clear` on a
+//! `HashMap<u64, SparseSlot>`), so the hasher sits squarely on the
+//! simulator's inner loop. Simulation keys are small integers produced by
+//! the engine itself (tag counters), never attacker-controlled, so the
+//! DoS-resistance tax buys nothing here.
+//!
+//! This module is the classic multiply-xor design used by rustc (`FxHash`):
+//! one wrapping multiply and a rotate per word. The workspace builds
+//! offline with no external crates (DESIGN.md §7), so it is written out
+//! rather than pulled in.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from FxHash (derived from the golden ratio, as
+/// in Fibonacci hashing); spreads low-entropy integer keys across the high
+/// bits, which `HashMap` then uses for bucket selection.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The per-word mixing step: fold `word` in, then diffuse with one
+/// wrapping multiply.
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// A fast, non-cryptographic, deterministic hasher (FxHash64).
+///
+/// Deterministic across runs and platforms — unlike `RandomState`, two
+/// engines hashing the same tag stream produce identical bucket layouts,
+/// which keeps behavior reproducible under profiling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.hash = mix(self.hash, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.hash = mix(self.hash, u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = mix(self.hash, n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = mix(self.hash, n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = mix(self.hash, n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, zero-sized).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`] — drop-in for hot-path maps whose
+/// keys the simulator itself generates.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_u64(0xdead_beef), hash_u64(0xdead_beef));
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+    }
+
+    #[test]
+    fn sequential_tags_spread_over_high_bits() {
+        // Tags are allocated sequentially; the multiply must spread them so
+        // the map does not degenerate. Check the top byte takes many values
+        // over a small consecutive range.
+        let mut top_bytes = FxHashSet::default();
+        for t in 0u64..256 {
+            top_bytes.insert((hash_u64(t) >> 56) as u8);
+        }
+        assert!(top_bytes.len() > 100, "only {} distinct top bytes", top_bytes.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_padded_tail() {
+        // A non-multiple-of-8 write folds its tail zero-padded; the same
+        // logical prefix must hash differently from a different one.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 4]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrips_like_std() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for t in 0..1000u64 {
+            m.insert(t, t * 3);
+        }
+        for t in (0..1000u64).step_by(2) {
+            m.remove(&t);
+        }
+        assert_eq!(m.len(), 500);
+        assert_eq!(m.get(&501), Some(&1503));
+        assert_eq!(m.get(&500), None);
+    }
+}

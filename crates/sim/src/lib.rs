@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod ooo;
 pub mod ordered;
 pub mod result;
 pub mod seqdf;
 pub mod seqvn;
+pub mod slab;
 pub mod tagged;
 
 pub use result::{Outcome, RunResult, SimError};

@@ -365,8 +365,11 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
     }
 
     fn push_outputs(&mut self, idx: usize, port: usize, val: Value) {
-        let targets = self.dfg.nodes[idx].outs[port].clone();
-        for t in targets {
+        // Copy the graph reference out of `self` so the target list is
+        // iterated in place — the per-fire `outs[port].clone()` this
+        // replaces was a hot-path allocation.
+        let dfg = self.dfg;
+        for &t in &dfg.nodes[idx].outs[port] {
             if P::ENABLED {
                 self.probe.event(self.cycle, ProbeEvent::TokenProduced { node: t.node.0 });
             }
@@ -376,8 +379,10 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
     }
 
     fn fire(&mut self, idx: usize) -> Result<(), SimError> {
-        let kind = self.dfg.nodes[idx].kind.clone();
-        match kind {
+        // Match the node kind by reference (`kind.clone()` here used to
+        // heap-allocate for every CMerge fire, whose kind owns a Vec).
+        let dfg = self.dfg;
+        match &dfg.nodes[idx].kind {
             NodeKind::Alu(op) => {
                 let a = self.pop(idx, 0);
                 let b = if self.dfg.nodes[idx].ins.len() > 1 { self.pop(idx, 1) } else { 0 };
@@ -410,7 +415,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                 if self.dfg.nodes[idx].ins.len() > 2 {
                     self.pop(idx, 2); // trigger
                 }
-                if matches!(kind, NodeKind::Store) {
+                if matches!(dfg.nodes[idx].kind, NodeKind::Store) {
                     self.mem.store(addr, v)?;
                 } else {
                     self.mem.fetch_add(addr, v)?;
@@ -428,6 +433,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                 self.push_outputs(idx, 0, v);
             }
             NodeKind::Const(c) => {
+                let c = *c;
                 self.pop(idx, 0);
                 self.push_outputs(idx, 0, c);
             }

@@ -22,14 +22,16 @@
 //! dynamic instances of the same static instruction), and live tokens and
 //! IPC are sampled every cycle.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use tyr_dfg::{AllocKind, BlockId, Dfg, InKind, NodeId, NodeKind, PortRef};
 use tyr_ir::{MemoryImage, Value};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::fxhash::FxHashMap;
 use crate::result::{Outcome, RunResult, SimError};
+use crate::slab::ValueSlab;
 
 /// Maximum wired inputs per node (token-presence bits share a `u64` with
 /// three engine flags).
@@ -125,13 +127,25 @@ impl Default for TaggedConfig {
 /// the implementation benefit Sec. III claims; unbounded tags force an
 /// associative (hash) store.
 enum Store {
-    Dense { n_ports: usize, present: Vec<u64>, vals: Vec<Value> },
-    Sparse { n_ports: usize, map: HashMap<u64, SparseSlot> },
+    Dense {
+        n_ports: usize,
+        present: Vec<u64>,
+        vals: Vec<Value>,
+    },
+    /// Unbounded tags force an associative store. Keys are engine-generated
+    /// tag counters (never adversarial), so the map hashes with [`FxHasher`]
+    /// rather than SipHash; slot values live in a pooled [`ValueSlab`] so
+    /// steady-state token match/clear never touches the allocator.
+    Sparse {
+        map: FxHashMap<u64, SparseSlot>,
+        slab: ValueSlab,
+    },
 }
 
 struct SparseSlot {
     present: u64,
-    vals: Vec<Value>,
+    /// Row handle into the store's [`ValueSlab`].
+    row: u32,
 }
 
 impl Store {
@@ -153,12 +167,12 @@ impl Store {
                 vals[t * *n_ports + port as usize] = val;
                 Ok(present[t])
             }
-            Store::Sparse { n_ports, map } => {
+            Store::Sparse { map, slab } => {
                 let slot = map
                     .entry(tag)
-                    .or_insert_with(|| SparseSlot { present: 0, vals: vec![0; *n_ports] });
+                    .or_insert_with(|| SparseSlot { present: 0, row: slab.acquire() });
                 slot.present |= 1 << port;
-                slot.vals[port as usize] = val;
+                slab.set(slot.row, port, val);
                 Ok(slot.present)
             }
         }
@@ -167,9 +181,9 @@ impl Store {
     fn or_flags(&mut self, tag: u64, flags: u64) {
         match self {
             Store::Dense { present, .. } => present[tag as usize] |= flags,
-            Store::Sparse { map, n_ports } => {
+            Store::Sparse { map, slab } => {
                 map.entry(tag)
-                    .or_insert_with(|| SparseSlot { present: 0, vals: vec![0; *n_ports] })
+                    .or_insert_with(|| SparseSlot { present: 0, row: slab.acquire() })
                     .present |= flags;
             }
         }
@@ -178,21 +192,27 @@ impl Store {
     fn clear(&mut self, tag: u64, bits: u64) {
         match self {
             Store::Dense { present, .. } => present[tag as usize] &= !bits,
-            Store::Sparse { map, .. } => {
+            Store::Sparse { map, slab } => {
                 if let Some(slot) = map.get_mut(&tag) {
                     slot.present &= !bits;
                     if slot.present == 0 {
+                        let row = slot.row;
                         map.remove(&tag);
+                        slab.release(row);
                     }
                 }
             }
         }
     }
 
-    fn val(&self, tag: u64, port: u16) -> Value {
+    /// The value on `port` under `tag`, or `None` if the Sparse path holds
+    /// no token set for the tag (the Dense path always has backing storage).
+    fn val(&self, tag: u64, port: u16) -> Option<Value> {
         match self {
-            Store::Dense { n_ports, vals, .. } => vals[tag as usize * *n_ports + port as usize],
-            Store::Sparse { map, .. } => map[&tag].vals[port as usize],
+            Store::Dense { n_ports, vals, .. } => {
+                Some(vals[tag as usize * *n_ports + port as usize])
+            }
+            Store::Sparse { map, slab } => map.get(&tag).map(|s| slab.get(s.row, port)),
         }
     }
 }
@@ -201,6 +221,86 @@ enum Backend {
     Local { free: Vec<Vec<u64>>, pending: Vec<VecDeque<(u32, u64)>> },
     Global { free: Vec<u64>, pending: VecDeque<(u32, u64)> },
     Unbounded { next: u64 },
+}
+
+/// Largest `mem_latency` served by the timing wheel; beyond it the wheel's
+/// bucket array would outweigh the FIFO it replaces.
+const WHEEL_MAX_LATENCY: u64 = 1 << 14;
+
+/// Memory responses in flight, bucketed by release cycle.
+///
+/// The latency is constant, so at most `mem_latency` distinct release
+/// cycles are ever in flight and a wheel of `mem_latency + 1` buckets is
+/// exact: a response issued at cycle `c` lands in bucket
+/// `(c + mem_latency) % len`, and the engine drains bucket
+/// `(cycle + 1) % len` once per cycle — O(releases this cycle), with no
+/// front-scan over responses that are not yet due. Same-cycle insertions
+/// can never collide with the bucket being drained
+/// (`c + mem_latency ≡ c + 1 (mod mem_latency + 1)` has no solution for
+/// `mem_latency ≥ 2`), and within a bucket insertion order is preserved, so
+/// delivery order — and therefore every cycle count — is bit-identical to
+/// the FIFO this replaces.
+enum DelayLine {
+    Wheel {
+        /// `buckets[r % buckets.len()]` holds exactly the responses
+        /// releasing at cycle `r`.
+        buckets: Vec<Vec<(PortRef, u64, Value)>>,
+        /// Total responses in flight across all buckets.
+        in_flight: usize,
+    },
+    /// Fallback for latencies too large to wheel; `(release_cycle, target,
+    /// tag, value)`, FIFO because the latency is constant.
+    Fifo(VecDeque<(u64, PortRef, u64, Value)>),
+}
+
+impl DelayLine {
+    fn new(mem_latency: u64) -> Self {
+        if (2..=WHEEL_MAX_LATENCY).contains(&mem_latency) {
+            let len = mem_latency as usize + 1;
+            DelayLine::Wheel { buckets: (0..len).map(|_| Vec::new()).collect(), in_flight: 0 }
+        } else {
+            // `mem_latency <= 1` never queues (responses emit directly);
+            // keep the FIFO as an inert placeholder.
+            DelayLine::Fifo(VecDeque::new())
+        }
+    }
+
+    fn push(&mut self, release: u64, target: PortRef, tag: u64, val: Value) {
+        match self {
+            DelayLine::Wheel { buckets, in_flight } => {
+                let len = buckets.len() as u64;
+                buckets[(release % len) as usize].push((target, tag, val));
+                *in_flight += 1;
+            }
+            DelayLine::Fifo(q) => q.push_back((release, target, tag, val)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            DelayLine::Wheel { in_flight, .. } => *in_flight == 0,
+            DelayLine::Fifo(q) => q.is_empty(),
+        }
+    }
+
+    /// Moves every response due by the end of `cycle` into `out` (in
+    /// issue order), reusing `out`'s capacity across cycles.
+    fn drain_due(&mut self, cycle: u64, out: &mut Vec<(PortRef, u64, Value)>) {
+        match self {
+            DelayLine::Wheel { buckets, in_flight } => {
+                let len = buckets.len() as u64;
+                let bucket = &mut buckets[((cycle + 1) % len) as usize];
+                *in_flight -= bucket.len();
+                out.append(bucket);
+            }
+            DelayLine::Fifo(q) => {
+                while q.front().is_some_and(|&(r, ..)| r <= cycle + 1) {
+                    let (_, target, tag, val) = q.pop_front().expect("checked");
+                    out.push((target, tag, val));
+                }
+            }
+        }
+    }
 }
 
 /// The tagged-dataflow engine. Construct with [`TaggedEngine::new`] (no
@@ -215,9 +315,10 @@ pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     backend: Backend,
     ready: VecDeque<(u32, u64)>,
     emissions: Vec<(PortRef, u64, Value)>,
-    /// Memory results in flight: `(release_cycle, target, tag, value)`,
-    /// FIFO because the latency is constant.
-    delayed: VecDeque<(u64, PortRef, u64, Value)>,
+    /// Memory results in flight, bucketed by release cycle.
+    delayed: DelayLine,
+    /// Scratch for the per-cycle release drain (capacity reused).
+    due: Vec<(PortRef, u64, Value)>,
     live: u64,
     /// Live tokens per concurrent block (token-store occupancy).
     block_live: Vec<u64>,
@@ -339,12 +440,16 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                 let store = dfg
                     .nodes
                     .iter()
-                    .map(|n| Store::Sparse { n_ports: n.ins.len(), map: HashMap::new() })
+                    .map(|n| Store::Sparse {
+                        map: FxHashMap::default(),
+                        slab: ValueSlab::new(n.ins.len()),
+                    })
                     .collect();
                 (Backend::Unbounded { next: 1 }, store)
             }
         };
 
+        let delayed = DelayLine::new(cfg.mem_latency);
         TaggedEngine {
             dfg,
             mem,
@@ -354,7 +459,8 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             backend,
             ready: VecDeque::new(),
             emissions: Vec::new(),
-            delayed: VecDeque::new(),
+            delayed,
+            due: Vec::new(),
             live: 0,
             block_live: vec![0; dfg.blocks.len()],
             block_peak: vec![0; dfg.blocks.len()],
@@ -426,13 +532,15 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             }
 
             // Release memory results whose latency has elapsed.
-            while self.delayed.front().is_some_and(|&(r, ..)| r <= self.cycle + 1) {
-                let (_, target, tag, val) = self.delayed.pop_front().expect("checked");
+            let mut due = std::mem::take(&mut self.due);
+            self.delayed.drain_due(self.cycle, &mut due);
+            for (target, tag, val) in due.drain(..) {
                 // Re-counted (live and block) by emit_to.
                 self.live -= 1;
                 self.block_live[self.dfg.nodes[target.node.0 as usize].block.0 as usize] -= 1;
                 self.emit_to(target, tag, val);
             }
+            self.due = due;
             // Deliver this cycle's emissions (visible next cycle). The list
             // can grow while draining: an `allocate` that already popped
             // consumes its `ready` input on delivery and emits its control
@@ -642,8 +750,11 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
     }
 
     fn emit(&mut self, node: NodeId, port: u16, tag: u64, val: Value) {
-        let targets = self.dfg.nodes[node.0 as usize].outs[port as usize].clone();
-        for t in targets {
+        // Copy the graph reference out of `self` so the target list can be
+        // iterated in place while `emit_to` borrows `self` mutably — the
+        // previous per-fire `outs[port].clone()` was a hot-path allocation.
+        let dfg = self.dfg;
+        for &t in &dfg.nodes[node.0 as usize].outs[port as usize] {
             self.emit_to(t, tag, val);
         }
     }
@@ -668,11 +779,11 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             return;
         }
         let release = self.cycle + self.cfg.mem_latency;
-        let targets = self.dfg.nodes[node.0 as usize].outs[port as usize].clone();
-        for t in targets {
-            self.delayed.push_back((release, t, tag, val));
+        let dfg = self.dfg;
+        for &t in &dfg.nodes[node.0 as usize].outs[port as usize] {
+            self.delayed.push(release, t, tag, val);
             self.live += 1;
-            let b = self.dfg.nodes[t.node.0 as usize].block.0 as usize;
+            let b = dfg.nodes[t.node.0 as usize].block.0 as usize;
             self.block_live[b] += 1;
             if self.block_live[b] > self.block_peak[b] {
                 self.block_peak[b] = self.block_live[b];
@@ -683,7 +794,15 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
     fn input(&self, node: NodeId, tag: u64, port: u16) -> Value {
         match self.dfg.nodes[node.0 as usize].ins[port as usize] {
             InKind::Imm(v) => v,
-            InKind::Wire => self.store[node.0 as usize].val(tag, port),
+            InKind::Wire => self.store[node.0 as usize].val(tag, port).unwrap_or_else(|| {
+                let n = &self.dfg.nodes[node.0 as usize];
+                panic!(
+                    "engine invariant violated: node '{}' (block '{}') fired reading \
+                     wired port {port} under tag {tag}, but the sparse store holds no \
+                     token set for that tag",
+                    n.label, self.dfg.blocks[n.block.0 as usize].name
+                )
+            }),
         }
     }
 

@@ -242,3 +242,58 @@ fn dual_sink_feeds_both() {
     assert_eq!(report.total_fires(), r.dyn_instrs());
     assert_eq!(chrome.kind_count(EventKind::Fired), r.dyn_instrs());
 }
+
+#[test]
+fn sparse_store_probe_parity() {
+    // The unbounded-tag policy exercises the slab-backed FxHash sparse
+    // store; probe fire counts must still equal dyn_instrs, and attaching
+    // the probe must not perturb the run.
+    let p = nested_program();
+    let dfg = lower_tagged(&p, TaggingDiscipline::UnorderedUnbounded).unwrap();
+    let cfg = TaggedConfig { tag_policy: TagPolicy::GlobalUnbounded, ..TaggedConfig::default() };
+    let plain = TaggedEngine::new(&dfg, MemoryImage::new(), cfg.clone()).run().unwrap();
+    assert!(plain.is_complete(), "{:?}", plain.outcome);
+    let mut counting = CountingProbe::default();
+    let mut prof = NodeProfiler::new();
+    let probed =
+        TaggedEngine::with_probe(&dfg, MemoryImage::new(), cfg, (&mut counting, &mut prof))
+            .run()
+            .unwrap();
+    assert_eq!(plain.cycles(), probed.cycles());
+    assert_eq!(plain.returns, probed.returns);
+    assert_eq!(prof.report(probed.final_cycle()).total_fires(), probed.dyn_instrs());
+}
+
+#[test]
+fn timing_wheel_probe_parity() {
+    // mem_latency >= 2 routes memory responses through the timing wheel.
+    // Fire counts must match dyn_instrs on both the wheel path and the
+    // FIFO fallback used for latencies past the wheel's bucket cap.
+    let mut mem = MemoryImage::new();
+    let xs = mem.alloc_init("xs", &(0..16).map(|i| i * 5 - 3).collect::<Vec<_>>());
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let [i, acc] = f.begin_loop("l", [0, 0]);
+    let c = f.lt(i, 16);
+    f.begin_body(c);
+    let addr = f.add(i, xs.base_const());
+    let v = f.load(addr);
+    let acc2 = f.add(acc, v);
+    let i2 = f.add(i, 1);
+    let [out] = f.end_loop([i2, acc2], [acc]);
+    let p = pb.finish(f, [out]);
+    let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+    for lat in [4u64, 64, 20_000] {
+        let cfg = TaggedConfig { mem_latency: lat, ..TaggedConfig::default() };
+        let plain = TaggedEngine::new(&dfg, mem.clone(), cfg.clone()).run().unwrap();
+        assert!(plain.is_complete(), "lat={lat}: {:?}", plain.outcome);
+        let mut prof = NodeProfiler::new();
+        let probed = TaggedEngine::with_probe(&dfg, mem.clone(), cfg, &mut prof).run().unwrap();
+        assert_eq!(plain.cycles(), probed.cycles(), "lat={lat}");
+        assert_eq!(
+            prof.report(probed.final_cycle()).total_fires(),
+            probed.dyn_instrs(),
+            "lat={lat}"
+        );
+    }
+}
