@@ -1,7 +1,8 @@
 #!/bin/sh
-# Offline-safe CI gate: formatting, lints, build, tests, and the static
-# verifier. Everything runs with --offline — the workspace has no external
-# dependencies by design (DESIGN.md §7).
+# Offline-safe CI gate: formatting, lints, docs, build, tests, the static
+# verifier, the probe/trace and perf-baseline gates, and the differential
+# fuzzer smoke sweep. Everything runs with --offline — the workspace has no
+# external dependencies by design (DESIGN.md §8).
 set -eux
 
 # --workspace everywhere: the root facade does not depend on tyr-bench, so
@@ -9,6 +10,10 @@ set -eux
 # (and `cargo test` would run only the facade's suites).
 cargo fmt --all --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
+# Rustdoc is part of the product: every public item is documented
+# (`#![warn(missing_docs)]` on every crate) and broken intra-doc links or
+# missing docs fail the build here.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 cargo build --offline --workspace --release
 cargo test --offline --workspace -q
 # The full static-analysis + translation-validation battery over the suite
@@ -30,9 +35,14 @@ rm -rf "$trace_dir"
 # 2-thread sweep pool and validate the emitted JSON against the
 # tyr-bench-suite/v1 schema, then validate the committed baseline too —
 # both `bench` (which self-checks before writing) and `bench-check` exit
-# nonzero on a malformed or incomplete file (DESIGN.md §8.5).
+# nonzero on a malformed or incomplete file (DESIGN.md §7.5).
 bench_dir=$(mktemp -d)
 target/release/repro bench --quick --jobs 2 --out "$bench_dir/BENCH_quick.json"
 target/release/repro bench-check "$bench_dir/BENCH_quick.json"
 rm -rf "$bench_dir"
 target/release/repro bench-check BENCH_suite.json
+# Robustness gate (DESIGN.md §9): 25-seed differential + chaos smoke sweep.
+# Exits nonzero on any cross-engine disagreement (shrunk witness printed),
+# any never-injected or never-detected fault class, or a mem-delay that
+# was not absorbed; output is byte-identical for any --jobs.
+target/release/repro fuzz --quick --jobs 2

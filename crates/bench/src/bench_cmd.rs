@@ -60,10 +60,12 @@ pub fn run(ctx: &Ctx, out: &Path) -> Result<(), String> {
         ctx.jobs
     );
     let workloads = suite(ctx.scale, ctx.seed);
-    let grid: Vec<(&tyr_workloads::Workload, System)> =
-        workloads.iter().flat_map(|w| System::ALL.map(|sys| (w, sys))).collect();
+    let grid: Vec<(String, (&tyr_workloads::Workload, System))> = workloads
+        .iter()
+        .flat_map(|w| System::ALL.map(|sys| (format!("{} on {}", w.name, sys.label()), (w, sys))))
+        .collect();
     let t0 = Instant::now();
-    let cells = pool::parallel_map(ctx.jobs, grid, |(w, sys)| {
+    let cells = pool::parallel_map_labeled(ctx.jobs, grid, |(w, sys)| {
         let start = Instant::now();
         let r = run_system(w, sys, &ctx.cfg);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -202,10 +202,12 @@ pub fn ablation_kbound(ctx: &Ctx) {
         let kb_str = match &kb.outcome {
             Outcome::Completed { cycles, .. } => format!("completed ({cycles} cyc)"),
             Outcome::Deadlock { cycle, .. } => format!("DEADLOCK @ {cycle}"),
+            Outcome::TimedOut { cycle, .. } => format!("TIMEOUT @ {cycle}"),
         };
         let tyr_str = match &tyr.outcome {
             Outcome::Completed { cycles, .. } => format!("completed ({cycles} cyc)"),
             Outcome::Deadlock { cycle, .. } => format!("DEADLOCK @ {cycle}"),
+            Outcome::TimedOut { cycle, .. } => format!("TIMEOUT @ {cycle}"),
         };
         println!("  {:>8} {kb_str:>26} {tyr_str:>22}", w.name);
         csv.push_row([w.name.clone(), kb_str, tyr_str]);

@@ -31,9 +31,11 @@ pub struct SuiteResults {
 /// the figures.
 pub fn run_suite(ctx: &Ctx) -> SuiteResults {
     let workloads = suite(ctx.scale, ctx.seed);
-    let grid: Vec<(&tyr_workloads::Workload, System)> =
-        workloads.iter().flat_map(|w| System::ALL.map(|sys| (w, sys))).collect();
-    let runs = pool::parallel_map(ctx.jobs, grid, |(w, sys)| {
+    let grid: Vec<(String, (&tyr_workloads::Workload, System))> = workloads
+        .iter()
+        .flat_map(|w| System::ALL.map(|sys| (format!("{} on {}", w.name, sys.label()), (w, sys))))
+        .collect();
+    let runs = pool::parallel_map_labeled(ctx.jobs, grid, |(w, sys)| {
         eprintln!("  running {} on {} ...", w.name, sys.label());
         ((w.name.clone(), sys), run_system(w, sys, &ctx.cfg))
     });

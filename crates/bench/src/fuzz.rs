@@ -1,0 +1,855 @@
+//! `repro fuzz` / `repro chaos` — the differential fuzzer and the
+//! fault-injection chaos harness.
+//!
+//! **Fuzzing** (`repro fuzz`): seeded random structured programs from
+//! [`tyr_workloads::gen::Recipe`] run on all five systems and the reference
+//! interpreter (the oracle). Two sweeps per invocation:
+//!
+//! 1. *Differential*: unfaulted runs. Any engine whose return value or
+//!    `out`-array contents disagree with the oracle — or that errors,
+//!    deadlocks, or times out — is a finding; the recipe is shrunk to a
+//!    minimal witness and printed.
+//! 2. *Chaos*: every fault class from the plan (default `all`) is injected
+//!    into a fault-capable engine (rotating over TYR / unordered / ordered
+//!    by seed) and the outcome is attributed per class. "Detect" classes
+//!    must produce an observable failure *somewhere* in the sweep; the
+//!    `mem-delay` class is special — the dataflow engines are
+//!    latency-insensitive by design, so a delayed response must be
+//!    **absorbed** (the run still completes correctly), and anything else
+//!    is an engine bug.
+//!
+//! Every run is armed with a deterministic cycle-budget watchdog (plus the
+//! sweep's shared [`CancelToken`] when `--deadline-secs` is given), so a
+//! wedged engine surfaces as an attributed `TimedOut` verdict instead of
+//! hanging the sweep. All reporting is in seed order with no wall-clock
+//! content: the same seed produces a byte-identical report and witness.
+//!
+//! **Chaos on a real kernel** (`repro chaos <kernel> <engine>`): runs one
+//! suite workload on one fault-capable engine under a fault plan and prints
+//! the full fault log, the outcome, and the per-run classification — the
+//! single-run microscope to `repro fuzz`'s sweep.
+
+use std::time::Duration;
+
+use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+use tyr_ir::{interp, pretty, Value};
+use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
+use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
+use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
+use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_sim::{CancelToken, FaultKind, FaultPlan, Outcome, RunResult, Watchdog};
+use tyr_workloads::gen::{GenCase, Recipe};
+use tyr_workloads::{by_name, APP_NAMES};
+
+use crate::figures::Ctx;
+use crate::{pool, System};
+
+/// Deterministic cycle budget armed on every fuzz run. Generated programs
+/// finish in well under 100k cycles on every engine; a run that reaches the
+/// budget is wedged (e.g. by a stuck node) and is reported as `TimedOut`.
+pub const FUZZ_CYCLE_BUDGET: u64 = 1_000_000;
+
+/// Cycle budget for `repro chaos` runs. Suite kernels finish in well under
+/// ten million cycles at every scale, but a stuck or tag-starved run spins
+/// quiescently until the watchdog fires — so the scale config's effectively
+/// unlimited `max_cycles` (2e9) would stall the CLI for minutes on a wedge.
+pub const CHAOS_CYCLE_BUDGET: u64 = 10_000_000;
+
+/// Minimum strikes a fault class needs before the "detected at least once"
+/// gate is enforced. Detection is probabilistic per strike (a duplicated
+/// token is tolerated ~4-in-5 times), so tiny sweeps would fail the gate by
+/// chance; the 25-seed `--quick` sweep clears this for every class.
+pub const DETECT_GATE_MIN_STRIKES: usize = 8;
+
+/// Top-level statements per generated program.
+pub const FUZZ_RECIPE_SIZE: usize = 16;
+
+/// Engines that accept a [`FaultPlan`]; the chaos sweep rotates over these.
+pub const FAULT_TARGETS: [System; 3] = [System::Tyr, System::Unordered, System::Ordered];
+
+/// Whether `sys` can inject `kind` at all. The ordered machine is untagged,
+/// so tag-space exhaustion does not apply to it.
+pub fn supports(sys: System, kind: FaultKind) -> bool {
+    match sys {
+        System::Tyr | System::Unordered => true,
+        System::Ordered => kind != FaultKind::TagExhaust,
+        System::SeqVn | System::SeqDf => false,
+    }
+}
+
+/// What one engine run looked like next to the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Completed with the oracle's return value and `out` contents.
+    Agree,
+    /// Completed, but with different results (the detail names the first
+    /// diverging value).
+    WrongAnswer(String),
+    /// The engine returned a `SimError` (sanitizer trip, ALU fault, ...).
+    EngineError(String),
+    /// The engine deadlocked.
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+    /// A watchdog ended the run.
+    TimedOut(String),
+}
+
+impl Verdict {
+    /// One-line rendering for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Verdict::Agree => "agree".into(),
+            Verdict::WrongAnswer(d) => format!("WRONG ANSWER ({d})"),
+            Verdict::EngineError(e) => format!("engine error ({e})"),
+            Verdict::Deadlock { cycle } => format!("deadlock @ cycle {cycle}"),
+            Verdict::TimedOut(cause) => format!("timed out ({cause})"),
+        }
+    }
+
+    /// Whether the run matched the oracle.
+    pub fn is_agree(&self) -> bool {
+        *self == Verdict::Agree
+    }
+}
+
+/// The oracle's view of one generated case: the reference interpreter's
+/// return values and final `out`-array contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleResult {
+    /// Entry-function return values.
+    pub returns: Vec<Value>,
+    /// Final contents of the `out` accumulator array.
+    pub out: Vec<Value>,
+}
+
+/// Runs the reference interpreter on `case`.
+///
+/// # Errors
+///
+/// Returns a message if the interpreter itself faults — which means the
+/// *generator* is broken, not an engine, and is reported as such.
+pub fn oracle(case: &GenCase) -> Result<OracleResult, String> {
+    let mut mem = case.memory.clone();
+    let r = interp::run(&case.program, &mut mem, &case.args)
+        .map_err(|e| format!("oracle (reference interpreter) faulted: {e}"))?;
+    Ok(OracleResult { returns: r.returns, out: mem.slice(case.out).to_vec() })
+}
+
+/// Runs `case` on `sys` (optionally faulted, always watchdogged) and judges
+/// the result against `oracle`. Never panics: every failure mode comes back
+/// as a [`Verdict`]. Returns the verdict and the run's fault log.
+pub fn run_engine(
+    case: &GenCase,
+    sys: System,
+    faults: Option<FaultPlan>,
+    dog: Watchdog,
+    oracle: &OracleResult,
+) -> (Verdict, Vec<tyr_sim::FaultRecord>) {
+    let res: Result<RunResult, String> = (|| {
+        let r = match sys {
+            System::SeqVn => {
+                let c =
+                    SeqVnConfig { args: case.args.clone(), max_cycles: u64::MAX, watchdog: dog };
+                SeqVnEngine::new(&case.program, case.memory.clone(), c).run()
+            }
+            System::SeqDf => {
+                let c = SeqDataflowConfig {
+                    issue_width: 64,
+                    args: case.args.clone(),
+                    max_cycles: u64::MAX,
+                    watchdog: dog,
+                };
+                SeqDataflowEngine::new(&case.program, case.memory.clone(), c).run()
+            }
+            System::Ordered => {
+                let dfg = lower_ordered(&case.program).map_err(|e| format!("lowering: {e}"))?;
+                let c = OrderedConfig {
+                    issue_width: 64,
+                    args: case.args.clone(),
+                    max_cycles: u64::MAX,
+                    faults,
+                    watchdog: dog,
+                    ..OrderedConfig::default()
+                };
+                OrderedEngine::new(&dfg, case.memory.clone(), c).run()
+            }
+            System::Unordered => {
+                let dfg = lower_tagged(&case.program, TaggingDiscipline::UnorderedUnbounded)
+                    .map_err(|e| format!("lowering: {e}"))?;
+                let c = TaggedConfig {
+                    issue_width: 64,
+                    tag_policy: TagPolicy::GlobalUnbounded,
+                    args: case.args.clone(),
+                    max_cycles: u64::MAX,
+                    check_token_leaks: true,
+                    faults,
+                    watchdog: dog,
+                    ..TaggedConfig::default()
+                };
+                TaggedEngine::new(&dfg, case.memory.clone(), c).run()
+            }
+            System::Tyr => {
+                let dfg = lower_tagged(&case.program, TaggingDiscipline::Tyr)
+                    .map_err(|e| format!("lowering: {e}"))?;
+                let c = TaggedConfig {
+                    issue_width: 64,
+                    tag_policy: TagPolicy::local_with(64, Vec::new()),
+                    args: case.args.clone(),
+                    max_cycles: u64::MAX,
+                    check_token_leaks: true,
+                    faults,
+                    watchdog: dog,
+                    ..TaggedConfig::default()
+                };
+                TaggedEngine::new(&dfg, case.memory.clone(), c).run()
+            }
+        };
+        r.map_err(|e| e.to_string())
+    })();
+    judge(case, oracle, res)
+}
+
+/// Classifies a raw engine result against the oracle.
+fn judge(
+    case: &GenCase,
+    oracle: &OracleResult,
+    res: Result<RunResult, String>,
+) -> (Verdict, Vec<tyr_sim::FaultRecord>) {
+    let r = match res {
+        Ok(r) => r,
+        Err(e) => return (Verdict::EngineError(e), Vec::new()),
+    };
+    let faults = r.faults.clone();
+    let v = match &r.outcome {
+        Outcome::Deadlock { cycle, .. } => Verdict::Deadlock { cycle: *cycle },
+        Outcome::TimedOut { cause, .. } => Verdict::TimedOut(cause.to_string()),
+        Outcome::Completed { .. } => {
+            if r.returns != oracle.returns {
+                Verdict::WrongAnswer(format!(
+                    "returns {:?}, oracle {:?}",
+                    r.returns, oracle.returns
+                ))
+            } else {
+                let got = r.memory().slice(case.out);
+                match got.iter().zip(&oracle.out).position(|(g, w)| g != w) {
+                    Some(i) => Verdict::WrongAnswer(format!(
+                        "out[{i}] = {}, oracle {}",
+                        got[i], oracle.out[i]
+                    )),
+                    None => Verdict::Agree,
+                }
+            }
+        }
+    };
+    (v, faults)
+}
+
+/// Greedy deterministic shrinking: repeatedly replace the recipe with its
+/// first still-`failing` shrink candidate until no candidate fails. Because
+/// [`Recipe::shrink_candidates`] enumerates edits in a fixed order and each
+/// edit strictly reduces `(size, total trips)`, this terminates and lands on
+/// the same local minimum on every rerun.
+pub fn shrink(recipe: &Recipe, failing: impl Fn(&Recipe) -> bool) -> Recipe {
+    let mut cur = recipe.clone();
+    'outer: loop {
+        for cand in cur.shrink_candidates() {
+            if failing(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Fuzz-sweep options (the `repro fuzz` CLI surface).
+#[derive(Debug, Clone)]
+pub struct FuzzOpts {
+    /// Number of seeds to sweep.
+    pub seeds: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Fault-plan text (`FaultPlan::parse` grammar); `None` means `all`.
+    pub faults: Option<String>,
+    /// Optional wall-clock deadline for the whole sweep; when it passes, a
+    /// shared [`CancelToken`] gracefully winds down every in-flight run
+    /// (they come back as attributed `TimedOut(cancelled)` verdicts) and
+    /// the sweep reports itself incomplete.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts { seeds: 100, jobs: 1, faults: None, deadline: None }
+    }
+}
+
+/// One engine's verdict on one unfaulted seed.
+#[derive(Debug, Clone)]
+struct DiffFinding {
+    seed: u64,
+    system: System,
+    verdict: Verdict,
+}
+
+/// One faulted run's attribution.
+#[derive(Debug, Clone)]
+struct ChaosRun {
+    seed: u64,
+    system: System,
+    kind: FaultKind,
+    injected: usize,
+    verdict: Verdict,
+}
+
+/// How a faulted run is scored, given its class's expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChaosScore {
+    /// The fault produced an observable failure (wrong answer, sanitizer
+    /// error, deadlock, or watchdog trip) — the detection paths work.
+    Detected,
+    /// `mem-delay` only: the run completed correctly despite the delayed
+    /// responses — the latency-insensitivity contract held.
+    Absorbed,
+    /// A "detect"-class fault struck but perturbed only dead values; the
+    /// run is attributed in the report (never silent), and the class gate
+    /// requires a detection elsewhere in the sweep.
+    Tolerated,
+    /// No strike landed inside the window (e.g. `mem-flip` on a program
+    /// with no loads); nothing was injected.
+    NotStruck,
+    /// `mem-delay` produced a failure — the engine is *not* latency-
+    /// insensitive. Always fatal.
+    Misbehaved,
+}
+
+fn score(kind: FaultKind, injected: usize, verdict: &Verdict) -> ChaosScore {
+    if injected == 0 {
+        return ChaosScore::NotStruck;
+    }
+    match (kind, verdict.is_agree()) {
+        (FaultKind::MemDelay, true) => ChaosScore::Absorbed,
+        (FaultKind::MemDelay, false) => ChaosScore::Misbehaved,
+        (_, true) => ChaosScore::Tolerated,
+        (_, false) => ChaosScore::Detected,
+    }
+}
+
+/// Renders a shrunk witness. Pure in its inputs, so a rerun of the same
+/// seed reproduces it byte-for-byte.
+pub fn render_witness(seed: u64, original: &Recipe, shrunk: &Recipe, findings: &str) -> String {
+    let case = shrunk.materialize();
+    format!(
+        "== fuzz witness: seed {seed} ==\n\
+         disagreement: {findings}\n\
+         args: {:?}\n\
+         shrunk {} -> {} statements; program:\n{}",
+        case.args,
+        original.size(),
+        shrunk.size(),
+        pretty::print_program(&case.program)
+    )
+}
+
+/// Runs the full fuzz sweep and prints the report.
+///
+/// # Errors
+///
+/// Returns a summary message (for a nonzero exit) if any engine disagreed
+/// with the oracle on an unfaulted run, a fault class was never injected or
+/// never detected, `mem-delay` was not absorbed, or the sweep was cancelled
+/// before completing.
+pub fn run(opts: &FuzzOpts) -> Result<(), String> {
+    let plan_text = opts.faults.as_deref().unwrap_or("all");
+    // Parse once for validation and class listing; per-run plans re-parse
+    // with their own seeds.
+    let template = FaultPlan::parse(plan_text, 0)?;
+    println!(
+        "== fuzz: {} seeds, faults '{plan_text}', cycle budget {FUZZ_CYCLE_BUDGET} ==",
+        opts.seeds
+    );
+
+    let cancel = CancelToken::new();
+    let _deadline_guard = opts.deadline.map(|d| spawn_deadline(d, cancel.clone()));
+    let dog = |cancel: &CancelToken| {
+        Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET).with_cancel(cancel.clone())
+    };
+
+    // Sweep 1: unfaulted differential runs, all five systems per seed.
+    type SeedResult = (u64, Result<Vec<(System, Verdict)>, String>);
+    let seeds: Vec<(String, u64)> =
+        (0..opts.seeds).map(|s| (format!("fuzz seed {s}"), s)).collect();
+    let diff: Vec<SeedResult> = pool::parallel_map_labeled(opts.jobs, seeds, |seed| {
+        let case = Recipe::generate(seed, FUZZ_RECIPE_SIZE).materialize();
+        let ora = match oracle(&case) {
+            Ok(o) => o,
+            Err(e) => return (seed, Err(e)),
+        };
+        let verdicts = System::ALL
+            .map(|sys| {
+                let (v, _) = run_engine(&case, sys, None, dog(&cancel), &ora);
+                (sys, v)
+            })
+            .to_vec();
+        (seed, Ok(verdicts))
+    });
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut findings: Vec<DiffFinding> = Vec::new();
+    let mut cancelled = 0usize;
+    for (seed, r) in &diff {
+        match r {
+            Err(e) => failures.push(format!("seed {seed}: {e}")),
+            Ok(verdicts) => {
+                for (sys, v) in verdicts {
+                    if matches!(v, Verdict::TimedOut(c) if c.contains("cancelled")) {
+                        cancelled += 1;
+                    } else if !v.is_agree() {
+                        findings.push(DiffFinding {
+                            seed: *seed,
+                            system: *sys,
+                            verdict: v.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "  differential: {} seeds x {} systems, {} disagreement(s)",
+        opts.seeds,
+        System::ALL.len(),
+        findings.len()
+    );
+
+    // Shrink each disagreeing seed (serially — shrinking must be
+    // deterministic and is rare) and print a witness.
+    let mut witnessed = std::collections::BTreeSet::new();
+    for f in &findings {
+        println!("  {}: seed {} on {}", f.verdict.describe(), f.seed, f.system.label());
+        if !witnessed.insert(f.seed) {
+            continue;
+        }
+        let original = Recipe::generate(f.seed, FUZZ_RECIPE_SIZE);
+        let disagrees = |r: &Recipe| {
+            let case = r.materialize();
+            match oracle(&case) {
+                Err(_) => false,
+                Ok(ora) => System::ALL.iter().any(|&sys| {
+                    let d = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+                    !run_engine(&case, sys, None, d, &ora).0.is_agree()
+                }),
+            }
+        };
+        let shrunk = shrink(&original, disagrees);
+        let summary: Vec<String> = findings
+            .iter()
+            .filter(|g| g.seed == f.seed)
+            .map(|g| format!("{}: {}", g.system.label(), g.verdict.describe()))
+            .collect();
+        let witness = render_witness(f.seed, &original, &shrunk, &summary.join("; "));
+        println!("{witness}");
+        failures.push(format!("seed {} disagreed unfaulted ({})", f.seed, summary.join("; ")));
+    }
+
+    // Sweep 2: chaos — every plan class against a rotating fault target.
+    // Seeds whose oracle failed in sweep 1 (already reported) are skipped.
+    let bad_seeds: std::collections::BTreeSet<u64> =
+        diff.iter().filter(|(_, r)| r.is_err()).map(|(s, _)| *s).collect();
+    let jobs2: Vec<(String, (u64, FaultKind))> = (0..opts.seeds)
+        .filter(|s| !bad_seeds.contains(s))
+        .flat_map(|seed| {
+            let target = FAULT_TARGETS[(seed % FAULT_TARGETS.len() as u64) as usize];
+            template
+                .specs
+                .iter()
+                .filter(move |s| supports(target, s.kind))
+                .map(move |s| {
+                    (
+                        format!("chaos seed {seed} {} on {}", s.kind.label(), target.label()),
+                        (seed, s.kind),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let chaos: Vec<ChaosRun> = pool::parallel_map_labeled(opts.jobs, jobs2, |(seed, kind)| {
+        let target = FAULT_TARGETS[(seed % FAULT_TARGETS.len() as u64) as usize];
+        let case = Recipe::generate(seed, FUZZ_RECIPE_SIZE).materialize();
+        let ora = oracle(&case).expect("oracle-failing seeds were filtered out");
+        let count = template.specs.iter().find(|s| s.kind == kind).map_or(1, |s| s.count);
+        let plan = FaultPlan::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(kind.index() as u64))
+            .with(kind, count)
+            .between(template.window.0, template.window.1);
+        let (verdict, records) = run_engine(&case, target, Some(plan), dog(&cancel), &ora);
+        ChaosRun { seed, system: target, kind, injected: records.len(), verdict }
+    });
+
+    // Attribute per class.
+    println!("  chaos: {} faulted runs across {} classes", chaos.len(), template.specs.len());
+    let mut class_fail = Vec::new();
+    for spec in &template.specs {
+        let kind = spec.kind;
+        let runs: Vec<&ChaosRun> = chaos.iter().filter(|r| r.kind == kind).collect();
+        let mut n = [0usize; 5]; // detected, absorbed, tolerated, not-struck, misbehaved
+        for r in &runs {
+            match score(kind, r.injected, &r.verdict) {
+                ChaosScore::Detected => n[0] += 1,
+                ChaosScore::Absorbed => n[1] += 1,
+                ChaosScore::Tolerated => n[2] += 1,
+                ChaosScore::NotStruck => n[3] += 1,
+                ChaosScore::Misbehaved => n[4] += 1,
+            }
+        }
+        let injected: usize = runs.iter().map(|r| r.injected).sum();
+        println!(
+            "    {:<10} {injected:>4} injected: {} detected, {} absorbed, {} tolerated, {} unstruck, {} misbehaved",
+            kind.label(), n[0], n[1], n[2], n[3], n[4]
+        );
+        for r in runs
+            .iter()
+            .filter(|r| matches!(score(kind, r.injected, &r.verdict), ChaosScore::Misbehaved))
+        {
+            println!(
+                "      MISBEHAVED: seed {} on {}: {} ({} injected)",
+                r.seed,
+                r.system.label(),
+                r.verdict.describe(),
+                r.injected
+            );
+        }
+        if injected == 0 {
+            class_fail.push(format!("class '{}' never injected", kind.label()));
+        } else if kind == FaultKind::MemDelay {
+            if n[4] > 0 {
+                class_fail.push(format!(
+                    "mem-delay not absorbed in {} run(s) — engines must be latency-insensitive",
+                    n[4]
+                ));
+            }
+        } else if n[0] == 0 {
+            // Some classes (dup especially) are detected only ~1-in-5 strikes:
+            // the duplicate often lands on an already-consumed port and is
+            // merely tolerated. Zero detections in a handful of strikes is a
+            // coin flip, not evidence of a broken detection path — only
+            // enforce the gate once the sample is large enough to mean it.
+            if injected >= DETECT_GATE_MIN_STRIKES {
+                class_fail.push(format!(
+                    "class '{}' was injected {injected} time(s) but never detected",
+                    kind.label()
+                ));
+            } else {
+                println!(
+                    "      note: '{}' struck only {injected}x with no detection; \
+                     gate needs >= {DETECT_GATE_MIN_STRIKES} strikes (run more seeds)",
+                    kind.label()
+                );
+            }
+        }
+    }
+    failures.extend(class_fail);
+    if cancelled > 0 {
+        failures.push(format!("sweep cancelled by deadline; {cancelled} run(s) wound down"));
+    }
+
+    if failures.is_empty() {
+        println!(
+            "  fuzz: OK ({} seeds; no unfaulted disagreement, every fault class attributed)",
+            opts.seeds
+        );
+        Ok(())
+    } else {
+        Err(format!("fuzz found {} problem(s):\n  {}", failures.len(), failures.join("\n  ")))
+    }
+}
+
+/// Arms a background thread that cancels `token` after `d`. The thread is
+/// detached; it holds only its token clone.
+fn spawn_deadline(d: Duration, token: CancelToken) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        std::thread::sleep(d);
+        token.cancel();
+    })
+}
+
+/// Runs one suite kernel on one fault-capable engine under `plan_text`
+/// (default `all`) and prints the fault log and classification.
+///
+/// # Errors
+///
+/// Returns a message on unknown kernels/engines, bad plan strings, or
+/// simulation faults that are not attributable to the injected plan
+/// (running chaos with an empty plan on a broken engine).
+pub fn chaos(ctx: &Ctx, kernel: &str, engine: &str, plan_text: Option<&str>) -> Result<(), String> {
+    let sys = match engine {
+        "tyr" => System::Tyr,
+        "unordered" => System::Unordered,
+        "ordered" => System::Ordered,
+        other => {
+            return Err(format!(
+                "engine '{other}' cannot inject faults (fault-capable: tyr unordered ordered)"
+            ))
+        }
+    };
+    let w = by_name(kernel, ctx.scale, ctx.seed)
+        .ok_or_else(|| format!("unknown kernel '{kernel}' (known: {})", APP_NAMES.join(" ")))?;
+    let text = plan_text.unwrap_or("all");
+    let plan = FaultPlan::parse(text, ctx.seed)?;
+    println!("== chaos: {kernel} on {}, plan '{text}' (seed {}) ==", sys.label(), ctx.seed);
+
+    // The suite kernels run against their own oracle (`Workload::check`),
+    // not the interpreter: chaos wants the production check path.
+    let dog = Watchdog::none().with_cycle_budget(ctx.cfg.max_cycles.min(CHAOS_CYCLE_BUDGET));
+    let res: Result<RunResult, String> = match sys {
+        System::Ordered => {
+            let dfg = lower_ordered(&w.program).map_err(|e| format!("lowering: {e}"))?;
+            let c = OrderedConfig {
+                issue_width: ctx.cfg.issue_width,
+                queue_depth: ctx.cfg.queue_depth,
+                args: w.args.clone(),
+                max_cycles: u64::MAX,
+                mem_latency: ctx.cfg.mem_latency,
+                faults: Some(plan.clone()),
+                watchdog: dog,
+                ..OrderedConfig::default()
+            };
+            OrderedEngine::new(&dfg, w.memory.clone(), c).run().map_err(|e| e.to_string())
+        }
+        _ => {
+            let discipline = if sys == System::Tyr {
+                TaggingDiscipline::Tyr
+            } else {
+                TaggingDiscipline::UnorderedUnbounded
+            };
+            let policy = if sys == System::Tyr {
+                TagPolicy::local_with(ctx.cfg.tags, ctx.cfg.tag_overrides.clone())
+            } else {
+                TagPolicy::GlobalUnbounded
+            };
+            let dfg = lower_tagged(&w.program, discipline).map_err(|e| format!("lowering: {e}"))?;
+            let c = TaggedConfig {
+                issue_width: ctx.cfg.issue_width,
+                tag_policy: policy,
+                args: w.args.clone(),
+                max_cycles: u64::MAX,
+                mem_latency: ctx.cfg.mem_latency,
+                check_token_leaks: true,
+                faults: Some(plan.clone()),
+                watchdog: dog,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::new(&dfg, w.memory.clone(), c).run().map_err(|e| e.to_string())
+        }
+    };
+
+    match res {
+        Err(e) => println!("  outcome: engine error: {e}\n  verdict: fault DETECTED (sanitizer)"),
+        Ok(r) => {
+            println!("  injected {} fault(s):", r.faults.len());
+            for rec in &r.faults {
+                println!("    {rec}");
+            }
+            println!("  outcome: {}", r.outcome);
+            let verdict = if r.is_complete() {
+                match w.check(r.memory()) {
+                    Ok(()) => {
+                        if r.faults.is_empty() {
+                            "no fault struck; run correct".to_string()
+                        } else if plan.specs.iter().all(|s| s.kind == FaultKind::MemDelay) {
+                            "fault ABSORBED (latency-insensitive, output correct)".to_string()
+                        } else {
+                            "fault TOLERATED (struck dead values; output correct)".to_string()
+                        }
+                    }
+                    Err(e) => format!("fault DETECTED (wrong answer: {e})"),
+                }
+            } else {
+                "fault DETECTED (run did not complete)".to_string()
+            };
+            println!("  verdict: {verdict}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All five engines agree with the oracle on a spread of unfaulted
+    /// seeds — the fuzzer's core invariant.
+    #[test]
+    fn engines_agree_unfaulted() {
+        for seed in 0..8 {
+            let case = Recipe::generate(seed, 12).materialize();
+            let ora = oracle(&case).expect("oracle runs");
+            for sys in System::ALL {
+                let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+                let (v, faults) = run_engine(&case, sys, None, dog, &ora);
+                assert!(faults.is_empty(), "no plan, no faults");
+                assert!(v.is_agree(), "seed {seed} on {}: {}", sys.label(), v.describe());
+            }
+        }
+    }
+
+    /// Same seed, same witness bytes — the determinism contract.
+    #[test]
+    fn witness_is_byte_identical_across_reruns() {
+        // A synthetic deterministic predicate: "still contains a store_add
+        // anywhere" — stands in for a real disagreement without needing a
+        // buggy engine.
+        fn has_store(stmts: &[tyr_workloads::gen::RStmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                tyr_workloads::gen::RStmt::StoreAdd { .. } => true,
+                tyr_workloads::gen::RStmt::Loop { body, .. } => has_store(body),
+                _ => false,
+            })
+        }
+        let failing = |r: &Recipe| has_store(&r.stmts);
+        let (seed, original) = (0..50)
+            .map(|s| (s, Recipe::generate(s, 12)))
+            .find(|(_, r)| failing(r))
+            .expect("some seed in 0..50 contains a store_add");
+        let a = shrink(&original, failing);
+        let b = shrink(&original, failing);
+        assert_eq!(a, b);
+        let wa = render_witness(seed, &original, &a, "synthetic");
+        let wb = render_witness(seed, &original, &b, "synthetic");
+        assert_eq!(wa, wb, "witness must be byte-identical across reruns");
+        // And the shrunk recipe is minimal for the predicate: one store_add
+        // (possibly wrapped in the loop that held it) survives.
+        assert!(a.size() <= 2, "not minimal: {wa}");
+    }
+
+    /// Shrinking a known disagreement converges to a minimal failing case.
+    #[test]
+    fn shrinker_converges_on_known_disagreement() {
+        // The "disagreement" predicate: TYR under a token-drop plan fails
+        // to match the oracle (drop starves a consumer -> deadlock/wrong
+        // answer). Find a seed where the drop actually strikes and is
+        // detected, then shrink under that predicate.
+        let drop_fails = |r: &Recipe| {
+            let case = r.materialize();
+            let Ok(ora) = oracle(&case) else { return false };
+            let plan = FaultPlan::single(99, FaultKind::TokenDrop);
+            let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+            let (v, faults) = run_engine(&case, System::Tyr, Some(plan), dog, &ora);
+            !faults.is_empty() && !v.is_agree()
+        };
+        let seed = (0..32)
+            .map(|s| Recipe::generate(s, 12))
+            .find(|r| drop_fails(r))
+            .expect("some seed in 0..32 has a detectable token drop");
+        let shrunk = shrink(&seed, drop_fails);
+        assert!(drop_fails(&shrunk), "shrunk witness still fails");
+        assert!(shrunk.size() <= seed.size());
+        // Deterministic: shrinking twice gives the same witness.
+        assert_eq!(shrunk, shrink(&seed, drop_fails));
+    }
+
+    /// Probe parity: the fault log length equals the injected count seen by
+    /// a counting probe (checked engine-side; here we assert the log is
+    /// nonempty for a plan that must strike and that records are ordered).
+    #[test]
+    fn fault_log_is_cycle_ordered() {
+        for seed in 0..16 {
+            let case = Recipe::generate(seed, 12).materialize();
+            let ora = oracle(&case).expect("oracle runs");
+            let plan = FaultPlan::new(seed).with(FaultKind::TokenCorrupt, 3);
+            let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+            let (_, faults) = run_engine(&case, System::Unordered, Some(plan), dog, &ora);
+            for w in faults.windows(2) {
+                assert!(w[0].cycle <= w[1].cycle, "fault log out of order");
+            }
+        }
+    }
+
+    /// A bounded-global run that wedges on tag starvation is normally
+    /// reported as a deadlock once the machine quiesces; with a cycle
+    /// budget below the quiescence point the watchdog fires first and the
+    /// run is attributed as `TimedOut` instead of wedging the sweep.
+    #[test]
+    fn watchdog_times_out_a_wedged_bounded_global_run() {
+        use tyr_sim::TimeoutCause;
+        use tyr_workloads::dmv;
+
+        let w = dmv::build(4, 4, 1);
+        let lw = crate::LoweredWorkload::new(&w);
+        let run = |watchdog: Watchdog| {
+            let c = TaggedConfig {
+                issue_width: 64,
+                tag_policy: TagPolicy::GlobalBounded { tags: 2 },
+                args: w.args.clone(),
+                watchdog,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::new(&lw.tyr, w.memory.clone(), c).run().unwrap()
+        };
+        let free = run(Watchdog::none());
+        let Outcome::Deadlock { cycle, .. } = free.outcome else {
+            panic!("expected the 2-tag bounded pool to wedge, got {:?}", free.outcome);
+        };
+        assert!(cycle > 1, "wedge must take more than one cycle");
+        let timed = run(Watchdog::none().with_cycle_budget(cycle - 1));
+        match timed.outcome {
+            Outcome::TimedOut { cause: TimeoutCause::CycleBudget { budget }, .. } => {
+                assert_eq!(budget, cycle - 1);
+            }
+            other => panic!("expected TimedOut(CycleBudget), got {other:?}"),
+        }
+    }
+
+    /// Every injected fault is emitted as a probe event: the count of
+    /// `FaultInjected` events seen by a probe equals the length of the
+    /// run's fault log.
+    #[test]
+    fn probe_fault_events_match_the_run_log() {
+        use tyr_sim::{Probe, ProbeEvent};
+
+        #[derive(Default)]
+        struct FaultCounter {
+            injected: usize,
+        }
+        impl Probe for FaultCounter {
+            fn event(&mut self, _cycle: u64, ev: ProbeEvent) {
+                if matches!(ev, ProbeEvent::FaultInjected { .. }) {
+                    self.injected += 1;
+                }
+            }
+        }
+
+        let mut total = 0usize;
+        for seed in [0u64, 7, 13, 29] {
+            let case = Recipe::generate(seed, FUZZ_RECIPE_SIZE).materialize();
+            let dfg = lower_tagged(&case.program, TaggingDiscipline::Tyr).unwrap();
+            // Delay + stick only: both leave the run attributable (absorbed
+            // or timed out) rather than erroring, so the fault log is
+            // always reachable.
+            let plan =
+                FaultPlan::new(seed).with(FaultKind::MemDelay, 3).with(FaultKind::NodeStick, 1);
+            let c = TaggedConfig {
+                issue_width: 64,
+                tag_policy: TagPolicy::local(64),
+                args: case.args.clone(),
+                faults: Some(plan),
+                watchdog: Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET),
+                ..TaggedConfig::default()
+            };
+            let mut counter = FaultCounter::default();
+            let r = TaggedEngine::with_probe(&dfg, case.memory.clone(), c, &mut counter)
+                .run()
+                .expect("delay/stick faults never produce a hard error");
+            assert_eq!(
+                counter.injected,
+                r.faults.len(),
+                "seed {seed}: probe saw {} FaultInjected events, log has {}",
+                counter.injected,
+                r.faults.len()
+            );
+            total += r.faults.len();
+        }
+        assert!(total > 0, "the sweep must inject at least one fault");
+    }
+}

@@ -6,6 +6,7 @@
 
 pub mod bench_cmd;
 pub mod figures;
+pub mod fuzz;
 pub mod micro;
 pub mod pool;
 pub mod trace;
@@ -93,7 +94,11 @@ impl Default for RunConfig {
 pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
     let r = match system {
         System::SeqVn => {
-            let c = SeqVnConfig { args: w.args.clone(), max_cycles: cfg.max_cycles * 64 };
+            let c = SeqVnConfig {
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles * 64,
+                ..SeqVnConfig::default()
+            };
             SeqVnEngine::new(&w.program, w.memory.clone(), c).run()
         }
         System::SeqDf => {
@@ -101,6 +106,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 issue_width: cfg.issue_width,
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
+                ..SeqDataflowConfig::default()
             };
             SeqDataflowEngine::new(&w.program, w.memory.clone(), c).run()
         }
@@ -113,6 +119,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
                 mem_latency: cfg.mem_latency,
+                ..OrderedConfig::default()
             };
             OrderedEngine::new(&dfg, w.memory.clone(), c).run()
         }

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
-use tyr_bench::{bench_cmd, trace, verify};
+use tyr_bench::{bench_cmd, fuzz, trace, verify};
 use tyr_workloads::Scale;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--jobs N] [--csv DIR] [--out FILE] <command>...
@@ -26,6 +26,12 @@ commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig
           trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)
           bench [--quick]           (suite perf baseline -> BENCH_suite.json, or --out FILE; --quick forces tiny scale)
           bench-check <file>        (validate a baseline file against the tyr-bench-suite/v1 schema)
+          fuzz [--seeds N] [--faults PLAN] [--deadline-secs N] [--quick]
+                                    (differential fuzz all five engines vs the oracle; --quick = 25 seeds;
+                                     PLAN e.g. 'drop,corrupt:2@100..5000' or 'all'; nonzero exit on any finding)
+          chaos <kernel> <engine> [--faults PLAN]
+                                    (inject a fault plan into one run and print the attributed log;
+                                     engines: tyr unordered ordered)
 options:  --jobs N    worker threads for sweeps (default: REPRO_JOBS or available cores; output is identical for any N)";
 
 fn main() -> ExitCode {
@@ -34,6 +40,9 @@ fn main() -> ExitCode {
     let mut cmds: Vec<String> = Vec::new();
     let mut trace_out: Option<PathBuf> = None;
     let mut quick = false;
+    let mut fuzz_seeds: Option<u64> = None;
+    let mut fuzz_faults: Option<String> = None;
+    let mut fuzz_deadline: Option<u64> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -72,6 +81,14 @@ fn main() -> ExitCode {
                 }
             }
             "--quick" => quick = true,
+            "--seeds" => {
+                fuzz_seeds = Some(opt_value("--seeds").parse().expect("numeric seed count"))
+            }
+            "--faults" => fuzz_faults = Some(opt_value("--faults")),
+            "--deadline-secs" => {
+                fuzz_deadline =
+                    Some(opt_value("--deadline-secs").parse().expect("numeric deadline"))
+            }
             "--csv" => ctx.csv_dir = Some(PathBuf::from(opt_value("--csv"))),
             "--out" => trace_out = Some(PathBuf::from(opt_value("--out"))),
             "--help" | "-h" => {
@@ -168,6 +185,30 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 i += 1;
+            }
+            "fuzz" => {
+                let opts = fuzz::FuzzOpts {
+                    seeds: fuzz_seeds.unwrap_or(if quick { 25 } else { 100 }),
+                    jobs: ctx.jobs,
+                    faults: fuzz_faults.clone(),
+                    deadline: fuzz_deadline.map(std::time::Duration::from_secs),
+                };
+                if let Err(e) = fuzz::run(&opts) {
+                    eprintln!("fuzz failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // `chaos` consumes the two following positional arguments.
+            "chaos" => {
+                let (Some(kernel), Some(engine)) = (cmds.get(i + 1), cmds.get(i + 2)) else {
+                    eprintln!("chaos needs <kernel> and <engine>\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = fuzz::chaos(&ctx, kernel, engine, fuzz_faults.as_deref()) {
+                    eprintln!("chaos failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                i += 2;
             }
             "table1" => tables::table1(&ctx),
             "table2" => tables::table2(&ctx),

@@ -44,7 +44,9 @@ pub fn default_jobs() -> usize {
 /// # Panics
 ///
 /// If a job panics, the panic propagates to the caller (after the other
-/// workers finish their current items).
+/// workers finish their current items), with the payload prefixed by the
+/// job's index (`"job <i>/<n>: ..."`). Callers with meaningful cell names
+/// should use [`parallel_map_labeled`] instead.
 pub fn parallel_map<I, T, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -52,10 +54,45 @@ where
     F: Fn(I) -> T + Sync,
 {
     let n = items.len();
+    let labeled = items.into_iter().enumerate().map(|(i, x)| (format!("job {i}/{n}"), x)).collect();
+    parallel_map_labeled(jobs, labeled, f)
+}
+
+/// [`parallel_map`] over `(label, item)` pairs: a panicking job's payload is
+/// re-raised with the submission label prefixed (`"<label>: <payload>"`), so
+/// a sweep abort names the kernel×system cell that died instead of just
+/// "a scoped thread panicked". Non-string payloads are labeled as
+/// `<non-string panic payload>`.
+///
+/// # Panics
+///
+/// If a job panics, the panic propagates to the caller with the prefixed
+/// payload (after the other workers finish their current items).
+pub fn parallel_map_labeled<I, T, F>(jobs: usize, items: Vec<(String, I)>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let run_one = |label: &str, item: I| -> T {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+            Ok(out) => out,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                std::panic::resume_unwind(Box::new(format!("{label}: {msg}")));
+            }
+        }
+    };
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(|(label, item)| run_one(&label, item)).collect();
     }
-    let tasks: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let tasks: Vec<Mutex<Option<(String, I)>>> =
+        items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = jobs.min(n);
@@ -67,15 +104,16 @@ where
                     if i >= n {
                         return;
                     }
-                    let item = tasks[i].lock().expect("task mutex").take().expect("claimed once");
-                    let out = f(item);
+                    let (label, item) =
+                        tasks[i].lock().expect("task mutex").take().expect("claimed once");
+                    let out = run_one(&label, item);
                     *slots[i].lock().expect("slot mutex") = Some(out);
                 })
             })
             .collect();
         // Join explicitly so a job's panic propagates with its original
-        // payload (scope's implicit join would replace it with a generic
-        // "a scoped thread panicked").
+        // (labeled) payload (scope's implicit join would replace it with a
+        // generic "a scoped thread panicked").
         for h in handles {
             if let Err(payload) = h.join() {
                 std::panic::resume_unwind(payload);
@@ -132,5 +170,45 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3/8: job 3 failed")]
+    fn worker_panic_carries_index_label() {
+        parallel_map(2, (0..8).collect::<Vec<_>>(), |i| {
+            if i == 3 {
+                panic!("job 3 failed");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dmv on TYR: boom")]
+    fn labeled_panic_names_the_cell() {
+        let items: Vec<(String, u64)> = (0..4).map(|i| ("dmv on TYR".to_string(), i)).collect();
+        parallel_map_labeled(2, items, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cell a: <non-string panic payload>")]
+    fn labeled_panic_tolerates_non_string_payloads() {
+        parallel_map_labeled(1, vec![("cell a".to_string(), 0u64)], |_| {
+            std::panic::panic_any(42u64);
+            #[allow(unreachable_code)]
+            0u64
+        });
+    }
+
+    #[test]
+    fn labeled_results_keep_submission_order() {
+        let items: Vec<(String, u64)> = (0..32).map(|i| (format!("cell {i}"), i)).collect();
+        let out = parallel_map_labeled(8, items, |i| i * 3);
+        assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
     }
 }

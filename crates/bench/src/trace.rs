@@ -153,6 +153,7 @@ pub fn run(ctx: &Ctx, kernel: &str, engine: &str, out: Option<&Path>) -> Result<
                     args: w.args.clone(),
                     max_cycles: cfg.max_cycles * 16,
                     mem_latency: cfg.mem_latency,
+                    ..OrderedConfig::default()
                 };
                 OrderedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
             }
@@ -161,11 +162,16 @@ pub fn run(ctx: &Ctx, kernel: &str, engine: &str, out: Option<&Path>) -> Result<
                     issue_width: cfg.issue_width,
                     args: w.args.clone(),
                     max_cycles: cfg.max_cycles * 16,
+                    ..SeqDataflowConfig::default()
                 };
                 SeqDataflowEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
             }
             "seqvn" => {
-                let c = SeqVnConfig { args: w.args.clone(), max_cycles: cfg.max_cycles * 64 };
+                let c = SeqVnConfig {
+                    args: w.args.clone(),
+                    max_cycles: cfg.max_cycles * 64,
+                    ..SeqVnConfig::default()
+                };
                 SeqVnEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
             }
             "ooo" => {

@@ -238,6 +238,7 @@ fn ordered_cross_validation(ctx: &Ctx) -> usize {
                 args: w.args.clone(),
                 max_cycles: 200_000_000,
                 mem_latency: ctx.cfg.mem_latency,
+                ..OrderedConfig::default()
             };
             let (completed, witness) = match OrderedEngine::new(&dfg, w.memory.clone(), cfg).run() {
                 Ok(r) => {

@@ -293,7 +293,14 @@ impl<'p> Lowering<'p> {
                 self.attach(s, PortRef { node: sink, port: j as u16 });
             }
             if has_bar {
-                let bar = self.join_over(&ctl, block, "root.barrier");
+                // The barrier must cover the data path as well as the control
+                // path: control-completion signals fire when steers commit,
+                // which can be cycles before the ALU chain feeding the sink
+                // has drained. Joining the return sources too orders
+                // `root.free` after the block's last live token.
+                let mut sig: Vec<Src> = ctl.iter().map(|&(n, p)| ports(n, p)).collect();
+                sig.extend(ret_srcs.iter().cloned());
+                let bar = self.emit(NodeKind::Join, block, &sig, 1, "root.barrier");
                 self.g.connect(bar, 0, PortRef { node: sink, port: ret_srcs.len() as u16 });
                 self.emit(NodeKind::Free { space: block }, block, &[ports(bar, 0)], 0, "root.free");
             }

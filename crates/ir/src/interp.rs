@@ -34,6 +34,15 @@ pub trait Tracer {
         let _ = (def, srcs);
         self.on_instr(live_values);
     }
+
+    /// Polled once per retired instruction, after [`Tracer::on_instr`].
+    /// Return `true` to stop the interpreter with [`InterpError::Halted`] —
+    /// this is how `tyr-sim`'s interpreter-backed engines implement run
+    /// watchdogs (wall-clock deadlines and cooperative cancellation) without
+    /// the interpreter knowing about them. The default never halts.
+    fn poll_halt(&mut self) -> bool {
+        false
+    }
 }
 
 /// A tracer that ignores everything (for oracle runs).
@@ -71,6 +80,10 @@ pub enum InterpError {
     },
     /// The configured instruction budget was exhausted (runaway loop guard).
     OutOfFuel,
+    /// The [`Tracer`] asked the interpreter to stop (see
+    /// [`Tracer::poll_halt`]). The partial execution's side effects are
+    /// already in the memory image; no return values are produced.
+    Halted,
 }
 
 impl fmt::Display for InterpError {
@@ -83,6 +96,7 @@ impl fmt::Display for InterpError {
                 write!(f, "entry expects {expected} arguments, got {got}")
             }
             InterpError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            InterpError::Halted => write!(f, "halted by the tracer"),
         }
     }
 }
@@ -174,6 +188,9 @@ impl<'a, T: Tracer> Interp<'a, T> {
         }
         self.retired += 1;
         self.tracer.on_instr_deps(self.live, def, srcs);
+        if self.tracer.poll_halt() {
+            return Err(InterpError::Halted);
+        }
         Ok(())
     }
 

@@ -22,7 +22,7 @@
 //!
 //! Memory is accessed through the builtins `load(addr)`, `store(addr, v)`
 //! and `fetch_add(addr, v)`; array base addresses and other link-time
-//! constants are injected by the embedder via [`compile`]'s `consts`
+//! constants are injected by the embedder via [`compile()`]'s `consts`
 //! argument.
 //!
 //! Restrictions (inherited from the IR, see `tyr-ir` docs): `while`

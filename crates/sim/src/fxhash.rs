@@ -10,7 +10,7 @@
 //!
 //! This module is the classic multiply-xor design used by rustc (`FxHash`):
 //! one wrapping multiply and a rotate per word. The workspace builds
-//! offline with no external crates (DESIGN.md §7), so it is written out
+//! offline with no external crates (DESIGN.md §8), so it is written out
 //! rather than pulled in.
 
 use std::collections::{HashMap, HashSet};

@@ -22,9 +22,21 @@
 //! [`NoProbe`] compiles all emission out of the hot loops. See the
 //! `tyr_stats` crate for the built-in sinks (per-node profiler,
 //! Chrome-trace exporter).
+//!
+//! Two robustness layers ride along (both disarmed by default and
+//! bit-neutral when off):
+//!
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]):
+//!   drop/duplicate/corrupt tokens, delay or flip memory responses, stick a
+//!   node, exhaust a tag space, each attributed through the probe taxonomy
+//!   and the [`RunResult::faults`] log.
+//! * [`watchdog`] — per-run cycle budgets, wall-clock deadlines, and
+//!   cooperative cancellation, ending hung runs as attributed
+//!   [`Outcome::TimedOut`] results.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod fxhash;
 pub mod ooo;
 pub mod ordered;
@@ -33,6 +45,9 @@ pub mod seqdf;
 pub mod seqvn;
 pub mod slab;
 pub mod tagged;
+pub mod watchdog;
 
-pub use result::{Outcome, RunResult, SimError};
-pub use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};
+pub use fault::{FaultPlan, FaultRecord, FaultSpec};
+pub use result::{Outcome, RunResult, SimError, TimeoutCause};
+pub use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
+pub use watchdog::{CancelToken, Watchdog};

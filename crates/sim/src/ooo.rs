@@ -29,7 +29,8 @@ use tyr_ir::{MemoryImage, Program, Value};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
-use crate::result::{Outcome, RunResult, SimError};
+use crate::result::{Outcome, RunResult, SimError, TimeoutCause};
+use crate::watchdog::{Watchdog, WatchdogState};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -42,11 +43,21 @@ pub struct OooConfig {
     pub args: Vec<Value>,
     /// Safety limit on retired instructions.
     pub max_instrs: u64,
+    /// Run watchdog (see [`crate::watchdog`]). Disarmed by default. The
+    /// cycle budget is checked against the scheduler's retirement horizon;
+    /// trips end the run as an attributed [`Outcome::TimedOut`].
+    pub watchdog: Watchdog,
 }
 
 impl Default for OooConfig {
     fn default() -> Self {
-        OooConfig { window: 64, issue_width: 8, args: Vec::new(), max_instrs: 50_000_000_000 }
+        OooConfig {
+            window: 64,
+            issue_width: 8,
+            args: Vec::new(),
+            max_instrs: 50_000_000_000,
+            watchdog: Watchdog::none(),
+        }
     }
 }
 
@@ -188,6 +199,8 @@ struct OooTracer<P: Probe> {
     /// invariant) can be referenced arbitrarily late, so the whole table is
     /// kept: 8 bytes per dynamic instruction.
     finish: Vec<u64>,
+    dog: WatchdogState,
+    tripped: Option<TimeoutCause>,
     probe: P,
 }
 
@@ -222,10 +235,41 @@ impl<P: Probe> Tracer for OooTracer<P> {
         }
         self.finish[def as usize] = f;
     }
+
+    fn poll_halt(&mut self) -> bool {
+        // The scheduler's retirement horizon is the engine's notion of the
+        // current cycle.
+        if let Some(cause) = self.dog.check(self.sched.last_retire) {
+            self.tripped = Some(cause);
+            return true;
+        }
+        false
+    }
 }
 
 impl<'a> OooEngine<'a> {
     /// Builds an engine over a structured program with no probe attached.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tyr_ir::build::ProgramBuilder;
+    /// use tyr_ir::MemoryImage;
+    /// use tyr_sim::ooo::{OooConfig, OooEngine};
+    ///
+    /// let mut pb = ProgramBuilder::new();
+    /// let mut f = pb.func("main", 1);
+    /// let x = f.param(0);
+    /// let a = f.add(x, 1);
+    /// let b = f.mul(x, 2);
+    /// let y = f.add(a, b);
+    /// let p = pb.finish(f, [y]);
+    ///
+    /// let cfg = OooConfig { args: vec![10], ..OooConfig::default() };
+    /// let r = OooEngine::new(&p, MemoryImage::new(), cfg).run().unwrap();
+    /// assert_eq!(r.returns, vec![31]);
+    /// assert!(r.cycles() < r.dyn_instrs(), "independent ops overlap");
+    /// ```
     pub fn new(program: &'a Program, mem: MemoryImage, cfg: OooConfig) -> Self {
         OooEngine::with_probe(program, mem, cfg, NoProbe)
     }
@@ -259,19 +303,36 @@ impl<'a, P: Probe> OooEngine<'a, P> {
         let mut tracer = OooTracer {
             sched: WindowScheduler::new(self.cfg.window, self.cfg.issue_width),
             finish: vec![0],
+            dog: self.cfg.watchdog.arm(),
+            tripped: None,
             probe: self.probe,
         };
-        let out = interp::run_traced(
+        let out = match interp::run_traced(
             self.program,
             &mut self.mem,
             &self.cfg.args,
             self.cfg.max_instrs,
             &mut tracer,
-        )
-        .map_err(|e| match e {
-            interp::InterpError::OutOfFuel => SimError::CycleLimit { limit: self.cfg.max_instrs },
-            other => SimError::Interp(other.to_string()),
-        })?;
+        ) {
+            Ok(out) => out,
+            Err(interp::InterpError::Halted) => {
+                let cause = tracer.tripped.take().expect("halt implies a tripped watchdog");
+                let live = tracer.sched.rob.len() as u64;
+                let cycle = tracer.sched.last_retire;
+                let (_, trace, ipc) = tracer.sched.drain();
+                return Ok(RunResult::new(
+                    Outcome::TimedOut { cycle, live_tokens: live, cause },
+                    trace,
+                    ipc,
+                    self.mem,
+                    Vec::new(),
+                ));
+            }
+            Err(interp::InterpError::OutOfFuel) => {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_instrs })
+            }
+            Err(other) => return Err(SimError::Interp(other.to_string())),
+        };
         let dyn_instrs = out.dyn_instrs;
         let (cycles, trace, ipc) = tracer.sched.drain();
         Ok(RunResult::new(

@@ -16,10 +16,12 @@ use std::collections::VecDeque;
 
 use tyr_dfg::{Dfg, InKind, NodeKind};
 use tyr_ir::{MemoryImage, Value};
-use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};
+use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::result::{Outcome, RunResult, SimError};
+use crate::watchdog::{Watchdog, WatchdogState};
 
 /// Per-edge FIFO capacities: a uniform default plus targeted overrides.
 ///
@@ -77,6 +79,12 @@ pub struct OrderedConfig {
     /// they arrive in issue order `mem_latency` cycles later, so per-edge
     /// FIFO order is preserved.
     pub mem_latency: u64,
+    /// Deterministic fault-injection plan (see [`crate::fault`]). `None`
+    /// (the default) injects nothing. Tag-space faults do not apply to the
+    /// ordered machine (it is untagged) and are never triggered.
+    pub faults: Option<FaultPlan>,
+    /// Run watchdog (see [`crate::watchdog`]). Disarmed by default.
+    pub watchdog: Watchdog,
 }
 
 impl OrderedConfig {
@@ -95,6 +103,8 @@ impl Default for OrderedConfig {
             args: Vec::new(),
             max_cycles: 500_000_000,
             mem_latency: 1,
+            faults: None,
+            watchdog: Watchdog::none(),
         }
     }
 }
@@ -120,6 +130,10 @@ pub struct OrderedEngine<'a, P: Probe = NoProbe> {
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
+    /// Live fault-injection state (`None` when no plan is configured).
+    faults: Option<FaultState>,
+    /// Armed watchdog, checked at the top of every cycle.
+    dog: WatchdogState,
     probe: P,
     /// Current stall reason per node, for edge-triggered probe emission.
     /// Empty unless the probe is enabled.
@@ -129,6 +143,26 @@ pub struct OrderedEngine<'a, P: Probe = NoProbe> {
 impl<'a> OrderedEngine<'a> {
     /// Builds an engine over an ordered-lowered graph with no probe
     /// attached.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tyr_dfg::lower::lower_ordered;
+    /// use tyr_ir::build::ProgramBuilder;
+    /// use tyr_ir::MemoryImage;
+    /// use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
+    ///
+    /// let mut pb = ProgramBuilder::new();
+    /// let mut f = pb.func("main", 1);
+    /// let x = f.param(0);
+    /// let y = f.mul(x, 3);
+    /// let p = pb.finish(f, [y]);
+    ///
+    /// let dfg = lower_ordered(&p).unwrap();
+    /// let cfg = OrderedConfig { args: vec![7], ..OrderedConfig::default() };
+    /// let r = OrderedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+    /// assert_eq!(r.returns, vec![21]);
+    /// ```
     ///
     /// # Panics
     ///
@@ -185,6 +219,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             .enumerate()
             .map(|(ni, n)| (0..n.ins.len()).map(|p| capacity.of(ni as u32, p as u16)).collect())
             .collect();
+        let faults = cfg.faults.as_ref().map(FaultState::new);
+        let dog = cfg.watchdog.arm();
         OrderedEngine {
             dfg,
             mem,
@@ -200,6 +236,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
+            faults,
+            dog,
             probe,
             stall_state: if P::ENABLED { vec![None; dfg.len()] } else { Vec::new() },
         }
@@ -370,6 +408,70 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
         // replaces was a hot-path allocation.
         let dfg = self.dfg;
         for &t in &dfg.nodes[idx].outs[port] {
+            let mut val = val;
+            if let Some(fs) = self.faults.as_mut() {
+                let tn = t.node.0;
+                if fs.strike(self.cycle, FaultKind::TokenDrop) {
+                    fs.record(
+                        self.cycle,
+                        tn,
+                        FaultKind::TokenDrop,
+                        format!(
+                            "dropped token (value {val}) bound for '{}' port {}",
+                            dfg.nodes[tn as usize].label, t.port
+                        ),
+                    );
+                    if P::ENABLED {
+                        self.probe.event(
+                            self.cycle,
+                            ProbeEvent::FaultInjected { node: tn, kind: FaultKind::TokenDrop },
+                        );
+                    }
+                    continue;
+                }
+                if fs.strike(self.cycle, FaultKind::TokenDup) {
+                    fs.record(
+                        self.cycle,
+                        tn,
+                        FaultKind::TokenDup,
+                        format!(
+                            "duplicated token (value {val}) bound for '{}' port {}",
+                            dfg.nodes[tn as usize].label, t.port
+                        ),
+                    );
+                    if P::ENABLED {
+                        self.probe.event(
+                            self.cycle,
+                            ProbeEvent::FaultInjected { node: tn, kind: FaultKind::TokenDup },
+                        );
+                        self.probe.event(self.cycle, ProbeEvent::TokenProduced { node: tn });
+                    }
+                    // The extra token skews the edge's FIFO alignment for
+                    // the rest of the run: a wrong answer or a wedge.
+                    self.fifos[tn as usize][t.port as usize].push_back(val);
+                    self.live += 1;
+                }
+                if fs.strike(self.cycle, FaultKind::TokenCorrupt) {
+                    let mask = fs.mask();
+                    let before = val;
+                    val ^= mask;
+                    fs.record(
+                        self.cycle,
+                        tn,
+                        FaultKind::TokenCorrupt,
+                        format!(
+                            "corrupted token for '{}' port {}: {before} -> {val}",
+                            dfg.nodes[tn as usize].label, t.port
+                        ),
+                    );
+                    if P::ENABLED {
+                        self.probe.event(
+                            self.cycle,
+                            ProbeEvent::FaultInjected { node: tn, kind: FaultKind::TokenCorrupt },
+                        );
+                    }
+                }
+            }
             if P::ENABLED {
                 self.probe.event(self.cycle, ProbeEvent::TokenProduced { node: t.node.0 });
             }
@@ -400,12 +502,60 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                 if self.dfg.nodes[idx].ins.len() > 1 {
                     self.pop(idx, 1); // trigger
                 }
-                let v = self.mem.load(addr)?;
-                if self.cfg.mem_latency <= 1 {
+                let mut v = self.mem.load(addr)?;
+                let mut extra = 0u64;
+                if let Some(fs) = self.faults.as_mut() {
+                    if fs.strike(self.cycle, FaultKind::MemFlip) {
+                        let mask = fs.mask();
+                        let before = v;
+                        v ^= mask;
+                        fs.record(
+                            self.cycle,
+                            idx as u32,
+                            FaultKind::MemFlip,
+                            format!(
+                                "flipped load response at '{}': {before} -> {v}",
+                                dfg.nodes[idx].label
+                            ),
+                        );
+                        if P::ENABLED {
+                            self.probe.event(
+                                self.cycle,
+                                ProbeEvent::FaultInjected {
+                                    node: idx as u32,
+                                    kind: FaultKind::MemFlip,
+                                },
+                            );
+                        }
+                    }
+                    if fs.strike(self.cycle, FaultKind::MemDelay) {
+                        extra = fs.extra_delay();
+                        fs.record(
+                            self.cycle,
+                            idx as u32,
+                            FaultKind::MemDelay,
+                            format!(
+                                "delayed memory response at '{}' by {extra} extra cycle(s)",
+                                dfg.nodes[idx].label
+                            ),
+                        );
+                        if P::ENABLED {
+                            self.probe.event(
+                                self.cycle,
+                                ProbeEvent::FaultInjected {
+                                    node: idx as u32,
+                                    kind: FaultKind::MemDelay,
+                                },
+                            );
+                        }
+                    }
+                }
+                if self.cfg.mem_latency <= 1 && extra == 0 {
                     self.push_outputs(idx, 0, v);
                 } else {
                     self.live += 1; // in flight in the memory system
-                    self.delayed[idx].push_back((self.cycle + self.cfg.mem_latency, v));
+                    let release = self.cycle + self.cfg.mem_latency.max(1) + extra;
+                    self.delayed[idx].push_back((release, v));
                     self.delayed_count += 1;
                 }
             }
@@ -465,6 +615,17 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
     /// reported as [`Outcome::Deadlock`].
     pub fn run(mut self) -> Result<RunResult, SimError> {
         loop {
+            if let Some(cause) = self.dog.check(self.cycle) {
+                let log = self.faults.take().map(FaultState::into_log).unwrap_or_default();
+                return Ok(RunResult::new(
+                    Outcome::TimedOut { cycle: self.cycle, live_tokens: self.live, cause },
+                    self.trace,
+                    self.ipc,
+                    self.mem,
+                    Vec::new(),
+                )
+                .with_faults(log));
+            }
             // Snapshot readiness against start-of-cycle state.
             let mut ready: Vec<usize> = Vec::new();
             for idx in 0..self.dfg.len() {
@@ -472,6 +633,32 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                     break;
                 }
                 if self.is_ready(idx) {
+                    if let Some(fs) = self.faults.as_mut() {
+                        let fresh = fs.stuck_node().is_none();
+                        if fs.is_stuck(self.cycle, idx as u32) {
+                            if fresh {
+                                fs.record(
+                                    self.cycle,
+                                    idx as u32,
+                                    FaultKind::NodeStick,
+                                    format!(
+                                        "node '{}' wedged; it never fires again",
+                                        self.dfg.nodes[idx].label
+                                    ),
+                                );
+                                if P::ENABLED {
+                                    self.probe.event(
+                                        self.cycle,
+                                        ProbeEvent::FaultInjected {
+                                            node: idx as u32,
+                                            kind: FaultKind::NodeStick,
+                                        },
+                                    );
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     ready.push(idx);
                 }
             }
@@ -543,6 +730,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                 // (e.g. a kernel whose real output is memory) must not mask
                 // a back-pressure deadlock that wedged the loop's stores.
                 let wedged = (0..self.dfg.len()).any(|i| self.back_pressured(i));
+                let log = self.faults.take().map(FaultState::into_log).unwrap_or_default();
                 return if let Some(returns) = self.returns.take().filter(|_| !wedged) {
                     Ok(RunResult::new(
                         Outcome::Completed { cycles: self.cycle, dyn_instrs: self.fired_total },
@@ -550,7 +738,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         self.ipc,
                         self.mem,
                         returns,
-                    ))
+                    )
+                    .with_faults(log))
                 } else {
                     let witness = self.stall_witness();
                     Ok(RunResult::new(
@@ -563,7 +752,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         self.ipc,
                         self.mem,
                         Vec::new(),
-                    ))
+                    )
+                    .with_faults(log))
                 };
             }
             if self.cycle >= self.cfg.max_cycles {

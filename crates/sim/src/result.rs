@@ -5,6 +5,39 @@ use std::fmt;
 use tyr_ir::{AluError, MemError, MemoryImage, Value};
 use tyr_stats::{IpcHistogram, ProfileReport, Trace};
 
+use crate::fault::FaultRecord;
+
+/// Which watchdog limit ended a run (see [`crate::watchdog::Watchdog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutCause {
+    /// The per-run cycle budget was exhausted. Deterministic: the same run
+    /// trips at the same cycle on every host.
+    CycleBudget {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The wall-clock deadline passed (host-dependent).
+    WallClock {
+        /// The configured limit in milliseconds.
+        limit_ms: u64,
+    },
+    /// A shared [`crate::watchdog::CancelToken`] was cancelled — typically
+    /// because a sweep-wide deadline fired in another worker.
+    Cancelled,
+}
+
+impl fmt::Display for TimeoutCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeoutCause::CycleBudget { budget } => write!(f, "cycle budget {budget} exhausted"),
+            TimeoutCause::WallClock { limit_ms } => {
+                write!(f, "wall-clock limit {limit_ms} ms exceeded")
+            }
+            TimeoutCause::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// How a simulation ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
@@ -26,6 +59,19 @@ pub enum Outcome {
         /// allocations (tagged engine) or starved/back-pressured nodes
         /// (ordered engine).
         pending_allocates: Vec<String>,
+    },
+    /// A watchdog ended the run before it completed or deadlocked: the
+    /// machine was still (apparently) making progress, but a cycle budget,
+    /// wall-clock deadline, or cancellation fired. Unlike
+    /// [`SimError::CycleLimit`] this is an attributed *result*, not a fault:
+    /// the fuzzer and chaos harness treat hangs as first-class outcomes.
+    TimedOut {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Live tokens in the machine at that point.
+        live_tokens: u64,
+        /// Which limit fired.
+        cause: TimeoutCause,
     },
 }
 
@@ -50,11 +96,34 @@ impl fmt::Display for Outcome {
                 }
                 Ok(())
             }
+            Outcome::TimedOut { cycle, live_tokens, cause } => {
+                write!(f, "timed out at cycle {cycle} ({cause}) with {live_tokens} live token(s)")
+            }
         }
     }
 }
 
 /// The complete record of one simulation run.
+///
+/// # Example
+///
+/// ```
+/// use tyr_ir::MemoryImage;
+/// use tyr_sim::{Outcome, RunResult};
+/// use tyr_stats::{IpcHistogram, Trace};
+///
+/// let r = RunResult::new(
+///     Outcome::Completed { cycles: 10, dyn_instrs: 25 },
+///     Trace::new(),
+///     IpcHistogram::new(),
+///     MemoryImage::new(),
+///     vec![7],
+/// );
+/// assert!(r.is_complete());
+/// assert_eq!(r.cycles(), 10);
+/// assert_eq!(r.dyn_instrs(), 25);
+/// assert!(r.faults.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// How the run ended.
@@ -75,6 +144,11 @@ pub struct RunResult {
     /// Per-node profile from the probe layer, when the run was executed
     /// with a `NodeProfiler` attached (see `tyr_stats::profile`).
     pub profile: Option<ProfileReport>,
+    /// Every fault the injection layer applied during the run, in injection
+    /// order (empty unless the engine ran with a
+    /// [`FaultPlan`](crate::fault::FaultPlan)). The length always equals the
+    /// number of `FaultInjected` probe events the run emitted.
+    pub faults: Vec<FaultRecord>,
 }
 
 impl RunResult {
@@ -86,12 +160,27 @@ impl RunResult {
         memory: MemoryImage,
         returns: Vec<Value>,
     ) -> Self {
-        RunResult { outcome, live, ipc, memory, returns, store_peaks: Vec::new(), profile: None }
+        RunResult {
+            outcome,
+            live,
+            ipc,
+            memory,
+            returns,
+            store_peaks: Vec::new(),
+            profile: None,
+            faults: Vec::new(),
+        }
     }
 
     /// Attaches per-block token-store peaks (builder-style).
     pub fn with_store_peaks(mut self, peaks: Vec<(String, u64)>) -> Self {
         self.store_peaks = peaks;
+        self
+    }
+
+    /// Attaches the fault-injection log (builder-style).
+    pub fn with_faults(mut self, faults: Vec<FaultRecord>) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -123,20 +212,21 @@ impl RunResult {
         }
     }
 
-    /// The cycle the run ended at, whether it completed or deadlocked —
-    /// the final timestamp for probe sinks.
+    /// The cycle the run ended at — completion, deadlock, or timeout — the
+    /// final timestamp for probe sinks.
     pub fn final_cycle(&self) -> u64 {
         match self.outcome {
             Outcome::Completed { cycles, .. } => cycles,
             Outcome::Deadlock { cycle, .. } => cycle,
+            Outcome::TimedOut { cycle, .. } => cycle,
         }
     }
 
-    /// Total dynamic instructions (0 for a deadlocked run).
+    /// Total dynamic instructions (0 for a deadlocked or timed-out run).
     pub fn dyn_instrs(&self) -> u64 {
         match self.outcome {
             Outcome::Completed { dyn_instrs, .. } => dyn_instrs,
-            Outcome::Deadlock { .. } => 0,
+            Outcome::Deadlock { .. } | Outcome::TimedOut { .. } => 0,
         }
     }
 

@@ -22,7 +22,27 @@ use tyr_ir::{MemoryImage, Program, Region, Stmt, Value, Var};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
-use crate::result::{Outcome, RunResult, SimError};
+use crate::result::{Outcome, RunResult, SimError, TimeoutCause};
+use crate::watchdog::{Watchdog, WatchdogState};
+
+/// Why the executor unwound early: a simulated fault, or a watchdog trip
+/// (which is an attributed *result*, not an error).
+enum Halt {
+    Fault(SimError),
+    Timeout(TimeoutCause),
+}
+
+impl From<SimError> for Halt {
+    fn from(e: SimError) -> Self {
+        Halt::Fault(e)
+    }
+}
+
+impl From<tyr_ir::MemError> for Halt {
+    fn from(e: tyr_ir::MemError) -> Self {
+        Halt::Fault(SimError::Mem(e))
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -33,11 +53,20 @@ pub struct SeqDataflowConfig {
     pub args: Vec<Value>,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Run watchdog (see [`crate::watchdog`]). Disarmed by default; checked
+    /// once per simulated cycle as block instances are scheduled. Trips end
+    /// the run as an attributed [`Outcome::TimedOut`].
+    pub watchdog: Watchdog,
 }
 
 impl Default for SeqDataflowConfig {
     fn default() -> Self {
-        SeqDataflowConfig { issue_width: 128, args: Vec::new(), max_cycles: 50_000_000_000 }
+        SeqDataflowConfig {
+            issue_width: 128,
+            args: Vec::new(),
+            max_cycles: 50_000_000_000,
+            watchdog: Watchdog::none(),
+        }
     }
 }
 
@@ -62,6 +91,7 @@ struct Exec<'a, P: Probe> {
     probe: &'a mut P,
     width: u64,
     max_cycles: u64,
+    dog: WatchdogState,
     /// Instructions per dependence level in the current instance
     /// (index = level - 1).
     hist: Vec<u64>,
@@ -74,6 +104,26 @@ struct Exec<'a, P: Probe> {
 
 impl<'a> SeqDataflowEngine<'a> {
     /// Builds an engine over a structured program with no probe attached.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tyr_ir::build::ProgramBuilder;
+    /// use tyr_ir::MemoryImage;
+    /// use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
+    ///
+    /// let mut pb = ProgramBuilder::new();
+    /// let mut f = pb.func("main", 1);
+    /// let x = f.param(0);
+    /// let a = f.add(x, 1);
+    /// let b = f.mul(x, 2);
+    /// let y = f.add(a, b);
+    /// let p = pb.finish(f, [y]);
+    ///
+    /// let cfg = SeqDataflowConfig { args: vec![5], ..SeqDataflowConfig::default() };
+    /// let r = SeqDataflowEngine::new(&p, MemoryImage::new(), cfg).run().unwrap();
+    /// assert_eq!(r.returns, vec![16]);
+    /// ```
     pub fn new(program: &'a Program, mem: MemoryImage, cfg: SeqDataflowConfig) -> Self {
         SeqDataflowEngine::with_probe(program, mem, cfg, NoProbe)
     }
@@ -111,6 +161,7 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
             probe: &mut self.probe,
             width: self.cfg.issue_width.max(1) as u64,
             max_cycles: self.cfg.max_cycles,
+            dog: self.cfg.watchdog.arm(),
             hist: Vec::new(),
             live: 0,
             cycle: 0,
@@ -118,17 +169,42 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
         };
-        let returns = exec.call(self.program.entry, &self.cfg.args)?;
-        exec.flush()?;
-        let (cycles, dyn_instrs, trace, ipc) = (exec.cycle, exec.fired, exec.trace, exec.ipc);
-        Ok(RunResult::new(Outcome::Completed { cycles, dyn_instrs }, trace, ipc, self.mem, returns))
+        let outcome = exec.call(self.program.entry, &self.cfg.args).and_then(|returns| {
+            exec_flush(&mut exec)?;
+            Ok(returns)
+        });
+        let (cycle, live, fired) = (exec.cycle, exec.live, exec.fired);
+        let (trace, ipc) = (exec.trace, exec.ipc);
+        match outcome {
+            Ok(returns) => Ok(RunResult::new(
+                Outcome::Completed { cycles: cycle, dyn_instrs: fired },
+                trace,
+                ipc,
+                self.mem,
+                returns,
+            )),
+            Err(Halt::Timeout(cause)) => Ok(RunResult::new(
+                Outcome::TimedOut { cycle, live_tokens: live, cause },
+                trace,
+                ipc,
+                self.mem,
+                Vec::new(),
+            )),
+            Err(Halt::Fault(e)) => Err(e),
+        }
     }
+}
+
+/// Free-function wrapper so `run` can flush inside an `and_then` closure
+/// that already holds the executor mutably.
+fn exec_flush<P: Probe>(exec: &mut Exec<'_, P>) -> Result<(), Halt> {
+    exec.flush()
 }
 
 impl<'a, P: Probe> Exec<'a, P> {
     /// Schedules the accumulated instance DAG: levels in order, at most
     /// `width` instructions per cycle.
-    fn flush(&mut self) -> Result<(), SimError> {
+    fn flush(&mut self) -> Result<(), Halt> {
         for l in 0..self.hist.len() {
             let mut remaining = self.hist[l];
             while remaining > 0 {
@@ -143,8 +219,11 @@ impl<'a, P: Probe> Exec<'a, P> {
                 self.trace.record(self.live);
                 self.ipc.record(fire);
                 remaining -= fire;
+                if let Some(cause) = self.dog.check(self.cycle) {
+                    return Err(Halt::Timeout(cause));
+                }
                 if self.cycle >= self.max_cycles {
-                    return Err(SimError::CycleLimit { limit: self.max_cycles });
+                    return Err(Halt::Fault(SimError::CycleLimit { limit: self.max_cycles }));
                 }
             }
         }
@@ -182,18 +261,18 @@ impl<'a, P: Probe> Exec<'a, P> {
         frame.level[v.0 as usize] = 0;
     }
 
-    fn operand(frame: &Frame, o: tyr_ir::Operand) -> Result<(Value, u32), SimError> {
+    fn operand(frame: &Frame, o: tyr_ir::Operand) -> Result<(Value, u32), Halt> {
         match o {
             tyr_ir::Operand::Const(c) => Ok((c, 0)),
             tyr_ir::Operand::Var(v) => {
                 let val = frame.env[v.0 as usize]
-                    .ok_or_else(|| SimError::Interp(format!("unbound {v}")))?;
+                    .ok_or_else(|| Halt::Fault(SimError::Interp(format!("unbound {v}"))))?;
                 Ok((val, frame.level[v.0 as usize]))
             }
         }
     }
 
-    fn call(&mut self, func: tyr_ir::FuncId, args: &[Value]) -> Result<Vec<Value>, SimError> {
+    fn call(&mut self, func: tyr_ir::FuncId, args: &[Value]) -> Result<Vec<Value>, Halt> {
         let f = self.program.func(func);
         let mut frame =
             Frame { env: vec![None; f.n_vars as usize], level: vec![0; f.n_vars as usize] };
@@ -211,19 +290,19 @@ impl<'a, P: Probe> Exec<'a, P> {
         Ok(rets)
     }
 
-    fn exec_region(&mut self, region: &Region, frame: &mut Frame) -> Result<(), SimError> {
+    fn exec_region(&mut self, region: &Region, frame: &mut Frame) -> Result<(), Halt> {
         for stmt in &region.stmts {
             self.exec_stmt(stmt, frame)?;
         }
         Ok(())
     }
 
-    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<(), SimError> {
+    fn exec_stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<(), Halt> {
         match stmt {
             Stmt::Op { dst, op, lhs, rhs } => {
                 let (a, la) = Self::operand(frame, *lhs)?;
                 let (b, lb) = Self::operand(frame, *rhs)?;
-                let v = op.eval(a, b).map_err(SimError::Alu)?;
+                let v = op.eval(a, b).map_err(|e| Halt::Fault(SimError::Alu(e)))?;
                 let level = la.max(lb) + 1;
                 self.record(level);
                 self.bind(frame, *dst, v, level);

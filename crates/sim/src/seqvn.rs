@@ -14,7 +14,8 @@ use tyr_ir::{MemoryImage, Program, Value};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
-use crate::result::{Outcome, RunResult, SimError};
+use crate::result::{Outcome, RunResult, SimError, TimeoutCause};
+use crate::watchdog::{Watchdog, WatchdogState};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -23,11 +24,16 @@ pub struct SeqVnConfig {
     pub args: Vec<Value>,
     /// Safety limit on retired instructions (= cycles).
     pub max_cycles: u64,
+    /// Run watchdog (see [`crate::watchdog`]). Disarmed by default. One
+    /// instruction retires per cycle, so the cycle budget doubles as an
+    /// instruction budget; trips end the run as an attributed
+    /// [`Outcome::TimedOut`] instead of a [`SimError::CycleLimit`].
+    pub watchdog: Watchdog,
 }
 
 impl Default for SeqVnConfig {
     fn default() -> Self {
-        SeqVnConfig { args: Vec::new(), max_cycles: 50_000_000_000 }
+        SeqVnConfig { args: Vec::new(), max_cycles: 50_000_000_000, watchdog: Watchdog::none() }
     }
 }
 
@@ -44,21 +50,52 @@ struct VnTracer<P: Probe> {
     ipc: IpcHistogram,
     probe: P,
     cycle: u64,
+    live: u64,
+    dog: WatchdogState,
+    tripped: Option<TimeoutCause>,
 }
 
 impl<P: Probe> Tracer for VnTracer<P> {
     fn on_instr(&mut self, live: u64) {
         self.cycle += 1;
+        self.live = live;
         if P::ENABLED {
             self.probe.event(self.cycle, ProbeEvent::NodeFired { node: 0 });
         }
         self.trace.record(live);
         self.ipc.record(1);
     }
+
+    fn poll_halt(&mut self) -> bool {
+        if let Some(cause) = self.dog.check(self.cycle) {
+            self.tripped = Some(cause);
+            return true;
+        }
+        false
+    }
 }
 
 impl<'a> SeqVnEngine<'a> {
     /// Builds an engine over a structured program with no probe attached.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tyr_ir::build::ProgramBuilder;
+    /// use tyr_ir::MemoryImage;
+    /// use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
+    ///
+    /// let mut pb = ProgramBuilder::new();
+    /// let mut f = pb.func("main", 1);
+    /// let x = f.param(0);
+    /// let y = f.sub(x, 2);
+    /// let p = pb.finish(f, [y]);
+    ///
+    /// let cfg = SeqVnConfig { args: vec![44], ..SeqVnConfig::default() };
+    /// let r = SeqVnEngine::new(&p, MemoryImage::new(), cfg).run().unwrap();
+    /// assert_eq!(r.returns, vec![42]);
+    /// assert_eq!(r.cycles(), r.dyn_instrs(), "one instruction per cycle");
+    /// ```
     pub fn new(program: &'a Program, mem: MemoryImage, cfg: SeqVnConfig) -> Self {
         SeqVnEngine::with_probe(program, mem, cfg, NoProbe)
     }
@@ -89,19 +126,38 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
     /// Returns [`SimError::Interp`] on interpreter faults and
     /// [`SimError::CycleLimit`] if the instruction budget runs out.
     pub fn run(mut self) -> Result<RunResult, SimError> {
-        let mut tracer =
-            VnTracer { trace: Trace::new(), ipc: IpcHistogram::new(), probe: self.probe, cycle: 0 };
-        let out = interp::run_traced(
+        let mut tracer = VnTracer {
+            trace: Trace::new(),
+            ipc: IpcHistogram::new(),
+            probe: self.probe,
+            cycle: 0,
+            live: 0,
+            dog: self.cfg.watchdog.arm(),
+            tripped: None,
+        };
+        let out = match interp::run_traced(
             self.program,
             &mut self.mem,
             &self.cfg.args,
             self.cfg.max_cycles,
             &mut tracer,
-        )
-        .map_err(|e| match e {
-            interp::InterpError::OutOfFuel => SimError::CycleLimit { limit: self.cfg.max_cycles },
-            other => SimError::Interp(other.to_string()),
-        })?;
+        ) {
+            Ok(out) => out,
+            Err(interp::InterpError::Halted) => {
+                let cause = tracer.tripped.take().expect("halt implies a tripped watchdog");
+                return Ok(RunResult::new(
+                    Outcome::TimedOut { cycle: tracer.cycle, live_tokens: tracer.live, cause },
+                    tracer.trace,
+                    tracer.ipc,
+                    self.mem,
+                    Vec::new(),
+                ));
+            }
+            Err(interp::InterpError::OutOfFuel) => {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles })
+            }
+            Err(other) => return Err(SimError::Interp(other.to_string())),
+        };
         Ok(RunResult::new(
             Outcome::Completed { cycles: out.dyn_instrs, dyn_instrs: out.dyn_instrs },
             tracer.trace,

@@ -26,12 +26,14 @@ use std::collections::VecDeque;
 
 use tyr_dfg::{AllocKind, BlockId, Dfg, InKind, NodeId, NodeKind, PortRef};
 use tyr_ir::{MemoryImage, Value};
-use tyr_stats::probe::{NoProbe, Probe, ProbeEvent, StallReason};
+use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::fxhash::FxHashMap;
 use crate::result::{Outcome, RunResult, SimError};
 use crate::slab::ValueSlab;
+use crate::watchdog::{Watchdog, WatchdogState};
 
 /// Maximum wired inputs per node (token-presence bits share a `u64` with
 /// three engine flags).
@@ -106,6 +108,14 @@ pub struct TaggedConfig {
     /// can survive the free. Default off (the scan is O(block size) per
     /// free).
     pub check_token_leaks: bool,
+    /// Deterministic fault-injection plan (see [`crate::fault`]). `None`
+    /// (the default) injects nothing: every candidate site costs one
+    /// `Option` test and the run is bit-identical to an engine without the
+    /// fault layer.
+    pub faults: Option<FaultPlan>,
+    /// Run watchdog: cycle budget, wall-clock deadline, cancellation (see
+    /// [`crate::watchdog`]). Disarmed by default.
+    pub watchdog: Watchdog,
 }
 
 impl Default for TaggedConfig {
@@ -118,6 +128,8 @@ impl Default for TaggedConfig {
             mem_latency: 1,
             free_token_sync: false,
             check_token_leaks: false,
+            faults: None,
+            watchdog: Watchdog::none(),
         }
     }
 }
@@ -151,7 +163,11 @@ struct SparseSlot {
 impl Store {
     fn present(&self, tag: u64) -> u64 {
         match self {
-            Store::Dense { present, .. } => present[tag as usize],
+            // Out-of-range reads report "nothing present" rather than
+            // panicking: a corrupted value feeding a dynamic tag must
+            // surface as [`SimError::TagOverflow`] from the guarded
+            // [`Store::set`], not as an index fault.
+            Store::Dense { present, .. } => present.get(tag as usize).copied().unwrap_or(0),
             Store::Sparse { map, .. } => map.get(&tag).map_or(0, |s| s.present),
         }
     }
@@ -329,12 +345,40 @@ pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
+    /// Live fault-injection state (`None` when no plan is configured).
+    faults: Option<FaultState>,
+    /// Set once a tag-exhaust fault strikes: the victim local space index
+    /// (any value for the global pool). Freed tags returning to the victim
+    /// are swallowed so the starvation is permanent.
+    tag_sink: Option<usize>,
+    /// Armed watchdog, checked at the top of every cycle.
+    dog: WatchdogState,
     probe: P,
 }
 
 impl<'a> TaggedEngine<'a> {
     /// Builds an engine over a lowered graph and an initial memory image,
     /// with the zero-cost [`NoProbe`] (every probe site compiles out).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    /// use tyr_ir::build::ProgramBuilder;
+    /// use tyr_ir::MemoryImage;
+    /// use tyr_sim::tagged::{TaggedConfig, TaggedEngine};
+    ///
+    /// let mut pb = ProgramBuilder::new();
+    /// let mut f = pb.func("main", 1);
+    /// let x = f.param(0);
+    /// let y = f.add(x, 1);
+    /// let p = pb.finish(f, [y]);
+    ///
+    /// let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+    /// let cfg = TaggedConfig { args: vec![41], ..TaggedConfig::default() };
+    /// let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+    /// assert_eq!(r.returns, vec![42]);
+    /// ```
     ///
     /// # Panics
     ///
@@ -449,7 +493,20 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             }
         };
 
-        let delayed = DelayLine::new(cfg.mem_latency);
+        // Per-response extra delays (the mem-delay fault) break the timing
+        // wheel's constant-latency invariant; fall back to the ordered FIFO
+        // whenever that fault class is armed.
+        let arms_mem_delay = cfg
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.specs.iter().any(|s| s.kind == FaultKind::MemDelay && s.count > 0));
+        let delayed = if arms_mem_delay {
+            DelayLine::Fifo(VecDeque::new())
+        } else {
+            DelayLine::new(cfg.mem_latency)
+        };
+        let faults = cfg.faults.as_ref().map(FaultState::new);
+        let dog = cfg.watchdog.arm();
         TaggedEngine {
             dfg,
             mem,
@@ -469,6 +526,9 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
+            faults,
+            tag_sink: None,
+            dog,
             probe,
         }
     }
@@ -485,6 +545,22 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
         self.ready.push_back((self.dfg.source.0, 0));
 
         loop {
+            if let Some(cause) = self.dog.check(self.cycle) {
+                let peaks = self.store_peaks();
+                let log = self.faults.take().map(FaultState::into_log).unwrap_or_default();
+                return Ok(RunResult::new(
+                    Outcome::TimedOut { cycle: self.cycle, live_tokens: self.live, cause },
+                    self.trace,
+                    self.ipc,
+                    self.mem,
+                    Vec::new(),
+                )
+                .with_store_peaks(peaks)
+                .with_faults(log));
+            }
+            if self.faults.is_some() {
+                self.fault_exhaust_tags();
+            }
             let mut fired = 0u64;
             let mut sync_fired = 0u64;
             // With dedicated tag-management hardware, sync instructions are
@@ -497,6 +573,36 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             {
                 let Some((n, t)) = self.ready.pop_front() else { break };
                 considered += 1;
+                if let Some(fs) = self.faults.as_mut() {
+                    let fresh = fs.stuck_node().is_none();
+                    if fs.is_stuck(self.cycle, n) {
+                        if fresh {
+                            fs.record(
+                                self.cycle,
+                                n,
+                                FaultKind::NodeStick,
+                                format!(
+                                    "node '{}' wedged; it never fires again",
+                                    self.dfg.nodes[n as usize].label
+                                ),
+                            );
+                            if P::ENABLED {
+                                self.probe.event(
+                                    self.cycle,
+                                    ProbeEvent::FaultInjected {
+                                        node: n,
+                                        kind: FaultKind::NodeStick,
+                                    },
+                                );
+                            }
+                        }
+                        // The stuck activation keeps its queue slot but never
+                        // fires; the run spins until a watchdog or the cycle
+                        // limit ends it.
+                        deferred.push((n, t));
+                        continue;
+                    }
+                }
                 let is_sync = matches!(
                     self.dfg.nodes[n as usize].kind,
                     NodeKind::Allocate { .. }
@@ -547,8 +653,11 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             // token immediately.
             let mut i = 0;
             while i < self.emissions.len() {
-                let (target, tag, val) = self.emissions[i];
+                let (target, tag, mut val) = self.emissions[i];
                 i += 1;
+                if self.faults.is_some() && !self.fault_perturb_emission(target, tag, &mut val) {
+                    continue; // token dropped
+                }
                 self.deliver(target, tag, val)?;
             }
             self.emissions.clear();
@@ -566,6 +675,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             if self.live == 0 && self.ready.is_empty() && self.delayed.is_empty() {
                 if let Some(returns) = self.returns.take() {
                     let peaks = self.store_peaks();
+                    let log = self.faults.take().map(FaultState::into_log).unwrap_or_default();
                     return Ok(RunResult::new(
                         Outcome::Completed { cycles: self.cycle, dyn_instrs: self.fired_total },
                         self.trace,
@@ -573,7 +683,8 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                         self.mem,
                         returns,
                     )
-                    .with_store_peaks(peaks));
+                    .with_store_peaks(peaks)
+                    .with_faults(log));
                 }
             }
             if fired + sync_fired == 0 && self.ready.is_empty() && self.delayed.is_empty() {
@@ -581,6 +692,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     return Err(SimError::TokenLeak { live_tokens: self.live });
                 }
                 let peaks = self.store_peaks();
+                let log = self.faults.take().map(FaultState::into_log).unwrap_or_default();
                 return Ok(RunResult::new(
                     Outcome::Deadlock {
                         cycle: self.cycle,
@@ -592,12 +704,153 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     self.mem,
                     Vec::new(),
                 )
-                .with_store_peaks(peaks));
+                .with_store_peaks(peaks)
+                .with_faults(log));
             }
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
             }
         }
+    }
+
+    /// The tag-exhaust fault: steals every free tag from one space (the
+    /// first local space that an `allocate` node actually targets, or the
+    /// global pool) and swallows all future frees to it, so the starvation
+    /// is permanent. Allocates on the space park forever — the run ends in
+    /// a deadlock report or, with a watchdog, an attributed timeout.
+    fn fault_exhaust_tags(&mut self) {
+        if self.tag_sink.is_some() {
+            return;
+        }
+        // Only spaces with allocate-side demand are worth starving:
+        // stealing a pool nothing draws from perturbs nothing.
+        let demanded = |space: usize| {
+            self.dfg.nodes.iter().any(
+                |n| matches!(&n.kind, NodeKind::Allocate { space: s, .. } if s.0 as usize == space),
+            )
+        };
+        let victim = match &self.backend {
+            Backend::Local { free, .. } => {
+                free.iter().enumerate().position(|(i, f)| !f.is_empty() && demanded(i))
+            }
+            Backend::Global { free, .. } => {
+                (!free.is_empty() && (0..self.dfg.blocks.len()).any(demanded)).then_some(0)
+            }
+            Backend::Unbounded { .. } => None, // unbounded spaces cannot exhaust
+        };
+        let Some(space) = victim else { return };
+        let fs = self.faults.as_mut().expect("caller checked");
+        if !fs.strike(self.cycle, FaultKind::TagExhaust) {
+            return;
+        }
+        let (stolen, name) = match &mut self.backend {
+            Backend::Local { free, .. } => {
+                let n = free[space].len();
+                free[space].clear();
+                (n, self.dfg.blocks[space].name.as_str())
+            }
+            Backend::Global { free, .. } => {
+                let n = free.len();
+                free.clear();
+                (n, "the global pool")
+            }
+            Backend::Unbounded { .. } => unreachable!("filtered above"),
+        };
+        self.tag_sink = Some(space);
+        let fs = self.faults.as_mut().expect("caller checked");
+        fs.record(
+            self.cycle,
+            0,
+            FaultKind::TagExhaust,
+            format!("stole {stolen} free tag(s) from {name}; future frees are swallowed"),
+        );
+        if P::ENABLED {
+            self.probe.event(
+                self.cycle,
+                ProbeEvent::FaultInjected { node: 0, kind: FaultKind::TagExhaust },
+            );
+        }
+    }
+
+    /// Applies token-level faults (drop / duplicate / corrupt) to one
+    /// emission. Returns `false` when the token was dropped — the caller
+    /// must not deliver it.
+    fn fault_perturb_emission(&mut self, target: PortRef, tag: u64, val: &mut Value) -> bool {
+        let node = target.node.0;
+        let fs = self.faults.as_mut().expect("caller checked");
+        if fs.strike(self.cycle, FaultKind::TokenDrop) {
+            fs.record(
+                self.cycle,
+                node,
+                FaultKind::TokenDrop,
+                format!(
+                    "dropped token (value {val}) bound for '{}' port {}",
+                    self.dfg.nodes[node as usize].label, target.port
+                ),
+            );
+            if P::ENABLED {
+                self.probe.event(
+                    self.cycle,
+                    ProbeEvent::FaultInjected { node, kind: FaultKind::TokenDrop },
+                );
+            }
+            // The token was counted live by `emit_to`; un-count it.
+            self.live -= 1;
+            self.block_live[self.dfg.nodes[node as usize].block.0 as usize] -= 1;
+            return false;
+        }
+        if fs.strike(self.cycle, FaultKind::TokenDup) {
+            fs.record(
+                self.cycle,
+                node,
+                FaultKind::TokenDup,
+                format!(
+                    "duplicated token (value {val}) bound for '{}' port {} under tag {tag}",
+                    self.dfg.nodes[node as usize].label, target.port
+                ),
+            );
+            if P::ENABLED {
+                self.probe.event(
+                    self.cycle,
+                    ProbeEvent::FaultInjected { node, kind: FaultKind::TokenDup },
+                );
+            }
+            // The copy is appended to this cycle's emission list; delivering
+            // it onto the now-occupied port violates the cardinal
+            // tagged-dataflow invariant and trips `TagOverflow`.
+            self.emissions.push((target, tag, *val));
+            self.live += 1;
+            let b = self.dfg.nodes[node as usize].block.0 as usize;
+            self.block_live[b] += 1;
+            self.block_peak[b] = self.block_peak[b].max(self.block_live[b]);
+        }
+        // Corrupting a dynamic continuation (`ChangeTagDyn` port 1 encodes a
+        // port reference) would send the token to an arbitrary graph index —
+        // a harness crash, not a simulated fault — so that one port is
+        // exempt.
+        let dyn_target = target.port == 1
+            && matches!(self.dfg.nodes[node as usize].kind, NodeKind::ChangeTagDyn);
+        if !dyn_target && fs.strike(self.cycle, FaultKind::TokenCorrupt) {
+            let mask = fs.mask();
+            let before = *val;
+            *val ^= mask;
+            fs.record(
+                self.cycle,
+                node,
+                FaultKind::TokenCorrupt,
+                format!(
+                    "corrupted token for '{}' port {}: {before} -> {}",
+                    self.dfg.nodes[node as usize].label, target.port, *val
+                ),
+            );
+            if P::ENABLED {
+                self.probe.event(
+                    self.cycle,
+                    ProbeEvent::FaultInjected { node, kind: FaultKind::TokenCorrupt },
+                );
+            }
+        }
+        true
     }
 
     fn store_peaks(&self) -> Vec<(String, u64)> {
@@ -686,6 +939,18 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
     }
 
     fn push_tag(&mut self, space: tyr_dfg::BlockId, tag: u64) {
+        if let Some(sink) = self.tag_sink {
+            let swallowed = match &self.backend {
+                Backend::Local { .. } => sink == space.0 as usize,
+                Backend::Global { .. } => true,
+                Backend::Unbounded { .. } => false,
+            };
+            if swallowed {
+                // The exhausted space swallows returned tags, keeping the
+                // starvation permanent (see `fault_exhaust_tags`).
+                return;
+            }
+        }
         // Returning a tag may unblock parked allocates; re-examine them in
         // arrival order.
         let mut unparked: Vec<(u32, u64)> = Vec::new();
@@ -772,13 +1037,58 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
         }
     }
 
-    /// Emits a memory result on `port` after `mem_latency` cycles.
-    fn emit_mem(&mut self, node: NodeId, port: u16, tag: u64, val: Value) {
-        if self.cfg.mem_latency <= 1 {
+    /// Emits a memory result on `port` after `mem_latency` cycles (plus any
+    /// injected extra delay).
+    fn emit_mem(&mut self, node: NodeId, port: u16, tag: u64, mut val: Value) {
+        let mut extra = 0u64;
+        if let Some(fs) = self.faults.as_mut() {
+            // Flips apply to load responses only: a store's completion token
+            // carries no data, so flipping it would perturb nothing.
+            let is_load = matches!(self.dfg.nodes[node.0 as usize].kind, NodeKind::Load);
+            if is_load && fs.strike(self.cycle, FaultKind::MemFlip) {
+                let mask = fs.mask();
+                let before = val;
+                val ^= mask;
+                fs.record(
+                    self.cycle,
+                    node.0,
+                    FaultKind::MemFlip,
+                    format!(
+                        "flipped load response at '{}': {before} -> {val}",
+                        self.dfg.nodes[node.0 as usize].label
+                    ),
+                );
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::FaultInjected { node: node.0, kind: FaultKind::MemFlip },
+                    );
+                }
+            }
+            if fs.strike(self.cycle, FaultKind::MemDelay) {
+                extra = fs.extra_delay();
+                fs.record(
+                    self.cycle,
+                    node.0,
+                    FaultKind::MemDelay,
+                    format!(
+                        "delayed memory response at '{}' by {extra} extra cycle(s)",
+                        self.dfg.nodes[node.0 as usize].label
+                    ),
+                );
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::FaultInjected { node: node.0, kind: FaultKind::MemDelay },
+                    );
+                }
+            }
+        }
+        if self.cfg.mem_latency <= 1 && extra == 0 {
             self.emit(node, port, tag, val);
             return;
         }
-        let release = self.cycle + self.cfg.mem_latency;
+        let release = self.cycle + self.cfg.mem_latency.max(1) + extra;
         let dfg = self.dfg;
         for &t in &dfg.nodes[node.0 as usize].outs[port as usize] {
             self.delayed.push(release, t, tag, val);
@@ -1224,6 +1534,41 @@ mod tests {
             assert!(r.is_complete(), "tags={tags}: {:?}", r.outcome);
             assert_eq!(r.returns, vec![300], "tags={tags}");
         }
+    }
+
+    #[test]
+    fn sanitizer_passes_on_root_if_diamond() {
+        // Regression: the root free barrier must also cover the data path.
+        // An If-diamond's steer-completion signals fire as soon as the
+        // steers commit, cycles before the ALU chain consuming the merged
+        // value has drained; a barrier joining only control completion let
+        // `root.free` fire while downstream consumers still held tokens.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 2);
+        let a = f.param(0);
+        let b = f.param(1);
+        f.begin_if(a);
+        let t = f.op(tyr_ir::AluOp::And, b, a);
+        f.begin_else();
+        let e = f.op(tyr_ir::AluOp::Gt, b, a);
+        let [m] = f.end_if([(t, e)]);
+        // A chain hanging off the merge, strictly after all control signals.
+        let x = f.op(tyr_ir::AluOp::Lt, a, m);
+        let y = f.op(tyr_ir::AluOp::Xor, x, m);
+        let p = pb.finish(f, [y]);
+
+        let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: TagPolicy::local(4),
+            args: vec![3, -5],
+            check_token_leaks: true,
+            ..TaggedConfig::default()
+        };
+        let r = TaggedEngine::new(&dfg, MemoryImage::new(), cfg).run().unwrap();
+        assert!(r.is_complete(), "{:?}", r.outcome);
+        let mut mem = MemoryImage::new();
+        let expect = interp::run(&p, &mut mem, &[3, -5]).unwrap().returns;
+        assert_eq!(r.returns, expect);
     }
 
     #[test]

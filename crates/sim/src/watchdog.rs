@@ -1,0 +1,206 @@
+//! Run watchdogs: cycle budgets, wall-clock deadlines, and cooperative
+//! cancellation.
+//!
+//! Every engine config carries a [`Watchdog`]. Disarmed (the default) it
+//! costs one boolean test per cycle and never perturbs a run. Armed, it
+//! turns a hung or runaway simulation into an attributed
+//! [`Outcome::TimedOut`](crate::Outcome::TimedOut) *result* — the run ends
+//! gracefully with its trace, live-token census, and fault log intact,
+//! instead of erroring out or spinning forever.
+//!
+//! Three limits compose:
+//!
+//! * **cycle budget** — deterministic: the same run trips at the same cycle
+//!   on every host. This is what the fuzzer uses, so reruns stay
+//!   byte-identical.
+//! * **wall-clock deadline** — host-dependent; checked every
+//!   [`SLOW_CHECK_PERIOD`] cycles so `Instant::now` stays off the hot path.
+//! * **cancellation** — a [`CancelToken`] shared across a worker pool, so
+//!   one sweep-wide deadline can wind down every in-flight run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::result::TimeoutCause;
+
+/// How often (in cycles) the armed watchdog consults the wall clock and the
+/// cancel token. Power of two; the cycle budget is checked every cycle.
+pub const SLOW_CHECK_PERIOD: u64 = 4096;
+
+/// A shared cancellation flag for cooperative shutdown of in-flight runs.
+///
+/// Clones share one flag. Engines polling an armed watchdog that carries the
+/// token exit with [`TimeoutCause::Cancelled`] shortly after
+/// [`CancelToken::cancel`] is called — this is how `tyr-bench`'s worker pool
+/// winds a whole sweep down when its overall deadline passes.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Watchdog configuration, attached to every engine config.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use tyr_sim::watchdog::{CancelToken, Watchdog};
+///
+/// let token = CancelToken::new();
+/// let dog = Watchdog::none()
+///     .with_cycle_budget(1_000_000)
+///     .with_wall_limit(Duration::from_secs(30))
+///     .with_cancel(token.clone());
+/// assert!(dog.is_armed());
+/// assert!(Watchdog::none().is_armed() == false);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Watchdog {
+    /// Trip after this many simulated cycles (deterministic).
+    pub cycle_budget: Option<u64>,
+    /// Trip once this much wall time has elapsed since the run started.
+    pub wall_limit: Option<Duration>,
+    /// Trip when this shared token is cancelled.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Watchdog {
+    /// The disarmed watchdog: never trips, adds one boolean test per cycle.
+    pub fn none() -> Self {
+        Watchdog::default()
+    }
+
+    /// Arms a deterministic cycle budget (builder-style).
+    pub fn with_cycle_budget(mut self, budget: u64) -> Self {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Arms a wall-clock deadline (builder-style).
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Attaches a shared cancellation token (builder-style).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether any limit is configured.
+    pub fn is_armed(&self) -> bool {
+        self.cycle_budget.is_some() || self.wall_limit.is_some() || self.cancel.is_some()
+    }
+
+    /// Starts the clock: converts the wall limit into a concrete deadline.
+    /// Engines call this once at the top of `run()`.
+    pub(crate) fn arm(&self) -> WatchdogState {
+        WatchdogState {
+            armed: self.is_armed(),
+            cycle_budget: self.cycle_budget,
+            deadline: self.wall_limit.map(|l| Instant::now() + l),
+            limit_ms: self.wall_limit.map(|l| l.as_millis() as u64).unwrap_or(0),
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// An armed watchdog mid-run.
+#[derive(Debug)]
+pub(crate) struct WatchdogState {
+    armed: bool,
+    cycle_budget: Option<u64>,
+    deadline: Option<Instant>,
+    limit_ms: u64,
+    cancel: Option<CancelToken>,
+}
+
+impl WatchdogState {
+    /// Returns the cause if any limit has fired at `cycle`. The cycle budget
+    /// is checked on every call; the wall clock and cancel token only every
+    /// [`SLOW_CHECK_PERIOD`] cycles.
+    #[inline]
+    pub(crate) fn check(&self, cycle: u64) -> Option<TimeoutCause> {
+        if !self.armed {
+            return None;
+        }
+        self.check_armed(cycle)
+    }
+
+    #[cold]
+    fn check_armed(&self, cycle: u64) -> Option<TimeoutCause> {
+        if let Some(budget) = self.cycle_budget {
+            if cycle >= budget {
+                return Some(TimeoutCause::CycleBudget { budget });
+            }
+        }
+        if cycle.is_multiple_of(SLOW_CHECK_PERIOD) {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Some(TimeoutCause::Cancelled);
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Some(TimeoutCause::WallClock { limit_ms: self.limit_ms });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_trips() {
+        let state = Watchdog::none().arm();
+        assert!(state.check(0).is_none());
+        assert!(state.check(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn cycle_budget_trips_deterministically() {
+        let state = Watchdog::none().with_cycle_budget(100).arm();
+        assert!(state.check(99).is_none());
+        assert_eq!(state.check(100), Some(TimeoutCause::CycleBudget { budget: 100 }));
+        assert_eq!(state.check(101), Some(TimeoutCause::CycleBudget { budget: 100 }));
+    }
+
+    #[test]
+    fn wall_limit_trips_on_slow_check_boundary() {
+        let state = Watchdog::none().with_wall_limit(Duration::ZERO).arm();
+        // Off-period cycles skip the wall check entirely.
+        assert!(state.check(1).is_none());
+        assert_eq!(state.check(SLOW_CHECK_PERIOD), Some(TimeoutCause::WallClock { limit_ms: 0 }));
+    }
+
+    #[test]
+    fn cancel_token_shared_across_clones() {
+        let token = CancelToken::new();
+        let state = Watchdog::none().with_cancel(token.clone()).arm();
+        assert!(state.check(0).is_none());
+        token.cancel();
+        assert_eq!(state.check(SLOW_CHECK_PERIOD), Some(TimeoutCause::Cancelled));
+        assert!(state.check(SLOW_CHECK_PERIOD + 1).is_none(), "only on slow-check cycles");
+    }
+}

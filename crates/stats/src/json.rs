@@ -2,7 +2,7 @@
 //!
 //! The Chrome-trace exporter ([`crate::probe::ChromeTrace`]) must emit JSON
 //! and the CI gate must *validate* what was emitted, but the workspace is
-//! dependency-free by design (DESIGN.md §7) — so this module provides the
+//! dependency-free by design (DESIGN.md §8) — so this module provides the
 //! small subset of a JSON library we actually need: a [`Json`] value tree,
 //! a deterministic writer, and a strict recursive-descent parser. Round-trip
 //! equality (`parse(render(v)) == v`) is tested and is what the trace

@@ -51,7 +51,7 @@ pub mod summary;
 pub mod trace;
 
 pub use cdf::{Cdf, IpcHistogram};
-pub use probe::{NoProbe, Probe, ProbeEvent, StallReason};
+pub use probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 pub use profile::{NodeProfile, NodeProfiler, ProfileReport};
 pub use summary::{gmean, mean, speedup, Summary};
 pub use trace::Trace;

@@ -69,6 +69,62 @@ impl StallReason {
     }
 }
 
+/// The class of a deliberately injected fault (see `tyr-sim`'s `FaultPlan`).
+///
+/// Lives here rather than in `tyr-sim` because [`ProbeEvent::FaultInjected`]
+/// carries it: the probe layer is the channel through which injected faults
+/// are attributed, and sinks (profiler, Chrome trace, counters) must be able
+/// to name the class without depending on the simulator crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A token in flight was silently discarded.
+    TokenDrop,
+    /// A token in flight was delivered twice.
+    TokenDup,
+    /// A token's value was corrupted (XOR with a seeded mask).
+    TokenCorrupt,
+    /// A memory response was delayed by extra cycles (latency-only fault).
+    MemDelay,
+    /// A memory response's value was flipped.
+    MemFlip,
+    /// A node was stuck: its ready activations refuse to fire.
+    NodeStick,
+    /// Free tags were stolen from a tag space.
+    TagExhaust,
+}
+
+impl FaultKind {
+    /// Every fault class, in taxonomy order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::TokenDrop,
+        FaultKind::TokenDup,
+        FaultKind::TokenCorrupt,
+        FaultKind::MemDelay,
+        FaultKind::MemFlip,
+        FaultKind::NodeStick,
+        FaultKind::TagExhaust,
+    ];
+
+    /// Stable human-readable label (also the CLI spelling in
+    /// `repro fuzz --faults` and the name used in trace JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TokenDrop => "drop",
+            FaultKind::TokenDup => "dup",
+            FaultKind::TokenCorrupt => "corrupt",
+            FaultKind::MemDelay => "mem-delay",
+            FaultKind::MemFlip => "mem-flip",
+            FaultKind::NodeStick => "stick",
+            FaultKind::TagExhaust => "tags",
+        }
+    }
+
+    /// Dense index into per-class arrays.
+    pub fn index(self) -> usize {
+        FaultKind::ALL.iter().position(|k| *k == self).unwrap()
+    }
+}
+
 /// A typed engine event. All variants are `Copy`; emission is a plain call
 /// with two scalars and no allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,6 +203,17 @@ pub enum ProbeEvent {
         /// Activation tag.
         tag: u64,
     },
+    /// A fault-injection layer deliberately perturbed the machine at `node`
+    /// (0 when the fault has no node, e.g. tag-space exhaustion). Emitted
+    /// exactly once per injected fault, so a counting sink can check probe
+    /// parity against the engine's own fault log.
+    FaultInjected {
+        /// Node the fault was applied at (consumer for token faults, load
+        /// node for memory faults, stuck node for sticks; 0 otherwise).
+        node: u32,
+        /// The fault class.
+        kind: FaultKind,
+    },
 }
 
 /// The event taxonomy, for coverage validation (the CI gate checks that a
@@ -173,11 +240,13 @@ pub enum EventKind {
     StallBegin,
     /// [`ProbeEvent::StallEnd`].
     StallEnd,
+    /// [`ProbeEvent::FaultInjected`].
+    FaultInjected,
 }
 
 impl EventKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Fired,
         EventKind::Produced,
         EventKind::Consumed,
@@ -188,6 +257,7 @@ impl EventKind {
         EventKind::BlockExit,
         EventKind::StallBegin,
         EventKind::StallEnd,
+        EventKind::FaultInjected,
     ];
 
     /// Stable name used in trace JSON (`otherData.eventKinds`) and CI
@@ -204,6 +274,7 @@ impl EventKind {
             EventKind::BlockExit => "block-exit",
             EventKind::StallBegin => "stall-begin",
             EventKind::StallEnd => "stall-end",
+            EventKind::FaultInjected => "fault-injected",
         }
     }
 
@@ -227,6 +298,7 @@ impl ProbeEvent {
             ProbeEvent::BlockExit { .. } => EventKind::BlockExit,
             ProbeEvent::StallBegin { .. } => EventKind::StallBegin,
             ProbeEvent::StallEnd { .. } => EventKind::StallEnd,
+            ProbeEvent::FaultInjected { .. } => EventKind::FaultInjected,
         }
     }
 }
@@ -236,6 +308,32 @@ impl ProbeEvent {
 /// All methods default to no-ops so a sink only implements what it needs.
 /// The engines guard every emission site with `if P::ENABLED`, so a probe
 /// with `ENABLED = false` ([`NoProbe`]) costs nothing at runtime.
+///
+/// # Example
+///
+/// A custom sink that counts fires:
+///
+/// ```
+/// use tyr_stats::probe::{Probe, ProbeEvent};
+///
+/// #[derive(Default)]
+/// struct FireCounter {
+///     fires: u64,
+/// }
+///
+/// impl Probe for FireCounter {
+///     fn event(&mut self, _cycle: u64, ev: ProbeEvent) {
+///         if matches!(ev, ProbeEvent::NodeFired { .. }) {
+///             self.fires += 1;
+///         }
+///     }
+/// }
+///
+/// let mut sink = FireCounter::default();
+/// sink.event(0, ProbeEvent::NodeFired { node: 3 });
+/// sink.event(0, ProbeEvent::TokenProduced { node: 4 });
+/// assert_eq!(sink.fires, 1);
+/// ```
 pub trait Probe {
     /// Whether the engine should emit at all. Emission sites (and any
     /// probe-only bookkeeping) are compiled out when this is `false`.
@@ -596,6 +694,10 @@ impl Probe for ChromeTrace {
             ProbeEvent::StallEnd { node, tag } => {
                 self.close_stall(cycle, node, tag);
             }
+            ProbeEvent::FaultInjected { node, kind } => {
+                let pid = self.node_block.get(&node).copied().unwrap_or(0);
+                self.instant(cycle, "fault", kind.label(), pid, &format!("{{\"node\":{node}}}"));
+            }
         }
     }
 }
@@ -622,6 +724,7 @@ mod tests {
         t.event(7, ProbeEvent::TagFreed { space: 1, tag: 3 });
         t.event(7, ProbeEvent::BlockExit { block: 1, tag: 3 });
         t.event(8, ProbeEvent::TagChanged { node: 1, from: 3, to: 0 });
+        t.event(8, ProbeEvent::FaultInjected { node: 1, kind: FaultKind::TokenCorrupt });
         // Left open: must be closed by render() at the final cycle.
         t.event(9, ProbeEvent::StallBegin { node: 0, tag: 0, reason: StallReason::PartialMatch });
         t.render(12)

@@ -1,6 +1,6 @@
 //! The per-node aggregating profiler sink and its report types.
 //!
-//! [`NodeProfiler`] implements [`Probe`](crate::probe::Probe) and folds the
+//! [`NodeProfiler`] implements [`Probe`] and folds the
 //! event stream into a [`ProfileReport`]: one [`NodeProfile`] per active
 //! node (fire count, tokens produced/consumed, peak matching-store
 //! occupancy, stall cycles broken down by [`StallReason`]) plus a per-block
@@ -421,7 +421,8 @@ impl Probe for NodeProfiler {
             | ProbeEvent::TagFreed { .. }
             | ProbeEvent::TagChanged { .. }
             | ProbeEvent::BlockEnter { .. }
-            | ProbeEvent::BlockExit { .. } => {}
+            | ProbeEvent::BlockExit { .. }
+            | ProbeEvent::FaultInjected { .. } => {}
         }
     }
 }

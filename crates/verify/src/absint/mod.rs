@@ -13,7 +13,7 @@
 //! * [`Lattice`] — the join-semilattice contract an abstract domain must
 //!   satisfy;
 //! * [`Analysis`] — per-node transfer functions keyed on
-//!   [`NodeKind`](tyr_dfg::NodeKind), with hooks for immediates, per-output
+//!   [`NodeKind`], with hooks for immediates, per-output
 //!   refinement (the `Source` node carries one program argument per port),
 //!   and widening;
 //! * [`fixpoint`] — the worklist engine: monotone joins per node, widening

@@ -17,7 +17,8 @@
 //!
 //! All generators are deterministic in their seed.
 
-use tyr_ir::Value;
+use tyr_ir::build::ProgramBuilder;
+use tyr_ir::{AluOp, ArrayRef, MemoryImage, Operand, Program, Value};
 
 /// SplitMix64 — the dependency-free seeded PRNG behind every generator.
 ///
@@ -259,6 +260,386 @@ pub fn watts_strogatz_forward(seed: u64, n: usize, k: usize, p: f64) -> Csr {
     Csr { rows: n, cols: n, ptr, idx, vals }
 }
 
+// ---------------------------------------------------------------------------
+// Structured-program generator — the differential fuzzer's front end.
+// ---------------------------------------------------------------------------
+
+/// Words in the read-only `data` array of every generated program (a power
+/// of two, so load indices can be masked instead of range-checked).
+pub const DATA_LEN: usize = 64;
+
+/// Accumulator slots in the write-only `out` array of every generated
+/// program. Writes are `store_add` only, so the final slot values are
+/// order-insensitive and comparable across engines.
+pub const OUT_SLOTS: usize = 8;
+
+/// Entry parameters of every generated program.
+pub const GEN_PARAMS: usize = 2;
+
+/// Binary opcodes the generator draws from.
+///
+/// `Div`/`Rem` are deliberately excluded — a generated divide-by-zero would
+/// be a property of the *program*, not of an engine, and would drown real
+/// disagreements in uninteresting `SimError`s. Everything here is total:
+/// arithmetic wraps, shifts mask their amount, comparisons yield 0/1.
+pub const GEN_OPS: [AluOp; 16] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+    AluOp::Lt,
+    AluOp::Le,
+    AluOp::Gt,
+    AluOp::Ge,
+    AluOp::Eq,
+    AluOp::Ne,
+    AluOp::Min,
+    AluOp::Max,
+];
+
+/// One statement in a [`Recipe`] genome.
+///
+/// Every operand is a *reference*: an index resolved **modulo the live
+/// environment length** at materialization time. That makes any genome
+/// well-formed by construction — removing a statement (shrinking) can change
+/// which value a reference resolves to, but never dangles it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RStmt {
+    /// A binary ALU op over two environment values; defines one value.
+    Op {
+        /// The opcode (drawn from [`GEN_OPS`]).
+        op: AluOp,
+        /// Left operand reference.
+        a: usize,
+        /// Right operand reference.
+        b: usize,
+    },
+    /// `cond != 0 ? t : e`; defines one value.
+    Select {
+        /// Condition reference.
+        c: usize,
+        /// Value if the condition is nonzero.
+        t: usize,
+        /// Value if the condition is zero.
+        e: usize,
+    },
+    /// A data-dependent diamond: `then_op(a, b)` on one side,
+    /// `else_op(a, b)` on the other, merged into one defined value.
+    If {
+        /// Condition reference.
+        c: usize,
+        /// Opcode on the taken (nonzero) side.
+        then_op: AluOp,
+        /// Opcode on the not-taken side.
+        else_op: AluOp,
+        /// Left operand reference (both sides).
+        a: usize,
+        /// Right operand reference (both sides).
+        b: usize,
+    },
+    /// A load from the read-only `data` array at a masked index; defines
+    /// one value.
+    Load {
+        /// Index reference (masked with `DATA_LEN - 1`).
+        addr: usize,
+    },
+    /// An atomic `out[slot] += v`. Defines nothing; commutative, so engine
+    /// scheduling cannot change the final slot value.
+    StoreAdd {
+        /// Accumulator slot (taken modulo [`OUT_SLOTS`]).
+        slot: usize,
+        /// Value reference.
+        v: usize,
+    },
+    /// A counted loop carrying two values chosen from the enclosing
+    /// environment. The body sees *only* the induction variable and the two
+    /// carried values (the IR scoping rule); it exports both carried values
+    /// back to the parent.
+    Loop {
+        /// Trip count (1..=6 as generated; shrinking lowers it).
+        trips: u8,
+        /// References (in the enclosing environment) of the carried values.
+        carry: [usize; 2],
+        /// Body statements, materialized in the loop's own scope.
+        body: Vec<RStmt>,
+    },
+}
+
+/// A generated program genome: seed, entry arguments, initial memory
+/// content, and a statement list.
+///
+/// A `Recipe` is deterministic two ways: [`Recipe::generate`] is a pure
+/// function of `(seed, size)`, and [`Recipe::materialize`] is a pure
+/// function of the genome — so a fuzzing run can be replayed from its seed
+/// alone, and a shrunk witness re-materializes byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recipe {
+    /// The seed this genome was generated from (0 for hand-built recipes).
+    pub seed: u64,
+    /// Entry arguments ([`GEN_PARAMS`] of them).
+    pub args: Vec<Value>,
+    /// Initial contents of the read-only `data` array ([`DATA_LEN`] words).
+    pub data: Vec<Value>,
+    /// Top-level statements.
+    pub stmts: Vec<RStmt>,
+}
+
+/// A materialized [`Recipe`]: the executable program, its initial memory
+/// image, and its entry arguments.
+#[derive(Debug, Clone)]
+pub struct GenCase {
+    /// The structured program (already valid by construction).
+    pub program: Program,
+    /// Initial memory: `data` (read-only) and `out` (store_add-only).
+    pub memory: MemoryImage,
+    /// Entry arguments.
+    pub args: Vec<Value>,
+    /// The `out` accumulator array, for cross-engine comparison.
+    pub out: ArrayRef,
+}
+
+/// A shrinking edit applicable to a [`Recipe`] — used by
+/// [`Recipe::shrink_candidates`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Edit {
+    /// Remove the statement at this path (indices into nested `stmts`).
+    Remove(Vec<usize>),
+    /// Decrement the trip count of the loop at this path.
+    Trim(Vec<usize>),
+}
+
+impl Recipe {
+    /// Generates a genome from `seed` with roughly `size` top-level
+    /// statements. Pure in its inputs; every seed is valid.
+    pub fn generate(seed: u64, size: usize) -> Recipe {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF17E);
+        let args = (0..GEN_PARAMS).map(|_| rng.gen_range(-64, 64)).collect();
+        let data = (0..DATA_LEN).map(|_| rng.gen_range(-1_000, 1_000)).collect();
+        let stmts = gen_block(&mut rng, size.max(1), 0);
+        Recipe { seed, args, data, stmts }
+    }
+
+    /// Total statement count, counting loop bodies recursively.
+    pub fn size(&self) -> usize {
+        fn count(stmts: &[RStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    RStmt::Loop { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+
+    /// Builds the executable program, memory image, and arguments.
+    ///
+    /// The emitted program is structurally valid for every engine: loop
+    /// bodies reference only their carried values, loads are masked into the
+    /// read-only `data` array, and all writes are commutative `store_add`s
+    /// into the `out` array — so engines may only disagree if one of them
+    /// (or an injected fault) is broken.
+    pub fn materialize(&self) -> GenCase {
+        let mut mem = MemoryImage::new();
+        let data = mem.alloc_init("data", &self.data);
+        let out = mem.alloc("out", OUT_SLOTS);
+
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", GEN_PARAMS);
+        let mut env: Vec<Operand> = (0..GEN_PARAMS).map(|i| f.param(i)).collect();
+        let mut labels = 0u32;
+        emit_block(&mut f, &self.stmts, &mut env, data, out, &mut labels);
+        // Fold the whole environment into the return value, so every defined
+        // value has at least one consumer: generated programs have no dead
+        // tokens (the tagged engines' token-leak sanitizer stays sound on
+        // them) and any single corrupted value propagates to the result.
+        let ret = fold(&mut f, &env);
+        let program = pb.finish(f, [ret]);
+        GenCase { program, memory: mem, args: self.args.clone(), out }
+    }
+
+    /// Enumerates every single-step shrink of this genome, in a fixed
+    /// deterministic order: statement removals (outermost first, then
+    /// left-to-right, then into loop bodies), followed by loop-trip
+    /// decrements. A greedy driver that repeatedly takes the first still-
+    /// failing candidate therefore converges to a deterministic local
+    /// minimum — the same witness on every rerun.
+    pub fn shrink_candidates(&self) -> Vec<Recipe> {
+        let mut edits = Vec::new();
+        collect_edits(&self.stmts, &mut Vec::new(), &mut edits);
+        edits.into_iter().map(|e| self.apply(&e)).collect()
+    }
+
+    /// Applies one edit, returning the shrunk genome.
+    fn apply(&self, edit: &Edit) -> Recipe {
+        let mut next = self.clone();
+        match edit {
+            Edit::Remove(path) => {
+                let (block, i) = descend(&mut next.stmts, path);
+                block.remove(i);
+            }
+            Edit::Trim(path) => {
+                let (block, i) = descend(&mut next.stmts, path);
+                if let RStmt::Loop { trips, .. } = &mut block[i] {
+                    *trips -= 1;
+                } else {
+                    unreachable!("Trim edits only target loops");
+                }
+            }
+        }
+        next
+    }
+}
+
+/// Walks `path` (all but its last index descend into `Loop` bodies),
+/// returning the statement list holding the target and the target's index.
+fn descend<'a>(stmts: &'a mut Vec<RStmt>, path: &[usize]) -> (&'a mut Vec<RStmt>, usize) {
+    let (&last, rest) = path.split_last().expect("edit paths are nonempty");
+    let mut block = stmts;
+    for &i in rest {
+        match &mut block[i] {
+            RStmt::Loop { body, .. } => block = body,
+            _ => unreachable!("interior path steps traverse loops"),
+        }
+    }
+    (block, last)
+}
+
+/// Enumerates shrinking edits for `stmts` in deterministic order: removals
+/// at this level, then removals inside each loop body, then trip trims.
+fn collect_edits(stmts: &[RStmt], path: &mut Vec<usize>, out: &mut Vec<Edit>) {
+    for i in 0..stmts.len() {
+        path.push(i);
+        out.push(Edit::Remove(path.clone()));
+        path.pop();
+    }
+    for (i, s) in stmts.iter().enumerate() {
+        if let RStmt::Loop { body, .. } = s {
+            path.push(i);
+            collect_edits(body, path, out);
+            path.pop();
+        }
+    }
+    for (i, s) in stmts.iter().enumerate() {
+        if let RStmt::Loop { trips, .. } = s {
+            if *trips > 1 {
+                path.push(i);
+                out.push(Edit::Trim(path.clone()));
+                path.pop();
+            }
+        }
+    }
+}
+
+/// Generates one block of `n` statements at loop-nesting `depth`.
+fn gen_block(rng: &mut SplitMix64, n: usize, depth: usize) -> Vec<RStmt> {
+    let mut stmts = Vec::with_capacity(n);
+    for _ in 0..n {
+        stmts.push(gen_stmt(rng, depth));
+    }
+    stmts
+}
+
+/// Draws one statement. Loops only appear at `depth < 2`, keeping the
+/// nesting within what every engine's default tag budget handles.
+fn gen_stmt(rng: &mut SplitMix64, depth: usize) -> RStmt {
+    let r = rng.gen_index(100);
+    let op = |rng: &mut SplitMix64| GEN_OPS[rng.gen_index(GEN_OPS.len())];
+    let rf = |rng: &mut SplitMix64| rng.gen_index(16);
+    match r {
+        0..=39 => RStmt::Op { op: op(rng), a: rf(rng), b: rf(rng) },
+        40..=54 => RStmt::Load { addr: rf(rng) },
+        55..=69 => RStmt::StoreAdd { slot: rng.gen_index(OUT_SLOTS), v: rf(rng) },
+        70..=79 => RStmt::Select { c: rf(rng), t: rf(rng), e: rf(rng) },
+        80..=89 => {
+            RStmt::If { c: rf(rng), then_op: op(rng), else_op: op(rng), a: rf(rng), b: rf(rng) }
+        }
+        _ if depth < 2 => {
+            let trips = rng.gen_range(1, 7) as u8;
+            let carry = [rf(rng), rf(rng)];
+            let body_len = 2 + rng.gen_index(3);
+            RStmt::Loop { trips, carry, body: gen_block(rng, body_len, depth + 1) }
+        }
+        _ => RStmt::Op { op: op(rng), a: rf(rng), b: rf(rng) },
+    }
+}
+
+/// Xor-folds every value in `env` into one operand (emitting `len - 1`
+/// xors), guaranteeing each a consumer.
+fn fold(f: &mut tyr_ir::build::FuncBuilder, env: &[Operand]) -> Operand {
+    let mut acc = env[0];
+    for &v in &env[1..] {
+        acc = f.op(AluOp::Xor, acc, v);
+    }
+    acc
+}
+
+/// Emits `stmts` into the builder, growing `env` with each defined value.
+fn emit_block(
+    f: &mut tyr_ir::build::FuncBuilder,
+    stmts: &[RStmt],
+    env: &mut Vec<Operand>,
+    data: ArrayRef,
+    out: ArrayRef,
+    labels: &mut u32,
+) {
+    for s in stmts {
+        let resolve = |env: &[Operand], r: usize| env[r % env.len()];
+        match s {
+            RStmt::Op { op, a, b } => {
+                let v = f.op(*op, resolve(env, *a), resolve(env, *b));
+                env.push(v);
+            }
+            RStmt::Select { c, t, e } => {
+                let v = f.select(resolve(env, *c), resolve(env, *t), resolve(env, *e));
+                env.push(v);
+            }
+            RStmt::If { c, then_op, else_op, a, b } => {
+                let (a, b) = (resolve(env, *a), resolve(env, *b));
+                f.begin_if(resolve(env, *c));
+                let t = f.op(*then_op, a, b);
+                f.begin_else();
+                let e = f.op(*else_op, a, b);
+                let merged = f.end_if_vec(vec![(t, e)]);
+                env.push(merged[0]);
+            }
+            RStmt::Load { addr } => {
+                let idx = f.op(AluOp::And, resolve(env, *addr), (DATA_LEN - 1) as Value);
+                let a = f.op(AluOp::Add, idx, data.base_const());
+                let v = f.load(a);
+                env.push(v);
+            }
+            RStmt::StoreAdd { slot, v } => {
+                let addr = (out.base + slot % OUT_SLOTS) as Value;
+                f.store_add(addr, resolve(env, *v));
+            }
+            RStmt::Loop { trips, carry, body } => {
+                let label = format!("fuzz_loop_{}", *labels);
+                *labels += 1;
+                let inits = vec![Operand::Const(0), resolve(env, carry[0]), resolve(env, carry[1])];
+                let carried = f.begin_loop_vec(&label, inits);
+                let cond = f.op(AluOp::Lt, carried[0], *trips as Value);
+                f.begin_body(cond);
+                let mut inner = carried.clone();
+                emit_block(f, body, &mut inner, data, out, labels);
+                let i2 = f.op(AluOp::Add, carried[0], 1);
+                // The whole body environment folds into the first carried
+                // value: loop-carried dependences evolve and (as at top
+                // level) no body value is left dead.
+                let n0 = fold(f, &inner);
+                let n1 = inner[(carry[0] + carry[1]) % inner.len()];
+                let exits = f.end_loop_vec(vec![i2, n0, n1], vec![carried[1], carried[2]]);
+                env.extend(exits);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +754,65 @@ mod tests {
         // Small-world graphs have triangles.
         let tri = super::super::oracle::count_triangles(&g);
         assert!(tri > 0, "ring lattice with k=8 must contain triangles");
+    }
+
+    #[test]
+    fn recipe_generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(Recipe::generate(seed, 12), Recipe::generate(seed, 12));
+        }
+        assert_ne!(Recipe::generate(1, 12), Recipe::generate(2, 12));
+    }
+
+    #[test]
+    fn recipes_materialize_to_valid_programs() {
+        for seed in 0..50 {
+            let case = Recipe::generate(seed, 16).materialize();
+            tyr_ir::validate::validate(&case.program)
+                .unwrap_or_else(|e| panic!("seed {seed}: invalid program: {e}"));
+            let mut mem = case.memory.clone();
+            tyr_ir::interp::run(&case.program, &mut mem, &case.args)
+                .unwrap_or_else(|e| panic!("seed {seed}: oracle run failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn materialization_is_pure() {
+        let r = Recipe::generate(7, 16);
+        let (a, b) = (r.materialize(), r.materialize());
+        assert_eq!(
+            tyr_ir::pretty::print_program(&a.program),
+            tyr_ir::pretty::print_program(&b.program)
+        );
+        assert_eq!(a.args, b.args);
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller_and_valid() {
+        let r = Recipe::generate(11, 16);
+        let cands = r.shrink_candidates();
+        assert!(!cands.is_empty());
+        for (i, c) in cands.iter().enumerate() {
+            let smaller = c.size() < r.size();
+            let trimmed = c.size() == r.size() && *c != r;
+            assert!(smaller || trimmed, "candidate {i} did not shrink");
+            let case = c.materialize();
+            tyr_ir::validate::validate(&case.program)
+                .unwrap_or_else(|e| panic!("candidate {i}: invalid after shrink: {e}"));
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_the_empty_recipe() {
+        // Greedy "always take the first candidate" terminates: every Remove
+        // strictly shrinks and every Trim strictly lowers a trip count.
+        let mut r = Recipe::generate(3, 10);
+        let mut steps = 0;
+        while let Some(next) = r.shrink_candidates().into_iter().next() {
+            r = next;
+            steps += 1;
+            assert!(steps < 10_000, "shrinker failed to converge");
+        }
+        assert!(r.stmts.is_empty());
     }
 }

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  stalled: {p}");
             }
         }
-        Outcome::Completed { .. } => println!("(unexpectedly completed — enlarge the program)"),
+        ref other => println!("(unexpected outcome: {other} — enlarge the program)"),
     }
     println!();
 
