@@ -31,6 +31,16 @@ for engine in tyr tagged-global-bounded ordered seqdf seqvn ooo; do
     trace dmv "$engine"
 done
 rm -rf "$trace_dir"
+# Working-set gate (DESIGN.md §5.1): run `repro locality` on one kernel
+# per engine family — each run attaches the MemAccess-fed reuse tracker,
+# checks probe parity against the engine's load/store counters, and exits
+# nonzero if any static W-pass bound falls below the dynamic observation.
+# (The suite-wide static-vs-dynamic working-set matrix runs inside
+# `repro verify` above; the fuzz sweep below adds the generated-program
+# soundness leg.)
+for engine in tyr ordered seqdf seqvn ooo; do
+  target/release/repro --scale tiny locality dmv "$engine"
+done
 # Perf-baseline gate: generate a quick (tiny-scale) suite baseline on the
 # 2-thread sweep pool and validate the emitted JSON against the
 # tyr-bench-suite/v1 schema, then validate the committed baseline too —

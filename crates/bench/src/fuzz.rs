@@ -38,6 +38,8 @@ use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
 use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
 use tyr_sim::{CancelToken, FaultKind, FaultPlan, Outcome, RunResult, Watchdog};
+use tyr_stats::locality::WorkingSet;
+use tyr_verify::{analyze_footprint, analyze_live_state};
 use tyr_workloads::gen::{GenCase, Recipe};
 use tyr_workloads::{by_name, APP_NAMES};
 
@@ -244,6 +246,65 @@ fn judge(
         }
     };
     (v, faults)
+}
+
+/// Checks the W-pass soundness contract on one generated recipe: every
+/// static working-set bound (W001 live state per block and total, W002
+/// footprint lines) must dominate what the TYR engine and its attached
+/// reuse tracker actually observe. Returns a description of the first
+/// violated bound, or `None` when every bound is sound.
+///
+/// Lowering errors, engine faults, and incomplete runs return `None`: they
+/// are sweep-1 differential findings, not soundness violations, and
+/// treating them as violations would make the shrinker chase the wrong
+/// predicate.
+pub fn wbound_violation(recipe: &Recipe, dog: Watchdog) -> Option<String> {
+    let case = recipe.materialize();
+    let Ok(dfg) = lower_tagged(&case.program, TaggingDiscipline::Tyr) else { return None };
+    let policy = TagPolicy::local(64);
+    let mut ws = WorkingSet::new();
+    let c = TaggedConfig {
+        issue_width: 64,
+        tag_policy: policy.clone(),
+        args: case.args.clone(),
+        max_cycles: u64::MAX,
+        watchdog: dog,
+        ..TaggedConfig::default()
+    };
+    let r = match TaggedEngine::with_probe(&dfg, case.memory.clone(), c, &mut ws).run() {
+        Ok(r) => r,
+        Err(_) => return None,
+    };
+    if !r.is_complete() {
+        return None;
+    }
+    let dynamic = ws.report(r.final_cycle());
+    let live = analyze_live_state(&dfg, &policy);
+    if let Some(t) = live.total() {
+        if t < r.max_store_peak() {
+            return Some(format!(
+                "W001 total: static bound {t} < observed peak {}",
+                r.max_store_peak()
+            ));
+        }
+    }
+    for (name, peak) in &r.store_peaks {
+        if let Some(b) = live.for_block(name) {
+            if b < *peak {
+                return Some(format!("W001 '{name}': static bound {b} < observed peak {peak}"));
+            }
+        }
+    }
+    let fp = analyze_footprint(&dfg, &case.memory, &case.args);
+    if let Some(l) = fp.total_lines() {
+        if l < dynamic.distinct_lines {
+            return Some(format!(
+                "W002: static bound {l} line(s) < observed {} line(s)",
+                dynamic.distinct_lines
+            ));
+        }
+    }
+    None
 }
 
 /// Greedy deterministic shrinking: repeatedly replace the recipe with its
@@ -454,6 +515,29 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
         failures.push(format!("seed {} disagreed unfaulted ({})", f.seed, summary.join("; ")));
     }
 
+    // Sweep 1b: W-bound soundness — the static working-set bounds must
+    // dominate the dynamic reuse tracker on every generated program, not
+    // just the hand-written suite.
+    let wseeds: Vec<(String, u64)> =
+        (0..opts.seeds).map(|s| (format!("wbound seed {s}"), s)).collect();
+    let wresults: Vec<(u64, Option<String>)> =
+        pool::parallel_map_labeled(opts.jobs, wseeds, |seed| {
+            let recipe = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
+            (seed, wbound_violation(&recipe, dog(&cancel)))
+        });
+    let unsound: Vec<(u64, &str)> =
+        wresults.iter().filter_map(|(s, v)| v.as_deref().map(|v| (*s, v))).collect();
+    println!("  w-bounds: {} seeds, {} unsound static bound(s)", opts.seeds, unsound.len());
+    for (seed, why) in unsound {
+        let original = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
+        let fails = |r: &Recipe| {
+            wbound_violation(r, Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET)).is_some()
+        };
+        let shrunk = shrink(&original, fails);
+        println!("{}", render_witness(seed, &original, &shrunk, why));
+        failures.push(format!("seed {seed}: unsound working-set bound ({why})"));
+    }
+
     // Sweep 2: chaos — every plan class against a rotating fault target.
     // Seeds whose oracle failed in sweep 1 (already reported) are skipped.
     let bad_seeds: std::collections::BTreeSet<u64> =
@@ -556,7 +640,8 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
 
     if failures.is_empty() {
         println!(
-            "  fuzz: OK ({} seeds; no unfaulted disagreement, every fault class attributed)",
+            "  fuzz: OK ({} seeds; no unfaulted disagreement, every static W bound sound, \
+             every fault class attributed)",
             opts.seeds
         );
         Ok(())
@@ -691,6 +776,17 @@ mod tests {
                 assert!(faults.is_empty(), "no plan, no faults");
                 assert!(v.is_agree(), "seed {seed} on {}: {}", sys.label(), v.describe());
             }
+        }
+    }
+
+    /// The static working-set bounds are sound on a spread of generated
+    /// programs — the fuzz sweep's W-leg invariant, in miniature.
+    #[test]
+    fn wbounds_sound_on_generated_programs() {
+        for seed in 0..8 {
+            let recipe = Recipe::generate(seed, 12);
+            let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+            assert_eq!(wbound_violation(&recipe, dog), None, "seed {seed}");
         }
     }
 

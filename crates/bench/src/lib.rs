@@ -7,6 +7,7 @@
 pub mod bench_cmd;
 pub mod figures;
 pub mod fuzz;
+pub mod locality;
 pub mod micro;
 pub mod pool;
 pub mod trace;

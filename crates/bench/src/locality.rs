@@ -1,0 +1,123 @@
+//! `repro locality <kernel> <engine>` — the locality story for one run,
+//! dynamic and static side by side.
+//!
+//! The dynamic half attaches the [`WorkingSet`] reuse tracker (plus the
+//! node profiler, so the working set rides on the standard `ProfileReport`
+//! surface) and prints exact peak/mean live lines, per-block footprints,
+//! and the LRU reuse-distance CDF. The static half runs the W-pass of
+//! `tyr-verify` on the same lowering and prints its bounds next to the
+//! observations. Every static bound must dominate the matching dynamic
+//! value — a violation means the W-pass is unsound and the command exits
+//! nonzero, the same gate `repro verify` runs across the whole suite.
+
+use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+use tyr_sim::tagged::TagPolicy;
+use tyr_stats::locality::WorkingSet;
+use tyr_stats::NodeProfiler;
+use tyr_verify::{analyze_footprint, analyze_live_state};
+use tyr_workloads::{by_name, APP_NAMES};
+
+use crate::figures::Ctx;
+use crate::trace::{self, BOUNDED_POOL, ENGINE_NAMES};
+
+/// Runs `kernel` on `engine` with the reuse tracker attached, prints the
+/// dynamic working-set report and the static W-pass bounds, and checks
+/// that every static bound dominates its dynamic observation.
+///
+/// # Errors
+///
+/// Returns a message on unknown kernel/engine names, simulation faults,
+/// oracle mismatches, or an unsound static bound.
+pub fn run(ctx: &Ctx, kernel: &str, engine: &str) -> Result<(), String> {
+    let w = by_name(kernel, ctx.scale, ctx.seed)
+        .ok_or_else(|| format!("unknown kernel '{kernel}' (known: {})", APP_NAMES.join(" ")))?;
+    if !ENGINE_NAMES.contains(&engine) {
+        return Err(format!("unknown engine '{engine}' (known: {})", ENGINE_NAMES.join(" ")));
+    }
+    println!("== locality: {kernel} on {engine} ({} scale) ==", ctx.scale_label());
+
+    let mut prof = NodeProfiler::new();
+    let mut ws = WorkingSet::new();
+    let r = trace::run_probed(ctx, &w, engine, (&mut prof, &mut ws))?;
+    if r.is_complete() {
+        w.check(r.memory()).map_err(|e| format!("oracle mismatch: {e}"))?;
+    }
+    let final_cycle = r.final_cycle();
+    let r = r.with_profile(prof.report(final_cycle).with_working_set(ws.report(final_cycle)));
+    let dynamic = r.profile.as_ref().and_then(|p| p.working_set.as_ref()).expect("just attached");
+
+    println!("  outcome: {}", r.outcome);
+    print!("{}", dynamic.render(48));
+    if dynamic.accesses() != r.mem_loads + r.mem_stores {
+        return Err(format!(
+            "probe saw {} accesses but the engine counted {} loads + {} stores",
+            dynamic.accesses(),
+            r.mem_loads,
+            r.mem_stores
+        ));
+    }
+
+    // Static side: the W-pass bounds for the elaboration this engine ran
+    // (the sequential engines execute the program directly, but they issue
+    // the same architectural accesses as the TYR lowering, so its footprint
+    // bound applies to them too).
+    println!("static bounds (W-pass)");
+    let (dfg, policy) = match engine {
+        "ordered" => (lower_ordered(&w.program).map_err(|e| e.to_string())?, None),
+        "tagged-global-bounded" => (
+            lower_tagged(&w.program, TaggingDiscipline::Tyr).map_err(|e| e.to_string())?,
+            Some(TagPolicy::GlobalBounded { tags: BOUNDED_POOL }),
+        ),
+        "unordered" => (
+            lower_tagged(&w.program, TaggingDiscipline::UnorderedUnbounded)
+                .map_err(|e| e.to_string())?,
+            Some(TagPolicy::GlobalUnbounded),
+        ),
+        // tyr + the sequential engines: the TYR elaboration under the
+        // harness policy.
+        _ => (
+            lower_tagged(&w.program, TaggingDiscipline::Tyr).map_err(|e| e.to_string())?,
+            Some(TagPolicy::local_with(ctx.cfg.tags, ctx.cfg.tag_overrides.clone())),
+        ),
+    };
+
+    let mut violations = 0usize;
+    let mut leg = |what: &str, static_bound: Option<u64>, observed: u64| {
+        let (mark, rendered) = match static_bound {
+            Some(b) if b >= observed => ("ok  ", b.to_string()),
+            Some(b) => {
+                violations += 1;
+                ("FAIL", b.to_string())
+            }
+            None => ("ok  ", "unbounded".to_string()),
+        };
+        println!("  {mark} {what}: static <= {rendered}, observed {observed}");
+    };
+
+    let fp = analyze_footprint(&dfg, &w.memory, &w.args);
+    leg("footprint (lines, W002)", fp.total_lines(), dynamic.distinct_lines);
+
+    if let Some(policy) = &policy {
+        let live = analyze_live_state(&dfg, policy);
+        if engine == "tyr" || engine == "tagged-global-bounded" || engine == "unordered" {
+            // The tagged engine reports per-block peak token-store occupancy;
+            // W001 must dominate it block by block and in total.
+            leg("peak live state (tokens, W001)", live.total(), r.max_store_peak());
+            for (name, peak) in &r.store_peaks {
+                leg(&format!("peak live state in '{name}'"), live.for_block(name), *peak);
+            }
+        } else {
+            let total = match live.total() {
+                Some(t) => t.to_string(),
+                None => "unbounded".to_string(),
+            };
+            println!("  note peak live state (tokens, W001) <= {total} on the TYR elaboration");
+        }
+    }
+
+    if violations > 0 {
+        return Err(format!("{violations} static bound(s) below the dynamic observation"));
+    }
+    println!("  all static bounds dominate the dynamic observations");
+    Ok(())
+}

@@ -18,12 +18,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
-use tyr_bench::{bench_cmd, fuzz, trace, verify};
+use tyr_bench::{bench_cmd, fuzz, locality, trace, verify};
 use tyr_workloads::Scale;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--jobs N] [--csv DIR] [--out FILE] <command>...
 commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all
           trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)
+          locality <kernel> <engine>
+                                    (dynamic working-set/reuse report next to the static W-pass bounds;
+                                     nonzero exit if any static bound is below the observation)
           bench [--quick]           (suite perf baseline -> BENCH_suite.json, or --out FILE; --quick forces tiny scale)
           bench-check <file>        (validate a baseline file against the tyr-bench-suite/v1 schema)
           fuzz [--seeds N] [--faults PLAN] [--deadline-secs N] [--quick]
@@ -154,6 +157,18 @@ fn main() -> ExitCode {
                 };
                 if let Err(e) = trace::run(&ctx, kernel, engine, trace_out.as_deref()) {
                     eprintln!("trace failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                i += 2;
+            }
+            // `locality` consumes the two following positional arguments.
+            "locality" => {
+                let (Some(kernel), Some(engine)) = (cmds.get(i + 1), cmds.get(i + 2)) else {
+                    eprintln!("locality needs <kernel> and <engine>\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = locality::run(&ctx, kernel, engine) {
+                    eprintln!("locality failed: {e}");
                     return ExitCode::FAILURE;
                 }
                 i += 2;

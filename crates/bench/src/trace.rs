@@ -23,9 +23,9 @@ use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
 use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
 use tyr_sim::RunResult;
-use tyr_stats::probe::{ChromeTrace, EventKind};
+use tyr_stats::probe::{ChromeTrace, EventKind, Probe};
 use tyr_stats::{NodeProfiler, StallReason};
-use tyr_workloads::{by_name, APP_NAMES};
+use tyr_workloads::{by_name, Workload, APP_NAMES};
 
 use crate::figures::Ctx;
 
@@ -48,6 +48,7 @@ pub fn expected_kinds(engine: &str) -> &'static [EventKind] {
     match engine {
         "tyr" => &[
             EventKind::Fired,
+            EventKind::MemAccess,
             EventKind::Produced,
             EventKind::Consumed,
             EventKind::TagAllocated,
@@ -60,6 +61,7 @@ pub fn expected_kinds(engine: &str) -> &'static [EventKind] {
         ],
         "tagged-global-bounded" => &[
             EventKind::Fired,
+            EventKind::MemAccess,
             EventKind::Produced,
             EventKind::Consumed,
             EventKind::TagAllocated,
@@ -68,6 +70,7 @@ pub fn expected_kinds(engine: &str) -> &'static [EventKind] {
         ],
         "unordered" => &[
             EventKind::Fired,
+            EventKind::MemAccess,
             EventKind::Produced,
             EventKind::Consumed,
             EventKind::TagAllocated,
@@ -77,13 +80,16 @@ pub fn expected_kinds(engine: &str) -> &'static [EventKind] {
         ],
         "ordered" => &[
             EventKind::Fired,
+            EventKind::MemAccess,
             EventKind::Produced,
             EventKind::Consumed,
             EventKind::StallBegin,
             EventKind::StallEnd,
         ],
-        "seqdf" => &[EventKind::Fired, EventKind::Produced, EventKind::Consumed],
-        "seqvn" | "ooo" => &[EventKind::Fired],
+        "seqdf" => {
+            &[EventKind::Fired, EventKind::Produced, EventKind::Consumed, EventKind::MemAccess]
+        }
+        "seqvn" | "ooo" => &[EventKind::Fired, EventKind::MemAccess],
         _ => &[],
     }
 }
@@ -107,89 +113,119 @@ pub fn run(ctx: &Ctx, kernel: &str, engine: &str, out: Option<&Path>) -> Result<
 
     let mut prof = NodeProfiler::new();
     let mut chrome = ChromeTrace::new();
-    let cfg = &ctx.cfg;
-    let r: RunResult = {
-        let probe = (&mut prof, &mut chrome);
-        let res = match engine {
-            "tyr" | "tagged-global-bounded" => {
-                // Both use the TYR elaboration: bounded global pools need
-                // the barrier/free structure to recycle tags at all.
-                let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr)
-                    .map_err(|e| format!("lowering: {e}"))?;
-                let policy = if engine == "tyr" {
-                    TagPolicy::local_with(cfg.tags, cfg.tag_overrides.clone())
-                } else {
-                    TagPolicy::GlobalBounded { tags: BOUNDED_POOL }
-                };
-                let c = TaggedConfig {
-                    issue_width: cfg.issue_width,
-                    tag_policy: policy,
-                    args: w.args.clone(),
-                    max_cycles: cfg.max_cycles,
-                    mem_latency: cfg.mem_latency,
-                    ..TaggedConfig::default()
-                };
-                TaggedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
-            }
-            "unordered" => {
-                let dfg = lower_tagged(&w.program, TaggingDiscipline::UnorderedUnbounded)
-                    .map_err(|e| format!("lowering: {e}"))?;
-                let c = TaggedConfig {
-                    issue_width: cfg.issue_width,
-                    tag_policy: TagPolicy::GlobalUnbounded,
-                    args: w.args.clone(),
-                    max_cycles: cfg.max_cycles,
-                    mem_latency: cfg.mem_latency,
-                    ..TaggedConfig::default()
-                };
-                TaggedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
-            }
-            "ordered" => {
-                let dfg = lower_ordered(&w.program).map_err(|e| format!("lowering: {e}"))?;
-                let c = OrderedConfig {
-                    issue_width: cfg.issue_width,
-                    queue_depth: cfg.queue_depth,
-                    depth_overrides: Vec::new(),
-                    args: w.args.clone(),
-                    max_cycles: cfg.max_cycles * 16,
-                    mem_latency: cfg.mem_latency,
-                    ..OrderedConfig::default()
-                };
-                OrderedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
-            }
-            "seqdf" => {
-                let c = SeqDataflowConfig {
-                    issue_width: cfg.issue_width,
-                    args: w.args.clone(),
-                    max_cycles: cfg.max_cycles * 16,
-                    ..SeqDataflowConfig::default()
-                };
-                SeqDataflowEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
-            }
-            "seqvn" => {
-                let c = SeqVnConfig {
-                    args: w.args.clone(),
-                    max_cycles: cfg.max_cycles * 64,
-                    ..SeqVnConfig::default()
-                };
-                SeqVnEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
-            }
-            "ooo" => {
-                let c = OooConfig {
-                    args: w.args.clone(),
-                    max_instrs: cfg.max_cycles * 64,
-                    ..OooConfig::default()
-                };
-                OooEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
-            }
-            _ => unreachable!("validated above"),
-        };
-        res.map_err(|e| format!("{engine} on {kernel}: {e}"))?
-    };
+    let r = run_probed(ctx, &w, engine, (&mut prof, &mut chrome))?;
     if r.is_complete() {
         w.check(r.memory()).map_err(|e| format!("oracle mismatch: {e}"))?;
     }
+    finish(ctx, &w, engine, out, r, prof, chrome)
+}
 
+/// Lowers (as needed) and runs `w` on `engine` with `probe` attached,
+/// under the harness configuration in `ctx`. Shared by `repro trace` and
+/// `repro locality`; the caller owns oracle checking and reporting.
+///
+/// # Errors
+///
+/// Returns a message on unknown engine names, lowering errors, or
+/// simulation faults.
+pub fn run_probed<P: Probe>(
+    ctx: &Ctx,
+    w: &Workload,
+    engine: &str,
+    probe: P,
+) -> Result<RunResult, String> {
+    if !ENGINE_NAMES.contains(&engine) {
+        return Err(format!("unknown engine '{engine}' (known: {})", ENGINE_NAMES.join(" ")));
+    }
+    let cfg = &ctx.cfg;
+    let res = match engine {
+        "tyr" | "tagged-global-bounded" => {
+            // Both use the TYR elaboration: bounded global pools need
+            // the barrier/free structure to recycle tags at all.
+            let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr)
+                .map_err(|e| format!("lowering: {e}"))?;
+            let policy = if engine == "tyr" {
+                TagPolicy::local_with(cfg.tags, cfg.tag_overrides.clone())
+            } else {
+                TagPolicy::GlobalBounded { tags: BOUNDED_POOL }
+            };
+            let c = TaggedConfig {
+                issue_width: cfg.issue_width,
+                tag_policy: policy,
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles,
+                mem_latency: cfg.mem_latency,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
+        }
+        "unordered" => {
+            let dfg = lower_tagged(&w.program, TaggingDiscipline::UnorderedUnbounded)
+                .map_err(|e| format!("lowering: {e}"))?;
+            let c = TaggedConfig {
+                issue_width: cfg.issue_width,
+                tag_policy: TagPolicy::GlobalUnbounded,
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles,
+                mem_latency: cfg.mem_latency,
+                ..TaggedConfig::default()
+            };
+            TaggedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
+        }
+        "ordered" => {
+            let dfg = lower_ordered(&w.program).map_err(|e| format!("lowering: {e}"))?;
+            let c = OrderedConfig {
+                issue_width: cfg.issue_width,
+                queue_depth: cfg.queue_depth,
+                depth_overrides: Vec::new(),
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles * 16,
+                mem_latency: cfg.mem_latency,
+                ..OrderedConfig::default()
+            };
+            OrderedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
+        }
+        "seqdf" => {
+            let c = SeqDataflowConfig {
+                issue_width: cfg.issue_width,
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles * 16,
+                ..SeqDataflowConfig::default()
+            };
+            SeqDataflowEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
+        }
+        "seqvn" => {
+            let c = SeqVnConfig {
+                args: w.args.clone(),
+                max_cycles: cfg.max_cycles * 64,
+                ..SeqVnConfig::default()
+            };
+            SeqVnEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
+        }
+        "ooo" => {
+            let c = OooConfig {
+                args: w.args.clone(),
+                max_instrs: cfg.max_cycles * 64,
+                ..OooConfig::default()
+            };
+            OooEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
+        }
+        _ => unreachable!("validated above"),
+    };
+    res.map_err(|e| format!("{engine} on {}: {e}", w.name))
+}
+
+/// Prints the profile, writes and validates the Chrome trace.
+fn finish(
+    ctx: &Ctx,
+    w: &Workload,
+    engine: &str,
+    out: Option<&Path>,
+    r: RunResult,
+    prof: NodeProfiler,
+    chrome: ChromeTrace,
+) -> Result<(), String> {
+    let kernel = &w.name;
     let final_cycle = r.final_cycle();
     let r = r.with_profile(prof.report(final_cycle));
     let report = r.profile.as_ref().expect("just attached");

@@ -29,14 +29,16 @@ use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
 use tyr_dfg::NodeKind;
 use tyr_sim::ordered::{ChannelCapacity, OrderedConfig, OrderedEngine};
 use tyr_sim::tagged::TagPolicy;
+use tyr_stats::locality::WorkingSet;
 use tyr_verify::{
-    analyze_tag_demand, check_channel_capacity, check_tag_policy, predict_global,
-    validate_translations, verify_ordered, verify_with, Code, GlobalPrediction, Report,
+    analyze_footprint, analyze_live_state, analyze_tag_demand, check_channel_capacity,
+    check_tag_policy, compare_elaborations, predict_global, validate_translations, verify_ordered,
+    verify_with, Code, GlobalPrediction, Report,
 };
 use tyr_workloads::{dmv, suite, Scale};
 
 use crate::figures::Ctx;
-use crate::LoweredWorkload;
+use crate::{trace, LoweredWorkload};
 
 /// Prints `report` — one `ok` line when empty, the full rendering when it
 /// has findings — and folds its counts into the running totals.
@@ -112,6 +114,7 @@ pub fn run(ctx: &Ctx) -> bool {
 
     errors += fig11_cross_validation(ctx);
     errors += ordered_cross_validation(ctx);
+    errors += workingset_cross_validation(ctx);
 
     println!("verify: {errors} error(s), {warnings} warning(s) across the suite");
     errors == 0
@@ -162,6 +165,102 @@ fn fig11_cross_validation(ctx: &Ctx) -> usize {
     check("static: check_tag_policy(Local(2)) is clean", check_tag_policy(&dfg, &local).is_empty());
     let r = lw.run_tyr(local, ctx.cfg.issue_width);
     check("dynamic: Local(2) completes (Theorem 1)", r.is_complete());
+
+    failures
+}
+
+/// The W-pass bounds against the dynamic reuse tracker, three legs:
+///
+/// 1. **W003 headline** — on dmv, the statically predicted peak live state
+///    under TYR's local tag spaces must be *strictly* below the bound under
+///    a bounded global pool: the paper's locality claim, provable from
+///    graph shape.
+/// 2. **W001 soundness** — for every Table II kernel on the tyr engine,
+///    the per-block and total static live-state bounds must dominate the
+///    engine's observed peak token-store occupancies.
+/// 3. **W002 soundness** — for every engine family on dmv, the static
+///    footprint bound (in lines) must dominate the distinct lines the
+///    reuse tracker observed.
+///
+/// Returns the number of violations (0 when every bound is sound).
+fn workingset_cross_validation(ctx: &Ctx) -> usize {
+    println!("-- working-set cross-validation: static W bounds vs. dynamic reuse tracker --");
+    let mut failures = 0usize;
+    let mut check = |what: &str, ok: bool| {
+        println!("  {} {what}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // Leg 1: the W003 verdict on dmv.
+    let w = dmv::build(8, 8, ctx.seed);
+    let caps = ChannelCapacity::uniform(ctx.cfg.queue_depth);
+    match compare_elaborations(&w.program, &TagPolicy::local(2), trace::BOUNDED_POOL, &caps) {
+        Ok((bounds, _)) => check(
+            "W003: dmv local(2) live-state bound strictly below GlobalBounded{8}",
+            bounds.local_shrinks(),
+        ),
+        Err(e) => check(&format!("W003: dmv lowering failed: {e}"), false),
+    }
+
+    // Leg 2: W001 + W002 per kernel on the tyr engine (the policy the
+    // harness runs with, so the static and dynamic sides see the same
+    // configuration).
+    let policy = TagPolicy::local_with(ctx.cfg.tags, ctx.cfg.tag_overrides.clone());
+    for w in &suite(Scale::Tiny, ctx.seed) {
+        let dfg = match lower_tagged(&w.program, TaggingDiscipline::Tyr) {
+            Ok(d) => d,
+            Err(e) => {
+                check(&format!("{}: tyr lowering failed: {e}", w.name), false);
+                continue;
+            }
+        };
+        let mut ws = WorkingSet::new();
+        let r = match trace::run_probed(ctx, w, "tyr", &mut ws) {
+            Ok(r) => r,
+            Err(e) => {
+                check(&format!("{}: {e}", w.name), false);
+                continue;
+            }
+        };
+        let dynamic = ws.report(r.final_cycle());
+        let live = analyze_live_state(&dfg, &policy);
+        let total_ok = live.total().is_none_or(|t| t >= r.max_store_peak());
+        let blocks_ok = r
+            .store_peaks
+            .iter()
+            .all(|(name, peak)| live.for_block(name).is_none_or(|b| b >= *peak));
+        check(&format!("W001: {} static live-state bounds dominate engine peaks", w.name), {
+            total_ok && blocks_ok && r.is_complete()
+        });
+        let fp = analyze_footprint(&dfg, &w.memory, &w.args);
+        check(
+            &format!("W002: {} static footprint dominates observed lines", w.name),
+            fp.total_lines().is_none_or(|l| l >= dynamic.distinct_lines),
+        );
+    }
+
+    // Leg 3: the W002 bound holds for every engine family on dmv — the
+    // sequential engines issue the same architectural accesses, so the
+    // TYR lowering's footprint bound applies across the board.
+    let w = dmv::build(8, 8, ctx.seed);
+    let tyr_dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).expect("tyr lowering");
+    let fp = analyze_footprint(&tyr_dfg, &w.memory, &w.args);
+    for engine in ["tyr", "unordered", "ordered", "seqdf", "seqvn", "ooo"] {
+        let mut ws = WorkingSet::new();
+        let observed = match trace::run_probed(ctx, &w, engine, &mut ws) {
+            Ok(r) => ws.report(r.final_cycle()).distinct_lines,
+            Err(e) => {
+                check(&format!("W002: dmv on {engine}: {e}"), false);
+                continue;
+            }
+        };
+        check(
+            &format!("W002: dmv footprint bound holds on {engine}"),
+            fp.total_lines().is_none_or(|l| l >= observed),
+        );
+    }
 
     failures
 }

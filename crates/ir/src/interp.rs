@@ -43,6 +43,16 @@ pub trait Tracer {
     fn poll_halt(&mut self) -> bool {
         false
     }
+
+    /// Called once per architectural memory access, before the retiring
+    /// instruction's [`Tracer::on_instr`]: `write` is `true` for `store` and
+    /// `store_add` (one write each — the read-modify-write is atomic),
+    /// `false` for `load`. The interpreter-backed engines forward this into
+    /// the probe layer's `MemAccess` event and their load/store counters.
+    /// The default ignores it.
+    fn on_mem(&mut self, addr: Value, write: bool) {
+        let _ = (addr, write);
+    }
 }
 
 /// A tracer that ignores everything (for oracle runs).
@@ -272,6 +282,7 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 let a = self.operand(frame, *addr)?;
                 let da = self.dep(frame, *addr);
                 let v = self.mem.load(a)?;
+                self.tracer.on_mem(a, false);
                 let def = self.fresh_def();
                 self.bind(frame, *dst, v, def);
                 self.retire(def, &[da])?;
@@ -281,6 +292,7 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 let v = self.operand(frame, *value)?;
                 let (da, dv) = (self.dep(frame, *addr), self.dep(frame, *value));
                 self.mem.store(a, v)?;
+                self.tracer.on_mem(a, true);
                 let def = self.fresh_def();
                 self.retire(def, &[da, dv])?;
             }
@@ -289,6 +301,7 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 let v = self.operand(frame, *value)?;
                 let (da, dv) = (self.dep(frame, *addr), self.dep(frame, *value));
                 self.mem.fetch_add(a, v)?;
+                self.tracer.on_mem(a, true);
                 let def = self.fresh_def();
                 self.retire(def, &[da, dv])?;
             }

@@ -201,6 +201,8 @@ struct OooTracer<P: Probe> {
     finish: Vec<u64>,
     dog: WatchdogState,
     tripped: Option<TimeoutCause>,
+    mem_loads: u64,
+    mem_stores: u64,
     probe: P,
 }
 
@@ -234,6 +236,21 @@ impl<P: Probe> Tracer for OooTracer<P> {
             self.finish.resize(def as usize + 1, 0);
         }
         self.finish[def as usize] = f;
+    }
+
+    fn on_mem(&mut self, addr: Value, write: bool) {
+        if write {
+            self.mem_stores += 1;
+        } else {
+            self.mem_loads += 1;
+        }
+        // `on_mem` precedes the access's `on_instr_deps`, so the issue cycle
+        // is not known yet; stamp with the retirement horizon (timestamps
+        // are out of order in this engine anyway, and sinks tolerate it).
+        if P::ENABLED {
+            self.probe
+                .event(self.sched.last_retire, ProbeEvent::MemAccess { node: 0, addr, write });
+        }
     }
 
     fn poll_halt(&mut self) -> bool {
@@ -305,6 +322,8 @@ impl<'a, P: Probe> OooEngine<'a, P> {
             finish: vec![0],
             dog: self.cfg.watchdog.arm(),
             tripped: None,
+            mem_loads: 0,
+            mem_stores: 0,
             probe: self.probe,
         };
         let out = match interp::run_traced(
@@ -319,6 +338,7 @@ impl<'a, P: Probe> OooEngine<'a, P> {
                 let cause = tracer.tripped.take().expect("halt implies a tripped watchdog");
                 let live = tracer.sched.rob.len() as u64;
                 let cycle = tracer.sched.last_retire;
+                let (loads, stores) = (tracer.mem_loads, tracer.mem_stores);
                 let (_, trace, ipc) = tracer.sched.drain();
                 return Ok(RunResult::new(
                     Outcome::TimedOut { cycle, live_tokens: live, cause },
@@ -326,7 +346,8 @@ impl<'a, P: Probe> OooEngine<'a, P> {
                     ipc,
                     self.mem,
                     Vec::new(),
-                ));
+                )
+                .with_mem_counts(loads, stores));
             }
             Err(interp::InterpError::OutOfFuel) => {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_instrs })
@@ -334,6 +355,7 @@ impl<'a, P: Probe> OooEngine<'a, P> {
             Err(other) => return Err(SimError::Interp(other.to_string())),
         };
         let dyn_instrs = out.dyn_instrs;
+        let (loads, stores) = (tracer.mem_loads, tracer.mem_stores);
         let (cycles, trace, ipc) = tracer.sched.drain();
         Ok(RunResult::new(
             Outcome::Completed { cycles, dyn_instrs },
@@ -341,7 +363,8 @@ impl<'a, P: Probe> OooEngine<'a, P> {
             ipc,
             self.mem,
             out.returns,
-        ))
+        )
+        .with_mem_counts(loads, stores))
     }
 }
 

@@ -127,6 +127,9 @@ pub struct OrderedEngine<'a, P: Probe = NoProbe> {
     live: u64,
     fired_total: u64,
     cycle: u64,
+    /// Architectural loads / stores executed (counted even without a probe).
+    mem_loads: u64,
+    mem_stores: u64,
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
@@ -233,6 +236,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             live,
             fired_total: 0,
             cycle: 0,
+            mem_loads: 0,
+            mem_stores: 0,
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
@@ -503,6 +508,13 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                     self.pop(idx, 1); // trigger
                 }
                 let mut v = self.mem.load(addr)?;
+                self.mem_loads += 1;
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemAccess { node: idx as u32, addr, write: false },
+                    );
+                }
                 let mut extra = 0u64;
                 if let Some(fs) = self.faults.as_mut() {
                     if fs.strike(self.cycle, FaultKind::MemFlip) {
@@ -570,6 +582,13 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                 } else {
                     self.mem.fetch_add(addr, v)?;
                 }
+                self.mem_stores += 1;
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemAccess { node: idx as u32, addr, write: true },
+                    );
+                }
             }
             NodeKind::Steer => {
                 let d = self.pop(idx, 0);
@@ -624,6 +643,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                     self.mem,
                     Vec::new(),
                 )
+                .with_mem_counts(self.mem_loads, self.mem_stores)
                 .with_faults(log));
             }
             // Snapshot readiness against start-of-cycle state.
@@ -739,6 +759,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         self.mem,
                         returns,
                     )
+                    .with_mem_counts(self.mem_loads, self.mem_stores)
                     .with_faults(log))
                 } else {
                     let witness = self.stall_witness();
@@ -753,6 +774,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         self.mem,
                         Vec::new(),
                     )
+                    .with_mem_counts(self.mem_loads, self.mem_stores)
                     .with_faults(log))
                 };
             }

@@ -149,6 +149,14 @@ pub struct RunResult {
     /// [`FaultPlan`](crate::fault::FaultPlan)). The length always equals the
     /// number of `FaultInjected` probe events the run emitted.
     pub faults: Vec<FaultRecord>,
+    /// Architectural loads executed. Counted unconditionally by every
+    /// engine (probe or not); always equals the number of `MemAccess`
+    /// probe events with `write: false` the run emitted.
+    pub mem_loads: u64,
+    /// Architectural stores executed (`store` and `store_add` each count
+    /// one); always equals the number of `MemAccess` probe events with
+    /// `write: true`.
+    pub mem_stores: u64,
 }
 
 impl RunResult {
@@ -169,7 +177,16 @@ impl RunResult {
             store_peaks: Vec::new(),
             profile: None,
             faults: Vec::new(),
+            mem_loads: 0,
+            mem_stores: 0,
         }
+    }
+
+    /// Attaches the architectural load/store counts (builder-style).
+    pub fn with_mem_counts(mut self, loads: u64, stores: u64) -> Self {
+        self.mem_loads = loads;
+        self.mem_stores = stores;
+        self
     }
 
     /// Attaches per-block token-store peaks (builder-style).

@@ -98,6 +98,9 @@ struct Exec<'a, P: Probe> {
     live: u64,
     cycle: u64,
     fired: u64,
+    /// Architectural loads / stores executed (counted even without a probe).
+    mem_loads: u64,
+    mem_stores: u64,
     trace: Trace,
     ipc: IpcHistogram,
 }
@@ -166,6 +169,8 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
             live: 0,
             cycle: 0,
             fired: 0,
+            mem_loads: 0,
+            mem_stores: 0,
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
         };
@@ -174,6 +179,7 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
             Ok(returns)
         });
         let (cycle, live, fired) = (exec.cycle, exec.live, exec.fired);
+        let (loads, stores) = (exec.mem_loads, exec.mem_stores);
         let (trace, ipc) = (exec.trace, exec.ipc);
         match outcome {
             Ok(returns) => Ok(RunResult::new(
@@ -182,14 +188,16 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
                 ipc,
                 self.mem,
                 returns,
-            )),
+            )
+            .with_mem_counts(loads, stores)),
             Err(Halt::Timeout(cause)) => Ok(RunResult::new(
                 Outcome::TimedOut { cycle, live_tokens: live, cause },
                 trace,
                 ipc,
                 self.mem,
                 Vec::new(),
-            )),
+            )
+            .with_mem_counts(loads, stores)),
             Err(Halt::Fault(e)) => Err(e),
         }
     }
@@ -310,6 +318,13 @@ impl<'a, P: Probe> Exec<'a, P> {
             Stmt::Load { dst, addr } => {
                 let (a, la) = Self::operand(frame, *addr)?;
                 let v = self.mem.load(a)?;
+                self.mem_loads += 1;
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemAccess { node: 0, addr: a, write: false },
+                    );
+                }
                 let level = la + 1;
                 self.record(level);
                 self.bind(frame, *dst, v, level);
@@ -318,12 +333,22 @@ impl<'a, P: Probe> Exec<'a, P> {
                 let (a, la) = Self::operand(frame, *addr)?;
                 let (v, lv) = Self::operand(frame, *value)?;
                 self.mem.store(a, v)?;
+                self.mem_stores += 1;
+                if P::ENABLED {
+                    self.probe
+                        .event(self.cycle, ProbeEvent::MemAccess { node: 0, addr: a, write: true });
+                }
                 self.record(la.max(lv) + 1);
             }
             Stmt::StoreAdd { addr, value } => {
                 let (a, la) = Self::operand(frame, *addr)?;
                 let (v, lv) = Self::operand(frame, *value)?;
                 self.mem.fetch_add(a, v)?;
+                self.mem_stores += 1;
+                if P::ENABLED {
+                    self.probe
+                        .event(self.cycle, ProbeEvent::MemAccess { node: 0, addr: a, write: true });
+                }
                 self.record(la.max(lv) + 1);
             }
             Stmt::Select { dst, cond, on_true, on_false } => {

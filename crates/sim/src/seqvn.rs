@@ -51,6 +51,8 @@ struct VnTracer<P: Probe> {
     probe: P,
     cycle: u64,
     live: u64,
+    mem_loads: u64,
+    mem_stores: u64,
     dog: WatchdogState,
     tripped: Option<TimeoutCause>,
 }
@@ -64,6 +66,19 @@ impl<P: Probe> Tracer for VnTracer<P> {
         }
         self.trace.record(live);
         self.ipc.record(1);
+    }
+
+    fn on_mem(&mut self, addr: Value, write: bool) {
+        if write {
+            self.mem_stores += 1;
+        } else {
+            self.mem_loads += 1;
+        }
+        // `on_mem` precedes the instruction's retire, so stamp the access
+        // with the cycle that instruction will occupy.
+        if P::ENABLED {
+            self.probe.event(self.cycle + 1, ProbeEvent::MemAccess { node: 0, addr, write });
+        }
     }
 
     fn poll_halt(&mut self) -> bool {
@@ -132,6 +147,8 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
             probe: self.probe,
             cycle: 0,
             live: 0,
+            mem_loads: 0,
+            mem_stores: 0,
             dog: self.cfg.watchdog.arm(),
             tripped: None,
         };
@@ -151,7 +168,8 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
                     tracer.ipc,
                     self.mem,
                     Vec::new(),
-                ));
+                )
+                .with_mem_counts(tracer.mem_loads, tracer.mem_stores));
             }
             Err(interp::InterpError::OutOfFuel) => {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles })
@@ -164,7 +182,8 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
             tracer.ipc,
             self.mem,
             out.returns,
-        ))
+        )
+        .with_mem_counts(tracer.mem_loads, tracer.mem_stores))
     }
 }
 

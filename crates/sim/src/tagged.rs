@@ -342,6 +342,9 @@ pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     block_peak: Vec<u64>,
     fired_total: u64,
     cycle: u64,
+    /// Architectural loads / stores executed (counted even without a probe).
+    mem_loads: u64,
+    mem_stores: u64,
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
@@ -523,6 +526,8 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             block_peak: vec![0; dfg.blocks.len()],
             fired_total: 0,
             cycle: 0,
+            mem_loads: 0,
+            mem_stores: 0,
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
@@ -556,6 +561,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     Vec::new(),
                 )
                 .with_store_peaks(peaks)
+                .with_mem_counts(self.mem_loads, self.mem_stores)
                 .with_faults(log));
             }
             if self.faults.is_some() {
@@ -684,6 +690,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                         returns,
                     )
                     .with_store_peaks(peaks)
+                    .with_mem_counts(self.mem_loads, self.mem_stores)
                     .with_faults(log));
                 }
             }
@@ -705,6 +712,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     Vec::new(),
                 )
                 .with_store_peaks(peaks)
+                .with_mem_counts(self.mem_loads, self.mem_stores)
                 .with_faults(log));
             }
             if self.cycle >= self.cfg.max_cycles {
@@ -1173,6 +1181,13 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             NodeKind::Load => {
                 let addr = self.input(node, tag, 0);
                 let v = self.mem.load(addr)?;
+                self.mem_loads += 1;
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemAccess { node: node.0, addr, write: false },
+                    );
+                }
                 self.consume(node, tag, self.required[idx]);
                 self.emit_mem(node, 0, tag, v);
             }
@@ -1183,6 +1198,13 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     self.mem.store(addr, v)?;
                 } else {
                     self.mem.fetch_add(addr, v)?;
+                }
+                self.mem_stores += 1;
+                if P::ENABLED {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemAccess { node: node.0, addr, write: true },
+                    );
                 }
                 self.consume(node, tag, self.required[idx]);
                 if !n.outs.is_empty() {

@@ -264,6 +264,98 @@ fn sparse_store_probe_parity() {
     assert_eq!(prof.report(probed.final_cycle()).total_fires(), probed.dyn_instrs());
 }
 
+/// Splits `MemAccess` events by direction, for parity checks against the
+/// engine's own architectural load/store counters.
+#[derive(Default)]
+struct MemCounter {
+    loads: u64,
+    stores: u64,
+}
+
+impl tyr_stats::probe::Probe for MemCounter {
+    fn event(&mut self, _cycle: u64, ev: tyr_stats::probe::ProbeEvent) {
+        if let tyr_stats::probe::ProbeEvent::MemAccess { write, .. } = ev {
+            if write {
+                self.stores += 1;
+            } else {
+                self.loads += 1;
+            }
+        }
+    }
+}
+
+/// `ys[i] = xs[i] * 3` — one load and one store per iteration, so every
+/// engine has both directions to account for.
+fn copy_scale_case() -> (Program, MemoryImage) {
+    let mut mem = MemoryImage::new();
+    let xs = mem.alloc_init("xs", &(0..24).map(|i| i * 7 - 11).collect::<Vec<_>>());
+    let ys = mem.alloc("ys", 24);
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let [i] = f.begin_loop("copy", [0]);
+    let c = f.lt(i, 24);
+    f.begin_body(c);
+    let src = f.add(i, xs.base_const());
+    let v = f.load(src);
+    let v3 = f.mul(v, 3);
+    let dst = f.add(i, ys.base_const());
+    f.store(dst, v3);
+    let i2 = f.add(i, 1);
+    let [end] = f.end_loop([i2], [i]);
+    (pb.finish(f, [end]), mem)
+}
+
+#[test]
+fn mem_access_events_match_engine_counters_on_every_engine() {
+    // The W-pass cross-validation trusts `MemAccess` to be an exact record
+    // of architectural memory traffic: every engine's emitted load/store
+    // events must equal the counters it reports on the `RunResult`.
+    let (p, mem) = copy_scale_case();
+    let dfg_tyr = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
+    let dfg_ord = lower_ordered(&p).unwrap();
+
+    let mut runs: Vec<(&str, MemCounter, tyr_sim::RunResult)> = Vec::new();
+
+    let mut mc = MemCounter::default();
+    let r = TaggedEngine::with_probe(&dfg_tyr, mem.clone(), TaggedConfig::default(), &mut mc)
+        .run()
+        .unwrap();
+    runs.push(("tagged", mc, r));
+
+    let mut mc = MemCounter::default();
+    let r = OrderedEngine::with_probe(&dfg_ord, mem.clone(), OrderedConfig::default(), &mut mc)
+        .run()
+        .unwrap();
+    runs.push(("ordered", mc, r));
+
+    let mut mc = MemCounter::default();
+    let r = SeqDataflowEngine::with_probe(&p, mem.clone(), SeqDataflowConfig::default(), &mut mc)
+        .run()
+        .unwrap();
+    runs.push(("seqdf", mc, r));
+
+    let mut mc = MemCounter::default();
+    let r =
+        SeqVnEngine::with_probe(&p, mem.clone(), SeqVnConfig::default(), &mut mc).run().unwrap();
+    runs.push(("seqvn", mc, r));
+
+    let mut mc = MemCounter::default();
+    let r = OooEngine::with_probe(&p, mem.clone(), OooConfig::default(), &mut mc).run().unwrap();
+    runs.push(("ooo", mc, r));
+
+    for (engine, mc, r) in &runs {
+        assert!(r.is_complete(), "{engine}: {:?}", r.outcome);
+        assert!(mc.loads > 0 && mc.stores > 0, "{engine} must emit both directions");
+        assert_eq!(mc.loads, r.mem_loads, "{engine}: load events vs counter");
+        assert_eq!(mc.stores, r.mem_stores, "{engine}: store events vs counter");
+    }
+    // All engines execute the same architectural accesses on this kernel.
+    let (_, m0, _) = &runs[0];
+    for (engine, mc, _) in &runs[1..] {
+        assert_eq!((mc.loads, mc.stores), (m0.loads, m0.stores), "{engine} vs tagged");
+    }
+}
+
 #[test]
 fn timing_wheel_probe_parity() {
     // mem_latency >= 2 routes memory responses through the timing wheel.

@@ -81,7 +81,7 @@ impl IpcHistogram {
 }
 
 /// A cumulative distribution function: sorted `(value, P[X <= value])` pairs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Cdf {
     points: Vec<(f64, f64)>,
 }

@@ -23,6 +23,9 @@
 //!   JSON exporter.
 //! * [`profile`] — the per-node aggregating profiler sink producing
 //!   [`profile::NodeProfile`] tables and per-block stall heatmaps.
+//! * [`locality`] — the working-set/reuse tracker sink: exact peak/mean
+//!   live lines, per-block footprints, and an LRU reuse-distance CDF from
+//!   the [`probe::ProbeEvent::MemAccess`] stream.
 //! * [`json`] — the dependency-free JSON value/parser the trace exporter
 //!   and its validation are built on.
 //!
@@ -45,12 +48,14 @@ pub mod ascii;
 pub mod cdf;
 pub mod csv;
 pub mod json;
+pub mod locality;
 pub mod probe;
 pub mod profile;
 pub mod summary;
 pub mod trace;
 
 pub use cdf::{Cdf, IpcHistogram};
+pub use locality::{WorkingSet, WorkingSetReport};
 pub use probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 pub use profile::{NodeProfile, NodeProfiler, ProfileReport};
 pub use summary::{gmean, mean, speedup, Summary};

@@ -1,0 +1,346 @@
+//! The dynamic working-set / reuse tracker sink.
+//!
+//! [`WorkingSet`] implements [`Probe`] and folds the
+//! [`ProbeEvent::MemAccess`] stream into a [`WorkingSetReport`]: exact peak
+//! and mean *live lines* (a line is live from its first to its last access),
+//! per-block footprints (distinct lines touched by each concurrent block's
+//! nodes), and an LRU reuse-distance CDF. It is the dynamic half of the
+//! locality story: the static W-pass in `tyr-verify` predicts bounds on
+//! these quantities from graph shape, and `repro verify` checks that every
+//! static bound dominates the observation here.
+//!
+//! Addresses are grouped into cache lines of [`WorkingSet::DEFAULT_LINE_WORDS`]
+//! words (configurable with [`WorkingSet::with_line_words`]); line 0 exists —
+//! the memory image's guard word lives there — but kernels never touch it.
+//! The tracker tolerates the `ooo` engine's non-monotone issue cycles by
+//! keeping per-line min/max access cycles rather than assuming order.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::ascii;
+use crate::cdf::Cdf;
+use crate::probe::{Probe, ProbeEvent};
+
+/// First/last access cycle and access count of one line.
+#[derive(Debug, Clone, Copy)]
+struct LineInfo {
+    first: u64,
+    last: u64,
+}
+
+/// Distinct lines and access count attributed to one concurrent block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockFootprint {
+    /// Block id.
+    pub block: u32,
+    /// Block name (empty blocks render as `block<N>`).
+    pub name: String,
+    /// Distinct lines touched by the block's nodes.
+    pub lines: u64,
+    /// Total accesses issued by the block's nodes.
+    pub accesses: u64,
+}
+
+/// The tracker's end-of-run output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkingSetReport {
+    /// Words per line used to bucket addresses.
+    pub line_words: u64,
+    /// Architectural loads observed.
+    pub loads: u64,
+    /// Architectural stores observed (`store` and `store_add`).
+    pub stores: u64,
+    /// Total distinct lines touched — the run's whole memory footprint.
+    pub distinct_lines: u64,
+    /// Peak number of simultaneously live lines (live = between first and
+    /// last access), the dynamic analogue of the W001/W002 bounds.
+    pub peak_live_lines: u64,
+    /// Mean live lines over the run's cycles.
+    pub mean_live_lines: f64,
+    /// Per-block footprints, in block order.
+    pub blocks: Vec<BlockFootprint>,
+    /// LRU reuse-distance CDF over *reuses* (cold misses excluded; their
+    /// count is exactly [`WorkingSetReport::distinct_lines`]).
+    pub reuse: Cdf,
+}
+
+impl WorkingSetReport {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Renders the working-set summary, per-block footprint chart, and
+    /// reuse-distance quantiles.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("working set (line = {} words)\n", self.line_words));
+        out.push_str(&format!(
+            "  accesses: {} loads, {} stores; footprint {} line(s) ({} words)\n",
+            ascii::fmt_count(self.loads as f64),
+            ascii::fmt_count(self.stores as f64),
+            self.distinct_lines,
+            self.distinct_lines * self.line_words,
+        ));
+        out.push_str(&format!(
+            "  live lines: peak {}, mean {:.1}\n",
+            self.peak_live_lines, self.mean_live_lines
+        ));
+        let q = |p: f64| {
+            self.reuse.quantile(p).map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into())
+        };
+        out.push_str(&format!(
+            "  reuse distance (lines, LRU): p50 {} p90 {} p99 {}; {} cold miss(es)\n",
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            self.distinct_lines
+        ));
+        let rows: Vec<(String, f64)> = self
+            .blocks
+            .iter()
+            .filter(|b| b.lines > 0)
+            .map(|b| (b.name.clone(), b.lines as f64))
+            .collect();
+        if !rows.is_empty() {
+            out.push_str(&ascii::bar_chart("footprint per block (lines)", &rows, width, false));
+        }
+        out
+    }
+}
+
+/// The working-set tracker. Feed it to an engine's `with_probe` constructor
+/// (by `&mut`), then call [`WorkingSet::report`] with the run's final cycle.
+///
+/// # Example
+///
+/// ```
+/// use tyr_stats::locality::WorkingSet;
+/// use tyr_stats::probe::{Probe, ProbeEvent};
+///
+/// let mut ws = WorkingSet::new();
+/// ws.declare_block(0, "main");
+/// ws.declare_node(3, "load a", 0);
+/// ws.event(0, ProbeEvent::MemAccess { node: 3, addr: 1, write: false });
+/// ws.event(1, ProbeEvent::MemAccess { node: 3, addr: 2, write: false }); // same line
+/// ws.event(2, ProbeEvent::MemAccess { node: 3, addr: 64, write: true });
+/// let r = ws.report(3);
+/// assert_eq!((r.loads, r.stores, r.distinct_lines), (2, 1, 2));
+/// ```
+#[derive(Debug)]
+pub struct WorkingSet {
+    line_words: u64,
+    node_block: HashMap<u32, u32>,
+    block_names: BTreeMap<u32, String>,
+    lines: HashMap<i64, LineInfo>,
+    block_lines: BTreeMap<u32, std::collections::HashSet<i64>>,
+    block_accesses: BTreeMap<u32, u64>,
+    /// LRU stack of lines, most recent first. Linear scans keep the tracker
+    /// simple; the cost is O(accesses × resident lines), fine at the scales
+    /// the probed subcommands run at (the zero-cost `NoProbe` path is what
+    /// paper-scale sweeps use).
+    lru: Vec<i64>,
+    distances: Vec<f64>,
+    loads: u64,
+    stores: u64,
+}
+
+impl Default for WorkingSet {
+    fn default() -> Self {
+        WorkingSet::new()
+    }
+}
+
+impl WorkingSet {
+    /// Default line size: 8 words = 64 bytes of i64s, the conventional
+    /// cache-line size.
+    pub const DEFAULT_LINE_WORDS: u64 = 8;
+
+    /// Creates a tracker with the default line size.
+    pub fn new() -> Self {
+        WorkingSet {
+            line_words: Self::DEFAULT_LINE_WORDS,
+            node_block: HashMap::new(),
+            block_names: BTreeMap::new(),
+            lines: HashMap::new(),
+            block_lines: BTreeMap::new(),
+            block_accesses: BTreeMap::new(),
+            lru: Vec::new(),
+            distances: Vec::new(),
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Sets the line size in words (clamped to at least 1).
+    pub fn with_line_words(mut self, words: u64) -> Self {
+        self.line_words = words.max(1);
+        self
+    }
+
+    /// Folds the access stream into a [`WorkingSetReport`]. `final_cycle`
+    /// bounds the mean-live-lines denominator (a line is live from its first
+    /// to its last access cycle).
+    pub fn report(self, final_cycle: u64) -> WorkingSetReport {
+        // Peak live lines by interval sweep: +1 at first access, -1 just
+        // after the last.
+        let mut events: Vec<(u64, i64)> = Vec::with_capacity(self.lines.len() * 2);
+        let mut live_cycles = 0u128;
+        for info in self.lines.values() {
+            events.push((info.first, 1));
+            events.push((info.last + 1, -1));
+            live_cycles += (info.last - info.first + 1) as u128;
+        }
+        events.sort_unstable();
+        let (mut cur, mut peak) = (0i64, 0i64);
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        let blocks = self
+            .block_names
+            .iter()
+            .map(|(&block, name)| BlockFootprint {
+                block,
+                name: if name.is_empty() { format!("block{block}") } else { name.clone() },
+                lines: self.block_lines.get(&block).map_or(0, |s| s.len() as u64),
+                accesses: self.block_accesses.get(&block).copied().unwrap_or(0),
+            })
+            .collect();
+        WorkingSetReport {
+            line_words: self.line_words,
+            loads: self.loads,
+            stores: self.stores,
+            distinct_lines: self.lines.len() as u64,
+            peak_live_lines: peak.max(0) as u64,
+            mean_live_lines: live_cycles as f64 / final_cycle.max(1) as f64,
+            blocks,
+            reuse: Cdf::from_samples(self.distances),
+        }
+    }
+}
+
+impl Probe for WorkingSet {
+    fn declare_block(&mut self, block: u32, name: &str) {
+        self.block_names.insert(block, name.to_string());
+    }
+
+    fn declare_node(&mut self, node: u32, _label: &str, block: u32) {
+        self.node_block.insert(node, block);
+        self.block_names.entry(block).or_default();
+    }
+
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        let ProbeEvent::MemAccess { node, addr, write } = ev else { return };
+        if write {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+        let line = addr.div_euclid(self.line_words as i64);
+        match self.lines.get_mut(&line) {
+            Some(info) => {
+                info.first = info.first.min(cycle);
+                info.last = info.last.max(cycle);
+            }
+            None => {
+                self.lines.insert(line, LineInfo { first: cycle, last: cycle });
+            }
+        }
+        let block = self.node_block.get(&node).copied().unwrap_or(0);
+        self.block_lines.entry(block).or_default().insert(line);
+        *self.block_accesses.entry(block).or_insert(0) += 1;
+        // LRU stack distance: position of the line before this access. A
+        // cold miss records nothing; cold misses are counted exactly by
+        // `distinct_lines`.
+        if let Some(p) = self.lru.iter().position(|&l| l == line) {
+            self.distances.push(p as f64);
+            self.lru.remove(p);
+        }
+        self.lru.insert(0, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(ws: &mut WorkingSet, cycle: u64, node: u32, addr: i64, write: bool) {
+        ws.event(cycle, ProbeEvent::MemAccess { node, addr, write });
+    }
+
+    #[test]
+    fn counts_and_footprint() {
+        let mut ws = WorkingSet::new();
+        ws.declare_block(0, "main");
+        ws.declare_block(1, "loop");
+        ws.declare_node(0, "load", 0);
+        ws.declare_node(1, "store", 1);
+        access(&mut ws, 0, 0, 0, false);
+        access(&mut ws, 1, 0, 7, false); // same line as addr 0
+        access(&mut ws, 2, 1, 8, true); // next line
+        access(&mut ws, 3, 1, 800, true);
+        let r = ws.report(4);
+        assert_eq!((r.loads, r.stores), (2, 2));
+        assert_eq!(r.accesses(), 4);
+        assert_eq!(r.distinct_lines, 3);
+        let main = r.blocks.iter().find(|b| b.name == "main").unwrap();
+        assert_eq!((main.lines, main.accesses), (1, 2));
+        let looped = r.blocks.iter().find(|b| b.name == "loop").unwrap();
+        assert_eq!((looped.lines, looped.accesses), (2, 2));
+        assert!(r.render(40).contains("footprint 3 line(s)"));
+    }
+
+    #[test]
+    fn live_lines_peak_and_mean() {
+        let mut ws = WorkingSet::new();
+        ws.declare_node(0, "n", 0);
+        // Line A live cycles 0..=3, line B live 2..=2: peak overlap 2.
+        access(&mut ws, 0, 0, 0, false);
+        access(&mut ws, 3, 0, 0, false);
+        access(&mut ws, 2, 0, 64, true);
+        let r = ws.report(4);
+        assert_eq!(r.peak_live_lines, 2);
+        // (4 + 1) live line-cycles over 4 cycles.
+        assert!((r.mean_live_lines - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_distance_is_lru_stack_depth() {
+        let mut ws = WorkingSet::new();
+        ws.declare_node(0, "n", 0);
+        // Touch lines 0, 1, 2 (all cold), then line 0 again: two lines in
+        // between, so the reuse lands at LRU depth 2.
+        for (cycle, addr) in [(0u64, 0i64), (1, 8), (2, 16), (3, 0)] {
+            access(&mut ws, cycle, 0, addr, false);
+        }
+        let r = ws.report(5);
+        // One reuse at distance 2 (lines 1 and 2 were touched since line 0).
+        assert_eq!(r.reuse.points().len(), 1);
+        assert_eq!(r.reuse.quantile(1.0), Some(2.0));
+        assert_eq!(r.distinct_lines, 3);
+    }
+
+    #[test]
+    fn tolerates_non_monotone_cycles() {
+        let mut ws = WorkingSet::new();
+        ws.declare_node(0, "n", 0);
+        access(&mut ws, 10, 0, 0, false);
+        access(&mut ws, 2, 0, 0, false); // ooo issue cycle stepping back
+        let r = ws.report(12);
+        assert_eq!(r.distinct_lines, 1);
+        assert_eq!(r.peak_live_lines, 1);
+        assert!((r.mean_live_lines - 9.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_addresses_bucket_cleanly() {
+        // div_euclid keeps adjacent negative addresses in one line instead
+        // of straddling zero.
+        let mut ws = WorkingSet::new();
+        access(&mut ws, 0, 0, -1, false);
+        access(&mut ws, 1, 0, -8, false);
+        let r = ws.report(2);
+        assert_eq!(r.distinct_lines, 1);
+    }
+}

@@ -214,6 +214,20 @@ pub enum ProbeEvent {
         /// The fault class.
         kind: FaultKind,
     },
+    /// `node` touched memory word `addr`. Emitted exactly once per
+    /// architectural `load` / `store` / `store_add` (a `store_add` is one
+    /// write: its read-modify-write is atomic in every engine), so a
+    /// counting sink can check probe parity against the engine's own
+    /// load/store counters. Feeds the [`crate::locality`] working-set sink.
+    MemAccess {
+        /// Node performing the access (0 for the interpreter-backed vN/OoO
+        /// engines, which have no spatial structure).
+        node: u32,
+        /// Absolute word address in the flat memory image.
+        addr: i64,
+        /// `true` for `store` / `store_add`, `false` for `load`.
+        write: bool,
+    },
 }
 
 /// The event taxonomy, for coverage validation (the CI gate checks that a
@@ -242,11 +256,13 @@ pub enum EventKind {
     StallEnd,
     /// [`ProbeEvent::FaultInjected`].
     FaultInjected,
+    /// [`ProbeEvent::MemAccess`].
+    MemAccess,
 }
 
 impl EventKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::Fired,
         EventKind::Produced,
         EventKind::Consumed,
@@ -258,6 +274,7 @@ impl EventKind {
         EventKind::StallBegin,
         EventKind::StallEnd,
         EventKind::FaultInjected,
+        EventKind::MemAccess,
     ];
 
     /// Stable name used in trace JSON (`otherData.eventKinds`) and CI
@@ -275,6 +292,7 @@ impl EventKind {
             EventKind::StallBegin => "stall-begin",
             EventKind::StallEnd => "stall-end",
             EventKind::FaultInjected => "fault-injected",
+            EventKind::MemAccess => "mem-access",
         }
     }
 
@@ -299,6 +317,7 @@ impl ProbeEvent {
             ProbeEvent::StallBegin { .. } => EventKind::StallBegin,
             ProbeEvent::StallEnd { .. } => EventKind::StallEnd,
             ProbeEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            ProbeEvent::MemAccess { .. } => EventKind::MemAccess,
         }
     }
 }
@@ -698,6 +717,16 @@ impl Probe for ChromeTrace {
                 let pid = self.node_block.get(&node).copied().unwrap_or(0);
                 self.instant(cycle, "fault", kind.label(), pid, &format!("{{\"node\":{node}}}"));
             }
+            ProbeEvent::MemAccess { node, addr, write } => {
+                let pid = self.node_block.get(&node).copied().unwrap_or(0);
+                self.instant(
+                    cycle,
+                    "mem",
+                    if write { "store" } else { "load" },
+                    pid,
+                    &format!("{{\"node\":{node},\"addr\":{addr}}}"),
+                );
+            }
         }
     }
 }
@@ -725,6 +754,7 @@ mod tests {
         t.event(7, ProbeEvent::BlockExit { block: 1, tag: 3 });
         t.event(8, ProbeEvent::TagChanged { node: 1, from: 3, to: 0 });
         t.event(8, ProbeEvent::FaultInjected { node: 1, kind: FaultKind::TokenCorrupt });
+        t.event(8, ProbeEvent::MemAccess { node: 0, addr: 64, write: false });
         // Left open: must be closed by render() at the final cycle.
         t.event(9, ProbeEvent::StallBegin { node: 0, tag: 0, reason: StallReason::PartialMatch });
         t.render(12)

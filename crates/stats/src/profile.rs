@@ -65,6 +65,9 @@ pub struct ProfileReport {
     pub blocks: Vec<BlockProfile>,
     /// The run's final cycle (completion or deadlock cycle).
     pub total_cycles: u64,
+    /// Working-set summary, when a [`crate::locality::WorkingSet`] sink rode
+    /// on the same run (see [`ProfileReport::with_working_set`]).
+    pub working_set: Option<crate::locality::WorkingSetReport>,
 }
 
 /// The header used by [`ProfileReport::to_csv`] / [`ProfileReport::nodes_from_csv`].
@@ -83,6 +86,13 @@ const CSV_HEADER: [&str; 9] = [
 const CSV_LAST: &str = "stall_back_pressure";
 
 impl ProfileReport {
+    /// Attaches a working-set report from a locality tracker that observed
+    /// the same run.
+    pub fn with_working_set(mut self, ws: crate::locality::WorkingSetReport) -> Self {
+        self.working_set = Some(ws);
+        self
+    }
+
     /// Total fires across all nodes (equals the engine's `dyn_instrs`).
     pub fn total_fires(&self) -> u64 {
         self.nodes.iter().map(|n| n.fires).sum()
@@ -173,13 +183,18 @@ impl ProfileReport {
         ascii::heatmap("stalled activations per block over time", &rows, width)
     }
 
-    /// Renders the full profile: hot nodes, stall attribution, heatmap.
+    /// Renders the full profile: hot nodes, stall attribution, heatmap, and
+    /// the working-set summary when one is attached.
     pub fn render(&self, top: usize, width: usize) -> String {
         let mut out = self.hot_table(top);
         out.push('\n');
         out.push_str(&self.stall_table(top));
         out.push('\n');
         out.push_str(&self.heatmap(width));
+        if let Some(ws) = &self.working_set {
+            out.push('\n');
+            out.push_str(&ws.render(width));
+        }
         out
     }
 
@@ -361,7 +376,7 @@ impl NodeProfiler {
                 stalled,
             })
             .collect();
-        ProfileReport { nodes, blocks, total_cycles: final_cycle }
+        ProfileReport { nodes, blocks, total_cycles: final_cycle, working_set: None }
     }
 }
 
@@ -422,7 +437,8 @@ impl Probe for NodeProfiler {
             | ProbeEvent::TagChanged { .. }
             | ProbeEvent::BlockEnter { .. }
             | ProbeEvent::BlockExit { .. }
-            | ProbeEvent::FaultInjected { .. } => {}
+            | ProbeEvent::FaultInjected { .. }
+            | ProbeEvent::MemAccess { .. } => {}
         }
     }
 }

@@ -22,10 +22,12 @@
 //!
 //! Clients: the index-set analysis ([`indexset`]) behind the sharpened race
 //! pass, the ordered-channel occupancy analysis ([`occupancy`]) behind the
-//! `O…` diagnostics, and the race pass itself
+//! `O…` diagnostics, the working-set footprint analysis ([`footprint`])
+//! behind the `W…` locality bounds, and the race pass itself
 //! ([`check_races`](crate::passes::check_races)), whose segment-mask
 //! propagation is the pointer component of the index-set domain.
 
+pub mod footprint;
 pub mod indexset;
 pub mod occupancy;
 pub mod si;

@@ -89,6 +89,29 @@ pub enum Code {
     /// the allocated tag can never be recycled.
     AllocNoFree,
 
+    // Working-set pass (static locality bounds).
+    /// Per-block peak live-state bound: the block's token-store capacity per
+    /// context times its concurrent-instance bound under the tag policy.
+    /// Reported for every block so the locality claim is auditable; an
+    /// unbounded instance count (unbounded tag pool) is still a note — it
+    /// states the bound is infinite, which is the honest verdict.
+    BlockLiveState,
+    /// Per-block-instance memory footprint from the strided-interval
+    /// index-set analysis, widened into per-segment address intervals.
+    /// Reported as a note with the bound in words/lines per block; raised to
+    /// a warning when an access's address has no segment provenance, so the
+    /// block's footprint scales with the input (the offending load/store is
+    /// the witness).
+    FootprintBound,
+    /// The paper's headline locality verdict, decided statically: the peak
+    /// live-state bound under local tag spaces versus a bounded global pool
+    /// versus the ordered elaboration, with the shrink ratio.
+    ElaborationComparison,
+    /// Per-edge token residency for ordered lowerings: total recommended
+    /// FIFO occupancy from the O-pass, with the most imbalanced port as
+    /// witness.
+    EdgeResidency,
+
     // Translation validation.
     /// A lowered graph's simulation produced different returns or memory
     /// than the reference interpreter.
@@ -102,7 +125,7 @@ pub enum Code {
 impl Code {
     /// Every diagnostic code, in pass order. The registry tests iterate
     /// this to assert uniqueness, stability, and documentation coverage.
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 26] = [
         Code::BadBlock,
         Code::NoWiredInputs,
         Code::BadSpace,
@@ -122,6 +145,10 @@ impl Code {
         Code::DanglingOutput,
         Code::UnreachableNode,
         Code::AllocNoFree,
+        Code::BlockLiveState,
+        Code::FootprintBound,
+        Code::ElaborationComparison,
+        Code::EdgeResidency,
         Code::TvDivergence,
         Code::TvFault,
         Code::TvDeadlock,
@@ -149,6 +176,10 @@ impl Code {
             Code::DanglingOutput => "L001",
             Code::UnreachableNode => "L002",
             Code::AllocNoFree => "L003",
+            Code::BlockLiveState => "W001",
+            Code::FootprintBound => "W002",
+            Code::ElaborationComparison => "W003",
+            Code::EdgeResidency => "W004",
             Code::TvDivergence => "X001",
             Code::TvFault => "X002",
             Code::TvDeadlock => "X003",
@@ -176,6 +207,13 @@ impl Code {
             Code::DanglingOutput => Severity::Note,
             // Zero slack everywhere is safe, just worth knowing.
             Code::ChannelAtMinimum => Severity::Note,
+            // The working-set pass reports *bounds*, not violations. The
+            // footprint pass raises individual findings to Warning in place
+            // when an address has no provenance (input-scaled footprint).
+            Code::BlockLiveState
+            | Code::FootprintBound
+            | Code::ElaborationComparison
+            | Code::EdgeResidency => Severity::Note,
             _ => Severity::Error,
         }
     }

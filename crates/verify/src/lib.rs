@@ -22,6 +22,12 @@
 //!   predict back-pressure deadlock before anything runs;
 //! * **lifecycle lints** (`L…`) — dangling outputs, unreachable nodes,
 //!   allocates whose tags can never be recycled;
+//! * **working sets** (`W…`) — static peak-live-state bounds per block
+//!   under a tag policy, per-instance memory footprints from the
+//!   index-set analysis, the tagged-local vs tagged-global vs ordered
+//!   elaboration comparison (the paper's locality headline), and per-edge
+//!   token residency — each cross-validated against the dynamic reuse
+//!   tracker in `tyr-stats`;
 //! * **translation validation** (`X…`, [`tv`]) — every lowering replayed
 //!   against the reference interpreter on concrete inputs.
 //!
@@ -42,11 +48,14 @@ pub mod diag;
 pub mod passes;
 pub mod tv;
 
+pub use absint::footprint::{analyze_footprint, BlockFootprint, FootprintAnalysis};
 pub use absint::occupancy::{analyze_channel_depths, check_channel_capacity, ChannelDepths};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use passes::{
-    analyze_tag_demand, check_barrier_coverage, check_lints, check_races, check_structure,
-    check_tag_policy, predict_global, GlobalPrediction, TagDemand,
+    analyze_live_state, analyze_tag_demand, check_barrier_coverage, check_edge_residency,
+    check_footprint, check_lints, check_live_state, check_races, check_structure, check_tag_policy,
+    compare_elaborations, predict_global, ElaborationBounds, GlobalPrediction, LiveStateBound,
+    TagDemand,
 };
 pub use tv::validate_translations;
 
@@ -84,9 +93,11 @@ pub fn verify_with(
     report.extend(check_lints(dfg));
     if let Some(p) = policy {
         report.extend(check_tag_policy(dfg, p));
+        report.extend(check_live_state(dfg, p));
     }
     if let Some((mem, args)) = memory {
         report.extend(check_races(dfg, mem, args));
+        report.extend(check_footprint(dfg, mem, args));
     }
     report
 }
@@ -109,8 +120,10 @@ pub fn verify_ordered(
     report.extend(check_barrier_coverage(dfg));
     report.extend(check_lints(dfg));
     report.extend(check_channel_capacity(dfg, caps));
+    report.extend(check_edge_residency(dfg));
     if let Some((mem, args)) = memory {
         report.extend(check_races(dfg, mem, args));
+        report.extend(check_footprint(dfg, mem, args));
     }
     report
 }

@@ -13,12 +13,18 @@ mod lints;
 mod races;
 mod structure;
 mod tags;
+mod workingset;
 
 pub use barrier::check_barrier_coverage;
 pub use lints::check_lints;
 pub use races::check_races;
 pub use structure::check_structure;
 pub use tags::{analyze_tag_demand, check_tag_policy, predict_global, GlobalPrediction, TagDemand};
+pub use workingset::{
+    analyze_live_state, check_edge_residency, check_footprint, check_live_state,
+    compare_elaborations, footprint_diags, ordered_live_bound, BlockLiveBound, ElaborationBounds,
+    Instances, LiveStateBound,
+};
 
 use tyr_dfg::{Dfg, InKind, NodeId, NodeKind, PortRef};
 

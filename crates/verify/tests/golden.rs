@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
 use tyr_sim::tagged::TagPolicy;
-use tyr_verify::{check_races, verify_with};
+use tyr_verify::{analyze_footprint, analyze_live_state, check_races, verify_with};
 use tyr_workloads::{by_name, suite, Scale};
 
 /// Seed for the workload generator; must stay fixed or every snapshot
@@ -90,6 +90,36 @@ fn race_pass_is_fast_on_the_largest_kernel() {
         elapsed.as_secs_f64() < 5.0,
         "{reps} race passes over {} ({} nodes) took {elapsed:?} — \
          the per-query producer scan has regressed",
+        w.name,
+        dfg.nodes.len(),
+    );
+}
+
+/// Same complexity guard for the working-set pass: one index-set fixpoint
+/// plus linear post-processing per run. A regression to per-access fixpoints
+/// or per-block graph rescans would blow this budget in a debug build.
+#[test]
+fn workingset_pass_is_fast_on_the_largest_kernel() {
+    let kernels = suite(Scale::Tiny, SEED);
+    let (w, dfg) = kernels
+        .iter()
+        .map(|w| (w, lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap()))
+        .max_by_key(|(_, d)| d.nodes.len())
+        .unwrap();
+    let policy = TagPolicy::local(2);
+    let start = Instant::now();
+    let reps = 25;
+    for _ in 0..reps {
+        let live = analyze_live_state(&dfg, &policy);
+        assert!(live.total().is_some(), "{}: live-state bound should be finite", w.name);
+        let fp = analyze_footprint(&dfg, &w.memory, &w.args);
+        assert!(!fp.per_block.is_empty(), "{}: kernel touches memory", w.name);
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "{reps} working-set passes over {} ({} nodes) took {elapsed:?} — \
+         the pass has regressed from one fixpoint per run",
         w.name,
         dfg.nodes.len(),
     );

@@ -31,7 +31,14 @@ fn all_kernels_verify_clean_under_every_tagged_lowering() {
                 policy.as_ref(),
                 Some((&w.memory, &w.args)),
             );
-            assert!(report.diags.is_empty(), "expected a spotless report:\n{}", report.render());
+            // The W-pass always contributes informational working-set notes;
+            // "clean" means no errors and no warnings.
+            assert_eq!(
+                report.errors() + report.warnings(),
+                0,
+                "expected a spotless report:\n{}",
+                report.render()
+            );
         }
     }
 }
