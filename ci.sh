@@ -41,6 +41,16 @@ rm -rf "$trace_dir"
 for engine in tyr ordered seqdf seqvn ooo; do
   target/release/repro --scale tiny locality dmv "$engine"
 done
+# Shard gate (DESIGN.md §5.2): run `repro shard` on one kernel per engine
+# family that has a graph to cut — each run certifies a 4-shard plan
+# (P001-P004), attaches the crossing tracker, and exits nonzero on a
+# P-error, an observed boundary peak above its static bound, or a runtime
+# cross-shard conflict contradicting a proven-disjoint claim. (The
+# suite-wide matrix runs inside `repro verify`; the fuzz sweep adds the
+# generated-program certificate leg.)
+for engine in tyr tagged-global-bounded unordered ordered; do
+  target/release/repro --scale tiny shard dmv "$engine" --shards 4
+done
 # Perf-baseline gate: generate a quick (tiny-scale) suite baseline on the
 # 2-thread sweep pool and validate the emitted JSON against the
 # tyr-bench-suite/v1 schema, then validate the committed baseline too —

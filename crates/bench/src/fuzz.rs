@@ -39,7 +39,8 @@ use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
 use tyr_sim::{CancelToken, FaultKind, FaultPlan, Outcome, RunResult, Watchdog};
 use tyr_stats::locality::WorkingSet;
-use tyr_verify::{analyze_footprint, analyze_live_state};
+use tyr_stats::shard::{ShardCrossings, ShardSpec};
+use tyr_verify::{analyze_footprint, analyze_live_state, verify_shards, ShardBudget};
 use tyr_workloads::gen::{GenCase, Recipe};
 use tyr_workloads::{by_name, APP_NAMES};
 
@@ -307,6 +308,95 @@ pub fn wbound_violation(recipe: &Recipe, dog: Watchdog) -> Option<String> {
     None
 }
 
+/// Shard count and partition seed the fuzz sweep certifies every generated
+/// program against. Fixed so a seed's witness is reproducible.
+pub const FUZZ_SHARDS: usize = 4;
+/// Partition seed for [`shard_violation`].
+pub const FUZZ_SHARD_SEED: u64 = 5;
+
+/// Checks the P-pass soundness contract on one generated recipe: the
+/// certified shard plan must be internally consistent (every undecided
+/// memory pair actually co-located, every live cut edge derivable — no
+/// P003 error), every per-shard static in-flight bound must dominate the
+/// crossing tracker's observed peak, and no runtime cross-shard word
+/// conflict may contradict a P001 disjointness claim. Returns a description
+/// of the first violation, or `None` when the certificate held.
+///
+/// P001 *collision* errors are not violations: a generated program with a
+/// provable cross-block race is the analysis working, not the plan lying —
+/// and such a pair is never claimed disjoint, so the dynamic side stays
+/// consistent. Lowering errors, engine faults, and incomplete runs return
+/// `None`, as in [`wbound_violation`].
+pub fn shard_violation(recipe: &Recipe, dog: Watchdog) -> Option<String> {
+    let case = recipe.materialize();
+    let Ok(dfg) = lower_tagged(&case.program, TaggingDiscipline::Tyr) else { return None };
+    let policy = TagPolicy::local(64);
+    let (cert, report) = verify_shards(
+        "fuzz",
+        &dfg,
+        FUZZ_SHARDS,
+        FUZZ_SHARD_SEED,
+        Some(ShardBudget::Tagged(&policy)),
+        Some((&case.memory, &case.args)),
+    );
+    let claims = cert.mem.as_ref().expect("memory context was supplied");
+    for &(a, b) in &claims.undecided {
+        if cert.plan.shard_of(a) != cert.plan.shard_of(b) {
+            return Some(format!("P001: undecided pair {a}+{b} was split across shards"));
+        }
+    }
+    if report.diags.iter().any(|d| {
+        d.severity == tyr_verify::Severity::Error && d.code == tyr_verify::Code::ShardProgress
+    }) {
+        return Some("P003: a live cut edge is not derivable from the source frontier".into());
+    }
+
+    let mut sc = ShardCrossings::new(ShardSpec {
+        shards: cert.plan.shards as u32,
+        node_shard: cert.node_shard.clone(),
+        boundary: cert.boundary.clone(),
+        plain_store: cert.plain_store.clone(),
+        node_block: dfg.nodes.iter().map(|n| n.block.0).collect(),
+    });
+    let c = TaggedConfig {
+        issue_width: 64,
+        tag_policy: policy,
+        args: case.args.clone(),
+        max_cycles: u64::MAX,
+        watchdog: dog,
+        ..TaggedConfig::default()
+    };
+    let r = match TaggedEngine::with_probe(&dfg, case.memory.clone(), c, &mut sc).run() {
+        Ok(r) => r,
+        Err(_) => return None,
+    };
+    if !r.is_complete() {
+        return None;
+    }
+    let observed = sc.report();
+    for f in &observed.per_shard {
+        if let Some(b) = cert.shard_inflight.get(f.shard as usize).copied().flatten() {
+            if b < f.peak_inflight {
+                return Some(format!(
+                    "P004 shard {}: static in-flight bound {b} < observed peak {}",
+                    f.shard, f.peak_inflight
+                ));
+            }
+        }
+    }
+    let shard_of = |b: u32| cert.plan.shard_of(tyr_dfg::BlockId(b));
+    for c in observed.cross_shard_conflicts(shard_of) {
+        let pair = (tyr_dfg::BlockId(c.block_a), tyr_dfg::BlockId(c.block_b));
+        if claims.disjoint.contains(&pair) {
+            return Some(format!(
+                "P001: claimed-disjoint pair cb{}+cb{} both touched word {} at runtime",
+                c.block_a, c.block_b, c.addr
+            ));
+        }
+    }
+    None
+}
+
 /// Greedy deterministic shrinking: repeatedly replace the recipe with its
 /// first still-`failing` shrink candidate until no candidate fails. Because
 /// [`Recipe::shrink_candidates`] enumerates edits in a fixed order and each
@@ -538,6 +628,28 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
         failures.push(format!("seed {seed}: unsound working-set bound ({why})"));
     }
 
+    // Sweep 1c: shard soundness — the certified shard plan must hold up
+    // against the dynamic crossing tracker on every generated program.
+    let sseeds: Vec<(String, u64)> =
+        (0..opts.seeds).map(|s| (format!("shard seed {s}"), s)).collect();
+    let sresults: Vec<(u64, Option<String>)> =
+        pool::parallel_map_labeled(opts.jobs, sseeds, |seed| {
+            let recipe = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
+            (seed, shard_violation(&recipe, dog(&cancel)))
+        });
+    let broken: Vec<(u64, &str)> =
+        sresults.iter().filter_map(|(s, v)| v.as_deref().map(|v| (*s, v))).collect();
+    println!("  shard-bounds: {} seeds, {} violated certificate(s)", opts.seeds, broken.len());
+    for (seed, why) in broken {
+        let original = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
+        let fails = |r: &Recipe| {
+            shard_violation(r, Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET)).is_some()
+        };
+        let shrunk = shrink(&original, fails);
+        println!("{}", render_witness(seed, &original, &shrunk, why));
+        failures.push(format!("seed {seed}: violated shard certificate ({why})"));
+    }
+
     // Sweep 2: chaos — every plan class against a rotating fault target.
     // Seeds whose oracle failed in sweep 1 (already reported) are skipped.
     let bad_seeds: std::collections::BTreeSet<u64> =
@@ -641,7 +753,7 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
     if failures.is_empty() {
         println!(
             "  fuzz: OK ({} seeds; no unfaulted disagreement, every static W bound sound, \
-             every fault class attributed)",
+             every shard certificate held, every fault class attributed)",
             opts.seeds
         );
         Ok(())
@@ -787,6 +899,17 @@ mod tests {
             let recipe = Recipe::generate(seed, 12);
             let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
             assert_eq!(wbound_violation(&recipe, dog), None, "seed {seed}");
+        }
+    }
+
+    /// The shard certificates hold on a spread of generated programs — the
+    /// fuzz sweep's shard leg invariant, in miniature.
+    #[test]
+    fn shard_certificates_hold_on_generated_programs() {
+        for seed in 0..40 {
+            let recipe = Recipe::generate(seed, 12);
+            let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+            assert_eq!(shard_violation(&recipe, dog), None, "seed {seed}");
         }
     }
 

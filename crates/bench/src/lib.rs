@@ -10,6 +10,7 @@ pub mod fuzz;
 pub mod locality;
 pub mod micro;
 pub mod pool;
+pub mod shard;
 pub mod trace;
 pub mod verify;
 

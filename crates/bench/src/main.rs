@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
-use tyr_bench::{bench_cmd, fuzz, locality, trace, verify};
+use tyr_bench::{bench_cmd, fuzz, locality, shard, trace, verify};
 use tyr_workloads::Scale;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--jobs N] [--csv DIR] [--out FILE] <command>...
@@ -27,6 +27,10 @@ commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig
           locality <kernel> <engine>
                                     (dynamic working-set/reuse report next to the static W-pass bounds;
                                      nonzero exit if any static bound is below the observation)
+          shard <kernel> <engine> [--shards K]
+                                    (certified K-shard plan (P001-P004) next to the dynamic crossing
+                                     tracker; engines: tyr|tagged tagged-global-bounded unordered ordered;
+                                     nonzero exit on P-errors, a beaten bound, or a contradicted claim)
           bench [--quick]           (suite perf baseline -> BENCH_suite.json, or --out FILE; --quick forces tiny scale)
           bench-check <file>        (validate a baseline file against the tyr-bench-suite/v1 schema)
           fuzz [--seeds N] [--faults PLAN] [--deadline-secs N] [--quick]
@@ -46,6 +50,7 @@ fn main() -> ExitCode {
     let mut fuzz_seeds: Option<u64> = None;
     let mut fuzz_faults: Option<String> = None;
     let mut fuzz_deadline: Option<u64> = None;
+    let mut shard_count: usize = shard::DEFAULT_SHARDS;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -88,6 +93,7 @@ fn main() -> ExitCode {
                 fuzz_seeds = Some(opt_value("--seeds").parse().expect("numeric seed count"))
             }
             "--faults" => fuzz_faults = Some(opt_value("--faults")),
+            "--shards" => shard_count = opt_value("--shards").parse().expect("numeric shard count"),
             "--deadline-secs" => {
                 fuzz_deadline =
                     Some(opt_value("--deadline-secs").parse().expect("numeric deadline"))
@@ -169,6 +175,18 @@ fn main() -> ExitCode {
                 };
                 if let Err(e) = locality::run(&ctx, kernel, engine) {
                     eprintln!("locality failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                i += 2;
+            }
+            // `shard` consumes the two following positional arguments.
+            "shard" => {
+                let (Some(kernel), Some(engine)) = (cmds.get(i + 1), cmds.get(i + 2)) else {
+                    eprintln!("shard needs <kernel> and <engine>\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = shard::run(&ctx, kernel, engine, shard_count) {
+                    eprintln!("shard failed: {e}");
                     return ExitCode::FAILURE;
                 }
                 i += 2;

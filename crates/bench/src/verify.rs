@@ -115,6 +115,7 @@ pub fn run(ctx: &Ctx) -> bool {
     errors += fig11_cross_validation(ctx);
     errors += ordered_cross_validation(ctx);
     errors += workingset_cross_validation(ctx);
+    errors += shard_cross_validation(ctx);
 
     println!("verify: {errors} error(s), {warnings} warning(s) across the suite");
     errors == 0
@@ -262,6 +263,86 @@ fn workingset_cross_validation(ctx: &Ctx) -> usize {
         );
     }
 
+    failures
+}
+
+/// The P-pass certificates against the dynamic crossing tracker: for every
+/// Table II kernel's TYR elaboration, a 4-shard plan must certify clean
+/// (no P-errors, a P003 progress summary present), and a real run with the
+/// [`ShardCrossings`](tyr_stats::shard::ShardCrossings) tracker attached
+/// must stay within every static bound — per-shard boundary in-flight
+/// peaks under the P004 bounds, and no runtime cross-shard word conflict
+/// contradicting a P001 disjointness claim.
+///
+/// Returns the number of violations (0 when every certificate held).
+fn shard_cross_validation(ctx: &Ctx) -> usize {
+    use tyr_dfg::BlockId;
+    use tyr_stats::shard::{ShardCrossings, ShardSpec};
+    use tyr_verify::{verify_shards, ShardBudget};
+
+    println!("-- shard cross-validation: P-pass certificates vs. dynamic crossing tracker --");
+    let mut failures = 0usize;
+    let mut check = |what: &str, ok: bool| {
+        println!("  {} {what}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    let policy = TagPolicy::local_with(ctx.cfg.tags, ctx.cfg.tag_overrides.clone());
+    for w in &suite(Scale::Tiny, ctx.seed) {
+        let dfg = match lower_tagged(&w.program, TaggingDiscipline::Tyr) {
+            Ok(d) => d,
+            Err(e) => {
+                check(&format!("{}: tyr lowering failed: {e}", w.name), false);
+                continue;
+            }
+        };
+        let (cert, report) = verify_shards(
+            format!("{}/shard", w.name),
+            &dfg,
+            crate::shard::DEFAULT_SHARDS,
+            ctx.seed,
+            Some(ShardBudget::Tagged(&policy)),
+            Some((&w.memory, &w.args)),
+        );
+        check(&format!("P001-P004: {} 4-shard plan certifies clean", w.name), report.errors() == 0);
+        check(
+            &format!("P003: {} progress summary present", w.name),
+            report.has(tyr_verify::Code::ShardProgress),
+        );
+
+        let mut sc = ShardCrossings::new(ShardSpec {
+            shards: cert.plan.shards as u32,
+            node_shard: cert.node_shard.clone(),
+            boundary: cert.boundary.clone(),
+            plain_store: cert.plain_store.clone(),
+            node_block: dfg.nodes.iter().map(|n| n.block.0).collect(),
+        });
+        let r = match trace::run_probed(ctx, w, "tyr", &mut sc) {
+            Ok(r) => r,
+            Err(e) => {
+                check(&format!("{}: {e}", w.name), false);
+                continue;
+            }
+        };
+        let observed = sc.report();
+        let bounds_ok = r.is_complete()
+            && observed.per_shard.iter().all(|f| {
+                cert.shard_inflight
+                    .get(f.shard as usize)
+                    .copied()
+                    .flatten()
+                    .is_none_or(|b| b >= f.peak_inflight)
+            });
+        check(&format!("P004: {} static crossing bounds dominate peaks", w.name), bounds_ok);
+        let claims = cert.mem.as_ref().expect("memory context was supplied");
+        let shard_of = |b: u32| cert.plan.shard_of(BlockId(b));
+        let contradicted = observed
+            .cross_shard_conflicts(shard_of)
+            .any(|c| claims.disjoint.contains(&(BlockId(c.block_a), BlockId(c.block_b))));
+        check(&format!("P001: {} disjointness claims uncontradicted", w.name), !contradicted);
+    }
     failures
 }
 

@@ -26,6 +26,10 @@
 //! * [`locality`] — the working-set/reuse tracker sink: exact peak/mean
 //!   live lines, per-block footprints, and an LRU reuse-distance CDF from
 //!   the [`probe::ProbeEvent::MemAccess`] stream.
+//! * [`shard`] — the shard-crossing tracker sink: per-shard delivered
+//!   tokens and peak boundary in-flight occupancy keyed by a static shard
+//!   plan, plus the per-word conflict detector that can falsify the
+//!   P-pass's cross-shard disjointness claims at runtime.
 //! * [`json`] — the dependency-free JSON value/parser the trace exporter
 //!   and its validation are built on.
 //!
@@ -51,6 +55,7 @@ pub mod json;
 pub mod locality;
 pub mod probe;
 pub mod profile;
+pub mod shard;
 pub mod summary;
 pub mod trace;
 
@@ -58,5 +63,6 @@ pub use cdf::{Cdf, IpcHistogram};
 pub use locality::{WorkingSet, WorkingSetReport};
 pub use probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 pub use profile::{NodeProfile, NodeProfiler, ProfileReport};
+pub use shard::{ShardCrossings, ShardCrossingsReport, ShardSpec};
 pub use summary::{gmean, mean, speedup, Summary};
 pub use trace::Trace;

@@ -1,0 +1,346 @@
+//! The dynamic shard-crossing tracker sink.
+//!
+//! [`ShardCrossings`] implements [`Probe`] and folds the produced/consumed
+//! token stream and the memory-access stream through a static shard plan
+//! ([`ShardSpec`], exported by `tyr-verify`'s P-pass): per shard, the
+//! cumulative tokens delivered across the cut and the **peak in-flight
+//! occupancy at boundary consumers** (produced − consumed over the nodes
+//! that receive cross-shard tokens — the dynamic analogue of the P004
+//! boundary live-state bound); plus a per-word conflict detector that
+//! records every block pair observed plain-storing and touching the same
+//! word, the runtime falsifier for P001 "proven disjoint" claims.
+//!
+//! The tracker is deliberately ignorant of `tyr-verify`: it is constructed
+//! from plain vectors so `tyr-stats` keeps its dependency surface (ir +
+//! nothing), and `repro shard` adapts a `ShardCertificate` into a
+//! [`ShardSpec`].
+//!
+//! Conflict tracking keys block sets as 64-bit masks: accesses from blocks
+//! with id ≥ 64 are not tracked (reported via
+//! [`ShardCrossingsReport::untracked_blocks`] so the gate can refuse to
+//! claim a clean run it did not fully observe).
+
+use std::collections::HashMap;
+
+use crate::probe::{Probe, ProbeEvent};
+
+/// The static shard plan tables the tracker folds events through.
+///
+/// All vectors are indexed by static node id; nodes beyond a vector's
+/// length are treated as shard 0 / not boundary / not a plain store.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSpec {
+    /// Number of shards in the plan.
+    pub shards: u32,
+    /// Per-node shard assignment.
+    pub node_shard: Vec<u32>,
+    /// Per-node flag: receives cross-shard tokens (boundary consumer).
+    pub boundary: Vec<bool>,
+    /// Per-node flag: plain `store` (not the commutative `storeAdd`).
+    pub plain_store: Vec<bool>,
+    /// Per-node concurrent-block id.
+    pub node_block: Vec<u32>,
+}
+
+/// One shard's dynamic crossing observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFlow {
+    /// The shard.
+    pub shard: u32,
+    /// Cumulative tokens delivered to the shard's boundary consumers.
+    pub delivered: u64,
+    /// Peak simultaneous occupancy (produced − consumed) over the shard's
+    /// boundary consumers.
+    pub peak_inflight: u64,
+}
+
+/// Two blocks observed touching the same word, at least one with a plain
+/// store — the runtime contradiction witness for a P001 disjointness claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordConflict {
+    /// Lower block id of the pair.
+    pub block_a: u32,
+    /// Higher block id of the pair.
+    pub block_b: u32,
+    /// A witness word address both blocks touched.
+    pub addr: i64,
+}
+
+/// The tracker's end-of-run output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCrossingsReport {
+    /// Number of shards in the plan.
+    pub shards: u32,
+    /// Per-shard flows, shard order.
+    pub per_shard: Vec<ShardFlow>,
+    /// Cross-block same-word conflicts (deduplicated per block pair, lowest
+    /// witness address kept), sorted by block pair.
+    pub conflicts: Vec<WordConflict>,
+    /// Whether any memory access came from a block with id ≥ 64 (outside
+    /// the conflict tracker's mask range) — if set, an empty `conflicts`
+    /// list is not a proof of cleanliness.
+    pub untracked_blocks: bool,
+}
+
+impl ShardCrossingsReport {
+    /// The observed conflicts between blocks living in *different* shards
+    /// under `shard_of` (block id → shard). These are the observations that
+    /// can contradict a static disjointness claim.
+    pub fn cross_shard_conflicts<'a>(
+        &'a self,
+        shard_of: impl Fn(u32) -> u32 + 'a,
+    ) -> impl Iterator<Item = &'a WordConflict> + 'a {
+        self.conflicts.iter().filter(move |c| shard_of(c.block_a) != shard_of(c.block_b))
+    }
+
+    /// Renders the per-shard flow table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "shard crossings ({} shard(s))", self.shards);
+        for f in &self.per_shard {
+            let _ = writeln!(
+                out,
+                "  shard {}: {} token(s) delivered across the cut, peak in-flight {}",
+                f.shard, f.delivered, f.peak_inflight
+            );
+        }
+        if self.conflicts.is_empty() {
+            let _ = writeln!(
+                out,
+                "  conflicts: none observed{}",
+                if self.untracked_blocks { " (some blocks untracked)" } else { "" }
+            );
+        } else {
+            for c in &self.conflicts {
+                let _ = writeln!(
+                    out,
+                    "  conflict: blocks cb{} and cb{} both touched word {} (plain store \
+                     involved)",
+                    c.block_a, c.block_b, c.addr
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The dynamic shard-crossing tracker. Construct it from a plan's tables
+/// ([`ShardSpec`]), feed it to an engine's `with_probe` constructor (by
+/// `&mut`), then call [`ShardCrossings::report`].
+///
+/// # Example
+///
+/// ```
+/// use tyr_stats::probe::{Probe, ProbeEvent};
+/// use tyr_stats::shard::{ShardCrossings, ShardSpec};
+///
+/// // Two nodes: node 0 in shard 0, node 1 in shard 1 receiving
+/// // cross-shard tokens.
+/// let spec = ShardSpec {
+///     shards: 2,
+///     node_shard: vec![0, 1],
+///     boundary: vec![false, true],
+///     plain_store: vec![false, false],
+///     node_block: vec![0, 1],
+/// };
+/// let mut sc = ShardCrossings::new(spec);
+/// sc.event(0, ProbeEvent::TokenProduced { node: 1 });
+/// sc.event(1, ProbeEvent::TokenProduced { node: 1 });
+/// sc.event(2, ProbeEvent::TokenConsumed { node: 1, count: 2 });
+/// let r = sc.report();
+/// assert_eq!(r.per_shard[1].delivered, 2);
+/// assert_eq!(r.per_shard[1].peak_inflight, 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardCrossings {
+    spec: ShardSpec,
+    inflight: Vec<i64>,
+    peak: Vec<i64>,
+    delivered: Vec<u64>,
+    /// Per word: (blocks that plain-stored it, blocks that touched it).
+    words: HashMap<i64, (u64, u64)>,
+    untracked_blocks: bool,
+}
+
+impl ShardCrossings {
+    /// Creates a tracker for `spec`.
+    pub fn new(spec: ShardSpec) -> Self {
+        let n = spec.shards.max(1) as usize;
+        ShardCrossings {
+            spec,
+            inflight: vec![0; n],
+            peak: vec![0; n],
+            delivered: vec![0; n],
+            words: HashMap::new(),
+            untracked_blocks: false,
+        }
+    }
+
+    /// Folds the observations into a [`ShardCrossingsReport`], consuming
+    /// the tracker.
+    pub fn report(self) -> ShardCrossingsReport {
+        let per_shard = (0..self.inflight.len())
+            .map(|s| ShardFlow {
+                shard: s as u32,
+                delivered: self.delivered[s],
+                peak_inflight: self.peak[s].max(0) as u64,
+            })
+            .collect();
+        // Deduplicate conflicts per block pair, keeping the lowest witness
+        // address; sort for deterministic output.
+        let mut conflicts: Vec<WordConflict> = Vec::new();
+        let mut sorted_words: Vec<(&i64, &(u64, u64))> = self.words.iter().collect();
+        sorted_words.sort();
+        for (&addr, &(stores, touched)) in sorted_words {
+            if stores == 0 {
+                continue;
+            }
+            for a in 0..64u32 {
+                if stores & (1 << a) == 0 {
+                    continue;
+                }
+                for b in 0..64u32 {
+                    if b == a || touched & (1 << b) == 0 {
+                        continue;
+                    }
+                    let (x, y) = (a.min(b), a.max(b));
+                    if !conflicts.iter().any(|c| (c.block_a, c.block_b) == (x, y)) {
+                        conflicts.push(WordConflict { block_a: x, block_b: y, addr });
+                    }
+                }
+            }
+        }
+        conflicts.sort_by_key(|c| (c.block_a, c.block_b));
+        ShardCrossingsReport {
+            shards: self.spec.shards,
+            per_shard,
+            conflicts,
+            untracked_blocks: self.untracked_blocks,
+        }
+    }
+
+    fn shard_of(&self, node: u32) -> usize {
+        (self.spec.node_shard.get(node as usize).copied().unwrap_or(0) as usize)
+            .min(self.inflight.len().saturating_sub(1))
+    }
+
+    fn is_boundary(&self, node: u32) -> bool {
+        self.spec.boundary.get(node as usize).copied().unwrap_or(false)
+    }
+}
+
+impl Probe for ShardCrossings {
+    fn event(&mut self, _cycle: u64, ev: ProbeEvent) {
+        match ev {
+            ProbeEvent::TokenProduced { node } if self.is_boundary(node) => {
+                let s = self.shard_of(node);
+                self.delivered[s] += 1;
+                self.inflight[s] += 1;
+                self.peak[s] = self.peak[s].max(self.inflight[s]);
+            }
+            ProbeEvent::TokenConsumed { node, count } if self.is_boundary(node) => {
+                let s = self.shard_of(node);
+                self.inflight[s] -= count as i64;
+            }
+            ProbeEvent::MemAccess { node, addr, write } => {
+                let block = self.spec.node_block.get(node as usize).copied().unwrap_or(0);
+                if block >= 64 {
+                    self.untracked_blocks = true;
+                    return;
+                }
+                let entry = self.words.entry(addr).or_insert((0, 0));
+                entry.1 |= 1 << block;
+                if write && self.spec.plain_store.get(node as usize).copied().unwrap_or(false) {
+                    entry.0 |= 1 << block;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ShardSpec {
+        // Nodes 0,1 in shard 0 (blocks 0,1); nodes 2,3 in shard 1
+        // (block 2); node 2 is a boundary consumer, node 3 a plain store.
+        ShardSpec {
+            shards: 2,
+            node_shard: vec![0, 0, 1, 1],
+            boundary: vec![false, false, true, false],
+            plain_store: vec![false, true, false, true],
+            node_block: vec![0, 1, 2, 2],
+        }
+    }
+
+    #[test]
+    fn occupancy_peaks_per_shard() {
+        let mut sc = ShardCrossings::new(spec());
+        sc.event(0, ProbeEvent::TokenProduced { node: 2 });
+        sc.event(0, ProbeEvent::TokenProduced { node: 2 });
+        sc.event(1, ProbeEvent::TokenConsumed { node: 2, count: 2 });
+        sc.event(2, ProbeEvent::TokenProduced { node: 2 });
+        // Non-boundary production is not crossing traffic.
+        sc.event(2, ProbeEvent::TokenProduced { node: 0 });
+        let r = sc.report();
+        assert_eq!(r.per_shard[0], ShardFlow { shard: 0, delivered: 0, peak_inflight: 0 });
+        assert_eq!(r.per_shard[1], ShardFlow { shard: 1, delivered: 3, peak_inflight: 2 });
+        assert!(r.render().contains("shard 1: 3 token(s)"));
+    }
+
+    #[test]
+    fn same_word_cross_block_store_is_a_conflict() {
+        let mut sc = ShardCrossings::new(spec());
+        // Block 1 plain-stores word 40; block 2 loads it.
+        sc.event(0, ProbeEvent::MemAccess { node: 1, addr: 40, write: true });
+        sc.event(1, ProbeEvent::MemAccess { node: 2, addr: 40, write: false });
+        // Same-word storeAdd-only traffic from one block: no conflict.
+        sc.event(2, ProbeEvent::MemAccess { node: 2, addr: 99, write: true });
+        let r = sc.report();
+        assert_eq!(r.conflicts, vec![WordConflict { block_a: 1, block_b: 2, addr: 40 }]);
+        // Blocks 1 and 2 live in different shards: the conflict crosses.
+        let shard_of = |b: u32| if b <= 1 { 0 } else { 1 };
+        assert_eq!(r.cross_shard_conflicts(shard_of).count(), 1);
+    }
+
+    #[test]
+    fn storeadd_only_sharing_is_not_a_conflict() {
+        let mut sc = ShardCrossings::new(spec());
+        // Node 2 (block 2) writes via storeAdd (not flagged plain), node 1
+        // (block 1) loads the same word: no plain store → no conflict.
+        sc.event(0, ProbeEvent::MemAccess { node: 2, addr: 7, write: true });
+        sc.event(1, ProbeEvent::MemAccess { node: 1, addr: 7, write: false });
+        let r = sc.report();
+        assert!(r.conflicts.is_empty(), "{:?}", r.conflicts);
+    }
+
+    #[test]
+    fn conflicts_dedup_to_lowest_witness() {
+        let mut sc = ShardCrossings::new(spec());
+        for addr in [50, 12, 30] {
+            sc.event(0, ProbeEvent::MemAccess { node: 1, addr, write: true });
+            sc.event(1, ProbeEvent::MemAccess { node: 2, addr, write: false });
+        }
+        let r = sc.report();
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(r.conflicts[0].addr, 12);
+    }
+
+    #[test]
+    fn high_block_ids_mark_untracked() {
+        let mut sc = ShardCrossings::new(ShardSpec {
+            shards: 1,
+            node_shard: vec![0],
+            boundary: vec![false],
+            plain_store: vec![true],
+            node_block: vec![70],
+        });
+        sc.event(0, ProbeEvent::MemAccess { node: 0, addr: 1, write: true });
+        let r = sc.report();
+        assert!(r.untracked_blocks);
+        assert!(r.conflicts.is_empty());
+    }
+}

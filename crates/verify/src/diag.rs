@@ -112,6 +112,29 @@ pub enum Code {
     /// witness.
     EdgeResidency,
 
+    // Shard-planning pass (static sharding certificates).
+    /// Cross-shard memory disjointness from the strided-interval index
+    /// sets: a proven always-colliding access pair split across shards is
+    /// a hard error with the witness index; an undecided pair is a warning
+    /// recording that the two blocks were forced into one shard; a fully
+    /// proven cut is a note.
+    ShardMemory,
+    /// Per-shard tag-space demand versus the tag policy's budget: a shard
+    /// whose resident spaces statically demand more tags than the policy
+    /// can ever grant is an error (it would wedge the whole pool alone);
+    /// otherwise the demand/budget figures are a note.
+    ShardTagDemand,
+    /// Progress summary over the cut: the per-cut-edge "could-result-in"
+    /// matrix must derive every live cut edge from the source frontier, so
+    /// shard-local quiescence plus empty channels implies global
+    /// quiescence. A live cut edge the summary cannot derive is an error
+    /// (a distributed termination detector could miss work on it).
+    ShardProgress,
+    /// Static cross-shard traffic estimate: per directed shard boundary,
+    /// the cut-edge count and the peak in-flight token bound scaled by the
+    /// consumer blocks' concurrent-instance bounds (W001).
+    ShardTraffic,
+
     // Translation validation.
     /// A lowered graph's simulation produced different returns or memory
     /// than the reference interpreter.
@@ -125,7 +148,7 @@ pub enum Code {
 impl Code {
     /// Every diagnostic code, in pass order. The registry tests iterate
     /// this to assert uniqueness, stability, and documentation coverage.
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 30] = [
         Code::BadBlock,
         Code::NoWiredInputs,
         Code::BadSpace,
@@ -149,6 +172,10 @@ impl Code {
         Code::FootprintBound,
         Code::ElaborationComparison,
         Code::EdgeResidency,
+        Code::ShardMemory,
+        Code::ShardTagDemand,
+        Code::ShardProgress,
+        Code::ShardTraffic,
         Code::TvDivergence,
         Code::TvFault,
         Code::TvDeadlock,
@@ -180,6 +207,10 @@ impl Code {
             Code::FootprintBound => "W002",
             Code::ElaborationComparison => "W003",
             Code::EdgeResidency => "W004",
+            Code::ShardMemory => "P001",
+            Code::ShardTagDemand => "P002",
+            Code::ShardProgress => "P003",
+            Code::ShardTraffic => "P004",
             Code::TvDivergence => "X001",
             Code::TvFault => "X002",
             Code::TvDeadlock => "X003",
@@ -214,6 +245,15 @@ impl Code {
             | Code::FootprintBound
             | Code::ElaborationComparison
             | Code::EdgeResidency => Severity::Note,
+            // A shard-memory finding defaults to Warning (an undecided pair
+            // forced into one shard); the pass raises proven cross-shard
+            // collisions to Error and lowers proven-clean cuts to Note in
+            // place, mirroring the race pass discipline.
+            Code::ShardMemory => Severity::Warning,
+            // Demand/budget, progress summaries, and traffic estimates are
+            // certificates, not violations; the pass raises over-budget
+            // shards and underivable cut edges to Error in place.
+            Code::ShardTagDemand | Code::ShardProgress | Code::ShardTraffic => Severity::Note,
             _ => Severity::Error,
         }
     }

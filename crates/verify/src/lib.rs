@@ -28,6 +28,14 @@
 //!   elaboration comparison (the paper's locality headline), and per-edge
 //!   token residency — each cross-validated against the dynamic reuse
 //!   tracker in `tyr-stats`;
+//! * **shard planning** (`P…`, [`verify_shards`]) — a deterministic,
+//!   seeded partition of the graph's blocks into K shards ([`partition()`]),
+//!   certified safe: cross-shard memory disjointness from the index sets,
+//!   per-shard tag-demand budgets, progress summaries over the cut (a
+//!   could-result-in matrix proving shard-local quiescence + empty
+//!   channels ⇒ global quiescence), and static cross-shard traffic bounds
+//!   — cross-validated against `tyr_stats::ShardCrossings` by
+//!   `repro shard`;
 //! * **translation validation** (`X…`, [`tv`]) — every lowering replayed
 //!   against the reference interpreter on concrete inputs.
 //!
@@ -45,17 +53,20 @@
 
 pub mod absint;
 pub mod diag;
+pub mod partition;
 pub mod passes;
 pub mod tv;
 
 pub use absint::footprint::{analyze_footprint, BlockFootprint, FootprintAnalysis};
 pub use absint::occupancy::{analyze_channel_depths, check_channel_capacity, ChannelDepths};
 pub use diag::{Code, Diagnostic, Report, Severity};
+pub use partition::{partition, ShardPlan, MAX_SHARDS};
 pub use passes::{
-    analyze_live_state, analyze_tag_demand, check_barrier_coverage, check_edge_residency,
-    check_footprint, check_lints, check_live_state, check_races, check_structure, check_tag_policy,
-    compare_elaborations, predict_global, ElaborationBounds, GlobalPrediction, LiveStateBound,
-    TagDemand,
+    analyze_live_state, analyze_shards, analyze_tag_demand, check_barrier_coverage,
+    check_edge_residency, check_footprint, check_lints, check_live_state, check_races,
+    check_shards, check_structure, check_tag_policy, compare_elaborations, predict_global,
+    verify_shards, BoundaryFlow, ElaborationBounds, GlobalPrediction, LiveStateBound, MemClaims,
+    ShardBudget, ShardCertificate, ShardCollision, ShardTagCheck, TagDemand,
 };
 pub use tv::validate_translations;
 

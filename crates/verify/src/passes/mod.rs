@@ -11,6 +11,7 @@
 mod barrier;
 mod lints;
 mod races;
+mod shard;
 mod structure;
 mod tags;
 mod workingset;
@@ -18,6 +19,10 @@ mod workingset;
 pub use barrier::check_barrier_coverage;
 pub use lints::check_lints;
 pub use races::check_races;
+pub use shard::{
+    analyze_shards, check_shards, verify_shards, BoundaryFlow, MemClaims, ShardBudget,
+    ShardCertificate, ShardCollision, ShardTagCheck,
+};
 pub use structure::check_structure;
 pub use tags::{analyze_tag_demand, check_tag_policy, predict_global, GlobalPrediction, TagDemand};
 pub use workingset::{

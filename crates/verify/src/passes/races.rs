@@ -147,7 +147,7 @@ pub fn check_races(dfg: &Dfg, mem: &MemoryImage, args: &[Value]) -> Vec<Diagnost
     out
 }
 
-enum Verdict {
+pub(crate) enum Verdict {
     /// Provably race-free in every common segment.
     Disjoint,
     /// Provably always the same word of `segments[segment]`.
@@ -161,8 +161,9 @@ enum Verdict {
 /// Judges one unordered access pair over their common segments. A pair is
 /// race-free only if it is proven disjoint within *every* common segment;
 /// it provably collides if, in some common segment, both addresses clamp to
-/// the same singleton.
-fn judge(segments: &[Segment], overlap: u64, a: &AbsVal, b: &AbsVal) -> Verdict {
+/// the same singleton. Shared with the shard pass's cross-block P001
+/// disjointness claims.
+pub(crate) fn judge(segments: &[Segment], overlap: u64, a: &AbsVal, b: &AbsVal) -> Verdict {
     let (Some(na), Some(nb)) = (a.num, b.num) else { return Verdict::Unknown };
     let mut all_disjoint = true;
     let mut collision = None;

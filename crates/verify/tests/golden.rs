@@ -124,3 +124,101 @@ fn workingset_pass_is_fast_on_the_largest_kernel() {
         dfg.nodes.len(),
     );
 }
+
+/// Golden snapshots for the shard pass: the rendered plan and the full
+/// P-report for three kernels under both tagged elaboration budgets
+/// (`tagged-local`: TYR local spaces; `tagged-global`: the Fig. 11 bounded
+/// global pool). Pins the partitioner's cut, the renumbering, and every
+/// P001–P004 message against drift.
+#[test]
+fn snapshot_shard_plans_and_reports() {
+    use tyr_verify::{verify_shards, ShardBudget};
+
+    let budgets: [(&str, TagPolicy); 2] = [
+        ("tagged-local", TagPolicy::local(2)),
+        ("tagged-global", TagPolicy::GlobalBounded { tags: 8 }),
+    ];
+    for kernel in ["dmv", "spmspv", "tc"] {
+        let w = by_name(kernel, Scale::Tiny, SEED).unwrap();
+        let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+        for (label, policy) in &budgets {
+            let title = format!("{kernel}/{label}/shard");
+            let (cert, report) = verify_shards(
+                &title,
+                &dfg,
+                4,
+                SEED,
+                Some(ShardBudget::Tagged(policy)),
+                Some((&w.memory, &w.args)),
+            );
+            let rendered = format!("{}{}", cert.plan.render(&dfg), report.render());
+            golden(&format!("shard_{kernel}_{label}"), &rendered);
+        }
+    }
+}
+
+/// The shard certificate is a pure function of (graph, k, seed, budget,
+/// memory): recomputing it must reproduce the plan, every derived table,
+/// and the rendered report byte-for-byte.
+#[test]
+fn shard_certificates_are_deterministic_across_recomputation() {
+    use tyr_verify::{verify_shards, ShardBudget};
+
+    let w = by_name("spmspv", Scale::Tiny, SEED).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+    let policy = TagPolicy::local(2);
+    let compute = || {
+        let (cert, report) = verify_shards(
+            "det",
+            &dfg,
+            4,
+            SEED,
+            Some(ShardBudget::Tagged(&policy)),
+            Some((&w.memory, &w.args)),
+        );
+        (cert.plan.clone(), cert.node_shard.clone(), cert.boundary.clone(), report.render())
+    };
+    let a = compute();
+    for _ in 0..3 {
+        assert_eq!(compute(), a);
+    }
+}
+
+/// Complexity guard for the partitioner plus the full P-pass: one memory
+/// fixpoint, one partition, and linear certificate derivation per run. A
+/// regression to per-pair fixpoints or quadratic refinement would blow
+/// this budget in a debug build.
+#[test]
+fn shard_pass_is_fast_on_the_largest_kernel() {
+    use tyr_verify::{verify_shards, ShardBudget};
+
+    let kernels = suite(Scale::Tiny, SEED);
+    let (w, dfg) = kernels
+        .iter()
+        .map(|w| (w, lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap()))
+        .max_by_key(|(_, d)| d.nodes.len())
+        .unwrap();
+    let policy = TagPolicy::local(2);
+    let start = Instant::now();
+    let reps = 25;
+    for _ in 0..reps {
+        let (cert, report) = verify_shards(
+            "perf",
+            &dfg,
+            4,
+            SEED,
+            Some(ShardBudget::Tagged(&policy)),
+            Some((&w.memory, &w.args)),
+        );
+        assert_eq!(cert.node_shard.len(), dfg.nodes.len());
+        assert_eq!(report.errors(), 0, "{}: {}", w.name, report.render());
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "{reps} shard passes over {} ({} nodes) took {elapsed:?} — \
+         the partitioner or P-pass has regressed",
+        w.name,
+        dfg.nodes.len(),
+    );
+}
