@@ -31,6 +31,18 @@ for engine in tyr tagged-global-bounded ordered seqdf seqvn ooo; do
     trace dmv "$engine"
 done
 rm -rf "$trace_dir"
+# Timeline gate (DESIGN.md §6): run `repro timeline` on one kernel per
+# engine family — each run attaches the cycle-windowed sink plus the JSONL
+# stream probe, re-parses the emitted tyr-events/v1 document, and exits
+# nonzero unless its record count matches the independent counting probe
+# riding the same run. The tagged-global-bounded row is the Fig. 11 wedge:
+# it must exit 0 with the tail attributed to open tag-starved stalls.
+timeline_dir=$(mktemp -d)
+for engine in tyr tagged-global-bounded ordered seqdf seqvn ooo; do
+  target/release/repro --scale tiny --out "$timeline_dir/tl_dmv_$engine.csv" \
+    timeline dmv "$engine" --events "$timeline_dir/ev_dmv_$engine.jsonl"
+done
+rm -rf "$timeline_dir"
 # Working-set gate (DESIGN.md §5.1): run `repro locality` on one kernel
 # per engine family — each run attaches the MemAccess-fed reuse tracker,
 # checks probe parity against the engine's load/store counters, and exits

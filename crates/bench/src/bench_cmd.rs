@@ -28,6 +28,13 @@
 //! simulators, whose results are oracle-checked); the `*_wall_ms` fields
 //! are the only machine-dependent values.
 //!
+//! Each cell is run [`WALL_REPS`] times into a log-bucketed
+//! [`LogHistogram`] of whole microseconds; `wall_ms` is the median rep, and
+//! the optional `wall_p50_ms`/`wall_p99_ms` fields expose the dispersion.
+//! The schema stays `tyr-bench-suite/v1`: [`validate`] accepts baselines
+//! with or without the percentile fields, so committed baselines from
+//! before they existed keep validating.
+//!
 //! [`validate`] is the schema gate `ci.sh` runs against both the emitted
 //! file and the committed baseline.
 
@@ -35,6 +42,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use tyr_stats::json::{self, Json};
+use tyr_stats::LogHistogram;
 use tyr_workloads::{suite, APP_NAMES};
 
 use crate::figures::Ctx;
@@ -42,6 +50,12 @@ use crate::{pool, run_system, System};
 
 /// The schema identifier written to and required of every baseline file.
 pub const SCHEMA: &str = "tyr-bench-suite/v1";
+
+/// Wall-clock repetitions per grid cell. The simulated `cycles` and
+/// `dyn_instrs` are deterministic, so only the first rep's result is kept;
+/// the extra reps exist purely to give the per-cell latency histogram
+/// something to disperse over.
+pub const WALL_REPS: usize = 3;
 
 /// Runs the suite benchmark and writes the baseline to `out`.
 ///
@@ -66,15 +80,24 @@ pub fn run(ctx: &Ctx, out: &Path) -> Result<(), String> {
         .collect();
     let t0 = Instant::now();
     let cells = pool::parallel_map_labeled(ctx.jobs, grid, |(w, sys)| {
-        let start = Instant::now();
-        let r = run_system(w, sys, &ctx.cfg);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut wall = LogHistogram::new();
+        let mut result = None;
+        for _ in 0..WALL_REPS {
+            let start = Instant::now();
+            let r = run_system(w, sys, &ctx.cfg);
+            wall.record(start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            result.get_or_insert(r);
+        }
+        let r = result.expect("WALL_REPS >= 1");
+        let (p50, _, p99) = wall.percentiles();
         Json::Obj(vec![
             ("kernel".into(), json::str(&w.name)),
             ("system".into(), json::str(sys.label())),
             ("cycles".into(), json::num(r.cycles())),
             ("dyn_instrs".into(), json::num(r.dyn_instrs())),
-            ("wall_ms".into(), Json::Num(round3(wall_ms))),
+            ("wall_ms".into(), Json::Num(round3(p50 as f64 / 1e3))),
+            ("wall_p50_ms".into(), Json::Num(round3(p50 as f64 / 1e3))),
+            ("wall_p99_ms".into(), Json::Num(round3(p99 as f64 / 1e3))),
         ])
     });
     let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -143,7 +166,9 @@ pub fn check_file(path: &Path) -> Result<(), String> {
 /// Checks a document against the `tyr-bench-suite/v1` schema: the schema
 /// tag, the header fields, exactly one entry per (kernel, system) pair,
 /// and per-entry field sanity (positive counts, `dyn_instrs` within the
-/// issue-width envelope, entry wall-times within the total).
+/// issue-width envelope, entry wall-times within the total, and — when the
+/// optional `wall_p50_ms`/`wall_p99_ms` percentiles are present — that they
+/// are non-negative with `p50 <= p99`).
 ///
 /// # Errors
 ///
@@ -211,6 +236,32 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             return Err(format!(
                 "entry {i} ({kernel}/{system}): wall_ms {wall} outside [0, total_wall_ms]"
             ));
+        }
+        // The wall-clock percentiles are optional (schema still v1, so
+        // baselines committed before they existed keep validating), but
+        // when present they must be sane.
+        let opt_field = |key: &str| -> Result<Option<f64>, String> {
+            match e.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("entry {i} ({kernel}/{system}): non-numeric \"{key}\"")),
+            }
+        };
+        let p50 = opt_field("wall_p50_ms")?;
+        let p99 = opt_field("wall_p99_ms")?;
+        for (key, v) in [("wall_p50_ms", p50), ("wall_p99_ms", p99)] {
+            if v.is_some_and(|v| v < 0.0) {
+                return Err(format!("entry {i} ({kernel}/{system}): negative \"{key}\""));
+            }
+        }
+        if let (Some(p50), Some(p99)) = (p50, p99) {
+            if p50 > p99 {
+                return Err(format!(
+                    "entry {i} ({kernel}/{system}): wall_p50_ms {p50} exceeds wall_p99_ms {p99}"
+                ));
+            }
         }
         let key = (kernel.to_string(), system.to_string());
         if seen.contains(&key) {
@@ -323,5 +374,42 @@ mod tests {
         let d = minimal_doc();
         let text = d.render();
         validate(&Json::parse(&text).unwrap()).unwrap();
+    }
+
+    fn set_entry0(doc: &mut Json, key: &str, v: Json) {
+        let Json::Obj(pairs) = doc else { unreachable!() };
+        let entries = pairs.iter_mut().find(|(k, _)| k == "entries").unwrap();
+        let Json::Arr(es) = &mut entries.1 else { unreachable!() };
+        let Json::Obj(e0) = &mut es[0] else { unreachable!() };
+        e0.push((key.into(), v));
+    }
+
+    #[test]
+    fn percentile_fields_are_optional_but_checked() {
+        // minimal_doc has no percentile fields at all: the pre-percentile
+        // baseline shape must keep validating.
+        validate(&minimal_doc()).unwrap();
+
+        let mut with_both = minimal_doc();
+        set_entry0(&mut with_both, "wall_p50_ms", Json::Num(1.2));
+        set_entry0(&mut with_both, "wall_p99_ms", Json::Num(2.4));
+        validate(&with_both).unwrap();
+
+        let mut only_p50 = minimal_doc();
+        set_entry0(&mut only_p50, "wall_p50_ms", Json::Num(1.2));
+        validate(&only_p50).unwrap();
+
+        let mut inverted = minimal_doc();
+        set_entry0(&mut inverted, "wall_p50_ms", Json::Num(3.0));
+        set_entry0(&mut inverted, "wall_p99_ms", Json::Num(1.0));
+        assert!(validate(&inverted).unwrap_err().contains("exceeds wall_p99_ms"));
+
+        let mut negative = minimal_doc();
+        set_entry0(&mut negative, "wall_p99_ms", Json::Num(-0.5));
+        assert!(validate(&negative).unwrap_err().contains("negative"));
+
+        let mut stringy = minimal_doc();
+        set_entry0(&mut stringy, "wall_p50_ms", json::str("fast"));
+        assert!(validate(&stringy).unwrap_err().contains("non-numeric"));
     }
 }

@@ -23,6 +23,9 @@
 //! wedged engine surfaces as an attributed `TimedOut` verdict instead of
 //! hanging the sweep. All reporting is in seed order with no wall-clock
 //! content: the same seed produces a byte-identical report and witness.
+//! Per-sweep wall-clock latency histograms (p50/p90/p99 over job
+//! durations) are printed to **stderr** only, so the stdout determinism
+//! contract survives the instrumentation.
 //!
 //! **Chaos on a real kernel** (`repro chaos <kernel> <engine>`): runs one
 //! suite workload on one fault-capable engine under a fault plan and prints
@@ -532,7 +535,7 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
     type SeedResult = (u64, Result<Vec<(System, Verdict)>, String>);
     let seeds: Vec<(String, u64)> =
         (0..opts.seeds).map(|s| (format!("fuzz seed {s}"), s)).collect();
-    let diff: Vec<SeedResult> = pool::parallel_map_labeled(opts.jobs, seeds, |seed| {
+    let diff_timed = pool::parallel_map_labeled_timed(opts.jobs, seeds, |seed| {
         let case = Recipe::generate(seed, FUZZ_RECIPE_SIZE).materialize();
         let ora = match oracle(&case) {
             Ok(o) => o,
@@ -546,6 +549,11 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
             .to_vec();
         (seed, Ok(verdicts))
     });
+    // Wall-clock dispersion goes to stderr: stdout stays byte-identical for
+    // any --jobs (the determinism contract ci.sh relies on).
+    let mut campaign_lat = pool::latency_histogram(&diff_timed);
+    eprintln!("  [wall] differential sweep (us/seed): {campaign_lat}");
+    let diff: Vec<SeedResult> = diff_timed.into_iter().map(|(r, _)| r).collect();
 
     let mut failures: Vec<String> = Vec::new();
     let mut findings: Vec<DiffFinding> = Vec::new();
@@ -610,11 +618,14 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
     // just the hand-written suite.
     let wseeds: Vec<(String, u64)> =
         (0..opts.seeds).map(|s| (format!("wbound seed {s}"), s)).collect();
-    let wresults: Vec<(u64, Option<String>)> =
-        pool::parallel_map_labeled(opts.jobs, wseeds, |seed| {
-            let recipe = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
-            (seed, wbound_violation(&recipe, dog(&cancel)))
-        });
+    let wtimed = pool::parallel_map_labeled_timed(opts.jobs, wseeds, |seed| {
+        let recipe = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
+        (seed, wbound_violation(&recipe, dog(&cancel)))
+    });
+    let wlat = pool::latency_histogram(&wtimed);
+    eprintln!("  [wall] w-bound sweep (us/seed): {wlat}");
+    campaign_lat.merge(&wlat);
+    let wresults: Vec<(u64, Option<String>)> = wtimed.into_iter().map(|(r, _)| r).collect();
     let unsound: Vec<(u64, &str)> =
         wresults.iter().filter_map(|(s, v)| v.as_deref().map(|v| (*s, v))).collect();
     println!("  w-bounds: {} seeds, {} unsound static bound(s)", opts.seeds, unsound.len());
@@ -632,11 +643,14 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
     // against the dynamic crossing tracker on every generated program.
     let sseeds: Vec<(String, u64)> =
         (0..opts.seeds).map(|s| (format!("shard seed {s}"), s)).collect();
-    let sresults: Vec<(u64, Option<String>)> =
-        pool::parallel_map_labeled(opts.jobs, sseeds, |seed| {
-            let recipe = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
-            (seed, shard_violation(&recipe, dog(&cancel)))
-        });
+    let stimed = pool::parallel_map_labeled_timed(opts.jobs, sseeds, |seed| {
+        let recipe = Recipe::generate(seed, FUZZ_RECIPE_SIZE);
+        (seed, shard_violation(&recipe, dog(&cancel)))
+    });
+    let slat = pool::latency_histogram(&stimed);
+    eprintln!("  [wall] shard sweep (us/seed): {slat}");
+    campaign_lat.merge(&slat);
+    let sresults: Vec<(u64, Option<String>)> = stimed.into_iter().map(|(r, _)| r).collect();
     let broken: Vec<(u64, &str)> =
         sresults.iter().filter_map(|(s, v)| v.as_deref().map(|v| (*s, v))).collect();
     println!("  shard-bounds: {} seeds, {} violated certificate(s)", opts.seeds, broken.len());
@@ -671,7 +685,7 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let chaos: Vec<ChaosRun> = pool::parallel_map_labeled(opts.jobs, jobs2, |(seed, kind)| {
+    let chaos_timed = pool::parallel_map_labeled_timed(opts.jobs, jobs2, |(seed, kind)| {
         let target = FAULT_TARGETS[(seed % FAULT_TARGETS.len() as u64) as usize];
         let case = Recipe::generate(seed, FUZZ_RECIPE_SIZE).materialize();
         let ora = oracle(&case).expect("oracle-failing seeds were filtered out");
@@ -682,6 +696,11 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
         let (verdict, records) = run_engine(&case, target, Some(plan), dog(&cancel), &ora);
         ChaosRun { seed, system: target, kind, injected: records.len(), verdict }
     });
+    let chaos_lat = pool::latency_histogram(&chaos_timed);
+    eprintln!("  [wall] chaos sweep (us/run): {chaos_lat}");
+    campaign_lat.merge(&chaos_lat);
+    eprintln!("  [wall] campaign total (us/job): {campaign_lat}");
+    let chaos: Vec<ChaosRun> = chaos_timed.into_iter().map(|(r, _)| r).collect();
 
     // Attribute per class.
     println!("  chaos: {} faulted runs across {} classes", chaos.len(), template.specs.len());

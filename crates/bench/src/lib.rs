@@ -11,6 +11,7 @@ pub mod locality;
 pub mod micro;
 pub mod pool;
 pub mod shard;
+pub mod timeline;
 pub mod trace;
 pub mod verify;
 

@@ -18,12 +18,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
-use tyr_bench::{bench_cmd, fuzz, locality, shard, trace, verify};
+use tyr_bench::{bench_cmd, fuzz, locality, shard, timeline, trace, verify};
 use tyr_workloads::Scale;
 
 const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--jobs N] [--csv DIR] [--out FILE] <command>...
 commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all
           trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)
+          timeline <kernel> <engine> [--window N] [--events FILE]
+                                    (cycle-windowed telemetry: per-window firings, token/tag traffic,
+                                     open stalls by reason, memory lines; --window sets the window size
+                                     in cycles (default 64, auto-coarsens), --events streams every probe
+                                     event as tyr-events/v1 JSONL, --out writes the per-window CSV;
+                                     a wedged run prints its stall-dominated tail and still exits 0)
           locality <kernel> <engine>
                                     (dynamic working-set/reuse report next to the static W-pass bounds;
                                      nonzero exit if any static bound is below the observation)
@@ -51,6 +57,8 @@ fn main() -> ExitCode {
     let mut fuzz_faults: Option<String> = None;
     let mut fuzz_deadline: Option<u64> = None;
     let mut shard_count: usize = shard::DEFAULT_SHARDS;
+    let mut timeline_window: Option<u64> = None;
+    let mut events_out: Option<PathBuf> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -100,6 +108,10 @@ fn main() -> ExitCode {
             }
             "--csv" => ctx.csv_dir = Some(PathBuf::from(opt_value("--csv"))),
             "--out" => trace_out = Some(PathBuf::from(opt_value("--out"))),
+            "--window" => {
+                timeline_window = Some(opt_value("--window").parse().expect("numeric window size"))
+            }
+            "--events" => events_out = Some(PathBuf::from(opt_value("--events"))),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -163,6 +175,25 @@ fn main() -> ExitCode {
                 };
                 if let Err(e) = trace::run(&ctx, kernel, engine, trace_out.as_deref()) {
                     eprintln!("trace failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                i += 2;
+            }
+            // `timeline` consumes the two following positional arguments.
+            "timeline" => {
+                let (Some(kernel), Some(engine)) = (cmds.get(i + 1), cmds.get(i + 2)) else {
+                    eprintln!("timeline needs <kernel> and <engine>\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if let Err(e) = timeline::run(
+                    &ctx,
+                    kernel,
+                    engine,
+                    timeline_window,
+                    trace_out.as_deref(),
+                    events_out.as_deref(),
+                ) {
+                    eprintln!("timeline failed: {e}");
                     return ExitCode::FAILURE;
                 }
                 i += 2;

@@ -18,6 +18,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tyr_stats::LogHistogram;
 
 /// The worker count used when the caller does not pass `--jobs`: the
 /// `REPRO_JOBS` environment variable if set and positive, otherwise the
@@ -126,6 +129,41 @@ where
         .collect()
 }
 
+/// [`parallel_map_labeled`] that also wall-clocks each job: output index `i`
+/// is `(f(item_i), elapsed_i)`. The timing wraps only the job body (not
+/// queue wait), so histograms over the durations measure per-cell work, not
+/// pool contention.
+///
+/// # Panics
+///
+/// Propagates job panics exactly like [`parallel_map_labeled`].
+pub fn parallel_map_labeled_timed<I, T, F>(
+    jobs: usize,
+    items: Vec<(String, I)>,
+    f: F,
+) -> Vec<(T, Duration)>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    parallel_map_labeled(jobs, items, |item| {
+        let start = Instant::now();
+        let out = f(item);
+        (out, start.elapsed())
+    })
+}
+
+/// Folds the durations of a timed sweep into a log-bucketed histogram of
+/// whole microseconds (sub-microsecond jobs record as 0).
+pub fn latency_histogram<T>(timed: &[(T, Duration)]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for (_, d) in timed {
+        h.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +248,19 @@ mod tests {
         let items: Vec<(String, u64)> = (0..32).map(|i| (format!("cell {i}"), i)).collect();
         let out = parallel_map_labeled(8, items, |i| i * 3);
         assert_eq!(out, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timed_map_keeps_order_and_measures_work() {
+        let items: Vec<(String, u64)> = (0..8).map(|i| (format!("cell {i}"), i)).collect();
+        let out = parallel_map_labeled_timed(4, items, |i| {
+            std::thread::sleep(Duration::from_millis(2));
+            i + 100
+        });
+        assert_eq!(out.iter().map(|(v, _)| *v).collect::<Vec<_>>(), (100..108).collect::<Vec<_>>());
+        assert!(out.iter().all(|(_, d)| *d >= Duration::from_millis(2)));
+        let h = latency_histogram(&out);
+        assert_eq!(h.count(), 8);
+        assert!(h.min() >= 2_000, "sleeps of 2 ms record as >= 2000 us, got {}", h.min());
     }
 }

@@ -1,0 +1,178 @@
+//! `repro timeline <kernel> <engine>` — run one kernel on one engine with
+//! the cycle-windowed telemetry sink attached and show *when* the cycles
+//! went, not just where.
+//!
+//! Three sinks ride on the same run (via the `(A, B)` probe combinator):
+//!
+//! * a [`Timeline`], whose report is rendered as per-window sparklines, an
+//!   open-stall heatmap by reason, and a per-node firing-gap histogram;
+//! * a [`StreamProbe`], which writes one JSONL record per probe event
+//!   (schema `tyr-events/v1`) to `--events FILE` or an in-memory buffer;
+//! * a [`CountingProbe`], the independent witness: the emitted JSONL is
+//!   re-parsed with [`stream::validate`] and must contain exactly as many
+//!   event records as the counter saw, or the command fails.
+//!
+//! On a wedged run (the Fig. 11 configuration, `repro timeline dmv
+//! tagged-global-bounded`) the command exits cleanly and prints the tail
+//! attribution: which stall reason's open intervals dominate the final
+//! window and how many trailing windows fired nothing — the tag-starved
+//! wedge as a stall-dominated tail.
+
+use std::io::Write;
+use std::path::Path;
+
+use tyr_sim::RunResult;
+use tyr_stats::probe::CountingProbe;
+use tyr_stats::{stream, StreamProbe, Timeline, TimelineConfig};
+use tyr_workloads::{by_name, Workload, APP_NAMES};
+
+use crate::figures::Ctx;
+use crate::trace;
+
+/// Render width (columns) for the sparkline and heatmap rows.
+const RENDER_WIDTH: usize = 64;
+
+/// Runs `w` on `engine` with the timeline, streaming, and counting sinks
+/// attached, writing JSONL records to `sink` as the run executes. Returns
+/// the result (timeline report attached), the independent event count, and
+/// the sink back.
+fn run_streamed<W: Write>(
+    ctx: &Ctx,
+    w: &Workload,
+    engine: &str,
+    tcfg: TimelineConfig,
+    sink: W,
+) -> Result<(RunResult, u64, W), String> {
+    let mut tl = Timeline::new(tcfg);
+    let mut counting = CountingProbe::default();
+    let mut stream = StreamProbe::new(sink);
+    let r = trace::run_probed(ctx, w, engine, ((&mut tl, &mut counting), &mut stream))?;
+    let final_cycle = r.final_cycle();
+    let r = r.with_timeline(tl.report(final_cycle));
+    let sink = stream.finish()?;
+    Ok((r, counting.events, sink))
+}
+
+/// One triple-sinked timeline run streamed into an in-memory buffer:
+/// returns the result, the
+/// independent event count, and the complete JSONL document. Used by the
+/// determinism and golden tests, which want the document without touching
+/// disk.
+///
+/// # Errors
+///
+/// Returns a message on unknown engine names, lowering errors, or
+/// simulation faults.
+pub fn collect(
+    ctx: &Ctx,
+    w: &Workload,
+    engine: &str,
+    tcfg: TimelineConfig,
+) -> Result<(RunResult, u64, String), String> {
+    let (r, counted, buf) = run_streamed(ctx, w, engine, tcfg, Vec::new())?;
+    let text = String::from_utf8(buf).map_err(|e| format!("emitted JSONL not UTF-8: {e}"))?;
+    Ok((r, counted, text))
+}
+
+/// Runs `kernel` on `engine` with the full timeline stack, prints the
+/// windowed report, writes the per-window CSV (to `out` and/or the `--csv`
+/// directory) and the JSONL event stream (to `events`, when given), and
+/// verifies the stream against the independent event counter.
+///
+/// A deadlocked or timed-out run is a *successful* timeline (that tail is
+/// the point); only infrastructure problems — unknown names, simulation
+/// faults, oracle mismatches on completed runs, I/O failures, an invalid or
+/// miscounted stream — are errors.
+///
+/// # Errors
+///
+/// Returns a message on any of the infrastructure problems above.
+pub fn run(
+    ctx: &Ctx,
+    kernel: &str,
+    engine: &str,
+    window: Option<u64>,
+    out: Option<&Path>,
+    events: Option<&Path>,
+) -> Result<(), String> {
+    let w = by_name(kernel, ctx.scale, ctx.seed)
+        .ok_or_else(|| format!("unknown kernel '{kernel}' (known: {})", APP_NAMES.join(" ")))?;
+    let mut tcfg = TimelineConfig::default();
+    if let Some(win) = window {
+        if win == 0 {
+            return Err("--window must be at least 1 cycle".into());
+        }
+        tcfg.window = win;
+    }
+    println!(
+        "== timeline: {kernel} on {engine} ({} scale, {}-cycle windows) ==",
+        ctx.scale_label(),
+        tcfg.window
+    );
+
+    let (r, counted, text) = match events {
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+                }
+            }
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("create {}: {e}", path.display()))?;
+            let (r, counted, _) =
+                run_streamed(ctx, &w, engine, tcfg, std::io::BufWriter::new(file))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("re-reading {}: {e}", path.display()))?;
+            (r, counted, text)
+        }
+        None => collect(ctx, &w, engine, tcfg)?,
+    };
+    if r.is_complete() {
+        w.check(r.memory()).map_err(|e| format!("oracle mismatch: {e}"))?;
+    }
+
+    // The stream must re-parse, and its record count must agree with the
+    // independent counter riding the same run.
+    let summary = stream::validate(&text).map_err(|e| format!("emitted JSONL invalid: {e}"))?;
+    if summary.events != counted {
+        return Err(format!(
+            "JSONL stream holds {} event record(s) but the counting probe saw {counted}",
+            summary.events
+        ));
+    }
+
+    let report = r.timeline.as_ref().expect("timeline sink was attached");
+    println!("  outcome: {}", r.outcome);
+    println!("{}", report.render(RENDER_WIDTH));
+    if !r.is_complete() {
+        if let Some((reason, open, tail)) = report.tail_attribution() {
+            println!(
+                "  wedge attribution: {open} open '{}' stall(s) dominate the final window; \
+                 {tail} trailing window(s) fired nothing",
+                reason.label()
+            );
+        }
+    }
+
+    let table = report.to_csv();
+    if let Some(p) = out {
+        table.write_to(p).map_err(|e| format!("write {}: {e}", p.display()))?;
+        println!("  [csv] wrote {} ({} windows)", p.display(), table.len());
+    }
+    ctx.emit_csv(&format!("timeline_{kernel}_{engine}"), &table);
+
+    match events {
+        Some(path) => println!(
+            "  [events] wrote {} ({} records, verified against the counting probe)",
+            path.display(),
+            summary.events
+        ),
+        None => println!(
+            "  [events] {} streamed record(s) verified against the counting probe \
+             (use --events FILE to keep them)",
+            summary.events
+        ),
+    }
+    Ok(())
+}

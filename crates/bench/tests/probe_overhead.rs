@@ -1,14 +1,16 @@
 //! Guard for the probe layer's zero-cost claim: an engine instantiated with
 //! the default `NoProbe` must run a dmv kernel no slower than the same
 //! engine with a counting sink attached (which pays one call per emitted
-//! event), and the whole timing loop must stay comfortably inside a
-//! debug-build wall-clock budget.
+//! event) or a windowed `Timeline` sink attached (which additionally folds
+//! every event into per-window counters), and the whole timing loop must
+//! stay comfortably inside a debug-build wall-clock budget.
 
 use std::time::{Duration, Instant};
 
 use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
 use tyr_stats::probe::CountingProbe;
+use tyr_stats::Timeline;
 use tyr_workloads::{by_name, Scale};
 
 fn cfg() -> TaggedConfig {
@@ -69,5 +71,65 @@ fn noop_probe_adds_no_measurable_overhead_on_dmv() {
         total.as_secs_f64() < 30.0,
         "{reps}x2 instrumented dmv runs took {total:?} — the probe layer has \
          regressed the tagged engine's throughput",
+    );
+}
+
+#[test]
+fn noop_probe_is_no_slower_than_the_timeline_sink_on_dmv() {
+    let w = by_name("dmv", Scale::Tiny, 7).unwrap();
+    let dfg = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+
+    let warm = TaggedEngine::new(&dfg, w.memory.clone(), cfg()).run().unwrap();
+    assert!(warm.is_complete());
+
+    let reps = 30;
+    let mut noop: Vec<Duration> = Vec::with_capacity(reps);
+    let mut timed: Vec<Duration> = Vec::with_capacity(reps);
+    let mut final_cycle = 0;
+    let mut last_timeline = None;
+    // Interleaved for the same drift-cancellation reason as above.
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = TaggedEngine::new(&dfg, w.memory.clone(), cfg()).run().unwrap();
+        noop.push(t.elapsed());
+        assert!(r.is_complete());
+
+        let t = Instant::now();
+        let mut tl = Timeline::default();
+        let r = TaggedEngine::with_probe(&dfg, w.memory.clone(), cfg(), &mut tl).run().unwrap();
+        timed.push(t.elapsed());
+        assert!(r.is_complete());
+        final_cycle = r.final_cycle();
+        last_timeline = Some(tl);
+    }
+    // The sink must have observed the run, not just been carried along.
+    let report = last_timeline.unwrap().report(final_cycle);
+    assert!(!report.windows.is_empty(), "timeline produced no windows");
+    assert!(report.windows.iter().map(|w| w.fires).sum::<u64>() > 0, "timeline saw no fires");
+
+    let median = |v: &mut Vec<Duration>| {
+        v.sort();
+        v[v.len() / 2]
+    };
+    let noop_med = median(&mut noop);
+    let timeline_med = median(&mut timed);
+
+    // The timeline sink does strictly more work per event than a
+    // compiled-out no-op, so the no-op median must not exceed it beyond
+    // timer noise: the NoProbe side shows no regression from the windowed
+    // sink existing.
+    let budget = timeline_med.mul_f64(1.25) + Duration::from_millis(2);
+    assert!(
+        noop_med <= budget,
+        "NoProbe dmv run (median {noop_med:?} over {reps} reps) is slower than the \
+         timeline-probe run ({timeline_med:?}) — probe emission is no longer \
+         compiling out of the hot loops",
+    );
+
+    let total: Duration = noop.iter().chain(timed.iter()).sum();
+    assert!(
+        total.as_secs_f64() < 30.0,
+        "{reps}x2 timeline-instrumented dmv runs took {total:?} — the windowed sink \
+         is too heavy for an always-on profile",
     );
 }

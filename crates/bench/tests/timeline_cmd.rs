@@ -1,0 +1,134 @@
+//! End-to-end acceptance tests for `repro timeline`: the windowed CSV is
+//! byte-identical for any `--jobs`, golden snapshots pin the dmv timelines
+//! under the healthy (`tyr`) and wedging (`tagged-global-bounded`, Fig. 11)
+//! policies, the streamed JSONL re-parses with exactly as many event
+//! records as the independent counting probe saw, the `ooo` engine's
+//! non-monotonic issue cycles conserve fires through the windowed sink, and
+//! the Fig. 11 wedge is attributed to open tag-starved stalls in the tail.
+//!
+//! Regenerate the snapshots with
+//! `TYR_BLESS=1 cargo test -p tyr-bench --test timeline_cmd` and review the
+//! diff.
+
+use std::path::PathBuf;
+
+use tyr_bench::figures::Ctx;
+use tyr_bench::timeline;
+use tyr_stats::{stream, StallReason, TimelineConfig};
+use tyr_workloads::{by_name, Scale};
+
+/// Seed for the workloads; must stay fixed or the snapshots change.
+const SEED: u64 = 7;
+
+fn tiny_ctx(jobs: usize) -> Ctx {
+    Ctx { scale: Scale::Tiny, seed: SEED, jobs, ..Ctx::default() }
+}
+
+fn golden(name: &str, actual: &str) {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.txt"));
+    if std::env::var_os("TYR_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); regenerate with TYR_BLESS=1", path.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "timeline output for '{name}' drifted from its golden snapshot; \
+         if intentional, regenerate with TYR_BLESS=1 and review the diff"
+    );
+}
+
+/// One timeline run: the per-window CSV text and the JSONL document, with
+/// the stream-vs-counter parity already asserted.
+fn run_once(jobs: usize, engine: &str) -> (String, String) {
+    let ctx = tiny_ctx(jobs);
+    let w = by_name("dmv", ctx.scale, ctx.seed).unwrap();
+    let (r, counted, jsonl) = timeline::collect(&ctx, &w, engine, TimelineConfig::default())
+        .unwrap_or_else(|e| panic!("{engine}: {e}"));
+    let summary = stream::validate(&jsonl).unwrap_or_else(|e| panic!("{engine}: {e}"));
+    assert_eq!(
+        summary.events, counted,
+        "{engine}: JSONL record count disagrees with the counting probe"
+    );
+    let csv = r.timeline.expect("timeline attached").to_csv().render();
+    (csv, jsonl)
+}
+
+#[test]
+fn timeline_is_byte_identical_across_jobs() {
+    // The timeline stack is a single probed run: the jobs knob (which fans
+    // out *sweeps*) must not leak into its output in any form.
+    let (csv1, jsonl1) = run_once(1, "tyr");
+    let (csv4, jsonl4) = run_once(4, "tyr");
+    assert_eq!(csv1, csv4, "timeline CSV differs between --jobs 1 and --jobs 4");
+    assert_eq!(jsonl1, jsonl4, "JSONL stream differs between --jobs 1 and --jobs 4");
+}
+
+#[test]
+fn golden_dmv_timelines() {
+    // The healthy local-tag run and the Fig. 11 wedge, pinned window by
+    // window. Simulated cycles are deterministic, so the CSVs are stable
+    // across hosts.
+    for engine in ["tyr", "tagged-global-bounded"] {
+        let (csv, _) = run_once(1, engine);
+        golden(&format!("timeline_dmv_{engine}"), &csv);
+    }
+}
+
+#[test]
+fn ooo_issue_cycles_conserve_fires_through_the_windowed_sink() {
+    // The ooo engine emits events with non-monotonic cycles (probe.rs
+    // documents the caveat); the windowed sink buckets by absolute cycle,
+    // so every fired event must land in exactly one window regardless of
+    // arrival order.
+    let ctx = tiny_ctx(1);
+    let w = by_name("dmv", ctx.scale, ctx.seed).unwrap();
+    let (r, _, jsonl) = timeline::collect(&ctx, &w, "ooo", TimelineConfig::default()).unwrap();
+    let summary = stream::validate(&jsonl).unwrap();
+    let report = r.timeline.expect("timeline attached");
+    let windowed_fires: u64 = report.windows.iter().map(|w| w.fires).sum();
+    let streamed_fires = summary.kinds.get("fired").copied().unwrap_or(0);
+    assert!(streamed_fires > 0, "dmv on ooo must fire");
+    assert_eq!(
+        windowed_fires, streamed_fires,
+        "out-of-order issue cycles lost or duplicated fires in the windowed sink"
+    );
+}
+
+#[test]
+fn fig11_wedge_shows_a_tag_starved_tail() {
+    let ctx = tiny_ctx(1);
+    let w = by_name("dmv", ctx.scale, ctx.seed).unwrap();
+    let (r, _, _) =
+        timeline::collect(&ctx, &w, "tagged-global-bounded", TimelineConfig::default()).unwrap();
+    assert!(!r.is_complete(), "the bounded global pool must wedge dmv (Fig. 11)");
+    let report = r.timeline.as_ref().expect("timeline attached");
+    let (reason, open, _tail) =
+        report.tail_attribution().expect("a wedged run must have a stall-dominated tail");
+    assert_eq!(reason, StallReason::TagStarved, "the wedge is tag starvation");
+    assert!(open > 0, "open tag-starved stalls must persist to the final window");
+    let last = report.windows.last().unwrap();
+    assert!(
+        last.open_stalls[StallReason::TagStarved.index()] > 0,
+        "the final window must carry the open tag-starved intervals"
+    );
+    // And the full command path (render, CSV, stream check) exits cleanly
+    // on the wedge — the acceptance criterion for `repro timeline dmv
+    // tagged-global-bounded`.
+    timeline::run(&ctx, "dmv", "tagged-global-bounded", None, None, None).unwrap();
+}
+
+#[test]
+fn timeline_rejects_unknown_names_and_zero_window() {
+    let ctx = tiny_ctx(1);
+    let err = timeline::run(&ctx, "nope", "tyr", None, None, None).unwrap_err();
+    assert!(err.contains("unknown kernel"), "{err}");
+    let err = timeline::run(&ctx, "dmv", "nope", None, None, None).unwrap_err();
+    assert!(err.contains("unknown engine"), "{err}");
+    let err = timeline::run(&ctx, "dmv", "tyr", Some(0), None, None).unwrap_err();
+    assert!(err.contains("--window"), "{err}");
+}

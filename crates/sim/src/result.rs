@@ -3,7 +3,7 @@
 use std::fmt;
 
 use tyr_ir::{AluError, MemError, MemoryImage, Value};
-use tyr_stats::{IpcHistogram, ProfileReport, Trace};
+use tyr_stats::{IpcHistogram, ProfileReport, TimelineReport, Trace};
 
 use crate::fault::FaultRecord;
 
@@ -144,6 +144,9 @@ pub struct RunResult {
     /// Per-node profile from the probe layer, when the run was executed
     /// with a `NodeProfiler` attached (see `tyr_stats::profile`).
     pub profile: Option<ProfileReport>,
+    /// Cycle-windowed telemetry from the probe layer, when the run was
+    /// executed with a `Timeline` sink attached (see `tyr_stats::timeline`).
+    pub timeline: Option<TimelineReport>,
     /// Every fault the injection layer applied during the run, in injection
     /// order (empty unless the engine ran with a
     /// [`FaultPlan`](crate::fault::FaultPlan)). The length always equals the
@@ -176,6 +179,7 @@ impl RunResult {
             returns,
             store_peaks: Vec::new(),
             profile: None,
+            timeline: None,
             faults: Vec::new(),
             mem_loads: 0,
             mem_stores: 0,
@@ -204,6 +208,13 @@ impl RunResult {
     /// Attaches a per-node profile from the probe layer (builder-style).
     pub fn with_profile(mut self, profile: ProfileReport) -> Self {
         self.profile = Some(profile);
+        self
+    }
+
+    /// Attaches a cycle-windowed timeline from the probe layer
+    /// (builder-style).
+    pub fn with_timeline(mut self, timeline: TimelineReport) -> Self {
+        self.timeline = Some(timeline);
         self
     }
 

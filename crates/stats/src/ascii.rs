@@ -173,6 +173,34 @@ pub fn heatmap(title: &str, rows: &[(String, Vec<f64>)], width: usize) -> String
     out
 }
 
+/// Renders one series as a `width`-character sparkline row using the
+/// [`heatmap`] intensity ramp: columns partition the series (max within
+/// each column, so short spikes survive), intensity is `log10(v+1)` scaled
+/// against the row's own maximum. Negative values clamp to zero. Used for
+/// the per-metric rows of `repro timeline`.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let width = width.max(8);
+    let mut out = String::with_capacity(width);
+    if values.is_empty() {
+        return " ".repeat(width);
+    }
+    let map = |v: f64| (v.max(0.0) + 1.0).log10();
+    let vmax = values.iter().copied().fold(0.0f64, f64::max);
+    let mmax = map(vmax).max(1e-9);
+    for col in 0..width {
+        let lo = col * values.len() / width;
+        let hi = ((col + 1) * values.len() / width).max(lo + 1).min(values.len());
+        let v = if lo >= values.len() {
+            0.0
+        } else {
+            values[lo..hi].iter().copied().fold(0.0f64, f64::max)
+        };
+        let idx = ((map(v) / mmax) * (HEAT.len() - 1) as f64).round() as usize;
+        out.push(HEAT[idx.min(HEAT.len() - 1)] as char);
+    }
+    out
+}
+
 /// Clips `s` to at most `n` bytes (labels in this crate are ASCII).
 pub fn truncate(s: &str, n: usize) -> &str {
     if s.len() <= n {
@@ -271,6 +299,21 @@ mod tests {
     #[test]
     fn heatmap_empty() {
         assert!(heatmap("t", &[], 32).contains("no data"));
+    }
+
+    #[test]
+    fn sparkline_tracks_intensity() {
+        let mut vs = vec![0.0; 64];
+        vs[0] = 100.0;
+        vs[63] = 1.0;
+        let row = sparkline(&vs, 32);
+        assert_eq!(row.len(), 32);
+        assert_eq!(row.chars().next(), Some('@'), "max value renders brightest: {row}");
+        assert!(row[1..31].chars().all(|c| c == ' '), "zero run stays blank: {row}");
+        assert_ne!(row.chars().last(), Some(' '), "small nonzero value is visible: {row}");
+        assert_eq!(sparkline(&[], 20), " ".repeat(20));
+        // Fewer values than columns still fills the width.
+        assert_eq!(sparkline(&[5.0, 0.0], 16).len(), 16);
     }
 
     #[test]

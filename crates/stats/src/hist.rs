@@ -1,0 +1,338 @@
+//! Dependency-free log-bucketed histogram for latency/dispersion summaries.
+//!
+//! [`LogHistogram`] is an HDR-style histogram over `u64` values with **two
+//! sub-buckets per power of two**, so any recorded value lands in a bucket
+//! whose upper edge is at most 1.5× the value. That bounds the error of
+//! every quantile estimate (see *Quantile semantics* below) while keeping
+//! the whole structure a fixed 128-slot array — mergeable across worker
+//! threads with a plain element-wise add, no allocation, no dependencies.
+//!
+//! # Bucket math
+//!
+//! | value `v`            | bucket index            | bucket range                         |
+//! |----------------------|-------------------------|--------------------------------------|
+//! | `0`                  | `0`                     | `[0, 0]`                             |
+//! | `1`                  | `1`                     | `[1, 1]`                             |
+//! | `v ≥ 2`, `p = ⌊log₂ v⌋` | `2p + s`, `s ∈ {0,1}` | `s = 0`: `[2^p, 1.5·2^p)`; `s = 1`: `[1.5·2^p, 2^(p+1))` |
+//!
+//! With `p ≤ 63` the largest index is `2·63 + 1 = 127`, hence
+//! [`LogHistogram::BUCKETS`] `= 128`. The exact minimum, maximum, count and
+//! sum are tracked alongside the buckets, so `min()`/`max()`/`mean()` are
+//! exact even though per-bucket resolution is logarithmic.
+//!
+//! # Quantile semantics
+//!
+//! [`LogHistogram::quantile`]`(q)` returns the **upper edge** of the first
+//! bucket whose cumulative count reaches `ceil(q·n)` (clamped to the exact
+//! observed `max()`). The result is therefore never below the true
+//! q-quantile of the recorded values, and never more than 1.5× above it —
+//! a documented invariant defended by property tests in this module.
+
+use std::fmt;
+
+/// Fixed-size log-bucketed histogram of `u64` samples (2 sub-buckets per
+/// power of two; see the module docs for the exact bucket math).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; LogHistogram::BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Number of buckets: indices `0` and `1` for the exact values 0 and 1,
+    /// then two sub-buckets for each power-of-two decade up to `2^63`.
+    pub const BUCKETS: usize = 128;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { buckets: [0; Self::BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Bucket index for a value (total order preserved: `v <= w` implies
+    /// `index(v) <= index(w)`).
+    fn index(v: u64) -> usize {
+        match v {
+            0 => 0,
+            1 => 1,
+            _ => {
+                let p = 63 - v.leading_zeros() as usize; // ⌊log₂ v⌋, ≥ 1
+                let half = 1u64 << (p - 1); // 2^(p-1)
+                let sub = usize::from(v - (1u64 << p) >= half);
+                2 * p + sub
+            }
+        }
+    }
+
+    /// Inclusive upper edge of a bucket: the largest value that maps to it.
+    fn upper_edge(idx: usize) -> u64 {
+        match idx {
+            0 => 0,
+            1 => 1,
+            _ => {
+                let p = idx / 2;
+                let sub = idx % 2;
+                if sub == 0 {
+                    // [2^p, 1.5·2^p) — top value is 2^p + 2^(p-1) - 1.
+                    (1u64 << p) + (1u64 << (p - 1)) - 1
+                } else if p == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (p + 1)) - 1
+                }
+            }
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record `n` occurrences of the same sample.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::index(v)] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Merging is exact: the result
+    /// is identical to having recorded both sample streams into one
+    /// histogram (property-tested below).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// q-quantile estimate for `q` in `[0, 1]`: the upper edge of the first
+    /// bucket whose cumulative count reaches `ceil(q·n)`, clamped to the
+    /// exact observed maximum. Never below the true quantile, never more
+    /// than 1.5× above it; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return Self::upper_edge(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the (p50, p90, p99) triple.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.90), self.quantile(0.99))
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    /// `n=… min=… p50=… p90=… p99=… max=…` one-line summary.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (p50, p90, p99) = self.percentiles();
+        write!(
+            f,
+            "n={} min={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.min(),
+            p50,
+            p90,
+            p99,
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny deterministic PRNG (xorshift*) so the property tests need no
+    /// external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn index_is_monotone_and_edges_are_consistent() {
+        // Every bucket's upper edge maps back into that bucket, and the
+        // next value maps strictly past it.
+        for idx in 0..LogHistogram::BUCKETS {
+            let hi = LogHistogram::upper_edge(idx);
+            assert_eq!(LogHistogram::index(hi), idx, "upper edge of bucket {idx}");
+            if hi < u64::MAX {
+                assert_eq!(LogHistogram::index(hi + 1), idx + 1, "value after bucket {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_edge_values() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 2, 3, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(LogHistogram::index(u64::MAX), LogHistogram::BUCKETS - 1);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantile_bounds_hold_on_random_streams() {
+        // Invariant: true_q <= estimate <= 1.5 * true_q (+1 covers the
+        // integer edges around tiny values).
+        let mut rng = Rng(0x5EED_1234_ABCD_0001);
+        for round in 0..50 {
+            let n = 1 + (rng.next() % 500) as usize;
+            let mut h = LogHistogram::new();
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix scales: small counts and wide 64-bit values.
+                let v = match rng.next() % 4 {
+                    0 => rng.next() % 16,
+                    1 => rng.next() % 10_000,
+                    2 => rng.next() % 1_000_000_000,
+                    _ => rng.next(),
+                };
+                h.record(v);
+                vals.push(v);
+            }
+            vals.sort_unstable();
+            for &q in &[0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+                let truth = exact_quantile(&vals, q);
+                let est = h.quantile(q);
+                assert!(est >= truth, "round {round} q={q}: est {est} < truth {truth}");
+                let bound = (truth as u128) * 3 / 2 + 1;
+                assert!(u128::from(est) <= bound, "round {round} q={q}: est {est} > 1.5*{truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut rng = Rng(0xC0FF_EE00_DEAD_BEEF);
+        for _ in 0..20 {
+            let mut a = LogHistogram::new();
+            let mut b = LogHistogram::new();
+            let mut all = LogHistogram::new();
+            for _ in 0..(rng.next() % 200) {
+                let v = rng.next() >> (rng.next() % 60);
+                a.record(v);
+                all.record(v);
+            }
+            for _ in 0..(rng.next() % 200) {
+                let v = rng.next() >> (rng.next() % 60);
+                b.record(v);
+                all.record(v);
+            }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            assert_eq!(merged, all, "merge must equal recording the concatenated stream");
+        }
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record_n(7, 5);
+        a.record_n(0, 2);
+        a.record_n(9, 0);
+        for _ in 0..5 {
+            b.record(7);
+        }
+        b.record(0);
+        b.record(0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_stats_and_display() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+        let s = h.to_string();
+        assert!(s.starts_with("n=3 min=10"), "display: {s}");
+    }
+}

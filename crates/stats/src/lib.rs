@@ -30,6 +30,17 @@
 //!   tokens and peak boundary in-flight occupancy keyed by a static shard
 //!   plan, plus the per-word conflict detector that can falsify the
 //!   P-pass's cross-shard disjointness claims at runtime.
+//! * [`timeline`] — the cycle-windowed telemetry sink: per-window firings,
+//!   token/tag traffic, open-stall levels by reason, memory traffic, and
+//!   distinct cache lines, with bounded auto-coarsening — the time axis
+//!   the aggregate sinks lack.
+//! * [`hist`] — the dependency-free HDR-style log-bucketed
+//!   [`LogHistogram`] (two sub-buckets per power of two) behind the
+//!   timeline's firing-gap dispersion and `tyr-bench`'s wall-clock
+//!   p50/p90/p99 reporting.
+//! * [`stream`] — the line-buffered JSONL [`StreamProbe`] sink (schema
+//!   `tyr-events/v1`): one validated record per probe event, streamable to
+//!   any writer.
 //! * [`json`] — the dependency-free JSON value/parser the trace exporter
 //!   and its validation are built on.
 //!
@@ -51,18 +62,24 @@
 pub mod ascii;
 pub mod cdf;
 pub mod csv;
+pub mod hist;
 pub mod json;
 pub mod locality;
 pub mod probe;
 pub mod profile;
 pub mod shard;
+pub mod stream;
 pub mod summary;
+pub mod timeline;
 pub mod trace;
 
 pub use cdf::{Cdf, IpcHistogram};
+pub use hist::LogHistogram;
 pub use locality::{WorkingSet, WorkingSetReport};
 pub use probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 pub use profile::{NodeProfile, NodeProfiler, ProfileReport};
 pub use shard::{ShardCrossings, ShardCrossingsReport, ShardSpec};
+pub use stream::StreamProbe;
 pub use summary::{gmean, mean, speedup, Summary};
+pub use timeline::{Timeline, TimelineConfig, TimelineReport};
 pub use trace::Trace;

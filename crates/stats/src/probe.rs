@@ -368,7 +368,11 @@ pub trait Probe {
 
     /// Delivers one event at `cycle`. Cycles are non-decreasing for all
     /// engines except `ooo`, whose issue cycles may step backwards; sinks
-    /// must tolerate that.
+    /// must tolerate that. The windowed [`crate::timeline::Timeline`] sink
+    /// is the reference for how: it buckets by absolute cycle and stores
+    /// levels as deltas, so a late event lands in the window its cycle
+    /// names with no panic and no skew (defended by its
+    /// `out_of_order_cycles_land_in_the_right_window` test).
     fn event(&mut self, _cycle: u64, _ev: ProbeEvent) {}
 }
 
@@ -438,6 +442,12 @@ impl Probe for CountingProbe {
 /// unboundedly large file. Kind counts keep counting past the cap.
 const MAX_TRACE_EVENTS: usize = 1_000_000;
 
+/// Sampling stride (in cycles) for the machine-wide tokens-in-flight and
+/// live-tags counter tracks — one sample per window, matching the default
+/// [`crate::timeline::TimelineConfig`] window, so the Perfetto curves line
+/// up with the `repro timeline` windows.
+const GLOBAL_COUNTER_WINDOW: u64 = 64;
+
 #[derive(Debug, Clone, Copy)]
 struct FireRun {
     start: u64,
@@ -451,7 +461,10 @@ struct FireRun {
 /// consecutive-cycle fire runs → complete (`"X"`) slices, stall intervals →
 /// async (`"b"`/`"e"`) slices named by reason, tag and block events →
 /// instant (`"i"`) events, and per-block live-token counts → counter
-/// (`"C"`) events. Use [`ChromeTrace::render`] after the run to get the
+/// (`"C"`) events. Two machine-wide counter tracks — `tokens in flight`
+/// and `live tags`, on `pid` 0 — are sampled once per
+/// 64-cycle timeline window so Perfetto shows the same curves as
+/// `repro timeline`. Use [`ChromeTrace::render`] after the run to get the
 /// JSON document.
 #[derive(Debug, Default)]
 pub struct ChromeTrace {
@@ -464,6 +477,9 @@ pub struct ChromeTrace {
     block_live: HashMap<u32, i64>,
     dirty_blocks: Vec<u32>,
     counter_cycle: u64,
+    global_inflight: i64,
+    live_tags: i64,
+    next_global_sample: u64,
     kind_counts: [u64; EventKind::ALL.len()],
     dropped: u64,
 }
@@ -508,6 +524,20 @@ impl ChromeTrace {
             ));
         }
         self.dirty_blocks = blocks;
+    }
+
+    fn sample_globals(&mut self, cycle: u64) {
+        let tokens = self.global_inflight;
+        let tags = self.live_tags;
+        self.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"tokens in flight\",\"pid\":0,\"tid\":0,\
+             \"ts\":{cycle},\"args\":{{\"tokens\":{tokens}}}}}"
+        ));
+        self.push(format!(
+            "{{\"ph\":\"C\",\"name\":\"live tags\",\"pid\":0,\"tid\":0,\
+             \"ts\":{cycle},\"args\":{{\"tags\":{tags}}}}}"
+        ));
+        self.next_global_sample = (cycle / GLOBAL_COUNTER_WINDOW + 1) * GLOBAL_COUNTER_WINDOW;
     }
 
     fn touch_block(&mut self, block: u32, delta: i64) {
@@ -569,6 +599,7 @@ impl ChromeTrace {
         }
         self.counter_cycle = final_cycle;
         self.flush_counters();
+        self.sample_globals(final_cycle);
 
         let mut out = String::from("{\"traceEvents\":[");
         for (i, ev) in self.meta.iter().chain(self.events.iter()).enumerate() {
@@ -622,6 +653,15 @@ impl ChromeTrace {
             if ph != "M" && ev.get("ts").and_then(Json::as_f64).is_none() {
                 return Err(format!("event {i} ({ph}) has no ts"));
             }
+            if ph == "C" {
+                let args = ev
+                    .get("args")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| format!("counter event {i} has no args object"))?;
+                if !args.iter().any(|(_, v)| v.as_f64().is_some()) {
+                    return Err(format!("counter event {i} has no numeric series"));
+                }
+            }
         }
         let kinds = doc
             .get("otherData")
@@ -661,6 +701,16 @@ impl Probe for ChromeTrace {
         if cycle > self.counter_cycle {
             self.flush_counters();
             self.counter_cycle = cycle;
+        }
+        match ev {
+            ProbeEvent::TokenProduced { .. } => self.global_inflight += 1,
+            ProbeEvent::TokenConsumed { count, .. } => self.global_inflight -= count as i64,
+            ProbeEvent::TagAllocated { .. } => self.live_tags += 1,
+            ProbeEvent::TagFreed { .. } => self.live_tags -= 1,
+            _ => {}
+        }
+        if cycle >= self.next_global_sample {
+            self.sample_globals(cycle);
         }
         match ev {
             ProbeEvent::NodeFired { node } => match self.fires.get_mut(&node) {
@@ -815,6 +865,67 @@ mod tests {
         assert_eq!(slices.len(), 2);
         assert_eq!(slices[0].get("dur").unwrap().as_f64().unwrap(), 10.0);
         assert_eq!(slices[0].get("args").unwrap().get("fires").unwrap().as_f64().unwrap(), 10.0);
+    }
+
+    #[test]
+    fn global_counter_tracks_are_sampled_per_window() {
+        let mut t = ChromeTrace::new();
+        t.declare_node(0, "n", 0);
+        // Cross two sampling windows and finish mid-window: expect samples at
+        // cycle 0, 64, 128, and the forced final sample at 150.
+        for c in [0u64, 3, 64, 70, 128, 140] {
+            t.event(c, ProbeEvent::TokenProduced { node: 0 });
+        }
+        t.event(140, ProbeEvent::TagAllocated { space: 0, tag: 1 });
+        let text = t.render(150);
+        let doc = Json::parse(&text).unwrap();
+        let counters: Vec<&Json> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .collect();
+        let track = |name: &str| -> Vec<(f64, f64)> {
+            counters
+                .iter()
+                .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .map(|e| {
+                    let ts = e.get("ts").unwrap().as_f64().unwrap();
+                    let args = e.get("args").unwrap().as_obj().unwrap();
+                    (ts, args[0].1.as_f64().unwrap())
+                })
+                .collect()
+        };
+        let tokens = track("tokens in flight");
+        assert_eq!(
+            tokens,
+            vec![(0.0, 1.0), (64.0, 3.0), (128.0, 5.0), (150.0, 6.0)],
+            "one sample per {GLOBAL_COUNTER_WINDOW}-cycle window plus the final sample"
+        );
+        let tags = track("live tags");
+        assert_eq!(tags.last(), Some(&(150.0, 1.0)));
+        ChromeTrace::validate(&text).expect("counter tracks pass validation");
+    }
+
+    #[test]
+    fn validator_rejects_counter_without_numeric_args() {
+        let doc = |counter: &str| {
+            format!("{{\"traceEvents\":[{counter}],\"otherData\":{{\"eventKinds\":{{}}}}}}")
+        };
+        let good = doc("{\"ph\":\"C\",\"name\":\"t\",\"ts\":0,\"args\":{\"tokens\":3}}");
+        ChromeTrace::validate(&good).unwrap();
+        let stringy = doc("{\"ph\":\"C\",\"name\":\"t\",\"ts\":0,\"args\":{\"tokens\":\"3\"}}");
+        assert!(
+            ChromeTrace::validate(&stringy).unwrap_err().contains("no numeric series"),
+            "stringified counter value must be rejected"
+        );
+        let missing = doc("{\"ph\":\"C\",\"name\":\"t\",\"ts\":0}");
+        assert!(
+            ChromeTrace::validate(&missing).unwrap_err().contains("has no args object"),
+            "counter without args must be rejected"
+        );
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Streaming JSONL export of the probe event stream.
+//!
+//! [`StreamProbe`] writes one JSON record per line to any [`std::io::Write`]
+//! sink — one validated record per probe event, preceded by a header and
+//! the block/node declarations — so a run can be tailed, piped, or archived
+//! without buffering the whole stream in memory. The JSON is hand-rolled
+//! like the Chrome exporter (DESIGN.md §8: no dependencies).
+//!
+//! # Schema `tyr-events/v1`
+//!
+//! Line 1 is the header: `{"schema":"tyr-events/v1","kinds":[...]}`.
+//! Declarations follow as `{"decl":"block","id":N,"name":S}` and
+//! `{"decl":"node","id":N,"label":S,"block":N}`. Every subsequent line is
+//! one event record carrying the cycle (`"c"`), the taxonomy kind name
+//! (`"k"`, see [`EventKind::name`]), and the kind's payload fields:
+//!
+//! | kind | fields |
+//! |------|--------|
+//! | `fired`, `produced` | `node` |
+//! | `consumed` | `node`, `n` |
+//! | `tag-allocated`, `tag-freed` | `space`, `tag` |
+//! | `tag-changed` | `node`, `from`, `to` |
+//! | `block-enter`, `block-exit` | `block`, `tag` |
+//! | `stall-begin` | `node`, `tag`, `reason` |
+//! | `stall-end` | `node`, `tag` |
+//! | `fault-injected` | `node`, `fault` |
+//! | `mem-access` | `node`, `addr`, `w` (1 = store, 0 = load) |
+//!
+//! The number of records with a `"c"` field equals the total event count a
+//! [`crate::probe::CountingProbe`] sees on the same run — the parity the CI
+//! timeline gate checks. [`validate`] re-parses a document line by line and
+//! returns the per-kind counts.
+//!
+//! [`Probe::event`] cannot return an error, so I/O failures are latched:
+//! the sink stops writing after the first failure and [`StreamProbe::finish`]
+//! surfaces it.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+use crate::json::{self, Json};
+use crate::probe::{EventKind, FaultKind, Probe, ProbeEvent, StallReason};
+
+/// The schema identifier written to and required of every JSONL document.
+pub const SCHEMA: &str = "tyr-events/v1";
+
+/// The streaming JSONL probe sink. See the module docs for the record
+/// layout.
+///
+/// # Example
+///
+/// ```
+/// use tyr_stats::probe::{Probe, ProbeEvent};
+/// use tyr_stats::stream::{self, StreamProbe};
+///
+/// let mut s = StreamProbe::new(Vec::new());
+/// s.declare_node(3, "mul", 0);
+/// s.event(7, ProbeEvent::NodeFired { node: 3 });
+/// let bytes = s.finish().unwrap();
+/// let text = String::from_utf8(bytes).unwrap();
+/// let summary = stream::validate(&text).unwrap();
+/// assert_eq!(summary.events, 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamProbe<W: Write> {
+    out: W,
+    buf: String,
+    events: u64,
+    err: Option<String>,
+}
+
+impl<W: Write> StreamProbe<W> {
+    /// Wraps a writer and emits the schema header line. Callers streaming
+    /// to a file should pass a `BufWriter`; each record is a single
+    /// `write_all` of one line.
+    pub fn new(out: W) -> Self {
+        let mut s = StreamProbe { out, buf: String::with_capacity(128), events: 0, err: None };
+        s.buf.push_str("{\"schema\":\"");
+        s.buf.push_str(SCHEMA);
+        s.buf.push_str("\",\"kinds\":[");
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            if i > 0 {
+                s.buf.push(',');
+            }
+            s.buf.push('"');
+            s.buf.push_str(k.name());
+            s.buf.push('"');
+        }
+        s.buf.push_str("]}");
+        s.write_line();
+        s
+    }
+
+    /// Event records written so far (excludes the header and declarations).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first latched write error, or the flush error.
+    pub fn finish(mut self) -> Result<W, String> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        self.out.flush().map_err(|e| format!("flushing event stream: {e}"))?;
+        Ok(self.out)
+    }
+
+    /// Writes `self.buf` plus a newline, latching the first error.
+    fn write_line(&mut self) {
+        if self.err.is_none() {
+            self.buf.push('\n');
+            if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+                self.err = Some(format!("writing event stream: {e}"));
+            }
+        }
+        self.buf.clear();
+    }
+}
+
+impl<W: Write> Probe for StreamProbe<W> {
+    fn declare_block(&mut self, block: u32, name: &str) {
+        self.buf.push_str(&format!("{{\"decl\":\"block\",\"id\":{block},\"name\":"));
+        json::write_str(&mut self.buf, name);
+        self.buf.push('}');
+        self.write_line();
+    }
+
+    fn declare_node(&mut self, node: u32, label: &str, block: u32) {
+        self.buf.push_str(&format!("{{\"decl\":\"node\",\"id\":{node},\"label\":"));
+        json::write_str(&mut self.buf, label);
+        self.buf.push_str(&format!(",\"block\":{block}}}"));
+        self.write_line();
+    }
+
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        use std::fmt::Write as _;
+        self.events += 1;
+        let b = &mut self.buf;
+        let _ = write!(b, "{{\"c\":{cycle},\"k\":\"{}\"", ev.kind().name());
+        let _ = match ev {
+            ProbeEvent::NodeFired { node } | ProbeEvent::TokenProduced { node } => {
+                write!(b, ",\"node\":{node}")
+            }
+            ProbeEvent::TokenConsumed { node, count } => {
+                write!(b, ",\"node\":{node},\"n\":{count}")
+            }
+            ProbeEvent::TagAllocated { space, tag } | ProbeEvent::TagFreed { space, tag } => {
+                write!(b, ",\"space\":{space},\"tag\":{tag}")
+            }
+            ProbeEvent::TagChanged { node, from, to } => {
+                write!(b, ",\"node\":{node},\"from\":{from},\"to\":{to}")
+            }
+            ProbeEvent::BlockEnter { block, tag } | ProbeEvent::BlockExit { block, tag } => {
+                write!(b, ",\"block\":{block},\"tag\":{tag}")
+            }
+            ProbeEvent::StallBegin { node, tag, reason } => {
+                write!(b, ",\"node\":{node},\"tag\":{tag},\"reason\":\"{}\"", reason.label())
+            }
+            ProbeEvent::StallEnd { node, tag } => write!(b, ",\"node\":{node},\"tag\":{tag}"),
+            ProbeEvent::FaultInjected { node, kind } => {
+                write!(b, ",\"node\":{node},\"fault\":\"{}\"", kind.label())
+            }
+            ProbeEvent::MemAccess { node, addr, write: w } => {
+                write!(b, ",\"node\":{node},\"addr\":{addr},\"w\":{}", u8::from(w))
+            }
+        };
+        b.push('}');
+        self.write_line();
+    }
+}
+
+/// What [`validate`] found in a well-formed document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Event records (lines with a `"c"` field) — equals the event count a
+    /// `CountingProbe` sees on the same run.
+    pub events: u64,
+    /// Declaration records.
+    pub decls: u64,
+    /// Event counts per taxonomy kind name.
+    pub kinds: HashMap<String, u64>,
+}
+
+/// Validates a `tyr-events/v1` JSONL document line by line: the header's
+/// schema tag, every declaration's fields, and every event record's kind
+/// and kind-specific payload fields.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn validate(text: &str) -> Result<StreamSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty document")?;
+    let header = Json::parse(header).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("line 1: missing or wrong \"schema\" (want {SCHEMA:?})"));
+    }
+
+    let mut summary = StreamSummary { events: 0, decls: 0, kinds: HashMap::new() };
+    for (i, line) in lines {
+        let n = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let rec = Json::parse(line).map_err(|e| format!("line {n}: {e}"))?;
+        let num = |key: &str| {
+            rec.get(key)
+                .and_then(Json::as_f64)
+                .map(|_| ())
+                .ok_or_else(|| format!("line {n}: missing numeric \"{key}\""))
+        };
+        if let Some(decl) = rec.get("decl").and_then(Json::as_str) {
+            match decl {
+                "block" => {
+                    num("id")?;
+                    rec.get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {n}: block decl has no name"))?;
+                }
+                "node" => {
+                    num("id")?;
+                    num("block")?;
+                    rec.get("label")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("line {n}: node decl has no label"))?;
+                }
+                other => return Err(format!("line {n}: unknown decl {other:?}")),
+            }
+            summary.decls += 1;
+            continue;
+        }
+        num("c")?;
+        let kind = rec
+            .get("k")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {n}: event record has no \"k\""))?;
+        let required: &[&str] = match kind {
+            "fired" | "produced" => &["node"],
+            "consumed" => &["node", "n"],
+            "tag-allocated" | "tag-freed" => &["space", "tag"],
+            "tag-changed" => &["node", "from", "to"],
+            "block-enter" | "block-exit" => &["block", "tag"],
+            "stall-begin" => {
+                let reason = rec
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: stall-begin has no reason"))?;
+                if !StallReason::ALL.iter().any(|r| r.label() == reason) {
+                    return Err(format!("line {n}: unknown stall reason {reason:?}"));
+                }
+                &["node", "tag"]
+            }
+            "stall-end" => &["node", "tag"],
+            "fault-injected" => {
+                let fault = rec
+                    .get("fault")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {n}: fault-injected has no fault"))?;
+                if !FaultKind::ALL.iter().any(|k| k.label() == fault) {
+                    return Err(format!("line {n}: unknown fault class {fault:?}"));
+                }
+                &["node"]
+            }
+            "mem-access" => &["node", "addr", "w"],
+            other => return Err(format!("line {n}: unknown event kind {other:?}")),
+        };
+        for key in required {
+            num(key)?;
+        }
+        summary.events += 1;
+        *summary.kinds.entry(kind.to_string()).or_insert(0) += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let mut s = StreamProbe::new(Vec::new());
+        s.declare_block(0, "main");
+        s.declare_block(1, "loop \"inner\"");
+        s.declare_node(0, "load a", 0);
+        s.declare_node(1, "mul", 1);
+        s.event(0, ProbeEvent::NodeFired { node: 0 });
+        s.event(1, ProbeEvent::TokenProduced { node: 1 });
+        s.event(2, ProbeEvent::TokenConsumed { node: 1, count: 2 });
+        s.event(2, ProbeEvent::TagAllocated { space: 1, tag: 3 });
+        s.event(3, ProbeEvent::BlockEnter { block: 1, tag: 3 });
+        s.event(4, ProbeEvent::StallBegin { node: 1, tag: 3, reason: StallReason::TagStarved });
+        s.event(5, ProbeEvent::StallEnd { node: 1, tag: 3 });
+        s.event(6, ProbeEvent::TagChanged { node: 1, from: 3, to: 0 });
+        s.event(7, ProbeEvent::TagFreed { space: 1, tag: 3 });
+        s.event(7, ProbeEvent::BlockExit { block: 1, tag: 3 });
+        s.event(8, ProbeEvent::FaultInjected { node: 1, kind: FaultKind::MemDelay });
+        s.event(9, ProbeEvent::MemAccess { node: 0, addr: -8, write: true });
+        assert_eq!(s.events(), 12);
+        String::from_utf8(s.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn full_taxonomy_round_trips_and_validates() {
+        let text = sample();
+        let summary = validate(&text).expect("sample validates");
+        assert_eq!(summary.events, 12);
+        assert_eq!(summary.decls, 4);
+        for kind in EventKind::ALL {
+            assert_eq!(
+                summary.kinds.get(kind.name()).copied(),
+                Some(1),
+                "kind {} missing",
+                kind.name()
+            );
+        }
+        // Every line is independently valid JSON.
+        for line in text.lines() {
+            Json::parse(line).expect("each line parses");
+        }
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let text = sample();
+        assert!(text.contains(r#""name":"loop \"inner\"""#), "{text}");
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let mut text = sample();
+        text = text.replacen(SCHEMA, "tyr-events/v0", 1);
+        assert!(validate(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn missing_payload_field_rejected() {
+        let text = format!(
+            "{}\n{{\"c\":4,\"k\":\"consumed\",\"node\":1}}\n",
+            sample().lines().next().unwrap()
+        );
+        assert!(validate(&text).unwrap_err().contains("\"n\""));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let text = format!("{}\n{{\"c\":4,\"k\":\"warped\"}}\n", sample().lines().next().unwrap());
+        assert!(validate(&text).unwrap_err().contains("unknown event kind"));
+    }
+
+    #[test]
+    fn write_errors_are_latched_and_surfaced() {
+        use std::io;
+        #[derive(Debug)]
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = StreamProbe::new(Broken);
+        s.event(0, ProbeEvent::NodeFired { node: 0 });
+        let err = s.finish().unwrap_err();
+        assert!(err.contains("disk on fire"), "{err}");
+    }
+}

@@ -1,0 +1,621 @@
+//! Cycle-windowed telemetry: the time-series view of a run.
+//!
+//! Every other probe sink in this crate aggregates over the *whole* run
+//! (profiler totals, working-set peaks, shard crossings). [`Timeline`] is
+//! the missing time axis: it folds the twelve-kind [`ProbeEvent`] stream
+//! into fixed-width **cycle windows** and keeps a small set of per-window
+//! metrics — firings, tokens produced/consumed, tag traffic, stall-begin
+//! counts split by [`StallReason`], memory loads/stores, distinct cache
+//! lines touched, and fault strikes — so utilization collapse, working-set
+//! ramps, and the exact moment a Fig. 11 wedge forms are all visible.
+//!
+//! # Window semantics
+//!
+//! An event at cycle `c` lands in window `c / window` by **absolute cycle**,
+//! not arrival order. That makes the sink safe for the `ooo` engine, whose
+//! issue cycles may step backwards (see [`Probe::event`]): a late event is
+//! bucketed into the window its cycle belongs to, with no panic and no
+//! skew. Quantities that are *levels* rather than counts — tokens in
+//! flight, live tags, open stalls per reason — are stored as per-window
+//! **deltas** and integrated by prefix sum at report time, so they too are
+//! order-insensitive.
+//!
+//! # Coarsening
+//!
+//! The window count is bounded ([`TimelineConfig::max_windows`]). When a
+//! run outgrows it, the window width doubles and adjacent window pairs
+//! merge (counts add, line sets union) — the same stride-doubling idea as
+//! [`crate::Trace`], keeping memory bounded on paper-scale runs while every
+//! count stays exact.
+//!
+//! Open stall intervals are *not* force-closed: a run that wedges with
+//! tokens parked on tag allocation keeps those stalls open through the last
+//! window, which is exactly how the Fig. 11 deadlock shows up as a
+//! stall-dominated tail (see [`TimelineReport::tail_attribution`]).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::csv::CsvTable;
+use crate::hist::LogHistogram;
+use crate::probe::{Probe, ProbeEvent, StallReason};
+use crate::{ascii, summary};
+
+/// Words per cache line for the distinct-line metric (64-byte lines of
+/// 8-byte words, matching [`crate::locality`]).
+const LINE_WORDS_SHIFT: u32 = 3;
+
+/// Configuration for a [`Timeline`] sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineConfig {
+    /// Initial window width in cycles (power of two recommended; doubles
+    /// under coarsening). Must be at least 1.
+    pub window: u64,
+    /// Maximum number of windows held before the width doubles. Must be at
+    /// least 2.
+    pub max_windows: usize,
+}
+
+impl Default for TimelineConfig {
+    /// 64-cycle windows, at most 256 of them (so a run up to 16384 cycles
+    /// keeps the default resolution).
+    fn default() -> Self {
+        TimelineConfig { window: 64, max_windows: 256 }
+    }
+}
+
+/// Raw per-window accumulators (counts and deltas; levels are derived at
+/// report time).
+#[derive(Debug, Clone, Default)]
+struct Window {
+    fires: u64,
+    produced: u64,
+    consumed: u64,
+    tag_allocs: u64,
+    tag_frees: u64,
+    stall_begins: [u64; 3],
+    /// Net open-stall change per reason: +1 where an interval begins, −1
+    /// where it ends (in the *ending* window, wherever that is).
+    stall_open_delta: [i64; 3],
+    mem_loads: u64,
+    mem_stores: u64,
+    faults: u64,
+    lines: HashSet<i64>,
+}
+
+impl Window {
+    fn absorb(&mut self, other: &Window) {
+        self.fires += other.fires;
+        self.produced += other.produced;
+        self.consumed += other.consumed;
+        self.tag_allocs += other.tag_allocs;
+        self.tag_frees += other.tag_frees;
+        for i in 0..3 {
+            self.stall_begins[i] += other.stall_begins[i];
+            self.stall_open_delta[i] += other.stall_open_delta[i];
+        }
+        self.mem_loads += other.mem_loads;
+        self.mem_stores += other.mem_stores;
+        self.faults += other.faults;
+        self.lines.extend(other.lines.iter().copied());
+    }
+}
+
+/// The windowed probe sink. Attach with the other sinks via the tuple
+/// combinator, then call [`Timeline::report`] with the run's final cycle.
+///
+/// # Example
+///
+/// ```
+/// use tyr_stats::probe::{Probe, ProbeEvent};
+/// use tyr_stats::timeline::{Timeline, TimelineConfig};
+///
+/// let mut tl = Timeline::new(TimelineConfig { window: 4, max_windows: 8 });
+/// tl.event(0, ProbeEvent::NodeFired { node: 1 });
+/// tl.event(5, ProbeEvent::NodeFired { node: 1 });
+/// let report = tl.report(7);
+/// assert_eq!(report.windows.len(), 2);
+/// assert_eq!(report.windows[0].fires, 1);
+/// assert_eq!(report.windows[1].fires, 1);
+/// ```
+#[derive(Debug)]
+pub struct Timeline {
+    window: u64,
+    max_windows: usize,
+    coarsenings: u32,
+    windows: Vec<Window>,
+    /// Reason of each currently-open stall interval, keyed like the engines
+    /// key them: `(node, tag)`.
+    open_stalls: HashMap<(u32, u64), StallReason>,
+    /// Cycle of each node's previous firing, for the gap histogram.
+    last_fire: HashMap<u32, u64>,
+    /// Per-node firing-gap dispersion across the whole run.
+    fire_gaps: LogHistogram,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new(TimelineConfig::default())
+    }
+}
+
+impl Timeline {
+    /// Creates a sink with the given window configuration (width and count
+    /// floors of 1 and 2 are enforced).
+    pub fn new(cfg: TimelineConfig) -> Self {
+        Timeline {
+            window: cfg.window.max(1),
+            max_windows: cfg.max_windows.max(2),
+            coarsenings: 0,
+            windows: Vec::new(),
+            open_stalls: HashMap::new(),
+            last_fire: HashMap::new(),
+            fire_gaps: LogHistogram::new(),
+        }
+    }
+
+    /// Current window width in cycles (grows under coarsening).
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Doubles the window width, merging adjacent window pairs.
+    fn coarsen(&mut self) {
+        self.window *= 2;
+        self.coarsenings += 1;
+        let merged: Vec<Window> = self
+            .windows
+            .chunks(2)
+            .map(|pair| {
+                let mut w = pair[0].clone();
+                if let Some(second) = pair.get(1) {
+                    w.absorb(second);
+                }
+                w
+            })
+            .collect();
+        self.windows = merged;
+    }
+
+    /// The window holding cycle `c`, coarsening and growing as needed.
+    fn at(&mut self, cycle: u64) -> &mut Window {
+        while cycle / self.window >= self.max_windows as u64 {
+            self.coarsen();
+        }
+        let idx = (cycle / self.window) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize_with(idx + 1, Window::default);
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Closes the books and derives the level series. Windows are extended
+    /// (coarsening if necessary) to cover `final_cycle`, so a wedged run's
+    /// still-open stalls stay visible through the last window.
+    pub fn report(mut self, final_cycle: u64) -> TimelineReport {
+        // Materialize every window up to the final cycle.
+        let _ = self.at(final_cycle);
+
+        let mut windows = Vec::with_capacity(self.windows.len());
+        let (mut inflight, mut live_tags) = (0i64, 0i64);
+        let mut open = [0i64; 3];
+        for (i, w) in self.windows.iter().enumerate() {
+            inflight += w.produced as i64 - w.consumed as i64;
+            live_tags += w.tag_allocs as i64 - w.tag_frees as i64;
+            for (o, d) in open.iter_mut().zip(w.stall_open_delta) {
+                *o += d;
+            }
+            windows.push(WindowStats {
+                start: i as u64 * self.window,
+                fires: w.fires,
+                produced: w.produced,
+                consumed: w.consumed,
+                inflight,
+                live_tags,
+                stall_begins: w.stall_begins,
+                open_stalls: open,
+                mem_loads: w.mem_loads,
+                mem_stores: w.mem_stores,
+                distinct_lines: w.lines.len() as u64,
+                faults: w.faults,
+            });
+        }
+        TimelineReport {
+            window: self.window,
+            coarsenings: self.coarsenings,
+            final_cycle,
+            windows,
+            fire_gaps: self.fire_gaps,
+        }
+    }
+}
+
+impl Probe for Timeline {
+    fn event(&mut self, cycle: u64, ev: ProbeEvent) {
+        match ev {
+            ProbeEvent::NodeFired { node } => {
+                self.at(cycle).fires += 1;
+                if let Some(last) = self.last_fire.insert(node, cycle) {
+                    // `ooo` can fire backwards in cycle order; a negative
+                    // gap clamps to 0 rather than wrapping.
+                    self.fire_gaps.record(cycle.saturating_sub(last));
+                }
+            }
+            ProbeEvent::TokenProduced { .. } => self.at(cycle).produced += 1,
+            ProbeEvent::TokenConsumed { count, .. } => self.at(cycle).consumed += u64::from(count),
+            ProbeEvent::TagAllocated { .. } => self.at(cycle).tag_allocs += 1,
+            ProbeEvent::TagFreed { .. } => self.at(cycle).tag_frees += 1,
+            ProbeEvent::StallBegin { node, tag, reason } => {
+                let old = self.open_stalls.insert((node, tag), reason);
+                let w = self.at(cycle);
+                w.stall_begins[reason.index()] += 1;
+                w.stall_open_delta[reason.index()] += 1;
+                if let Some(old) = old {
+                    // Re-opening with a different reason switches the
+                    // interval: the old one ends here.
+                    w.stall_open_delta[old.index()] -= 1;
+                }
+            }
+            ProbeEvent::StallEnd { node, tag } => {
+                if let Some(reason) = self.open_stalls.remove(&(node, tag)) {
+                    self.at(cycle).stall_open_delta[reason.index()] -= 1;
+                }
+            }
+            ProbeEvent::FaultInjected { .. } => self.at(cycle).faults += 1,
+            ProbeEvent::MemAccess { addr, write, .. } => {
+                let w = self.at(cycle);
+                if write {
+                    w.mem_stores += 1;
+                } else {
+                    w.mem_loads += 1;
+                }
+                w.lines.insert(addr >> LINE_WORDS_SHIFT);
+            }
+            ProbeEvent::TagChanged { .. }
+            | ProbeEvent::BlockEnter { .. }
+            | ProbeEvent::BlockExit { .. } => {}
+        }
+    }
+}
+
+/// One window of the finished timeline: raw counts plus the integrated
+/// level series (`inflight`, `live_tags`, `open_stalls` are the values *at
+/// the end* of the window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStats {
+    /// First cycle of the window.
+    pub start: u64,
+    /// Node firings inside the window.
+    pub fires: u64,
+    /// Tokens produced inside the window.
+    pub produced: u64,
+    /// Tokens consumed inside the window.
+    pub consumed: u64,
+    /// Tokens in flight at the end of the window (produced − consumed,
+    /// integrated from cycle 0).
+    pub inflight: i64,
+    /// Live tags at the end of the window (allocated − freed, integrated).
+    pub live_tags: i64,
+    /// Stall intervals *beginning* in this window, by [`StallReason`] index.
+    pub stall_begins: [u64; 3],
+    /// Stall intervals still open at the end of the window, by reason index.
+    pub open_stalls: [i64; 3],
+    /// Architectural loads inside the window.
+    pub mem_loads: u64,
+    /// Architectural stores inside the window.
+    pub mem_stores: u64,
+    /// Distinct cache lines touched inside the window.
+    pub distinct_lines: u64,
+    /// Injected fault strikes inside the window.
+    pub faults: u64,
+}
+
+impl WindowStats {
+    /// Total stalls open at the end of the window, all reasons.
+    pub fn open_stall_total(&self) -> i64 {
+        self.open_stalls.iter().sum()
+    }
+}
+
+/// The finished time-series view of one run.
+#[derive(Debug, Clone)]
+pub struct TimelineReport {
+    /// Final window width in cycles (initial width × 2^coarsenings).
+    pub window: u64,
+    /// How many times the window width doubled to stay within the bound.
+    pub coarsenings: u32,
+    /// The run's final cycle (windows cover `0..=final_cycle`).
+    pub final_cycle: u64,
+    /// Per-window metrics in time order.
+    pub windows: Vec<WindowStats>,
+    /// Per-node firing-gap dispersion across the whole run (cycles between
+    /// consecutive firings of the same node).
+    pub fire_gaps: LogHistogram,
+}
+
+impl TimelineReport {
+    /// The timeline as a CSV table, one row per window. Byte-identical
+    /// across reruns and `--jobs` settings (everything here derives from
+    /// the deterministic simulation).
+    pub fn to_csv(&self) -> CsvTable {
+        let mut t = CsvTable::new([
+            "window_start",
+            "fires",
+            "produced",
+            "consumed",
+            "inflight",
+            "live_tags",
+            "stall_partial_match",
+            "stall_tag_starved",
+            "stall_back_pressure",
+            "open_partial_match",
+            "open_tag_starved",
+            "open_back_pressure",
+            "mem_loads",
+            "mem_stores",
+            "distinct_lines",
+            "faults",
+        ]);
+        for w in &self.windows {
+            t.push_row([
+                w.start.to_string(),
+                w.fires.to_string(),
+                w.produced.to_string(),
+                w.consumed.to_string(),
+                w.inflight.to_string(),
+                w.live_tags.to_string(),
+                w.stall_begins[0].to_string(),
+                w.stall_begins[1].to_string(),
+                w.stall_begins[2].to_string(),
+                w.open_stalls[0].to_string(),
+                w.open_stalls[1].to_string(),
+                w.open_stalls[2].to_string(),
+                w.mem_loads.to_string(),
+                w.mem_stores.to_string(),
+                w.distinct_lines.to_string(),
+                w.faults.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the timeline for the terminal: one sparkline per metric, a
+    /// stall-reason heatmap over the open-stall levels, and the firing-gap
+    /// dispersion summary.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "timeline: {} window(s) of {} cycle(s){} over {} cycle(s)\n",
+            self.windows.len(),
+            self.window,
+            if self.coarsenings > 0 {
+                format!(" ({}x coarsened)", self.coarsenings)
+            } else {
+                String::new()
+            },
+            self.final_cycle.max(1),
+        ));
+        let series: [(&str, Vec<f64>); 7] = [
+            ("fires", self.windows.iter().map(|w| w.fires as f64).collect()),
+            ("produced", self.windows.iter().map(|w| w.produced as f64).collect()),
+            ("consumed", self.windows.iter().map(|w| w.consumed as f64).collect()),
+            ("in flight", self.windows.iter().map(|w| w.inflight.max(0) as f64).collect()),
+            ("live tags", self.windows.iter().map(|w| w.live_tags.max(0) as f64).collect()),
+            (
+                "mem refs",
+                self.windows.iter().map(|w| (w.mem_loads + w.mem_stores) as f64).collect(),
+            ),
+            ("lines", self.windows.iter().map(|w| w.distinct_lines as f64).collect()),
+        ];
+        for (label, vs) in &series {
+            let peak = vs.iter().copied().fold(0.0f64, f64::max);
+            out.push_str(&format!(
+                "  {:<10} |{}| peak {}\n",
+                label,
+                ascii::sparkline(vs, width),
+                ascii::fmt_count(peak)
+            ));
+        }
+        let stall_rows: Vec<(String, Vec<f64>)> = StallReason::ALL
+            .iter()
+            .map(|r| {
+                (
+                    format!("open {}", r.label()),
+                    self.windows.iter().map(|w| w.open_stalls[r.index()].max(0) as f64).collect(),
+                )
+            })
+            .collect();
+        out.push_str(&ascii::heatmap("  stall timeline (open intervals):", &stall_rows, width));
+        if !self.fire_gaps.is_empty() {
+            out.push_str(&format!("  fire gaps (cycles): {}\n", self.fire_gaps));
+        }
+        out
+    }
+
+    /// Attribution of a stall-dominated tail, for wedged runs: the open
+    /// [`StallReason`] the run ended on (with its open count in the final
+    /// window) and the number of trailing windows in which nothing fired.
+    /// `None` when the final window has no open stalls — a completed run
+    /// closes every interval, so only a wedge (or a timeout mid-stall)
+    /// attributes.
+    ///
+    /// When several reasons are open at the end, the *root cause* wins over
+    /// its symptoms: a tag-starved allocate strands every consumer
+    /// downstream of it in partial-match stalls (and can back up queues),
+    /// but nothing causes tag starvation except the pool itself. The
+    /// priority is therefore tag-starved, then back-pressure, then
+    /// partial-match — which is how the Fig. 11 wedge (5 starved allocates,
+    /// dozens of downstream partial matches) reads as *tag starvation*.
+    pub fn tail_attribution(&self) -> Option<(StallReason, i64, usize)> {
+        let last = self.windows.last()?;
+        if last.open_stall_total() <= 0 {
+            return None;
+        }
+        let reason =
+            [StallReason::TagStarved, StallReason::BackPressure, StallReason::PartialMatch]
+                .into_iter()
+                .find(|r| last.open_stalls[r.index()] > 0)?;
+        let count = last.open_stalls[reason.index()];
+        let tail = self.windows.iter().rev().take_while(|w| w.fires == 0).count();
+        Some((reason, count, tail))
+    }
+
+    /// Mean firings per window — a quick utilization figure for summaries.
+    pub fn mean_fires(&self) -> f64 {
+        let fires: Vec<f64> = self.windows.iter().map(|w| w.fires as f64).collect();
+        summary::mean(&fires)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired(node: u32) -> ProbeEvent {
+        ProbeEvent::NodeFired { node }
+    }
+
+    #[test]
+    fn events_land_in_their_windows() {
+        let mut tl = Timeline::new(TimelineConfig { window: 10, max_windows: 16 });
+        tl.event(0, fired(1));
+        tl.event(9, fired(1));
+        tl.event(10, fired(2));
+        tl.event(25, ProbeEvent::TokenProduced { node: 2 });
+        let r = tl.report(29);
+        assert_eq!(r.windows.len(), 3);
+        assert_eq!(r.windows[0].fires, 2);
+        assert_eq!(r.windows[1].fires, 1);
+        assert_eq!(r.windows[2].produced, 1);
+        assert_eq!(r.windows[2].inflight, 1, "level integrates forward");
+    }
+
+    #[test]
+    fn out_of_order_cycles_land_in_the_right_window() {
+        // The `ooo` engine's issue cycles may step backwards (probe.rs);
+        // bucketing is by absolute cycle, so a late event lands where its
+        // cycle says, not where it arrived.
+        let mut a = Timeline::new(TimelineConfig { window: 8, max_windows: 32 });
+        let mut b = Timeline::new(TimelineConfig { window: 8, max_windows: 32 });
+        let events: Vec<(u64, ProbeEvent)> = vec![
+            (3, fired(0)),
+            (40, fired(1)),
+            (7, ProbeEvent::TokenProduced { node: 0 }),
+            (22, ProbeEvent::MemAccess { node: 0, addr: 16, write: false }),
+            (5, ProbeEvent::TokenConsumed { node: 0, count: 1 }),
+            (41, fired(1)),
+            (6, fired(0)),
+        ];
+        for &(c, ev) in &events {
+            a.event(c, ev);
+        }
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(c, _)| c);
+        for &(c, ev) in &sorted {
+            b.event(c, ev);
+        }
+        let (ra, rb) = (a.report(47), b.report(47));
+        assert_eq!(ra.windows, rb.windows, "window contents are arrival-order-insensitive");
+        assert_eq!(ra.windows[0].fires, 2);
+        assert_eq!(ra.windows[5].fires, 2);
+        assert_eq!(ra.windows[0].inflight, 0, "produce and consume cancel in window 0");
+    }
+
+    #[test]
+    fn stall_levels_integrate_and_stay_open() {
+        let mut tl = Timeline::new(TimelineConfig { window: 4, max_windows: 64 });
+        let begin = |tag, reason| ProbeEvent::StallBegin { node: 9, tag, reason };
+        tl.event(0, begin(1, StallReason::TagStarved));
+        tl.event(2, begin(2, StallReason::PartialMatch));
+        tl.event(6, ProbeEvent::StallEnd { node: 9, tag: 2 });
+        // Tag 1 never ends: it must stay open through the final window.
+        let r = tl.report(30);
+        let starved = StallReason::TagStarved.index();
+        let partial = StallReason::PartialMatch.index();
+        assert_eq!(r.windows[0].stall_begins[starved], 1);
+        assert_eq!(r.windows[0].open_stalls[partial], 1);
+        assert_eq!(r.windows[1].open_stalls[partial], 0, "ended in window 1");
+        for w in &r.windows {
+            assert_eq!(w.open_stalls[starved], 1, "unclosed stall persists to the end");
+        }
+        let (reason, count, tail) = r.tail_attribution().expect("stall-dominated tail");
+        assert_eq!(reason, StallReason::TagStarved);
+        assert_eq!(count, 1);
+        assert_eq!(tail, r.windows.len(), "no window ever fired");
+    }
+
+    #[test]
+    fn reopening_with_a_new_reason_switches_the_interval() {
+        let mut tl = Timeline::new(TimelineConfig { window: 4, max_windows: 16 });
+        tl.event(0, ProbeEvent::StallBegin { node: 1, tag: 0, reason: StallReason::PartialMatch });
+        tl.event(5, ProbeEvent::StallBegin { node: 1, tag: 0, reason: StallReason::BackPressure });
+        let r = tl.report(11);
+        assert_eq!(r.windows[1].open_stalls[StallReason::PartialMatch.index()], 0);
+        assert_eq!(r.windows[1].open_stalls[StallReason::BackPressure.index()], 1);
+        assert_eq!(r.windows[2].open_stalls[StallReason::BackPressure.index()], 1);
+    }
+
+    #[test]
+    fn coarsening_doubles_the_window_and_preserves_totals() {
+        let mut tl = Timeline::new(TimelineConfig { window: 2, max_windows: 4 });
+        for c in 0..64 {
+            tl.event(c, fired(0));
+            tl.event(c, ProbeEvent::MemAccess { node: 0, addr: c as i64, write: c % 2 == 0 });
+        }
+        assert!(tl.window() > 2, "64 cycles cannot fit 4 two-cycle windows");
+        let r = tl.report(63);
+        assert_eq!(r.window, 16, "2 -> 16 in three doublings: 63/16 < 4 windows");
+        assert_eq!(r.coarsenings, 3);
+        assert_eq!(r.windows.len(), 4);
+        assert_eq!(r.windows.iter().map(|w| w.fires).sum::<u64>(), 64, "no fire lost");
+        let (l, s): (u64, u64) =
+            r.windows.iter().fold((0, 0), |(l, s), w| (l + w.mem_loads, s + w.mem_stores));
+        assert_eq!((l, s), (32, 32));
+        // Each 16-cycle window touches 16 consecutive addresses = two
+        // 8-word lines.
+        for w in &r.windows {
+            assert_eq!(w.distinct_lines, 2);
+        }
+    }
+
+    #[test]
+    fn report_extends_to_the_final_cycle() {
+        let mut tl = Timeline::new(TimelineConfig { window: 8, max_windows: 256 });
+        tl.event(0, fired(0));
+        let r = tl.report(100);
+        assert_eq!(r.windows.len(), 13, "windows cover 0..=100");
+        assert!(r.windows[7..].iter().all(|w| w.fires == 0));
+        assert_eq!(r.tail_attribution(), None, "idle tail without open stalls is not a wedge");
+    }
+
+    #[test]
+    fn fire_gap_histogram_tracks_per_node_gaps() {
+        let mut tl = Timeline::default();
+        for c in [0u64, 10, 20, 30] {
+            tl.event(c, fired(1));
+        }
+        tl.event(5, fired(2));
+        tl.event(6, fired(2));
+        let r = tl.report(30);
+        assert_eq!(r.fire_gaps.count(), 4, "three gaps of 10 plus one gap of 1");
+        assert_eq!(r.fire_gaps.max(), 10);
+        assert_eq!(r.fire_gaps.min(), 1);
+    }
+
+    #[test]
+    fn csv_and_render_are_consistent() {
+        let mut tl = Timeline::new(TimelineConfig { window: 4, max_windows: 32 });
+        tl.event(0, fired(0));
+        tl.event(1, ProbeEvent::TokenProduced { node: 0 });
+        tl.event(9, ProbeEvent::StallBegin { node: 0, tag: 7, reason: StallReason::TagStarved });
+        let r = tl.report(15);
+        let csv = r.to_csv();
+        assert_eq!(csv.len(), r.windows.len());
+        assert_eq!(csv.header()[0], "window_start");
+        let text = csv.render();
+        let reparsed = CsvTable::parse(&text).expect("csv round-trips");
+        assert_eq!(reparsed.rows(), csv.rows());
+        let shown = r.render(32);
+        assert!(shown.contains("fires"), "{shown}");
+        assert!(shown.contains("open tag-starved"), "{shown}");
+    }
+}
