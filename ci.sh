@@ -76,5 +76,20 @@ target/release/repro bench-check BENCH_suite.json
 # Robustness gate (DESIGN.md §9): 25-seed differential + chaos smoke sweep.
 # Exits nonzero on any cross-engine disagreement (shrunk witness printed),
 # any never-injected or never-detected fault class, or a mem-delay that
-# was not absorbed; output is byte-identical for any --jobs.
-target/release/repro fuzz --quick --jobs 2
+# was not absorbed; output is byte-identical for any --jobs. (The sweep
+# itself runs inside the event-core gate below, which diffs its report
+# between execution modes — a failed sweep fails the gate the same way.)
+# Event-core identity gate (DESIGN.md §7.7): the event-driven core must be
+# observationally identical to ticked execution. fig12's rendered table
+# (cycles/dyn_instrs/speedups) and the fuzz report (all verdicts across a
+# 25-seed differential + chaos campaign) are diffed byte-for-byte between
+# the two modes; stderr carries the only wall-clock content, so stdout
+# must not differ by a single byte.
+event_dir=$(mktemp -d)
+target/release/repro --scale tiny --jobs 2 fig12 > "$event_dir/fig12_event.txt"
+target/release/repro --scale tiny --jobs 2 --ticked fig12 > "$event_dir/fig12_ticked.txt"
+diff "$event_dir/fig12_event.txt" "$event_dir/fig12_ticked.txt"
+target/release/repro fuzz --quick --jobs 2 > "$event_dir/fuzz_event.txt"
+target/release/repro --ticked fuzz --quick --jobs 2 > "$event_dir/fuzz_ticked.txt"
+diff "$event_dir/fuzz_event.txt" "$event_dir/fuzz_ticked.txt"
+rm -rf "$event_dir"

@@ -1,0 +1,75 @@
+//! Event-core benches: wall-clock of the event-driven core against forced
+//! ticked execution on idle-heavy configurations — a serial sparse kernel
+//! at high memory latency, where nearly every cycle is a quiescent wait on
+//! an outstanding load. The two rows of each pair simulate bit-identical
+//! runs (the identity suite pins that); the ratio between them is the
+//! clock-jump payoff the event core exists for.
+
+use std::hint::black_box;
+
+use tyr_bench::micro::Harness;
+use tyr_dfg::lower::{lower_ordered, lower_tagged, TaggingDiscipline};
+use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
+use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_workloads::{by_name, Scale};
+
+/// Memory latency for the idle-heavy rows; deep enough that a serial
+/// dependence chain spends >99% of its cycles waiting.
+const HIGH_LATENCY: u64 = 200;
+
+fn main() {
+    let mut h = Harness::from_args("event_skip");
+
+    for app in ["dmv", "spmspv"] {
+        let Some(w) = by_name(app, Scale::Tiny, 7) else { continue };
+        let tyr = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+        let ord = lower_ordered(&w.program).unwrap();
+
+        // Tagged engine, tag-starved serial schedule: local(2) leaves at
+        // most two iterations in flight, so the load latency is exposed.
+        for (label, event_driven) in [("event", true), ("ticked", false)] {
+            h.bench(&format!("event_skip/tagged_local2_lat{HIGH_LATENCY}/{app}/{label}"), || {
+                let cfg = TaggedConfig {
+                    tag_policy: TagPolicy::local(2),
+                    mem_latency: HIGH_LATENCY,
+                    event_driven,
+                    ..TaggedConfig::default()
+                };
+                black_box(TaggedEngine::new(&tyr, w.memory.clone(), cfg).run().unwrap())
+            });
+        }
+
+        // Ordered engine: the FIFO depth bounds in-flight loads, so high
+        // latency idles the whole fabric between releases.
+        for (label, event_driven) in [("event", true), ("ticked", false)] {
+            h.bench(&format!("event_skip/ordered_lat{HIGH_LATENCY}/{app}/{label}"), || {
+                let cfg = OrderedConfig {
+                    mem_latency: HIGH_LATENCY,
+                    event_driven,
+                    ..OrderedConfig::default()
+                };
+                black_box(OrderedEngine::new(&ord, w.memory.clone(), cfg).run().unwrap())
+            });
+        }
+    }
+
+    // Low-latency control: at mem_latency 1 nothing queues and the jump
+    // never fires, so the two modes must cost the same — any spread here
+    // is pure event-core overhead on the hot path.
+    {
+        let w = by_name("dmv", Scale::Tiny, 7).unwrap();
+        let tyr = lower_tagged(&w.program, TaggingDiscipline::Tyr).unwrap();
+        for (label, event_driven) in [("event", true), ("ticked", false)] {
+            h.bench(&format!("event_skip/tagged_local64_lat1/dmv/{label}"), || {
+                let cfg = TaggedConfig {
+                    tag_policy: TagPolicy::local(64),
+                    event_driven,
+                    ..TaggedConfig::default()
+                };
+                black_box(TaggedEngine::new(&tyr, w.memory.clone(), cfg).run().unwrap())
+            });
+        }
+    }
+
+    h.finish();
+}

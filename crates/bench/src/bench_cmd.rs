@@ -31,9 +31,13 @@
 //! Each cell is run [`WALL_REPS`] times into a log-bucketed
 //! [`LogHistogram`] of whole microseconds; `wall_ms` is the median rep, and
 //! the optional `wall_p50_ms`/`wall_p99_ms` fields expose the dispersion.
-//! The schema stays `tyr-bench-suite/v1`: [`validate`] accepts baselines
-//! with or without the percentile fields, so committed baselines from
-//! before they existed keep validating.
+//! The optional `skipped_cycles` field records how many of the cell's
+//! cycles the event-driven core jumped over instead of ticking (always 0
+//! for the sequential engines and for `--ticked` runs); it is a wall-clock
+//! diagnostic and never affects `cycles`/`dyn_instrs`. The schema stays
+//! `tyr-bench-suite/v1`: [`validate`] accepts baselines with or without
+//! the optional fields, so committed baselines from before they existed
+//! keep validating.
 //!
 //! [`validate`] is the schema gate `ci.sh` runs against both the emitted
 //! file and the committed baseline.
@@ -98,6 +102,7 @@ pub fn run(ctx: &Ctx, out: &Path) -> Result<(), String> {
             ("wall_ms".into(), Json::Num(round3(p50 as f64 / 1e3))),
             ("wall_p50_ms".into(), Json::Num(round3(p50 as f64 / 1e3))),
             ("wall_p99_ms".into(), Json::Num(round3(p99 as f64 / 1e3))),
+            ("skipped_cycles".into(), json::num(r.skipped_cycles)),
         ])
     });
     let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -142,6 +147,19 @@ pub fn run(ctx: &Ctx, out: &Path) -> Result<(), String> {
             find(System::Tyr),
             find(System::Unordered),
             find(System::Ordered)
+        );
+    }
+    // Skip-rate digest: how much of the suite's simulated time the
+    // event-driven core jumped over instead of ticking.
+    let entries = doc.get("entries").and_then(Json::as_arr).expect("validated above");
+    let sum = |key: &str| -> f64 {
+        entries.iter().filter_map(|e| e.get(key).and_then(Json::as_f64)).sum()
+    };
+    let (cycles, skipped) = (sum("cycles"), sum("skipped_cycles"));
+    if cycles > 0.0 {
+        println!(
+            "  event core skipped {skipped:.0} of {cycles:.0} simulated cycles ({:.1}%)",
+            100.0 * skipped / cycles
         );
     }
     Ok(())
@@ -260,6 +278,18 @@ pub fn validate(doc: &Json) -> Result<(), String> {
             if p50 > p99 {
                 return Err(format!(
                     "entry {i} ({kernel}/{system}): wall_p50_ms {p50} exceeds wall_p99_ms {p99}"
+                ));
+            }
+        }
+        // `skipped_cycles` is likewise optional (pre-event-core baselines
+        // keep validating); when present it is a subset of the run's cycles.
+        if let Some(skipped) = opt_field("skipped_cycles")? {
+            if skipped < 0.0 {
+                return Err(format!("entry {i} ({kernel}/{system}): negative \"skipped_cycles\""));
+            }
+            if skipped > cycles {
+                return Err(format!(
+                    "entry {i} ({kernel}/{system}): skipped_cycles {skipped} exceeds cycles {cycles}"
                 ));
             }
         }
@@ -410,6 +440,29 @@ mod tests {
 
         let mut stringy = minimal_doc();
         set_entry0(&mut stringy, "wall_p50_ms", json::str("fast"));
+        assert!(validate(&stringy).unwrap_err().contains("non-numeric"));
+    }
+
+    #[test]
+    fn skipped_cycles_is_optional_but_bounded_by_cycles() {
+        // Absent (pre-event-core baselines): still valid.
+        validate(&minimal_doc()).unwrap();
+
+        // Present and within [0, cycles]: valid (entry cycles are 100).
+        let mut ok = minimal_doc();
+        set_entry0(&mut ok, "skipped_cycles", json::num(40));
+        validate(&ok).unwrap();
+
+        let mut negative = minimal_doc();
+        set_entry0(&mut negative, "skipped_cycles", Json::Num(-1.0));
+        assert!(validate(&negative).unwrap_err().contains("negative"));
+
+        let mut too_many = minimal_doc();
+        set_entry0(&mut too_many, "skipped_cycles", json::num(101));
+        assert!(validate(&too_many).unwrap_err().contains("exceeds cycles"));
+
+        let mut stringy = minimal_doc();
+        set_entry0(&mut stringy, "skipped_cycles", json::str("many"));
         assert!(validate(&stringy).unwrap_err().contains("non-numeric"));
     }
 }

@@ -146,11 +146,16 @@ pub fn oracle(case: &GenCase) -> Result<OracleResult, String> {
 /// Runs `case` on `sys` (optionally faulted, always watchdogged) and judges
 /// the result against `oracle`. Never panics: every failure mode comes back
 /// as a [`Verdict`]. Returns the verdict and the run's fault log.
+///
+/// `event_driven` selects the tagged/ordered engines' core (event-driven or
+/// ticked); the verdict must be identical either way — `--ticked` sweeps
+/// exist precisely to cross-check that.
 pub fn run_engine(
     case: &GenCase,
     sys: System,
     faults: Option<FaultPlan>,
     dog: Watchdog,
+    event_driven: bool,
     oracle: &OracleResult,
 ) -> (Verdict, Vec<tyr_sim::FaultRecord>) {
     let res: Result<RunResult, String> = (|| {
@@ -177,6 +182,7 @@ pub fn run_engine(
                     max_cycles: u64::MAX,
                     faults,
                     watchdog: dog,
+                    event_driven,
                     ..OrderedConfig::default()
                 };
                 OrderedEngine::new(&dfg, case.memory.clone(), c).run()
@@ -192,6 +198,7 @@ pub fn run_engine(
                     check_token_leaks: true,
                     faults,
                     watchdog: dog,
+                    event_driven,
                     ..TaggedConfig::default()
                 };
                 TaggedEngine::new(&dfg, case.memory.clone(), c).run()
@@ -207,6 +214,7 @@ pub fn run_engine(
                     check_token_leaks: true,
                     faults,
                     watchdog: dog,
+                    event_driven,
                     ..TaggedConfig::default()
                 };
                 TaggedEngine::new(&dfg, case.memory.clone(), c).run()
@@ -432,11 +440,15 @@ pub struct FuzzOpts {
     /// (they come back as attributed `TimedOut(cancelled)` verdicts) and
     /// the sweep reports itself incomplete.
     pub deadline: Option<Duration>,
+    /// Run the engines' event-driven core (default) or force ticked
+    /// execution (`--ticked`). The report is byte-identical either way —
+    /// diffing the two is the cheapest whole-campaign identity check.
+    pub event_driven: bool,
 }
 
 impl Default for FuzzOpts {
     fn default() -> Self {
-        FuzzOpts { seeds: 100, jobs: 1, faults: None, deadline: None }
+        FuzzOpts { seeds: 100, jobs: 1, faults: None, deadline: None, event_driven: true }
     }
 }
 
@@ -543,7 +555,7 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
         };
         let verdicts = System::ALL
             .map(|sys| {
-                let (v, _) = run_engine(&case, sys, None, dog(&cancel), &ora);
+                let (v, _) = run_engine(&case, sys, None, dog(&cancel), opts.event_driven, &ora);
                 (sys, v)
             })
             .to_vec();
@@ -598,7 +610,7 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
                 Err(_) => false,
                 Ok(ora) => System::ALL.iter().any(|&sys| {
                     let d = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-                    !run_engine(&case, sys, None, d, &ora).0.is_agree()
+                    !run_engine(&case, sys, None, d, opts.event_driven, &ora).0.is_agree()
                 }),
             }
         };
@@ -693,7 +705,8 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
         let plan = FaultPlan::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(kind.index() as u64))
             .with(kind, count)
             .between(template.window.0, template.window.1);
-        let (verdict, records) = run_engine(&case, target, Some(plan), dog(&cancel), &ora);
+        let (verdict, records) =
+            run_engine(&case, target, Some(plan), dog(&cancel), opts.event_driven, &ora);
         ChaosRun { seed, system: target, kind, injected: records.len(), verdict }
     });
     let chaos_lat = pool::latency_histogram(&chaos_timed);
@@ -829,6 +842,7 @@ pub fn chaos(ctx: &Ctx, kernel: &str, engine: &str, plan_text: Option<&str>) -> 
                 mem_latency: ctx.cfg.mem_latency,
                 faults: Some(plan.clone()),
                 watchdog: dog,
+                event_driven: ctx.cfg.event_driven,
                 ..OrderedConfig::default()
             };
             OrderedEngine::new(&dfg, w.memory.clone(), c).run().map_err(|e| e.to_string())
@@ -854,6 +868,7 @@ pub fn chaos(ctx: &Ctx, kernel: &str, engine: &str, plan_text: Option<&str>) -> 
                 check_token_leaks: true,
                 faults: Some(plan.clone()),
                 watchdog: dog,
+                event_driven: ctx.cfg.event_driven,
                 ..TaggedConfig::default()
             };
             TaggedEngine::new(&dfg, w.memory.clone(), c).run().map_err(|e| e.to_string())
@@ -895,17 +910,19 @@ mod tests {
     use super::*;
 
     /// All five engines agree with the oracle on a spread of unfaulted
-    /// seeds — the fuzzer's core invariant.
+    /// seeds — the fuzzer's core invariant — in both execution modes.
     #[test]
     fn engines_agree_unfaulted() {
         for seed in 0..8 {
             let case = Recipe::generate(seed, 12).materialize();
             let ora = oracle(&case).expect("oracle runs");
             for sys in System::ALL {
-                let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-                let (v, faults) = run_engine(&case, sys, None, dog, &ora);
-                assert!(faults.is_empty(), "no plan, no faults");
-                assert!(v.is_agree(), "seed {seed} on {}: {}", sys.label(), v.describe());
+                for event_driven in [true, false] {
+                    let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
+                    let (v, faults) = run_engine(&case, sys, None, dog, event_driven, &ora);
+                    assert!(faults.is_empty(), "no plan, no faults");
+                    assert!(v.is_agree(), "seed {seed} on {}: {}", sys.label(), v.describe());
+                }
             }
         }
     }
@@ -973,7 +990,7 @@ mod tests {
             let Ok(ora) = oracle(&case) else { return false };
             let plan = FaultPlan::single(99, FaultKind::TokenDrop);
             let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-            let (v, faults) = run_engine(&case, System::Tyr, Some(plan), dog, &ora);
+            let (v, faults) = run_engine(&case, System::Tyr, Some(plan), dog, true, &ora);
             !faults.is_empty() && !v.is_agree()
         };
         let seed = (0..32)
@@ -997,7 +1014,7 @@ mod tests {
             let ora = oracle(&case).expect("oracle runs");
             let plan = FaultPlan::new(seed).with(FaultKind::TokenCorrupt, 3);
             let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-            let (_, faults) = run_engine(&case, System::Unordered, Some(plan), dog, &ora);
+            let (_, faults) = run_engine(&case, System::Unordered, Some(plan), dog, true, &ora);
             for w in faults.windows(2) {
                 assert!(w[0].cycle <= w[1].cycle, "fault log out of order");
             }
@@ -1007,7 +1024,9 @@ mod tests {
     /// A bounded-global run that wedges on tag starvation is normally
     /// reported as a deadlock once the machine quiesces; with a cycle
     /// budget below the quiescence point the watchdog fires first and the
-    /// run is attributed as `TimedOut` instead of wedging the sweep.
+    /// run is attributed as `TimedOut` instead of wedging the sweep. The
+    /// attributed cycle must be identical whether the engine ticks through
+    /// the quiescent spin or jumps over it.
     #[test]
     fn watchdog_times_out_a_wedged_bounded_global_run() {
         use tyr_sim::TimeoutCause;
@@ -1015,27 +1034,37 @@ mod tests {
 
         let w = dmv::build(4, 4, 1);
         let lw = crate::LoweredWorkload::new(&w);
-        let run = |watchdog: Watchdog| {
+        let run = |watchdog: Watchdog, event_driven: bool| {
             let c = TaggedConfig {
                 issue_width: 64,
                 tag_policy: TagPolicy::GlobalBounded { tags: 2 },
                 args: w.args.clone(),
                 watchdog,
+                event_driven,
                 ..TaggedConfig::default()
             };
             TaggedEngine::new(&lw.tyr, w.memory.clone(), c).run().unwrap()
         };
-        let free = run(Watchdog::none());
+        let free = run(Watchdog::none(), true);
+        let ticked_free = run(Watchdog::none(), false);
+        assert_eq!(free.outcome, ticked_free.outcome, "wedge attribution differs across modes");
         let Outcome::Deadlock { cycle, .. } = free.outcome else {
             panic!("expected the 2-tag bounded pool to wedge, got {:?}", free.outcome);
         };
         assert!(cycle > 1, "wedge must take more than one cycle");
-        let timed = run(Watchdog::none().with_cycle_budget(cycle - 1));
-        match timed.outcome {
-            Outcome::TimedOut { cause: TimeoutCause::CycleBudget { budget }, .. } => {
-                assert_eq!(budget, cycle - 1);
+        for event_driven in [true, false] {
+            let timed = run(Watchdog::none().with_cycle_budget(cycle - 1), event_driven);
+            match timed.outcome {
+                Outcome::TimedOut {
+                    cause: TimeoutCause::CycleBudget { budget },
+                    cycle: at,
+                    ..
+                } => {
+                    assert_eq!(budget, cycle - 1, "event_driven={event_driven}");
+                    assert_eq!(at, cycle - 1, "budget must trip at its own cycle in both modes");
+                }
+                other => panic!("expected TimedOut(CycleBudget), got {other:?}"),
             }
-            other => panic!("expected TimedOut(CycleBudget), got {other:?}"),
         }
     }
 

@@ -72,6 +72,10 @@ pub struct RunConfig {
     pub mem_latency: u64,
     /// Cycle budget.
     pub max_cycles: u64,
+    /// Use the event-driven core in the tagged/ordered engines (skip idle
+    /// cycles). Bit-identical to ticked execution; disable (`--ticked`) only
+    /// to cross-check that claim.
+    pub event_driven: bool,
 }
 
 impl Default for RunConfig {
@@ -83,6 +87,7 @@ impl Default for RunConfig {
             queue_depth: 4,
             mem_latency: 1,
             max_cycles: 2_000_000_000,
+            event_driven: true,
         }
     }
 }
@@ -122,6 +127,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
                 mem_latency: cfg.mem_latency,
+                event_driven: cfg.event_driven,
                 ..OrderedConfig::default()
             };
             OrderedEngine::new(&dfg, w.memory.clone(), c).run()
@@ -135,6 +141,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
                 mem_latency: cfg.mem_latency,
+                event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
             TaggedEngine::new(&dfg, w.memory.clone(), c).run()
@@ -147,6 +154,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
                 mem_latency: cfg.mem_latency,
+                event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
             TaggedEngine::new(&dfg, w.memory.clone(), c).run()

@@ -45,7 +45,9 @@ commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig
           chaos <kernel> <engine> [--faults PLAN]
                                     (inject a fault plan into one run and print the attributed log;
                                      engines: tyr unordered ordered)
-options:  --jobs N    worker threads for sweeps (default: REPRO_JOBS or available cores; output is identical for any N)";
+options:  --jobs N    worker threads for sweeps (default: REPRO_JOBS or available cores; output is identical for any N)
+          --ticked    disable the event-driven core (tick every idle cycle); stats are bit-identical
+                      either way -- use to cross-check that claim, at a wall-clock cost";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,6 +99,7 @@ fn main() -> ExitCode {
                 }
             }
             "--quick" => quick = true,
+            "--ticked" => ctx.cfg.event_driven = false,
             "--seeds" => {
                 fuzz_seeds = Some(opt_value("--seeds").parse().expect("numeric seed count"))
             }
@@ -256,6 +259,7 @@ fn main() -> ExitCode {
                     jobs: ctx.jobs,
                     faults: fuzz_faults.clone(),
                     deadline: fuzz_deadline.map(std::time::Duration::from_secs),
+                    event_driven: ctx.cfg.event_driven,
                 };
                 if let Err(e) = fuzz::run(&opts) {
                     eprintln!("fuzz failed: {e}");

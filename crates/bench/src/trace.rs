@@ -155,6 +155,7 @@ pub fn run_probed<P: Probe>(
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
                 mem_latency: cfg.mem_latency,
+                event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
             TaggedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
@@ -168,6 +169,7 @@ pub fn run_probed<P: Probe>(
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
                 mem_latency: cfg.mem_latency,
+                event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
             TaggedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()
@@ -181,6 +183,7 @@ pub fn run_probed<P: Probe>(
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
                 mem_latency: cfg.mem_latency,
+                event_driven: cfg.event_driven,
                 ..OrderedConfig::default()
             };
             OrderedEngine::with_probe(&dfg, w.memory.clone(), c, probe).run()

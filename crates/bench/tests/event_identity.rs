@@ -1,0 +1,88 @@
+//! Ticked-vs-event-driven identity suite: for every engine with an event
+//! core (one kernel per engine family, the full latency spread), the
+//! event-driven run must be *bit-identical* to the ticked run — same
+//! outcome, cycle-by-cycle live trace, IPC histogram, returns, store
+//! peaks, memory image, load/store counts, and a byte-identical probe
+//! event stream (`tyr-events/v1` JSONL). The only permitted difference is
+//! the `skipped_cycles` wall-clock diagnostic. The engines without an
+//! event core (seqdf, seqvn, ooo) must always report zero skipped cycles.
+
+use tyr_bench::figures::Ctx;
+use tyr_bench::timeline;
+use tyr_sim::RunResult;
+use tyr_stats::TimelineConfig;
+use tyr_workloads::{by_name, Scale};
+
+/// Workload seed; any value works, fixed for reproducible failures.
+const SEED: u64 = 7;
+
+/// One probed run: the result plus its JSONL event stream.
+fn run_mode(engine: &str, mem_latency: u64, event_driven: bool) -> (RunResult, String) {
+    let mut ctx = Ctx { scale: Scale::Tiny, seed: SEED, jobs: 1, ..Ctx::default() };
+    ctx.cfg.mem_latency = mem_latency;
+    ctx.cfg.event_driven = event_driven;
+    let w = by_name("dmv", ctx.scale, ctx.seed).unwrap();
+    let (r, counted, jsonl) = timeline::collect(&ctx, &w, engine, TimelineConfig::default())
+        .unwrap_or_else(|e| panic!("{engine} lat {mem_latency} event={event_driven}: {e}"));
+    assert!(counted > 0, "{engine}: the run must emit probe events");
+    (r, jsonl)
+}
+
+/// Field-by-field identity check; `skipped_cycles` is the one exception.
+fn assert_identical(engine: &str, lat: u64, event: &RunResult, ticked: &RunResult) {
+    let what = format!("{engine} at mem_latency {lat}");
+    assert_eq!(event.outcome, ticked.outcome, "{what}: outcome");
+    assert_eq!(event.live, ticked.live, "{what}: live-token trace");
+    assert_eq!(event.ipc, ticked.ipc, "{what}: IPC histogram");
+    assert_eq!(event.returns, ticked.returns, "{what}: returns");
+    assert_eq!(event.store_peaks, ticked.store_peaks, "{what}: store peaks");
+    assert_eq!(event.mem_loads, ticked.mem_loads, "{what}: load count");
+    assert_eq!(event.mem_stores, ticked.mem_stores, "{what}: store count");
+    assert_eq!(event.memory(), ticked.memory(), "{what}: final memory");
+    assert_eq!(event.faults, ticked.faults, "{what}: fault log");
+    assert_eq!(ticked.skipped_cycles, 0, "{what}: a ticked run never skips");
+}
+
+#[test]
+fn event_and_ticked_runs_are_bit_identical_per_engine() {
+    // One representative per engine family with an event core: the two
+    // tagged elaborations, the wedging bounded-global policy (a deadlock
+    // must attribute identically), and the ordered machine.
+    for engine in ["tyr", "unordered", "tagged-global-bounded", "ordered"] {
+        for lat in [1u64, 4, 200] {
+            let (event, event_jsonl) = run_mode(engine, lat, true);
+            let (ticked, ticked_jsonl) = run_mode(engine, lat, false);
+            assert_identical(engine, lat, &event, &ticked);
+            assert_eq!(
+                event_jsonl, ticked_jsonl,
+                "{engine} at mem_latency {lat}: probe event streams must be byte-identical"
+            );
+            // The windowed telemetry is derived from the same events and
+            // final cycle, so it must render identically too.
+            let csv = |r: &RunResult| r.timeline.as_ref().unwrap().to_csv().render();
+            assert_eq!(csv(&event), csv(&ticked), "{engine} at mem_latency {lat}: timeline CSV");
+        }
+    }
+}
+
+#[test]
+fn high_latency_serial_runs_actually_skip() {
+    // The identity above would hold trivially if the jump never fired;
+    // pin that the event core earns its keep where it matters — a serial
+    // dependence chain at high memory latency idles most cycles.
+    let (event, _) = run_mode("ordered", 200, true);
+    assert!(
+        event.skipped_cycles > event.cycles() / 2,
+        "ordered dmv at latency 200 skipped only {} of {} cycles",
+        event.skipped_cycles,
+        event.cycles()
+    );
+}
+
+#[test]
+fn engines_without_an_event_core_report_zero_skips() {
+    for engine in ["seqdf", "seqvn", "ooo"] {
+        let (r, _) = run_mode(engine, 1, true);
+        assert_eq!(r.skipped_cycles, 0, "{engine} has no event core");
+    }
+}

@@ -50,7 +50,7 @@ impl fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// A flat, bounds-checked word memory with named array segments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryImage {
     words: Vec<Value>,
     arrays: Vec<(String, ArrayRef)>,

@@ -1,0 +1,267 @@
+//! The event queue behind the event-driven simulator cores.
+//!
+//! PR 4 introduced a timing wheel (`DelayLine`, private to the tagged
+//! engine) purely as a faster container for delayed memory responses. This
+//! module generalizes it into the *scheduler* the engines plan around:
+//! [`EventQueue`] holds any future work item keyed by its release cycle and
+//! can answer the question an event-driven core needs — *"when does
+//! anything happen next?"* ([`EventQueue::next_release`]) — so that an
+//! engine whose ready queue is empty can advance its clock straight to the
+//! cycle before the next release instead of spinning through idle cycles.
+//!
+//! The queue is payload-generic. The tagged engines store delayed memory
+//! responses (`(PortRef, tag, Value)`); the ordered engine keeps its
+//! per-node delay FIFOs (back-pressure gating is per-edge, so a central
+//! queue cannot preserve its delivery order) but derives its wakeup bound
+//! with the same head-release rule. The other wakeup sources an
+//! event-driven engine must respect — watchdog cycle-budget boundaries,
+//! fault-plan window edges, and the simulation cycle limit — are pure
+//! deadlines with no payload, so they enter the jump computation as clamps
+//! on the target cycle rather than queue entries; timeline window flushes
+//! need nothing at all, because probe events carry absolute cycles and the
+//! sinks materialize skipped windows from those (see DESIGN.md §7.7).
+//!
+//! # Scheduling invariants
+//!
+//! * **Release order.** `drain_due(cycle, out)` moves exactly the items
+//!   with `release <= cycle + 1` (wheel) or the matured FIFO prefix into
+//!   `out`, in insertion order per release cycle — bit-identical to the
+//!   per-cycle scan it replaces.
+//! * **Quiescence.** For every cycle `x` with
+//!   `x < next_release(cycle) - 1`, `drain_due(x, ..)` delivers nothing.
+//!   This is the jump-safety property: an engine at cycle `c` with an empty
+//!   ready queue may set `c = next_release(c) - 1` without changing any
+//!   observable behaviour, because no firing, delivery, or probe event can
+//!   occur in the skipped cycles.
+
+use std::collections::VecDeque;
+
+/// Largest constant latency served by the timing-wheel representation;
+/// beyond it the wheel's bucket array would outweigh the FIFO it replaces.
+pub const WHEEL_MAX_LATENCY: u64 = 1 << 14;
+
+/// Future work items bucketed by release cycle.
+///
+/// Two representations share one interface:
+///
+/// * **Wheel** — for a constant latency `L` in `2..=`[`WHEEL_MAX_LATENCY`]:
+///   at most `L` distinct release cycles are ever in flight, so a ring of
+///   `L + 1` buckets is exact. An item released at cycle `r` lives in
+///   bucket `r % (L + 1)`; the per-cycle drain empties bucket
+///   `(cycle + 1) % (L + 1)` with a single `Vec::append`. Same-cycle
+///   insertions can never collide with the bucket being drained
+///   (`c + L ≡ c + 1 (mod L + 1)` has no solution for `L ≥ 2`).
+/// * **FIFO** — the fallback for latencies outside the wheel range and for
+///   *variable* per-item delays (the `mem-delay` fault class adds random
+///   extra latency). The drain is **front-gated**: it pops only while the
+///   front item has matured. With constant latency insertion order equals
+///   release order and the gate is exact; with variable delays an item
+///   behind a later-releasing front waits for it — deliberately, because
+///   that is the delivery order the pre-wheel engines had, and fault-run
+///   reproducibility pins it.
+pub enum EventQueue<T> {
+    /// Ring of `latency + 1` buckets; `buckets[r % len]` holds exactly the
+    /// items releasing at cycle `r`.
+    Wheel {
+        /// The bucket ring.
+        buckets: Vec<Vec<T>>,
+        /// Total items in flight across all buckets.
+        in_flight: usize,
+    },
+    /// Front-gated `(release, item)` queue.
+    Fifo(VecDeque<(u64, T)>),
+}
+
+impl<T> EventQueue<T> {
+    /// A queue sized for constant `latency`. Latencies of 0/1 never queue
+    /// (the engines emit such responses directly) and latencies above
+    /// [`WHEEL_MAX_LATENCY`] would need an oversized ring; both fall back
+    /// to the FIFO representation.
+    pub fn new(latency: u64) -> Self {
+        if (2..=WHEEL_MAX_LATENCY).contains(&latency) {
+            let len = latency as usize + 1;
+            EventQueue::Wheel { buckets: (0..len).map(|_| Vec::new()).collect(), in_flight: 0 }
+        } else {
+            EventQueue::Fifo(VecDeque::new())
+        }
+    }
+
+    /// An explicitly FIFO queue, for callers whose per-item delays vary
+    /// (e.g. when the `mem-delay` fault class is armed).
+    pub fn fifo() -> Self {
+        EventQueue::Fifo(VecDeque::new())
+    }
+
+    /// Schedules `item` for cycle `release`. On the wheel representation
+    /// the caller must push with the queue's constant latency (the ring
+    /// holds one bucket per distinct in-flight release cycle).
+    pub fn push(&mut self, release: u64, item: T) {
+        match self {
+            EventQueue::Wheel { buckets, in_flight } => {
+                let len = buckets.len() as u64;
+                buckets[(release % len) as usize].push(item);
+                *in_flight += 1;
+            }
+            EventQueue::Fifo(q) => q.push_back((release, item)),
+        }
+    }
+
+    /// Whether no items are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of items in flight.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel { in_flight, .. } => *in_flight,
+            EventQueue::Fifo(q) => q.len(),
+        }
+    }
+
+    /// Moves every item due by the end of `cycle` (release `<= cycle + 1`)
+    /// into `out`, in issue order, reusing `out`'s capacity across cycles.
+    pub fn drain_due(&mut self, cycle: u64, out: &mut Vec<T>) {
+        match self {
+            EventQueue::Wheel { buckets, in_flight } => {
+                let len = buckets.len() as u64;
+                let bucket = &mut buckets[((cycle + 1) % len) as usize];
+                *in_flight -= bucket.len();
+                out.append(bucket);
+            }
+            EventQueue::Fifo(q) => {
+                while q.front().is_some_and(|&(r, _)| r <= cycle + 1) {
+                    let (_, item) = q.pop_front().expect("checked");
+                    out.push(item);
+                }
+            }
+        }
+    }
+
+    /// The earliest cycle at which [`EventQueue::drain_due`] will next
+    /// deliver anything, seen from `cycle`, or `None` when empty.
+    ///
+    /// On the wheel this scans at most `len` buckets outward from `cycle`
+    /// — O(latency), paid only when the caller is about to skip up to
+    /// `latency` idle cycles, so O(1) amortized per skipped cycle. On the
+    /// FIFO it is the *front* item's release: the drain is front-gated, so
+    /// even if a later item matures earlier it cannot be delivered before
+    /// the front — the front release, not the minimum release, is the next
+    /// delivery cycle.
+    pub fn next_release(&self, cycle: u64) -> Option<u64> {
+        match self {
+            EventQueue::Wheel { buckets, in_flight } => {
+                if *in_flight == 0 {
+                    return None;
+                }
+                let len = buckets.len() as u64;
+                (1..=len).map(|d| cycle + d).find(|r| !buckets[(r % len) as usize].is_empty())
+            }
+            EventQueue::Fifo(q) => q.front().map(|&(r, _)| r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains queue state for cycles `from..to` and returns `(cycle, item)`
+    /// delivery pairs.
+    fn play(q: &mut EventQueue<u32>, from: u64, to: u64) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for cycle in from..to {
+            q.drain_due(cycle, &mut scratch);
+            out.extend(scratch.drain(..).map(|v| (cycle, v)));
+        }
+        out
+    }
+
+    #[test]
+    fn wheel_and_fifo_agree_on_constant_latency() {
+        // Pushes must happen at their originating cycle: the wheel's ring is
+        // exact only while every in-flight release is within `latency` of
+        // the current cycle.
+        let pushes = [(0u64, 10u32), (0, 11), (3, 12), (5, 13)];
+        for latency in [2u64, 3, 7, 64] {
+            let mut wheel = EventQueue::new(latency);
+            let mut fifo = EventQueue::fifo();
+            assert!(matches!(wheel, EventQueue::Wheel { .. }));
+            let run = |q: &mut EventQueue<u32>| {
+                let mut out = Vec::new();
+                let mut scratch = Vec::new();
+                for cycle in 0..5 + latency + 2 {
+                    for &(c, v) in pushes.iter().filter(|&&(c, _)| c == cycle) {
+                        q.push(c + latency, v);
+                    }
+                    q.drain_due(cycle, &mut scratch);
+                    out.extend(scratch.drain(..).map(|v| (cycle, v)));
+                }
+                out
+            };
+            let w = run(&mut wheel);
+            assert_eq!(w, run(&mut fifo));
+            assert_eq!(w.len(), pushes.len());
+            assert!(wheel.is_empty() && fifo.is_empty());
+        }
+    }
+
+    #[test]
+    fn next_release_matches_first_delivery_cycle() {
+        for latency in [2u64, 5, 200] {
+            let mut q = EventQueue::new(latency);
+            q.push(latency, 1); // pushed at cycle 0
+            let r = q.next_release(0).unwrap();
+            assert_eq!(r, latency);
+            // Jump safety: nothing is delivered strictly before cycle r - 1.
+            assert_eq!(play(&mut q, 0, r - 1), Vec::new());
+            let mut due = Vec::new();
+            q.drain_due(r - 1, &mut due);
+            assert_eq!(due, vec![1], "release r is delivered during cycle r - 1");
+        }
+    }
+
+    #[test]
+    fn next_release_sees_the_nearest_of_several_wheel_buckets() {
+        let mut q = EventQueue::new(16);
+        q.push(3 + 16, 1); // pushed at cycle 3
+        q.push(9 + 16, 2); // pushed at cycle 9
+        assert_eq!(q.next_release(10), Some(19));
+        let mut due = Vec::new();
+        q.drain_due(18, &mut due);
+        assert_eq!(due, vec![1]);
+        assert_eq!(q.next_release(18), Some(25));
+    }
+
+    #[test]
+    fn fifo_next_release_is_front_gated() {
+        // With variable delays the front can mature *later* than an item
+        // behind it; the drain (and therefore next_release) must follow the
+        // front, preserving the pre-wheel delivery order.
+        let mut q = EventQueue::fifo();
+        q.push(50, 1);
+        q.push(10, 2);
+        assert_eq!(q.next_release(0), Some(50));
+        assert_eq!(play(&mut q, 0, 48), Vec::new());
+        let mut due = Vec::new();
+        q.drain_due(49, &mut due);
+        assert_eq!(due, vec![1, 2], "both pop once the front matures");
+    }
+
+    #[test]
+    fn empty_queue_has_no_next_release() {
+        let q: EventQueue<u32> = EventQueue::new(8);
+        assert_eq!(q.next_release(123), None);
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_latency_falls_back_to_fifo() {
+        assert!(matches!(EventQueue::<u32>::new(0), EventQueue::Fifo(_)));
+        assert!(matches!(EventQueue::<u32>::new(1), EventQueue::Fifo(_)));
+        assert!(matches!(EventQueue::<u32>::new(WHEEL_MAX_LATENCY + 1), EventQueue::Fifo(_)));
+        assert!(matches!(EventQueue::<u32>::new(WHEEL_MAX_LATENCY), EventQueue::Wheel { .. }));
+    }
+}

@@ -234,6 +234,20 @@ impl FaultState {
         self.stuck
     }
 
+    /// Whether `kind` still has injection budget. Event-driven engines use
+    /// this to decide whether a per-cycle candidate site could still draw
+    /// from the PRNG: once the budget is spent, [`FaultState::strike`]
+    /// returns without a draw, so idle cycles are safe to skip.
+    pub(crate) fn arms(&self, kind: FaultKind) -> bool {
+        self.remaining[kind.index()] > 0
+    }
+
+    /// The plan's injection window `[lo, hi)`. Outside it,
+    /// [`FaultState::strike`] returns without drawing from the PRNG.
+    pub(crate) fn window(&self) -> (u64, u64) {
+        self.window
+    }
+
     /// Records an applied fault (exactly one record per injection).
     pub(crate) fn record(&mut self, cycle: u64, node: u32, kind: FaultKind, detail: String) {
         self.log.push(FaultRecord { cycle, node, kind, detail });

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod event;
 pub mod fault;
 pub mod fxhash;
 pub mod ooo;
@@ -47,6 +48,7 @@ pub mod slab;
 pub mod tagged;
 pub mod watchdog;
 
+pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultRecord, FaultSpec};
 pub use result::{Outcome, RunResult, SimError, TimeoutCause};
 pub use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};

@@ -126,18 +126,44 @@ impl WindowScheduler {
     }
 
     /// Accounts finished cycles `< upto` into the trace and IPC histogram.
+    ///
+    /// Zero-issue stretches are folded in bulk: between one retirement and
+    /// the next, a cycle with no issue-slot usage records exactly the same
+    /// `(in_flight, 0)` sample as its neighbours, so a long memory-latency
+    /// gap costs one `record_n` instead of one `record` per cycle. The
+    /// samples produced are bit-identical to the per-cycle loop's.
     fn account_to(&mut self, upto: u64) {
         while self.accounted < upto {
             let c = self.accounted;
-            let issued_this = if c >= self.slot_base { *self.slot_at(c) } else { 0 };
             while self.retired_pending.front().is_some_and(|&r| r <= c) {
                 self.retired_pending.pop_front();
                 self.retired_counted += 1;
             }
+            let issued_this = if c >= self.slot_base { *self.slot_at(c) } else { 0 };
             let in_flight = self.issued - self.retired_counted;
-            self.trace.record(in_flight.min(self.window as u64) + self.live_values);
-            self.ipc.record(issued_this);
-            self.accounted += 1;
+            let value = in_flight.min(self.window as u64) + self.live_values;
+            if issued_this > 0 {
+                self.trace.record(value);
+                self.ipc.record(issued_this);
+                self.accounted += 1;
+                continue;
+            }
+            // The constant-sample run ends at the next retirement (which
+            // changes `in_flight`) or the next cycle with issued slots.
+            let mut end = self.retired_pending.front().map_or(upto, |&r| upto.min(r));
+            let base = self.slot_base;
+            let mut idx = ((c + 1).max(base) - base) as usize;
+            while base + (idx as u64) < end && idx < self.slots.len() {
+                if self.slots[idx] != 0 {
+                    end = base + idx as u64;
+                    break;
+                }
+                idx += 1;
+            }
+            let n = end - c;
+            self.trace.record_n(value, n);
+            self.ipc.record_n(0, n);
+            self.accounted = end;
         }
         // Prune slot storage below the accounted horizon.
         while self.slot_base < self.accounted && !self.slots.is_empty() {
@@ -424,5 +450,109 @@ mod tests {
         assert!(small.peak_live() <= 4 + 32, "peak {}", small.peak_live());
         assert!(large.peak_live() <= 256 + 32, "peak {}", large.peak_live());
         assert!(large.peak_live() > small.peak_live());
+    }
+
+    /// A copy of the pre-batching scheduler whose `account_to` ticks one
+    /// cycle at a time — the reference the bulk-folding version must match
+    /// sample for sample.
+    struct RefScheduler(WindowScheduler);
+
+    impl RefScheduler {
+        fn account_to(&mut self, upto: u64) {
+            let s = &mut self.0;
+            while s.accounted < upto {
+                let c = s.accounted;
+                let issued_this = if c >= s.slot_base { *s.slot_at(c) } else { 0 };
+                while s.retired_pending.front().is_some_and(|&r| r <= c) {
+                    s.retired_pending.pop_front();
+                    s.retired_counted += 1;
+                }
+                let in_flight = s.issued - s.retired_counted;
+                s.trace.record(in_flight.min(s.window as u64) + s.live_values);
+                s.ipc.record(issued_this);
+                s.accounted += 1;
+            }
+            while s.slot_base < s.accounted && !s.slots.is_empty() {
+                s.slots.pop_front();
+                s.slot_base += 1;
+            }
+        }
+
+        fn issue(&mut self, ready_cycle: u64, live_values: u64) -> u64 {
+            let enter = {
+                let s = &mut self.0;
+                s.live_values = live_values;
+                if s.rob.len() >= s.window {
+                    let r = s.rob.pop_front().expect("full rob");
+                    s.retired_pending.push_back(r);
+                    r
+                } else {
+                    0
+                }
+            };
+            self.account_to(enter);
+            let s = &mut self.0;
+            let mut at = ready_cycle.max(enter).max(s.slot_base);
+            let width = s.width;
+            loop {
+                let used = s.slot_at(at);
+                if *used < width {
+                    *used += 1;
+                    break;
+                }
+                at += 1;
+            }
+            s.issued += 1;
+            let finish = at + 1;
+            s.last_retire = s.last_retire.max(finish);
+            s.rob.push_back(s.last_retire);
+            finish
+        }
+
+        fn drain(mut self) -> (u64, Trace, IpcHistogram) {
+            let end = self.0.last_retire.max(self.0.accounted);
+            while let Some(r) = self.0.rob.pop_front() {
+                self.0.retired_pending.push_back(r);
+            }
+            self.account_to(end);
+            (end.max(1), self.0.trace, self.0.ipc)
+        }
+    }
+
+    /// The batched `account_to` must produce bit-identical traces, IPC
+    /// histograms, and issue cycles to the one-tick-at-a-time reference —
+    /// across dense streams, long memory-latency gaps (the case the
+    /// batching exists for), and window-full retirement stalls.
+    #[test]
+    fn batched_accounting_matches_per_cycle_reference() {
+        let schedules: Vec<Vec<u64>> = vec![
+            // Dense: every instruction ready immediately.
+            (0..200).map(|_| 0).collect(),
+            // Serial chain with a 500-cycle gap per instruction.
+            (0..40).map(|i| i * 500).collect(),
+            // Mixed: bursts separated by long gaps.
+            (0..120).map(|i| (i / 10) * 3000 + (i % 10)).collect(),
+            // Gaps shorter than the window refill rate.
+            (0..300).map(|i| i * 3).collect(),
+        ];
+        for (wi, (window, width)) in [(1usize, 1usize), (4, 2), (64, 8)].iter().enumerate() {
+            for (si, ready) in schedules.iter().enumerate() {
+                let mut fast = WindowScheduler::new(*window, *width);
+                let mut slow = RefScheduler(WindowScheduler::new(*window, *width));
+                for (k, &r) in ready.iter().enumerate() {
+                    let live = (k % 7) as u64;
+                    assert_eq!(
+                        fast.issue(r, live),
+                        slow.issue(r, live),
+                        "w{wi} s{si} k{k}: issue cycle diverged"
+                    );
+                }
+                let (end_f, trace_f, ipc_f) = fast.drain();
+                let (end_s, trace_s, ipc_s) = slow.drain();
+                assert_eq!(end_f, end_s, "w{wi} s{si}: end");
+                assert_eq!(trace_f, trace_s, "w{wi} s{si}: trace");
+                assert_eq!(ipc_f, ipc_s, "w{wi} s{si}: ipc");
+            }
+        }
     }
 }

@@ -85,6 +85,13 @@ pub struct OrderedConfig {
     pub faults: Option<FaultPlan>,
     /// Run watchdog (see [`crate::watchdog`]). Disarmed by default.
     pub watchdog: Watchdog,
+    /// Event-driven core (default on): when a cycle fires nothing and
+    /// releases nothing, the machine is frozen until the earliest in-flight
+    /// memory release matures, so the clock advances straight to that cycle
+    /// (clamped to the cycle limit and watchdog budget). Bit-identical to
+    /// the ticked loop; `false` forces one tick per cycle, kept as the
+    /// differential baseline for `repro fuzz`.
+    pub event_driven: bool,
 }
 
 impl OrderedConfig {
@@ -105,6 +112,7 @@ impl Default for OrderedConfig {
             mem_latency: 1,
             faults: None,
             watchdog: Watchdog::none(),
+            event_driven: true,
         }
     }
 }
@@ -127,6 +135,8 @@ pub struct OrderedEngine<'a, P: Probe = NoProbe> {
     live: u64,
     fired_total: u64,
     cycle: u64,
+    /// Idle cycles advanced over in bulk by the event-driven core.
+    skipped: u64,
     /// Architectural loads / stores executed (counted even without a probe).
     mem_loads: u64,
     mem_stores: u64,
@@ -236,6 +246,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             live,
             fired_total: 0,
             cycle: 0,
+            skipped: 0,
             mem_loads: 0,
             mem_stores: 0,
             trace: Trace::new(),
@@ -644,7 +655,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                     Vec::new(),
                 )
                 .with_mem_counts(self.mem_loads, self.mem_stores)
-                .with_faults(log));
+                .with_faults(log)
+                .with_skipped(self.skipped));
             }
             // Snapshot readiness against start-of-cycle state.
             let mut ready: Vec<usize> = Vec::new();
@@ -760,7 +772,8 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         returns,
                     )
                     .with_mem_counts(self.mem_loads, self.mem_stores)
-                    .with_faults(log))
+                    .with_faults(log)
+                    .with_skipped(self.skipped))
                 } else {
                     let witness = self.stall_witness();
                     Ok(RunResult::new(
@@ -775,11 +788,59 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         Vec::new(),
                     )
                     .with_mem_counts(self.mem_loads, self.mem_stores)
-                    .with_faults(log))
+                    .with_faults(log)
+                    .with_skipped(self.skipped))
                 };
             }
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            // Event-driven fast path: a cycle that fired nothing and
+            // released nothing leaves the FIFOs, readiness, and stall edges
+            // exactly as they were — the machine is frozen until the
+            // earliest in-flight memory release matures, so the clock can
+            // advance straight to the cycle before that release. A
+            // matured-but-back-pressured head keeps the minimum release at
+            // or below the current cycle, so blocked deliveries (which
+            // ticked runs retry every cycle) are never jumped over. The
+            // target is clamped so the cycle limit and the watchdog's cycle
+            // budget trip at exactly their ticked cycles.
+            if self.cfg.event_driven && fired == 0 && released == 0 && self.delayed_count > 0 {
+                let next = self
+                    .delayed
+                    .iter()
+                    .filter_map(|q| q.front().map(|&(r, _)| r))
+                    .min()
+                    .expect("delayed_count > 0");
+                let target =
+                    (next - 1).min(self.cfg.max_cycles).min(self.dog.budget().unwrap_or(u64::MAX));
+                if target > self.cycle {
+                    let n = target - self.cycle;
+                    self.trace.record_n(self.live, n);
+                    self.ipc.record_n(0, n);
+                    self.skipped += n;
+                    self.cycle = target;
+                    if self.cycle >= self.cfg.max_cycles {
+                        return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+                    }
+                    // A jump can leap over every slow-check boundary in the
+                    // gap; poll the host limits once per resume. The cycle
+                    // budget stays with the loop-top check so its attributed
+                    // cycle is deterministic.
+                    if let Some(cause) = self.dog.poll_host() {
+                        let log = self.faults.take().map(FaultState::into_log).unwrap_or_default();
+                        return Ok(RunResult::new(
+                            Outcome::TimedOut { cycle: self.cycle, live_tokens: self.live, cause },
+                            self.trace,
+                            self.ipc,
+                            self.mem,
+                            Vec::new(),
+                        )
+                        .with_mem_counts(self.mem_loads, self.mem_stores)
+                        .with_faults(log)
+                        .with_skipped(self.skipped));
+                    }
+                }
             }
         }
     }
@@ -1035,6 +1096,106 @@ mod latency_tests {
             assert_eq!(r.memory().slice(out), oracle_mem.slice(out), "lat={lat}");
             assert!(r.cycles() >= prev_cycles, "latency should not speed things up");
             prev_cycles = r.cycles();
+        }
+    }
+}
+
+#[cfg(test)]
+mod event_core_tests {
+    //! The event-driven fast path must be bit-identical to the ticked loop:
+    //! same outcome, traces, histograms, memory, and watchdog trip cycles,
+    //! differing only in `skipped_cycles` and wall-clock time.
+
+    use super::*;
+    use tyr_dfg::lower::lower_ordered;
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::Program;
+
+    /// Load-to-store loop: shallow FIFOs plus long memory latency freeze
+    /// the machine for most of every iteration.
+    fn load_store_loop() -> (Program, MemoryImage) {
+        let mut mem = MemoryImage::new();
+        let xs = mem.alloc_init("xs", &(0..24).map(|i| i * 2 + 1).collect::<Vec<_>>());
+        let out = mem.alloc("out", 24);
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i] = f.begin_loop("l", [0]);
+        let c = f.lt(i, 24);
+        f.begin_body(c);
+        let addr = f.add(i, xs.base_const());
+        let v = f.load(addr);
+        let scaled = f.mul(v, 3);
+        let oaddr = f.add(i, out.base_const());
+        f.store(oaddr, scaled);
+        let i2 = f.add(i, 1);
+        f.end_loop([i2], tyr_ir::NO_OPERANDS);
+        (pb.finish(f, [tyr_ir::Operand::Const(0)]), mem)
+    }
+
+    fn run_mode(
+        p: &Program,
+        mem: &MemoryImage,
+        lat: u64,
+        event_driven: bool,
+        watchdog: Watchdog,
+    ) -> RunResult {
+        let dfg = lower_ordered(p).unwrap();
+        let cfg = OrderedConfig {
+            queue_depth: 2,
+            mem_latency: lat,
+            event_driven,
+            watchdog,
+            ..OrderedConfig::default()
+        };
+        OrderedEngine::new(&dfg, mem.clone(), cfg).run().unwrap()
+    }
+
+    fn assert_identical(event: &RunResult, ticked: &RunResult, what: &str) {
+        assert_eq!(event.outcome, ticked.outcome, "{what}: outcome");
+        assert_eq!(event.live, ticked.live, "{what}: live trace");
+        assert_eq!(event.ipc, ticked.ipc, "{what}: ipc histogram");
+        assert_eq!(event.returns, ticked.returns, "{what}: returns");
+        assert_eq!(event.mem_loads, ticked.mem_loads, "{what}: loads");
+        assert_eq!(event.mem_stores, ticked.mem_stores, "{what}: stores");
+        assert_eq!(event.memory(), ticked.memory(), "{what}: memory");
+        assert_eq!(ticked.skipped_cycles, 0, "{what}: ticked runs never skip");
+    }
+
+    #[test]
+    fn event_and_ticked_runs_are_bit_identical() {
+        let (p, mem) = load_store_loop();
+        for lat in [2u64, 7, 200] {
+            let event = run_mode(&p, &mem, lat, true, Watchdog::none());
+            let ticked = run_mode(&p, &mem, lat, false, Watchdog::none());
+            let what = format!("lat={lat}");
+            assert!(event.is_complete(), "{what}: {:?}", event.outcome);
+            assert_identical(&event, &ticked, &what);
+            if lat == 200 {
+                assert!(
+                    event.skipped_cycles > event.cycles() / 2,
+                    "{what}: skipped {} of {}",
+                    event.skipped_cycles,
+                    event.cycles()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_budget_trips_at_the_same_cycle_even_when_jumped_past() {
+        let (p, mem) = load_store_loop();
+        for budget in [41u64, 137, 513] {
+            let dog = Watchdog::none().with_cycle_budget(budget);
+            let event = run_mode(&p, &mem, 200, true, dog.clone());
+            let ticked = run_mode(&p, &mem, 200, false, dog);
+            match event.outcome {
+                Outcome::TimedOut { cycle, .. } => {
+                    assert_eq!(cycle, budget, "attributed to the exact budget cycle");
+                }
+                ref other => panic!("budget={budget}: expected a timeout, got {other:?}"),
+            }
+            assert_identical(&event, &ticked, &format!("budget={budget}"));
+            assert_eq!(event.live.cycles(), budget, "one trace record per pre-trip cycle");
         }
     }
 }

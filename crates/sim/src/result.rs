@@ -160,6 +160,12 @@ pub struct RunResult {
     /// one); always equals the number of `MemAccess` probe events with
     /// `write: true`.
     pub mem_stores: u64,
+    /// Idle cycles the event-driven core advanced over in bulk instead of
+    /// ticking one by one. Purely a wall-clock diagnostic: every skipped
+    /// cycle is still accounted in `live`, `ipc`, and the cycle counts, so
+    /// two runs differing only in this field are otherwise bit-identical.
+    /// Always 0 for ticked runs and for engines without an event core.
+    pub skipped_cycles: u64,
 }
 
 impl RunResult {
@@ -183,7 +189,14 @@ impl RunResult {
             faults: Vec::new(),
             mem_loads: 0,
             mem_stores: 0,
+            skipped_cycles: 0,
         }
+    }
+
+    /// Attaches the count of bulk-skipped idle cycles (builder-style).
+    pub fn with_skipped(mut self, skipped: u64) -> Self {
+        self.skipped_cycles = skipped;
+        self
     }
 
     /// Attaches the architectural load/store counts (builder-style).

@@ -29,6 +29,7 @@ use tyr_ir::{MemoryImage, Value};
 use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::event::EventQueue;
 use crate::fault::{FaultPlan, FaultState};
 use crate::fxhash::FxHashMap;
 use crate::result::{Outcome, RunResult, SimError};
@@ -116,6 +117,15 @@ pub struct TaggedConfig {
     /// Run watchdog: cycle budget, wall-clock deadline, cancellation (see
     /// [`crate::watchdog`]). Disarmed by default.
     pub watchdog: Watchdog,
+    /// Event-driven core (default on): when the ready queue is empty the
+    /// engine advances the clock straight to the cycle before the next
+    /// delayed release instead of ticking through the idle gap, clamped so
+    /// the cycle limit, watchdog budget, and fault windows still see every
+    /// cycle they would have in a ticked run. Results are bit-identical
+    /// either way (only [`RunResult::skipped_cycles`](crate::RunResult) and
+    /// wall-clock time differ); `false` forces the legacy one-tick-per-cycle
+    /// loop, kept as the differential baseline for `repro fuzz`.
+    pub event_driven: bool,
 }
 
 impl Default for TaggedConfig {
@@ -130,6 +140,7 @@ impl Default for TaggedConfig {
             check_token_leaks: false,
             faults: None,
             watchdog: Watchdog::none(),
+            event_driven: true,
         }
     }
 }
@@ -239,86 +250,6 @@ enum Backend {
     Unbounded { next: u64 },
 }
 
-/// Largest `mem_latency` served by the timing wheel; beyond it the wheel's
-/// bucket array would outweigh the FIFO it replaces.
-const WHEEL_MAX_LATENCY: u64 = 1 << 14;
-
-/// Memory responses in flight, bucketed by release cycle.
-///
-/// The latency is constant, so at most `mem_latency` distinct release
-/// cycles are ever in flight and a wheel of `mem_latency + 1` buckets is
-/// exact: a response issued at cycle `c` lands in bucket
-/// `(c + mem_latency) % len`, and the engine drains bucket
-/// `(cycle + 1) % len` once per cycle — O(releases this cycle), with no
-/// front-scan over responses that are not yet due. Same-cycle insertions
-/// can never collide with the bucket being drained
-/// (`c + mem_latency ≡ c + 1 (mod mem_latency + 1)` has no solution for
-/// `mem_latency ≥ 2`), and within a bucket insertion order is preserved, so
-/// delivery order — and therefore every cycle count — is bit-identical to
-/// the FIFO this replaces.
-enum DelayLine {
-    Wheel {
-        /// `buckets[r % buckets.len()]` holds exactly the responses
-        /// releasing at cycle `r`.
-        buckets: Vec<Vec<(PortRef, u64, Value)>>,
-        /// Total responses in flight across all buckets.
-        in_flight: usize,
-    },
-    /// Fallback for latencies too large to wheel; `(release_cycle, target,
-    /// tag, value)`, FIFO because the latency is constant.
-    Fifo(VecDeque<(u64, PortRef, u64, Value)>),
-}
-
-impl DelayLine {
-    fn new(mem_latency: u64) -> Self {
-        if (2..=WHEEL_MAX_LATENCY).contains(&mem_latency) {
-            let len = mem_latency as usize + 1;
-            DelayLine::Wheel { buckets: (0..len).map(|_| Vec::new()).collect(), in_flight: 0 }
-        } else {
-            // `mem_latency <= 1` never queues (responses emit directly);
-            // keep the FIFO as an inert placeholder.
-            DelayLine::Fifo(VecDeque::new())
-        }
-    }
-
-    fn push(&mut self, release: u64, target: PortRef, tag: u64, val: Value) {
-        match self {
-            DelayLine::Wheel { buckets, in_flight } => {
-                let len = buckets.len() as u64;
-                buckets[(release % len) as usize].push((target, tag, val));
-                *in_flight += 1;
-            }
-            DelayLine::Fifo(q) => q.push_back((release, target, tag, val)),
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        match self {
-            DelayLine::Wheel { in_flight, .. } => *in_flight == 0,
-            DelayLine::Fifo(q) => q.is_empty(),
-        }
-    }
-
-    /// Moves every response due by the end of `cycle` into `out` (in
-    /// issue order), reusing `out`'s capacity across cycles.
-    fn drain_due(&mut self, cycle: u64, out: &mut Vec<(PortRef, u64, Value)>) {
-        match self {
-            DelayLine::Wheel { buckets, in_flight } => {
-                let len = buckets.len() as u64;
-                let bucket = &mut buckets[((cycle + 1) % len) as usize];
-                *in_flight -= bucket.len();
-                out.append(bucket);
-            }
-            DelayLine::Fifo(q) => {
-                while q.front().is_some_and(|&(r, ..)| r <= cycle + 1) {
-                    let (_, target, tag, val) = q.pop_front().expect("checked");
-                    out.push((target, tag, val));
-                }
-            }
-        }
-    }
-}
-
 /// The tagged-dataflow engine. Construct with [`TaggedEngine::new`] (no
 /// observability, zero overhead) or [`TaggedEngine::with_probe`], run with
 /// [`TaggedEngine::run`].
@@ -331,8 +262,9 @@ pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     backend: Backend,
     ready: VecDeque<(u32, u64)>,
     emissions: Vec<(PortRef, u64, Value)>,
-    /// Memory results in flight, bucketed by release cycle.
-    delayed: DelayLine,
+    /// Memory results in flight, bucketed by release cycle — and the
+    /// engine's wakeup source when the ready queue runs dry.
+    delayed: EventQueue<(PortRef, u64, Value)>,
     /// Scratch for the per-cycle release drain (capacity reused).
     due: Vec<(PortRef, u64, Value)>,
     live: u64,
@@ -342,6 +274,8 @@ pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     block_peak: Vec<u64>,
     fired_total: u64,
     cycle: u64,
+    /// Idle cycles advanced over in bulk by the event-driven core.
+    skipped: u64,
     /// Architectural loads / stores executed (counted even without a probe).
     mem_loads: u64,
     mem_stores: u64,
@@ -503,11 +437,8 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             .faults
             .as_ref()
             .is_some_and(|p| p.specs.iter().any(|s| s.kind == FaultKind::MemDelay && s.count > 0));
-        let delayed = if arms_mem_delay {
-            DelayLine::Fifo(VecDeque::new())
-        } else {
-            DelayLine::new(cfg.mem_latency)
-        };
+        let delayed =
+            if arms_mem_delay { EventQueue::fifo() } else { EventQueue::new(cfg.mem_latency) };
         let faults = cfg.faults.as_ref().map(FaultState::new);
         let dog = cfg.watchdog.arm();
         TaggedEngine {
@@ -526,6 +457,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             block_peak: vec![0; dfg.blocks.len()],
             fired_total: 0,
             cycle: 0,
+            skipped: 0,
             mem_loads: 0,
             mem_stores: 0,
             trace: Trace::new(),
@@ -562,10 +494,69 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                 )
                 .with_store_peaks(peaks)
                 .with_mem_counts(self.mem_loads, self.mem_stores)
-                .with_faults(log));
+                .with_faults(log)
+                .with_skipped(self.skipped));
             }
             if self.faults.is_some() {
                 self.fault_exhaust_tags();
+            }
+            // Event-driven fast path: with nothing ready, no instruction can
+            // fire and no machine state can change until the next delayed
+            // memory release, so the clock may advance to the cycle before
+            // that release (`drain_due` during cycle `r - 1` delivers
+            // release `r`) in one step. The jump is clamped so every
+            // deadline that inspects skipped cycles still sees its exact
+            // trip cycle: the cycle limit (checked at the bottom of each
+            // ticked cycle), the watchdog's cycle budget (checked at each
+            // loop top), and the tag-exhaust fault window (whose in-window
+            // cycles each draw from the fault PRNG).
+            if self.cfg.event_driven && self.ready.is_empty() {
+                if let Some(next) = self.delayed.next_release(self.cycle) {
+                    let target = (next - 1)
+                        .min(self.cfg.max_cycles)
+                        .min(self.dog.budget().unwrap_or(u64::MAX))
+                        .min(self.exhaust_jump_bound());
+                    if target > self.cycle {
+                        let n = target - self.cycle;
+                        // Each skipped cycle samples exactly what the ticked
+                        // loop would have: unchanged live state, IPC 0.
+                        self.trace.record_n(self.live, n);
+                        self.ipc.record_n(0, n);
+                        self.skipped += n;
+                        self.cycle = target;
+                        // Ordering mirrors the ticked loop: the cycle limit
+                        // fires at the bottom of cycle `max_cycles - 1`,
+                        // before any loop-top watchdog check could run.
+                        if self.cycle >= self.cfg.max_cycles {
+                            return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+                        }
+                        // A jump can leap over every slow-check boundary in
+                        // the gap, so poll the host limits once per resume.
+                        // The cycle budget is left to the loop-top check so
+                        // its attributed cycle stays deterministic.
+                        if let Some(cause) = self.dog.poll_host() {
+                            let peaks = self.store_peaks();
+                            let log =
+                                self.faults.take().map(FaultState::into_log).unwrap_or_default();
+                            return Ok(RunResult::new(
+                                Outcome::TimedOut {
+                                    cycle: self.cycle,
+                                    live_tokens: self.live,
+                                    cause,
+                                },
+                                self.trace,
+                                self.ipc,
+                                self.mem,
+                                Vec::new(),
+                            )
+                            .with_store_peaks(peaks)
+                            .with_mem_counts(self.mem_loads, self.mem_stores)
+                            .with_faults(log)
+                            .with_skipped(self.skipped));
+                        }
+                        continue;
+                    }
+                }
             }
             let mut fired = 0u64;
             let mut sync_fired = 0u64;
@@ -691,7 +682,8 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     )
                     .with_store_peaks(peaks)
                     .with_mem_counts(self.mem_loads, self.mem_stores)
-                    .with_faults(log));
+                    .with_faults(log)
+                    .with_skipped(self.skipped));
                 }
             }
             if fired + sync_fired == 0 && self.ready.is_empty() && self.delayed.is_empty() {
@@ -713,11 +705,32 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                 )
                 .with_store_peaks(peaks)
                 .with_mem_counts(self.mem_loads, self.mem_stores)
-                .with_faults(log));
+                .with_faults(log)
+                .with_skipped(self.skipped));
             }
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
             }
+        }
+    }
+
+    /// The highest cycle the event core may jump to without skipping a
+    /// cycle on which [`TaggedEngine::fault_exhaust_tags`] could draw from
+    /// the fault PRNG. Outside the plan window (and once the fault has
+    /// struck or its budget is spent) no candidate cycle draws, so jumps
+    /// are unbounded; before the window the clock may advance to its start;
+    /// inside it every cycle is a potential draw and the engine single-steps.
+    fn exhaust_jump_bound(&self) -> u64 {
+        match self.faults.as_ref() {
+            Some(fs) if self.tag_sink.is_none() && fs.arms(FaultKind::TagExhaust) => {
+                let (lo, hi) = fs.window();
+                if self.cycle >= hi {
+                    u64::MAX
+                } else {
+                    lo.max(self.cycle + 1)
+                }
+            }
+            _ => u64::MAX,
         }
     }
 
@@ -1099,7 +1112,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
         let release = self.cycle + self.cfg.mem_latency.max(1) + extra;
         let dfg = self.dfg;
         for &t in &dfg.nodes[node.0 as usize].outs[port as usize] {
-            self.delayed.push(release, t, tag, val);
+            self.delayed.push(release, (t, tag, val));
             self.live += 1;
             let b = dfg.nodes[t.node.0 as usize].block.0 as usize;
             self.block_live[b] += 1;
@@ -2022,6 +2035,146 @@ mod latency_tests {
             wide_slowdown < narrow_slowdown,
             "tags should hide latency: {wide_slowdown:.2} vs {narrow_slowdown:.2}"
         );
+    }
+}
+
+#[cfg(test)]
+mod event_core_tests {
+    //! The event-driven fast path must be bit-identical to the ticked loop
+    //! it replaces: same outcome, traces, histograms, memory, and deadline
+    //! trip cycles, differing only in `skipped_cycles` and wall-clock time.
+
+    use super::*;
+    use tyr_dfg::lower::{lower_tagged, TaggingDiscipline};
+    use tyr_ir::build::ProgramBuilder;
+    use tyr_ir::Program;
+
+    /// Serial reduction over loads: with few tags and long memory latency
+    /// almost every cycle is idle — the worst case the event core targets.
+    fn load_loop(n: i64) -> (Program, MemoryImage) {
+        let mut mem = MemoryImage::new();
+        let xs = mem.alloc_init("xs", &(0..n).map(|i| i * 3 - 7).collect::<Vec<_>>());
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let [i, acc] = f.begin_loop("l", [0, 0]);
+        let c = f.lt(i, n);
+        f.begin_body(c);
+        let addr = f.add(i, xs.base_const());
+        let v = f.load(addr);
+        let acc2 = f.add(acc, v);
+        let i2 = f.add(i, 1);
+        let [out] = f.end_loop([i2, acc2], [acc]);
+        (pb.finish(f, [out]), mem)
+    }
+
+    fn run_mode(
+        p: &Program,
+        mem: &MemoryImage,
+        policy: TagPolicy,
+        lat: u64,
+        event_driven: bool,
+        watchdog: Watchdog,
+        max_cycles: u64,
+    ) -> Result<RunResult, SimError> {
+        let dfg = lower_tagged(p, TaggingDiscipline::Tyr).unwrap();
+        let cfg = TaggedConfig {
+            tag_policy: policy,
+            mem_latency: lat,
+            event_driven,
+            watchdog,
+            max_cycles,
+            ..TaggedConfig::default()
+        };
+        TaggedEngine::new(&dfg, mem.clone(), cfg).run()
+    }
+
+    fn assert_identical(event: &RunResult, ticked: &RunResult, what: &str) {
+        assert_eq!(event.outcome, ticked.outcome, "{what}: outcome");
+        assert_eq!(event.live, ticked.live, "{what}: live trace");
+        assert_eq!(event.ipc, ticked.ipc, "{what}: ipc histogram");
+        assert_eq!(event.returns, ticked.returns, "{what}: returns");
+        assert_eq!(event.store_peaks, ticked.store_peaks, "{what}: store peaks");
+        assert_eq!(event.mem_loads, ticked.mem_loads, "{what}: loads");
+        assert_eq!(event.mem_stores, ticked.mem_stores, "{what}: stores");
+        assert_eq!(event.memory(), ticked.memory(), "{what}: memory");
+        assert_eq!(event.faults, ticked.faults, "{what}: fault log");
+        assert_eq!(ticked.skipped_cycles, 0, "{what}: ticked runs never skip");
+    }
+
+    #[test]
+    fn event_and_ticked_runs_are_bit_identical() {
+        let (p, mem) = load_loop(24);
+        for lat in [2u64, 7, 200] {
+            for (label, policy) in [
+                ("local(2)", TagPolicy::local(2)),
+                ("local(16)", TagPolicy::local(16)),
+                ("unbounded", TagPolicy::GlobalUnbounded),
+            ] {
+                let max = TaggedConfig::default().max_cycles;
+                let run = |ed| {
+                    run_mode(&p, &mem, policy.clone(), lat, ed, Watchdog::none(), max).unwrap()
+                };
+                let event = run(true);
+                let ticked = run(false);
+                let what = format!("lat={lat} {label}");
+                assert!(event.is_complete(), "{what}: {:?}", event.outcome);
+                assert_identical(&event, &ticked, &what);
+                // With 2 tags the loads serialize, so at 200-cycle latency
+                // nearly the whole run is skippable idle time. (Wider
+                // policies overlap their loads and skip far less.)
+                if lat == 200 && label == "local(2)" {
+                    assert!(
+                        event.skipped_cycles > event.cycles() / 2,
+                        "{what}: skipped {} of {}",
+                        event.skipped_cycles,
+                        event.cycles()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_limit_trips_identically_mid_gap() {
+        // Limits chosen to land inside idle gaps: the event core must not
+        // jump past `max_cycles` and run longer than a ticked engine would.
+        let (p, mem) = load_loop(24);
+        let total = run_mode(&p, &mem, TagPolicy::local(2), 200, true, Watchdog::none(), u64::MAX)
+            .unwrap()
+            .cycles();
+        for limit in [total / 7, total / 3, total / 2, total - 2] {
+            let run = |ed| {
+                run_mode(&p, &mem, TagPolicy::local(2), 200, ed, Watchdog::none(), limit)
+                    .unwrap_err()
+            };
+            assert_eq!(run(true), SimError::CycleLimit { limit }, "event mode, limit={limit}");
+            assert_eq!(run(true), run(false), "limit={limit}");
+        }
+    }
+
+    #[test]
+    fn cycle_budget_trips_at_the_same_cycle_even_when_jumped_past() {
+        // A watchdog budget landing mid-gap must attribute the timeout to
+        // exactly the budget cycle, with the same trace lengths, in both
+        // modes — the jump is clamped to the budget boundary.
+        let (p, mem) = load_loop(24);
+        for budget in [37u64, 123, 391, 777] {
+            let dog = Watchdog::none().with_cycle_budget(budget);
+            let run = |ed| {
+                run_mode(&p, &mem, TagPolicy::local(2), 200, ed, dog.clone(), u64::MAX).unwrap()
+            };
+            let event = run(true);
+            let ticked = run(false);
+            match event.outcome {
+                Outcome::TimedOut { cycle, cause, .. } => {
+                    assert_eq!(cycle, budget, "attributed to the exact budget cycle");
+                    assert_eq!(cause, crate::result::TimeoutCause::CycleBudget { budget });
+                }
+                ref other => panic!("budget={budget}: expected a timeout, got {other:?}"),
+            }
+            assert_identical(&event, &ticked, &format!("budget={budget}"));
+            assert_eq!(event.live.cycles(), budget, "one trace record per pre-trip cycle");
+        }
     }
 }
 

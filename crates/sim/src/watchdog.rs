@@ -144,6 +144,38 @@ impl WatchdogState {
         self.check_armed(cycle)
     }
 
+    /// The armed cycle budget, if any. Event-driven engines clamp clock
+    /// jumps to this boundary so the budget trips at exactly the same cycle
+    /// as in a ticked run, even when the jump would otherwise leap past it.
+    #[inline]
+    pub(crate) fn budget(&self) -> Option<u64> {
+        self.cycle_budget
+    }
+
+    /// Polls the host-side limits (cancel token, wall clock) regardless of
+    /// cycle alignment. Event-driven engines call this once per clock jump:
+    /// a single jump can leap over many [`SLOW_CHECK_PERIOD`] boundaries, so
+    /// the resume point itself must consult the host or a wedged sweep
+    /// could outlive its deadline by an entire jump. The cycle budget is
+    /// deliberately *not* checked here — it stays with
+    /// [`WatchdogState::check`] so its attributed cycle is deterministic.
+    pub(crate) fn poll_host(&self) -> Option<TimeoutCause> {
+        if !self.armed {
+            return None;
+        }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(TimeoutCause::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(TimeoutCause::WallClock { limit_ms: self.limit_ms });
+            }
+        }
+        None
+    }
+
     #[cold]
     fn check_armed(&self, cycle: u64) -> Option<TimeoutCause> {
         if let Some(budget) = self.cycle_budget {
@@ -192,6 +224,27 @@ mod tests {
         // Off-period cycles skip the wall check entirely.
         assert!(state.check(1).is_none());
         assert_eq!(state.check(SLOW_CHECK_PERIOD), Some(TimeoutCause::WallClock { limit_ms: 0 }));
+    }
+
+    /// `poll_host` is the clock-jump resume check: it must see host limits
+    /// on *any* cycle (no slow-check alignment) but never report the cycle
+    /// budget, whose attribution stays with `check`.
+    #[test]
+    fn poll_host_checks_host_limits_but_not_the_cycle_budget() {
+        let state = Watchdog::none().with_cycle_budget(0).arm();
+        assert!(state.poll_host().is_none());
+        assert_eq!(state.budget(), Some(0));
+        assert_eq!(Watchdog::none().arm().budget(), None);
+        assert!(Watchdog::none().arm().poll_host().is_none());
+
+        let token = CancelToken::new();
+        let state = Watchdog::none().with_cancel(token.clone()).arm();
+        assert!(state.poll_host().is_none());
+        token.cancel();
+        assert_eq!(state.poll_host(), Some(TimeoutCause::Cancelled));
+
+        let state = Watchdog::none().with_wall_limit(Duration::ZERO).arm();
+        assert_eq!(state.poll_host(), Some(TimeoutCause::WallClock { limit_ms: 0 }));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 /// Exact histogram of an integer-valued per-cycle quantity (typically IPC,
 /// bounded by the machine's issue width).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IpcHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -28,6 +28,22 @@ impl IpcHistogram {
         }
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Records `n` cycles that each executed `ipc` instructions — exactly
+    /// equivalent to `n` calls to [`IpcHistogram::record`]. Used by the
+    /// event-driven engines to account a batch of skipped idle cycles
+    /// (`ipc` 0) in one step.
+    pub fn record_n(&mut self, ipc: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = ipc as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
     }
 
     /// Merges another histogram into this one (used to aggregate across
@@ -154,6 +170,23 @@ mod tests {
         assert_eq!(a.total(), 4);
         assert_eq!(a.counts()[4], 2);
         assert_eq!(a.max_value(), 9);
+    }
+
+    /// `record_n(v, n)` must leave the histogram identical to `n` calls to
+    /// `record(v)` — the engines rely on this for bit-identical IPC CDFs
+    /// across ticked and event-driven runs.
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let schedule = [(0u64, 1u64), (3, 1000), (0, 0), (7, 2), (3, 1)];
+        let mut batched = IpcHistogram::new();
+        let mut ticked = IpcHistogram::new();
+        for &(v, n) in &schedule {
+            batched.record_n(v, n);
+            for _ in 0..n {
+                ticked.record(v);
+            }
+        }
+        assert_eq!(batched, ticked);
     }
 
     #[test]

@@ -526,6 +526,21 @@ impl ChromeTrace {
         self.dirty_blocks = blocks;
     }
 
+    /// Emits a catch-up counter sample at the last un-sampled window
+    /// boundary when one or more whole sampling windows passed without any
+    /// event — e.g. across an event-driven engine's clock jump, where an
+    /// idle gap produces no probe events at all. The counters were flat
+    /// through the gap; without the catch-up point Perfetto would
+    /// interpolate a ramp from the pre-gap sample to the next one instead
+    /// of the true merged flat span. Called before the current event's
+    /// deltas are applied, so the sample carries the gap's values.
+    fn backfill_globals(&mut self, cycle: u64) {
+        let window_start = (cycle / GLOBAL_COUNTER_WINDOW) * GLOBAL_COUNTER_WINDOW;
+        if self.next_global_sample < window_start {
+            self.sample_globals(self.next_global_sample);
+        }
+    }
+
     fn sample_globals(&mut self, cycle: u64) {
         let tokens = self.global_inflight;
         let tags = self.live_tags;
@@ -599,6 +614,7 @@ impl ChromeTrace {
         }
         self.counter_cycle = final_cycle;
         self.flush_counters();
+        self.backfill_globals(final_cycle);
         self.sample_globals(final_cycle);
 
         let mut out = String::from("{\"traceEvents\":[");
@@ -702,6 +718,7 @@ impl Probe for ChromeTrace {
             self.flush_counters();
             self.counter_cycle = cycle;
         }
+        self.backfill_globals(cycle);
         match ev {
             ProbeEvent::TokenProduced { .. } => self.global_inflight += 1,
             ProbeEvent::TokenConsumed { count, .. } => self.global_inflight -= count as i64,
@@ -907,6 +924,57 @@ mod tests {
         let tags = track("live tags");
         assert_eq!(tags.last(), Some(&(150.0, 1.0)));
         ChromeTrace::validate(&text).expect("counter tracks pass validation");
+    }
+
+    #[test]
+    fn global_counter_gaps_get_a_backfill_sample() {
+        // An event-driven engine can jump the clock over hundreds of idle
+        // cycles, so whole sampling windows pass with no probe events. The
+        // gap must render as one merged flat span: a single catch-up sample
+        // at the first skipped window boundary carrying the pre-gap values,
+        // not a silent drop (which Perfetto would draw as a ramp).
+        let track = |text: &str, name: &str| -> Vec<(f64, f64)> {
+            let doc = Json::parse(text).unwrap();
+            doc.get("traceEvents")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Json::as_str) == Some("C")
+                        && e.get("name").and_then(Json::as_str) == Some(name)
+                })
+                .map(|e| {
+                    let ts = e.get("ts").unwrap().as_f64().unwrap();
+                    let args = e.get("args").unwrap().as_obj().unwrap();
+                    (ts, args[0].1.as_f64().unwrap())
+                })
+                .collect()
+        };
+
+        // Gap between two events.
+        let mut t = ChromeTrace::new();
+        t.declare_node(0, "n", 0);
+        t.event(0, ProbeEvent::TokenProduced { node: 0 });
+        t.event(1000, ProbeEvent::TokenProduced { node: 0 });
+        let text = t.render(1010);
+        assert_eq!(
+            track(&text, "tokens in flight"),
+            vec![(0.0, 1.0), (64.0, 1.0), (1000.0, 2.0), (1010.0, 2.0)],
+            "backfill at the first skipped boundary with pre-gap value"
+        );
+        ChromeTrace::validate(&text).expect("backfilled trace passes validation");
+
+        // Gap between the last event and the final cycle.
+        let mut t = ChromeTrace::new();
+        t.declare_node(0, "n", 0);
+        t.event(0, ProbeEvent::TokenProduced { node: 0 });
+        let text = t.render(1000);
+        assert_eq!(
+            track(&text, "tokens in flight"),
+            vec![(0.0, 1.0), (64.0, 1.0), (1000.0, 1.0)],
+            "render backfills a tail gap before the forced final sample"
+        );
     }
 
     #[test]

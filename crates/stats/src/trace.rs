@@ -61,6 +61,35 @@ impl Trace {
         }
     }
 
+    /// Records the same value for `n` consecutive cycles, exactly as if
+    /// [`Trace::record`] had been called `n` times. This is the clock-jump
+    /// entry point: an event-driven engine that skips `n` idle cycles must
+    /// leave the trace bit-identical to the ticked engine, including bucket
+    /// boundaries and mid-batch stride doubling, so the batch is folded in
+    /// whole-bucket chunks rather than replayed per cycle.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cycles += n;
+        self.sum += value as u128 * n as u128;
+        if value > self.peak {
+            self.peak = value;
+        }
+        let mut left = n;
+        while left > 0 {
+            // `stride` can double inside push_bucket, so the chunk size is
+            // recomputed every iteration.
+            let take = left.min(self.stride - self.pending_cycles);
+            self.pending_max = self.pending_max.max(value);
+            self.pending_cycles += take;
+            left -= take;
+            if self.pending_cycles == self.stride {
+                self.push_bucket();
+            }
+        }
+    }
+
     fn push_bucket(&mut self) {
         self.buckets.push(self.pending_max);
         self.pending_cycles = 0;
@@ -227,6 +256,42 @@ mod tests {
             assert_eq!(pts[bucket].1, 999, "spike_at={spike_at} lost by the merge");
             assert_eq!(pts.iter().filter(|&&(_, v)| v == 999).count(), 1);
         }
+    }
+
+    /// `record_n(v, n)` must be indistinguishable from `n` calls to
+    /// `record(v)` — including bucket contents and stride — across batch
+    /// sizes that land inside, exactly on, and far past bucket boundaries
+    /// (and past the MAX_POINTS merge, where the stride doubles mid-batch).
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let m = Trace::MAX_POINTS as u64;
+        let schedules: Vec<Vec<(u64, u64)>> = vec![
+            vec![(3, 1), (7, 5), (2, 1)],
+            vec![(9, m - 1), (1, 1), (4, 3)],
+            vec![(5, m), (6, m)],
+            vec![(8, 3 * m + 17), (0, 2), (8, m / 2)],
+            vec![(1, 10 * m + 1)],
+        ];
+        for schedule in schedules {
+            let mut batched = Trace::new();
+            let mut ticked = Trace::new();
+            for &(v, n) in &schedule {
+                batched.record_n(v, n);
+                for _ in 0..n {
+                    ticked.record(v);
+                }
+            }
+            assert_eq!(batched, ticked, "schedule {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let mut t = Trace::new();
+        t.record(5);
+        let before = t.clone();
+        t.record_n(9, 0);
+        assert_eq!(t, before);
     }
 
     #[test]
