@@ -53,6 +53,17 @@ rm -rf "$timeline_dir"
 for engine in tyr ordered seqdf seqvn ooo; do
   target/release/repro --scale tiny locality dmv "$engine"
 done
+# Cache-model gate (DESIGN.md §7.8): one cached-memory smoke run per engine
+# family. Each must complete, match its oracle, and report cache stats
+# (`run_system` panics otherwise); the tight geometry guarantees real
+# misses so the hierarchy, MSHR table, and event-queue miss path are all
+# exercised. The same `locality` run cross-checks the static W002 line
+# bound against the distinct lines the reuse tracker observed *under the
+# cached model* — a static bound below the observation exits nonzero.
+for engine in tyr ordered seqdf seqvn ooo; do
+  target/release/repro --scale tiny --mem cached:l1=512,l2=4k,mshr=4 \
+    locality dmv "$engine"
+done
 # Shard gate (DESIGN.md §5.2): run `repro shard` on one kernel per engine
 # family that has a graph to cut — each run certifies a 4-shard plan
 # (P001-P004), attaches the crossing tracker, and exits nonzero on a
@@ -93,3 +104,8 @@ target/release/repro fuzz --quick --jobs 2 > "$event_dir/fuzz_event.txt"
 target/release/repro --ticked fuzz --quick --jobs 2 > "$event_dir/fuzz_ticked.txt"
 diff "$event_dir/fuzz_event.txt" "$event_dir/fuzz_ticked.txt"
 rm -rf "$event_dir"
+# Cached-memory fuzz sweep (DESIGN.md §7.8): 10 generated programs run on
+# all five engines under the two-level cache model. The differential oracle
+# compares memory images and returns, so this is the machine-checked form
+# of the invariance claim — the cache shapes timing, never values.
+target/release/repro --mem cached:l1=512,l2=4k,mshr=4 fuzz --seeds 10 --jobs 2

@@ -31,7 +31,7 @@ fn main() {
             h.bench(&format!("event_skip/tagged_local2_lat{HIGH_LATENCY}/{app}/{label}"), || {
                 let cfg = TaggedConfig {
                     tag_policy: TagPolicy::local(2),
-                    mem_latency: HIGH_LATENCY,
+                    mem: tyr_sim::MemConfig::ideal(HIGH_LATENCY),
                     event_driven,
                     ..TaggedConfig::default()
                 };
@@ -44,7 +44,7 @@ fn main() {
         for (label, event_driven) in [("event", true), ("ticked", false)] {
             h.bench(&format!("event_skip/ordered_lat{HIGH_LATENCY}/{app}/{label}"), || {
                 let cfg = OrderedConfig {
-                    mem_latency: HIGH_LATENCY,
+                    mem: tyr_sim::MemConfig::ideal(HIGH_LATENCY),
                     event_driven,
                     ..OrderedConfig::default()
                 };

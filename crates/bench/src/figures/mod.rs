@@ -6,6 +6,7 @@
 //! paper-vs-measured results.
 
 pub mod deadlock;
+pub mod locality;
 pub mod perf;
 pub mod scaling;
 pub mod tables;

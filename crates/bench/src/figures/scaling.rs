@@ -183,7 +183,7 @@ pub fn ablation_latency(ctx: &Ctx) {
             issue_width: ctx.cfg.issue_width,
             tag_policy: TagPolicy::local(tags),
             args: w.args.clone(),
-            mem_latency: lat,
+            mem: tyr_sim::MemConfig::ideal(lat),
             ..TaggedConfig::default()
         };
         let r = TaggedEngine::new(&tyr_dfg, w.memory.clone(), tcfg).run().expect("tyr");
@@ -197,7 +197,7 @@ pub fn ablation_latency(ctx: &Ctx) {
             issue_width: ctx.cfg.issue_width,
             queue_depth: ctx.cfg.queue_depth,
             args: w.args.clone(),
-            mem_latency: lat,
+            mem: tyr_sim::MemConfig::ideal(lat),
             ..OrderedConfig::default()
         };
         let or = OrderedEngine::new(&ord_dfg, w.memory.clone(), ocfg).run().expect("ordered");

@@ -40,7 +40,7 @@ use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
 use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
 use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
-use tyr_sim::{CancelToken, FaultKind, FaultPlan, Outcome, RunResult, Watchdog};
+use tyr_sim::{CancelToken, FaultKind, FaultPlan, MemConfig, Outcome, RunResult, Watchdog};
 use tyr_stats::locality::WorkingSet;
 use tyr_stats::shard::{ShardCrossings, ShardSpec};
 use tyr_verify::{analyze_footprint, analyze_live_state, verify_shards, ShardBudget};
@@ -156,13 +156,18 @@ pub fn run_engine(
     faults: Option<FaultPlan>,
     dog: Watchdog,
     event_driven: bool,
+    mem: &MemConfig,
     oracle: &OracleResult,
 ) -> (Verdict, Vec<tyr_sim::FaultRecord>) {
     let res: Result<RunResult, String> = (|| {
         let r = match sys {
             System::SeqVn => {
-                let c =
-                    SeqVnConfig { args: case.args.clone(), max_cycles: u64::MAX, watchdog: dog };
+                let c = SeqVnConfig {
+                    args: case.args.clone(),
+                    max_cycles: u64::MAX,
+                    mem: mem.clone(),
+                    watchdog: dog,
+                };
                 SeqVnEngine::new(&case.program, case.memory.clone(), c).run()
             }
             System::SeqDf => {
@@ -170,6 +175,7 @@ pub fn run_engine(
                     issue_width: 64,
                     args: case.args.clone(),
                     max_cycles: u64::MAX,
+                    mem: mem.clone(),
                     watchdog: dog,
                 };
                 SeqDataflowEngine::new(&case.program, case.memory.clone(), c).run()
@@ -180,6 +186,7 @@ pub fn run_engine(
                     issue_width: 64,
                     args: case.args.clone(),
                     max_cycles: u64::MAX,
+                    mem: mem.clone(),
                     faults,
                     watchdog: dog,
                     event_driven,
@@ -195,6 +202,7 @@ pub fn run_engine(
                     tag_policy: TagPolicy::GlobalUnbounded,
                     args: case.args.clone(),
                     max_cycles: u64::MAX,
+                    mem: mem.clone(),
                     check_token_leaks: true,
                     faults,
                     watchdog: dog,
@@ -211,6 +219,7 @@ pub fn run_engine(
                     tag_policy: TagPolicy::local_with(64, Vec::new()),
                     args: case.args.clone(),
                     max_cycles: u64::MAX,
+                    mem: mem.clone(),
                     check_token_leaks: true,
                     faults,
                     watchdog: dog,
@@ -444,11 +453,23 @@ pub struct FuzzOpts {
     /// execution (`--ticked`). The report is byte-identical either way —
     /// diffing the two is the cheapest whole-campaign identity check.
     pub event_driven: bool,
+    /// Memory model for every engine. The cache hierarchy only shapes
+    /// *timing*, never values, so a `cached` sweep must produce the same
+    /// memory images and return values as an ideal one — running the
+    /// differential oracle under `--mem cached` checks exactly that.
+    pub mem: MemConfig,
 }
 
 impl Default for FuzzOpts {
     fn default() -> Self {
-        FuzzOpts { seeds: 100, jobs: 1, faults: None, deadline: None, event_driven: true }
+        FuzzOpts {
+            seeds: 100,
+            jobs: 1,
+            faults: None,
+            deadline: None,
+            event_driven: true,
+            mem: MemConfig::default(),
+        }
     }
 }
 
@@ -555,7 +576,8 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
         };
         let verdicts = System::ALL
             .map(|sys| {
-                let (v, _) = run_engine(&case, sys, None, dog(&cancel), opts.event_driven, &ora);
+                let (v, _) =
+                    run_engine(&case, sys, None, dog(&cancel), opts.event_driven, &opts.mem, &ora);
                 (sys, v)
             })
             .to_vec();
@@ -610,7 +632,9 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
                 Err(_) => false,
                 Ok(ora) => System::ALL.iter().any(|&sys| {
                     let d = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-                    !run_engine(&case, sys, None, d, opts.event_driven, &ora).0.is_agree()
+                    !run_engine(&case, sys, None, d, opts.event_driven, &opts.mem, &ora)
+                        .0
+                        .is_agree()
                 }),
             }
         };
@@ -706,7 +730,7 @@ pub fn run(opts: &FuzzOpts) -> Result<(), String> {
             .with(kind, count)
             .between(template.window.0, template.window.1);
         let (verdict, records) =
-            run_engine(&case, target, Some(plan), dog(&cancel), opts.event_driven, &ora);
+            run_engine(&case, target, Some(plan), dog(&cancel), opts.event_driven, &opts.mem, &ora);
         ChaosRun { seed, system: target, kind, injected: records.len(), verdict }
     });
     let chaos_lat = pool::latency_histogram(&chaos_timed);
@@ -839,7 +863,7 @@ pub fn chaos(ctx: &Ctx, kernel: &str, engine: &str, plan_text: Option<&str>) -> 
                 queue_depth: ctx.cfg.queue_depth,
                 args: w.args.clone(),
                 max_cycles: u64::MAX,
-                mem_latency: ctx.cfg.mem_latency,
+                mem: ctx.cfg.mem.clone(),
                 faults: Some(plan.clone()),
                 watchdog: dog,
                 event_driven: ctx.cfg.event_driven,
@@ -864,7 +888,7 @@ pub fn chaos(ctx: &Ctx, kernel: &str, engine: &str, plan_text: Option<&str>) -> 
                 tag_policy: policy,
                 args: w.args.clone(),
                 max_cycles: u64::MAX,
-                mem_latency: ctx.cfg.mem_latency,
+                mem: ctx.cfg.mem.clone(),
                 check_token_leaks: true,
                 faults: Some(plan.clone()),
                 watchdog: dog,
@@ -919,7 +943,15 @@ mod tests {
             for sys in System::ALL {
                 for event_driven in [true, false] {
                     let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-                    let (v, faults) = run_engine(&case, sys, None, dog, event_driven, &ora);
+                    let (v, faults) = run_engine(
+                        &case,
+                        sys,
+                        None,
+                        dog,
+                        event_driven,
+                        &MemConfig::default(),
+                        &ora,
+                    );
                     assert!(faults.is_empty(), "no plan, no faults");
                     assert!(v.is_agree(), "seed {seed} on {}: {}", sys.label(), v.describe());
                 }
@@ -990,7 +1022,8 @@ mod tests {
             let Ok(ora) = oracle(&case) else { return false };
             let plan = FaultPlan::single(99, FaultKind::TokenDrop);
             let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-            let (v, faults) = run_engine(&case, System::Tyr, Some(plan), dog, true, &ora);
+            let (v, faults) =
+                run_engine(&case, System::Tyr, Some(plan), dog, true, &MemConfig::default(), &ora);
             !faults.is_empty() && !v.is_agree()
         };
         let seed = (0..32)
@@ -1014,7 +1047,15 @@ mod tests {
             let ora = oracle(&case).expect("oracle runs");
             let plan = FaultPlan::new(seed).with(FaultKind::TokenCorrupt, 3);
             let dog = Watchdog::none().with_cycle_budget(FUZZ_CYCLE_BUDGET);
-            let (_, faults) = run_engine(&case, System::Unordered, Some(plan), dog, true, &ora);
+            let (_, faults) = run_engine(
+                &case,
+                System::Unordered,
+                Some(plan),
+                dog,
+                true,
+                &MemConfig::default(),
+                &ora,
+            );
             for w in faults.windows(2) {
                 assert!(w[0].cycle <= w[1].cycle, "fault log out of order");
             }

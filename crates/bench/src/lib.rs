@@ -21,7 +21,7 @@ use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
 use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
 use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
-use tyr_sim::RunResult;
+use tyr_sim::{MemConfig, RunResult};
 use tyr_workloads::Workload;
 
 /// The compared architectures (Sec. VI, *Systems*).
@@ -68,8 +68,11 @@ pub struct RunConfig {
     pub tag_overrides: Vec<(String, usize)>,
     /// Ordered-dataflow FIFO depth.
     pub queue_depth: usize,
-    /// Memory latency in cycles for the dataflow engines.
-    pub mem_latency: u64,
+    /// Memory model shared by all engines: ideal fixed latency (default 1)
+    /// or a two-level cache hierarchy (`--mem cached:...`). Under `Ideal`,
+    /// only the dataflow engines observe the latency, matching the
+    /// pre-cache harness behaviour.
+    pub mem: MemConfig,
     /// Cycle budget.
     pub max_cycles: u64,
     /// Use the event-driven core in the tagged/ordered engines (skip idle
@@ -85,7 +88,7 @@ impl Default for RunConfig {
             tags: 64,
             tag_overrides: Vec::new(),
             queue_depth: 4,
-            mem_latency: 1,
+            mem: MemConfig::ideal(1),
             max_cycles: 2_000_000_000,
             event_driven: true,
         }
@@ -105,6 +108,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
             let c = SeqVnConfig {
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 64,
+                mem: cfg.mem.clone(),
                 ..SeqVnConfig::default()
             };
             SeqVnEngine::new(&w.program, w.memory.clone(), c).run()
@@ -114,6 +118,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 issue_width: cfg.issue_width,
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
+                mem: cfg.mem.clone(),
                 ..SeqDataflowConfig::default()
             };
             SeqDataflowEngine::new(&w.program, w.memory.clone(), c).run()
@@ -126,7 +131,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 depth_overrides: Vec::new(),
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
-                mem_latency: cfg.mem_latency,
+                mem: cfg.mem.clone(),
                 event_driven: cfg.event_driven,
                 ..OrderedConfig::default()
             };
@@ -140,7 +145,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 tag_policy: TagPolicy::GlobalUnbounded,
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
-                mem_latency: cfg.mem_latency,
+                mem: cfg.mem.clone(),
                 event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
@@ -153,7 +158,7 @@ pub fn run_system(w: &Workload, system: System, cfg: &RunConfig) -> RunResult {
                 tag_policy: TagPolicy::local_with(cfg.tags, cfg.tag_overrides.clone()),
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
-                mem_latency: cfg.mem_latency,
+                mem: cfg.mem.clone(),
                 event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };

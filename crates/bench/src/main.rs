@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N]
-//!       [--queue N] [--mem-latency N] [--csv DIR] <command>...
+//!       [--queue N] [--mem MODEL] [--csv DIR] <command>...
 //!
 //! commands:
 //!   verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16
@@ -17,11 +17,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tyr_bench::figures::{deadlock, perf, scaling, tables, traces, Ctx};
+use tyr_bench::figures::{deadlock, locality as figlocality, perf, scaling, tables, traces, Ctx};
 use tyr_bench::{bench_cmd, fuzz, locality, shard, timeline, trace, verify};
+use tyr_sim::MemConfig;
 use tyr_workloads::Scale;
 
-const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem-latency N] [--jobs N] [--csv DIR] [--out FILE] <command>...
+const USAGE: &str = "usage: repro [--scale tiny|small|paper] [--seed N] [--width N] [--tags N] [--queue N] [--mem MODEL] [--jobs N] [--csv DIR] [--out FILE] <command>...
 commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 ablation-kbound ablation-explosion ablation-ooo ablation-isatax ablation-latency ablation-storesize all
           trace <kernel> <engine>   (engines: tyr tagged-global-bounded unordered ordered seqdf seqvn ooo)
           timeline <kernel> <engine> [--window N] [--events FILE]
@@ -37,6 +38,9 @@ commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig
                                     (certified K-shard plan (P001-P004) next to the dynamic crossing
                                      tracker; engines: tyr|tagged tagged-global-bounded unordered ordered;
                                      nonzero exit on P-errors, a beaten bound, or a contradicted claim)
+          figure locality           (headline cache experiment: L1 miss rate + cycles for tagged-local vs
+                                     tagged-global-bounded vs ordered on dmv and blocked dgemm across L1 sizes;
+                                     --csv DIR writes figure_locality.csv)
           bench [--quick]           (suite perf baseline -> BENCH_suite.json, or --out FILE; --quick forces tiny scale)
           bench-check <file>        (validate a baseline file against the tyr-bench-suite/v1 schema)
           fuzz [--seeds N] [--faults PLAN] [--deadline-secs N] [--quick]
@@ -45,7 +49,11 @@ commands: verify table1 table2 fig2 fig9 fig11 fig12 fig13 fig14 fig15 fig16 fig
           chaos <kernel> <engine> [--faults PLAN]
                                     (inject a fault plan into one run and print the attributed log;
                                      engines: tyr unordered ordered)
-options:  --jobs N    worker threads for sweeps (default: REPRO_JOBS or available cores; output is identical for any N)
+options:  --mem MODEL memory model: 'ideal[:LAT]' (default ideal:1) or a two-level cache
+                      'cached[:k=v,...]' with keys l1/l2/line (bytes, k/m suffixes ok),
+                      assoc1/assoc2, lat1/lat2/mem (cycles), mshr (outstanding misses),
+                      e.g. --mem cached:l1=4k,l2=64k,mshr=8; --mem-latency N = --mem ideal:N
+          --jobs N    worker threads for sweeps (default: REPRO_JOBS or available cores; output is identical for any N)
           --ticked    disable the event-driven core (tick every idle cycle); stats are bit-identical
                       either way -- use to cross-check that claim, at a wall-clock cost";
 
@@ -89,7 +97,17 @@ fn main() -> ExitCode {
                 ctx.cfg.queue_depth = opt_value("--queue").parse().expect("numeric queue depth")
             }
             "--mem-latency" => {
-                ctx.cfg.mem_latency = opt_value("--mem-latency").parse().expect("numeric latency")
+                ctx.cfg.mem =
+                    MemConfig::ideal(opt_value("--mem-latency").parse().expect("numeric latency"))
+            }
+            "--mem" => {
+                ctx.cfg.mem = match MemConfig::parse(&opt_value("--mem")) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--jobs" => {
                 ctx.jobs = opt_value("--jobs").parse().expect("numeric job count");
@@ -230,6 +248,21 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            // `figure` consumes the following positional argument.
+            "figure" => {
+                let Some(name) = cmds.get(i + 1) else {
+                    eprintln!("figure needs a <name> (available: locality)\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match name.as_str() {
+                    "locality" => figlocality::figure_locality(&ctx),
+                    other => {
+                        eprintln!("unknown figure '{other}' (available: locality)\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 1;
+            }
             "bench" => {
                 let mut bctx = ctx.clone();
                 if quick {
@@ -260,6 +293,7 @@ fn main() -> ExitCode {
                     faults: fuzz_faults.clone(),
                     deadline: fuzz_deadline.map(std::time::Duration::from_secs),
                     event_driven: ctx.cfg.event_driven,
+                    mem: ctx.cfg.mem.clone(),
                 };
                 if let Err(e) = fuzz::run(&opts) {
                     eprintln!("fuzz failed: {e}");

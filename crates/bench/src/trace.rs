@@ -154,7 +154,7 @@ pub fn run_probed<P: Probe>(
                 tag_policy: policy,
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
-                mem_latency: cfg.mem_latency,
+                mem: cfg.mem.clone(),
                 event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
@@ -168,7 +168,7 @@ pub fn run_probed<P: Probe>(
                 tag_policy: TagPolicy::GlobalUnbounded,
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles,
-                mem_latency: cfg.mem_latency,
+                mem: cfg.mem.clone(),
                 event_driven: cfg.event_driven,
                 ..TaggedConfig::default()
             };
@@ -182,7 +182,7 @@ pub fn run_probed<P: Probe>(
                 depth_overrides: Vec::new(),
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
-                mem_latency: cfg.mem_latency,
+                mem: cfg.mem.clone(),
                 event_driven: cfg.event_driven,
                 ..OrderedConfig::default()
             };
@@ -193,6 +193,7 @@ pub fn run_probed<P: Probe>(
                 issue_width: cfg.issue_width,
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 16,
+                mem: cfg.mem.clone(),
                 ..SeqDataflowConfig::default()
             };
             SeqDataflowEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
@@ -201,6 +202,7 @@ pub fn run_probed<P: Probe>(
             let c = SeqVnConfig {
                 args: w.args.clone(),
                 max_cycles: cfg.max_cycles * 64,
+                mem: cfg.mem.clone(),
                 ..SeqVnConfig::default()
             };
             SeqVnEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()
@@ -209,6 +211,7 @@ pub fn run_probed<P: Probe>(
             let c = OooConfig {
                 args: w.args.clone(),
                 max_instrs: cfg.max_cycles * 64,
+                mem: cfg.mem.clone(),
                 ..OooConfig::default()
             };
             OooEngine::with_probe(&w.program, w.memory.clone(), c, probe).run()

@@ -417,7 +417,7 @@ fn ordered_cross_validation(ctx: &Ctx) -> usize {
                 depth_overrides: overrides,
                 args: w.args.clone(),
                 max_cycles: 200_000_000,
-                mem_latency: ctx.cfg.mem_latency,
+                mem: ctx.cfg.mem.clone(),
                 ..OrderedConfig::default()
             };
             let (completed, witness) = match OrderedEngine::new(&dfg, w.memory.clone(), cfg).run() {

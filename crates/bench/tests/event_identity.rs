@@ -6,31 +6,46 @@
 //! event stream (`tyr-events/v1` JSONL). The only permitted difference is
 //! the `skipped_cycles` wall-clock diagnostic. The engines without an
 //! event core (seqdf, seqvn, ooo) must always report zero skipped cycles.
+//!
+//! The sweep covers ideal memory at three latencies *and* the two-level
+//! cache model: the jump clamp on outstanding MSHR fills must keep the
+//! event core exact under variable-latency misses too.
 
 use tyr_bench::figures::Ctx;
 use tyr_bench::timeline;
-use tyr_sim::RunResult;
+use tyr_sim::{MemConfig, RunResult};
 use tyr_stats::TimelineConfig;
 use tyr_workloads::{by_name, Scale};
 
 /// Workload seed; any value works, fixed for reproducible failures.
 const SEED: u64 = 7;
 
+/// The memory models swept: the historical ideal latencies plus a small
+/// cache (tight enough that dmv at tiny scale actually misses).
+fn mem_sweep() -> Vec<MemConfig> {
+    vec![
+        MemConfig::ideal(1),
+        MemConfig::ideal(4),
+        MemConfig::ideal(200),
+        MemConfig::parse("cached:l1=512,l2=4k,mshr=4").unwrap(),
+    ]
+}
+
 /// One probed run: the result plus its JSONL event stream.
-fn run_mode(engine: &str, mem_latency: u64, event_driven: bool) -> (RunResult, String) {
+fn run_mode(engine: &str, mem: &MemConfig, event_driven: bool) -> (RunResult, String) {
     let mut ctx = Ctx { scale: Scale::Tiny, seed: SEED, jobs: 1, ..Ctx::default() };
-    ctx.cfg.mem_latency = mem_latency;
+    ctx.cfg.mem = mem.clone();
     ctx.cfg.event_driven = event_driven;
     let w = by_name("dmv", ctx.scale, ctx.seed).unwrap();
     let (r, counted, jsonl) = timeline::collect(&ctx, &w, engine, TimelineConfig::default())
-        .unwrap_or_else(|e| panic!("{engine} lat {mem_latency} event={event_driven}: {e}"));
+        .unwrap_or_else(|e| panic!("{engine} mem {} event={event_driven}: {e}", mem.label()));
     assert!(counted > 0, "{engine}: the run must emit probe events");
     (r, jsonl)
 }
 
 /// Field-by-field identity check; `skipped_cycles` is the one exception.
-fn assert_identical(engine: &str, lat: u64, event: &RunResult, ticked: &RunResult) {
-    let what = format!("{engine} at mem_latency {lat}");
+fn assert_identical(engine: &str, mem: &MemConfig, event: &RunResult, ticked: &RunResult) {
+    let what = format!("{engine} at mem {}", mem.label());
     assert_eq!(event.outcome, ticked.outcome, "{what}: outcome");
     assert_eq!(event.live, ticked.live, "{what}: live-token trace");
     assert_eq!(event.ipc, ticked.ipc, "{what}: IPC histogram");
@@ -38,6 +53,7 @@ fn assert_identical(engine: &str, lat: u64, event: &RunResult, ticked: &RunResul
     assert_eq!(event.store_peaks, ticked.store_peaks, "{what}: store peaks");
     assert_eq!(event.mem_loads, ticked.mem_loads, "{what}: load count");
     assert_eq!(event.mem_stores, ticked.mem_stores, "{what}: store count");
+    assert_eq!(event.mem_stats, ticked.mem_stats, "{what}: cache stats");
     assert_eq!(event.memory(), ticked.memory(), "{what}: final memory");
     assert_eq!(event.faults, ticked.faults, "{what}: fault log");
     assert_eq!(ticked.skipped_cycles, 0, "{what}: a ticked run never skips");
@@ -49,18 +65,20 @@ fn event_and_ticked_runs_are_bit_identical_per_engine() {
     // tagged elaborations, the wedging bounded-global policy (a deadlock
     // must attribute identically), and the ordered machine.
     for engine in ["tyr", "unordered", "tagged-global-bounded", "ordered"] {
-        for lat in [1u64, 4, 200] {
-            let (event, event_jsonl) = run_mode(engine, lat, true);
-            let (ticked, ticked_jsonl) = run_mode(engine, lat, false);
-            assert_identical(engine, lat, &event, &ticked);
+        for mem in mem_sweep() {
+            let (event, event_jsonl) = run_mode(engine, &mem, true);
+            let (ticked, ticked_jsonl) = run_mode(engine, &mem, false);
+            assert_identical(engine, &mem, &event, &ticked);
             assert_eq!(
-                event_jsonl, ticked_jsonl,
-                "{engine} at mem_latency {lat}: probe event streams must be byte-identical"
+                event_jsonl,
+                ticked_jsonl,
+                "{engine} at mem {}: probe event streams must be byte-identical",
+                mem.label()
             );
             // The windowed telemetry is derived from the same events and
             // final cycle, so it must render identically too.
             let csv = |r: &RunResult| r.timeline.as_ref().unwrap().to_csv().render();
-            assert_eq!(csv(&event), csv(&ticked), "{engine} at mem_latency {lat}: timeline CSV");
+            assert_eq!(csv(&event), csv(&ticked), "{engine} at mem {}: timeline CSV", mem.label());
         }
     }
 }
@@ -70,7 +88,7 @@ fn high_latency_serial_runs_actually_skip() {
     // The identity above would hold trivially if the jump never fired;
     // pin that the event core earns its keep where it matters — a serial
     // dependence chain at high memory latency idles most cycles.
-    let (event, _) = run_mode("ordered", 200, true);
+    let (event, _) = run_mode("ordered", &MemConfig::ideal(200), true);
     assert!(
         event.skipped_cycles > event.cycles() / 2,
         "ordered dmv at latency 200 skipped only {} of {} cycles",
@@ -82,7 +100,7 @@ fn high_latency_serial_runs_actually_skip() {
 #[test]
 fn engines_without_an_event_core_report_zero_skips() {
     for engine in ["seqdf", "seqvn", "ooo"] {
-        let (r, _) = run_mode(engine, 1, true);
+        let (r, _) = run_mode(engine, &MemConfig::ideal(1), true);
         assert_eq!(r.skipped_cycles, 0, "{engine} has no event core");
     }
 }

@@ -34,7 +34,7 @@
 //!   observable behaviour, because no firing, delivery, or probe event can
 //!   occur in the skipped cycles.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Largest constant latency served by the timing-wheel representation;
 /// beyond it the wheel's bucket array would outweigh the FIFO it replaces.
@@ -59,6 +59,14 @@ pub const WHEEL_MAX_LATENCY: u64 = 1 << 14;
 ///   behind a later-releasing front waits for it — deliberately, because
 ///   that is the delivery order the pre-wheel engines had, and fault-run
 ///   reproducibility pins it.
+/// * **Sorted** — for variable per-item delays that must deliver in
+///   *release* order rather than issue order: the cache-hierarchy memory
+///   model ([`crate::cache`]) completes an L1 hit in a couple of cycles
+///   while a concurrent DRAM miss is still outstanding, so front-gating
+///   would make every hit as slow as the miss ahead of it. A `BTreeMap`
+///   keyed by release cycle delivers matured items in release order
+///   (insertion order within a cycle), preserving the quiescence invariant
+///   below at an O(log n) insert cost paid only in cached mode.
 pub enum EventQueue<T> {
     /// Ring of `latency + 1` buckets; `buckets[r % len]` holds exactly the
     /// items releasing at cycle `r`.
@@ -70,6 +78,13 @@ pub enum EventQueue<T> {
     },
     /// Front-gated `(release, item)` queue.
     Fifo(VecDeque<(u64, T)>),
+    /// Release-ordered map for variable latencies (cached memory mode).
+    Sorted {
+        /// Items bucketed by release cycle, delivered in key order.
+        map: BTreeMap<u64, Vec<T>>,
+        /// Total items in flight across all buckets.
+        in_flight: usize,
+    },
 }
 
 impl<T> EventQueue<T> {
@@ -92,6 +107,13 @@ impl<T> EventQueue<T> {
         EventQueue::Fifo(VecDeque::new())
     }
 
+    /// A release-ordered queue for variable per-item delays that must not
+    /// be front-gated — the cached-memory miss path, where short hits
+    /// complete while long misses are still in flight.
+    pub fn sorted() -> Self {
+        EventQueue::Sorted { map: BTreeMap::new(), in_flight: 0 }
+    }
+
     /// Schedules `item` for cycle `release`. On the wheel representation
     /// the caller must push with the queue's constant latency (the ring
     /// holds one bucket per distinct in-flight release cycle).
@@ -103,6 +125,10 @@ impl<T> EventQueue<T> {
                 *in_flight += 1;
             }
             EventQueue::Fifo(q) => q.push_back((release, item)),
+            EventQueue::Sorted { map, in_flight } => {
+                map.entry(release).or_default().push(item);
+                *in_flight += 1;
+            }
         }
     }
 
@@ -116,6 +142,7 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Wheel { in_flight, .. } => *in_flight,
             EventQueue::Fifo(q) => q.len(),
+            EventQueue::Sorted { in_flight, .. } => *in_flight,
         }
     }
 
@@ -133,6 +160,13 @@ impl<T> EventQueue<T> {
                 while q.front().is_some_and(|&(r, _)| r <= cycle + 1) {
                     let (_, item) = q.pop_front().expect("checked");
                     out.push(item);
+                }
+            }
+            EventQueue::Sorted { map, in_flight } => {
+                while map.first_key_value().is_some_and(|(&r, _)| r <= cycle + 1) {
+                    let (_, mut items) = map.pop_first().expect("checked");
+                    *in_flight -= items.len();
+                    out.append(&mut items);
                 }
             }
         }
@@ -158,6 +192,7 @@ impl<T> EventQueue<T> {
                 (1..=len).map(|d| cycle + d).find(|r| !buckets[(r % len) as usize].is_empty())
             }
             EventQueue::Fifo(q) => q.front().map(|&(r, _)| r),
+            EventQueue::Sorted { map, .. } => map.first_key_value().map(|(&r, _)| r),
         }
     }
 }
@@ -247,6 +282,48 @@ mod tests {
         let mut due = Vec::new();
         q.drain_due(49, &mut due);
         assert_eq!(due, vec![1, 2], "both pop once the front matures");
+    }
+
+    #[test]
+    fn sorted_delivers_in_release_order_not_issue_order() {
+        // The cached-memory shape: a long miss issued first, a short hit
+        // issued later. Unlike the FIFO, the hit overtakes the miss.
+        let mut q = EventQueue::sorted();
+        q.push(112, 1); // DRAM miss issued at cycle 0
+        q.push(4, 2); // L1 hit issued at cycle 2
+        q.push(4, 3); // same-cycle insertion order preserved
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_release(0), Some(4));
+        assert_eq!(play(&mut q, 0, 2), Vec::new(), "quiescent before release - 1");
+        let mut due = Vec::new();
+        q.drain_due(3, &mut due);
+        assert_eq!(due, vec![2, 3]);
+        assert_eq!(q.next_release(3), Some(112));
+        due.clear();
+        q.drain_due(111, &mut due);
+        assert_eq!(due, vec![1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sorted_agrees_with_fifo_on_constant_latency() {
+        let pushes = [(0u64, 10u32), (0, 11), (3, 12), (5, 13)];
+        let latency = 7u64;
+        let run = |q: &mut EventQueue<u32>| {
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            for cycle in 0..latency + 8 {
+                for &(c, v) in pushes.iter().filter(|&&(c, _)| c == cycle) {
+                    q.push(c + latency, v);
+                }
+                q.drain_due(cycle, &mut scratch);
+                out.extend(scratch.drain(..).map(|v| (cycle, v)));
+            }
+            out
+        };
+        let mut sorted = EventQueue::sorted();
+        let mut fifo = EventQueue::fifo();
+        assert_eq!(run(&mut sorted), run(&mut fifo));
     }
 
     #[test]

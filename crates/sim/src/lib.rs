@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod event;
 pub mod fault;
 pub mod fxhash;
@@ -48,6 +49,7 @@ pub mod slab;
 pub mod tagged;
 pub mod watchdog;
 
+pub use cache::{CacheConfig, CacheSim, MemConfig, MemStats};
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultRecord, FaultSpec};
 pub use result::{Outcome, RunResult, SimError, TimeoutCause};

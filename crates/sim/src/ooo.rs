@@ -29,6 +29,7 @@ use tyr_ir::{MemoryImage, Program, Value};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::cache::{CacheSim, HitLevel, MemConfig};
 use crate::result::{Outcome, RunResult, SimError, TimeoutCause};
 use crate::watchdog::{Watchdog, WatchdogState};
 
@@ -43,6 +44,15 @@ pub struct OooConfig {
     pub args: Vec<Value>,
     /// Safety limit on retired instructions.
     pub max_instrs: u64,
+    /// Memory model. Ideal memory completes every access within the
+    /// instruction's single execution cycle (the engine's historical
+    /// behaviour). A cached model stretches a memory instruction's
+    /// execution latency to the hierarchy's response time: younger
+    /// independent instructions still issue around the miss (that is the
+    /// point of OoO), but in-order retirement means an outstanding miss at
+    /// the window head stalls window refill — the classic MLP-vs-window
+    /// tension.
+    pub mem: MemConfig,
     /// Run watchdog (see [`crate::watchdog`]). Disarmed by default. The
     /// cycle budget is checked against the scheduler's retirement horizon;
     /// trips end the run as an attributed [`Outcome::TimedOut`].
@@ -56,6 +66,7 @@ impl Default for OooConfig {
             issue_width: 8,
             args: Vec::new(),
             max_instrs: 50_000_000_000,
+            mem: MemConfig::default(),
             watchdog: Watchdog::none(),
         }
     }
@@ -173,8 +184,19 @@ impl WindowScheduler {
     }
 
     /// Schedules one dynamic instruction whose operands finish at
-    /// `ready_cycle`; returns its finish cycle.
+    /// `ready_cycle`; returns its finish cycle. (The engine itself goes
+    /// through the split halves so memory instructions can carry a cache
+    /// latency; this convenience wrapper anchors the equivalence test.)
+    #[cfg(test)]
     fn issue(&mut self, ready_cycle: u64, live_values: u64) -> u64 {
+        let at = self.issue_slot(ready_cycle, live_values);
+        self.finish_at(at, 1)
+    }
+
+    /// First half of [`WindowScheduler::issue`]: claims an issue slot and
+    /// returns the issue cycle. Must be paired with a
+    /// [`WindowScheduler::finish_at`] call.
+    fn issue_slot(&mut self, ready_cycle: u64, live_values: u64) -> u64 {
         self.live_values = live_values;
         // Window entry: the (i - window)-th instruction must have retired.
         let enter = if self.rob.len() >= self.window {
@@ -198,7 +220,15 @@ impl WindowScheduler {
             at += 1;
         }
         self.issued += 1;
-        let finish = at + 1;
+        at
+    }
+
+    /// Second half of [`WindowScheduler::issue`]: completes the instruction
+    /// issued at `at` after `latency` execution cycles (1 for ALU ops and
+    /// ideal memory; the hierarchy's response time for cached accesses) and
+    /// returns its finish cycle.
+    fn finish_at(&mut self, at: u64, latency: u64) -> u64 {
+        let finish = at + latency.max(1);
         // In-order retirement: visible completion is monotone.
         self.last_retire = self.last_retire.max(finish);
         self.rob.push_back(self.last_retire);
@@ -229,15 +259,51 @@ struct OooTracer<P: Probe> {
     tripped: Option<TimeoutCause>,
     mem_loads: u64,
     mem_stores: u64,
+    /// Cache-hierarchy state (`None` under ideal memory).
+    cache: Option<CacheSim>,
+    /// Accesses reported by `on_mem` but not yet charged: the interpreter
+    /// calls `on_mem` *before* the owning instruction's `on_instr_deps`, so
+    /// the issue cycle — where the cache lookup happens — is not known yet.
+    pending_mem: Vec<(Value, bool)>,
     probe: P,
+}
+
+impl<P: Probe> OooTracer<P> {
+    /// Charges any pending memory accesses against the cache at issue cycle
+    /// `at` and returns the instruction's execution latency: 1 for pure ALU
+    /// work or ideal memory, otherwise the slowest access's response time.
+    fn mem_latency(&mut self, at: u64) -> u64 {
+        let mut lat = 1;
+        if self.pending_mem.is_empty() {
+            return lat;
+        }
+        match self.cache.as_mut() {
+            Some(c) => {
+                for (addr, write) in self.pending_mem.drain(..) {
+                    let acc = c.access(at, addr, write);
+                    if P::ENABLED && acc.is_miss() {
+                        self.probe.event(
+                            at,
+                            ProbeEvent::MemMiss { node: 0, addr, l2: acc.level == HitLevel::Mem },
+                        );
+                    }
+                    lat = lat.max(acc.complete - at);
+                }
+            }
+            None => self.pending_mem.clear(),
+        }
+        lat
+    }
 }
 
 impl<P: Probe> Tracer for OooTracer<P> {
     fn on_instr(&mut self, live_values: u64) {
         // Not reached: the interpreter always calls `on_instr_deps`.
-        let f = self.sched.issue(0, live_values);
+        let at = self.sched.issue_slot(0, live_values);
+        let lat = self.mem_latency(at);
+        let f = self.sched.finish_at(at, lat);
         if P::ENABLED {
-            self.probe.event(f - 1, ProbeEvent::NodeFired { node: 0 });
+            self.probe.event(at, ProbeEvent::NodeFired { node: 0 });
         }
         self.finish.push(f);
     }
@@ -248,12 +314,14 @@ impl<P: Probe> Tracer for OooTracer<P> {
             .map(|&s| self.finish.get(s as usize).copied().unwrap_or(0))
             .max()
             .unwrap_or(0);
-        let f = self.sched.issue(ready, live_values);
+        let at = self.sched.issue_slot(ready, live_values);
+        let lat = self.mem_latency(at);
+        let f = self.sched.finish_at(at, lat);
         if P::ENABLED {
-            // Issue cycle = finish - 1. Issue times are not monotone across
-            // the stream (the defining OoO property); sinks tolerate
+            // Stamped with the issue cycle. Issue times are not monotone
+            // across the stream (the defining OoO property); sinks tolerate
             // out-of-order timestamps.
-            self.probe.event(f - 1, ProbeEvent::NodeFired { node: 0 });
+            self.probe.event(at, ProbeEvent::NodeFired { node: 0 });
         }
         // `def` ids are issued consecutively starting at 1; binds into the
         // table may skip ids (branches define nothing consumed later) but
@@ -276,6 +344,9 @@ impl<P: Probe> Tracer for OooTracer<P> {
         if P::ENABLED {
             self.probe
                 .event(self.sched.last_retire, ProbeEvent::MemAccess { node: 0, addr, write });
+        }
+        if self.cache.is_some() {
+            self.pending_mem.push((addr, write));
         }
     }
 
@@ -350,6 +421,8 @@ impl<'a, P: Probe> OooEngine<'a, P> {
             tripped: None,
             mem_loads: 0,
             mem_stores: 0,
+            cache: self.cfg.mem.build(),
+            pending_mem: Vec::new(),
             probe: self.probe,
         };
         let out = match interp::run_traced(
@@ -365,6 +438,7 @@ impl<'a, P: Probe> OooEngine<'a, P> {
                 let live = tracer.sched.rob.len() as u64;
                 let cycle = tracer.sched.last_retire;
                 let (loads, stores) = (tracer.mem_loads, tracer.mem_stores);
+                let mem_stats = tracer.cache.as_ref().map(CacheSim::stats);
                 let (_, trace, ipc) = tracer.sched.drain();
                 return Ok(RunResult::new(
                     Outcome::TimedOut { cycle, live_tokens: live, cause },
@@ -373,7 +447,8 @@ impl<'a, P: Probe> OooEngine<'a, P> {
                     self.mem,
                     Vec::new(),
                 )
-                .with_mem_counts(loads, stores));
+                .with_mem_counts(loads, stores)
+                .with_mem_stats(mem_stats));
             }
             Err(interp::InterpError::OutOfFuel) => {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_instrs })
@@ -382,6 +457,7 @@ impl<'a, P: Probe> OooEngine<'a, P> {
         };
         let dyn_instrs = out.dyn_instrs;
         let (loads, stores) = (tracer.mem_loads, tracer.mem_stores);
+        let mem_stats = tracer.cache.as_ref().map(CacheSim::stats);
         let (cycles, trace, ipc) = tracer.sched.drain();
         Ok(RunResult::new(
             Outcome::Completed { cycles, dyn_instrs },
@@ -390,7 +466,8 @@ impl<'a, P: Probe> OooEngine<'a, P> {
             self.mem,
             out.returns,
         )
-        .with_mem_counts(loads, stores))
+        .with_mem_counts(loads, stores)
+        .with_mem_stats(mem_stats))
     }
 }
 

@@ -19,6 +19,7 @@ use tyr_ir::{MemoryImage, Value};
 use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::cache::{CacheSim, HitLevel, MemConfig};
 use crate::fault::{FaultPlan, FaultState};
 use crate::result::{Outcome, RunResult, SimError};
 use crate::watchdog::{Watchdog, WatchdogState};
@@ -75,10 +76,12 @@ pub struct OrderedConfig {
     pub args: Vec<Value>,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
-    /// Memory access latency in cycles (default 1). Results are pipelined:
-    /// they arrive in issue order `mem_latency` cycles later, so per-edge
-    /// FIFO order is preserved.
-    pub mem_latency: u64,
+    /// Memory model (default [`MemConfig::Ideal`] with latency 1). Results
+    /// are pipelined: each load node delivers its results in issue order,
+    /// so per-edge FIFO order is preserved even when a cached model gives
+    /// later accesses shorter latencies (a hit behind a miss waits for the
+    /// miss — the in-order memory interface ordered dataflow pays for).
+    pub mem: MemConfig,
     /// Deterministic fault-injection plan (see [`crate::fault`]). `None`
     /// (the default) injects nothing. Tag-space faults do not apply to the
     /// ordered machine (it is untagged) and are never triggered.
@@ -109,7 +112,7 @@ impl Default for OrderedConfig {
             depth_overrides: Vec::new(),
             args: Vec::new(),
             max_cycles: 500_000_000,
-            mem_latency: 1,
+            mem: MemConfig::default(),
             faults: None,
             watchdog: Watchdog::none(),
             event_driven: true,
@@ -140,6 +143,8 @@ pub struct OrderedEngine<'a, P: Probe = NoProbe> {
     /// Architectural loads / stores executed (counted even without a probe).
     mem_loads: u64,
     mem_stores: u64,
+    /// Cache-hierarchy state (`None` under ideal memory).
+    cache: Option<CacheSim>,
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
@@ -234,6 +239,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             .collect();
         let faults = cfg.faults.as_ref().map(FaultState::new);
         let dog = cfg.watchdog.arm();
+        let cache = cfg.mem.build();
         OrderedEngine {
             dfg,
             mem,
@@ -249,6 +255,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             skipped: 0,
             mem_loads: 0,
             mem_stores: 0,
+            cache,
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
@@ -256,6 +263,25 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
             dog,
             probe,
             stall_state: if P::ENABLED { vec![None; dfg.len()] } else { Vec::new() },
+        }
+    }
+
+    /// Simulates the memory model for one access and returns its latency
+    /// in cycles (emitting a `MemMiss` probe event on L1 misses). Under
+    /// ideal memory this is the fixed configured latency.
+    fn mem_access(&mut self, node: u32, addr: Value, write: bool) -> u64 {
+        match self.cache.as_mut() {
+            Some(c) => {
+                let acc = c.access(self.cycle, addr, write);
+                if P::ENABLED && acc.is_miss() {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemMiss { node, addr, l2: acc.level == HitLevel::Mem },
+                    );
+                }
+                acc.complete - self.cycle
+            }
+            None => self.cfg.mem.ideal_latency(),
         }
     }
 
@@ -573,11 +599,12 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         }
                     }
                 }
-                if self.cfg.mem_latency <= 1 && extra == 0 {
+                let lat = self.mem_access(idx as u32, addr, false);
+                if lat <= 1 && extra == 0 {
                     self.push_outputs(idx, 0, v);
                 } else {
                     self.live += 1; // in flight in the memory system
-                    let release = self.cycle + self.cfg.mem_latency.max(1) + extra;
+                    let release = self.cycle + lat.max(1) + extra;
                     self.delayed[idx].push_back((release, v));
                     self.delayed_count += 1;
                 }
@@ -600,6 +627,9 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         ProbeEvent::MemAccess { node: idx as u32, addr, write: true },
                     );
                 }
+                // Stores commit instantly (no completion token) but still
+                // occupy the cache and an MSHR.
+                let _ = self.mem_access(idx as u32, addr, true);
             }
             NodeKind::Steer => {
                 let d = self.pop(idx, 0);
@@ -655,6 +685,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                     Vec::new(),
                 )
                 .with_mem_counts(self.mem_loads, self.mem_stores)
+                .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                 .with_faults(log)
                 .with_skipped(self.skipped));
             }
@@ -772,6 +803,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         returns,
                     )
                     .with_mem_counts(self.mem_loads, self.mem_stores)
+                    .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                     .with_faults(log)
                     .with_skipped(self.skipped))
                 } else {
@@ -788,6 +820,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                         Vec::new(),
                     )
                     .with_mem_counts(self.mem_loads, self.mem_stores)
+                    .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                     .with_faults(log)
                     .with_skipped(self.skipped))
                 };
@@ -812,8 +845,14 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                     .filter_map(|q| q.front().map(|&(r, _)| r))
                     .min()
                     .expect("delayed_count > 0");
-                let target =
-                    (next - 1).min(self.cfg.max_cycles).min(self.dog.budget().unwrap_or(u64::MAX));
+                // Never leap past an outstanding MSHR fill (it frees an MSHR
+                // entry, releasing back-pressure on future misses).
+                let fill =
+                    self.cache.as_mut().and_then(|c| c.next_fill(self.cycle)).unwrap_or(u64::MAX);
+                let target = (next - 1)
+                    .min(fill)
+                    .min(self.cfg.max_cycles)
+                    .min(self.dog.budget().unwrap_or(u64::MAX));
                 if target > self.cycle {
                     let n = target - self.cycle;
                     self.trace.record_n(self.live, n);
@@ -837,6 +876,7 @@ impl<'a, P: Probe> OrderedEngine<'a, P> {
                             Vec::new(),
                         )
                         .with_mem_counts(self.mem_loads, self.mem_stores)
+                        .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                         .with_faults(log)
                         .with_skipped(self.skipped));
                     }
@@ -1090,7 +1130,7 @@ mod latency_tests {
         let dfg = lower_ordered(&p).unwrap();
         let mut prev_cycles = 0;
         for lat in [1u64, 2, 7, 32] {
-            let cfg = OrderedConfig { mem_latency: lat, ..OrderedConfig::default() };
+            let cfg = OrderedConfig { mem: MemConfig::ideal(lat), ..OrderedConfig::default() };
             let r = OrderedEngine::new(&dfg, mem.clone(), cfg).run().unwrap();
             assert!(r.is_complete(), "lat={lat}: {:?}", r.outcome);
             assert_eq!(r.memory().slice(out), oracle_mem.slice(out), "lat={lat}");
@@ -1142,7 +1182,7 @@ mod event_core_tests {
         let dfg = lower_ordered(p).unwrap();
         let cfg = OrderedConfig {
             queue_depth: 2,
-            mem_latency: lat,
+            mem: MemConfig::ideal(lat),
             event_driven,
             watchdog,
             ..OrderedConfig::default()

@@ -5,6 +5,7 @@ use std::fmt;
 use tyr_ir::{AluError, MemError, MemoryImage, Value};
 use tyr_stats::{IpcHistogram, ProfileReport, TimelineReport, Trace};
 
+use crate::cache::MemStats;
 use crate::fault::FaultRecord;
 
 /// Which watchdog limit ended a run (see [`crate::watchdog::Watchdog`]).
@@ -166,6 +167,10 @@ pub struct RunResult {
     /// two runs differing only in this field are otherwise bit-identical.
     /// Always 0 for ticked runs and for engines without an event core.
     pub skipped_cycles: u64,
+    /// Cache-hierarchy counters, present iff the run used
+    /// [`MemConfig::Cached`](crate::cache::MemConfig). `mem_stats.l1.misses`
+    /// always equals the number of `MemMiss` probe events the run emitted.
+    pub mem_stats: Option<MemStats>,
 }
 
 impl RunResult {
@@ -190,6 +195,7 @@ impl RunResult {
             mem_loads: 0,
             mem_stores: 0,
             skipped_cycles: 0,
+            mem_stats: None,
         }
     }
 
@@ -204,6 +210,28 @@ impl RunResult {
         self.mem_loads = loads;
         self.mem_stores = stores;
         self
+    }
+
+    /// Attaches cache-hierarchy counters (builder-style; cached runs only).
+    pub fn with_mem_stats(mut self, stats: Option<MemStats>) -> Self {
+        self.mem_stats = stats;
+        self
+    }
+
+    /// L1 hits (0 under ideal memory, where every access "hits").
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_stats.map_or(0, |s| s.l1.hits)
+    }
+
+    /// L1 misses — the count of `MemMiss` probe events (0 under ideal
+    /// memory).
+    pub fn mem_misses(&self) -> u64 {
+        self.mem_stats.map_or(0, |s| s.l1.misses)
+    }
+
+    /// Accesses delayed by a full MSHR table (0 under ideal memory).
+    pub fn mshr_stalls(&self) -> u64 {
+        self.mem_stats.map_or(0, |s| s.mshr_stalls)
     }
 
     /// Attaches per-block token-store peaks (builder-style).

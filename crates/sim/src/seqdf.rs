@@ -22,6 +22,7 @@ use tyr_ir::{MemoryImage, Program, Region, Stmt, Value, Var};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::cache::{CacheSim, HitLevel, MemConfig};
 use crate::result::{Outcome, RunResult, SimError, TimeoutCause};
 use crate::watchdog::{Watchdog, WatchdogState};
 
@@ -53,6 +54,14 @@ pub struct SeqDataflowConfig {
     pub args: Vec<Value>,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Memory model. Ideal memory is free (accesses complete within the
+    /// instruction's cycle, matching the engine's historical behaviour). A
+    /// cached model charges each access's excess latency as a serial
+    /// end-of-run stall penalty: block-at-a-time machines can hide some
+    /// latency inside a wave's dataflow parallelism, so this is a coarse,
+    /// deliberately pessimistic bound — but hits and misses are still
+    /// counted exactly, which is what the locality comparison needs.
+    pub mem: MemConfig,
     /// Run watchdog (see [`crate::watchdog`]). Disarmed by default; checked
     /// once per simulated cycle as block instances are scheduled. Trips end
     /// the run as an attributed [`Outcome::TimedOut`].
@@ -65,6 +74,7 @@ impl Default for SeqDataflowConfig {
             issue_width: 128,
             args: Vec::new(),
             max_cycles: 50_000_000_000,
+            mem: MemConfig::default(),
             watchdog: Watchdog::none(),
         }
     }
@@ -101,6 +111,10 @@ struct Exec<'a, P: Probe> {
     /// Architectural loads / stores executed (counted even without a probe).
     mem_loads: u64,
     mem_stores: u64,
+    /// Cache-hierarchy state (`None` under ideal memory).
+    cache: Option<CacheSim>,
+    /// Accumulated memory-stall cycles, appended to the clock at run end.
+    stalls: u64,
     trace: Trace,
     ipc: IpcHistogram,
 }
@@ -171,6 +185,8 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
             fired: 0,
             mem_loads: 0,
             mem_stores: 0,
+            cache: self.cfg.mem.build(),
+            stalls: 0,
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
         };
@@ -178,8 +194,16 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
             exec_flush(&mut exec)?;
             Ok(returns)
         });
+        if outcome.is_ok() && exec.stalls > 0 {
+            // Coarse serial-penalty model: the excess latency of every cache
+            // access lands as idle clock after the last wave drains.
+            exec.cycle += exec.stalls;
+            exec.trace.record_n(exec.live, exec.stalls);
+            exec.ipc.record_n(0, exec.stalls);
+        }
         let (cycle, live, fired) = (exec.cycle, exec.live, exec.fired);
         let (loads, stores) = (exec.mem_loads, exec.mem_stores);
+        let mem_stats = exec.cache.as_ref().map(CacheSim::stats);
         let (trace, ipc) = (exec.trace, exec.ipc);
         match outcome {
             Ok(returns) => Ok(RunResult::new(
@@ -189,7 +213,8 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
                 self.mem,
                 returns,
             )
-            .with_mem_counts(loads, stores)),
+            .with_mem_counts(loads, stores)
+            .with_mem_stats(mem_stats)),
             Err(Halt::Timeout(cause)) => Ok(RunResult::new(
                 Outcome::TimedOut { cycle, live_tokens: live, cause },
                 trace,
@@ -197,7 +222,8 @@ impl<'a, P: Probe> SeqDataflowEngine<'a, P> {
                 self.mem,
                 Vec::new(),
             )
-            .with_mem_counts(loads, stores)),
+            .with_mem_counts(loads, stores)
+            .with_mem_stats(mem_stats)),
             Err(Halt::Fault(e)) => Err(e),
         }
     }
@@ -237,6 +263,22 @@ impl<'a, P: Probe> Exec<'a, P> {
         }
         self.hist.clear();
         Ok(())
+    }
+
+    /// Runs one access through the cache model (if any): counts hit level,
+    /// emits a [`ProbeEvent::MemMiss`] on misses, and accumulates the excess
+    /// latency beyond the instruction's own cycle as stall debt.
+    fn mem_access(&mut self, addr: Value, write: bool) {
+        if let Some(c) = self.cache.as_mut() {
+            let acc = c.access(self.cycle, addr, write);
+            if P::ENABLED && acc.is_miss() {
+                self.probe.event(
+                    self.cycle,
+                    ProbeEvent::MemMiss { node: 0, addr, l2: acc.level == HitLevel::Mem },
+                );
+            }
+            self.stalls += (acc.complete - self.cycle).saturating_sub(1);
+        }
     }
 
     fn record(&mut self, level: u32) {
@@ -325,6 +367,7 @@ impl<'a, P: Probe> Exec<'a, P> {
                         ProbeEvent::MemAccess { node: 0, addr: a, write: false },
                     );
                 }
+                self.mem_access(a, false);
                 let level = la + 1;
                 self.record(level);
                 self.bind(frame, *dst, v, level);
@@ -338,6 +381,7 @@ impl<'a, P: Probe> Exec<'a, P> {
                     self.probe
                         .event(self.cycle, ProbeEvent::MemAccess { node: 0, addr: a, write: true });
                 }
+                self.mem_access(a, true);
                 self.record(la.max(lv) + 1);
             }
             Stmt::StoreAdd { addr, value } => {
@@ -349,6 +393,7 @@ impl<'a, P: Probe> Exec<'a, P> {
                     self.probe
                         .event(self.cycle, ProbeEvent::MemAccess { node: 0, addr: a, write: true });
                 }
+                self.mem_access(a, true);
                 self.record(la.max(lv) + 1);
             }
             Stmt::Select { dst, cond, on_true, on_false } => {

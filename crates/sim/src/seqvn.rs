@@ -14,6 +14,7 @@ use tyr_ir::{MemoryImage, Program, Value};
 use tyr_stats::probe::{NoProbe, Probe, ProbeEvent};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::cache::{CacheSim, HitLevel, MemConfig};
 use crate::result::{Outcome, RunResult, SimError, TimeoutCause};
 use crate::watchdog::{Watchdog, WatchdogState};
 
@@ -22,8 +23,14 @@ use crate::watchdog::{Watchdog, WatchdogState};
 pub struct SeqVnConfig {
     /// Program arguments.
     pub args: Vec<Value>,
-    /// Safety limit on retired instructions (= cycles).
+    /// Safety limit on retired instructions (= cycles under ideal memory).
     pub max_cycles: u64,
+    /// Memory model (default ideal latency 1, which costs nothing beyond
+    /// the instruction's own cycle). The serial machine blocks on every
+    /// access: a cached model's miss latency is added to the clock as stall
+    /// cycles during which nothing retires — the vN baseline has no
+    /// parallelism to hide memory behind.
+    pub mem: MemConfig,
     /// Run watchdog (see [`crate::watchdog`]). Disarmed by default. One
     /// instruction retires per cycle, so the cycle budget doubles as an
     /// instruction budget; trips end the run as an attributed
@@ -33,7 +40,12 @@ pub struct SeqVnConfig {
 
 impl Default for SeqVnConfig {
     fn default() -> Self {
-        SeqVnConfig { args: Vec::new(), max_cycles: 50_000_000_000, watchdog: Watchdog::none() }
+        SeqVnConfig {
+            args: Vec::new(),
+            max_cycles: 50_000_000_000,
+            mem: MemConfig::default(),
+            watchdog: Watchdog::none(),
+        }
     }
 }
 
@@ -53,6 +65,14 @@ struct VnTracer<P: Probe> {
     live: u64,
     mem_loads: u64,
     mem_stores: u64,
+    /// Cache-hierarchy state (`None` under ideal memory, which completes
+    /// within the instruction's own cycle).
+    cache: Option<CacheSim>,
+    /// Memory-stall cycles owed by the access of the instruction about to
+    /// retire (applied by `on_instr` right after its one compute cycle).
+    stall_pending: u64,
+    /// Total memory-stall cycles added to the clock.
+    stalls: u64,
     dog: WatchdogState,
     tripped: Option<TimeoutCause>,
 }
@@ -66,6 +86,16 @@ impl<P: Probe> Tracer for VnTracer<P> {
         }
         self.trace.record(live);
         self.ipc.record(1);
+        if self.stall_pending > 0 {
+            // The serial machine blocks on its access: the miss latency is
+            // idle clock with the live state unchanged and nothing retiring.
+            let n = self.stall_pending;
+            self.stall_pending = 0;
+            self.stalls += n;
+            self.cycle += n;
+            self.trace.record_n(live, n);
+            self.ipc.record_n(0, n);
+        }
     }
 
     fn on_mem(&mut self, addr: Value, write: bool) {
@@ -78,6 +108,18 @@ impl<P: Probe> Tracer for VnTracer<P> {
         // with the cycle that instruction will occupy.
         if P::ENABLED {
             self.probe.event(self.cycle + 1, ProbeEvent::MemAccess { node: 0, addr, write });
+        }
+        if let Some(c) = self.cache.as_mut() {
+            let at = self.cycle + 1;
+            let acc = c.access(at, addr, write);
+            if P::ENABLED && acc.is_miss() {
+                self.probe.event(
+                    at,
+                    ProbeEvent::MemMiss { node: 0, addr, l2: acc.level == HitLevel::Mem },
+                );
+            }
+            // One cycle is the instruction's own; the rest is stall.
+            self.stall_pending += (acc.complete - at).saturating_sub(1);
         }
     }
 
@@ -149,6 +191,9 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
             live: 0,
             mem_loads: 0,
             mem_stores: 0,
+            cache: self.cfg.mem.build(),
+            stall_pending: 0,
+            stalls: 0,
             dog: self.cfg.watchdog.arm(),
             tripped: None,
         };
@@ -169,7 +214,8 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
                     self.mem,
                     Vec::new(),
                 )
-                .with_mem_counts(tracer.mem_loads, tracer.mem_stores));
+                .with_mem_counts(tracer.mem_loads, tracer.mem_stores)
+                .with_mem_stats(tracer.cache.as_ref().map(CacheSim::stats)));
             }
             Err(interp::InterpError::OutOfFuel) => {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles })
@@ -177,13 +223,17 @@ impl<'a, P: Probe> SeqVnEngine<'a, P> {
             Err(other) => return Err(SimError::Interp(other.to_string())),
         };
         Ok(RunResult::new(
-            Outcome::Completed { cycles: out.dyn_instrs, dyn_instrs: out.dyn_instrs },
+            Outcome::Completed {
+                cycles: out.dyn_instrs + tracer.stalls,
+                dyn_instrs: out.dyn_instrs,
+            },
             tracer.trace,
             tracer.ipc,
             self.mem,
             out.returns,
         )
-        .with_mem_counts(tracer.mem_loads, tracer.mem_stores))
+        .with_mem_counts(tracer.mem_loads, tracer.mem_stores)
+        .with_mem_stats(tracer.cache.as_ref().map(CacheSim::stats)))
     }
 }
 

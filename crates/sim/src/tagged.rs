@@ -29,6 +29,7 @@ use tyr_ir::{MemoryImage, Value};
 use tyr_stats::probe::{FaultKind, NoProbe, Probe, ProbeEvent, StallReason};
 use tyr_stats::{IpcHistogram, Trace};
 
+use crate::cache::{CacheSim, HitLevel, MemConfig};
 use crate::event::EventQueue;
 use crate::fault::{FaultPlan, FaultState};
 use crate::fxhash::FxHashMap;
@@ -87,12 +88,15 @@ pub struct TaggedConfig {
     pub args: Vec<Value>,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
-    /// Memory access latency in cycles (default 1, the paper's idealized
-    /// model). Loads and stores deliver their results `mem_latency` cycles
-    /// after issue; raising it shows why tagged dataflow tolerates
-    /// long/unpredictable latencies where ordered dataflow stalls (Sec.
-    /// II-C).
-    pub mem_latency: u64,
+    /// Memory model (default [`MemConfig::Ideal`] with latency 1, the
+    /// paper's idealized store). Loads and stores deliver their results
+    /// after the model's per-access latency; raising the ideal latency (or
+    /// switching to [`MemConfig::Cached`]) shows why tagged dataflow
+    /// tolerates long/unpredictable latencies where ordered dataflow stalls
+    /// (Sec. II-C). The cache decides only *when* results arrive, never
+    /// *what* they are, so architectural results are identical across
+    /// memory models.
+    pub mem: MemConfig,
     /// Model dedicated tag-management hardware: token-synchronization
     /// instructions (`allocate`, `free`, `changeTag`, `extractTag`, `join`,
     /// `merge`, `const`) fire without consuming issue slots. Sec. VIII
@@ -135,7 +139,7 @@ impl Default for TaggedConfig {
             tag_policy: TagPolicy::local(64),
             args: Vec::new(),
             max_cycles: 500_000_000,
-            mem_latency: 1,
+            mem: MemConfig::default(),
             free_token_sync: false,
             check_token_leaks: false,
             faults: None,
@@ -279,6 +283,8 @@ pub struct TaggedEngine<'a, P: Probe = NoProbe> {
     /// Architectural loads / stores executed (counted even without a probe).
     mem_loads: u64,
     mem_stores: u64,
+    /// Cache-hierarchy state (`None` under ideal memory).
+    cache: Option<CacheSim>,
     trace: Trace,
     ipc: IpcHistogram,
     returns: Option<Vec<Value>>,
@@ -437,10 +443,18 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             .faults
             .as_ref()
             .is_some_and(|p| p.specs.iter().any(|s| s.kind == FaultKind::MemDelay && s.count > 0));
-        let delayed =
-            if arms_mem_delay { EventQueue::fifo() } else { EventQueue::new(cfg.mem_latency) };
+        // Cached mode's per-access latencies vary (L1 hit vs DRAM), so hits
+        // must be allowed to overtake earlier misses: the sorted queue.
+        let delayed = if arms_mem_delay {
+            EventQueue::fifo()
+        } else if cfg.mem.is_cached() {
+            EventQueue::sorted()
+        } else {
+            EventQueue::new(cfg.mem.ideal_latency())
+        };
         let faults = cfg.faults.as_ref().map(FaultState::new);
         let dog = cfg.watchdog.arm();
+        let cache = cfg.mem.build();
         TaggedEngine {
             dfg,
             mem,
@@ -460,6 +474,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             skipped: 0,
             mem_loads: 0,
             mem_stores: 0,
+            cache,
             trace: Trace::new(),
             ipc: IpcHistogram::new(),
             returns: None,
@@ -494,6 +509,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                 )
                 .with_store_peaks(peaks)
                 .with_mem_counts(self.mem_loads, self.mem_stores)
+                .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                 .with_faults(log)
                 .with_skipped(self.skipped));
             }
@@ -512,7 +528,16 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
             // cycles each draw from the fault PRNG).
             if self.cfg.event_driven && self.ready.is_empty() {
                 if let Some(next) = self.delayed.next_release(self.cycle) {
+                    // Never leap past an outstanding MSHR fill: the fill
+                    // frees an MSHR entry (releasing back-pressure), so the
+                    // clock must visit its cycle.
+                    let fill = self
+                        .cache
+                        .as_mut()
+                        .and_then(|c| c.next_fill(self.cycle))
+                        .unwrap_or(u64::MAX);
                     let target = (next - 1)
+                        .min(fill)
                         .min(self.cfg.max_cycles)
                         .min(self.dog.budget().unwrap_or(u64::MAX))
                         .min(self.exhaust_jump_bound());
@@ -551,6 +576,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                             )
                             .with_store_peaks(peaks)
                             .with_mem_counts(self.mem_loads, self.mem_stores)
+                            .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                             .with_faults(log)
                             .with_skipped(self.skipped));
                         }
@@ -682,6 +708,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                     )
                     .with_store_peaks(peaks)
                     .with_mem_counts(self.mem_loads, self.mem_stores)
+                    .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                     .with_faults(log)
                     .with_skipped(self.skipped));
                 }
@@ -705,6 +732,7 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                 )
                 .with_store_peaks(peaks)
                 .with_mem_counts(self.mem_loads, self.mem_stores)
+                .with_mem_stats(self.cache.as_ref().map(CacheSim::stats))
                 .with_faults(log)
                 .with_skipped(self.skipped));
             }
@@ -1058,9 +1086,28 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
         }
     }
 
-    /// Emits a memory result on `port` after `mem_latency` cycles (plus any
+    /// Simulates the memory model for one access and returns its latency
+    /// in cycles (emitting a `MemMiss` probe event on L1 misses). Under
+    /// ideal memory this is the fixed configured latency.
+    fn mem_access(&mut self, node: u32, addr: Value, write: bool) -> u64 {
+        match self.cache.as_mut() {
+            Some(c) => {
+                let acc = c.access(self.cycle, addr, write);
+                if P::ENABLED && acc.is_miss() {
+                    self.probe.event(
+                        self.cycle,
+                        ProbeEvent::MemMiss { node, addr, l2: acc.level == HitLevel::Mem },
+                    );
+                }
+                acc.complete - self.cycle
+            }
+            None => self.cfg.mem.ideal_latency(),
+        }
+    }
+
+    /// Emits a memory result on `port` after `latency` cycles (plus any
     /// injected extra delay).
-    fn emit_mem(&mut self, node: NodeId, port: u16, tag: u64, mut val: Value) {
+    fn emit_mem(&mut self, node: NodeId, port: u16, tag: u64, mut val: Value, latency: u64) {
         let mut extra = 0u64;
         if let Some(fs) = self.faults.as_mut() {
             // Flips apply to load responses only: a store's completion token
@@ -1105,11 +1152,11 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                 }
             }
         }
-        if self.cfg.mem_latency <= 1 && extra == 0 {
+        if latency <= 1 && extra == 0 {
             self.emit(node, port, tag, val);
             return;
         }
-        let release = self.cycle + self.cfg.mem_latency.max(1) + extra;
+        let release = self.cycle + latency.max(1) + extra;
         let dfg = self.dfg;
         for &t in &dfg.nodes[node.0 as usize].outs[port as usize] {
             self.delayed.push(release, (t, tag, val));
@@ -1201,8 +1248,9 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                         ProbeEvent::MemAccess { node: node.0, addr, write: false },
                     );
                 }
+                let lat = self.mem_access(node.0, addr, false);
                 self.consume(node, tag, self.required[idx]);
-                self.emit_mem(node, 0, tag, v);
+                self.emit_mem(node, 0, tag, v, lat);
             }
             NodeKind::Store | NodeKind::StoreAdd => {
                 let addr = self.input(node, tag, 0);
@@ -1219,9 +1267,11 @@ impl<'a, P: Probe> TaggedEngine<'a, P> {
                         ProbeEvent::MemAccess { node: node.0, addr, write: true },
                     );
                 }
+                // Output-less stores still occupy the cache and an MSHR.
+                let lat = self.mem_access(node.0, addr, true);
                 self.consume(node, tag, self.required[idx]);
                 if !n.outs.is_empty() {
-                    self.emit_mem(node, 0, tag, 0);
+                    self.emit_mem(node, 0, tag, 0, lat);
                 }
             }
             NodeKind::Steer => {
@@ -1984,7 +2034,7 @@ mod latency_tests {
         for lat in [1u64, 4, 16, 64] {
             let cfg = TaggedConfig {
                 tag_policy: TagPolicy::local(16),
-                mem_latency: lat,
+                mem: MemConfig::ideal(lat),
                 ..TaggedConfig::default()
             };
             let r = TaggedEngine::new(&dfg, mem.clone(), cfg).run().unwrap();
@@ -2020,7 +2070,7 @@ mod latency_tests {
         let run = |tags: usize, lat: u64| {
             let cfg = TaggedConfig {
                 tag_policy: TagPolicy::local(tags),
-                mem_latency: lat,
+                mem: MemConfig::ideal(lat),
                 ..TaggedConfig::default()
             };
             TaggedEngine::new(&dfg, mem.clone(), cfg).run().unwrap().cycles()
@@ -2079,7 +2129,7 @@ mod event_core_tests {
         let dfg = lower_tagged(p, TaggingDiscipline::Tyr).unwrap();
         let cfg = TaggedConfig {
             tag_policy: policy,
-            mem_latency: lat,
+            mem: MemConfig::ideal(lat),
             event_driven,
             watchdog,
             max_cycles,

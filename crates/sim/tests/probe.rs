@@ -14,6 +14,7 @@ use tyr_sim::ordered::{OrderedConfig, OrderedEngine};
 use tyr_sim::seqdf::{SeqDataflowConfig, SeqDataflowEngine};
 use tyr_sim::seqvn::{SeqVnConfig, SeqVnEngine};
 use tyr_sim::tagged::{TagPolicy, TaggedConfig, TaggedEngine};
+use tyr_sim::MemConfig;
 use tyr_stats::probe::{ChromeTrace, CountingProbe, EventKind};
 use tyr_stats::{NodeProfiler, StallReason};
 
@@ -376,7 +377,7 @@ fn timing_wheel_probe_parity() {
     let p = pb.finish(f, [out]);
     let dfg = lower_tagged(&p, TaggingDiscipline::Tyr).unwrap();
     for lat in [4u64, 64, 20_000] {
-        let cfg = TaggedConfig { mem_latency: lat, ..TaggedConfig::default() };
+        let cfg = TaggedConfig { mem: MemConfig::ideal(lat), ..TaggedConfig::default() };
         let plain = TaggedEngine::new(&dfg, mem.clone(), cfg.clone()).run().unwrap();
         assert!(plain.is_complete(), "lat={lat}: {:?}", plain.outcome);
         let mut prof = NodeProfiler::new();

@@ -228,6 +228,20 @@ pub enum ProbeEvent {
         /// `true` for `store` / `store_add`, `false` for `load`.
         write: bool,
     },
+    /// The cache-hierarchy memory model missed L1 on an access by `node`.
+    /// Emitted exactly once per L1 miss (never under ideal memory), so a
+    /// counting sink can check probe parity against
+    /// `RunResult::mem_misses()`. Feeds the timeline's `mem_misses` window
+    /// quantity.
+    MemMiss {
+        /// Node performing the access (0 for the interpreter-backed vN/OoO
+        /// engines).
+        node: u32,
+        /// Absolute word address in the flat memory image.
+        addr: i64,
+        /// `true` when L2 served the miss, `false` when it went to DRAM.
+        l2: bool,
+    },
 }
 
 /// The event taxonomy, for coverage validation (the CI gate checks that a
@@ -258,11 +272,13 @@ pub enum EventKind {
     FaultInjected,
     /// [`ProbeEvent::MemAccess`].
     MemAccess,
+    /// [`ProbeEvent::MemMiss`].
+    MemMiss,
 }
 
 impl EventKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::Fired,
         EventKind::Produced,
         EventKind::Consumed,
@@ -275,6 +291,7 @@ impl EventKind {
         EventKind::StallEnd,
         EventKind::FaultInjected,
         EventKind::MemAccess,
+        EventKind::MemMiss,
     ];
 
     /// Stable name used in trace JSON (`otherData.eventKinds`) and CI
@@ -293,6 +310,7 @@ impl EventKind {
             EventKind::StallEnd => "stall-end",
             EventKind::FaultInjected => "fault-injected",
             EventKind::MemAccess => "mem-access",
+            EventKind::MemMiss => "mem-miss",
         }
     }
 
@@ -318,6 +336,7 @@ impl ProbeEvent {
             ProbeEvent::StallEnd { .. } => EventKind::StallEnd,
             ProbeEvent::FaultInjected { .. } => EventKind::FaultInjected,
             ProbeEvent::MemAccess { .. } => EventKind::MemAccess,
+            ProbeEvent::MemMiss { .. } => EventKind::MemMiss,
         }
     }
 }
@@ -794,6 +813,16 @@ impl Probe for ChromeTrace {
                     &format!("{{\"node\":{node},\"addr\":{addr}}}"),
                 );
             }
+            ProbeEvent::MemMiss { node, addr, l2 } => {
+                let pid = self.node_block.get(&node).copied().unwrap_or(0);
+                self.instant(
+                    cycle,
+                    "mem",
+                    if l2 { "missL2" } else { "missL1" },
+                    pid,
+                    &format!("{{\"node\":{node},\"addr\":{addr}}}"),
+                );
+            }
         }
     }
 }
@@ -822,6 +851,7 @@ mod tests {
         t.event(8, ProbeEvent::TagChanged { node: 1, from: 3, to: 0 });
         t.event(8, ProbeEvent::FaultInjected { node: 1, kind: FaultKind::TokenCorrupt });
         t.event(8, ProbeEvent::MemAccess { node: 0, addr: 64, write: false });
+        t.event(8, ProbeEvent::MemMiss { node: 0, addr: 64, l2: false });
         // Left open: must be closed by render() at the final cycle.
         t.event(9, ProbeEvent::StallBegin { node: 0, tag: 0, reason: StallReason::PartialMatch });
         t.render(12)

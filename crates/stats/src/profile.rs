@@ -438,7 +438,8 @@ impl Probe for NodeProfiler {
             | ProbeEvent::BlockEnter { .. }
             | ProbeEvent::BlockExit { .. }
             | ProbeEvent::FaultInjected { .. }
-            | ProbeEvent::MemAccess { .. } => {}
+            | ProbeEvent::MemAccess { .. }
+            | ProbeEvent::MemMiss { .. } => {}
         }
     }
 }

@@ -25,6 +25,7 @@
 //! | `stall-end` | `node`, `tag` |
 //! | `fault-injected` | `node`, `fault` |
 //! | `mem-access` | `node`, `addr`, `w` (1 = store, 0 = load) |
+//! | `mem-miss` | `node`, `addr`, `l2` (1 = missed L2 too, 0 = L2 hit) |
 //!
 //! The number of records with a `"c"` field equals the total event count a
 //! [`crate::probe::CountingProbe`] sees on the same run — the parity the CI
@@ -167,6 +168,9 @@ impl<W: Write> Probe for StreamProbe<W> {
             ProbeEvent::MemAccess { node, addr, write: w } => {
                 write!(b, ",\"node\":{node},\"addr\":{addr},\"w\":{}", u8::from(w))
             }
+            ProbeEvent::MemMiss { node, addr, l2 } => {
+                write!(b, ",\"node\":{node},\"addr\":{addr},\"l2\":{}", u8::from(l2))
+            }
         };
         b.push('}');
         self.write_line();
@@ -266,6 +270,7 @@ pub fn validate(text: &str) -> Result<StreamSummary, String> {
                 &["node"]
             }
             "mem-access" => &["node", "addr", "w"],
+            "mem-miss" => &["node", "addr", "l2"],
             other => return Err(format!("line {n}: unknown event kind {other:?}")),
         };
         for key in required {
@@ -299,7 +304,8 @@ mod tests {
         s.event(7, ProbeEvent::BlockExit { block: 1, tag: 3 });
         s.event(8, ProbeEvent::FaultInjected { node: 1, kind: FaultKind::MemDelay });
         s.event(9, ProbeEvent::MemAccess { node: 0, addr: -8, write: true });
-        assert_eq!(s.events(), 12);
+        s.event(9, ProbeEvent::MemMiss { node: 0, addr: -8, l2: true });
+        assert_eq!(s.events(), 13);
         String::from_utf8(s.finish().unwrap()).unwrap()
     }
 
@@ -307,7 +313,7 @@ mod tests {
     fn full_taxonomy_round_trips_and_validates() {
         let text = sample();
         let summary = validate(&text).expect("sample validates");
-        assert_eq!(summary.events, 12);
+        assert_eq!(summary.events, 13);
         assert_eq!(summary.decls, 4);
         for kind in EventKind::ALL {
             assert_eq!(

@@ -2,11 +2,11 @@
 //!
 //! Every other probe sink in this crate aggregates over the *whole* run
 //! (profiler totals, working-set peaks, shard crossings). [`Timeline`] is
-//! the missing time axis: it folds the twelve-kind [`ProbeEvent`] stream
+//! the missing time axis: it folds the thirteen-kind [`ProbeEvent`] stream
 //! into fixed-width **cycle windows** and keeps a small set of per-window
 //! metrics — firings, tokens produced/consumed, tag traffic, stall-begin
-//! counts split by [`StallReason`], memory loads/stores, distinct cache
-//! lines touched, and fault strikes — so utilization collapse, working-set
+//! counts split by [`StallReason`], memory loads/stores, cache misses,
+//! distinct cache lines touched, and fault strikes — so utilization collapse, working-set
 //! ramps, and the exact moment a Fig. 11 wedge forms are all visible.
 //!
 //! # Window semantics
@@ -78,6 +78,7 @@ struct Window {
     stall_open_delta: [i64; 3],
     mem_loads: u64,
     mem_stores: u64,
+    mem_misses: u64,
     faults: u64,
     lines: HashSet<i64>,
 }
@@ -95,6 +96,7 @@ impl Window {
         }
         self.mem_loads += other.mem_loads;
         self.mem_stores += other.mem_stores;
+        self.mem_misses += other.mem_misses;
         self.faults += other.faults;
         self.lines.extend(other.lines.iter().copied());
     }
@@ -215,6 +217,7 @@ impl Timeline {
                 open_stalls: open,
                 mem_loads: w.mem_loads,
                 mem_stores: w.mem_stores,
+                mem_misses: w.mem_misses,
                 distinct_lines: w.lines.len() as u64,
                 faults: w.faults,
             });
@@ -270,6 +273,7 @@ impl Probe for Timeline {
                 }
                 w.lines.insert(addr >> LINE_WORDS_SHIFT);
             }
+            ProbeEvent::MemMiss { .. } => self.at(cycle).mem_misses += 1,
             ProbeEvent::TagChanged { .. }
             | ProbeEvent::BlockEnter { .. }
             | ProbeEvent::BlockExit { .. } => {}
@@ -303,6 +307,8 @@ pub struct WindowStats {
     pub mem_loads: u64,
     /// Architectural stores inside the window.
     pub mem_stores: u64,
+    /// L1 cache misses inside the window (always 0 under ideal memory).
+    pub mem_misses: u64,
     /// Distinct cache lines touched inside the window.
     pub distinct_lines: u64,
     /// Injected fault strikes inside the window.
@@ -352,6 +358,7 @@ impl TimelineReport {
             "open_back_pressure",
             "mem_loads",
             "mem_stores",
+            "mem_misses",
             "distinct_lines",
             "faults",
         ]);
@@ -371,6 +378,7 @@ impl TimelineReport {
                 w.open_stalls[2].to_string(),
                 w.mem_loads.to_string(),
                 w.mem_stores.to_string(),
+                w.mem_misses.to_string(),
                 w.distinct_lines.to_string(),
                 w.faults.to_string(),
             ]);
@@ -394,7 +402,7 @@ impl TimelineReport {
             },
             self.final_cycle.max(1),
         ));
-        let series: [(&str, Vec<f64>); 7] = [
+        let series: [(&str, Vec<f64>); 8] = [
             ("fires", self.windows.iter().map(|w| w.fires as f64).collect()),
             ("produced", self.windows.iter().map(|w| w.produced as f64).collect()),
             ("consumed", self.windows.iter().map(|w| w.consumed as f64).collect()),
@@ -404,6 +412,7 @@ impl TimelineReport {
                 "mem refs",
                 self.windows.iter().map(|w| (w.mem_loads + w.mem_stores) as f64).collect(),
             ),
+            ("mem misses", self.windows.iter().map(|w| w.mem_misses as f64).collect()),
             ("lines", self.windows.iter().map(|w| w.distinct_lines as f64).collect()),
         ];
         for (label, vs) in &series {

@@ -1,0 +1,128 @@
+//! Blocked dense matrix-matrix multiplication (cache-stressing extension;
+//! not part of the Table II suite).
+//!
+//! The same `C = A·B` as [`crate::dmm`], but tiled `bs×bs`: the three outer
+//! loops walk block coordinates and the three inner loops stay inside one
+//! tile, so the working set per tile triple is `3·bs²` words instead of
+//! whole matrices. Under the two-level cache model this is the classic
+//! locality contrast to the untiled kernel — and the headline workload for
+//! `repro figure locality`, where TYR's local tag spaces keep the *dynamic*
+//! access stream tile-shaped while global tag pools interleave tiles from
+//! distant iterations.
+//!
+//! Partial products are accumulated into `C` with `store_add` (C starts
+//! zeroed), so tiles over `k` commute and no cross-block accumulator needs
+//! threading.
+
+use tyr_ir::build::ProgramBuilder;
+use tyr_ir::{MemoryImage, Operand, NO_OPERANDS};
+
+use crate::workload::Workload;
+use crate::{gen, oracle};
+
+/// Builds blocked `C = A·B` with all matrices `n×n`, tile size `bs`, and
+/// seeded random inputs.
+///
+/// # Panics
+///
+/// Panics unless `bs` divides `n` (tiles must cover the matrix exactly).
+pub fn build(n: usize, bs: usize, seed: u64) -> Workload {
+    assert!(bs > 0 && n.is_multiple_of(bs), "tile size {bs} must divide n = {n}");
+    let a = gen::dense_matrix(seed, n, n);
+    let b = gen::dense_matrix(seed.wrapping_add(1), n, n);
+
+    let mut mem = MemoryImage::new();
+    let a_ref = mem.alloc_init("A", &a);
+    let b_ref = mem.alloc_init("B", &b);
+    let c_ref = mem.alloc("C", n * n);
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let nn = n as i64;
+    let bb = bs as i64;
+
+    // Block loops: (i0, j0, k0) in steps of bs.
+    let [i0] = f.begin_loop("dgemmb_i0", [Operand::Const(0)]);
+    let ci0 = f.lt(i0, nn);
+    f.begin_body(ci0);
+    let [j0, i0a] = f.begin_loop("dgemmb_j0", [Operand::Const(0), i0]);
+    let cj0 = f.lt(j0, nn);
+    f.begin_body(cj0);
+    let [k0, j0a, i0b] = f.begin_loop("dgemmb_k0", [Operand::Const(0), j0, i0a]);
+    let ck0 = f.lt(k0, nn);
+    f.begin_body(ck0);
+
+    // Tile loops: i in [i0, i0+bs), j in [j0, j0+bs), k in [k0, k0+bs).
+    let iend = f.add(i0b, bb);
+    let [i, ie, j0b, k0b] = f.begin_loop("dgemmb_i", [i0b, iend, j0a, k0]);
+    let ci = f.lt(i, ie);
+    f.begin_body(ci);
+    let row = f.mul(i, nn);
+    let jend = f.add(j0b, bb);
+    let [j, je, rw, k0c] = f.begin_loop("dgemmb_j", [j0b, jend, row, k0b]);
+    let cj = f.lt(j, je);
+    f.begin_body(cj);
+    let kend = f.add(k0c, bb);
+    let [k, ke, acc, rw2, jv] = f.begin_loop("dgemmb_k", [k0c, kend, Operand::Const(0), rw, j]);
+    let ck = f.lt(k, ke);
+    f.begin_body(ck);
+    let aoff = f.add(rw2, k);
+    let aaddr = f.add(aoff, a_ref.base_const());
+    let av = f.load(aaddr);
+    let kn = f.mul(k, nn);
+    let boff = f.add(kn, jv);
+    let baddr = f.add(boff, b_ref.base_const());
+    let bv = f.load(baddr);
+    let prod = f.mul(av, bv);
+    let acc2 = f.add(acc, prod);
+    let k2 = f.add(k, 1);
+    let [tile_acc] = f.end_loop([k2, ke, acc2, rw2, jv], [acc]);
+    let coff = f.add(rw, j);
+    let caddr = f.add(coff, c_ref.base_const());
+    f.store_add(caddr, tile_acc);
+    let j2 = f.add(j, 1);
+    f.end_loop([j2, je, rw, k0c], NO_OPERANDS);
+    let i2 = f.add(i, 1);
+    f.end_loop([i2, ie, j0b, k0b], NO_OPERANDS);
+
+    let k02 = f.add(k0, bb);
+    f.end_loop([k02, j0a, i0b], NO_OPERANDS);
+    let j02 = f.add(j0, bb);
+    f.end_loop([j02, i0a], NO_OPERANDS);
+    let i02 = f.add(i0, bb);
+    f.end_loop([i02], NO_OPERANDS);
+    let program = pb.finish(f, [Operand::Const(0)]);
+
+    let mut w = Workload::new("dgemmb", format!("size: {n}x{n}, tile {bs}"), program, mem, vec![]);
+    w.expect("C", c_ref, oracle::dmm(&a, &b, n));
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::{interp, validate::validate};
+
+    #[test]
+    fn validates_and_matches_oracle_under_vn() {
+        let w = build(8, 4, 11);
+        validate(&w.program).unwrap();
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+
+    #[test]
+    fn matches_untiled_dmm_result() {
+        // Same seed, same inputs: the blocked kernel must produce the exact
+        // C matrix the untiled one does (integer arithmetic commutes).
+        let wb = build(8, 2, 3);
+        let wu = crate::dmm::build(8, 3);
+        let mut mb = wb.memory.clone();
+        let mut mu = wu.memory.clone();
+        interp::run(&wb.program, &mut mb, &wb.args).unwrap();
+        interp::run(&wu.program, &mut mu, &wu.args).unwrap();
+        wb.check(&mb).unwrap();
+        wu.check(&mu).unwrap();
+    }
+}

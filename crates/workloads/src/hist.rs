@@ -1,0 +1,102 @@
+//! Skewed histogram (cache-stressing extension; not part of the Table II
+//! suite).
+//!
+//! One pass over `m` items, each a precomputed bin index in `[0, bins)`,
+//! accumulated with `store_add`. The bin distribution is deliberately
+//! skewed: most items land in a small hot set of bins, the rest scatter
+//! uniformly. Under the two-level cache model the hot bins pin a handful of
+//! lines (near-perfect L1 reuse) while the cold tail strides the whole
+//! `bins`-word table — a data-dependent locality profile the dense kernels
+//! cannot produce, and a direct stress on the MSHR table when many cold
+//! misses are in flight at once.
+
+use tyr_ir::build::ProgramBuilder;
+use tyr_ir::{MemoryImage, Operand, Value, NO_OPERANDS};
+
+use crate::gen::SplitMix64;
+use crate::workload::Workload;
+
+/// Fraction of items drawn from the hot bin set.
+const HOT_FRACTION: f64 = 0.875;
+
+/// The skewed item stream: `HOT_FRACTION` of items in the first `bins/16`
+/// bins, the rest uniform over all bins.
+///
+/// # Panics
+///
+/// Panics if `bins < 16` (the hot set must be nonempty).
+fn skewed_data(m: usize, bins: usize, seed: u64) -> Vec<Value> {
+    assert!(bins >= 16, "need at least 16 bins, got {bins}");
+    let hot = bins / 16;
+    let mut rng = SplitMix64::new(seed);
+    (0..m)
+        .map(|_| {
+            if rng.gen_bool(HOT_FRACTION) {
+                rng.gen_index(hot) as Value
+            } else {
+                rng.gen_index(bins) as Value
+            }
+        })
+        .collect()
+}
+
+/// Builds a histogram of `m` skewed items over `bins` bins.
+///
+/// # Panics
+///
+/// Panics if `bins < 16` (the hot set is `bins / 16` and must be nonempty).
+pub fn build(m: usize, bins: usize, seed: u64) -> Workload {
+    let data = skewed_data(m, bins, seed);
+    let mut counts = vec![0; bins];
+    for &b in &data {
+        counts[b as usize] += 1;
+    }
+
+    let mut mem = MemoryImage::new();
+    let d_ref = mem.alloc_init("data", &data);
+    let h_ref = mem.alloc("hist", bins);
+
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let mm = m as i64;
+    let [i] = f.begin_loop("hist_i", [Operand::Const(0)]);
+    let c = f.lt(i, mm);
+    f.begin_body(c);
+    let daddr = f.add(i, d_ref.base_const());
+    let bin = f.load(daddr);
+    let haddr = f.add(bin, h_ref.base_const());
+    f.store_add(haddr, 1);
+    let i2 = f.add(i, 1);
+    f.end_loop([i2], NO_OPERANDS);
+    let program = pb.finish(f, [Operand::Const(0)]);
+
+    let mut w = Workload::new("hist", format!("items: {m}, bins: {bins}"), program, mem, vec![]);
+    w.expect("hist", h_ref, counts);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tyr_ir::{interp, validate::validate};
+
+    #[test]
+    fn validates_and_matches_oracle_under_vn() {
+        let w = build(300, 64, 9);
+        validate(&w.program).unwrap();
+        let mut mem = w.memory.clone();
+        interp::run(&w.program, &mut mem, &w.args).unwrap();
+        w.check(&mem).unwrap();
+    }
+
+    #[test]
+    fn distribution_is_actually_skewed() {
+        // The hot set is bins/16 = 4 bins; ~87.5% of items must land there.
+        let data = skewed_data(2000, 64, 5);
+        let hot_mass = data.iter().filter(|&&b| b < 4).count();
+        assert!(hot_mass > 1600, "only {hot_mass}/2000 items in the hot set");
+        // And the cold tail still touches most of the table.
+        let distinct = data.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct > 32, "only {distinct} distinct bins");
+    }
+}

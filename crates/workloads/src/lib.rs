@@ -30,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod dconv;
+pub mod dgemmb;
 pub mod dmm;
 pub mod dmv;
 pub mod gen;
+pub mod hist;
 pub mod oracle;
 pub mod smv;
 pub mod spmspm;
@@ -41,5 +43,5 @@ pub mod suite;
 pub mod tc;
 pub mod workload;
 
-pub use suite::{by_name, suite, Scale, APP_NAMES};
+pub use suite::{by_name, suite, Scale, APP_NAMES, CACHE_NAMES};
 pub use workload::{CheckError, Workload};
